@@ -1,0 +1,550 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) plus the run-time campaign behind Figs. 1-4 and
+   an ablation study, and times the solvers with Bechamel.
+
+     dune exec bench/main.exe            # fig5 table3 table4 campaign ablation
+     dune exec bench/main.exe -- table3  # a single experiment
+     dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks
+
+   Area constraints: the paper's absolute unit-cell numbers assume its
+   (unpublished) 8-vendor catalogue, so each row's area budget is derived
+   from our catalogue instead — `loose` rows get 2.5x and `tight` rows
+   1.5x the instance-area lower bound of that row's latency window (see
+   EXPERIMENTS.md). *)
+
+module T = Trojan_hls
+
+let catalog = T.Catalog.eight_vendors
+
+(* area lower bound for a spec with every licence allowed *)
+let area_lb spec =
+  let inst = T.Opt_instance.make spec in
+  let allowed = Array.make_matrix inst.T.Opt_instance.n_vendors 3 true in
+  match T.Csp.area_lower_bound inst ~allowed with
+  | Some lb -> lb
+  | None -> invalid_arg "area_lb: catalogue misses a type"
+
+let spec_for ~mode ~dfg ~latency_detect ~latency_recover ~frac =
+  let probe =
+    T.Spec.make ~mode ~dfg ~catalog ~latency_detect ~latency_recover
+      ~area_limit:max_int ()
+  in
+  let area_limit = int_of_float (float_of_int (area_lb probe) *. frac) in
+  T.Spec.make ~mode ~dfg ~catalog ~latency_detect ~latency_recover ~area_limit ()
+
+type row = {
+  bench : string;
+  lambda : int;           (** the tables' λ: detection (+ recovery) steps *)
+  l_det : int;
+  l_rec : int;            (** 0 for detection-only rows *)
+  frac : float;
+  paper_mc : string;      (** the paper's reported minimum cost *)
+}
+
+(* Table 3 of the paper: detection-only; λ values straight from the paper,
+   loose-area first row, tight-area second row. *)
+let table3_rows =
+  [
+    { bench = "polynom"; lambda = 3; l_det = 3; l_rec = 0; frac = 2.5; paper_mc = "3580" };
+    { bench = "polynom"; lambda = 6; l_det = 6; l_rec = 0; frac = 1.5; paper_mc = "3320" };
+    { bench = "diff2"; lambda = 4; l_det = 4; l_rec = 0; frac = 2.5; paper_mc = "4130" };
+    { bench = "diff2"; lambda = 14; l_det = 14; l_rec = 0; frac = 1.5; paper_mc = "4130" };
+    { bench = "dtmf"; lambda = 4; l_det = 4; l_rec = 0; frac = 2.5; paper_mc = "2960" };
+    { bench = "dtmf"; lambda = 8; l_det = 8; l_rec = 0; frac = 1.5; paper_mc = "2960" };
+    { bench = "mof2"; lambda = 7; l_det = 7; l_rec = 0; frac = 2.5; paper_mc = "2440" };
+    { bench = "mof2"; lambda = 14; l_det = 14; l_rec = 0; frac = 1.5; paper_mc = "2440" };
+    { bench = "elliptic"; lambda = 8; l_det = 8; l_rec = 0; frac = 2.5; paper_mc = "2690" };
+    { bench = "elliptic"; lambda = 16; l_det = 16; l_rec = 0; frac = 1.5; paper_mc = "3240*" };
+    { bench = "fir16"; lambda = 6; l_det = 6; l_rec = 0; frac = 2.5; paper_mc = "2960" };
+    { bench = "fir16"; lambda = 12; l_det = 12; l_rec = 0; frac = 1.5; paper_mc = "2960" };
+  ]
+
+(* Table 4: detection + recovery; λ covers both schedules, split as
+   recovery = critical path, detection = the rest (the paper's Fig. 5
+   example uses the same split: 4 + 3). *)
+let table4_rows =
+  [
+    { bench = "polynom"; lambda = 6; l_det = 3; l_rec = 3; frac = 2.5; paper_mc = "5140" };
+    { bench = "polynom"; lambda = 12; l_det = 9; l_rec = 3; frac = 1.5; paper_mc = "5140" };
+    { bench = "diff2"; lambda = 8; l_det = 4; l_rec = 4; frac = 2.5; paper_mc = "5140" };
+    { bench = "diff2"; lambda = 14; l_det = 10; l_rec = 4; frac = 1.5; paper_mc = "5190" };
+    { bench = "dtmf"; lambda = 8; l_det = 4; l_rec = 4; frac = 2.5; paper_mc = "3830" };
+    { bench = "dtmf"; lambda = 15; l_det = 11; l_rec = 4; frac = 1.5; paper_mc = "3830" };
+    { bench = "mof2"; lambda = 14; l_det = 8; l_rec = 6; frac = 2.5; paper_mc = "3830" };
+    { bench = "mof2"; lambda = 24; l_det = 18; l_rec = 6; frac = 1.5; paper_mc = "3830" };
+    { bench = "elliptic"; lambda = 16; l_det = 8; l_rec = 8; frac = 2.5; paper_mc = "3180*" };
+    { bench = "elliptic"; lambda = 24; l_det = 16; l_rec = 8; frac = 1.5; paper_mc = "4850*" };
+    { bench = "fir16"; lambda = 12; l_det = 7; l_rec = 5; frac = 2.5; paper_mc = "3830" };
+    { bench = "fir16"; lambda = 16; l_det = 11; l_rec = 5; frac = 1.5; paper_mc = "4390*" };
+  ]
+
+let spec_of_row ~mode row =
+  let dfg = Option.get (T.Benchmarks.find row.bench) in
+  spec_for ~mode ~dfg ~latency_detect:row.l_det
+    ~latency_recover:(max row.l_rec 1) ~frac:row.frac
+
+let run_table ~mode ~title ~paper_table rows =
+  Format.printf "@.== %s ==@." title;
+  let table =
+    T.Tablefmt.create
+      ~aligns:[ T.Tablefmt.Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+      ~header:
+        [ "Benchmark"; "n"; "lambda"; "A"; "u"; "t"; "v"; "mc"; "paper mc"; "time" ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      let spec = spec_of_row ~mode row in
+      let n = T.Dfg.n_ops spec.T.Spec.dfg in
+      (match T.Optimize.run ~per_call_nodes:150_000 ~max_candidates:300_000 ~time_limit:30.0 spec with
+      | Ok { design; quality; seconds; _ } ->
+          let s = T.Design.stats design in
+          assert (T.Design.is_valid design);
+          T.Tablefmt.add_row table
+            [
+              row.bench;
+              string_of_int n;
+              string_of_int row.lambda;
+              string_of_int spec.T.Spec.area_limit;
+              string_of_int s.T.Design.u;
+              string_of_int s.T.Design.t;
+              string_of_int s.T.Design.v;
+              Printf.sprintf "$%d%s" s.T.Design.mc (T.Optimize.quality_suffix quality);
+              "$" ^ row.paper_mc;
+              Printf.sprintf "%.2fs" seconds;
+            ]
+      | Error e ->
+          T.Tablefmt.add_row table
+            [
+              row.bench;
+              string_of_int n;
+              string_of_int row.lambda;
+              string_of_int spec.T.Spec.area_limit;
+              "-"; "-"; "-";
+              (match e with
+              | T.Optimize.Infeasible_proven -> "infeasible"
+              | T.Optimize.Infeasible_budget -> "budget");
+              "$" ^ row.paper_mc;
+              "-";
+            ]))
+    rows;
+  Format.printf "%s" (T.Tablefmt.render table);
+  Format.printf
+    "(A derived from our catalogue: 2.5x / 1.5x the area lower bound; paper \
+     column %s)@."
+    paper_table
+
+let table3 () =
+  run_table ~mode:T.Spec.Detection_only
+    ~title:"Table 3 - Designs with Detection Only" ~paper_table:"Table 3"
+    table3_rows
+
+let table4 () =
+  run_table ~mode:T.Spec.Detection_and_recovery
+    ~title:"Table 4 - Designs with Detection and Recovery" ~paper_table:"Table 4"
+    table4_rows
+
+(* ------------------------------ fig5 ------------------------------ *)
+
+let fig5 () =
+  Format.printf "@.== Figure 5 - Motivational example ==@.";
+  let spec =
+    T.Spec.make ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+      ~latency_detect:4 ~latency_recover:3 ~area_limit:22_000 ()
+  in
+  match T.Optimize.run spec with
+  | Ok { design; quality; seconds; _ } ->
+      let s = T.Design.stats design in
+      Format.printf
+        "optimal purchasing cost: $%d%s (paper: $4160); u=%d t=%d v=%d \
+         area=%d/22000; solved in %.2fs@."
+        s.T.Design.mc
+        (T.Optimize.quality_suffix quality)
+        s.T.Design.u s.T.Design.t s.T.Design.v s.T.Design.area seconds;
+      Format.printf "%a" T.Design.report design
+  | Error _ -> Format.printf "no design (unexpected)@."
+
+(* ---------------------------- campaign ---------------------------- *)
+
+let campaign () =
+  Format.printf
+    "@.== Run-time campaign (the behaviour behind Figs. 1-4) ==@.";
+  let table =
+    T.Tablefmt.create
+      ~aligns:[ T.Tablefmt.Left; Right; Right; Right; Right; Right; Right; Right ]
+      ~header:
+        [
+          "Benchmark"; "runs"; "activated"; "detected"; "rebind rec";
+          "naive rec"; "latched rec"; "mean latency";
+        ]
+      ()
+  in
+  List.iter
+    (fun (name, l_det, l_rec) ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let spec =
+        spec_for ~mode:T.Spec.Detection_and_recovery ~dfg ~latency_detect:l_det
+          ~latency_recover:l_rec ~frac:2.5
+      in
+      match T.Optimize.run spec with
+      | Error _ -> Format.printf "%s: no design@." name
+      | Ok { design; _ } ->
+          let prng = T.Prng.create ~seed:2014 in
+          let config = { T.Campaign.default_config with n_runs = 200 } in
+          let r = T.Campaign.run ~config ~prng design in
+          T.Tablefmt.add_row table
+            [
+              name;
+              string_of_int r.T.Campaign.runs;
+              string_of_int r.T.Campaign.activated;
+              string_of_int r.T.Campaign.detected;
+              string_of_int r.T.Campaign.rebind_recovered;
+              string_of_int r.T.Campaign.naive_recovered;
+              Printf.sprintf "%d/%d" r.T.Campaign.latched_recovered
+                r.T.Campaign.latched_runs;
+              Printf.sprintf "%.1f" r.T.Campaign.mean_detection_latency;
+            ])
+    [ ("polynom", 3, 3); ("diff2", 4, 4); ("fir16", 7, 5) ];
+  Format.printf "%s" (T.Tablefmt.render table);
+  Format.printf
+    "(rebind = the paper's Rule 1 recovery; naive = re-execution on the same \
+     cores, the strategy the paper's fault model rules out; latched = \
+     payloads with memory, outside the paper's recovery scope)@."
+
+(* ---------------------------- ablation ---------------------------- *)
+
+let ablation () =
+  Format.printf "@.== Ablation - design choices ==@.";
+  (* (1) strict-paper vs symmetric rule 2 *)
+  Format.printf "@.(1) eq. 7 scope: strict-paper (NC only) vs symmetric:@.";
+  List.iter
+    (fun name ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let cp = T.Dfg.critical_path dfg in
+      let solve variant =
+        let probe =
+          T.Spec.make ~rule_variant:variant ~dfg ~catalog ~latency_detect:(cp + 1)
+            ~latency_recover:cp ~area_limit:max_int ()
+        in
+        let area = int_of_float (float_of_int (area_lb probe) *. 2.5) in
+        let spec =
+          T.Spec.make ~rule_variant:variant ~dfg ~catalog ~latency_detect:(cp + 1)
+            ~latency_recover:cp ~area_limit:area ()
+        in
+        match T.Optimize.run spec with
+        | Ok { design; quality; _ } ->
+            Printf.sprintf "$%d%s" (T.Design.cost design)
+              (T.Optimize.quality_suffix quality)
+        | Error _ -> "-"
+      in
+      Format.printf "  %-10s strict %s   symmetric %s@." name
+        (solve T.Spec.Strict_paper) (solve T.Spec.Symmetric))
+    [ "polynom"; "diff2"; "dtmf" ];
+  (* (2) recovery rule 2 (closely-related pairs).  Under a uniform DSP
+     workload every multiplication of the motivational DFG sees similar
+     operands, so all three mul pairs are closely related: the recovery
+     multipliers must then avoid every detection multiplier vendor. *)
+  Format.printf "@.(2) recovery Rule 2 on the motivational DFG:@.";
+  let solve_related closely_related =
+    let spec =
+      T.Spec.make ~closely_related ~dfg:(T.Benchmarks.motivational ())
+        ~catalog:T.Catalog.eight_vendors ~latency_detect:4 ~latency_recover:3
+        ~area_limit:80_000 ()
+    in
+    match T.Optimize.run spec with
+    | Ok { design; quality; _ } ->
+        let s = T.Design.stats design in
+        Printf.sprintf "$%d%s (t=%d v=%d)" s.T.Design.mc
+          (T.Optimize.quality_suffix quality)
+          s.T.Design.t s.T.Design.v
+    | Error _ -> "-"
+  in
+  Format.printf "  no closely-related pairs:         %s@." (solve_related []);
+  Format.printf "  all mul pairs closely related:    %s@."
+    (solve_related [ (0, 2); (0, 4); (2, 4) ]);
+  (* (3) greedy vs optimal *)
+  Format.printf "@.(3) greedy baseline vs licence search (detection+recovery):@.";
+  List.iter
+    (fun name ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let cp = T.Dfg.critical_path dfg in
+      let spec =
+        spec_for ~mode:T.Spec.Detection_and_recovery ~dfg ~latency_detect:(cp + 1)
+          ~latency_recover:cp ~frac:2.5
+      in
+      let greedy =
+        match T.Optimize.run ~solver:T.Optimize.Greedy spec with
+        | Ok { design; _ } -> Printf.sprintf "$%d" (T.Design.cost design)
+        | Error _ -> "-"
+      in
+      let search =
+        match T.Optimize.run spec with
+        | Ok { design; quality; _ } ->
+            Printf.sprintf "$%d%s" (T.Design.cost design)
+              (T.Optimize.quality_suffix quality)
+        | Error _ -> "-"
+      in
+      Format.printf "  %-10s greedy %-8s search %s@." name greedy search)
+    [ "polynom"; "diff2"; "dtmf"; "mof2" ];
+  (* (4) the literal paper ILP vs the licence search, on the Fig. 5
+     problem in both modes.  The det+rec ILP is given a bounded node
+     budget; like the paper's hour-limited LINGO runs it may return an
+     incumbent marked '*'. *)
+  Format.printf "@.(4) literal ILP (eqs. 3-17) vs licence search on Fig. 5:@.";
+  List.iter
+    (fun (mode_label, mode, ilp_nodes) ->
+      let spec =
+        T.Spec.make ~mode ~dfg:(T.Benchmarks.motivational ())
+          ~catalog:T.Catalog.table1 ~latency_detect:4 ~latency_recover:3
+          ~area_limit:22_000 ()
+      in
+      List.iter
+        (fun (label, solver) ->
+          match T.Optimize.run ~solver ~per_call_nodes:ilp_nodes spec with
+          | Ok { design; quality; seconds; _ } ->
+              Format.printf "  %-14s %-16s $%d%s in %.2fs@." mode_label label
+                (T.Design.cost design)
+                (T.Optimize.quality_suffix quality)
+                seconds
+          | Error _ -> Format.printf "  %-14s %-16s failed@." mode_label label)
+        [ ("licence search", T.Optimize.License_search); ("literal ILP", T.Optimize.Ilp) ])
+    [
+      ("det-only", T.Spec.Detection_only, 100_000);
+      ("det+recovery", T.Spec.Detection_and_recovery, 3_000);
+    ];
+  (* (5) recovery endurance: how many further activations the purchased
+     licences can absorb by repeated re-binding (the paper's
+     "continue working correctly until they can be replaced") *)
+  Format.printf
+    "@.(5) recovery endurance: extra recovery rounds the purchased licences \
+     support, as the designer adds spare licences per type (cheapest unused \
+     vendors first):@.";
+  List.iter
+    (fun name ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let cp = T.Dfg.critical_path dfg in
+      let spec =
+        spec_for ~mode:T.Spec.Detection_and_recovery ~dfg ~latency_detect:(cp + 1)
+          ~latency_recover:cp ~frac:2.5
+      in
+      match T.Optimize.run spec with
+      | Error _ -> Format.printf "  %-10s no design@." name
+      | Ok { design; _ } ->
+          let owned = T.Design.licences design in
+          let spares k =
+            (* k cheapest not-yet-owned licences of every used type *)
+            List.concat_map
+              (fun ty ->
+                T.Catalog.cheapest_vendors catalog ty
+                |> List.filter (fun v ->
+                       not
+                         (List.exists
+                            (fun (v', ty') ->
+                              T.Vendor.equal v v' && ty = ty')
+                            owned))
+                |> List.filteri (fun i _ -> i < k)
+                |> List.map (fun v -> (v, ty)))
+              (List.sort_uniq compare (List.map snd owned))
+          in
+          let cost_of ls =
+            List.fold_left (fun acc (v, ty) -> acc + T.Catalog.cost catalog v ty) 0 ls
+          in
+          let cells =
+            List.map
+              (fun k ->
+                let extra = spares k in
+                Printf.sprintf "+%dsp:%d rounds(+$%d)" k
+                  (T.Endurance.rounds_supported ~extra_licences:extra design)
+                  (cost_of extra))
+              [ 0; 1; 2 ]
+          in
+          Format.printf "  %-10s %s@." name (String.concat "  " cells))
+    [ "polynom"; "diff2"; "dtmf"; "mof2" ]
+
+(* ---------------------------- testtime ---------------------------- *)
+
+(* The quantified version of the paper's Section 1 argument: sweep trigger
+   rarity and measure how often each *test-time* method catches the Trojan
+   before deployment, against the run-time NC/RC check that catches every
+   activation. *)
+let testtime () =
+  Format.printf
+    "@.== Test-time vs run-time detection (the paper's Section 1 argument) ==@.";
+  let table =
+    T.Tablefmt.create
+      ~aligns:[ T.Tablefmt.Left; Right; Right; Right; Right; Right ]
+      ~header:
+        [ "host"; "rare bits"; "random test"; "MERO"; "side channel"; "run-time" ]
+      ()
+  in
+  let prng = T.Prng.create ~seed:7 in
+  let trials = 8 in
+  List.iter
+    (fun (kind, kind_name) ->
+      List.iter
+        (fun rare_bits ->
+          let counts = Array.make 4 0 in
+          for _ = 1 to trials do
+            let pair = T.Testtime.make_pair ~prng ~kind ~rare_bits () in
+            let o = T.Testtime.evaluate ~prng ~n_tests:256 pair in
+            if o.T.Testtime.random_test then counts.(0) <- counts.(0) + 1;
+            if o.T.Testtime.mero then counts.(1) <- counts.(1) + 1;
+            if o.T.Testtime.side_channel then counts.(2) <- counts.(2) + 1;
+            if o.T.Testtime.runtime_would_catch then counts.(3) <- counts.(3) + 1
+          done;
+          let cell i = Printf.sprintf "%d/%d" counts.(i) trials in
+          T.Tablefmt.add_row table
+            [ kind_name; string_of_int rare_bits; cell 0; cell 1; cell 2; cell 3 ])
+        [ 2; 4; 6; 10 ])
+    [ (T.Testtime.Adder, "adder"); (T.Testtime.Multiplier, "multiplier") ];
+  Format.printf "%s" (T.Tablefmt.render table);
+  Format.printf
+    "Logic testing fades with trigger rarity; the power side channel only \
+     sees Trojans that are large relative to their host; the run-time NC/RC \
+     comparison catches every activation regardless — the paper's case for \
+     designing recovery in.@."
+
+(* ------------------------------ rtl -------------------------------- *)
+
+let rtl () =
+  Format.printf "@.== RTL elaboration (structural netlists of the designs) ==@.";
+  List.iter
+    (fun (name, catalog, l_det, l_rec, area) ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let spec =
+        T.Spec.make ~dfg ~catalog ~latency_detect:l_det ~latency_recover:l_rec
+          ~area_limit:area ()
+      in
+      match T.Optimize.run spec with
+      | Error _ -> Format.printf "  %-12s no design@." name
+      | Ok { design; _ } ->
+          let r = T.Rtl.elaborate ~width:16 design in
+          Format.printf "  %-12s %s@." name (T.Rtl.stats r);
+          (* one clean vector through the silicon as a sanity check *)
+          let env =
+            List.map (fun i -> (i, 5)) (T.Dfg.inputs dfg)
+          in
+          let golden = T.Dfg_eval.outputs dfg env in
+          let res = T.Rtl.run r env in
+          assert ((not res.T.Rtl.r_mismatch) && res.T.Rtl.r_nc = golden))
+    [
+      ("motivational", T.Catalog.table1, 4, 3, 40_000);
+      ("diff2", T.Catalog.eight_vendors, 5, 4, 90_000);
+      ("fir16", T.Catalog.eight_vendors, 7, 5, 300_000);
+    ];
+  Format.printf
+    "(each netlist contains the shared functional units, operand muxes, \
+     result registers, step counter and the NC/RC comparator)@."
+
+(* ----------------------------- timing ----------------------------- *)
+
+let timing () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf "@.== Timing (Bechamel, monotonic clock) ==@.";
+  let solve ~mode ~name ~frac () =
+    let dfg = Option.get (T.Benchmarks.find name) in
+    let cp = T.Dfg.critical_path dfg in
+    let spec =
+      spec_for ~mode ~dfg ~latency_detect:(cp + 1) ~latency_recover:cp ~frac
+    in
+    match T.License_search.search spec with
+    | T.License_search.Solved _, _ -> ()
+    | _ -> ()
+  in
+  let engine_design =
+    let spec =
+      T.Spec.make ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+        ~latency_detect:4 ~latency_recover:3 ~area_limit:40_000 ()
+    in
+    match T.Optimize.run spec with
+    | Ok { design; _ } -> design
+    | Error _ -> assert false
+  in
+  let env =
+    List.map (fun i -> (i, 9)) (T.Dfg.inputs engine_design.T.Design.spec.T.Spec.dfg)
+  in
+  let simplex () =
+    let p = T.Simplex.create ~n_vars:6 in
+    T.Simplex.set_objective p [ (0, -3.0); (1, -5.0); (2, 1.0); (3, -2.0) ];
+    T.Simplex.add_constraint p [ (0, 1.0); (2, 2.0) ] T.Simplex.Le 4.0;
+    T.Simplex.add_constraint p [ (1, 2.0); (3, 1.0) ] T.Simplex.Le 12.0;
+    T.Simplex.add_constraint p [ (0, 3.0); (1, 2.0); (4, 1.0) ] T.Simplex.Le 18.0;
+    T.Simplex.add_constraint p [ (3, 1.0); (5, -1.0) ] T.Simplex.Ge 1.0;
+    ignore (T.Simplex.solve p)
+  in
+  let tests =
+    Test.make_grouped ~name:"thls"
+      [
+        (* one Test per regenerated table/figure *)
+        Test.make ~name:"fig5:motivational"
+          (Staged.stage (fun () ->
+               let spec =
+                 T.Spec.make ~dfg:(T.Benchmarks.motivational ())
+                   ~catalog:T.Catalog.table1 ~latency_detect:4 ~latency_recover:3
+                   ~area_limit:22_000 ()
+               in
+               ignore (T.License_search.search spec)));
+        Test.make ~name:"table3:diff2-row"
+          (Staged.stage (solve ~mode:T.Spec.Detection_only ~name:"diff2" ~frac:2.5));
+        Test.make ~name:"table4:diff2-row"
+          (Staged.stage
+             (solve ~mode:T.Spec.Detection_and_recovery ~name:"diff2" ~frac:2.5));
+        Test.make ~name:"campaign:engine-run"
+          (Staged.stage (fun () -> ignore (T.Engine.run engine_design env)));
+        Test.make ~name:"substrate:simplex" (Staged.stage simplex);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      if ns >= 1e9 then Format.printf "  %-28s %8.2f s/run@." name (ns /. 1e9)
+      else if ns >= 1e6 then Format.printf "  %-28s %8.2f ms/run@." name (ns /. 1e6)
+      else Format.printf "  %-28s %8.2f us/run@." name (ns /. 1e3))
+    (List.sort compare rows)
+
+(* ------------------------------ main ------------------------------ *)
+
+let experiments =
+  [
+    ("fig5", fig5);
+    ("table3", table3);
+    ("table4", table4);
+    ("campaign", campaign);
+    ("ablation", ablation);
+    ("testtime", testtime);
+    ("rtl", rtl);
+    ("timing", timing);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match args with
+    | [] ->
+        [
+          "fig5"; "table3"; "table4"; "campaign"; "ablation"; "testtime"; "rtl";
+          "timing";
+        ]
+    | l -> l
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Format.printf "unknown experiment %S (known: %s)@." name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    to_run

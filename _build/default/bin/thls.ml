@@ -1,0 +1,318 @@
+(* thls — command-line front end for the Trojan-tolerant HLS library.
+
+   Subcommands:
+     list        benchmark DFGs with their stats
+     show        print a benchmark DFG (text format or DOT)
+     catalog     print a built-in vendor catalogue
+     optimize    minimum-cost scheduling/binding for a benchmark
+     simulate    run a Trojan-injection campaign on an optimised design *)
+
+open Cmdliner
+module T = Trojan_hls
+
+let find_dfg name =
+  match T.Benchmarks.find name with
+  | Some d -> Ok d
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (try: %s)" name
+           (String.concat ", " T.Benchmarks.names))
+
+let catalog_of_string = function
+  | "table1" -> Ok T.Catalog.table1
+  | "eight" -> Ok T.Catalog.eight_vendors
+  | s -> Error (Printf.sprintf "unknown catalogue %S (table1 | eight)" s)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List the built-in benchmark DFGs." in
+  let run () =
+    List.iter
+      (fun name ->
+        match T.Benchmarks.find name with
+        | None -> ()
+        | Some d ->
+            Printf.printf "%-12s  %2d ops, critical path %d, %2d muls\n" name
+              (T.Dfg.n_ops d) (T.Dfg.critical_path d)
+              (T.Dfg.count_kind d T.Op.Mul))
+      T.Benchmarks.names
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let bench_arg =
+  let doc = "Benchmark name (see $(b,thls list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let show_cmd =
+  let doc = "Print a benchmark DFG as text or Graphviz DOT." in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+  in
+  let run name dot =
+    match find_dfg name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok d ->
+        if dot then print_string (T.Dfg.to_dot d)
+        else print_string (T.Dfg_parse.to_string d)
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ bench_arg $ dot)
+
+let catalog_cmd =
+  let doc = "Print a built-in vendor catalogue." in
+  let which =
+    Arg.(value & pos 0 string "eight" & info [] ~docv:"CATALOG" ~doc:"table1 | eight")
+  in
+  let run which =
+    match catalog_of_string which with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok c -> Format.printf "%a@." T.Catalog.pp c
+  in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(const run $ which)
+
+(* ------------------------------------------------------------------ *)
+
+let catalog_flag =
+  Arg.(
+    value
+    & opt string "eight"
+    & info [ "catalog" ] ~docv:"CATALOG" ~doc:"Vendor catalogue: table1 | eight.")
+
+let latency_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "latency"; "l" ] ~docv:"STEPS"
+        ~doc:"Detection-phase latency constraint (default: critical path + 1).")
+
+let latency_rec_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "latency-recover" ] ~docv:"STEPS"
+        ~doc:"Recovery-phase latency constraint (default: critical path).")
+
+let area_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "area"; "a" ] ~docv:"CELLS"
+        ~doc:"Total area constraint (default: generous, 10x a multiplier per op).")
+
+let detection_only_flag =
+  Arg.(
+    value & flag
+    & info [ "detection-only" ]
+        ~doc:"Optimise the Rajendran et al. detection-only baseline (Table 3).")
+
+let solver_flag =
+  let solver_conv =
+    Arg.enum
+      [
+        ("search", T.Optimize.License_search);
+        ("ilp", T.Optimize.Ilp);
+        ("greedy", T.Optimize.Greedy);
+      ]
+  in
+  Arg.(
+    value
+    & opt solver_conv T.Optimize.License_search
+    & info [ "solver" ] ~docv:"SOLVER" ~doc:"search | ilp | greedy.")
+
+let make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area =
+  let cp = T.Dfg.critical_path dfg in
+  let latency_detect = match latency with Some l -> l | None -> cp + 1 in
+  let area_limit =
+    match area with Some a -> a | None -> 10 * 7000 * T.Dfg.n_ops dfg
+  in
+  T.Spec.make
+    ~mode:
+      (if detection_only then T.Spec.Detection_only
+       else T.Spec.Detection_and_recovery)
+    ?latency_recover ~dfg ~catalog ~latency_detect ~area_limit ()
+
+let optimize_cmd =
+  let doc = "Find a minimum-licence-cost Trojan-tolerant design." in
+  let run name cat detection_only latency latency_recover area solver =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog -> (
+        let spec =
+          make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
+        in
+        match T.Optimize.run ~solver spec with
+        | Ok { design; quality; seconds; _ } ->
+            Format.printf "%a" T.Design.report design;
+            Format.printf "quality: %s, %.2fs@."
+              (match quality with
+              | T.Optimize.Optimal -> "proven optimal"
+              | T.Optimize.Incumbent -> "incumbent (*)"
+              | T.Optimize.Heuristic -> "heuristic")
+              seconds
+        | Error T.Optimize.Infeasible_proven ->
+            print_endline "infeasible: no design satisfies the constraints";
+            exit 2
+        | Error T.Optimize.Infeasible_budget ->
+            print_endline "no design found within the search budget";
+            exit 3)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
+      $ latency_rec_flag $ area_flag $ solver_flag)
+
+let simulate_cmd =
+  let doc = "Optimise a design, then run a Trojan-injection campaign on it." in
+  let runs_flag =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N" ~doc:"Injection runs.")
+  in
+  let seed_flag =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run name cat latency latency_recover area runs seed =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog -> (
+        let spec =
+          make_spec dfg catalog ~detection_only:false ~latency ~latency_recover
+            ~area
+        in
+        match T.Optimize.run spec with
+        | Error _ ->
+            print_endline "no design found; relax the constraints";
+            exit 2
+        | Ok { design; _ } ->
+            let prng = T.Prng.create ~seed in
+            let config = { T.Campaign.default_config with n_runs = runs } in
+            let result = T.Campaign.run ~config ~prng design in
+            Format.printf "%a@." T.Campaign.pp_result result)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
+      $ area_flag $ runs_flag $ seed_flag)
+
+let export_ilp_cmd =
+  let doc =
+    "Write the paper's ILP (eqs. 3-17) for a benchmark as a CPLEX LP file."
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path ('-' for stdout).")
+  in
+  let run name cat detection_only latency latency_recover area out =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog ->
+        let spec =
+          make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
+        in
+        let f = T.Ilp_formulation.build spec in
+        let text = T.Lp_format.to_string f.T.Ilp_formulation.model in
+        if out = "-" then print_string text
+        else begin
+          T.Lp_format.write f.T.Ilp_formulation.model out;
+          Printf.printf "wrote %s (%d variables, %d constraints)\n" out
+            (T.Ilp_model.n_vars f.T.Ilp_formulation.model)
+            (T.Ilp_model.n_constraints f.T.Ilp_formulation.model)
+        end
+  in
+  Cmd.v
+    (Cmd.info "export-ilp" ~doc)
+    Term.(
+      const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
+      $ latency_rec_flag $ area_flag $ out_flag)
+
+let pareto_cmd =
+  let doc = "Sweep latency/area constraints and print the Pareto frontier." in
+  let run name cat detection_only =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog ->
+        let cp = T.Dfg.critical_path dfg in
+        let mode =
+          if detection_only then T.Spec.Detection_only
+          else T.Spec.Detection_and_recovery
+        in
+        let base = if detection_only then cp else 2 * cp in
+        let latencies = List.init 4 (fun i -> base + (i * 2)) in
+        let unit_area = 7000 * T.Dfg.n_ops dfg in
+        let area_limits = [ unit_area / 8; unit_area / 4; unit_area ] in
+        let points =
+          T.Pareto.sweep ~mode ~dfg ~catalog ~latencies ~area_limits ()
+        in
+        Format.printf "frontier of %d points:@." (List.length points);
+        List.iter
+          (fun p -> Format.printf "  %a@." T.Pareto.pp_point p)
+          (T.Pareto.frontier points)
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc)
+    Term.(const run $ bench_arg $ catalog_flag $ detection_only_flag)
+
+let rtl_cmd =
+  let doc = "Elaborate an optimised design to a gate-level netlist." in
+  let width_flag =
+    Arg.(value & opt int 16 & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width.")
+  in
+  let verilog_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verilog" ] ~docv:"FILE" ~doc:"Also write structural Verilog.")
+  in
+  let run name cat latency latency_recover area width verilog =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog -> (
+        let spec =
+          make_spec dfg catalog ~detection_only:false ~latency ~latency_recover
+            ~area
+        in
+        match T.Optimize.run spec with
+        | Error _ ->
+            print_endline "no design; relax the constraints";
+            exit 2
+        | Ok { design; _ } ->
+            let rtl = T.Rtl.elaborate ~width design in
+            Printf.printf "%s\n" (T.Rtl.stats rtl);
+            match verilog with
+            | None -> ()
+            | Some path ->
+                T.Verilog.write rtl.T.Rtl.netlist path;
+                Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc)
+    Term.(
+      const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
+      $ area_flag $ width_flag $ verilog_flag)
+
+let main =
+  let doc = "Trojan-tolerant high-level synthesis (DAC'14 reproduction)" in
+  Cmd.group
+    (Cmd.info "thls" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; show_cmd; catalog_cmd; optimize_cmd; simulate_cmd; export_ilp_cmd;
+      pareto_cmd; rtl_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_dfg.ml: Format List Printf String Trojan_hls

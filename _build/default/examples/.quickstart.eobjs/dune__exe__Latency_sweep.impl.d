@@ -1,0 +1,1 @@
+examples/latency_sweep.ml: List Printf Trojan_hls

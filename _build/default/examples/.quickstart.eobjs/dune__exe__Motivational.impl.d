@@ -1,0 +1,1 @@
+examples/motivational.ml: Format Trojan_hls

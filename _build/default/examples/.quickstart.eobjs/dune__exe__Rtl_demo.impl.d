@@ -1,0 +1,1 @@
+examples/rtl_demo.ml: Format List Trojan_hls

@@ -1,0 +1,83 @@
+(* Bring your own function: parse a DFG from text, profile closely-related
+   operation pairs, and optimise under recovery Rule 2.
+
+   The paper's Rule 2 for fast recovery treats same-type operations whose
+   inputs always stay close as one operation; such pairs are found "by
+   analyzing the algorithm or profiling input relations through a large
+   set of test vectors".  This example writes a small moving-average DFG
+   in the text format, profiles it, and shows the extra constraints at
+   work.
+
+   Run with: dune exec examples/custom_dfg.exe *)
+
+module T = Trojan_hls
+
+let source =
+  {|dfg moving_average
+input x0
+input x1
+input x2
+input x3
+# adjacent averages: closely-related by construction
+n0 = add x0 x1
+n1 = add x1 x2
+n2 = add x2 x3
+n3 = shr n0 1
+n4 = shr n1 1
+n5 = shr n2 1
+n6 = add n3 n4
+n7 = add n6 n5
+n8 = mul n7 n7
+|}
+
+let () =
+  let dfg =
+    match T.Dfg_parse.of_string source with
+    | Ok d -> d
+    | Error e -> failwith (Format.asprintf "parse error: %a" T.Dfg_parse.pp_error e)
+  in
+  Format.printf "Parsed %s: %d ops@." (T.Dfg.name dfg) (T.Dfg.n_ops dfg);
+  (* profile closely-related pairs: adjacent moving-average terms see
+     operands that differ by at most the input range of one sample *)
+  let prng = T.Prng.create ~seed:7 in
+  let config = { T.Profile.default_config with input_lo = 100; input_hi = 108; delta = 8 } in
+  let related = T.Profile.closely_related ~config ~prng dfg in
+  Format.printf "Closely-related pairs (profiled): %s@."
+    (String.concat ", "
+       (List.map (fun (i, j) -> Printf.sprintf "(n%d, n%d)" i j) related));
+  let solve closely_related =
+    let spec =
+      T.Spec.make ~closely_related ~dfg ~catalog:T.Catalog.eight_vendors
+        ~latency_detect:6 ~latency_recover:5 ~area_limit:60_000 ()
+    in
+    match T.Optimize.run spec with
+    | Ok { design; _ } -> Some (T.Design.stats design)
+    | Error _ -> None
+  in
+  let describe = function
+    | Some s ->
+        Printf.sprintf "$%d with %d licences from %d vendors" s.T.Design.mc
+          s.T.Design.t s.T.Design.v
+    | None -> "no design"
+  in
+  let base = solve [] in
+  let ruled = solve related in
+  Format.printf "Without recovery Rule 2: %s@." (describe base);
+  Format.printf "With recovery Rule 2:    %s@." (describe ruled);
+  (match (base, ruled) with
+  | Some b, Some r when r.T.Design.mc > b.T.Design.mc ->
+      Format.printf
+        "Rule 2 made the recovery binding avoid every detection vendor of the \
+         related partners, costing an extra $%d in licences.@."
+        (r.T.Design.mc - b.T.Design.mc)
+  | Some b, Some r when r.T.Design.mc = b.T.Design.mc ->
+      Format.printf
+        "Here the optimiser absorbed the extra recovery conflicts at no extra \
+         cost — the related additions have no add-to-add dependence edges, so \
+         one fresh adder vendor covers all of them.  The deactivation \
+         guarantee still got stronger: no detection-phase vendor of a related \
+         operation executes in recovery.@."
+  | _ ->
+      Format.printf
+        "Rule 2 can also make a spec infeasible when the catalogue has too few \
+         vendors to escape the accumulated histories.@.")

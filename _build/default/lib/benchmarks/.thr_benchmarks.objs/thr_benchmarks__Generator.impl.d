@@ -1,0 +1,1 @@
+lib/benchmarks/generator.ml: Array Printf Thr_dfg Thr_util

@@ -1,0 +1,1 @@
+lib/benchmarks/generator.mli: Thr_dfg Thr_util

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: List Printf Thr_dfg

@@ -1,0 +1,58 @@
+module B = Thr_dfg.Dfg.Builder
+module Prng = Thr_util.Prng
+open Thr_dfg.Op
+
+type config = {
+  n_ops : int;
+  n_layers : int;
+  mul_ratio : float;
+  other_ratio : float;
+}
+
+let default_config = { n_ops = 20; n_layers = 5; mul_ratio = 0.4; other_ratio = 0.1 }
+
+let pick_kind config prng =
+  let r = Prng.float prng 1.0 in
+  if r < config.mul_ratio then Mul
+  else if r < config.mul_ratio +. config.other_ratio then
+    if Prng.bool prng then Lt else Shr
+  else if Prng.bool prng then Add
+  else Sub
+
+let generate ?(config = default_config) ~prng () =
+  if config.n_ops < 1 then invalid_arg "Generator.generate: n_ops >= 1";
+  if config.n_layers < 1 || config.n_layers > config.n_ops then
+    invalid_arg "Generator.generate: 1 <= n_layers <= n_ops";
+  let b = B.create ~name:"random" in
+  let input_count = ref 0 in
+  let fresh_input () =
+    incr input_count;
+    B.input b (Printf.sprintf "i%d" !input_count)
+  in
+  (* ops per layer: spread evenly, remainder to the early layers *)
+  let per_layer =
+    Array.init config.n_layers (fun l ->
+        let base = config.n_ops / config.n_layers in
+        if l < config.n_ops mod config.n_layers then base + 1 else base)
+  in
+  let layers = Array.make config.n_layers [] in
+  for l = 0 to config.n_layers - 1 do
+    for _ = 1 to per_layer.(l) do
+      let operand_from_earlier () =
+        (* prefer the previous layer so depth actually grows *)
+        let source_layer =
+          if l = 0 then -1
+          else if Prng.float prng 1.0 < 0.7 then l - 1
+          else Prng.int prng l
+        in
+        if source_layer < 0 || layers.(source_layer) = [] then fresh_input ()
+        else Prng.pick prng (Array.of_list layers.(source_layer))
+      in
+      let kind = pick_kind config prng in
+      let x = operand_from_earlier () in
+      let y = if Prng.float prng 1.0 < 0.8 then operand_from_earlier () else fresh_input () in
+      let v = B.add_op b kind [ x; y ] in
+      layers.(l) <- v :: layers.(l)
+    done
+  done;
+  B.build b

@@ -1,0 +1,21 @@
+(** Random layered DFG generation.
+
+    Synthetic workloads for property tests, scaling benchmarks and the
+    Trojan-injection campaign: a DAG arranged in layers where each
+    operation draws operands from earlier layers or fresh inputs.  The
+    generated graph is connected enough to have interesting scheduling
+    structure and its critical path is bounded by the layer count. *)
+
+type config = {
+  n_ops : int;         (** total operations (>= 1) *)
+  n_layers : int;      (** target depth (>= 1, <= n_ops) *)
+  mul_ratio : float;   (** probability an op is a multiplication *)
+  other_ratio : float; (** probability an op is a comparison/shift *)
+}
+
+val default_config : config
+(** 20 ops, 5 layers, 40% multipliers, 10% other. *)
+
+val generate : ?config:config -> prng:Thr_util.Prng.t -> unit -> Thr_dfg.Dfg.t
+(** Deterministic given the PRNG state.  The remaining probability mass
+    goes to additions/subtractions. *)

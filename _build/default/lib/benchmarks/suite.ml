@@ -1,0 +1,177 @@
+module Dfg = Thr_dfg.Dfg
+module B = Thr_dfg.Dfg.Builder
+open Thr_dfg.Op
+
+let motivational () =
+  (* ((a*b) + (c+d)) * (e*f): 3 multipliers, 2 adders, depth 3. *)
+  let b = B.create ~name:"motivational" in
+  let a = B.input b "a" and bb = B.input b "b" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let e = B.input b "e" and f = B.input b "f" in
+  let n0 = B.add_op b Mul [ a; bb ] in
+  let n1 = B.add_op b Add [ c; d ] in
+  let n2 = B.add_op b Mul [ e; f ] in
+  let n3 = B.add_op b Add [ n0; n1 ] in
+  let _ = B.add_op b Mul [ n3; n2 ] in
+  B.build b
+
+let polynom () =
+  (* p = a*x + b*y + c*d evaluated as (a*x + b*y) + (c*d). *)
+  let b = B.create ~name:"polynom" in
+  let a = B.input b "a" and x = B.input b "x" in
+  let bc = B.input b "b" and y = B.input b "y" in
+  let c = B.input b "c" and d = B.input b "d" in
+  let n0 = B.add_op b Mul [ a; x ] in
+  let n1 = B.add_op b Mul [ bc; y ] in
+  let n2 = B.add_op b Mul [ c; d ] in
+  let n3 = B.add_op b Add [ n0; n1 ] in
+  let _ = B.add_op b Add [ n3; n2 ] in
+  B.build b
+
+let diff2 () =
+  (* HAL: one Euler step of y'' + 3xy' + 3y = 0.
+     u1 = u - 3*x*u*dx - 3*y*dx;  y1 = y + u*dx;  x1 = x + dx;  c = x1 < a *)
+  let b = B.create ~name:"diff2" in
+  let x = B.input b "x" and y = B.input b "y" in
+  let u = B.input b "u" and dx = B.input b "dx" in
+  let a = B.input b "a" in
+  let three = B.const 3 in
+  let n0 = B.add_op b Mul [ three; x ] in
+  let n1 = B.add_op b Mul [ u; dx ] in
+  let n2 = B.add_op b Mul [ n0; n1 ] in
+  let n3 = B.add_op b Mul [ three; y ] in
+  let n4 = B.add_op b Mul [ n3; dx ] in
+  let n5 = B.add_op b Sub [ u; n2 ] in
+  let _u1 = B.add_op b Sub [ n5; n4 ] in
+  let n7 = B.add_op b Mul [ u; dx ] in
+  let _y1 = B.add_op b Add [ y; n7 ] in
+  let n9 = B.add_op b Add [ x; dx ] in
+  let _c = B.add_op b Lt [ n9; a ] in
+  B.build b
+
+let dtmf () =
+  (* Two digital-oscillator updates y[n] = c*y[n-1] - y[n-2], a mixer with
+     gain, and a level detector on the averaged states. *)
+  let b = B.create ~name:"dtmf" in
+  let c1 = B.input b "c1" and y11 = B.input b "y11" and y12 = B.input b "y12" in
+  let c2 = B.input b "c2" and y21 = B.input b "y21" and y22 = B.input b "y22" in
+  let g = B.input b "g" in
+  let d1 = B.input b "d1" and d2 = B.input b "d2" in
+  let th = B.input b "th" in
+  let n0 = B.add_op b Mul [ c1; y11 ] in
+  let n1 = B.add_op b Sub [ n0; y12 ] in
+  let n2 = B.add_op b Mul [ c2; y21 ] in
+  let n3 = B.add_op b Sub [ n2; y22 ] in
+  let n4 = B.add_op b Add [ n1; n3 ] in
+  let _mix = B.add_op b Mul [ n4; g ] in
+  let _s1 = B.add_op b Mul [ n1; d1 ] in
+  let _s2 = B.add_op b Mul [ n3; d2 ] in
+  let n8 = B.add_op b Add [ y11; y21 ] in
+  let n9 = B.add_op b Shr [ n8; B.const 1 ] in
+  let _lvl = B.add_op b Lt [ n9; th ] in
+  B.build b
+
+(* One direct-form biquad section with a second output tap:
+   w  = x - a1*w1 - a2*w2
+   y  = b0*w + b1*w1 + b2*w2
+   y2 = c1*w1 + c2*w2
+   12 operations; returns (y, y2). *)
+let biquad b ~x ~w1 ~w2 ~a1 ~a2 ~b0 ~b1 ~b2 ~c1 ~c2 =
+  let n0 = B.add_op b Mul [ a1; w1 ] in
+  let n1 = B.add_op b Mul [ a2; w2 ] in
+  let n2 = B.add_op b Sub [ x; n0 ] in
+  let w = B.add_op b Sub [ n2; n1 ] in
+  let n4 = B.add_op b Mul [ b0; w ] in
+  let n5 = B.add_op b Mul [ b1; w1 ] in
+  let n6 = B.add_op b Mul [ b2; w2 ] in
+  let n7 = B.add_op b Add [ n4; n5 ] in
+  let y = B.add_op b Add [ n7; n6 ] in
+  let n9 = B.add_op b Mul [ c1; w1 ] in
+  let n10 = B.add_op b Mul [ c2; w2 ] in
+  let y2 = B.add_op b Add [ n9; n10 ] in
+  (y, y2)
+
+let mof2 () =
+  let b = B.create ~name:"mof2" in
+  let inp n = B.input b n in
+  let y, y2 =
+    biquad b ~x:(inp "x") ~w1:(inp "w1") ~w2:(inp "w2") ~a1:(inp "a1")
+      ~a2:(inp "a2") ~b0:(inp "b0") ~b1:(inp "b1") ~b2:(inp "b2") ~c1:(inp "c1")
+      ~c2:(inp "c2")
+  in
+  ignore y;
+  ignore y2;
+  B.build b
+
+(* A 9-op single-output biquad used as one channel of the filter bank. *)
+let channel b suffix =
+  let inp n = B.input b (n ^ suffix) in
+  let x = inp "x" and w1 = inp "w1" and w2 = inp "w2" in
+  let a1 = inp "a1" and a2 = inp "a2" in
+  let b0 = inp "b0" and b1 = inp "b1" and b2 = inp "b2" in
+  let n0 = B.add_op b Mul [ a1; w1 ] in
+  let n1 = B.add_op b Mul [ a2; w2 ] in
+  let n2 = B.add_op b Sub [ x; n0 ] in
+  let w = B.add_op b Sub [ n2; n1 ] in
+  let n4 = B.add_op b Mul [ b0; w ] in
+  let n5 = B.add_op b Mul [ b1; w1 ] in
+  let n6 = B.add_op b Mul [ b2; w2 ] in
+  let n7 = B.add_op b Add [ n4; n5 ] in
+  B.add_op b Add [ n7; n6 ]
+
+let elliptic () =
+  (* Three parallel second-order sections combined by two adders:
+     3 x 9 + 2 = 29 operations, critical path 8. *)
+  let b = B.create ~name:"elliptic" in
+  let y1 = channel b "1" in
+  let y2 = channel b "2" in
+  let y3 = channel b "3" in
+  let n27 = B.add_op b Add [ y1; y2 ] in
+  let _y = B.add_op b Add [ n27; y3 ] in
+  B.build b
+
+let fir16 () =
+  (* y = sum h_i * x_i with a balanced adder tree: 16 x, 15 +. *)
+  let b = B.create ~name:"fir16" in
+  let products =
+    List.init 16 (fun i ->
+        let h = B.input b (Printf.sprintf "h%d" i) in
+        let x = B.input b (Printf.sprintf "x%d" i) in
+        B.add_op b Mul [ h; x ])
+  in
+  let rec reduce = function
+    | [] -> invalid_arg "fir16: empty"
+    | [ v ] -> v
+    | vs ->
+        let rec pair = function
+          | [] -> []
+          | [ v ] -> [ v ]
+          | a :: c :: rest -> B.add_op b Add [ a; c ] :: pair rest
+        in
+        reduce (pair vs)
+  in
+  let _y = reduce products in
+  B.build b
+
+let all () =
+  [
+    ("polynom", polynom ());
+    ("diff2", diff2 ());
+    ("dtmf", dtmf ());
+    ("mof2", mof2 ());
+    ("elliptic", elliptic ());
+    ("fir16", fir16 ());
+  ]
+
+let names =
+  [ "motivational"; "polynom"; "diff2"; "dtmf"; "mof2"; "elliptic"; "fir16" ]
+
+let find = function
+  | "motivational" -> Some (motivational ())
+  | "polynom" -> Some (polynom ())
+  | "diff2" -> Some (diff2 ())
+  | "dtmf" -> Some (dtmf ())
+  | "mof2" -> Some (mof2 ())
+  | "elliptic" -> Some (elliptic ())
+  | "fir16" -> Some (fir16 ())
+  | _ -> None

@@ -1,0 +1,50 @@
+(** The paper's benchmark DFGs.
+
+    Section 5 uses six CDFGs converted from the 1992 High-Level Synthesis
+    Benchmarks with GAUT.  The exact GAUT outputs are not published, so
+    each graph is reconstructed here from the benchmark literature with the
+    paper's operation counts — polynom 5, diff2 11, dtmf 11, mof2 12,
+    elliptic 29, fir16 31 — and a critical path compatible with the
+    tightest latency constraint the paper schedules it under (see
+    DESIGN.md, "Substitutions").  [motivational] is the 5-operation DFG of
+    the Figure 5 example.
+
+    Every function builds a fresh graph; graphs are pure values. *)
+
+val motivational : unit -> Thr_dfg.Dfg.t
+(** Figure 5: five operations (3 ×, 2 +), critical path 3. *)
+
+val polynom : unit -> Thr_dfg.Dfg.t
+(** Bilinear polynomial evaluation: 5 ops (3 ×, 2 +), critical path 3. *)
+
+val diff2 : unit -> Thr_dfg.Dfg.t
+(** The HAL second-order differential-equation solver (Euler step of
+    [y'' + 3xy' + 3y = 0]): 11 ops (6 ×, 4 +/−, 1 <), critical path 4. *)
+
+val dtmf : unit -> Thr_dfg.Dfg.t
+(** DTMF tone generator: two second-order oscillator updates, mixing,
+    gain and level detection — 11 ops (5 ×, 4 +/−, 2 other),
+    critical path 4. *)
+
+val mof2 : unit -> Thr_dfg.Dfg.t
+(** Multiple-output second-order filter (direct-form biquad with a second
+    output tap): 12 ops (7 ×, 5 +/−), critical path 6. *)
+
+val elliptic : unit -> Thr_dfg.Dfg.t
+(** Elliptic filter bank: three second-order sections and an output
+    combiner — 29 ops (21 ×/+/− in sections, 2 combiner +),
+    critical path 8. *)
+
+val fir16 : unit -> Thr_dfg.Dfg.t
+(** 16-point finite impulse response filter: 16 ×, balanced 15-+ adder
+    tree — 31 ops, critical path 5. *)
+
+val all : unit -> (string * Thr_dfg.Dfg.t) list
+(** The six Section 5 benchmarks, in paper order (excludes
+    [motivational]). *)
+
+val find : string -> Thr_dfg.Dfg.t option
+(** Look up any of the seven graphs by name. *)
+
+val names : string list
+(** Names accepted by {!find}. *)

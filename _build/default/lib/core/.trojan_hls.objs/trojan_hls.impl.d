@@ -1,0 +1,1 @@
+lib/core/trojan_hls.ml: Optimize Thr_benchmarks Thr_dfg Thr_gates Thr_hls Thr_ilp Thr_iplib Thr_lp Thr_opt Thr_runtime Thr_testtime Thr_trojan Thr_util

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Sys Thr_hls Thr_opt

@@ -1,0 +1,53 @@
+module LS = Thr_opt.License_search
+module Ilp_f = Thr_opt.Ilp_formulation
+
+type solver = License_search | Ilp | Greedy
+
+type quality = Optimal | Incumbent | Heuristic
+
+type success = {
+  design : Thr_hls.Design.t;
+  quality : quality;
+  seconds : float;
+  candidates : int;
+}
+
+type failure = Infeasible_proven | Infeasible_budget
+
+let quality_suffix = function Optimal -> "" | Incumbent -> "*" | Heuristic -> "~"
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run ?(solver = License_search) ?per_call_nodes ?max_candidates ?time_limit
+    spec =
+  match solver with
+  | License_search -> (
+      let (outcome, stats), seconds =
+        time (fun () -> LS.search ?per_call_nodes ?max_candidates ?time_limit spec)
+      in
+      match outcome with
+      | LS.Solved { design; quality = LS.Proven_optimal } ->
+          Ok { design; quality = Optimal; seconds; candidates = stats.LS.candidates }
+      | LS.Solved { design; quality = LS.Incumbent } ->
+          Ok { design; quality = Incumbent; seconds; candidates = stats.LS.candidates }
+      | LS.No_design { proven = true } -> Error Infeasible_proven
+      | LS.No_design { proven = false } -> Error Infeasible_budget)
+  | Ilp -> (
+      let outcome, seconds =
+        time (fun () -> Ilp_f.solve ?max_nodes:per_call_nodes spec)
+      in
+      match outcome with
+      | Ilp_f.Optimal design ->
+          Ok { design; quality = Optimal; seconds; candidates = 0 }
+      | Ilp_f.Budget (Some design) ->
+          Ok { design; quality = Incumbent; seconds; candidates = 0 }
+      | Ilp_f.Budget None -> Error Infeasible_budget
+      | Ilp_f.Infeasible -> Error Infeasible_proven)
+  | Greedy -> (
+      let outcome, seconds = time (fun () -> Thr_opt.Greedy.run spec) in
+      match outcome with
+      | Some design -> Ok { design; quality = Heuristic; seconds; candidates = 0 }
+      | None -> Error Infeasible_budget)

@@ -1,0 +1,40 @@
+(** One-call optimisation front end.
+
+    Wraps the three optimisers behind a single interface returning the
+    design together with how much trust to place in it.  This is the
+    function the CLI, the examples and the benchmark harness all call. *)
+
+type solver =
+  | License_search  (** best-first licence search + CSP (default) *)
+  | Ilp             (** the literal paper ILP via branch-and-bound *)
+  | Greedy          (** fast heuristic; upper bound only *)
+
+type quality =
+  | Optimal    (** proven minimum licence cost *)
+  | Incumbent  (** feasible, possibly not optimal (budget hit — the
+                   paper's ["*"]) *)
+  | Heuristic  (** produced by the greedy baseline *)
+
+type success = {
+  design : Thr_hls.Design.t;
+  quality : quality;
+  seconds : float;
+  candidates : int; (** licence sets / B&B nodes explored (solver metric) *)
+}
+
+type failure =
+  | Infeasible_proven
+  | Infeasible_budget  (** nothing found before the budget ran out *)
+
+val run :
+  ?solver:solver ->
+  ?per_call_nodes:int ->
+  ?max_candidates:int ->
+  ?time_limit:float ->
+  Thr_hls.Spec.t ->
+  (success, failure) result
+(** [time_limit] (CPU seconds) applies to the licence search only. *)
+
+val quality_suffix : quality -> string
+(** [""] for optimal, ["*"] for incumbent (paper convention), ["~"] for
+    heuristic. *)

@@ -1,0 +1,1 @@
+lib/dfg/eval.ml: Array Dfg List Op Printf

@@ -1,0 +1,1 @@
+lib/dfg/parse.ml: Dfg Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/dfg/profile.ml: Array Dfg Eval List Op Thr_util

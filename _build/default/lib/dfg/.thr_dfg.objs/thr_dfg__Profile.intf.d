@@ -1,0 +1,1 @@
+lib/dfg/profile.mli: Dfg Thr_util

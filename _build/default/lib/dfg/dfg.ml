@@ -1,0 +1,212 @@
+type operand = Const of int | Input of string | Node of int
+
+type node = { id : int; kind : Op.kind; operands : operand array }
+
+type t = {
+  name : string;
+  nodes : node array;
+  input_names : string list; (* first-use order *)
+  preds : int list array;
+  succs : int list array;
+}
+
+module Builder = struct
+  type dfg = t
+
+  type t = {
+    b_name : string;
+    mutable rev_nodes : node list;
+    mutable count : int;
+    mutable rev_inputs : string list;
+  }
+
+  let create ~name = { b_name = name; rev_nodes = []; count = 0; rev_inputs = [] }
+
+  let input b name =
+    if not (List.mem name b.rev_inputs) then b.rev_inputs <- name :: b.rev_inputs;
+    Input name
+
+  let const v = Const v
+
+  let add_op b kind operands =
+    let arity = Op.arity kind in
+    if List.length operands <> arity then
+      invalid_arg
+        (Printf.sprintf "Dfg.Builder.add_op: %s expects %d operands"
+           (Op.to_string kind) arity);
+    let check = function
+      | Node i when i < 0 || i >= b.count ->
+          invalid_arg "Dfg.Builder.add_op: dangling node operand"
+      | Node _ | Const _ -> ()
+      | Input name ->
+          if not (List.mem name b.rev_inputs) then
+            b.rev_inputs <- name :: b.rev_inputs
+    in
+    List.iter check operands;
+    let id = b.count in
+    b.count <- id + 1;
+    b.rev_nodes <- { id; kind; operands = Array.of_list operands } :: b.rev_nodes;
+    Node id
+
+  let node_id = function
+    | Node i -> i
+    | Const _ | Input _ -> invalid_arg "Dfg.Builder.node_id: not a node"
+
+  let build b : dfg =
+    if b.count = 0 then invalid_arg "Dfg.Builder.build: empty graph";
+    let nodes = Array.of_list (List.rev b.rev_nodes) in
+    let n = Array.length nodes in
+    let preds = Array.make n [] in
+    let succs = Array.make n [] in
+    Array.iter
+      (fun nd ->
+        let ps =
+          Array.fold_left
+            (fun acc operand ->
+              match operand with
+              | Node i -> if List.mem i acc then acc else i :: acc
+              | Const _ | Input _ -> acc)
+            [] nd.operands
+        in
+        let ps = List.sort Stdlib.compare ps in
+        preds.(nd.id) <- ps;
+        List.iter (fun p -> succs.(p) <- nd.id :: succs.(p)) ps)
+      nodes;
+    Array.iteri (fun i l -> succs.(i) <- List.sort Stdlib.compare l) succs;
+    { name = b.b_name; nodes; input_names = List.rev b.rev_inputs; preds; succs }
+end
+
+let name t = t.name
+
+let n_ops t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Dfg.node: id out of range";
+  t.nodes.(i)
+
+let nodes t = t.nodes
+
+let kind t i = (node t i).kind
+
+let inputs t = t.input_names
+
+let preds t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Dfg.preds: id out of range";
+  t.preds.(i)
+
+let succs t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Dfg.succs: id out of range";
+  t.succs.(i)
+
+let edges t =
+  let acc = ref [] in
+  for i = n_ops t - 1 downto 0 do
+    List.iter (fun j -> acc := (i, j) :: !acc) (List.rev t.succs.(i))
+  done;
+  !acc
+
+let outputs t =
+  let acc = ref [] in
+  for i = n_ops t - 1 downto 0 do
+    if t.succs.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let sibling_pairs t =
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let set = ref PS.empty in
+  Array.iter
+    (fun nd ->
+      let ps = t.preds.(nd.id) in
+      let rec pairs = function
+        | [] -> ()
+        | p :: rest ->
+            List.iter (fun q -> set := PS.add (min p q, max p q) !set) rest;
+            pairs rest
+      in
+      pairs ps)
+    t.nodes;
+  PS.elements !set
+
+let asap t =
+  let n = n_ops t in
+  let steps = Array.make n 1 in
+  (* ids are topologically ordered by construction *)
+  for i = 0 to n - 1 do
+    List.iter (fun p -> if steps.(p) + 1 > steps.(i) then steps.(i) <- steps.(p) + 1) t.preds.(i)
+  done;
+  steps
+
+let critical_path t =
+  let steps = asap t in
+  Array.fold_left max 0 steps
+
+let alap t ~latency =
+  let cp = critical_path t in
+  if latency < cp then
+    invalid_arg
+      (Printf.sprintf "Dfg.alap: latency %d below critical path %d" latency cp);
+  let n = n_ops t in
+  let steps = Array.make n latency in
+  for i = n - 1 downto 0 do
+    List.iter (fun s -> if steps.(s) - 1 < steps.(i) then steps.(i) <- steps.(s) - 1) t.succs.(i)
+  done;
+  steps
+
+let mobility t ~latency =
+  let a = asap t and l = alap t ~latency in
+  Array.init (n_ops t) (fun i -> l.(i) - a.(i))
+
+let count_kind t k =
+  Array.fold_left (fun acc nd -> if Op.equal nd.kind k then acc + 1 else acc) 0 t.nodes
+
+let pp_operand ppf = function
+  | Const v -> Format.fprintf ppf "%d" v
+  | Input s -> Format.pp_print_string ppf s
+  | Node i -> Format.fprintf ppf "n%d" i
+
+let pp ppf t =
+  Format.fprintf ppf "dfg %s@." t.name;
+  List.iter (fun i -> Format.fprintf ppf "input %s@." i) t.input_names;
+  Array.iter
+    (fun nd ->
+      Format.fprintf ppf "n%d = %s" nd.id (Op.to_string nd.kind);
+      Array.iter (fun o -> Format.fprintf ppf " %a" pp_operand o) nd.operands;
+      Format.pp_print_newline ppf ())
+    t.nodes
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" t.name);
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  in_%s [shape=plaintext,label=\"%s\"];\n" i i))
+    t.input_names;
+  Array.iter
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=box,label=\"n%d: %s\"];\n" nd.id nd.id
+           (Op.symbol nd.kind));
+      Array.iter
+        (fun o ->
+          match o with
+          | Node p -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p nd.id)
+          | Input s -> Buffer.add_string buf (Printf.sprintf "  in_%s -> n%d;\n" s nd.id)
+          | Const v ->
+              Buffer.add_string buf
+                (Printf.sprintf "  c%d_%d [shape=plaintext,label=\"%d\"];\n" nd.id v v);
+              Buffer.add_string buf (Printf.sprintf "  c%d_%d -> n%d;\n" nd.id v nd.id))
+        nd.operands)
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let equal a b =
+  a.name = b.name && a.input_names = b.input_names
+  && Array.length a.nodes = Array.length b.nodes
+  && Array.for_all2 (fun (x : node) y -> x = y) a.nodes b.nodes

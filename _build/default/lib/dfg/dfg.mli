@@ -1,0 +1,108 @@
+(** Data-flow graphs.
+
+    A DFG is the function-to-be-implemented: a DAG of binary operations whose
+    operands are primary inputs, integer constants, or the results of other
+    operations.  Node ids are dense, [0 .. n_ops - 1], and are guaranteed to
+    be in a valid (topological) order by construction. *)
+
+type operand =
+  | Const of int        (** compile-time constant *)
+  | Input of string     (** named primary input *)
+  | Node of int         (** result of operation [id] *)
+
+type node = { id : int; kind : Op.kind; operands : operand array }
+
+type t
+(** An immutable, validated DFG. *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type dfg := t
+  type t
+
+  val create : name:string -> t
+
+  val input : t -> string -> operand
+  (** Declare (idempotently) a primary input and return its operand. *)
+
+  val const : int -> operand
+
+  val add_op : t -> Op.kind -> operand list -> operand
+  (** Append an operation; returns a [Node] operand referring to it.
+
+      @raise Invalid_argument if the operand count differs from
+             [Op.arity kind] or a [Node] operand is out of range. *)
+
+  val node_id : operand -> int
+  (** Id of a [Node] operand.
+      @raise Invalid_argument on [Const] or [Input]. *)
+
+  val build : t -> dfg
+  (** Finalise.  @raise Invalid_argument on an empty graph. *)
+end
+
+(** {1 Accessors} *)
+
+val name : t -> string
+
+val n_ops : t -> int
+
+val node : t -> int -> node
+(** @raise Invalid_argument if the id is out of range. *)
+
+val nodes : t -> node array
+(** All nodes in id (topological) order.  Do not mutate. *)
+
+val kind : t -> int -> Op.kind
+
+val inputs : t -> string list
+(** Primary input names, in first-use order. *)
+
+val preds : t -> int -> int list
+(** Ids of operations whose results feed operation [i] (duplicates removed,
+    ascending). *)
+
+val succs : t -> int -> int list
+(** Ids of operations consuming the result of operation [i]. *)
+
+val edges : t -> (int * int) list
+(** All dependence edges [(producer, consumer)], lexicographically sorted. *)
+
+val outputs : t -> int list
+(** Ids of operations with no consumers (the primary outputs). *)
+
+val sibling_pairs : t -> (int * int) list
+(** Pairs [(i, j)], [i < j], of distinct operations that feed a common
+    consumer — the co-parent pairs of the paper's detection Rule 2. *)
+
+(** {1 Analysis} *)
+
+val asap : t -> int array
+(** Earliest start step of each op under unit latency, steps from 1. *)
+
+val alap : t -> latency:int -> int array
+(** Latest start step of each op such that the whole DFG finishes within
+    [latency] steps.
+
+    @raise Invalid_argument if [latency] is below the critical path length. *)
+
+val critical_path : t -> int
+(** Length (in steps) of the longest dependence chain. *)
+
+val mobility : t -> latency:int -> int array
+(** [alap - asap] per op. *)
+
+val count_kind : t -> Op.kind -> int
+(** Number of operations of the given kind. *)
+
+(** {1 Output} *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line listing. *)
+
+val to_dot : t -> string
+(** Graphviz source with one box per operation. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same name, nodes and operands). *)

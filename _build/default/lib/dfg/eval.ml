@@ -1,0 +1,31 @@
+type env = (string * int) list
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Eval: missing input %S" name)
+
+let operand_value _d env values = function
+  | Dfg.Const v -> v
+  | Dfg.Input s -> lookup env s
+  | Dfg.Node i -> values.(i)
+
+let run d env =
+  let n = Dfg.n_ops d in
+  let values = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let nd = Dfg.node d i in
+    let a = operand_value d env values nd.Dfg.operands.(0) in
+    let b = operand_value d env values nd.Dfg.operands.(1) in
+    values.(i) <- Op.eval nd.Dfg.kind a b
+  done;
+  values
+
+let outputs d env =
+  let values = run d env in
+  List.map (fun i -> (i, values.(i))) (Dfg.outputs d)
+
+let operand_values d env values i =
+  let nd = Dfg.node d i in
+  ( operand_value d env values nd.Dfg.operands.(0),
+    operand_value d env values nd.Dfg.operands.(1) )

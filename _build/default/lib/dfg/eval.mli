@@ -1,0 +1,22 @@
+(** Reference evaluation of a DFG on integer inputs.
+
+    This is the "golden" functional model: the run-time engine compares its
+    cycle-accurate execution (with or without injected Trojans) against these
+    values, and the input profiler uses it to observe operand streams. *)
+
+type env = (string * int) list
+(** Assignment of primary inputs. *)
+
+val run : Dfg.t -> env -> int array
+(** [run d env] is the value computed by every operation, indexed by op id.
+
+    @raise Invalid_argument if [env] misses a primary input. *)
+
+val outputs : Dfg.t -> env -> (int * int) list
+(** [(op id, value)] for each primary output, ascending by id. *)
+
+val operand_value : Dfg.t -> env -> int array -> Dfg.operand -> int
+(** Value of a single operand given already-computed node values. *)
+
+val operand_values : Dfg.t -> env -> int array -> int -> int * int
+(** [(left, right)] operand values seen by operation [i]. *)

@@ -1,0 +1,45 @@
+type kind = Add | Sub | Mul | Lt | Shl | Shr
+
+let all = [ Add; Sub; Mul; Lt; Shl; Shr ]
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Lt -> "lt"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "lt" -> Some Lt
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | _ -> None
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let arity (_ : kind) = 2
+
+let eval k a b =
+  match k with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Lt -> if a < b then 1 else 0
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let equal (a : kind) b = a = b
+
+let compare (a : kind) b = Stdlib.compare a b

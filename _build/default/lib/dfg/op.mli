@@ -1,0 +1,39 @@
+(** Operation kinds appearing in data-flow graphs.
+
+    The paper's benchmarks use three resource classes of computational IP
+    cores — adders, multipliers and "other operators".  We keep the concrete
+    arithmetic kind (needed by the evaluator and the run-time engine) and
+    derive the resource class from it in {!Thr_iplib.Iptype}. *)
+
+type kind =
+  | Add  (** two's-complement addition *)
+  | Sub  (** two's-complement subtraction *)
+  | Mul  (** two's-complement multiplication *)
+  | Lt   (** signed less-than; yields 0 or 1 *)
+  | Shl  (** left shift by constant amount *)
+  | Shr  (** arithmetic right shift by constant amount *)
+
+val all : kind list
+(** Every kind, in declaration order. *)
+
+val to_string : kind -> string
+(** Lower-case mnemonic, e.g. ["add"], ["mul"]. *)
+
+val of_string : string -> kind option
+(** Inverse of {!to_string}. *)
+
+val symbol : kind -> string
+(** Infix-style symbol for pretty printing, e.g. ["+"], ["*"], ["<"]. *)
+
+val arity : kind -> int
+(** Number of operands; every kind is binary in this library. *)
+
+val eval : kind -> int -> int -> int
+(** [eval k a b] applies the operation on native integers.  [Lt] yields
+    [0]/[1]; shifts interpret [b land 63] as the shift amount. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val equal : kind -> kind -> bool
+
+val compare : kind -> kind -> int

@@ -1,0 +1,86 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Fail { line; message })) fmt
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let is_int s =
+  s <> ""
+  && (match s.[0] with '-' | '0' .. '9' -> true | _ -> false)
+  && match int_of_string_opt s with Some _ -> true | None -> false
+
+let parse_operand b ~lineno ~inputs tok =
+  if is_int tok then Dfg.Const (int_of_string tok)
+  else if String.length tok > 1 && tok.[0] = 'n'
+          && is_int (String.sub tok 1 (String.length tok - 1)) then
+    Dfg.Node (int_of_string (String.sub tok 1 (String.length tok - 1)))
+  else if List.mem tok !inputs then Dfg.Builder.input b tok
+  else fail lineno "unknown operand %S (inputs must be declared first)" tok
+
+let of_string text =
+  let b = ref None in
+  let inputs = ref [] in
+  let count = ref 0 in
+  let process lineno raw =
+    let line = strip_comment raw in
+    match tokens line with
+    | [] -> ()
+    | [ "dfg"; name ] ->
+        if !b <> None then fail lineno "duplicate dfg header"
+        else b := Some (Dfg.Builder.create ~name)
+    | [ "input"; name ] -> (
+        match !b with
+        | None -> fail lineno "input before dfg header"
+        | Some builder ->
+            if List.mem name !inputs then fail lineno "duplicate input %S" name;
+            inputs := name :: !inputs;
+            ignore (Dfg.Builder.input builder name))
+    | lhs :: "=" :: op :: rest -> (
+        match !b with
+        | None -> fail lineno "operation before dfg header"
+        | Some builder ->
+            let expected = Printf.sprintf "n%d" !count in
+            if lhs <> expected then
+              fail lineno "expected lhs %s, got %s" expected lhs;
+            let kind =
+              match Op.of_string op with
+              | Some k -> k
+              | None -> fail lineno "unknown operation %S" op
+            in
+            if List.length rest <> Op.arity kind then
+              fail lineno "%s expects %d operands" op (Op.arity kind);
+            let operands =
+              List.map (parse_operand builder ~lineno ~inputs) rest
+            in
+            List.iter
+              (function
+                | Dfg.Node i when i >= !count ->
+                    fail lineno "forward reference n%d" i
+                | Dfg.Node _ | Dfg.Const _ | Dfg.Input _ -> ())
+              operands;
+            ignore (Dfg.Builder.add_op builder kind operands);
+            incr count)
+    | _ -> fail lineno "cannot parse line %S" (String.trim raw)
+  in
+  try
+    List.iteri (fun i l -> process (i + 1) l) (String.split_on_char '\n' text);
+    match !b with
+    | None -> Error { line = 0; message = "missing dfg header" }
+    | Some builder ->
+        if !count = 0 then Error { line = 0; message = "no operations" }
+        else Ok (Dfg.Builder.build builder)
+  with Fail e -> Error e
+
+let to_string d = Format.asprintf "%a" Dfg.pp d

@@ -1,0 +1,29 @@
+(** Textual DFG format.
+
+    A line-oriented format mirroring {!Dfg.pp} output:
+
+    {v
+    dfg diff2
+    input x
+    input dx
+    n0 = mul 3 x
+    n1 = mul n0 dx
+    n2 = add x dx
+    v}
+
+    Lines: a single [dfg <name>] header, zero or more [input <name>]
+    declarations, and operation lines [n<k> = <op> <operand> <operand>]
+    with [k] equal to the running operation count.  Operands are [n<i>]
+    (a node reference), a declared input name, or an integer literal.
+    ['#'] starts a comment; blank lines are ignored. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_string : string -> (Dfg.t, error) result
+(** Parse a complete DFG document. *)
+
+val to_string : Dfg.t -> string
+(** Serialise; [of_string (to_string d)] reproduces [d] up to constant
+    operand pooling. *)

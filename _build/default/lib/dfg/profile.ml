@@ -1,0 +1,57 @@
+type config = { n_vectors : int; input_lo : int; input_hi : int; delta : int }
+
+let default_config = { n_vectors = 256; input_lo = -1000; input_hi = 1000; delta = 8 }
+
+let commutative = function
+  | Op.Add | Op.Mul -> true
+  | Op.Sub | Op.Lt | Op.Shl | Op.Shr -> false
+
+let random_env config prng d =
+  List.map
+    (fun name -> (name, Thr_util.Prng.int_in prng config.input_lo config.input_hi))
+    (Dfg.inputs d)
+
+(* Distance between the operand pairs seen by two same-kind ops on one
+   vector; for commutative kinds the cheaper of the two pairings is used. *)
+let pair_distance kind (a1, b1) (a2, b2) =
+  let straight = max (abs (a1 - a2)) (abs (b1 - b2)) in
+  if commutative kind then
+    let swapped = max (abs (a1 - b2)) (abs (b1 - a2)) in
+    min straight swapped
+  else straight
+
+let observe config prng d =
+  (* For each vector, record each op's operand pair. *)
+  let n = Dfg.n_ops d in
+  let vectors =
+    Array.init config.n_vectors (fun _ ->
+        let env = random_env config prng d in
+        let values = Eval.run d env in
+        Array.init n (fun i -> Eval.operand_values d env values i))
+  in
+  vectors
+
+let max_distance_of vectors kind i j =
+  Array.fold_left
+    (fun acc per_op -> max acc (pair_distance kind per_op.(i) per_op.(j)))
+    0 vectors
+
+let closely_related ?(config = default_config) ~prng d =
+  let vectors = observe config prng d in
+  let n = Dfg.n_ops d in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ki = Dfg.kind d i and kj = Dfg.kind d j in
+      if Op.equal ki kj && max_distance_of vectors ki i j <= config.delta then
+        acc := (i, j) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let max_distance ?(config = default_config) ~prng d i j =
+  let ki = Dfg.kind d i and kj = Dfg.kind d j in
+  if not (Op.equal ki kj) then
+    invalid_arg "Profile.max_distance: ops have different kinds";
+  let vectors = observe config prng d in
+  max_distance_of vectors ki i j

@@ -1,0 +1,32 @@
+(** Identification of operation pairs with closely-related inputs.
+
+    The paper's Rule 2 for fast recovery treats two same-type operations
+    whose inputs always stay close as if they were the same operation.  It
+    suggests finding such pairs "by analyzing the algorithm or profiling
+    input relations through a large set of test vectors"; this module
+    implements the profiling route: the DFG is evaluated on many random
+    input vectors and a pair [(i, j)] is reported when, on {e every} vector,
+    both operand distances are at most [delta]. *)
+
+type config = {
+  n_vectors : int;   (** number of random input vectors (default 256) *)
+  input_lo : int;    (** inclusive lower bound of random inputs *)
+  input_hi : int;    (** inclusive upper bound of random inputs *)
+  delta : int;       (** closeness threshold on operand distance *)
+}
+
+val default_config : config
+(** 256 vectors over [\[-1000, 1000\]] with [delta = 8]. *)
+
+val closely_related :
+  ?config:config -> prng:Thr_util.Prng.t -> Dfg.t -> (int * int) list
+(** All pairs [(i, j)], [i < j], of same-kind operations whose operand
+    streams stayed within [delta] on every profiled vector.  For commutative
+    kinds ([Add], [Mul]) operand order is ignored when measuring distance. *)
+
+val max_distance :
+  ?config:config -> prng:Thr_util.Prng.t -> Dfg.t -> int -> int -> int
+(** Largest operand distance observed between ops [i] and [j] over the
+    profiled vectors (with the same commutativity convention).
+
+    @raise Invalid_argument if the two ops have different kinds. *)

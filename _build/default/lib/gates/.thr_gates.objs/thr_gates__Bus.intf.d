@@ -1,0 +1,1 @@
+lib/gates/bus.mli: Netlist

@@ -1,0 +1,1 @@
+lib/gates/sim.ml: Array Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/gates/sim.mli: Netlist

@@ -1,0 +1,1 @@
+lib/gates/verilog.ml: Array Buffer Fun List Netlist Printf String

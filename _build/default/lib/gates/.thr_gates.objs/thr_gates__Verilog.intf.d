@@ -1,0 +1,1 @@
+lib/gates/verilog.mli: Netlist

@@ -1,0 +1,1 @@
+lib/gates/word.ml: Array Bus List Netlist Printf Thr_dfg

@@ -1,0 +1,1 @@
+lib/gates/word.mli: Bus Netlist Thr_dfg

@@ -1,0 +1,85 @@
+type t = {
+  nl : Netlist.t;
+  values : bool array;          (* per net *)
+  dffs : bool array;            (* current DFF state *)
+  order : Netlist.net array;
+  inputs : (string, int) Hashtbl.t; (* name -> net index *)
+}
+
+let create nl =
+  Netlist.finalise nl;
+  let n = Netlist.n_nets nl in
+  let inputs = Hashtbl.create 16 in
+  let order = Netlist.nets_in_order nl in
+  Array.iter
+    (fun net ->
+      match Netlist.driver nl net with
+      | Netlist.D_input nm -> Hashtbl.replace inputs nm (Netlist.net_index net)
+      | _ -> ())
+    order;
+  let t =
+    {
+      nl;
+      values = Array.make n false;
+      dffs = Array.init (Netlist.n_dffs nl) (Netlist.dff_init nl);
+      order;
+      inputs;
+    }
+  in
+  t
+
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) false;
+  for i = 0 to Array.length t.dffs - 1 do
+    t.dffs.(i) <- Netlist.dff_init t.nl i
+  done
+
+let set_input t nm b =
+  match Hashtbl.find_opt t.inputs nm with
+  | Some idx -> t.values.(idx) <- b
+  | None -> invalid_arg (Printf.sprintf "Sim.set_input: unknown input %S" nm)
+
+let set_inputs t l = List.iter (fun (nm, b) -> set_input t nm b) l
+
+let settle t =
+  let v = t.values in
+  let idx = Netlist.net_index in
+  Array.iter
+    (fun net ->
+      let i = idx net in
+      match Netlist.driver t.nl net with
+      | Netlist.D_input _ -> () (* retains the value set by set_input *)
+      | Netlist.D_const b -> v.(i) <- b
+      | Netlist.D_not a -> v.(i) <- not v.(idx a)
+      | Netlist.D_and (a, b) -> v.(i) <- v.(idx a) && v.(idx b)
+      | Netlist.D_or (a, b) -> v.(i) <- v.(idx a) || v.(idx b)
+      | Netlist.D_xor (a, b) -> v.(i) <- v.(idx a) <> v.(idx b)
+      | Netlist.D_nand (a, b) -> v.(i) <- not (v.(idx a) && v.(idx b))
+      | Netlist.D_nor (a, b) -> v.(i) <- not (v.(idx a) || v.(idx b))
+      | Netlist.D_mux (s, t0, t1) -> v.(i) <- (if v.(idx s) then v.(idx t1) else v.(idx t0))
+      | Netlist.D_dff k -> v.(i) <- t.dffs.(k))
+    t.order
+
+let clock t =
+  settle t;
+  let next =
+    Array.init (Array.length t.dffs) (fun k ->
+        t.values.(Netlist.net_index (Netlist.dff_data t.nl k)))
+  in
+  Array.blit next 0 t.dffs 0 (Array.length next);
+  (* expose the new state combinationally, like reading after the edge *)
+  settle t
+
+let step t ins =
+  set_inputs t ins;
+  clock t
+
+let output t nm =
+  match Netlist.find_output t.nl nm with
+  | n -> t.values.(Netlist.net_index n)
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "Sim.output: unknown output %S" nm)
+
+let peek t net = t.values.(Netlist.net_index net)
+
+let dff_state t = Array.copy t.dffs

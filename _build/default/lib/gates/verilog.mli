@@ -1,0 +1,21 @@
+(** Structural Verilog export.
+
+    Serialises a finalised {!Netlist} as a synthesisable Verilog-2001
+    module: one wire per net, primitive gate instances ([and]/[or]/
+    [xor]/[nand]/[nor]/[not]), conditional assigns for muxes, and a
+    positive-edge DFF process with an asynchronous reset to the declared
+    init values.  This is the hand-off point to standard EDA flows for
+    the RTL that {!Thr_runtime.Rtl} elaborates.
+
+    Net names: primary inputs and outputs keep their (sanitised) names;
+    internal nets are [n<index>].  Dotted bus names like [a.3] become
+    [a_3]. *)
+
+val to_string : ?module_name:string -> Netlist.t -> string
+(** The complete module source.  Finalises the netlist if needed.
+    [module_name] defaults to the netlist's (sanitised) name.  The module
+    always has [clk] and [rst] ports; [rst] loads every DFF's init
+    value. *)
+
+val write : ?module_name:string -> Netlist.t -> string -> unit
+(** Write {!to_string} to a file.  @raise Sys_error on IO failure. *)

@@ -1,0 +1,134 @@
+let check_widths name a b =
+  if Bus.width a <> Bus.width b then
+    invalid_arg (Printf.sprintf "Word.%s: width mismatch" name)
+
+let full_adder nl a b cin =
+  let axb = Netlist.xor_ nl a b in
+  let sum = Netlist.xor_ nl axb cin in
+  let carry = Netlist.or_ nl (Netlist.and_ nl a b) (Netlist.and_ nl axb cin) in
+  (sum, carry)
+
+let add_with_carry nl a b cin =
+  check_widths "add" a b;
+  let w = Bus.width a in
+  let out = Array.make w cin in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let sum, cout = full_adder nl a.(i) b.(i) !carry in
+    out.(i) <- sum;
+    carry := cout
+  done;
+  (out, !carry)
+
+let add nl a b = fst (add_with_carry nl a b (Netlist.const nl false))
+
+let invert nl a = Array.map (Netlist.not_ nl) a
+
+(* a - b = a + ~b + 1 *)
+let sub_with_end nl a b =
+  check_widths "sub" a b;
+  add_with_carry nl a (invert nl b) (Netlist.const nl true)
+
+let sub nl a b = fst (sub_with_end nl a b)
+
+let neg nl a =
+  let zero = Bus.const nl ~width:(Bus.width a) 0 in
+  sub nl zero a
+
+let mul nl a b =
+  check_widths "mul" a b;
+  let w = Bus.width a in
+  let zero = Netlist.const nl false in
+  (* shift-and-add over the low word: partial_i = (a << i) AND b_i *)
+  let acc = ref (Bus.const nl ~width:w 0) in
+  for i = 0 to w - 1 do
+    let shifted =
+      Array.init w (fun j -> if j < i then zero else a.(j - i))
+    in
+    let masked = Array.map (fun n -> Netlist.and_ nl n b.(i)) shifted in
+    acc := add nl !acc masked
+  done;
+  !acc
+
+let lt_signed nl a b =
+  check_widths "lt_signed" a b;
+  let w = Bus.width a in
+  let diff, _ = sub_with_end nl a b in
+  let a_s = a.(w - 1) and b_s = b.(w - 1) and d_s = diff.(w - 1) in
+  (* signed overflow of a - b: operand signs differ and the result sign
+     disagrees with a's *)
+  let overflow = Netlist.and_ nl (Netlist.xor_ nl a_s b_s) (Netlist.xor_ nl d_s a_s) in
+  Netlist.xor_ nl d_s overflow
+
+let lt_signed_bus nl a b =
+  let w = Bus.width a in
+  let lt = lt_signed nl a b in
+  Array.init w (fun i -> if i = 0 then lt else Netlist.const nl false)
+
+let mux_bus nl ~sel ~t0 ~t1 =
+  check_widths "mux_bus" t0 t1;
+  Array.init (Bus.width t0) (fun i -> Netlist.mux nl ~sel ~t0:t0.(i) ~t1:t1.(i))
+
+let log2_stages w =
+  let rec go k = if 1 lsl k >= w then k else go (k + 1) in
+  go 0
+
+(* The behavioural evaluator shifts by [amount land 63]; the barrel uses
+   the low [log2 w] amount bits and saturates when any amount bit between
+   [log2 w] and bit 5 is set, which matches the evaluator exactly for
+   widths of at least 6 bits. *)
+let saturate_condition nl amount k =
+  let w = Bus.width amount in
+  let bits = ref [] in
+  for i = k to min 5 (w - 1) do
+    bits := amount.(i) :: !bits
+  done;
+  match !bits with [] -> Netlist.const nl false | l -> Netlist.or_list nl l
+
+let shl nl a ~amount =
+  let w = Bus.width a in
+  let k = log2_stages w in
+  let zero = Netlist.const nl false in
+  let stage acc i =
+    if i >= Bus.width amount then acc
+    else
+      let shifted =
+        Array.init w (fun j -> if j < 1 lsl i then zero else acc.(j - (1 lsl i)))
+      in
+      mux_bus nl ~sel:amount.(i) ~t0:acc ~t1:shifted
+  in
+  let shifted = List.fold_left stage a (List.init k (fun i -> i)) in
+  let sat = saturate_condition nl amount k in
+  mux_bus nl ~sel:sat ~t0:shifted ~t1:(Bus.const nl ~width:w 0)
+
+let ashr nl a ~amount =
+  let w = Bus.width a in
+  let k = log2_stages w in
+  let sign = a.(w - 1) in
+  let stage acc i =
+    if i >= Bus.width amount then acc
+    else
+      let shifted =
+        Array.init w (fun j -> if j + (1 lsl i) < w then acc.(j + (1 lsl i)) else sign)
+      in
+      mux_bus nl ~sel:amount.(i) ~t0:acc ~t1:shifted
+  in
+  let shifted = List.fold_left stage a (List.init k (fun i -> i)) in
+  let sat = saturate_condition nl amount k in
+  let all_sign = Array.make w sign in
+  mux_bus nl ~sel:sat ~t0:shifted ~t1:all_sign
+
+let of_op nl kind a b =
+  match kind with
+  | Thr_dfg.Op.Add -> add nl a b
+  | Thr_dfg.Op.Sub -> sub nl a b
+  | Thr_dfg.Op.Mul -> mul nl a b
+  | Thr_dfg.Op.Lt -> lt_signed_bus nl a b
+  | Thr_dfg.Op.Shl -> shl nl a ~amount:b
+  | Thr_dfg.Op.Shr -> ashr nl a ~amount:b
+
+let register nl ~enable d =
+  Array.map
+    (fun bit ->
+      Netlist.dff_loop nl (fun q -> Netlist.mux nl ~sel:enable ~t0:q ~t1:bit))
+    d

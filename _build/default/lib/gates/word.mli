@@ -1,0 +1,46 @@
+(** Word-level combinational arithmetic built from gates.
+
+    Structural implementations of every DFG operation kind over
+    fixed-width two's-complement buses: ripple-carry addition and
+    subtraction, an array multiplier, a signed comparator and logarithmic
+    barrel shifters.  These are the gate-level bodies of the "IP cores"
+    that the RTL elaboration ({!Thr_runtime.Rtl}) instantiates, and they
+    let the whole HLS flow be co-simulated against the behavioural
+    evaluator bit for bit. *)
+
+val add : Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Ripple-carry sum, wrapping at the bus width.
+    @raise Invalid_argument on width mismatch. *)
+
+val sub : Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Two's-complement difference [a - b]. *)
+
+val neg : Netlist.t -> Bus.t -> Bus.t
+(** Two's-complement negation. *)
+
+val mul : Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Array multiplier; returns the low word (same width as inputs). *)
+
+val lt_signed : Netlist.t -> Bus.t -> Bus.t -> Netlist.net
+(** Signed less-than. *)
+
+val lt_signed_bus : Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** {!lt_signed} zero-extended to the operand width (the DFG's 0/1
+    convention). *)
+
+val shl : Netlist.t -> Bus.t -> amount:Bus.t -> Bus.t
+(** Logical left barrel shift; only the low [ceil(log2 w)] bits of
+    [amount] matter, wider shifts saturate to zero. *)
+
+val ashr : Netlist.t -> Bus.t -> amount:Bus.t -> Bus.t
+(** Arithmetic right barrel shift (sign-filling). *)
+
+val of_op : Netlist.t -> Thr_dfg.Op.kind -> Bus.t -> Bus.t -> Bus.t
+(** The gate-level body of one DFG operation. *)
+
+val mux_bus : Netlist.t -> sel:Netlist.net -> t0:Bus.t -> t1:Bus.t -> Bus.t
+(** Per-bit 2:1 mux.  @raise Invalid_argument on width mismatch. *)
+
+val register : Netlist.t -> enable:Netlist.net -> Bus.t -> Bus.t
+(** A load-enabled register bank: holds its value until [enable] is high
+    at a clock edge, then captures the input bus. *)

@@ -1,0 +1,1 @@
+lib/hls/binding.ml: Array Copy Format Hashtbl List Map Schedule Seq Spec Stdlib Thr_iplib

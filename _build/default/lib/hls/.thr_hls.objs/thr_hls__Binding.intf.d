@@ -1,0 +1,1 @@
+lib/hls/binding.mli: Copy Schedule Spec Thr_iplib

@@ -1,0 +1,1 @@
+lib/hls/copy.ml: Format List Spec Thr_dfg

@@ -1,0 +1,1 @@
+lib/hls/copy.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/hls/design.ml: Binding Copy Format List Printf Rules Schedule Spec Stdlib Thr_dfg Thr_iplib Thr_util

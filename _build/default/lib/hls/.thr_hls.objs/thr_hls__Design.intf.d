@@ -1,0 +1,1 @@
+lib/hls/design.mli: Binding Format Schedule Spec Thr_iplib

@@ -1,0 +1,1 @@
+lib/hls/rules.ml: Array Copy Format List Set Spec Stdlib Thr_dfg Thr_iplib

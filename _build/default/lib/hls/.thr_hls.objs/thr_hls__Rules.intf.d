@@ -1,0 +1,1 @@
+lib/hls/rules.mli: Copy Format Spec Thr_iplib

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Copy Format List Spec Thr_dfg

@@ -1,0 +1,1 @@
+lib/hls/spec.ml: Array Format List Printf Thr_dfg Thr_iplib

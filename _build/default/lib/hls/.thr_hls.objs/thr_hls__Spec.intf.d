@@ -1,0 +1,1 @@
+lib/hls/spec.mli: Format Thr_dfg Thr_iplib

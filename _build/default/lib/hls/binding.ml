@@ -1,0 +1,78 @@
+module Vendor = Thr_iplib.Vendor
+module Iptype = Thr_iplib.Iptype
+module Catalog = Thr_iplib.Catalog
+
+type t = Vendor.t array
+
+let make spec vendors =
+  if Array.length vendors <> Copy.count spec then
+    invalid_arg "Binding.make: wrong number of vendors";
+  Array.copy vendors
+
+let vendor t idx = t.(idx)
+
+let vendor_of spec t c = t.(Copy.index spec c)
+
+let vendors t = Array.copy t
+
+let licence_of spec t idx =
+  let c = Copy.of_index spec idx in
+  (t.(idx), Spec.iptype_of_op spec c.Copy.op)
+
+let check_types spec t =
+  let problems = ref [] in
+  for idx = 0 to Array.length t - 1 do
+    let v, ty = licence_of spec t idx in
+    if not (Catalog.offers spec.Spec.catalog v ty) then
+      problems :=
+        Format.asprintf "%a bound to %s which does not offer %s" Copy.pp
+          (Copy.of_index spec idx) (Vendor.name v) (Iptype.to_string ty)
+        :: !problems
+  done;
+  List.rev !problems
+
+module LMap = Map.Make (struct
+  type t = int * int (* vendor id, type index *)
+
+  let compare = Stdlib.compare
+end)
+
+let licence_key spec t idx =
+  let v, ty = licence_of spec t idx in
+  (Vendor.id v, Iptype.to_index ty)
+
+let licences spec t =
+  let set =
+    Array.to_seq (Array.init (Array.length t) (licence_key spec t))
+    |> Seq.fold_left (fun acc k -> LMap.add k () acc) LMap.empty
+  in
+  LMap.bindings set
+  |> List.map (fun ((vid, ti), ()) -> (Vendor.make vid, Iptype.of_index ti))
+
+let per_step_counts spec sched t =
+  (* licence -> step -> number of copies *)
+  let counts = ref LMap.empty in
+  for idx = 0 to Array.length t - 1 do
+    let key = licence_key spec t idx in
+    let s = Schedule.step sched idx in
+    let m = match LMap.find_opt key !counts with Some m -> m | None -> [] in
+    let c = match List.assoc_opt s m with Some c -> c | None -> 0 in
+    counts := LMap.add key ((s, c + 1) :: List.remove_assoc s m) !counts
+  done;
+  !counts
+
+let instances spec sched t =
+  LMap.bindings (per_step_counts spec sched t)
+  |> List.map (fun ((vid, ti), per_step) ->
+         let peak = List.fold_left (fun acc (_, c) -> max acc c) 0 per_step in
+         (Vendor.make vid, Iptype.of_index ti, peak))
+
+let instance_assignment spec sched t =
+  (* Within a licence, copies of one step get instances 0, 1, 2, … in
+     index order; peak concurrency instances suffice. *)
+  let next = Hashtbl.create 64 in (* (licence, step) -> next free instance *)
+  Array.init (Array.length t) (fun idx ->
+      let key = (licence_key spec t idx, Schedule.step sched idx) in
+      let inst = match Hashtbl.find_opt next key with Some i -> i | None -> 0 in
+      Hashtbl.replace next key (inst + 1);
+      inst)

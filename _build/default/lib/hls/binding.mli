@@ -1,0 +1,40 @@
+(** Bindings: the vendor chosen for every operation copy.
+
+    A binding maps each copy to the vendor whose IP core executes it; the
+    core's type is determined by the operation's kind.  Concrete instances
+    are not chosen by the optimisers — the minimal instance count of a
+    [(vendor, type)] pair equals its peak per-step concurrency (one core
+    executes at most one operation per cycle, eq. 16), and {!instances}
+    computes exactly that.  {!instance_assignment} then fixes a concrete,
+    deterministic core for every copy, which the run-time engine uses. *)
+
+type t
+
+val make : Spec.t -> Thr_iplib.Vendor.t array -> t
+(** [make spec vendors] wraps an array indexed by {!Copy.index}.
+    @raise Invalid_argument on a length mismatch. *)
+
+val vendor : t -> int -> Thr_iplib.Vendor.t
+(** Vendor of the copy with the given dense index. *)
+
+val vendor_of : Spec.t -> t -> Copy.t -> Thr_iplib.Vendor.t
+
+val vendors : t -> Thr_iplib.Vendor.t array
+(** The underlying array (copy). *)
+
+val check_types : Spec.t -> t -> string list
+(** Copies bound to a vendor that does not offer the required type. *)
+
+val licences : Spec.t -> t -> (Thr_iplib.Vendor.t * Thr_iplib.Iptype.t) list
+(** Distinct [(vendor, type)] licences the binding purchases (the δ of
+    eq. 12), sorted. *)
+
+val instances :
+  Spec.t -> Schedule.t -> t -> (Thr_iplib.Vendor.t * Thr_iplib.Iptype.t * int) list
+(** Minimal number of core instances per licence: the peak number of
+    same-licence copies scheduled in one step. *)
+
+val instance_assignment : Spec.t -> Schedule.t -> t -> int array
+(** A concrete core for every copy: entry [idx] is the instance index
+    (within the copy's licence) executing that copy, consistent with
+    {!instances} — no instance runs two copies in one step. *)

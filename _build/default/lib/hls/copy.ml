@@ -1,0 +1,37 @@
+type phase = NC | RC | RV
+
+type t = { op : int; phase : phase }
+
+let phase_to_string = function NC -> "NC" | RC -> "RC" | RV -> "RV"
+
+let n_ops spec = Thr_dfg.Dfg.n_ops spec.Spec.dfg
+
+let count spec =
+  match spec.Spec.mode with
+  | Spec.Detection_only -> 2 * n_ops spec
+  | Spec.Detection_and_recovery -> 3 * n_ops spec
+
+let index spec { op; phase } =
+  let n = n_ops spec in
+  if op < 0 || op >= n then invalid_arg "Copy.index: op out of range";
+  match (phase, spec.Spec.mode) with
+  | NC, _ -> op
+  | RC, _ -> n + op
+  | RV, Spec.Detection_and_recovery -> (2 * n) + op
+  | RV, Spec.Detection_only ->
+      invalid_arg "Copy.index: RV copy in a detection-only spec"
+
+let of_index spec i =
+  let n = n_ops spec in
+  if i < 0 || i >= count spec then invalid_arg "Copy.of_index: out of range";
+  if i < n then { op = i; phase = NC }
+  else if i < 2 * n then { op = i - n; phase = RC }
+  else { op = i - (2 * n); phase = RV }
+
+let all spec = List.init (count spec) (of_index spec)
+
+let in_detection c = match c.phase with NC | RC -> true | RV -> false
+
+let pp ppf c = Format.fprintf ppf "%s#%d" (phase_to_string c.phase) c.op
+
+let equal a b = a.op = b.op && a.phase = b.phase

@@ -1,0 +1,36 @@
+(** Operation copies.
+
+    Every DFG operation is instantiated once per computation: [NC] (the
+    normal computation) and [RC] (the redundant re-computation) in the
+    detection phase, plus [RV] (the recovery re-execution) when the design
+    includes recovery.  Copies are the unit of scheduling and binding and
+    are indexed densely: [NC i = i], [RC i = n + i], [RV i = 2n + i]. *)
+
+type phase = NC | RC | RV
+
+type t = { op : int; phase : phase }
+
+val phase_to_string : phase -> string
+(** ["NC"], ["RC"], ["RV"]. *)
+
+val count : Spec.t -> int
+(** [2n] for detection-only specs, [3n] otherwise. *)
+
+val index : Spec.t -> t -> int
+(** Dense index of a copy.
+    @raise Invalid_argument if out of range or [RV] in a detection-only
+    spec. *)
+
+val of_index : Spec.t -> int -> t
+(** Inverse of {!index}. *)
+
+val all : Spec.t -> t list
+(** Every copy, in index order. *)
+
+val in_detection : t -> bool
+(** [true] for [NC]/[RC] copies. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["NC#3"]. *)
+
+val equal : t -> t -> bool

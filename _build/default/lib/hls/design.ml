@@ -1,0 +1,92 @@
+module Vendor = Thr_iplib.Vendor
+module Iptype = Thr_iplib.Iptype
+module Catalog = Thr_iplib.Catalog
+
+type t = { spec : Spec.t; schedule : Schedule.t; binding : Binding.t }
+
+let make spec schedule binding = { spec; schedule; binding }
+
+type stats = { u : int; t : int; v : int; mc : int; area : int }
+
+let stats d =
+  let insts = Binding.instances d.spec d.schedule d.binding in
+  let licences = Binding.licences d.spec d.binding in
+  let u = List.fold_left (fun acc (_, _, c) -> acc + c) 0 insts in
+  let t = List.length licences in
+  let v =
+    List.sort_uniq Vendor.compare (List.map fst licences) |> List.length
+  in
+  let mc =
+    List.fold_left
+      (fun acc (vd, ty) -> acc + Catalog.cost d.spec.Spec.catalog vd ty)
+      0 licences
+  in
+  let area =
+    List.fold_left
+      (fun acc (vd, ty, c) -> acc + (c * Catalog.area d.spec.Spec.catalog vd ty))
+      0 insts
+  in
+  { u; t; v; mc; area }
+
+let cost d = (stats d).mc
+
+let licences d = Binding.licences d.spec d.binding
+
+let validate d =
+  let sched_problems = Schedule.check d.spec d.schedule in
+  let type_problems = Binding.check_types d.spec d.binding in
+  let rule_problems =
+    Rules.violations d.spec ~vendor_of:(Binding.vendor d.binding)
+    |> List.map (Format.asprintf "violated: %a" Rules.pp_conflict)
+  in
+  let area_problems =
+    (* stats need every licence priced; skip when types are already wrong *)
+    if type_problems <> [] then []
+    else
+      let { area; _ } = stats d in
+      if area > d.spec.Spec.area_limit then
+        [ Printf.sprintf "area %d exceeds limit %d" area d.spec.Spec.area_limit ]
+      else []
+  in
+  sched_problems @ type_problems @ rule_problems @ area_problems
+
+let is_valid d = validate d = []
+
+let report ppf d =
+  let spec = d.spec in
+  Format.fprintf ppf "%a@." Spec.pp spec;
+  let table =
+    Thr_util.Tablefmt.create
+      ~aligns:[ Thr_util.Tablefmt.Right; Left; Left; Left ]
+      ~header:[ "step"; "copy"; "op"; "core" ] ()
+  in
+  let by_step =
+    List.sort
+      (fun a b ->
+        Stdlib.compare
+          (Schedule.step_of spec d.schedule a)
+          (Schedule.step_of spec d.schedule b))
+      (Copy.all spec)
+  in
+  List.iter
+    (fun c ->
+      let nd = Thr_dfg.Dfg.node spec.Spec.dfg c.Copy.op in
+      let vd = Binding.vendor_of spec d.binding c in
+      let ty = Spec.iptype_of_op spec c.Copy.op in
+      Thr_util.Tablefmt.add_row table
+        [
+          string_of_int (Schedule.step_of spec d.schedule c);
+          Format.asprintf "%a" Copy.pp c;
+          Printf.sprintf "n%d (%s)" c.Copy.op (Thr_dfg.Op.symbol nd.Thr_dfg.Dfg.kind);
+          Printf.sprintf "%s %s" (Vendor.name vd) (Iptype.to_string ty);
+        ])
+    by_step;
+  Thr_util.Tablefmt.pp ppf table;
+  Format.fprintf ppf "licences:@.";
+  List.iter
+    (fun (vd, ty) ->
+      Format.fprintf ppf "  %s %s ($%d)@." (Vendor.name vd) (Iptype.to_string ty)
+        (Catalog.cost spec.Spec.catalog vd ty))
+    (licences d);
+  let s = stats d in
+  Format.fprintf ppf "u=%d t=%d v=%d area=%d mc=$%d@." s.u s.t s.v s.area s.mc

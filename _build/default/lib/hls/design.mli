@@ -1,0 +1,36 @@
+(** Complete designs: a spec plus a schedule and a binding.
+
+    The object the optimisers produce and the run-time engine executes.
+    {!validate} re-checks every constraint of Section 4 independently of
+    how the design was found; {!stats} computes the columns the paper's
+    Tables 3–4 report. *)
+
+type t = { spec : Spec.t; schedule : Schedule.t; binding : Binding.t }
+
+val make : Spec.t -> Schedule.t -> Binding.t -> t
+
+type stats = {
+  u : int;   (** IP-core instances used (Σ ε) *)
+  t : int;   (** licences purchased (Σ δ) *)
+  v : int;   (** distinct vendors used *)
+  mc : int;  (** total licence cost in dollars (eq. 17) *)
+  area : int; (** summed instance area (lhs of eq. 13) *)
+}
+
+val stats : t -> stats
+
+val cost : t -> int
+(** [mc] alone. *)
+
+val validate : t -> string list
+(** All violated constraints: schedule windows and dependences, vendor/type
+    availability, every diversity rule, and the area limit.  Empty iff the
+    design is valid. *)
+
+val is_valid : t -> bool
+
+val licences : t -> (Thr_iplib.Vendor.t * Thr_iplib.Iptype.t) list
+
+val report : Format.formatter -> t -> unit
+(** Multi-line human-readable report: per-step table of scheduled copies
+    with their vendors, then licences and stats. *)

@@ -1,0 +1,148 @@
+module Dfg = Thr_dfg.Dfg
+
+type reason =
+  | R1_detection
+  | R2_parent_child
+  | R2_siblings
+  | R1_recovery
+  | R2_recovery
+
+type conflict = { a : Copy.t; b : Copy.t; reason : reason }
+
+let reason_to_string = function
+  | R1_detection -> "detection rule 1 (NC vs RC)"
+  | R2_parent_child -> "detection rule 2 (parent/child)"
+  | R2_siblings -> "detection rule 2 (co-parents)"
+  | R1_recovery -> "recovery rule 1 (re-bind away from detection)"
+  | R2_recovery -> "recovery rule 2 (closely-related inputs)"
+
+let pp_conflict ppf c =
+  Format.fprintf ppf "%a ~ %a [%s]" Copy.pp c.a Copy.pp c.b
+    (reason_to_string c.reason)
+
+(* Collect conflicts, deduplicating unordered index pairs (first reason in
+   emission order wins, matching the rule order of the paper). *)
+let conflicts spec =
+  let module IS = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let seen = ref IS.empty in
+  let acc = ref [] in
+  let emit a b reason =
+    let ia = Copy.index spec a and ib = Copy.index spec b in
+    let key = (min ia ib, max ia ib) in
+    if ia <> ib && not (IS.mem key !seen) then begin
+      seen := IS.add key !seen;
+      acc := { a; b; reason } :: !acc
+    end
+  in
+  let dfg = spec.Spec.dfg in
+  let n = Dfg.n_ops dfg in
+  let recovery = spec.Spec.mode = Spec.Detection_and_recovery in
+  let detection_phases = [ Copy.NC; Copy.RC ] in
+  let all_phases = if recovery then [ Copy.NC; Copy.RC; Copy.RV ] else detection_phases in
+  (* Rule 1 for detection: NC_i vs RC_i (eq. 5). *)
+  for i = 0 to n - 1 do
+    emit { Copy.op = i; phase = NC } { Copy.op = i; phase = RC } R1_detection
+  done;
+  (* Rule 2 for detection, parent/child (eq. 6, H in {D, D', R}). *)
+  List.iter
+    (fun (i, j) ->
+      List.iter
+        (fun phase ->
+          emit { Copy.op = i; phase } { Copy.op = j; phase } R2_parent_child)
+        all_phases)
+    (Dfg.edges dfg);
+  (* Rule 2 for detection, co-parents (eq. 7: D only in the printed ILP). *)
+  let sibling_phases =
+    match spec.Spec.rule_variant with
+    | Spec.Strict_paper -> [ Copy.NC ]
+    | Spec.Symmetric -> all_phases
+  in
+  List.iter
+    (fun (i, j) ->
+      List.iter
+        (fun phase ->
+          emit { Copy.op = i; phase } { Copy.op = j; phase } R2_siblings)
+        sibling_phases)
+    (Dfg.sibling_pairs dfg);
+  if recovery then begin
+    (* Rule 1 for fast recovery (eq. 8): RV_i away from both detection
+       copies of i. *)
+    for i = 0 to n - 1 do
+      List.iter
+        (fun phase ->
+          emit { Copy.op = i; phase = RV } { Copy.op = i; phase } R1_recovery)
+        detection_phases
+    done;
+    (* Rule 2 for fast recovery (eqs. 9-10): RV copies of an op away from
+       the detection copies of its closely-related partners, symmetrically. *)
+    List.iter
+      (fun (i, j) ->
+        List.iter
+          (fun phase ->
+            emit { Copy.op = i; phase = RV } { Copy.op = j; phase } R2_recovery;
+            emit { Copy.op = j; phase = RV } { Copy.op = i; phase } R2_recovery)
+          detection_phases)
+      spec.Spec.closely_related
+  end;
+  List.rev !acc
+
+let conflict_array spec =
+  List.map
+    (fun c -> (Copy.index spec c.a, Copy.index spec c.b, c.reason))
+    (conflicts spec)
+
+let violations spec ~vendor_of =
+  List.filter
+    (fun c ->
+      Thr_iplib.Vendor.equal
+        (vendor_of (Copy.index spec c.a))
+        (vendor_of (Copy.index spec c.b)))
+    (conflicts spec)
+
+let min_vendors_per_type spec ty =
+  (* Greedy clique in the conflict graph restricted to copies whose op has
+     resource class [ty]; its size lower-bounds the number of distinct
+     vendors of that type. *)
+  let n_copies = Copy.count spec in
+  let of_type idx =
+    Thr_iplib.Iptype.equal (Spec.iptype_of_op spec (Copy.of_index spec idx).Copy.op) ty
+  in
+  let adj = Array.make n_copies [] in
+  List.iter
+    (fun (a, b, _) ->
+      if of_type a && of_type b then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    (conflict_array spec);
+  let vertices =
+    List.filter of_type (List.init n_copies (fun i -> i))
+    |> List.sort (fun a b ->
+           Stdlib.compare (List.length adj.(b)) (List.length adj.(a)))
+  in
+  (* grow a clique greedily from every edge and keep the best; a single
+     greedy pass can miss triangles behind a bad first extension *)
+  let grow seed_a seed_b =
+    let clique = ref [ seed_a; seed_b ] in
+    List.iter
+      (fun v ->
+        if
+          v <> seed_a && v <> seed_b
+          && List.for_all (fun c -> List.mem c adj.(v)) !clique
+        then clique := v :: !clique)
+      vertices;
+    List.length !clique
+  in
+  let best = ref 0 in
+  List.iter
+    (fun v ->
+      if !best = 0 then best := 1;
+      List.iter
+        (fun u -> if u > v then best := max !best (grow v u))
+        adj.(v))
+    vertices;
+  !best

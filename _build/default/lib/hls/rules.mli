@@ -1,0 +1,52 @@
+(** The diversity rules as a conflict graph.
+
+    The four design rules (two for detection from Rajendran et al., two for
+    fast recovery from the paper) all have the same form: a pair of
+    operation copies whose bound IP cores must come from different vendors.
+    This module materialises the full set of such pairs for a spec; every
+    optimiser and checker in the repo works from this one list, so the rule
+    semantics live in exactly one place.
+
+    Mapping to the paper's ILP:
+    - {!constructor:R1_detection}: eq. 5 — [NC_i] vs [RC_i].
+    - {!constructor:R2_parent_child}: eq. 6 for each dependence edge,
+      instantiated separately per computation H ∈ {NC, RC, RV}.
+    - {!constructor:R2_siblings}: eq. 7 — co-parents of a common child;
+      NC only under {!Spec.Strict_paper}, all computations under
+      {!Spec.Symmetric}.
+    - {!constructor:R1_recovery}: eq. 8 — [RV_i] vs both detection copies
+      of [i].
+    - {!constructor:R2_recovery}: eqs. 9–10 — [RV] copies of an operation
+      vs the detection copies of its closely-related partners. *)
+
+type reason =
+  | R1_detection
+  | R2_parent_child
+  | R2_siblings
+  | R1_recovery
+  | R2_recovery
+
+type conflict = { a : Copy.t; b : Copy.t; reason : reason }
+
+val reason_to_string : reason -> string
+
+val conflicts : Spec.t -> conflict list
+(** Every vendor-difference constraint implied by the spec (no duplicate
+    unordered copy pairs; if two rules imply the same pair, the first
+    reason in rule order is kept). *)
+
+val conflict_array : Spec.t -> (int * int * reason) list
+(** Same as {!conflicts} with copies as dense indices ({!Copy.index}). *)
+
+val violations :
+  Spec.t -> vendor_of:(int -> Thr_iplib.Vendor.t) -> conflict list
+(** Conflicts violated by a binding, where [vendor_of] maps a copy index
+    to its bound vendor. *)
+
+val min_vendors_per_type : Spec.t -> Thr_iplib.Iptype.t -> int
+(** A lower bound on how many distinct vendors of the given type any valid
+    design needs: the chromatic lower bound of the conflict graph
+    restricted to copies of that type, computed from a greedily grown
+    clique.  Used to prune the licence search. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,64 @@
+module Dfg = Thr_dfg.Dfg
+
+type t = int array
+
+let make spec steps =
+  if Array.length steps <> Copy.count spec then
+    invalid_arg "Schedule.make: wrong number of steps";
+  Array.copy steps
+
+let step t idx = t.(idx)
+
+let step_of spec t c = t.(Copy.index spec c)
+
+let steps t = Array.copy t
+
+let window spec phase =
+  match phase with
+  | Copy.NC | Copy.RC -> (1, spec.Spec.latency_detect)
+  | Copy.RV ->
+      ( spec.Spec.latency_detect + 1,
+        spec.Spec.latency_detect + spec.Spec.latency_recover )
+
+let check spec t =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun c ->
+      let s = t.(Copy.index spec c) in
+      let lo, hi = window spec c.Copy.phase in
+      if s < lo || s > hi then
+        add "%a scheduled at step %d outside [%d, %d]" Copy.pp c s lo hi)
+    (Copy.all spec);
+  let phases =
+    match spec.Spec.mode with
+    | Spec.Detection_only -> [ Copy.NC; Copy.RC ]
+    | Spec.Detection_and_recovery -> [ Copy.NC; Copy.RC; Copy.RV ]
+  in
+  List.iter
+    (fun (i, j) ->
+      List.iter
+        (fun phase ->
+          let si = t.(Copy.index spec { Copy.op = i; phase }) in
+          let sj = t.(Copy.index spec { Copy.op = j; phase }) in
+          if si >= sj then
+            add "%s: edge n%d -> n%d scheduled %d >= %d"
+              (Copy.phase_to_string phase) i j si sj)
+        phases)
+    (Dfg.edges spec.Spec.dfg);
+  List.rev !problems
+
+let asap spec =
+  let a = Dfg.asap spec.Spec.dfg in
+  Array.init (Copy.count spec) (fun idx ->
+      let c = Copy.of_index spec idx in
+      match c.Copy.phase with
+      | Copy.NC | Copy.RC -> a.(c.Copy.op)
+      | Copy.RV -> spec.Spec.latency_detect + a.(c.Copy.op))
+
+let makespan t = Array.fold_left max 0 t
+
+let pp spec ppf t =
+  List.iter
+    (fun c -> Format.fprintf ppf "%a@step%d " Copy.pp c (t.(Copy.index spec c)))
+    (Copy.all spec)

@@ -1,0 +1,37 @@
+(** Schedules: the control step of every operation copy.
+
+    Steps are 1-based.  Detection-phase copies (NC, RC) must sit in
+    [1 .. latency_detect]; recovery copies in
+    [latency_detect + 1 .. latency_detect + latency_recover], which
+    enforces the paper's phase-order constraints (eqs. 14–15) by
+    construction.  Operations take one step (unit latency). *)
+
+type t
+
+val make : Spec.t -> int array -> t
+(** [make spec steps] wraps an array indexed by {!Copy.index}.
+
+    @raise Invalid_argument on a length mismatch (no semantic checks —
+    use {!check}). *)
+
+val step : t -> int -> int
+(** Step of the copy with the given dense index. *)
+
+val step_of : Spec.t -> t -> Copy.t -> int
+
+val steps : t -> int array
+(** The underlying array (copy). *)
+
+val check : Spec.t -> t -> string list
+(** All violated scheduling constraints (empty iff valid): phase windows
+    and dependence order within each computation. *)
+
+val asap : Spec.t -> t
+(** Every computation scheduled as-soon-as-possible: NC and RC at the
+    DFG's ASAP steps, RV right after the detection phase.  Always passes
+    {!check}. *)
+
+val makespan : t -> int
+(** Largest scheduled step. *)
+
+val pp : Spec.t -> Format.formatter -> t -> unit

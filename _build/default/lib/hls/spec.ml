@@ -1,0 +1,81 @@
+module Dfg = Thr_dfg.Dfg
+module Catalog = Thr_iplib.Catalog
+module Iptype = Thr_iplib.Iptype
+
+type mode = Detection_only | Detection_and_recovery
+
+type rule_variant = Strict_paper | Symmetric
+
+type t = {
+  dfg : Dfg.t;
+  catalog : Catalog.t;
+  mode : mode;
+  latency_detect : int;
+  latency_recover : int;
+  area_limit : int;
+  closely_related : (int * int) list;
+  rule_variant : rule_variant;
+}
+
+let iptype_of_kind = Iptype.of_op
+
+let make ?(mode = Detection_and_recovery) ?latency_recover ?(closely_related = [])
+    ?(rule_variant = Strict_paper) ~dfg ~catalog ~latency_detect ~area_limit () =
+  let cp = Dfg.critical_path dfg in
+  let latency_recover = match latency_recover with Some l -> l | None -> cp in
+  if latency_detect < cp then
+    invalid_arg
+      (Printf.sprintf "Spec.make: latency_detect %d below critical path %d"
+         latency_detect cp);
+  if mode = Detection_and_recovery && latency_recover < cp then
+    invalid_arg
+      (Printf.sprintf "Spec.make: latency_recover %d below critical path %d"
+         latency_recover cp);
+  if area_limit <= 0 then invalid_arg "Spec.make: area limit must be positive";
+  let n = Dfg.n_ops dfg in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || j < 0 || i >= n || j >= n || i = j then
+        invalid_arg "Spec.make: closely-related pair out of range";
+      if not (Thr_dfg.Op.equal (Dfg.kind dfg i) (Dfg.kind dfg j)) then
+        invalid_arg "Spec.make: closely-related pair with mismatched kinds")
+    closely_related;
+  (* every op kind must be purchasable from someone *)
+  Array.iter
+    (fun nd ->
+      let ty = iptype_of_kind nd.Dfg.kind in
+      if Catalog.vendors_offering catalog ty = [] then
+        invalid_arg
+          (Printf.sprintf "Spec.make: no vendor offers %s cores"
+             (Iptype.to_string ty)))
+    (Dfg.nodes dfg);
+  {
+    dfg;
+    catalog;
+    mode;
+    latency_detect;
+    latency_recover;
+    area_limit;
+    closely_related;
+    rule_variant;
+  }
+
+let total_latency t =
+  match t.mode with
+  | Detection_only -> t.latency_detect
+  | Detection_and_recovery -> t.latency_detect + t.latency_recover
+
+let iptype_of_op t i = iptype_of_kind (Dfg.kind t.dfg i)
+
+let pp ppf t =
+  Format.fprintf ppf "spec %s: n=%d mode=%s L_det=%d%s A=%d vendors=%d"
+    (Dfg.name t.dfg) (Dfg.n_ops t.dfg)
+    (match t.mode with
+    | Detection_only -> "detection-only"
+    | Detection_and_recovery -> "detection+recovery")
+    t.latency_detect
+    (match t.mode with
+    | Detection_only -> ""
+    | Detection_and_recovery -> Printf.sprintf " L_rec=%d" t.latency_recover)
+    t.area_limit
+    (Catalog.n_vendors t.catalog)

@@ -1,0 +1,64 @@
+(** Design-problem specification.
+
+    Everything the designer is given in Section 4 of the paper: the DFG to
+    implement, the vendor catalogue, the latency constraints of the two
+    phases, the total area constraint, the closely-related operation pairs,
+    and which variant of the diversity rules to enforce. *)
+
+type mode =
+  | Detection_only
+      (** Rajendran et al. baseline: NC + RC, detection rules only
+          (the designs of the paper's Table 3). *)
+  | Detection_and_recovery
+      (** The paper's contribution: NC + RC plus a re-bound recovery pass
+          (the designs of Table 4). *)
+
+type rule_variant =
+  | Strict_paper
+      (** Exactly the printed ILP: the co-parent constraint (eq. 7) applies
+          to NC copies only. *)
+  | Symmetric
+      (** The co-parent constraint also applied to RC and recovery copies —
+          the natural reading of Rule 2's intent; compared in the ablation
+          bench. *)
+
+type t = {
+  dfg : Thr_dfg.Dfg.t;
+  catalog : Thr_iplib.Catalog.t;
+  mode : mode;
+  latency_detect : int;   (** max steps of the detection phase (NC and RC) *)
+  latency_recover : int;  (** max steps of the recovery phase (ignored when
+                              [mode = Detection_only]) *)
+  area_limit : int;       (** upper bound on summed instance area *)
+  closely_related : (int * int) list;
+      (** same-kind op pairs treated as identical by recovery Rule 2 *)
+  rule_variant : rule_variant;
+}
+
+val make :
+  ?mode:mode ->
+  ?latency_recover:int ->
+  ?closely_related:(int * int) list ->
+  ?rule_variant:rule_variant ->
+  dfg:Thr_dfg.Dfg.t ->
+  catalog:Thr_iplib.Catalog.t ->
+  latency_detect:int ->
+  area_limit:int ->
+  unit ->
+  t
+(** Defaults: [Detection_and_recovery], [latency_recover] = critical path
+    of the DFG, no closely-related pairs, [Strict_paper] rules.
+
+    @raise Invalid_argument if a latency is below the DFG's critical path,
+           the area limit is non-positive, a closely-related pair has
+           mismatched kinds or is out of range, or the catalogue misses a
+           type required by the DFG. *)
+
+val total_latency : t -> int
+(** The tables' λ: [latency_detect] for detection-only designs,
+    [latency_detect + latency_recover] otherwise. *)
+
+val iptype_of_op : t -> int -> Thr_iplib.Iptype.t
+(** Resource class of operation [i]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ilp/enumerate.ml: Array Model Solve

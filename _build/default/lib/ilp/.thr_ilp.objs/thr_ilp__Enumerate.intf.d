@@ -1,0 +1,1 @@
+lib/ilp/enumerate.mli: Model Solve

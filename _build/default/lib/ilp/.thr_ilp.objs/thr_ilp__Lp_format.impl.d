@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Buffer Float Fun Hashtbl List Model Printf String Thr_lp

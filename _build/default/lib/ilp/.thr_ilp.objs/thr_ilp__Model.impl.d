@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Float List Printf Thr_lp

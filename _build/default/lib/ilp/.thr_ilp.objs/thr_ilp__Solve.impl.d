@@ -1,0 +1,1 @@
+lib/ilp/solve.ml: Array Float Format List Model Thr_lp

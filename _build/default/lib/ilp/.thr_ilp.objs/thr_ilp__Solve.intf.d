@@ -1,0 +1,1 @@
+lib/ilp/solve.mli: Format Model

@@ -1,0 +1,12 @@
+(** Exhaustive ILP solving by enumeration.
+
+    A brute-force oracle over the full integer box — exponential, intended
+    only for cross-validating {!Solve} on tiny models in tests and for the
+    solver-ablation bench.
+
+    @raise Invalid_argument if the search space exceeds [2^24] points. *)
+
+val solve : Model.t -> Solve.solution option
+(** The minimum-objective feasible assignment, or [None] if the model is
+    infeasible.  Ties are broken by lexicographically smallest assignment,
+    so the result is deterministic. *)

@@ -1,0 +1,16 @@
+(** CPLEX LP-file export.
+
+    Serialises a {!Model} in the ubiquitous LP text format so the paper's
+    ILP (or any model built here) can be handed to an external solver —
+    the paper's authors used LINGO; CBC, GLPK, Gurobi and CPLEX all read
+    this format.  Variable names are sanitised to the LP character set and
+    deduplicated if needed. *)
+
+val to_string : Model.t -> string
+(** The complete LP document: [Minimize], [Subject To], [Bounds] (only
+    non-0/1 bounds are listed) and [Binary]/[General] sections, ending
+    with [End]. *)
+
+val write : Model.t -> string -> unit
+(** [write m path] writes {!to_string} to a file.
+    @raise Sys_error on IO failure. *)

@@ -1,0 +1,130 @@
+type var = int
+
+type constr = {
+  terms : (float * var) list;
+  rel : Thr_lp.Simplex.relation;
+  rhs : float;
+}
+
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable lo : int list;       (* reversed *)
+  mutable up : int list;       (* reversed *)
+  mutable nv : int;
+  mutable constrs : constr list; (* reversed *)
+  mutable nc : int;
+  mutable objective : (float * var) list;
+  (* caches rebuilt lazily from the reversed lists *)
+  mutable cache_valid : bool;
+  mutable a_names : string array;
+  mutable a_lo : int array;
+  mutable a_up : int array;
+}
+
+let create () =
+  {
+    names = [];
+    lo = [];
+    up = [];
+    nv = 0;
+    constrs = [];
+    nc = 0;
+    objective = [];
+    cache_valid = true;
+    a_names = [||];
+    a_lo = [||];
+    a_up = [||];
+  }
+
+let refresh t =
+  if not t.cache_valid then begin
+    t.a_names <- Array.of_list (List.rev t.names);
+    t.a_lo <- Array.of_list (List.rev t.lo);
+    t.a_up <- Array.of_list (List.rev t.up);
+    t.cache_valid <- true
+  end
+
+let add_int ?name t ~lo ~up =
+  if up < lo then invalid_arg "Model.add_int: up < lo";
+  let v = t.nv in
+  let name = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
+  t.names <- name :: t.names;
+  t.lo <- lo :: t.lo;
+  t.up <- up :: t.up;
+  t.nv <- v + 1;
+  t.cache_valid <- false;
+  v
+
+let add_bool ?name t = add_int ?name t ~lo:0 ~up:1
+
+let n_vars t = t.nv
+
+let n_constraints t = t.nc
+
+let check_var t v =
+  if v < 0 || v >= t.nv then invalid_arg "Model: variable from another model"
+
+let var_name t v =
+  check_var t v;
+  refresh t;
+  t.a_names.(v)
+
+let var_index v = v
+
+let var_of_index t i =
+  check_var t i;
+  i
+
+let var_bounds t v =
+  check_var t v;
+  refresh t;
+  (t.a_lo.(v), t.a_up.(v))
+
+let add_rel t terms rel rhs =
+  List.iter (fun (_, v) -> check_var t v) terms;
+  t.constrs <- { terms; rel; rhs } :: t.constrs;
+  t.nc <- t.nc + 1
+
+let add_le t terms rhs = add_rel t terms Thr_lp.Simplex.Le rhs
+
+let add_ge t terms rhs = add_rel t terms Thr_lp.Simplex.Ge rhs
+
+let add_eq t terms rhs = add_rel t terms Thr_lp.Simplex.Eq rhs
+
+let set_objective t terms =
+  List.iter (fun (_, v) -> check_var t v) terms;
+  t.objective <- terms
+
+let iter_constraints t f =
+  List.iter (fun c -> f c.terms c.rel c.rhs) (List.rev t.constrs)
+
+let objective_terms t = t.objective
+
+let eval_objective t assignment =
+  if Array.length assignment <> t.nv then
+    invalid_arg "Model.eval_objective: assignment size mismatch";
+  List.fold_left
+    (fun acc (c, v) -> acc +. (c *. float_of_int assignment.(v)))
+    0.0 t.objective
+
+let check_assignment t assignment =
+  if Array.length assignment <> t.nv then
+    invalid_arg "Model.check_assignment: assignment size mismatch";
+  refresh t;
+  let in_bounds = ref true in
+  Array.iteri
+    (fun v x -> if x < t.a_lo.(v) || x > t.a_up.(v) then in_bounds := false)
+    assignment;
+  !in_bounds
+  && List.for_all
+       (fun c ->
+         let lhs =
+           List.fold_left
+             (fun acc (co, v) -> acc +. (co *. float_of_int assignment.(v)))
+             0.0 c.terms
+         in
+         match c.rel with
+         | Thr_lp.Simplex.Le -> lhs <= c.rhs +. 1e-6
+         | Thr_lp.Simplex.Ge -> lhs >= c.rhs -. 1e-6
+         | Thr_lp.Simplex.Eq -> Float.abs (lhs -. c.rhs) <= 1e-6)
+       (List.rev t.constrs)

@@ -1,0 +1,58 @@
+(** Integer linear program modelling.
+
+    A thin modelling layer over which the literal paper formulation
+    (eqs. 3–17) is built.  Variables are integers with inclusive bounds;
+    the common case is 0–1.  Constraints and the (minimisation) objective
+    are sparse linear forms with [float] coefficients. *)
+
+type t
+
+type var
+(** An integer decision variable belonging to one model. *)
+
+val create : unit -> t
+
+val add_bool : ?name:string -> t -> var
+(** A 0–1 variable. *)
+
+val add_int : ?name:string -> t -> lo:int -> up:int -> var
+(** A bounded integer variable.  @raise Invalid_argument if [up < lo]. *)
+
+val n_vars : t -> int
+
+val n_constraints : t -> int
+
+val var_name : t -> var -> string
+(** The given name, or ["x<i>"]. *)
+
+val var_index : var -> int
+(** Dense index, stable across the model's lifetime. *)
+
+val var_of_index : t -> int -> var
+(** Inverse of {!var_index}.  @raise Invalid_argument when out of range. *)
+
+val var_bounds : t -> var -> int * int
+
+val add_le : t -> (float * var) list -> float -> unit
+(** [add_le m terms rhs] posts [Σ c·v <= rhs]. *)
+
+val add_ge : t -> (float * var) list -> float -> unit
+
+val add_eq : t -> (float * var) list -> float -> unit
+
+val set_objective : t -> (float * var) list -> unit
+(** Minimisation objective; replaces any previous one. *)
+
+val iter_constraints :
+  t -> ((float * var) list -> Thr_lp.Simplex.relation -> float -> unit) -> unit
+(** Iterate posted constraints in insertion order (used by the solver and
+    by tests that cross-check against exhaustive enumeration). *)
+
+val objective_terms : t -> (float * var) list
+
+val eval_objective : t -> int array -> float
+(** Objective value of a full assignment indexed by {!var_index}. *)
+
+val check_assignment : t -> int array -> bool
+(** Whether a full assignment satisfies every constraint and all variable
+    bounds (tolerance [1e-6]). *)

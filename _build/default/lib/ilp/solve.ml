@@ -1,0 +1,139 @@
+module Simplex = Thr_lp.Simplex
+
+type solution = { objective : float; values : int array }
+
+let value s v = s.values.(Model.var_index v)
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Budget of solution option
+
+type stats = { nodes : int; lp_solves : int }
+
+let pp_outcome ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal (objective %g)" s.objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Budget (Some s) ->
+      Format.fprintf ppf "budget exhausted (incumbent %g)" s.objective
+  | Budget None -> Format.pp_print_string ppf "budget exhausted (no incumbent)"
+
+let build_lp m =
+  let nv = Model.n_vars m in
+  let p = Simplex.create ~n_vars:nv in
+  for v = 0 to nv - 1 do
+    let lo, up = Model.var_bounds m (Model.var_of_index m v) in
+    Simplex.set_bounds p v ~lo:(float_of_int lo) ~up:(float_of_int up)
+  done;
+  Model.iter_constraints m (fun terms rel rhs ->
+      let terms = List.map (fun (c, v) -> (Model.var_index v, c)) terms in
+      Simplex.add_constraint p terms rel rhs);
+  Simplex.set_objective p
+    (List.map (fun (c, v) -> (Model.var_index v, c)) (Model.objective_terms m));
+  p
+
+(* Pick the integer variable whose LP value is farthest from integral,
+   restricted to [filter] when it selects anything fractional. *)
+let most_fractional ~eps ?filter values =
+  let candidate j =
+    match filter with None -> true | Some f -> f.(j)
+  in
+  let scan ~restricted =
+    let best = ref (-1) in
+    let best_frac = ref eps in
+    Array.iteri
+      (fun j v ->
+        if (not restricted) || candidate j then begin
+          let frac = Float.abs (v -. Float.round v) in
+          if frac > !best_frac then begin
+            best := j;
+            best_frac := frac
+          end
+        end)
+      values;
+    !best
+  in
+  match filter with
+  | None -> scan ~restricted:false
+  | Some _ ->
+      let j = scan ~restricted:true in
+      if j >= 0 then j else scan ~restricted:false
+
+let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority m =
+  let nv = Model.n_vars m in
+  let filter =
+    match priority with
+    | None -> None
+    | Some vars ->
+        let f = Array.make nv false in
+        List.iter (fun v -> f.(Model.var_index v) <- true) vars;
+        Some f
+  in
+  let lp = build_lp m in
+  let base_lo = Array.init nv (fun v -> fst (Model.var_bounds m (Model.var_of_index m v))) in
+  let base_up = Array.init nv (fun v -> snd (Model.var_bounds m (Model.var_of_index m v))) in
+  let nodes = ref 0 in
+  let lp_solves = ref 0 in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let hit_budget = ref false in
+  let saw_unbounded = ref false in
+  (* DFS over (lo, up) bound overrides. *)
+  let rec explore lo up =
+    if !nodes >= max_nodes then hit_budget := true
+    else begin
+      incr nodes;
+      for v = 0 to nv - 1 do
+        Simplex.set_bounds lp v ~lo:(float_of_int lo.(v)) ~up:(float_of_int up.(v))
+      done;
+      incr lp_solves;
+      match Simplex.solve lp with
+      | Simplex.Infeasible -> ()
+      | Simplex.Iter_limit -> hit_budget := true
+      | Simplex.Unbounded -> saw_unbounded := true
+      | Simplex.Optimal sol ->
+          if sol.Simplex.objective < !incumbent_obj -. 1e-9 then begin
+            let branch_var = most_fractional ~eps ?filter sol.Simplex.values in
+            if branch_var < 0 then begin
+              (* integral: new incumbent *)
+              let values =
+                Array.map (fun v -> int_of_float (Float.round v)) sol.Simplex.values
+              in
+              let objective = Model.eval_objective m values in
+              if objective < !incumbent_obj -. 1e-9 then begin
+                incumbent := Some { objective; values };
+                incumbent_obj := objective
+              end
+            end
+            else begin
+              let x = sol.Simplex.values.(branch_var) in
+              let fl = int_of_float (floor x) in
+              let down_up = Array.copy up in
+              down_up.(branch_var) <- fl;
+              let up_lo = Array.copy lo in
+              up_lo.(branch_var) <- fl + 1;
+              (* explore the side nearer the fractional value first *)
+              if x -. floor x <= 0.5 then begin
+                explore lo down_up;
+                explore up_lo up
+              end
+              else begin
+                explore up_lo up;
+                explore lo down_up
+              end
+            end
+          end
+    end
+  in
+  explore base_lo base_up;
+  let stats = { nodes = !nodes; lp_solves = !lp_solves } in
+  let outcome =
+    if !hit_budget then Budget !incumbent
+    else
+      match !incumbent with
+      | Some s -> Optimal s
+      | None -> if !saw_unbounded then Unbounded else Infeasible
+  in
+  (outcome, stats)

@@ -1,0 +1,41 @@
+(** Branch-and-bound ILP solver.
+
+    Depth-first branch-and-bound over the LP relaxation solved by
+    {!Thr_lp.Simplex}.  Branching picks the most fractional integer
+    variable; the child closer to the fractional value is explored first.
+    Nodes are pruned against the incumbent with a small tolerance, so with
+    an exhausted search the returned solution is optimal.
+
+    Designed for the literal paper ILP (eqs. 3–17) on small instances — a
+    few hundred binary variables — used to cross-validate the production
+    licence-set search in {!Thr_opt}. *)
+
+type solution = {
+  objective : float;
+  values : int array; (** indexed by {!Model.var_index} *)
+}
+
+val value : solution -> Model.var -> int
+
+type outcome =
+  | Optimal of solution    (** proven optimal *)
+  | Infeasible             (** no integer point satisfies the constraints *)
+  | Unbounded
+  | Budget of solution option
+      (** node budget exhausted; carries the best incumbent found *)
+
+type stats = { nodes : int; lp_solves : int }
+
+val solve :
+  ?max_nodes:int ->
+  ?eps:float ->
+  ?priority:Model.var list ->
+  Model.t ->
+  outcome * stats
+(** [solve m] minimises [m]'s objective.  [max_nodes] (default [100_000])
+    bounds branch-and-bound nodes; [eps] (default [1e-6]) is the
+    integrality tolerance.  When [priority] is given, branching always
+    picks a fractional variable from that list first (most fractional
+    within the list) — useful when a few variables drive the objective. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

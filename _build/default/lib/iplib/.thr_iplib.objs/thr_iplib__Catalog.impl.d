@@ -1,0 +1,1 @@
+lib/iplib/catalog.ml: Iptype List Map Printf Stdlib Thr_util Vendor

@@ -1,0 +1,1 @@
+lib/iplib/catalog.mli: Format Iptype Thr_util Vendor

@@ -1,0 +1,1 @@
+lib/iplib/iptype.ml: Format Stdlib Thr_dfg

@@ -1,0 +1,1 @@
+lib/iplib/iptype.mli: Format Thr_dfg

@@ -1,0 +1,1 @@
+lib/iplib/vendor.ml: Format List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/iplib/vendor.mli: Format

@@ -1,0 +1,171 @@
+type entry = { area : int; cost : int }
+
+module Key = struct
+  type t = int * int (* vendor id, type index *)
+
+  let compare = Stdlib.compare
+end
+
+module KeyMap = Map.Make (Key)
+
+type t = { entries : entry KeyMap.t }
+
+let key v ty = (Vendor.id v, Iptype.to_index ty)
+
+let make rows =
+  if rows = [] then invalid_arg "Catalog.make: empty catalogue";
+  let entries =
+    List.fold_left
+      (fun acc (vid, ty, e) ->
+        if e.area <= 0 || e.cost <= 0 then
+          invalid_arg "Catalog.make: area and cost must be positive";
+        let v = Vendor.make vid in
+        let k = key v ty in
+        if KeyMap.mem k acc then
+          invalid_arg
+            (Printf.sprintf "Catalog.make: duplicate entry for %s %s"
+               (Vendor.name v) (Iptype.to_string ty));
+        KeyMap.add k e acc)
+      KeyMap.empty rows
+  in
+  { entries }
+
+let entry t v ty = KeyMap.find_opt (key v ty) t.entries
+
+let offers t v ty = entry t v ty <> None
+
+let get t v ty what =
+  match entry t v ty with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Catalog.%s: %s does not offer %s" what (Vendor.name v)
+           (Iptype.to_string ty))
+
+let area t v ty = (get t v ty "area").area
+
+let cost t v ty = (get t v ty "cost").cost
+
+let vendors t =
+  KeyMap.fold (fun (vid, _) _ acc -> if List.mem vid acc then acc else vid :: acc)
+    t.entries []
+  |> List.sort Stdlib.compare
+  |> List.map Vendor.make
+
+let n_vendors t = List.length (vendors t)
+
+let types t =
+  List.filter
+    (fun ty -> KeyMap.exists (fun (_, ti) _ -> ti = Iptype.to_index ty) t.entries)
+    Iptype.all
+
+let vendors_offering t ty = List.filter (fun v -> offers t v ty) (vendors t)
+
+let cheapest_vendors t ty =
+  vendors_offering t ty
+  |> List.sort (fun a b ->
+         match Stdlib.compare (cost t a ty) (cost t b ty) with
+         | 0 -> Vendor.compare a b
+         | c -> c)
+
+let min_area t ty =
+  match vendors_offering t ty with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Catalog.min_area: nobody offers %s" (Iptype.to_string ty))
+  | vs -> List.fold_left (fun acc v -> min acc (area t v ty)) max_int vs
+
+(* The paper's Table 1. *)
+let table1 =
+  make
+    [
+      (1, Iptype.Adder, { area = 532; cost = 450 });
+      (1, Iptype.Multiplier, { area = 6843; cost = 950 });
+      (2, Iptype.Adder, { area = 640; cost = 630 });
+      (2, Iptype.Multiplier, { area = 5731; cost = 880 });
+      (3, Iptype.Adder, { area = 763; cost = 540 });
+      (3, Iptype.Multiplier, { area = 6325; cost = 760 });
+      (4, Iptype.Adder, { area = 618; cost = 580 });
+      (4, Iptype.Multiplier, { area = 5937; cost = 1000 });
+    ]
+
+(* Section 5 catalogue: 8 vendors x {adder, multiplier, other}.  Vendors 1-4
+   reuse Table 1 for adders/multipliers; all other figures are deterministic
+   values chosen inside the Table 1 area/price bands. *)
+let eight_vendors =
+  make
+    [
+      (1, Iptype.Adder, { area = 532; cost = 450 });
+      (1, Iptype.Multiplier, { area = 6843; cost = 950 });
+      (1, Iptype.Other_unit, { area = 410; cost = 320 });
+      (2, Iptype.Adder, { area = 640; cost = 630 });
+      (2, Iptype.Multiplier, { area = 5731; cost = 880 });
+      (2, Iptype.Other_unit, { area = 365; cost = 280 });
+      (3, Iptype.Adder, { area = 763; cost = 540 });
+      (3, Iptype.Multiplier, { area = 6325; cost = 760 });
+      (3, Iptype.Other_unit, { area = 428; cost = 350 });
+      (4, Iptype.Adder, { area = 618; cost = 580 });
+      (4, Iptype.Multiplier, { area = 5937; cost = 1000 });
+      (4, Iptype.Other_unit, { area = 390; cost = 240 });
+      (5, Iptype.Adder, { area = 571; cost = 490 });
+      (5, Iptype.Multiplier, { area = 6104; cost = 840 });
+      (5, Iptype.Other_unit, { area = 342; cost = 300 });
+      (6, Iptype.Adder, { area = 702; cost = 520 });
+      (6, Iptype.Multiplier, { area = 6590; cost = 910 });
+      (6, Iptype.Other_unit, { area = 455; cost = 260 });
+      (7, Iptype.Adder, { area = 655; cost = 610 });
+      (7, Iptype.Multiplier, { area = 5842; cost = 800 });
+      (7, Iptype.Other_unit, { area = 377; cost = 330 });
+      (8, Iptype.Adder, { area = 598; cost = 470 });
+      (8, Iptype.Multiplier, { area = 6418; cost = 970 });
+      (8, Iptype.Other_unit, { area = 402; cost = 290 });
+    ]
+
+let random ~prng ~n_vendors =
+  if n_vendors <= 0 then invalid_arg "Catalog.random: need at least one vendor";
+  let band = function
+    | Iptype.Adder -> ((500, 800), (440, 660))
+    | Iptype.Multiplier -> ((5600, 6900), (740, 1020))
+    | Iptype.Other_unit -> ((300, 500), (220, 360))
+  in
+  let rows =
+    List.concat_map
+      (fun vid ->
+        List.map
+          (fun ty ->
+            let (alo, ahi), (clo, chi) = band ty in
+            ( vid,
+              ty,
+              {
+                area = Thr_util.Prng.int_in prng alo ahi;
+                cost = Thr_util.Prng.int_in prng clo chi;
+              } ))
+          Iptype.all)
+      (List.init n_vendors (fun i -> i + 1))
+  in
+  make rows
+
+let pp ppf t =
+  let table =
+    Thr_util.Tablefmt.create
+      ~aligns:[ Thr_util.Tablefmt.Left; Left; Right; Right ]
+      ~header:[ "VENDOR"; "TYPE"; "AREA (unit cell)"; "COST ($)" ]
+      ()
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun ty ->
+          match entry t v ty with
+          | None -> ()
+          | Some e ->
+              Thr_util.Tablefmt.add_row table
+                [
+                  Vendor.name v;
+                  Iptype.to_string ty;
+                  string_of_int e.area;
+                  string_of_int e.cost;
+                ])
+        Iptype.all)
+    (vendors t);
+  Thr_util.Tablefmt.pp ppf table

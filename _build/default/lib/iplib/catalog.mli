@@ -1,0 +1,68 @@
+(** Vendor catalogues: the area and licence cost of each IP-core offering.
+
+    A catalogue lists, per [(vendor, IP type)] pair, the silicon area of one
+    core instance (in unit cells) and the one-time licence fee (in dollars).
+    Following the paper, instantiating additional copies of a licensed core
+    is free; only area accumulates per instance. *)
+
+type entry = { area : int; cost : int }
+
+type t
+
+(** {1 Construction} *)
+
+val make : (int * Iptype.t * entry) list -> t
+(** [make rows] builds a catalogue from [(vendor id, type, entry)] rows.
+
+    @raise Invalid_argument on duplicate [(vendor, type)] pairs, on
+           non-positive area or cost, or on an empty list. *)
+
+val table1 : t
+(** The paper's Table 1: four vendors offering adders and multipliers
+    (used by the Figure 5 motivational example). *)
+
+val eight_vendors : t
+(** The experimental catalogue of Section 5: eight vendors, each offering
+    adders, multipliers and other operators.  Vendors 1–4 reuse the Table 1
+    adder/multiplier figures; the remaining entries are deterministic values
+    in the same area/price band (the paper omits its exact list for space;
+    see DESIGN.md, "Substitutions"). *)
+
+val random : prng:Thr_util.Prng.t -> n_vendors:int -> t
+(** Random catalogue with every vendor offering all three types, areas and
+    costs drawn from the Table 1 bands.  Deterministic given the PRNG
+    state. *)
+
+(** {1 Queries} *)
+
+val vendors : t -> Vendor.t list
+(** All vendors appearing in the catalogue, ascending by id. *)
+
+val n_vendors : t -> int
+
+val types : t -> Iptype.t list
+(** All types offered by at least one vendor. *)
+
+val entry : t -> Vendor.t -> Iptype.t -> entry option
+(** The offering, if this vendor sells this type. *)
+
+val offers : t -> Vendor.t -> Iptype.t -> bool
+
+val area : t -> Vendor.t -> Iptype.t -> int
+(** @raise Invalid_argument if the vendor does not offer the type. *)
+
+val cost : t -> Vendor.t -> Iptype.t -> int
+(** @raise Invalid_argument if the vendor does not offer the type. *)
+
+val vendors_offering : t -> Iptype.t -> Vendor.t list
+(** Vendors selling a given type, ascending by id. *)
+
+val cheapest_vendors : t -> Iptype.t -> Vendor.t list
+(** Vendors selling a given type, ascending by licence cost (ties by id). *)
+
+val min_area : t -> Iptype.t -> int
+(** Smallest instance area available for a type.
+    @raise Invalid_argument if nobody offers the type. *)
+
+val pp : Format.formatter -> t -> unit
+(** Table 1-style rendering. *)

@@ -1,0 +1,33 @@
+type t = Adder | Multiplier | Other_unit
+
+let all = [ Adder; Multiplier; Other_unit ]
+
+let of_op = function
+  | Thr_dfg.Op.Add | Thr_dfg.Op.Sub -> Adder
+  | Thr_dfg.Op.Mul -> Multiplier
+  | Thr_dfg.Op.Lt | Thr_dfg.Op.Shl | Thr_dfg.Op.Shr -> Other_unit
+
+let to_string = function
+  | Adder -> "adder"
+  | Multiplier -> "multiplier"
+  | Other_unit -> "other"
+
+let of_string = function
+  | "adder" -> Some Adder
+  | "multiplier" -> Some Multiplier
+  | "other" -> Some Other_unit
+  | _ -> None
+
+let to_index = function Adder -> 0 | Multiplier -> 1 | Other_unit -> 2
+
+let of_index = function
+  | 0 -> Adder
+  | 1 -> Multiplier
+  | 2 -> Other_unit
+  | _ -> invalid_arg "Iptype.of_index"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b

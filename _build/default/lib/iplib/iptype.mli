@@ -1,0 +1,34 @@
+(** Computational IP-core types.
+
+    The paper's experiments use three types of computational IPs per vendor:
+    multipliers, adders and "other operators".  Every DFG operation kind maps
+    to exactly one IP type, and an operation may only be bound to a core of
+    its type. *)
+
+type t =
+  | Adder       (** performs additions and subtractions *)
+  | Multiplier  (** performs multiplications *)
+  | Other_unit  (** comparators, shifters, and other operators *)
+
+val all : t list
+(** Every type, in declaration order. *)
+
+val of_op : Thr_dfg.Op.kind -> t
+(** Resource class implementing a DFG operation kind. *)
+
+val to_string : t -> string
+(** ["adder"], ["multiplier"], ["other"]. *)
+
+val of_string : string -> t option
+
+val to_index : t -> int
+(** Dense index in [\[0, 3)], consistent with {!all}. *)
+
+val of_index : int -> t
+(** @raise Invalid_argument outside [\[0, 3)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

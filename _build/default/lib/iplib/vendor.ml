@@ -1,0 +1,19 @@
+type t = int
+
+let make id =
+  if id <= 0 then invalid_arg "Vendor.make: id must be positive";
+  id
+
+let id t = t
+
+let name t = Printf.sprintf "Ven %d" t
+
+let range n = List.init n (fun i -> i + 1)
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let hash (t : t) = t

@@ -1,0 +1,27 @@
+(** IP-core vendors.
+
+    A vendor is identified by a positive 1-based id, matching the paper's
+    "Ven 1" … "Ven 8" naming.  Diversity rules only ever compare vendors for
+    equality. *)
+
+type t
+
+val make : int -> t
+(** @raise Invalid_argument on a non-positive id. *)
+
+val id : t -> int
+(** The 1-based id. *)
+
+val name : t -> string
+(** ["Ven 3"] style display name. *)
+
+val range : int -> t list
+(** [range n] is vendors [1 .. n]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int

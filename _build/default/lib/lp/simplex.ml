@@ -1,0 +1,480 @@
+type relation = Le | Ge | Eq
+
+type row = { terms : (int * float) list; rel : relation; rhs : float }
+
+type problem = {
+  nv : int;
+  lo : float array;
+  up : float array;
+  obj : float array;
+  mutable rows : row list; (* reversed *)
+  mutable n_rows : int;
+}
+
+let create ~n_vars =
+  if n_vars <= 0 then invalid_arg "Simplex.create: need at least one variable";
+  {
+    nv = n_vars;
+    lo = Array.make n_vars 0.0;
+    up = Array.make n_vars infinity;
+    obj = Array.make n_vars 0.0;
+    rows = [];
+    n_rows = 0;
+  }
+
+let n_vars p = p.nv
+
+let n_constraints p = p.n_rows
+
+let check_var p j =
+  if j < 0 || j >= p.nv then invalid_arg "Simplex: variable index out of range"
+
+let set_bounds p j ~lo ~up =
+  check_var p j;
+  if Float.is_nan lo || Float.is_nan up then invalid_arg "Simplex.set_bounds: NaN";
+  if not (Float.is_finite lo) then
+    invalid_arg "Simplex.set_bounds: lower bound must be finite";
+  if up < lo then invalid_arg "Simplex.set_bounds: up < lo";
+  p.lo.(j) <- lo;
+  p.up.(j) <- up
+
+let set_objective p terms =
+  Array.fill p.obj 0 p.nv 0.0;
+  List.iter
+    (fun (j, c) ->
+      check_var p j;
+      p.obj.(j) <- p.obj.(j) +. c)
+    terms
+
+let add_constraint p terms rel rhs =
+  List.iter (fun (j, _) -> check_var p j) terms;
+  p.rows <- { terms; rel; rhs } :: p.rows;
+  p.n_rows <- p.n_rows + 1
+
+type solution = { objective : float; values : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded | Iter_limit
+
+let pp_result ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal (objective %g)" s.objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iter_limit -> Format.pp_print_string ppf "iteration limit"
+
+(* ------------------------------------------------------------------ *)
+(* Solver state: full tableau of B^-1 A over all columns (structural +
+   slack + artificial), current basic-variable values, and the reduced
+   cost row for the active objective. *)
+
+type status = Basic of int (* row *) | At_lo | At_up
+
+type state = {
+  m : int;                 (* rows *)
+  ncols : int;             (* total columns *)
+  tab : float array array; (* m x ncols, equals B^-1 A *)
+  xb : float array;        (* current value of the basic var of each row *)
+  basis : int array;       (* column basic in each row *)
+  status : status array;   (* per column *)
+  slo : float array;       (* per-column lower bounds *)
+  sup : float array;       (* per-column upper bounds *)
+  zrow : float array;      (* reduced costs for active objective *)
+  cost : float array;      (* active objective *)
+  n_art : int;             (* artificials live in the last n_art columns *)
+}
+
+let nonbasic_value st j =
+  match st.status.(j) with
+  | At_lo -> st.slo.(j)
+  | At_up -> st.sup.(j)
+  | Basic r -> st.xb.(r)
+
+let recompute_zrow st =
+  for j = 0 to st.ncols - 1 do
+    st.zrow.(j) <- st.cost.(j)
+  done;
+  for i = 0 to st.m - 1 do
+    let cb = st.cost.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let row = st.tab.(i) in
+      for j = 0 to st.ncols - 1 do
+        st.zrow.(j) <- st.zrow.(j) -. (cb *. row.(j))
+      done
+    end
+  done;
+  (* exact zeros on basic columns avoid spurious re-entering *)
+  Array.iter (fun b -> st.zrow.(b) <- 0.0) st.basis
+
+(* Price: choose an entering column.  Dantzig rule by default, Bland's
+   (first eligible index) when [bland].  [allow] filters columns. *)
+let price st ~eps ~bland ~allow =
+  let best = ref (-1) in
+  let best_score = ref eps in
+  let found_bland = ref (-1) in
+  (try
+     for j = 0 to st.ncols - 1 do
+       if allow j then
+         match st.status.(j) with
+         | Basic _ -> ()
+         | At_lo ->
+             if st.zrow.(j) < -.eps then
+               if bland then begin
+                 found_bland := j;
+                 raise Exit
+               end
+               else if -.st.zrow.(j) > !best_score then begin
+                 best := j;
+                 best_score := -.st.zrow.(j)
+               end
+         | At_up ->
+             if st.zrow.(j) > eps then
+               if bland then begin
+                 found_bland := j;
+                 raise Exit
+               end
+               else if st.zrow.(j) > !best_score then begin
+                 best := j;
+                 best_score := st.zrow.(j)
+               end
+     done
+   with Exit -> ());
+  if bland then !found_bland else !best
+
+type step = Moved of float (* objective progress *) | No_entering | Unbounded_dir
+
+let pivot_tol = 1e-9
+
+(* One simplex step.  Returns the amount the entering variable moved (0.0
+   for a degenerate pivot). *)
+let simplex_step st ~eps ~bland ~allow =
+  let e = price st ~eps ~bland ~allow in
+  if e < 0 then No_entering
+  else begin
+    let d = match st.status.(e) with At_up -> -1.0 | At_lo | Basic _ -> 1.0 in
+    (* x_B(i) moves at rate_i = -d * tab(i,e) per unit of t >= 0 *)
+    let t_limit = ref (st.sup.(e) -. st.slo.(e)) in
+    let leaving = ref (-1) in
+    let leaving_to_up = ref false in
+    for i = 0 to st.m - 1 do
+      let coef = st.tab.(i).(e) in
+      if Float.abs coef > pivot_tol then begin
+        let rate = -.d *. coef in
+        let b = st.basis.(i) in
+        if rate > pivot_tol && Float.is_finite st.sup.(b) then begin
+          let t = (st.sup.(b) -. st.xb.(i)) /. rate in
+          if t < !t_limit -. 1e-12 then begin
+            t_limit := max t 0.0;
+            leaving := i;
+            leaving_to_up := true
+          end
+        end
+        else if rate < -.pivot_tol then begin
+          let t = (st.slo.(b) -. st.xb.(i)) /. rate in
+          if t < !t_limit -. 1e-12 then begin
+            t_limit := max t 0.0;
+            leaving := i;
+            leaving_to_up := false
+          end
+        end
+      end
+    done;
+    if Float.is_finite !t_limit then begin
+      let t = max !t_limit 0.0 in
+      (* update basic values *)
+      for i = 0 to st.m - 1 do
+        let coef = st.tab.(i).(e) in
+        if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (d *. t *. coef)
+      done;
+      if !leaving < 0 then begin
+        (* bound flip of the entering variable *)
+        st.status.(e) <- (match st.status.(e) with At_lo -> At_up | _ -> At_lo);
+        Moved t
+      end
+      else begin
+        let r = !leaving in
+        let out = st.basis.(r) in
+        let enter_value =
+          (match st.status.(e) with At_up -> st.sup.(e) | _ -> st.slo.(e)) +. (d *. t)
+        in
+        (* Gauss-Jordan pivot on (r, e) *)
+        let prow = st.tab.(r) in
+        let piv = prow.(e) in
+        for j = 0 to st.ncols - 1 do
+          prow.(j) <- prow.(j) /. piv
+        done;
+        for i = 0 to st.m - 1 do
+          if i <> r then begin
+            let f = st.tab.(i).(e) in
+            if f <> 0.0 then begin
+              let row = st.tab.(i) in
+              for j = 0 to st.ncols - 1 do
+                row.(j) <- row.(j) -. (f *. prow.(j))
+              done
+            end
+          end
+        done;
+        let zf = st.zrow.(e) in
+        if zf <> 0.0 then
+          for j = 0 to st.ncols - 1 do
+            st.zrow.(j) <- st.zrow.(j) -. (zf *. prow.(j))
+          done;
+        st.zrow.(e) <- 0.0;
+        st.basis.(r) <- e;
+        st.status.(e) <- Basic r;
+        st.status.(out) <- (if !leaving_to_up then At_up else At_lo);
+        st.xb.(r) <- enter_value;
+        Moved t
+      end
+    end
+    else Unbounded_dir
+  end
+
+(* Run simplex to optimality for the active objective. *)
+let optimize st ~eps ~allow iters_left =
+  let degenerate_run = ref 0 in
+  let bland = ref false in
+  let rec loop () =
+    if !iters_left <= 0 then `Iter_limit
+    else begin
+      decr iters_left;
+      match simplex_step st ~eps ~bland:!bland ~allow with
+      | No_entering -> `Optimal
+      | Unbounded_dir -> `Unbounded
+      | Moved t ->
+          if t <= 1e-12 then begin
+            incr degenerate_run;
+            if !degenerate_run > 2 * (st.m + st.ncols) then bland := true
+          end
+          else begin
+            degenerate_run := 0;
+            bland := false
+          end;
+          loop ()
+    end
+  in
+  loop ()
+
+let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
+  let rows = Array.of_list (List.rev p.rows) in
+  let m = Array.length rows in
+  let n_slack =
+    Array.fold_left
+      (fun acc r -> match r.rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let art0 = p.nv + n_slack in
+  (* Crash basis: at the all-lower-bound point, a row whose slack value is
+     already nonnegative uses its slack as the basic variable; only the
+     remaining rows (equalities and violated inequalities) get an
+     artificial column.  When no artificials are needed, phase 1 is
+     skipped entirely. *)
+  let slack_of = Array.make m (-1) in
+  let slack_idx = ref p.nv in
+  Array.iteri
+    (fun i r ->
+      match r.rel with
+      | Le | Ge ->
+          slack_of.(i) <- !slack_idx;
+          incr slack_idx
+      | Eq -> ())
+    rows;
+  let residual = Array.make m 0.0 in
+  Array.iteri
+    (fun i r ->
+      let s = ref r.rhs in
+      List.iter (fun (j, c) -> s := !s -. (c *. p.lo.(j))) r.terms;
+      residual.(i) <- !s)
+    rows;
+  let needs_artificial i =
+    match rows.(i).rel with
+    | Le -> residual.(i) < 0.0
+    | Ge -> residual.(i) > 0.0
+    | Eq -> true
+  in
+  let art_of = Array.make m (-1) in
+  let n_art = ref 0 in
+  for i = 0 to m - 1 do
+    if needs_artificial i then begin
+      art_of.(i) <- art0 + !n_art;
+      incr n_art
+    end
+  done;
+  let n_art = !n_art in
+  let ncols = art0 + n_art in
+  let dense = Array.make_matrix m ncols 0.0 in
+  let slo = Array.make ncols 0.0 in
+  let sup = Array.make ncols infinity in
+  Array.blit p.lo 0 slo 0 p.nv;
+  Array.blit p.up 0 sup 0 p.nv;
+  Array.iteri
+    (fun i r -> List.iter (fun (j, c) -> dense.(i).(j) <- dense.(i).(j) +. c) r.terms)
+    rows;
+  Array.iteri
+    (fun i r ->
+      match r.rel with
+      | Le -> dense.(i).(slack_of.(i)) <- 1.0
+      | Ge -> dense.(i).(slack_of.(i)) <- -1.0
+      | Eq -> ())
+    rows;
+  let status = Array.make ncols At_lo in
+  let basis = Array.make (max m 1) 0 in
+  let xb = Array.make (max m 1) 0.0 in
+  for i = 0 to m - 1 do
+    if art_of.(i) >= 0 then begin
+      (* flip the row if needed so the artificial starts nonnegative *)
+      if residual.(i) < 0.0 then begin
+        for j = 0 to ncols - 1 do
+          dense.(i).(j) <- -.dense.(i).(j)
+        done;
+        residual.(i) <- -.residual.(i)
+      end;
+      dense.(i).(art_of.(i)) <- 1.0;
+      basis.(i) <- art_of.(i);
+      xb.(i) <- residual.(i)
+    end
+    else begin
+      (* slack-basic row; Ge rows are negated so the slack coefficient
+         becomes +1 and its starting value -residual >= 0 *)
+      (match rows.(i).rel with
+      | Le -> xb.(i) <- residual.(i)
+      | Ge ->
+          for j = 0 to ncols - 1 do
+            dense.(i).(j) <- -.dense.(i).(j)
+          done;
+          xb.(i) <- -.residual.(i)
+      | Eq -> assert false);
+      basis.(i) <- slack_of.(i)
+    end
+  done;
+  Array.iteri (fun i b -> if i < m then status.(b) <- Basic i) basis;
+  let st =
+    {
+      m;
+      ncols;
+      tab = dense;
+      xb;
+      basis;
+      status;
+      slo;
+      sup;
+      zrow = Array.make ncols 0.0;
+      cost = Array.make ncols 0.0;
+      n_art;
+    }
+  in
+  let iters_left = ref max_iters in
+  let structural_value j = nonbasic_value st j in
+  let final_solution () =
+    let values = Array.init p.nv structural_value in
+    (* clamp tiny numerical drift back into bounds *)
+    Array.iteri
+      (fun j v ->
+        let v = if v < p.lo.(j) then p.lo.(j) else v in
+        let v = if Float.is_finite p.up.(j) && v > p.up.(j) then p.up.(j) else v in
+        values.(j) <- v)
+      values;
+    let objective = ref 0.0 in
+    for j = 0 to p.nv - 1 do
+      objective := !objective +. (p.obj.(j) *. values.(j))
+    done;
+    Optimal { objective = !objective; values }
+  in
+  if m = 0 then begin
+    (* No constraints: each variable sits at whichever bound minimises. *)
+    let values =
+      Array.init p.nv (fun j ->
+          if p.obj.(j) < 0.0 then p.up.(j) else p.lo.(j))
+    in
+    if Array.exists (fun v -> not (Float.is_finite v)) values then Unbounded
+    else begin
+      let objective = ref 0.0 in
+      Array.iteri (fun j v -> objective := !objective +. (p.obj.(j) *. v)) values;
+      Optimal { objective = !objective; values }
+    end
+  end
+  else begin
+    (* Phase 1 — skipped when the crash basis is already feasible *)
+    let phase1 =
+      if n_art = 0 then `Optimal
+      else begin
+        for j = 0 to ncols - 1 do
+          st.cost.(j) <- (if j >= art0 then 1.0 else 0.0)
+        done;
+        recompute_zrow st;
+        optimize st ~eps ~allow:(fun _ -> true) iters_left
+      end
+    in
+    match phase1 with
+    | `Iter_limit -> Iter_limit
+    | `Unbounded ->
+        (* phase-1 objective is bounded below by 0; cannot happen *)
+        Infeasible
+    | `Optimal ->
+        let art_sum = ref 0.0 in
+        for i = 0 to m - 1 do
+          if st.basis.(i) >= art0 then art_sum := !art_sum +. Float.abs st.xb.(i)
+        done;
+        Array.iteri
+          (fun j s ->
+            if j >= art0 then
+              match s with
+              | At_up -> art_sum := !art_sum +. Float.abs st.sup.(j)
+              | At_lo | Basic _ -> ())
+          st.status;
+        if !art_sum > eps *. 100.0 then Infeasible
+        else begin
+          (* Pin artificials to zero and drive basic ones out if possible. *)
+          for j = art0 to ncols - 1 do
+            st.sup.(j) <- 0.0;
+            match st.status.(j) with At_up -> st.status.(j) <- At_lo | _ -> ()
+          done;
+          for i = 0 to m - 1 do
+            if st.basis.(i) >= art0 then begin
+              (* find a structural/slack column with nonzero tableau entry *)
+              let j = ref 0 in
+              let found = ref (-1) in
+              while !found < 0 && !j < art0 do
+                (match st.status.(!j) with
+                | Basic _ -> ()
+                | At_lo | At_up ->
+                    if Float.abs st.tab.(i).(!j) > 1e-6 then found := !j);
+                incr j
+              done;
+              match !found with
+              | -1 -> () (* redundant row; artificial stays basic at 0 *)
+              | e ->
+                  let out = st.basis.(i) in
+                  let prow = st.tab.(i) in
+                  let piv = prow.(e) in
+                  for j2 = 0 to ncols - 1 do
+                    prow.(j2) <- prow.(j2) /. piv
+                  done;
+                  for i2 = 0 to m - 1 do
+                    if i2 <> i then begin
+                      let f = st.tab.(i2).(e) in
+                      if f <> 0.0 then begin
+                        let row = st.tab.(i2) in
+                        for j2 = 0 to ncols - 1 do
+                          row.(j2) <- row.(j2) -. (f *. prow.(j2))
+                        done
+                      end
+                    end
+                  done;
+                  let entering_value = nonbasic_value st e in
+                  st.basis.(i) <- e;
+                  st.status.(e) <- Basic i;
+                  st.status.(out) <- At_lo;
+                  st.xb.(i) <- entering_value
+            end
+          done;
+          (* Phase 2 *)
+          for j = 0 to ncols - 1 do
+            st.cost.(j) <- (if j < p.nv then p.obj.(j) else 0.0)
+          done;
+          recompute_zrow st;
+          let allow j = j < art0 in
+          match optimize st ~eps ~allow iters_left with
+          | `Iter_limit -> Iter_limit
+          | `Unbounded -> Unbounded
+          | `Optimal -> final_solution ()
+        end
+  end

@@ -1,0 +1,55 @@
+(** Dense bounded-variable linear programming.
+
+    A two-phase primal simplex over variables with explicit bounds
+    [l_j <= x_j <= u_j] (finite lower bound required, upper bound may be
+    infinite).  This is the LP relaxation engine under the 0–1 ILP
+    branch-and-bound in {!Thr_ilp}; problem sizes there are a few hundred
+    rows and columns, for which a dense tableau is simple and fast enough.
+
+    Minimisation only; negate the objective for maximisation.
+    Anti-cycling: Dantzig pricing with a fallback to Bland's rule after a
+    run of degenerate pivots. *)
+
+type relation = Le | Ge | Eq
+
+type problem
+(** Mutable problem under construction. *)
+
+val create : n_vars:int -> problem
+(** Variables [x_0 .. x_(n_vars-1)], each defaulting to bounds [\[0, ∞)] and
+    objective coefficient [0]. *)
+
+val n_vars : problem -> int
+
+val n_constraints : problem -> int
+
+val set_bounds : problem -> int -> lo:float -> up:float -> unit
+(** @raise Invalid_argument if [lo] is infinite or NaN, [up < lo], or the
+    variable index is out of range. *)
+
+val set_objective : problem -> (int * float) list -> unit
+(** Sparse minimisation objective; unmentioned variables keep coefficient
+    [0].  Replaces any previous objective. *)
+
+val add_constraint : problem -> (int * float) list -> relation -> float -> unit
+(** [add_constraint p terms rel rhs] adds [Σ c_i·x_i rel rhs].  Repeated
+    variable indices within [terms] are summed. *)
+
+type solution = {
+  objective : float;
+  values : float array;  (** one value per variable, within bounds *)
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit  (** iteration cap hit before convergence *)
+
+val solve : ?eps:float -> ?max_iters:int -> problem -> result
+(** Solve the current problem.  [eps] (default [1e-7]) is the feasibility
+    and pricing tolerance; [max_iters] (default [200_000]) bounds total
+    pivots across both phases.  The problem may be solved again after
+    further [add_constraint]/[set_bounds] calls. *)
+
+val pp_result : Format.formatter -> result -> unit

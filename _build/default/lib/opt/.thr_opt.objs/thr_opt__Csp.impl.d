@@ -1,0 +1,1 @@
+lib/opt/csp.ml: Array Instance List Stdlib Thr_dfg Thr_hls

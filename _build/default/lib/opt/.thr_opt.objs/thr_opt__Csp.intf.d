@@ -1,0 +1,1 @@
+lib/opt/csp.mli: Instance Thr_hls

@@ -1,0 +1,1 @@
+lib/opt/endurance.ml: Array List Option Printf Stdlib Thr_dfg Thr_hls Thr_iplib

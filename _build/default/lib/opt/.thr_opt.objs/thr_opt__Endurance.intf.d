@@ -1,0 +1,1 @@
+lib/opt/endurance.mli: Thr_hls Thr_iplib

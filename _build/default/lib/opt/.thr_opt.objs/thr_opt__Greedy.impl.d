@@ -1,0 +1,1 @@
+lib/opt/greedy.ml: Array Instance List Thr_hls

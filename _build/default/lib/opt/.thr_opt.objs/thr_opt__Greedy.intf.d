@@ -1,0 +1,1 @@
+lib/opt/greedy.mli: Thr_hls

@@ -1,0 +1,1 @@
+lib/opt/ilp_formulation.ml: Array Instance List Printf Thr_dfg Thr_hls Thr_ilp Thr_iplib

@@ -1,0 +1,1 @@
+lib/opt/ilp_formulation.mli: Thr_hls Thr_ilp

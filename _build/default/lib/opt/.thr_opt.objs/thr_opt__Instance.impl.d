@@ -1,0 +1,1 @@
+lib/opt/instance.ml: Array List Thr_dfg Thr_hls Thr_iplib

@@ -1,0 +1,1 @@
+lib/opt/instance.mli: Thr_hls Thr_iplib

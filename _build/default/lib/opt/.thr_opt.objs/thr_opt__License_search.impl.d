@@ -1,0 +1,1 @@
+lib/opt/license_search.ml: Array Csp Format Hashtbl Instance List Stdlib Sys Thr_hls Thr_iplib Thr_util

@@ -1,0 +1,1 @@
+lib/opt/license_search.mli: Format Thr_hls

@@ -1,0 +1,1 @@
+lib/opt/pareto.ml: Format License_search List Printf Stdlib Thr_dfg Thr_hls

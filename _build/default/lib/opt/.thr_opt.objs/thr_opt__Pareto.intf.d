@@ -1,0 +1,1 @@
+lib/opt/pareto.mli: Format Thr_dfg Thr_hls Thr_iplib

@@ -1,0 +1,117 @@
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Dfg = Thr_dfg.Dfg
+module Vendor = Thr_iplib.Vendor
+module Iptype = Thr_iplib.Iptype
+
+type report = { rounds : int; bottleneck_op : int option }
+
+(* One recovery round: assign each op a vendor from [pool.(op)] (vendors
+   purchased for its type minus its history) with parent/child ops on
+   different vendors.  Complete backtracking; ops ordered smallest pool
+   first. *)
+let find_round dfg pools =
+  let n = Dfg.n_ops dfg in
+  let order =
+    List.sort
+      (fun a b -> Stdlib.compare (List.length pools.(a)) (List.length pools.(b)))
+      (List.init n (fun i -> i))
+  in
+  let chosen = Array.make n None in
+  let conflicts i =
+    List.rev_append (Dfg.preds dfg i) (Dfg.succs dfg i)
+  in
+  let rec go = function
+    | [] -> true
+    | op :: rest ->
+        List.exists
+          (fun v ->
+            let clash =
+              List.exists
+                (fun j ->
+                  match chosen.(j) with
+                  | Some v' -> Vendor.equal v v'
+                  | None -> false)
+                (conflicts op)
+            in
+            if clash then false
+            else begin
+              chosen.(op) <- Some v;
+              let ok = go rest in
+              if not ok then chosen.(op) <- None;
+              ok
+            end)
+          pools.(op)
+  in
+  if go order then Some (Array.map Option.get chosen) else None
+
+let analyse ?(limit = 8) ?(extra_licences = []) design =
+  (match Design.validate design with
+  | [] -> ()
+  | problems ->
+      invalid_arg
+        (Printf.sprintf "Endurance.analyse: invalid design (%s)" (List.hd problems)));
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let n = Dfg.n_ops dfg in
+  let licences = Binding.licences spec design.Design.binding @ extra_licences in
+  let purchased_for op =
+    let ty = Spec.iptype_of_op spec op in
+    List.filter_map
+      (fun (v, ty') -> if Iptype.equal ty ty' then Some v else None)
+      licences
+    |> List.sort_uniq Vendor.compare
+  in
+  (* vendor history per op: every phase the design already executes *)
+  let history = Array.make n [] in
+  List.iter
+    (fun c ->
+      let v = Binding.vendor_of spec design.Design.binding c in
+      if not (List.exists (Vendor.equal v) history.(c.Copy.op)) then
+        history.(c.Copy.op) <- v :: history.(c.Copy.op))
+    (Copy.all spec);
+  (* closely-related partners share history (Rule 2 for recovery) *)
+  let partners = Array.make n [] in
+  List.iter
+    (fun (i, j) ->
+      partners.(i) <- j :: partners.(i);
+      partners.(j) <- i :: partners.(j))
+    spec.Spec.closely_related;
+  let forbidden op =
+    List.concat (history.(op) :: List.map (fun p -> history.(p)) partners.(op))
+  in
+  let rounds = ref 0 in
+  let bottleneck = ref None in
+  let exhausted = ref false in
+  while (not !exhausted) && !rounds < limit do
+    let pools =
+      Array.init n (fun op ->
+          let bad = forbidden op in
+          List.filter
+            (fun v -> not (List.exists (Vendor.equal v) bad))
+            (purchased_for op))
+    in
+    (* remember the emptiest pool as the bottleneck diagnosis *)
+    let min_op = ref 0 in
+    Array.iteri
+      (fun op pool ->
+        if List.length pool < List.length pools.(!min_op) then min_op := op)
+      pools;
+    match find_round dfg pools with
+    | None ->
+        bottleneck := Some !min_op;
+        exhausted := true
+    | Some assignment ->
+        incr rounds;
+        Array.iteri
+          (fun op v ->
+            if not (List.exists (Vendor.equal v) history.(op)) then
+              history.(op) <- v :: history.(op))
+          assignment
+  done;
+  { rounds = !rounds; bottleneck_op = !bottleneck }
+
+let rounds_supported ?limit ?extra_licences design =
+  (analyse ?limit ?extra_licences design).rounds

@@ -1,0 +1,49 @@
+(** Recovery endurance: how many successive re-bindings a design supports.
+
+    The paper's recovery re-binds every operation away from its two
+    detection vendors and notes that infected mission-critical parts must
+    "continue working correctly until they can be replaced".  If a second
+    Trojan activates during recovered operation, the same argument calls
+    for a {e second} re-binding, again to vendors never used for that
+    operation before — and so on until the purchased licences run out.
+
+    This module measures that head-room: starting from a valid design, it
+    greedily constructs recovery rounds 2, 3, … where each operation takes
+    a vendor (among the licences the design already purchased) distinct
+    from {e every} vendor that executed it in any earlier phase or round,
+    while parent/child operations stay on different vendors within the
+    round (the paper's eq. 6 applied to each recovery computation) and
+    closely-related partners' histories are avoided too (Rule 2 for
+    recovery, accumulated).  Scheduling and area need no re-check: each
+    extra round reuses the recovery phase's schedule on the same core
+    instances.
+
+    A round is found by complete backtracking over the purchased vendors,
+    so [rounds_supported] is exact for the given licence set. *)
+
+type report = {
+  rounds : int;
+      (** additional recovery rounds beyond the design's built-in one;
+          a detection-only design reports the rounds from 1 *)
+  bottleneck_op : int option;
+      (** an operation whose vendor pool was exhausted first *)
+}
+
+val analyse :
+  ?limit:int ->
+  ?extra_licences:(Thr_iplib.Vendor.t * Thr_iplib.Iptype.t) list ->
+  Thr_hls.Design.t ->
+  report
+(** Count additional rounds, up to [limit] (default 8).  [extra_licences]
+    models spares the designer buys beyond the optimiser's minimum
+    specifically for field endurance — they join every matching
+    operation's vendor pool.
+
+    @raise Invalid_argument on an invalid design. *)
+
+val rounds_supported :
+  ?limit:int ->
+  ?extra_licences:(Thr_iplib.Vendor.t * Thr_iplib.Iptype.t) list ->
+  Thr_hls.Design.t ->
+  int
+(** [(analyse d).rounds]. *)

@@ -1,0 +1,62 @@
+module Spec = Thr_hls.Spec
+module Schedule = Thr_hls.Schedule
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+
+let n_types = 3
+
+let run spec =
+  let inst = Instance.make spec in
+  let n = inst.Instance.n_copies in
+  let nv = inst.Instance.n_vendors in
+  let sched = Schedule.asap spec in
+  let steps = Schedule.steps sched in
+  let vend = Array.make n (-1) in
+  let usage = Array.make_matrix (nv * n_types) (Spec.total_latency spec + 1) 0 in
+  let peak = Array.make (nv * n_types) 0 in
+  let area = ref 0 in
+  let licensed = Array.make (nv * n_types) false in
+  let ok = ref true in
+  for idx = 0 to n - 1 do
+    if !ok then begin
+      let ti = inst.Instance.type_of_copy.(idx) in
+      let s = steps.(idx) in
+      let forbidden =
+        List.fold_left
+          (fun acc u -> if vend.(u) >= 0 then acc lor (1 lsl vend.(u)) else acc)
+          0
+          inst.Instance.conflicts.(idx)
+      in
+      (* candidate vendors scored by (new licence cost, marginal area) *)
+      let best = ref None in
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) && forbidden land (1 lsl k) = 0 then begin
+          let lic = (k * n_types) + ti in
+          let licence_cost = if licensed.(lic) then 0 else inst.Instance.cost.(k).(ti) in
+          let marginal =
+            if usage.(lic).(s) + 1 > peak.(lic) then inst.Instance.area.(k).(ti) else 0
+          in
+          if !area + marginal <= spec.Spec.area_limit then
+            let key = (licence_cost, marginal, k) in
+            match !best with
+            | Some (bk, _) when bk <= key -> ()
+            | _ -> best := Some (key, k)
+        end
+      done;
+      match !best with
+      | None -> ok := false
+      | Some ((_, marginal, _), k) ->
+          let lic = (k * n_types) + ti in
+          vend.(idx) <- k;
+          licensed.(lic) <- true;
+          usage.(lic).(s) <- usage.(lic).(s) + 1;
+          if usage.(lic).(s) > peak.(lic) then peak.(lic) <- usage.(lic).(s);
+          area := !area + marginal
+    end
+  done;
+  if not !ok then None
+  else begin
+    let vendors = Array.map (fun k -> inst.Instance.vendors.(k)) vend in
+    let design = Design.make spec sched (Binding.make spec vendors) in
+    if Design.is_valid design then Some design else None
+  end

@@ -1,0 +1,10 @@
+(** Greedy baseline optimiser.
+
+    A fast, incomplete heuristic used as the ablation reference and as an
+    upper bound: ASAP scheduling, then first-fit vendor colouring in copy
+    order, preferring vendors whose licence is already purchased and whose
+    marginal area is smallest, buying the cheapest admissible new licence
+    otherwise.  May fail where the CSP succeeds (returns [None]); never
+    returns an invalid design. *)
+
+val run : Thr_hls.Spec.t -> Thr_hls.Design.t option

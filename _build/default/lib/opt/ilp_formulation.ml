@@ -1,0 +1,250 @@
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Rules = Thr_hls.Rules
+module Schedule = Thr_hls.Schedule
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Model = Thr_ilp.Model
+module Solve = Thr_ilp.Solve
+
+type t = {
+  model : Model.t;
+  spec : Spec.t;
+  max_instances : int;
+  read_design : Solve.solution -> Design.t;
+  priority_vars : Model.var list;
+}
+
+let n_types = 3
+
+(* Variables exist only for steps inside the copy's phase window tightened
+   by ASAP/ALAP, for vendors offering the copy's type, and for instances
+   m < max_instances.  H.(copy).(step).(vendor).(m) is the paper's
+   D/D'/R_{i,l,k,m} depending on the copy's phase. *)
+let build ?(max_instances = 2) spec =
+  let inst = Instance.make spec in
+  let m_cap = max_instances in
+  let model = Model.create () in
+  let nv = inst.Instance.n_vendors in
+  let dfg = spec.Spec.dfg in
+  let asap = Thr_dfg.Dfg.asap dfg in
+  let alap_det = Thr_dfg.Dfg.alap dfg ~latency:spec.Spec.latency_detect in
+  let alap_rec =
+    match spec.Spec.mode with
+    | Spec.Detection_only -> [||]
+    | Spec.Detection_and_recovery ->
+        Thr_dfg.Dfg.alap dfg ~latency:spec.Spec.latency_recover
+  in
+  let window idx =
+    let c = Copy.of_index spec idx in
+    match c.Copy.phase with
+    | Copy.NC | Copy.RC -> (asap.(c.Copy.op), alap_det.(c.Copy.op))
+    | Copy.RV ->
+        ( spec.Spec.latency_detect + asap.(c.Copy.op),
+          spec.Spec.latency_detect + alap_rec.(c.Copy.op) )
+  in
+  let n_copies = inst.Instance.n_copies in
+  (* h.(idx) : (step * vendor * m * var) list *)
+  let h = Array.make n_copies [] in
+  for idx = 0 to n_copies - 1 do
+    let ti = inst.Instance.type_of_copy.(idx) in
+    let lo, hi = window idx in
+    let vars = ref [] in
+    for s = lo to hi do
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then
+          for m = 0 to m_cap - 1 do
+            let name = Printf.sprintf "H_%d_%d_%d_%d" idx s k m in
+            vars := (s, k, m, Model.add_bool ~name model) :: !vars
+          done
+      done
+    done;
+    h.(idx) <- List.rev !vars
+  done;
+  (* epsilon.(k * n_types + ti).(m), delta.(k * n_types + ti) *)
+  let eps = Array.make_matrix (nv * n_types) m_cap None in
+  let delta = Array.make (nv * n_types) None in
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then begin
+          let lic = (k * n_types) + ti in
+          delta.(lic) <-
+            Some (Model.add_bool ~name:(Printf.sprintf "delta_%d_%d" k ti) model);
+          for m = 0 to m_cap - 1 do
+            eps.(lic).(m) <-
+              Some
+                (Model.add_bool ~name:(Printf.sprintf "eps_%d_%d_%d" k ti m) model)
+          done
+        end
+      done)
+    inst.Instance.types_used;
+  let some = function Some v -> v | None -> assert false in
+  (* (3): each copy scheduled exactly once *)
+  for idx = 0 to n_copies - 1 do
+    Model.add_eq model (List.map (fun (_, _, _, v) -> (1.0, v)) h.(idx)) 1.0
+  done;
+  (* (4): dependency order within each computation *)
+  Array.iteri
+    (fun idx succs ->
+      List.iter
+        (fun jdx ->
+          (* step(idx) + 1 <= step(jdx) *)
+          let terms =
+            List.map (fun (s, _, _, v) -> (float_of_int s, v)) h.(idx)
+            @ List.map (fun (s, _, _, v) -> (-.float_of_int s, v)) h.(jdx)
+          in
+          Model.add_le model terms (-1.0))
+        succs)
+    inst.Instance.succs;
+  (* (5)-(10): every diversity rule is a pairwise vendor-difference
+     constraint, uniformly: for each conflicting pair (a, b) and each
+     vendor k, sum of a's and b's variables on k is at most 1. *)
+  List.iter
+    (fun (a, b, _) ->
+      for k = 0 to nv - 1 do
+        let terms =
+          List.filter_map
+            (fun (_, k', _, v) -> if k' = k then Some (1.0, v) else None)
+            h.(a)
+          @ List.filter_map
+              (fun (_, k', _, v) -> if k' = k then Some (1.0, v) else None)
+              h.(b)
+        in
+        if terms <> [] then Model.add_le model terms 1.0
+      done)
+    (Rules.conflict_array spec);
+  (* (11) + (16) merged: one operation per instance per step, and an
+     occupied instance forces its ε — Σ_i H_{i,l,k,m} ≤ ε(k,t,m) per
+     (l, k, t, m).  (12) is then the chain δ(k,t) ≥ ε(k,t,0) together with
+     the ε symmetry-breaking rows below; this aggregation is equivalent on
+     integer points and much tighter in the LP relaxation than the paper's
+     big-M form. *)
+  let total_steps = Spec.total_latency spec in
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then
+          for m = 0 to m_cap - 1 do
+            for s = 1 to total_steps do
+              let terms = ref [] in
+              for idx = 0 to n_copies - 1 do
+                if inst.Instance.type_of_copy.(idx) = ti then
+                  List.iter
+                    (fun (s', k', m', v) ->
+                      if s' = s && k' = k && m' = m then terms := (1.0, v) :: !terms)
+                    h.(idx)
+              done;
+              if !terms <> [] then begin
+                let lic = (k * n_types) + ti in
+                Model.add_le model
+                  ((-1.0, some eps.(lic).(m)) :: !terms)
+                  0.0
+              end
+            done
+          done
+      done)
+    inst.Instance.types_used;
+  (* (12): δ(k,t) ≥ ε(k,t,0); with the symmetry rows ε(m+1) ≤ ε(m) this
+     forces the licence indicator whenever any instance is used *)
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then begin
+          let lic = (k * n_types) + ti in
+          Model.add_le model
+            [ (1.0, some eps.(lic).(0)); (-1.0, some delta.(lic)) ]
+            0.0
+        end
+      done)
+    inst.Instance.types_used;
+  (* (13): area over epsilon *)
+  let area_terms = ref [] in
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then
+          for m = 0 to m_cap - 1 do
+            area_terms :=
+              (float_of_int inst.Instance.area.(k).(ti), some eps.((k * n_types) + ti).(m))
+              :: !area_terms
+          done
+      done)
+    inst.Instance.types_used;
+  Model.add_le model !area_terms (float_of_int spec.Spec.area_limit);
+  (* instance symmetry breaking: eps m is used before m+1 *)
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then
+          for m = 0 to m_cap - 2 do
+            let lic = (k * n_types) + ti in
+            Model.add_le model
+              [ (1.0, some eps.(lic).(m + 1)); (-1.0, some eps.(lic).(m)) ]
+              0.0
+          done
+      done)
+    inst.Instance.types_used;
+  (* valid clique cuts: at least [min_vendors_per_type] licences of each
+     used type (implied by the diversity rules; strengthens the LP bound) *)
+  List.iter
+    (fun ti ->
+      let bound = Rules.min_vendors_per_type spec (Thr_iplib.Iptype.of_index ti) in
+      if bound > 0 then begin
+        let terms = ref [] in
+        for k = 0 to nv - 1 do
+          if inst.Instance.offers.(k).(ti) then
+            terms := (1.0, some delta.((k * n_types) + ti)) :: !terms
+        done;
+        Model.add_ge model !terms (float_of_int bound)
+      end)
+    inst.Instance.types_used;
+  (* (17): objective *)
+  let obj = ref [] in
+  List.iter
+    (fun ti ->
+      for k = 0 to nv - 1 do
+        if inst.Instance.offers.(k).(ti) then
+          obj :=
+            (float_of_int inst.Instance.cost.(k).(ti), some delta.((k * n_types) + ti))
+            :: !obj
+      done)
+    inst.Instance.types_used;
+  Model.set_objective model !obj;
+  let read_design sol =
+    let steps = Array.make n_copies 1 in
+    let vendors = Array.make n_copies inst.Instance.vendors.(0) in
+    for idx = 0 to n_copies - 1 do
+      List.iter
+        (fun (s, k, _, v) ->
+          if Solve.value sol v = 1 then begin
+            steps.(idx) <- s;
+            vendors.(idx) <- inst.Instance.vendors.(k)
+          end)
+        h.(idx)
+    done;
+    Design.make spec (Schedule.make spec steps) (Binding.make spec vendors)
+  in
+  let priority_vars =
+    List.concat_map
+      (fun ti ->
+        List.filter_map
+          (fun k -> delta.((k * n_types) + ti))
+          (List.init nv (fun k -> k)))
+      inst.Instance.types_used
+  in
+  { model; spec; max_instances = m_cap; read_design; priority_vars }
+
+type outcome =
+  | Optimal of Design.t
+  | Infeasible
+  | Budget of Design.t option
+
+let solve ?max_instances ?(max_nodes = 200_000) spec =
+  let t = build ?max_instances spec in
+  match Solve.solve ~max_nodes ~priority:t.priority_vars t.model with
+  | Solve.Optimal sol, _ -> Optimal (t.read_design sol)
+  | Solve.Infeasible, _ -> Infeasible
+  | Solve.Unbounded, _ -> assert false (* objective is a sum of 0-1 costs *)
+  | Solve.Budget (Some sol), _ -> Budget (Some (t.read_design sol))
+  | Solve.Budget None, _ -> Budget None

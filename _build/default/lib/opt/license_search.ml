@@ -1,0 +1,230 @@
+module Spec = Thr_hls.Spec
+module Rules = Thr_hls.Rules
+module Design = Thr_hls.Design
+module Iptype = Thr_iplib.Iptype
+module Pqueue = Thr_util.Pqueue
+
+type quality = Proven_optimal | Incumbent
+
+type outcome =
+  | Solved of { design : Design.t; quality : quality }
+  | No_design of { proven : bool }
+
+type stats = { candidates : int; csp_nodes : int; unknowns : int }
+
+let pp_outcome ppf = function
+  | Solved { design; quality } ->
+      let s = Design.stats design in
+      Format.fprintf ppf "mc=$%d%s (u=%d t=%d v=%d)" s.Design.mc
+        (match quality with Proven_optimal -> "" | Incumbent -> "*")
+        s.Design.u s.Design.t s.Design.v
+  | No_design { proven } ->
+      Format.fprintf ppf "no design%s" (if proven then "" else " (budget)")
+
+(* Per-type candidate: a vendor subset as a bitmask with its summed cost. *)
+type subset = { mask : int; subset_cost : int }
+
+let subsets_for_type inst ~min_vendors ti =
+  let nv = inst.Instance.n_vendors in
+  let offering =
+    List.filter (fun k -> inst.Instance.offers.(k).(ti)) (List.init nv (fun i -> i))
+  in
+  let rec all_masks = function
+    | [] -> [ { mask = 0; subset_cost = 0 } ]
+    | k :: rest ->
+        let tail = all_masks rest in
+        tail
+        @ List.map
+            (fun s ->
+              {
+                mask = s.mask lor (1 lsl k);
+                subset_cost = s.subset_cost + inst.Instance.cost.(k).(ti);
+              })
+            tail
+  in
+  all_masks offering
+  |> List.filter (fun s ->
+         let size =
+           let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
+           pop s.mask 0
+         in
+         size >= min_vendors)
+  |> List.sort (fun a b -> Stdlib.compare (a.subset_cost, a.mask) (b.subset_cost, b.mask))
+  |> Array.of_list
+
+(* Size-vector relaxation.  Whether a licence set can be feasible depends
+   heavily on just the *number* of vendors per type: same-type diversity
+   constraints only compare vendor identities within a type, and cross-type
+   constraints can only get easier when the per-type sets are disjoint.  So
+   a size vector (s_add, s_mul, s_other) is tested once against a synthetic
+   catalogue of disjoint vendor groups with the cheapest real instance
+   areas; if even that relaxation is infeasible, every concrete tuple with
+   those sizes is infeasible and is pruned without running the CSP. *)
+module Relax = struct
+  module Catalog = Thr_iplib.Catalog
+  module Csp_ = Csp
+
+  type t = {
+    inst : Instance.t;
+    group : int array array; (* group.(t_slot).(i) = dense vendor index *)
+    cache : (int list, bool) Hashtbl.t;
+    per_call_nodes : int;
+  }
+
+  let group_size = 8
+
+  let make spec (types : int array) per_call_nodes =
+    let n_groups = Array.length types in
+    let real_min_area ti =
+      Catalog.min_area spec.Spec.catalog (Iptype.of_index ti)
+    in
+    let rows = ref [] in
+    Array.iteri
+      (fun slot ti ->
+        for i = 0 to group_size - 1 do
+          let vid = (slot * group_size) + i + 1 in
+          rows :=
+            ( vid,
+              Iptype.of_index ti,
+              { Catalog.area = real_min_area ti; cost = 1 } )
+            :: !rows
+        done)
+      types;
+    ignore n_groups;
+    let catalog = Catalog.make !rows in
+    let relaxed_spec = { spec with Spec.catalog } in
+    let inst = Instance.make relaxed_spec in
+    let group =
+      Array.mapi
+        (fun slot _ti ->
+          Array.init group_size (fun i ->
+              Instance.vendor_index inst
+                (Thr_iplib.Vendor.make ((slot * group_size) + i + 1))))
+        types
+    in
+    { inst; group; cache = Hashtbl.create 64; per_call_nodes }
+
+  (* sizes.(slot) vendors allowed for the slot's type, disjoint groups *)
+  let feasible t (types : int array) sizes =
+    let key = Array.to_list sizes in
+    match Hashtbl.find_opt t.cache key with
+    | Some r -> r
+    | None ->
+        let allowed = Array.make_matrix t.inst.Instance.n_vendors 3 false in
+        Array.iteri
+          (fun slot ti ->
+            let s = min sizes.(slot) group_size in
+            for i = 0 to s - 1 do
+              allowed.(t.group.(slot).(i)).(ti) <- true
+            done)
+          types;
+        let verdict, _ =
+          Csp_.solve ~max_nodes:t.per_call_nodes t.inst ~allowed
+        in
+        (* Unknown must be treated as possibly feasible *)
+        let r = verdict <> Csp_.Infeasible in
+        Hashtbl.add t.cache key r;
+        r
+end
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit spec =
+  let inst = Instance.make spec in
+  let types = Array.of_list inst.Instance.types_used in
+  let per_type =
+    Array.map
+      (fun ti ->
+        let bound = Rules.min_vendors_per_type spec (Iptype.of_index ti) in
+        subsets_for_type inst ~min_vendors:bound ti)
+      types
+  in
+  let n_t = Array.length types in
+  let exists_empty = Array.exists (fun a -> Array.length a = 0) per_type in
+  let candidates = ref 0 in
+  let csp_nodes = ref 0 in
+  let unknowns = ref 0 in
+  if exists_empty || n_t = 0 then
+    ( (if n_t = 0 then No_design { proven = true } (* no ops — cannot happen, DFG non-empty *)
+       else No_design { proven = true }),
+      { candidates = 0; csp_nodes = 0; unknowns = 0 } )
+  else begin
+    let cost_of tuple =
+      let c = ref 0 in
+      Array.iteri (fun t i -> c := !c + per_type.(t).(i).subset_cost) tuple;
+      !c
+    in
+    let queue = Pqueue.create () in
+    let visited = Hashtbl.create 256 in
+    let push tuple =
+      let key = Array.to_list tuple in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        Pqueue.push queue (cost_of tuple) tuple
+      end
+    in
+    push (Array.make n_t 0);
+    let allowed_of tuple =
+      let allowed = Array.make_matrix inst.Instance.n_vendors 3 false in
+      Array.iteri
+        (fun t i ->
+          let ti = types.(t) in
+          let mask = per_type.(t).(i).mask in
+          for k = 0 to inst.Instance.n_vendors - 1 do
+            if mask land (1 lsl k) <> 0 then allowed.(k).(ti) <- true
+          done)
+        tuple;
+      allowed
+    in
+    let relax = Relax.make spec types per_call_nodes in
+    let size_vector tuple =
+      Array.mapi (fun t i -> popcount per_type.(t).(i).mask) tuple
+    in
+    let result = ref None in
+    let budget_out = ref false in
+    let started = Sys.time () in
+    let out_of_time () =
+      match time_limit with
+      | None -> false
+      | Some limit -> Sys.time () -. started > limit
+    in
+    while !result = None && not (Pqueue.is_empty queue) && not !budget_out do
+      match Pqueue.pop queue with
+      | None -> ()
+      | Some (_, tuple) ->
+          incr candidates;
+          if !candidates > max_candidates || out_of_time () then budget_out := true
+          else begin
+            if Relax.feasible relax types (size_vector tuple) then begin
+              let allowed = allowed_of tuple in
+              let verdict, st = Csp.solve ~max_nodes:per_call_nodes inst ~allowed in
+              csp_nodes := !csp_nodes + st.Csp.nodes;
+              match verdict with
+              | Csp.Feasible (sched, binding) ->
+                  let design = Design.make spec sched binding in
+                  let quality = if !unknowns = 0 then Proven_optimal else Incumbent in
+                  result := Some (Solved { design; quality })
+              | Csp.Infeasible -> ()
+              | Csp.Unknown -> incr unknowns
+            end;
+            (* successors: grow one type's subset to the next cost *)
+            if !result = None then
+              Array.iteri
+                (fun t i ->
+                  if i + 1 < Array.length per_type.(t) then begin
+                    let succ = Array.copy tuple in
+                    succ.(t) <- i + 1;
+                    push succ
+                  end)
+                tuple
+          end
+    done;
+    let outcome =
+      match !result with
+      | Some o -> o
+      | None -> No_design { proven = (!unknowns = 0) && not !budget_out }
+    in
+    (outcome, { candidates = !candidates; csp_nodes = !csp_nodes; unknowns = !unknowns })
+  end

@@ -1,0 +1,45 @@
+(** Minimum-cost licence search (the production optimiser).
+
+    The objective (eq. 17) only depends on which [(vendor, type)] licences
+    are purchased, and the licence cost decomposes per type.  The search
+    therefore enumerates, per IP type, the vendor subsets that pass the
+    clique lower bound of {!Thr_hls.Rules.min_vendors_per_type}, sorted by
+    cost; combinations across types are explored cheapest-first with a
+    priority queue, and each candidate licence set is tested by the
+    complete CSP oracle ({!Csp}).
+
+    The first feasible candidate is a minimum-cost design, {e provided} no
+    cheaper candidate ended {!Csp.Unknown}; in that case (or when the
+    candidate budget runs out) the result is an incumbent marked like the
+    paper's ["*"] rows. *)
+
+type quality =
+  | Proven_optimal
+  | Incumbent  (** a cheaper candidate hit the search budget — the paper's
+                   ["*"] annotation *)
+
+type outcome =
+  | Solved of { design : Thr_hls.Design.t; quality : quality }
+  | No_design of { proven : bool }
+      (** no feasible licence set; [proven] is false when some candidate
+          ended [Unknown] or the candidate budget ran out *)
+
+type stats = {
+  candidates : int;     (** licence sets popped from the queue *)
+  csp_nodes : int;      (** total CSP assignments across candidates *)
+  unknowns : int;       (** candidates whose CSP hit its node budget *)
+}
+
+val search :
+  ?per_call_nodes:int ->
+  ?max_candidates:int ->
+  ?time_limit:float ->
+  Thr_hls.Spec.t ->
+  outcome * stats
+(** [per_call_nodes] (default [200_000]) is each CSP call's budget;
+    [max_candidates] (default [200_000]) bounds popped licence sets;
+    [time_limit] (CPU seconds, default none) stops the search early — the
+    same role as the paper's one-hour LINGO cap, and like there a result
+    cut short is reported as an incumbent/unproven. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

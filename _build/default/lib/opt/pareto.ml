@@ -1,0 +1,91 @@
+module Spec = Thr_hls.Spec
+module Design = Thr_hls.Design
+module Dfg = Thr_dfg.Dfg
+
+type point = {
+  latency_detect : int;
+  latency_recover : int;
+  area_limit : int;
+  mc : int option;
+  proven : bool;
+  u : int;
+  t : int;
+  v : int;
+}
+
+let total_latency p = p.latency_detect + p.latency_recover
+
+let pp_point ppf p =
+  Format.fprintf ppf "λ=%d(%d+%d) A=%d %s" (total_latency p) p.latency_detect
+    p.latency_recover p.area_limit
+    (match p.mc with
+    | Some mc -> Printf.sprintf "$%d%s" mc (if p.proven then "" else "*")
+    | None -> "infeasible")
+
+let sweep ?(mode = Spec.Detection_and_recovery) ?per_call_nodes ?max_candidates
+    ~dfg ~catalog ~latencies ~area_limits () =
+  let cp = Dfg.critical_path dfg in
+  let solve_point latency area_limit =
+    let latency_detect, latency_recover =
+      match mode with
+      | Spec.Detection_only -> (latency, 0)
+      | Spec.Detection_and_recovery -> (latency - cp, cp)
+    in
+    if latency_detect < cp then
+      invalid_arg
+        (Printf.sprintf "Pareto.sweep: latency %d too small (critical path %d)"
+           latency cp);
+    let spec =
+      Spec.make ~mode ~dfg ~catalog ~latency_detect
+        ~latency_recover:(max latency_recover cp) ~area_limit ()
+    in
+    match License_search.search ?per_call_nodes ?max_candidates spec with
+    | License_search.Solved { design; quality }, _ ->
+        let s = Design.stats design in
+        {
+          latency_detect;
+          latency_recover = (match mode with Spec.Detection_only -> 0 | _ -> latency_recover);
+          area_limit;
+          mc = Some s.Design.mc;
+          proven = (quality = License_search.Proven_optimal);
+          u = s.Design.u;
+          t = s.Design.t;
+          v = s.Design.v;
+        }
+    | License_search.No_design { proven }, _ ->
+        {
+          latency_detect;
+          latency_recover = (match mode with Spec.Detection_only -> 0 | _ -> latency_recover);
+          area_limit;
+          mc = None;
+          proven;
+          u = 0;
+          t = 0;
+          v = 0;
+        }
+  in
+  List.concat_map
+    (fun l -> List.map (fun a -> solve_point l a) area_limits)
+    latencies
+
+let dominates a b =
+  (* both feasible; a no worse everywhere, strictly better somewhere *)
+  match (a.mc, b.mc) with
+  | Some ca, Some cb ->
+      total_latency a <= total_latency b
+      && a.area_limit <= b.area_limit
+      && ca <= cb
+      && (total_latency a < total_latency b
+         || a.area_limit < b.area_limit
+         || ca < cb)
+  | _ -> false
+
+let frontier points =
+  let feasible = List.filter (fun p -> p.mc <> None) points in
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) feasible))
+    feasible
+  |> List.sort (fun a b ->
+         Stdlib.compare
+           (total_latency a, a.area_limit, a.mc)
+           (total_latency b, b.area_limit, b.mc))

@@ -1,0 +1,43 @@
+(** Cost / latency / area trade-off exploration.
+
+    The paper's tables sample two (λ, A) points per benchmark; a designer
+    shopping for constraints wants the whole frontier.  This module sweeps
+    a grid of latency and area constraints, solves each point with the
+    licence search, and extracts the Pareto-optimal set under
+    (total latency, area budget, licence cost). *)
+
+type point = {
+  latency_detect : int;
+  latency_recover : int;  (** 0 in detection-only sweeps *)
+  area_limit : int;
+  mc : int option;        (** minimum cost, [None] when infeasible *)
+  proven : bool;          (** optimality proven (no search budget hit) *)
+  u : int;
+  t : int;
+  v : int;
+}
+
+val total_latency : point -> int
+
+val sweep :
+  ?mode:Thr_hls.Spec.mode ->
+  ?per_call_nodes:int ->
+  ?max_candidates:int ->
+  dfg:Thr_dfg.Dfg.t ->
+  catalog:Thr_iplib.Catalog.t ->
+  latencies:int list ->
+  area_limits:int list ->
+  unit ->
+  point list
+(** Solve every (latency, area) combination.  For
+    [Detection_and_recovery] (the default) each latency [l] is split as
+    detection [l - cp], recovery [cp] (the paper's Fig. 5 split), so every
+    [l] must be at least twice the DFG's critical path; for
+    [Detection_only] the whole [l] is the detection window. *)
+
+val frontier : point list -> point list
+(** The feasible points not dominated by any other: a point dominates
+    another when it is no worse on total latency, area budget and cost,
+    and strictly better on at least one.  Sorted by total latency. *)
+
+val pp_point : Format.formatter -> point -> unit

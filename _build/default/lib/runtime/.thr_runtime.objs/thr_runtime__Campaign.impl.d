@@ -1,0 +1,1 @@
+lib/runtime/campaign.ml: Array Engine Format List Stdlib Thr_dfg Thr_hls Thr_iplib Thr_trojan Thr_util

@@ -1,0 +1,1 @@
+lib/runtime/campaign.mli: Format Thr_hls Thr_util

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Hashtbl List Printf Stdlib Thr_dfg Thr_hls Thr_iplib Thr_trojan

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Thr_dfg Thr_hls Thr_iplib Thr_trojan

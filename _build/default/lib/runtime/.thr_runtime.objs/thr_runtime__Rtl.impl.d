@@ -1,0 +1,1 @@
+lib/runtime/rtl.ml: Array Engine Hashtbl List Printf Stdlib Thr_dfg Thr_gates Thr_hls Thr_iplib Thr_trojan

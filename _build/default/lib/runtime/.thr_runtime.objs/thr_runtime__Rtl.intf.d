@@ -1,0 +1,1 @@
+lib/runtime/rtl.mli: Engine Thr_dfg Thr_gates Thr_hls

@@ -1,0 +1,178 @@
+module Dfg = Thr_dfg.Dfg
+module Eval = Thr_dfg.Eval
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Trojan = Thr_trojan.Trojan
+module Prng = Thr_util.Prng
+
+type config = {
+  n_runs : int;
+  sequential_ratio : float;
+  latched_ratio : float;
+  mask : int;
+  input_lo : int;
+  input_hi : int;
+}
+
+let default_config =
+  {
+    n_runs = 200;
+    sequential_ratio = 0.2;
+    latched_ratio = 0.1;
+    mask = 0xFFFF;
+    input_lo = 1;
+    input_hi = 1000;
+  }
+
+type result = {
+  runs : int;
+  activated : int;
+  detected : int;
+  rebind_recovered : int;
+  naive_recovered : int;
+  latched_runs : int;
+  latched_recovered : int;
+  mean_detection_latency : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "runs=%d activated=%d detected=%d rebind_recovered=%d naive_recovered=%d \
+     latched=%d/%d mean_latency=%.2f"
+    r.runs r.activated r.detected r.rebind_recovered r.naive_recovered
+    r.latched_recovered r.latched_runs r.mean_detection_latency
+
+let random_env config prng dfg =
+  List.map
+    (fun nm -> (nm, Prng.int_in prng config.input_lo config.input_hi))
+    (Dfg.inputs dfg)
+
+(* The operand stream (step order) of the core instance executing NC copy
+   [idx], under a clean run — used to pick sequential-trigger thresholds. *)
+let instance_stream design env idx =
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let golden = Eval.run dfg env in
+  let assignment =
+    Binding.instance_assignment spec design.Design.schedule design.Design.binding
+  in
+  let key_of i =
+    let c = Copy.of_index spec i in
+    ( Thr_iplib.Vendor.id (Binding.vendor design.Design.binding i),
+      Thr_iplib.Iptype.to_index (Spec.iptype_of_op spec c.Copy.op),
+      assignment.(i) )
+  in
+  let target = key_of idx in
+  let detection_copies =
+    List.filter
+      (fun i -> Copy.in_detection (Copy.of_index spec i) && key_of i = target)
+      (List.init (Copy.count spec) (fun i -> i))
+    |> List.sort (fun a b ->
+           Stdlib.compare
+             (Thr_hls.Schedule.step design.Design.schedule a, a)
+             (Thr_hls.Schedule.step design.Design.schedule b, b))
+  in
+  List.map
+    (fun i ->
+      let c = Copy.of_index spec i in
+      (i, Eval.operand_values dfg env golden c.Copy.op))
+    detection_copies
+
+(* Longest run of consecutive stream entries whose masked operands all
+   equal the masked operands of the stream entry for [idx]. *)
+let consecutive_matches stream mask idx =
+  match List.assoc_opt idx stream with
+  | None -> 0
+  | Some (a0, b0) ->
+      let pa = a0 land mask and pb = b0 land mask in
+      let best = ref 0 and cur = ref 0 in
+      List.iter
+        (fun (_, (a, b)) ->
+          if a land mask = pa && b land mask = pb then begin
+            incr cur;
+            if !cur > !best then best := !cur
+          end
+          else cur := 0)
+        stream;
+      !best
+
+let run ?(config = default_config) ~prng design =
+  let spec = design.Design.spec in
+  if spec.Spec.mode <> Spec.Detection_and_recovery then
+    invalid_arg "Campaign.run: design must include recovery";
+  let dfg = spec.Spec.dfg in
+  let n = Dfg.n_ops dfg in
+  let activated = ref 0 in
+  let detected = ref 0 in
+  let rebind_recovered = ref 0 in
+  let naive_recovered = ref 0 in
+  let latched_runs = ref 0 in
+  let latched_recovered = ref 0 in
+  let latency_sum = ref 0 in
+  let latency_count = ref 0 in
+  for _ = 1 to config.n_runs do
+    let env = random_env config prng dfg in
+    let golden = Eval.run dfg env in
+    (* adversarial trigger: match the operands an NC operation really sees *)
+    let op = Prng.int prng n in
+    let nc_idx = Copy.index spec { Copy.op; phase = Copy.NC } in
+    let a, b = Eval.operand_values dfg env golden op in
+    let a_pattern = a land config.mask and b_pattern = b land config.mask in
+    let sequential = Prng.float prng 1.0 < config.sequential_ratio in
+    let trigger =
+      if sequential then begin
+        let stream = instance_stream design env nc_idx in
+        let best = consecutive_matches stream config.mask nc_idx in
+        let threshold = max 1 (min best 3) in
+        Trojan.Sequential
+          { a_pattern; b_pattern; mask = config.mask; threshold }
+      end
+      else Trojan.Combinational { a_pattern; b_pattern; mask = config.mask }
+    in
+    let latched = Prng.float prng 1.0 < config.latched_ratio in
+    let payload_mask = 1 + Prng.int prng 0xFFFF in
+    let payload =
+      if latched then Trojan.Latched payload_mask else Trojan.Xor_offset payload_mask
+    in
+    let trojan = Trojan.make trigger payload in
+    let injection =
+      {
+        Engine.inj_vendor = Binding.vendor design.Design.binding nc_idx;
+        inj_type = Spec.iptype_of_op spec op;
+        trojan;
+      }
+    in
+    let verdict = Engine.run ~injections:[ injection ] design env in
+    let naive = Engine.run_without_rebinding ~injections:[ injection ] design env in
+    let was_activated = verdict.Engine.detected || not verdict.Engine.nc_correct in
+    if latched then incr latched_runs;
+    if was_activated then begin
+      incr activated;
+      if verdict.Engine.detected then begin
+        incr detected;
+        (match verdict.Engine.detection_latency with
+        | Some l ->
+            latency_sum := !latency_sum + l;
+            incr latency_count
+        | None -> ());
+        if verdict.Engine.recovery_ran && verdict.Engine.recovery_correct then
+          if latched then incr latched_recovered else incr rebind_recovered;
+        if naive.Engine.recovery_ran && naive.Engine.recovery_correct then
+          if not latched then incr naive_recovered
+      end
+    end
+  done;
+  {
+    runs = config.n_runs;
+    activated = !activated;
+    detected = !detected;
+    rebind_recovered = !rebind_recovered;
+    naive_recovered = !naive_recovered;
+    latched_runs = !latched_runs;
+    latched_recovered = !latched_recovered;
+    mean_detection_latency =
+      (if !latency_count = 0 then 0.0
+       else float_of_int !latency_sum /. float_of_int !latency_count);
+  }

@@ -1,0 +1,48 @@
+(** Trojan-injection campaigns.
+
+    The run-time reproduction of the paper's security claims (Figs. 1–4):
+    inject Trojans into a design's IP cores, execute input vectors, and
+    measure how often the NC/RC comparator detects the activation and how
+    often each recovery strategy restores correct outputs.
+
+    Each run picks an infected licence from the design, a random
+    memory-less (or, with some probability, latched) payload, and a
+    trigger pattern chosen {e adversarially}: it is derived from the
+    operands an NC operation bound to the infected core actually sees, so
+    the Trojan is guaranteed to activate during the detection phase —
+    mirroring the paper's threat model where the trigger is rare but
+    attacker-chosen.  Detection and recovery are then judged purely from
+    the engine's outputs. *)
+
+type config = {
+  n_runs : int;            (** injection runs (default 200) *)
+  sequential_ratio : float;(** fraction of counter-triggered Trojans *)
+  latched_ratio : float;   (** fraction of latched (out-of-model) payloads *)
+  mask : int;              (** trigger observation mask (default 0xFFFF) *)
+  input_lo : int;
+  input_hi : int;
+}
+
+val default_config : config
+
+type result = {
+  runs : int;
+  activated : int;       (** runs where the Trojan corrupted NC or RC *)
+  detected : int;        (** comparator mismatches among activated runs *)
+  rebind_recovered : int;(** rule-based recovery restored golden outputs *)
+  naive_recovered : int; (** same-binding re-execution restored outputs *)
+  latched_runs : int;    (** runs using the out-of-model latched payload *)
+  latched_recovered : int;
+  mean_detection_latency : float; (** mean diagnostic latency, in steps *)
+}
+
+val run :
+  ?config:config ->
+  prng:Thr_util.Prng.t ->
+  Thr_hls.Design.t ->
+  result
+(** Requires a design with [mode = Detection_and_recovery].
+
+    @raise Invalid_argument otherwise, or if the design is invalid. *)
+
+val pp_result : Format.formatter -> result -> unit

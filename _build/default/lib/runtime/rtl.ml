@@ -1,0 +1,294 @@
+module Dfg = Thr_dfg.Dfg
+module Op = Thr_dfg.Op
+module Eval = Thr_dfg.Eval
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Schedule = Thr_hls.Schedule
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Vendor = Thr_iplib.Vendor
+module Iptype = Thr_iplib.Iptype
+module Trojan = Thr_trojan.Trojan
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Word = Thr_gates.Word
+module Sim = Thr_gates.Sim
+
+type t = {
+  netlist : Netlist.t;
+  width : int;
+  design : Design.t;
+  mismatch : Netlist.net;
+  nc_outputs : (int * Bus.t) list;
+  rc_outputs : (int * Bus.t) list;
+  rv_outputs : (int * Bus.t) list;
+  total_cycles : int;
+}
+
+let bits_for n =
+  let rec go k = if 1 lsl k > n then k else go (k + 1) in
+  go 1
+
+let check_injection width inj =
+  let fits v = v >= 0 && v < 1 lsl width in
+  let trigger_ok =
+    match inj.Engine.trojan.Trojan.trigger with
+    | Trojan.Combinational { a_pattern; b_pattern; mask }
+    | Trojan.Sequential { a_pattern; b_pattern; mask; _ } ->
+        fits a_pattern && fits b_pattern && fits mask
+  in
+  let payload_ok =
+    match inj.Engine.trojan.Trojan.payload with
+    | Trojan.Xor_offset m | Trojan.Latched m -> fits m
+  in
+  if not (trigger_ok && payload_ok) then
+    invalid_arg "Rtl.elaborate: injection does not fit the datapath width"
+
+(* trigger condition net over the core's operand buses *)
+let condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask =
+  let masked_eq bus pattern =
+    let bits = ref [] in
+    for i = 0 to width - 1 do
+      if (mask lsr i) land 1 = 1 then begin
+        let want = (pattern lsr i) land 1 = 1 in
+        bits := (if want then bus.(i) else Netlist.not_ nl bus.(i)) :: !bits
+      end
+    done;
+    match !bits with [] -> Netlist.const nl true | l -> Netlist.and_list nl l
+  in
+  Netlist.and_ nl (masked_eq a_bus a_pattern) (masked_eq b_bus b_pattern)
+
+(* Trigger signal for an infected core.  [active] is high on cycles where
+   the core executes an operation; sequential trigger state only advances
+   on active cycles, matching the behavioural model's operand stream. *)
+let trigger_net nl width trojan ~active ~a_bus ~b_bus =
+  match trojan.Trojan.trigger with
+  | Trojan.Combinational { a_pattern; b_pattern; mask } ->
+      Netlist.and_ nl active
+        (condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask)
+  | Trojan.Sequential { a_pattern; b_pattern; mask; threshold } ->
+      let cond = condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask in
+      let k = bits_for threshold in
+      (* The payload must corrupt the very operation that completes the
+         trigger sequence (the behavioural model updates the counter and
+         then applies the payload), so the trigger reads the counter's
+         next state, not its registered value. *)
+      let fire = ref None in
+      let _count =
+        Netlist.dff_loop_many nl ~inits:(Array.make k false) (fun qs ->
+            let at_thr = Bus.eq_const nl qs threshold in
+            let carry = ref (Netlist.const nl true) in
+            let incremented =
+              Array.map
+                (fun q ->
+                  let sum = Netlist.xor_ nl q !carry in
+                  carry := Netlist.and_ nl !carry q;
+                  sum)
+                qs
+            in
+            let next =
+              Array.mapi
+                (fun i q ->
+                  (* active && cond: count' = min(count+1, thr);
+                     active && !cond: 0;  idle: hold *)
+                  let inc_or_hold =
+                    Netlist.mux nl ~sel:at_thr ~t0:incremented.(i) ~t1:q
+                  in
+                  let on_active = Netlist.and_ nl cond inc_or_hold in
+                  Netlist.mux nl ~sel:active ~t0:q ~t1:on_active)
+                qs
+            in
+            fire := Some (Bus.eq_const nl next threshold);
+            next)
+      in
+      (match !fire with Some t -> t | None -> assert false)
+
+let payload_wrap nl trojan ~trigger out =
+  match trojan.Trojan.payload with
+  | Trojan.Xor_offset mask -> Bus.xor_enable nl out ~enable:trigger ~mask
+  | Trojan.Latched mask ->
+      let latch = Netlist.dff_loop nl (fun q -> Netlist.or_ nl q trigger) in
+      let corrupting = Netlist.or_ nl latch trigger in
+      Bus.xor_enable nl out ~enable:corrupting ~mask
+
+let elaborate ?(width = 16) ?(injections = []) design =
+  if width < 6 then invalid_arg "Rtl.elaborate: width must be at least 6";
+  (match Design.validate design with
+  | [] -> ()
+  | problems ->
+      invalid_arg
+        (Printf.sprintf "Rtl.elaborate: invalid design (%s)" (List.hd problems)));
+  List.iter (check_injection width) injections;
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let n_copies = Copy.count spec in
+  let total = Spec.total_latency spec in
+  let nl = Netlist.create ~name:("rtl_" ^ Dfg.name dfg) in
+  let input_bus =
+    List.map (fun nm -> (nm, Bus.inputs nl nm width)) (Dfg.inputs dfg)
+  in
+  (* control: a free-running step counter; step s is active during the
+     cycle in which the counter reads s-1 *)
+  let counter =
+    Bus.counter nl ~width:(bits_for (total + 1)) ~enable:(Netlist.const nl true)
+  in
+  let step_eq = Array.init (total + 1) (fun s -> Bus.eq_const nl counter (s - 1)) in
+  (* core instances and the copies they execute *)
+  let assignment = Binding.instance_assignment spec design.Design.schedule design.Design.binding in
+  let cores = Hashtbl.create 32 in
+  for idx = 0 to n_copies - 1 do
+    let c = Copy.of_index spec idx in
+    let v = Binding.vendor design.Design.binding idx in
+    let ty = Spec.iptype_of_op spec c.Copy.op in
+    let key = (Vendor.id v, Iptype.to_index ty, assignment.(idx)) in
+    let existing = match Hashtbl.find_opt cores key with Some l -> l | None -> [] in
+    Hashtbl.replace cores key (idx :: existing)
+  done;
+  let injection_for vid ti =
+    List.find_opt
+      (fun inj ->
+        Vendor.id inj.Engine.inj_vendor = vid
+        && Iptype.to_index inj.Engine.inj_type = ti)
+      injections
+  in
+  let zero = Bus.const nl ~width 0 in
+  (* all result registers at once: their next-state needs the FU outputs,
+     which need the registers (operand feedback through the datapath) *)
+  let flat_regs =
+    Netlist.dff_loop_many nl ~inits:(Array.make (n_copies * width) false)
+      (fun flat ->
+        let reg idx = Array.sub flat (idx * width) width in
+        let operand_bus phase = function
+          | Dfg.Const c -> Bus.const nl ~width c
+          | Dfg.Input nm -> List.assoc nm input_bus
+          | Dfg.Node p -> reg (Copy.index spec { Copy.op = p; phase })
+        in
+        let next = Array.copy flat in
+        Hashtbl.iter
+          (fun (vid, ti, _inst) idxs ->
+            let idxs = List.sort Stdlib.compare idxs in
+            let step_of idx = Schedule.step design.Design.schedule idx in
+            let sel idx = step_eq.(step_of idx) in
+            (* operand muxes: pick the active copy's operands *)
+            let pick_operand slot =
+              List.fold_left
+                (fun acc idx ->
+                  let c = Copy.of_index spec idx in
+                  let nd = Dfg.node dfg c.Copy.op in
+                  let bus = operand_bus c.Copy.phase nd.Dfg.operands.(slot) in
+                  Word.mux_bus nl ~sel:(sel idx) ~t0:acc ~t1:bus)
+                zero idxs
+            in
+            let a_bus = pick_operand 0 in
+            let b_bus = pick_operand 1 in
+            (* one body per operation kind present on this core, muxed by
+               which copy is active *)
+            let kinds =
+              List.sort_uniq Stdlib.compare
+                (List.map
+                   (fun idx -> (Copy.of_index spec idx).Copy.op |> Dfg.kind dfg)
+                   idxs)
+            in
+            let clean =
+              List.fold_left
+                (fun acc kind ->
+                  let body = Word.of_op nl kind a_bus b_bus in
+                  let kind_sel =
+                    Netlist.or_list nl
+                      (List.filter_map
+                         (fun idx ->
+                           let c = Copy.of_index spec idx in
+                           if Op.equal (Dfg.kind dfg c.Copy.op) kind then
+                             Some (sel idx)
+                           else None)
+                         idxs)
+                  in
+                  Word.mux_bus nl ~sel:kind_sel ~t0:acc ~t1:body)
+                zero kinds
+            in
+            let out =
+              match injection_for vid ti with
+              | None -> clean
+              | Some inj ->
+                  let active = Netlist.or_list nl (List.map sel idxs) in
+                  let trigger =
+                    trigger_net nl width inj.Engine.trojan ~active ~a_bus ~b_bus
+                  in
+                  payload_wrap nl inj.Engine.trojan ~trigger clean
+            in
+            (* latch the result into the active copy's register *)
+            List.iter
+              (fun idx ->
+                let captured =
+                  Word.mux_bus nl ~sel:(sel idx) ~t0:(reg idx) ~t1:out
+                in
+                Array.blit captured 0 next (idx * width) width)
+              idxs)
+          cores;
+        next)
+  in
+  let reg idx = Array.sub flat_regs (idx * width) width in
+  let out_reg phase op = reg (Copy.index spec { Copy.op; phase }) in
+  let outputs = Dfg.outputs dfg in
+  let nc_outputs = List.map (fun o -> (o, out_reg Copy.NC o)) outputs in
+  let rc_outputs = List.map (fun o -> (o, out_reg Copy.RC o)) outputs in
+  let rv_outputs =
+    match spec.Spec.mode with
+    | Spec.Detection_only -> []
+    | Spec.Detection_and_recovery -> List.map (fun o -> (o, out_reg Copy.RV o)) outputs
+  in
+  let mismatch =
+    Netlist.or_list nl
+      (List.map2
+         (fun (_, nc) (_, rc) -> Netlist.not_ nl (Bus.eq nl nc rc))
+         nc_outputs rc_outputs)
+  in
+  Netlist.output nl "mismatch" mismatch;
+  List.iter (fun (o, bus) -> Bus.outputs nl (Printf.sprintf "nc%d" o) bus) nc_outputs;
+  Netlist.finalise nl;
+  {
+    netlist = nl;
+    width;
+    design;
+    mismatch;
+    nc_outputs;
+    rc_outputs;
+    rv_outputs;
+    total_cycles = total;
+  }
+
+type result = {
+  r_mismatch : bool;
+  r_nc : (int * int) list;
+  r_rc : (int * int) list;
+  r_rv : (int * int) list;
+}
+
+let sign_extend width v =
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let run t env =
+  let sim = Sim.create t.netlist in
+  let dfg = t.design.Design.spec.Spec.dfg in
+  List.iter
+    (fun nm ->
+      match List.assoc_opt nm env with
+      | Some v ->
+          Bus.drive_int (Sim.set_input sim) nm t.width (v land ((1 lsl t.width) - 1))
+      | None -> invalid_arg (Printf.sprintf "Rtl.run: missing input %S" nm))
+    (Dfg.inputs dfg);
+  for _ = 1 to t.total_cycles do
+    Sim.clock sim
+  done;
+  let read (o, bus) = (o, sign_extend t.width (Bus.to_int (Sim.peek sim) bus)) in
+  {
+    r_mismatch = Sim.peek sim t.mismatch;
+    r_nc = List.map read t.nc_outputs;
+    r_rc = List.map read t.rc_outputs;
+    r_rv = List.map read t.rv_outputs;
+  }
+
+let stats t =
+  Printf.sprintf "%d nets, %d gates, %d DFFs, %d cycles"
+    (Netlist.n_nets t.netlist) (Netlist.n_gates t.netlist)
+    (Netlist.n_dffs t.netlist) t.total_cycles

@@ -1,0 +1,53 @@
+(** RTL elaboration: a design compiled to one gate-level netlist.
+
+    This is the "synthesis" back end that a user of the paper's methodology
+    would tape out: every core instance becomes a word-level functional
+    unit ({!Thr_gates.Word}), shared across control steps through input
+    multiplexers selected by a step counter; every operation copy gets a
+    load-enabled result register; an equality comparator over the NC and RC
+    output registers drives the [mismatch] flag (Fig. 1's checker), and the
+    recovery copies execute on their re-bound cores in the recovery steps.
+
+    Trojans are inserted {e structurally}: an infected licence's cores get
+    the trigger/payload circuits of Figs. 2–3 wired onto their operand
+    buses and output, with sequential trigger state advancing only on
+    cycles where the core actually executes (matching the behavioural
+    model, whose counter observes the operand stream).
+
+    The test suite co-simulates this netlist against the behavioural
+    {!Engine} cycle for cycle. *)
+
+type t = {
+  netlist : Thr_gates.Netlist.t;
+  width : int;
+  design : Thr_hls.Design.t;
+  mismatch : Thr_gates.Netlist.net;
+      (** high after the detection phase iff some NC/RC output pair differs *)
+  nc_outputs : (int * Thr_gates.Bus.t) list;
+      (** result registers of the NC copies of the DFG's primary outputs *)
+  rc_outputs : (int * Thr_gates.Bus.t) list;
+  rv_outputs : (int * Thr_gates.Bus.t) list;  (** empty for detection-only *)
+  total_cycles : int;  (** cycles to clock before reading outputs *)
+}
+
+val elaborate :
+  ?width:int -> ?injections:Engine.injection list -> Thr_hls.Design.t -> t
+(** [elaborate design] builds the netlist.  [width] (default 16, minimum 6)
+    is the datapath word size; DFG values are computed modulo [2^width].
+
+    @raise Invalid_argument if the design is invalid, or an injection's
+    trigger patterns/mask or payload mask do not fit in [width] bits. *)
+
+type result = {
+  r_mismatch : bool;
+  r_nc : (int * int) list;  (** primary-output values, sign-extended *)
+  r_rc : (int * int) list;
+  r_rv : (int * int) list;
+}
+
+val run : t -> Thr_dfg.Eval.env -> result
+(** Drive the primary inputs (values taken modulo [2^width]), clock through
+    both phases and read the registers.  Fresh simulator per call. *)
+
+val stats : t -> string
+(** One-line netlist size summary (nets/gates/DFFs). *)

@@ -1,0 +1,1 @@
+lib/testtime/harness.ml: Array List Logic_test Printf Side_channel Thr_gates Thr_trojan Thr_util

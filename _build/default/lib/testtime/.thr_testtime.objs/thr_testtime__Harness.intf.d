@@ -1,0 +1,1 @@
+lib/testtime/harness.mli: Thr_gates Thr_trojan Thr_util

@@ -1,0 +1,1 @@
+lib/testtime/logic_test.ml: Array List Thr_gates Thr_util

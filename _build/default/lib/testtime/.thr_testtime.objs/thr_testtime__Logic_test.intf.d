@@ -1,0 +1,1 @@
+lib/testtime/logic_test.mli: Thr_gates Thr_util

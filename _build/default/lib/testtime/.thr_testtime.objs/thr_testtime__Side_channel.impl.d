@@ -1,0 +1,1 @@
+lib/testtime/side_channel.ml: Array List Logic_test Thr_gates Thr_util

@@ -1,0 +1,1 @@
+lib/testtime/side_channel.mli: Logic_test Thr_gates Thr_util

@@ -1,0 +1,115 @@
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Word = Thr_gates.Word
+module Sim = Thr_gates.Sim
+module Trojan = Thr_trojan.Trojan
+module Prng = Thr_util.Prng
+
+type unit_kind = Adder | Multiplier
+
+type pair = {
+  golden : Netlist.t;
+  suspect : Netlist.t;
+  trojan : Trojan.t;
+  rare_bits : int;
+  width : int;
+}
+
+let body kind nl a b =
+  match kind with Adder -> Word.add nl a b | Multiplier -> Word.mul nl a b
+
+let build kind width trojan_opt =
+  let nl = Netlist.create ~name:"unit" in
+  let a = Bus.inputs nl "a" width in
+  let b = Bus.inputs nl "b" width in
+  let clean = body kind nl a b in
+  let out =
+    match trojan_opt with
+    | None -> clean
+    | Some trojan -> (
+        match trojan.Trojan.trigger with
+        | Trojan.Combinational { a_pattern; b_pattern; mask } ->
+            let masked_eq bus pattern =
+              let bits = ref [] in
+              for i = 0 to width - 1 do
+                if (mask lsr i) land 1 = 1 then begin
+                  let want = (pattern lsr i) land 1 = 1 in
+                  bits :=
+                    (if want then bus.(i) else Netlist.not_ nl bus.(i)) :: !bits
+                end
+              done;
+              Netlist.and_list nl !bits
+            in
+            let trigger =
+              Netlist.and_ nl (masked_eq a a_pattern) (masked_eq b b_pattern)
+            in
+            let mask =
+              match trojan.Trojan.payload with
+              | Trojan.Xor_offset m | Trojan.Latched m -> m
+            in
+            Bus.xor_enable nl clean ~enable:trigger ~mask
+        | Trojan.Sequential _ ->
+            invalid_arg "Harness.build: combinational triggers only")
+  in
+  Bus.outputs nl "out" out;
+  Netlist.finalise nl;
+  nl
+
+let make_pair ~prng ?(width = 12) ~kind ~rare_bits () =
+  if rare_bits < 1 || rare_bits > width then
+    invalid_arg "Harness.make_pair: rare_bits out of range";
+  let mask = (1 lsl rare_bits) - 1 in
+  let a_pattern = Prng.int prng (mask + 1) in
+  let b_pattern = Prng.int prng (mask + 1) in
+  let payload = 1 + Prng.int prng ((1 lsl width) - 1) in
+  let trojan =
+    Trojan.make
+      (Trojan.Combinational { a_pattern; b_pattern; mask })
+      (Trojan.Xor_offset payload)
+  in
+  {
+    golden = build kind width None;
+    suspect = build kind width (Some trojan);
+    trojan;
+    rare_bits;
+    width;
+  }
+
+type outcome = {
+  random_test : bool;
+  mero : bool;
+  side_channel : bool;
+  runtime_would_catch : bool;
+}
+
+(* run-time check: force the activation condition through the suspect and
+   compare against the golden unit — the NC/RC comparator in miniature *)
+let runtime_check pair =
+  let a, b = Trojan.matching_operands pair.trojan in
+  let run nl =
+    let sim = Sim.create nl in
+    Bus.drive_int (Sim.set_input sim) "a" pair.width a;
+    Bus.drive_int (Sim.set_input sim) "b" pair.width b;
+    Sim.settle sim;
+    List.init pair.width (fun i ->
+        Sim.output sim (Printf.sprintf "out.%d" i))
+  in
+  run pair.golden <> run pair.suspect
+
+let evaluate ~prng ?(n_tests = 512) pair =
+  let vectors = Logic_test.random_vectors ~prng pair.suspect n_tests in
+  let random_test = Logic_test.detect ~golden:pair.golden ~suspect:pair.suspect vectors in
+  let mero =
+    let profile =
+      Logic_test.signal_probabilities ~prng ~samples:256 pair.suspect
+    in
+    let rare = Logic_test.rare_nodes profile ~theta:0.1 in
+    let refined =
+      Logic_test.mero_refine ~prng ~rounds:1000 pair.suspect rare vectors
+    in
+    Logic_test.detect ~golden:pair.golden ~suspect:pair.suspect refined
+  in
+  let side_channel =
+    (Side_channel.detect ~prng ~golden:pair.golden ~suspect:pair.suspect ()).Side_channel.flagged
+  in
+  { random_test; mero; side_channel; runtime_would_catch = runtime_check pair }

@@ -1,0 +1,42 @@
+(** Golden/suspect chip pairs and the test-time escape experiment.
+
+    Builds matched pairs of gate-level units — a clean word-level adder
+    (or multiplier) and the same unit carrying a combinationally triggered
+    Trojan whose rarity is controlled by the number of matched trigger
+    bits — and runs all three test-time detection procedures against a
+    pair.  The run-time NC/RC comparison detects any activated Trojan by
+    construction, so the interesting number is how often the test-time
+    methods let a Trojan {e escape} into deployment as rarity grows: the
+    quantified version of the paper's Section 1 argument. *)
+
+type unit_kind = Adder | Multiplier
+
+type pair = {
+  golden : Thr_gates.Netlist.t;
+  suspect : Thr_gates.Netlist.t;
+  trojan : Thr_trojan.Trojan.t;
+  rare_bits : int;
+  width : int;
+}
+
+val make_pair :
+  prng:Thr_util.Prng.t -> ?width:int -> kind:unit_kind -> rare_bits:int ->
+  unit -> pair
+(** A clean and an infected copy of one functional unit ([width] default
+    12).  The Trojan trigger matches [rare_bits] low bits of each operand
+    (activation probability [2^(-2*rare_bits)] on uniform inputs); the
+    payload is a memory-less XOR. *)
+
+type outcome = {
+  random_test : bool;       (** detected by plain random vectors *)
+  mero : bool;              (** detected by the MERO-refined set *)
+  side_channel : bool;      (** flagged by the power comparison *)
+  runtime_would_catch : bool;
+      (** NC/RC mismatch on a forced activation — true by construction for
+          in-model Trojans; kept as an executable check, not an assumption *)
+}
+
+val evaluate :
+  prng:Thr_util.Prng.t -> ?n_tests:int -> pair -> outcome
+(** Run all detections on one pair.  [n_tests] (default 512) is the
+    logic-test budget (the MERO set starts from the same budget). *)

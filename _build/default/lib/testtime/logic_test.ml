@@ -1,0 +1,131 @@
+module Netlist = Thr_gates.Netlist
+module Sim = Thr_gates.Sim
+module Prng = Thr_util.Prng
+
+type vector = (string * bool) list
+
+let random_vectors ~prng nl n =
+  let names = Netlist.input_names nl in
+  List.init n (fun _ -> List.map (fun nm -> (nm, Prng.bool prng)) names)
+
+type profile = {
+  nets : Netlist.net array;
+  one_probability : float array;
+}
+
+let internal_nets nl =
+  Netlist.finalise nl;
+  Netlist.nets_in_order nl
+  |> Array.to_list
+  |> List.filter (fun net ->
+         match Netlist.driver nl net with
+         | Netlist.D_input _ | Netlist.D_const _ -> false
+         | _ -> true)
+  |> Array.of_list
+
+let signal_probabilities ~prng ?(samples = 512) nl =
+  let nets = internal_nets nl in
+  let ones = Array.make (Array.length nets) 0 in
+  let sim = Sim.create nl in
+  let names = Netlist.input_names nl in
+  for _ = 1 to samples do
+    List.iter (fun nm -> Sim.set_input sim nm (Prng.bool prng)) names;
+    Sim.clock sim;
+    Array.iteri (fun i net -> if Sim.peek sim net then ones.(i) <- ones.(i) + 1) nets
+  done;
+  {
+    nets;
+    one_probability =
+      Array.map (fun c -> float_of_int c /. float_of_int samples) ones;
+  }
+
+let rare_nodes profile ~theta =
+  let acc = ref [] in
+  Array.iteri
+    (fun i net ->
+      let p1 = profile.one_probability.(i) in
+      if p1 < theta then acc := (net, true) :: !acc
+      else if 1.0 -. p1 < theta then acc := (net, false) :: !acc)
+    profile.nets;
+  List.rev !acc
+
+let apply_vector sim vector =
+  List.iter (fun (nm, b) -> Sim.set_input sim nm b) vector;
+  Sim.clock sim
+
+let n_detect_count nl rare vectors =
+  let sim = Sim.create nl in
+  let counts = Array.make (List.length rare) 0 in
+  List.iter
+    (fun v ->
+      Sim.reset sim;
+      apply_vector sim v;
+      List.iteri
+        (fun i (net, rare_value) ->
+          if Sim.peek sim net = rare_value then counts.(i) <- counts.(i) + 1)
+        rare)
+    vectors;
+  counts
+
+(* score = sum over rare nodes of min(hits, n_target) — MERO's objective *)
+let score ~n_target counts =
+  Array.fold_left (fun acc c -> acc + min c n_target) 0 counts
+
+let mero_refine ~prng ?(rounds = 2000) ?(n_target = 10) nl rare base =
+  if rare = [] || base = [] then base
+  else begin
+    let sim = Sim.create nl in
+    let hits_of vector =
+      Sim.reset sim;
+      apply_vector sim vector;
+      List.map (fun (net, rv) -> Sim.peek sim net = rv) rare
+    in
+    (* counts per rare node across the evolving test set *)
+    let counts = Array.make (List.length rare) 0 in
+    let record vector =
+      List.iteri (fun i hit -> if hit then counts.(i) <- counts.(i) + 1) (hits_of vector)
+    in
+    let kept = ref (List.rev base) in
+    List.iter record base;
+    let vectors = Array.of_list base in
+    for _ = 1 to rounds do
+      let v = Prng.pick prng vectors in
+      (* flip a couple of random bits *)
+      let v' =
+        List.map
+          (fun (nm, b) -> (nm, if Prng.int prng 8 = 0 then not b else b))
+          v
+      in
+      let before = score ~n_target counts in
+      let hits = hits_of v' in
+      let gain =
+        List.fold_left
+          (fun (i, acc) hit ->
+            let acc =
+              if hit && counts.(i) < n_target then acc + 1 else acc
+            in
+            (i + 1, acc))
+          (0, 0) hits
+        |> snd
+      in
+      if gain > 0 then begin
+        List.iteri (fun i hit -> if hit then counts.(i) <- counts.(i) + 1) hits;
+        kept := v' :: !kept;
+        ignore before
+      end
+    done;
+    List.rev !kept
+  end
+
+let detect ~golden ~suspect vectors =
+  let gsim = Sim.create golden in
+  let ssim = Sim.create suspect in
+  let outputs = Netlist.output_names golden in
+  List.exists
+    (fun v ->
+      Sim.reset gsim;
+      Sim.reset ssim;
+      apply_vector gsim v;
+      apply_vector ssim v;
+      List.exists (fun o -> Sim.output gsim o <> Sim.output ssim o) outputs)
+    vectors

@@ -1,0 +1,67 @@
+module Netlist = Thr_gates.Netlist
+module Sim = Thr_gates.Sim
+module Prng = Thr_util.Prng
+
+type trace = int array
+
+let toggles nl ~vectors =
+  Netlist.finalise nl;
+  let nets = Netlist.nets_in_order nl in
+  let sim = Sim.create nl in
+  let previous = Array.make (Array.length nets) false in
+  let snapshot () = Array.map (fun net -> Sim.peek sim net) nets in
+  let counts =
+    List.map
+      (fun v ->
+        List.iter (fun (nm, b) -> Sim.set_input sim nm b) v;
+        Sim.clock sim;
+        let now = snapshot () in
+        let flips = ref 0 in
+        Array.iteri (fun i b -> if b <> previous.(i) then incr flips) now;
+        Array.blit now 0 previous 0 (Array.length now);
+        !flips)
+      vectors
+  in
+  Array.of_list counts
+
+let mean_activity ~prng ?(vectors = 256) nl =
+  let vs = Logic_test.random_vectors ~prng nl vectors in
+  let trace = toggles nl ~vectors:vs in
+  if Array.length trace = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 trace) /. float_of_int (Array.length trace)
+
+type verdict = {
+  flagged : bool;
+  suspect_activity : float;
+  golden_mean : float;
+  golden_stddev : float;
+}
+
+(* sum of 4 uniforms, centred: a cheap bell-shaped noise sample in
+   [-2, 2] with unit-ish variance *)
+let noise_sample prng =
+  let u () = Prng.float prng 1.0 -. 0.5 in
+  (u () +. u () +. u () +. u ()) *. 1.73
+
+let detect ~prng ?(population = 32) ?(noise = 0.05) ?(k = 3.0) ~golden ~suspect () =
+  (* same workload for both chips *)
+  let workload_prng = Prng.split prng in
+  let golden_base = mean_activity ~prng:(Prng.copy workload_prng) golden in
+  let suspect_activity = mean_activity ~prng:(Prng.copy workload_prng) suspect in
+  (* golden population under multiplicative process variation *)
+  let samples =
+    List.init population (fun _ -> golden_base *. (1.0 +. (noise *. noise_sample prng)))
+  in
+  let n = float_of_int population in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  let stddev = sqrt var in
+  {
+    flagged = suspect_activity > mean +. (k *. stddev);
+    suspect_activity;
+    golden_mean = mean;
+    golden_stddev = stddev;
+  }

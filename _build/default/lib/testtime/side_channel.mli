@@ -1,0 +1,53 @@
+(** Test-time Trojan detection by side-channel analysis.
+
+    The paper's introduction cites power-signature methods (its [3], [4]):
+    an inserted Trojan consumes switching activity even while dormant, so
+    the chip's dynamic-power trace deviates from a golden model — {e if}
+    the deviation clears the process-variation noise floor.
+
+    The power proxy here is the standard toggle count: the number of net
+    transitions per clock cycle in a gate-level simulation.  Detection
+    compares a suspect chip's mean toggle count against a population of
+    golden chips whose activity is scaled by a per-chip random process
+    variation; the suspect is flagged when it exceeds the population mean
+    by [k] standard deviations.
+
+    The [testtime] bench experiment uses this to show the trade-off the
+    paper leans on: small Trojans (few trigger bits) hide below the noise
+    floor exactly where logic testing also misses them. *)
+
+type trace = int array
+(** Toggle counts per cycle. *)
+
+val toggles :
+  Thr_gates.Netlist.t -> vectors:Logic_test.vector list -> trace
+(** Simulate the vector sequence (one clock per vector, no reset in
+    between) counting net transitions per cycle, including DFF updates. *)
+
+val mean_activity :
+  prng:Thr_util.Prng.t -> ?vectors:int -> Thr_gates.Netlist.t -> float
+(** Mean toggles per cycle over a random workload ([vectors], default
+    256). *)
+
+type verdict = {
+  flagged : bool;
+  suspect_activity : float;   (** suspect mean toggles per cycle *)
+  golden_mean : float;        (** golden-population mean *)
+  golden_stddev : float;      (** population std-dev under process noise *)
+}
+
+val detect :
+  prng:Thr_util.Prng.t ->
+  ?population:int ->
+  ?noise:float ->
+  ?k:float ->
+  golden:Thr_gates.Netlist.t ->
+  suspect:Thr_gates.Netlist.t ->
+  unit ->
+  verdict
+(** [detect ~golden ~suspect ()] measures both designs on the same random
+    workload, models a [population] (default 32) of golden chips with
+    multiplicative Gaussian-ish process noise of relative magnitude
+    [noise] (default 0.05), and flags the suspect when its activity
+    exceeds the population mean by more than [k] (default 3.0) standard
+    deviations. *)

@@ -1,0 +1,1 @@
+lib/trojan/circuits.ml: Array Thr_gates

@@ -1,0 +1,1 @@
+lib/trojan/circuits.mli: Thr_gates

@@ -1,0 +1,1 @@
+lib/trojan/trojan.ml: Printf Thr_util

@@ -1,0 +1,1 @@
+lib/trojan/trojan.mli: Thr_util

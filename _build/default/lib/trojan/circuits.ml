@@ -1,0 +1,88 @@
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Sim = Thr_gates.Sim
+
+type harness = {
+  netlist : Netlist.t;
+  width : int;
+  out : Bus.t;
+  trigger_net : Netlist.net;
+}
+
+(* Trigger condition net: selected bits of a and b match their patterns. *)
+let condition nl a_bus b_bus ~a_pattern ~b_pattern ~mask =
+  let masked_eq bus pattern =
+    let bits = ref [] in
+    Array.iteri
+      (fun i n ->
+        if (mask lsr i) land 1 = 1 then
+          let want = (pattern lsr i) land 1 = 1 in
+          bits := (if want then n else Netlist.not_ nl n) :: !bits)
+      bus;
+    match !bits with [] -> Netlist.const nl true | l -> Netlist.and_list nl l
+  in
+  Netlist.and_ nl (masked_eq a_bus a_pattern) (masked_eq b_bus b_pattern)
+
+let base nl ~width =
+  let a = Bus.inputs nl "a" width in
+  let b = Bus.inputs nl "b" width in
+  let d = Bus.inputs nl "d" width in
+  (a, b, d)
+
+let finish nl ~width ~trigger ~payload_mask d =
+  let out = Bus.xor_enable nl d ~enable:trigger ~mask:payload_mask in
+  Bus.outputs nl "out" out;
+  Netlist.output nl "T" trigger;
+  Netlist.finalise nl;
+  { netlist = nl; width; out; trigger_net = trigger }
+
+let fig2a ~width ~a_pattern ~b_pattern ~mask ~payload_mask =
+  let nl = Netlist.create ~name:"fig2a" in
+  let a, b, d = base nl ~width in
+  let trigger = condition nl a b ~a_pattern ~b_pattern ~mask in
+  finish nl ~width ~trigger ~payload_mask d
+
+let bits_needed threshold =
+  let rec go b = if 1 lsl b > threshold then b else go (b + 1) in
+  go 1
+
+let fig2b ~width ~a_pattern ~b_pattern ~mask ~threshold ~payload_mask =
+  if threshold < 1 then invalid_arg "Circuits.fig2b: threshold < 1";
+  let nl = Netlist.create ~name:"fig2b" in
+  let a, b, d = base nl ~width in
+  let cond = condition nl a b ~a_pattern ~b_pattern ~mask in
+  let k = bits_needed threshold in
+  (* count' = cond ? (count = threshold ? count : count + 1) : 0 *)
+  let count =
+    Netlist.dff_loop_many nl ~inits:(Array.make k false) (fun qs ->
+        let at_thr = Bus.eq_const nl qs threshold in
+        let carry = ref (Netlist.const nl true) in
+        Array.map
+          (fun q ->
+            let sum = Netlist.xor_ nl q !carry in
+            carry := Netlist.and_ nl !carry q;
+            let held = Netlist.mux nl ~sel:at_thr ~t0:sum ~t1:q in
+            Netlist.and_ nl cond held)
+          qs)
+  in
+  let trigger = Bus.eq_const nl count threshold in
+  finish nl ~width ~trigger ~payload_mask d
+
+let fig3 ~width ~a_pattern ~b_pattern ~mask ~payload_mask =
+  let nl = Netlist.create ~name:"fig3" in
+  let a, b, d = base nl ~width in
+  let cond = condition nl a b ~a_pattern ~b_pattern ~mask in
+  (* set-only latch: once the trigger fires the corruption persists *)
+  let latch = Netlist.dff_loop nl (fun q -> Netlist.or_ nl q cond) in
+  let trigger = Netlist.or_ nl latch cond in
+  finish nl ~width ~trigger ~payload_mask d
+
+let drive sim h ~a ~b ~d =
+  Bus.drive_int (Sim.set_input sim) "a" h.width a;
+  Bus.drive_int (Sim.set_input sim) "b" h.width b;
+  Bus.drive_int (Sim.set_input sim) "d" h.width d;
+  Sim.clock sim
+
+let read_out sim h = Bus.to_int (Sim.peek sim) h.out
+
+let read_trigger sim h = Sim.peek sim h.trigger_net

@@ -1,0 +1,45 @@
+(** Gate-level reference circuits for the paper's Figures 2 and 3.
+
+    Each harness wraps a [width]-bit host data path: buses [a] and [b] are
+    the operands the trigger observes, bus [d] is the clean host output and
+    output bus [out] is the (possibly corrupted) visible output.  The
+    trigger signal is exported as output ["T"] for observation.
+
+    The test suite drives these netlists with {!Thr_gates.Sim} and checks
+    them bit-exact against the behavioural model in {!Trojan}. *)
+
+type harness = {
+  netlist : Thr_gates.Netlist.t;
+  width : int;
+  out : Thr_gates.Bus.t;
+  trigger_net : Thr_gates.Netlist.net;
+}
+
+val fig2a :
+  width:int -> a_pattern:int -> b_pattern:int -> mask:int -> payload_mask:int ->
+  harness
+(** Combinationally triggered Trojan: [T] is an AND of (inverted) operand
+    bits selected by [mask]; the payload XORs [payload_mask] into [d]
+    while [T] is high. *)
+
+val fig2b :
+  width:int -> a_pattern:int -> b_pattern:int -> mask:int -> threshold:int ->
+  payload_mask:int -> harness
+(** Sequentially triggered Trojan: a register counts {e consecutive}
+    matching cycles, resets on a mismatch and saturates at [threshold];
+    [T] is high while the count equals [threshold]. *)
+
+val fig3 :
+  width:int -> a_pattern:int -> b_pattern:int -> mask:int -> payload_mask:int ->
+  harness
+(** Payload with a memory element: a set-only latch records that the
+    combinational trigger ever fired, and corrupts [d] from then on. *)
+
+val drive :
+  Thr_gates.Sim.t -> harness -> a:int -> b:int -> d:int -> unit
+(** Set the three input buses and clock one cycle. *)
+
+val read_out : Thr_gates.Sim.t -> harness -> int
+(** Value of the [out] bus after the last cycle. *)
+
+val read_trigger : Thr_gates.Sim.t -> harness -> bool

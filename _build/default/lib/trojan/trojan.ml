@@ -1,0 +1,104 @@
+type trigger =
+  | Combinational of { a_pattern : int; b_pattern : int; mask : int }
+  | Sequential of { a_pattern : int; b_pattern : int; mask : int; threshold : int }
+
+type payload = Xor_offset of int | Latched of int
+
+type t = { trigger : trigger; payload : payload }
+
+let make trigger payload =
+  (match payload with
+  | Xor_offset 0 | Latched 0 -> invalid_arg "Trojan.make: zero payload mask"
+  | Xor_offset _ | Latched _ -> ());
+  (match trigger with
+  | Combinational { a_pattern; b_pattern; mask } ->
+      if a_pattern land lnot mask <> 0 || b_pattern land lnot mask <> 0 then
+        invalid_arg "Trojan.make: pattern outside mask"
+  | Sequential { a_pattern; b_pattern; mask; threshold } ->
+      if threshold < 1 then invalid_arg "Trojan.make: threshold < 1";
+      if a_pattern land lnot mask <> 0 || b_pattern land lnot mask <> 0 then
+        invalid_arg "Trojan.make: pattern outside mask");
+  { trigger; payload }
+
+type state = { mutable counter : int; mutable latched : bool }
+
+let fresh_state _t = { counter = 0; latched = false }
+
+let reset_state _t st =
+  st.counter <- 0;
+  st.latched <- false
+
+let matches t ~a ~b =
+  match t.trigger with
+  | Combinational { a_pattern; b_pattern; mask }
+  | Sequential { a_pattern; b_pattern; mask; _ } ->
+      a land mask = a_pattern && b land mask = b_pattern
+
+let trigger_fires t st ~a ~b =
+  match t.trigger with
+  | Combinational _ -> matches t ~a ~b
+  | Sequential { threshold; _ } ->
+      if matches t ~a ~b then st.counter <- min (st.counter + 1) threshold
+      else st.counter <- 0;
+      st.counter = threshold
+
+let active t st =
+  match t.payload with
+  | Latched _ -> st.latched
+  | Xor_offset _ -> (
+      match t.trigger with
+      | Combinational _ ->
+          (* combinational trigger has no state; [active] reflects the
+             last apply, recorded in [latched] as a convenience flag *)
+          st.latched
+      | Sequential { threshold; _ } -> st.counter = threshold)
+
+let apply t st ~a ~b ~clean =
+  let fired = trigger_fires t st ~a ~b in
+  match t.payload with
+  | Xor_offset mask ->
+      (match t.trigger with
+      | Combinational _ -> st.latched <- fired (* see [active] *)
+      | Sequential _ -> ());
+      if fired then clean lxor mask else clean
+  | Latched mask ->
+      if fired then st.latched <- true;
+      if st.latched then clean lxor mask else clean
+
+let matching_operands t =
+  match t.trigger with
+  | Combinational { a_pattern; b_pattern; _ }
+  | Sequential { a_pattern; b_pattern; _ } ->
+      (a_pattern, b_pattern)
+
+let random ~prng ~sequential ~rare_bits =
+  if rare_bits < 1 || rare_bits > 16 then
+    invalid_arg "Trojan.random: rare_bits must be in [1, 16]";
+  let mask = (1 lsl rare_bits) - 1 in
+  let a_pattern = Thr_util.Prng.int prng (mask + 1) in
+  let b_pattern = Thr_util.Prng.int prng (mask + 1) in
+  let trigger =
+    if sequential then
+      Sequential
+        { a_pattern; b_pattern; mask; threshold = Thr_util.Prng.int_in prng 2 4 }
+    else Combinational { a_pattern; b_pattern; mask }
+  in
+  let payload = Xor_offset (1 + Thr_util.Prng.int prng 0xFFFF) in
+  make trigger payload
+
+let describe t =
+  let trig =
+    match t.trigger with
+    | Combinational { a_pattern; b_pattern; mask } ->
+        Printf.sprintf "comb trigger (a&%#x=%#x, b&%#x=%#x)" mask a_pattern mask
+          b_pattern
+    | Sequential { a_pattern; b_pattern; mask; threshold } ->
+        Printf.sprintf "seq trigger (a&%#x=%#x, b&%#x=%#x, %d consecutive)" mask
+          a_pattern mask b_pattern threshold
+  in
+  let pay =
+    match t.payload with
+    | Xor_offset m -> Printf.sprintf "xor payload %#x" m
+    | Latched m -> Printf.sprintf "latched xor payload %#x" m
+  in
+  trig ^ ", " ^ pay

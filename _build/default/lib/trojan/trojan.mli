@@ -1,0 +1,78 @@
+(** Behavioural hardware-Trojan models (paper §3.1).
+
+    A Trojan is a trigger plus a payload inside one IP core.  The trigger
+    observes the operand stream of the host core; the payload, while
+    active, alters the host's output word.  This behavioural model is what
+    the run-time engine injects into functional units; {!Circuits} builds
+    the equivalent gate-level netlists of Figs. 2–3, and the test suite
+    checks the two agree cycle by cycle.
+
+    The paper's recovery guarantee targets Trojans with a {e memory-less}
+    payload ({!constructor:Xor_offset}); the latched payload of Fig. 3 is
+    provided as the contrast case that recovery deliberately does not
+    cover. *)
+
+type trigger =
+  | Combinational of { a_pattern : int; b_pattern : int; mask : int }
+      (** Fires while [(a land mask) = a_pattern] and
+          [(b land mask) = b_pattern] — Fig. 2(a). *)
+  | Sequential of { a_pattern : int; b_pattern : int; mask : int; threshold : int }
+      (** A counter of {e consecutive} matching operations: it increments
+          on a match, resets on a mismatch, saturates at [threshold].  The
+          trigger is set while the counter sits at [threshold] — Fig. 2(b)
+          with the reset behaviour of §3.1 ("the trigger signal … will be
+          reset when the otherwise"). *)
+
+type payload =
+  | Xor_offset of int
+      (** While triggered, the host output is XORed with this mask
+          (memory-less; deactivates with the trigger). *)
+  | Latched of int
+      (** Once triggered, the XOR corruption persists forever (the Fig. 3
+          payload with a memory element). *)
+
+type t = { trigger : trigger; payload : payload }
+
+val make : trigger -> payload -> t
+(** @raise Invalid_argument on a zero payload mask, a [Sequential]
+    threshold < 1, or trigger patterns outside their mask. *)
+
+(** {1 Execution} *)
+
+type state
+(** Mutable per-instance trigger/payload state. *)
+
+val fresh_state : t -> state
+
+val reset_state : t -> state -> unit
+(** Power-on reset: clears the trigger counter {e and} the payload latch
+    (a real latched payload would need a power cycle; campaigns use this
+    between runs). *)
+
+val apply : t -> state -> a:int -> b:int -> clean:int -> int
+(** [apply t st ~a ~b ~clean] advances the trigger state with operands
+    [(a, b)] and returns the host output: [clean], possibly corrupted by
+    the payload. *)
+
+val active : t -> state -> bool
+(** Whether the payload is currently corrupting outputs (after the last
+    {!apply}). *)
+
+(** {1 Construction helpers} *)
+
+val matching_operands : t -> int * int
+(** Operand values that satisfy the trigger condition (for [Sequential],
+    one step of it; feed them [threshold] times in a row). *)
+
+val matches : t -> a:int -> b:int -> bool
+(** Whether [(a, b)] satisfies the (single-step) trigger condition. *)
+
+val random : prng:Thr_util.Prng.t -> sequential:bool -> rare_bits:int -> t
+(** Random Trojan whose trigger matches a pattern on the low [rare_bits]
+    bits of both operands (activation probability [2^(-2*rare_bits)] on
+    uniform operands) and whose payload is a memory-less XOR of a random
+    non-zero low-16-bit mask.  [sequential] selects a counter trigger with
+    a small random threshold (2–4). *)
+
+val describe : t -> string
+(** One-line human-readable summary. *)

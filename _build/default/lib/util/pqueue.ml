@@ -1,0 +1,76 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array; (* heap in data.(0 .. size-1) *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable dummy : 'a entry option; (* filler for array growth *)
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0; dummy = None }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* Entry order: priority first, then insertion sequence for determinism. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nd = Array.make ncap entry in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd
+  end
+
+let push t prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  let d = t.data in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  d.(!i) <- entry;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before d.(!i) d.(parent) then begin
+      let tmp = d.(parent) in
+      d.(parent) <- d.(!i);
+      d.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done;
+  ignore t.dummy
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let d = t.data in
+    let top = d.(0) in
+    t.size <- t.size - 1;
+    d.(0) <- d.(t.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before d.(l) d.(!smallest) then smallest := l;
+      if r < t.size && before d.(r) d.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = d.(!smallest) in
+        d.(!smallest) <- d.(!i);
+        d.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (top.prio, top.value)
+  end

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap priority queue.
+
+    Used by the licence-set best-first search and by list-scheduling ready
+    queues.  Priorities are [int]s; ties are broken by insertion order so
+    traversal is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q prio v] inserts [v] with priority [prio] (smaller pops first). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority element, if any. *)
+
+val peek : 'a t -> (int * 'a) option
+(** The minimum-priority element without removing it. *)

@@ -1,0 +1,80 @@
+type align = Left | Right | Center
+
+type row = Data of string list | Separator
+
+type t = {
+  header : string list;
+  aligns : align array;
+  width : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~header () =
+  let width = List.length header in
+  let aligns =
+    match aligns with
+    | None -> Array.make width Right
+    | Some l ->
+        if List.length l <> width then
+          invalid_arg "Tablefmt.create: aligns width mismatch";
+        Array.of_list l
+  in
+  { header; aligns; width; rows = [] }
+
+let add_row t row =
+  if List.length row <> t.width then invalid_arg "Tablefmt.add_row: width mismatch";
+  t.rows <- Data row :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let update = function
+    | Separator -> ()
+    | Data cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells
+  in
+  List.iter update rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.header;
+  rule ();
+  List.iter (function Data cells -> line cells | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering.
+
+    Used by the benchmark harness and the CLI to print paper-style result
+    tables (Tables 3 and 4 of the paper) with aligned columns. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Right] for
+    every column.  The number of columns is fixed by [header]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.
+
+    @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Render with box-drawing ASCII ([+---+] style), including header rule. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp ppf t] prints [render t]. *)

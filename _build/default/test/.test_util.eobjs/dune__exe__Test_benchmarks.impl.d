@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array List Printf QCheck QCheck_alcotest Thr_benchmarks Thr_dfg Thr_util

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Format List Option Printf QCheck QCheck_alcotest String Thr_benchmarks Thr_dfg Thr_util

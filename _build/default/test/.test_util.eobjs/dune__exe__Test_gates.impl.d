@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Gen List Printf QCheck QCheck_alcotest String Thr_gates

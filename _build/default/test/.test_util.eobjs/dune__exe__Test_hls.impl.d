@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Format Hashtbl List String Thr_benchmarks Thr_dfg Thr_hls Thr_iplib Thr_opt

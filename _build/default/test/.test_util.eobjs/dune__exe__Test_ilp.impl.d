@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Filename Float Format List QCheck QCheck_alcotest String Sys Thr_ilp

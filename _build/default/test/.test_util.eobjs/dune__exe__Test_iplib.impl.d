@@ -1,0 +1,1 @@
+test/test_iplib.ml: Alcotest Format List String Thr_dfg Thr_iplib Thr_util

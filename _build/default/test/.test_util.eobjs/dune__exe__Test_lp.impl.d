@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Format List QCheck QCheck_alcotest Thr_lp

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Format List Option QCheck QCheck_alcotest Thr_benchmarks Thr_dfg Thr_hls Thr_iplib Thr_opt Thr_util

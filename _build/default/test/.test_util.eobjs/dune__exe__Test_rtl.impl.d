@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bool List Option Printf QCheck QCheck_alcotest String Thr_benchmarks Thr_dfg Thr_gates Thr_hls Thr_iplib Thr_opt Thr_runtime Thr_trojan Thr_util

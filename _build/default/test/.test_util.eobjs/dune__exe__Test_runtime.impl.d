@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Hashtbl List Option Printf Thr_benchmarks Thr_dfg Thr_hls Thr_iplib Thr_opt Thr_runtime Thr_trojan Thr_util

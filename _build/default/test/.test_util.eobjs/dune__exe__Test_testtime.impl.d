@@ -1,0 +1,1 @@
+test/test_testtime.ml: Alcotest Array List Printf Thr_gates Thr_testtime Thr_util

@@ -1,0 +1,1 @@
+test/test_trojan.ml: Alcotest List QCheck QCheck_alcotest String Thr_gates Thr_trojan Thr_util

@@ -1,0 +1,156 @@
+(* Tests for the benchmark suite and the random DFG generator. *)
+
+module Suite = Thr_benchmarks.Suite
+module Generator = Thr_benchmarks.Generator
+module Dfg = Thr_dfg.Dfg
+module Eval = Thr_dfg.Eval
+open Thr_dfg.Op
+
+(* Paper Section 5: operation counts of the six benchmarks. *)
+let expected_counts =
+  [
+    ("polynom", 5); ("diff2", 11); ("dtmf", 11); ("mof2", 12); ("elliptic", 29);
+    ("fir16", 31);
+  ]
+
+let test_op_counts () =
+  List.iter
+    (fun (name, n) ->
+      match Suite.find name with
+      | Some d -> Alcotest.(check int) name n (Dfg.n_ops d)
+      | None -> Alcotest.fail ("missing " ^ name))
+    expected_counts
+
+(* Each benchmark must fit its tightest paper latency constraint. *)
+let max_critical_path =
+  [
+    ("polynom", 3); ("diff2", 4); ("dtmf", 4); ("mof2", 7); ("elliptic", 8);
+    ("fir16", 6);
+  ]
+
+let test_critical_paths () =
+  List.iter
+    (fun (name, cp_max) ->
+      match Suite.find name with
+      | Some d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s cp %d <= %d" name (Dfg.critical_path d) cp_max)
+            true
+            (Dfg.critical_path d <= cp_max)
+      | None -> Alcotest.fail ("missing " ^ name))
+    max_critical_path
+
+let test_motivational_shape () =
+  let d = Suite.motivational () in
+  Alcotest.(check int) "5 ops" 5 (Dfg.n_ops d);
+  Alcotest.(check int) "3 muls" 3 (Dfg.count_kind d Mul);
+  Alcotest.(check int) "2 adds" 2 (Dfg.count_kind d Add);
+  Alcotest.(check int) "cp 3" 3 (Dfg.critical_path d)
+
+let test_registry () =
+  Alcotest.(check int) "six in all()" 6 (List.length (Suite.all ()));
+  Alcotest.(check bool) "find unknown" true (Suite.find "nonesuch" = None);
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Suite.find n <> None))
+    Suite.names
+
+let test_diff2_semantics () =
+  (* one Euler step with hand-computed values:
+     x=1 y=2 u=3 dx=1 a=5
+     u1 = 3 - 3*1*3*1 - 3*2*1 = 3 - 9 - 6 = -12
+     y1 = 2 + 3*1 = 5; x1 = 2; c = (2 < 5) = 1 *)
+  let d = Suite.diff2 () in
+  let env = [ ("x", 1); ("y", 2); ("u", 3); ("dx", 1); ("a", 5) ] in
+  let v = Eval.run d env in
+  Alcotest.(check int) "u1" (-12) v.(6);
+  Alcotest.(check int) "y1" 5 v.(8);
+  Alcotest.(check int) "x1" 2 v.(9);
+  Alcotest.(check int) "c" 1 v.(10)
+
+let test_polynom_semantics () =
+  (* a*x + b*y + c*d with a=2,x=3,b=4,y=5,c=6,d=7 -> 6+20+42=68 *)
+  let d = Suite.polynom () in
+  let env = [ ("a", 2); ("x", 3); ("b", 4); ("y", 5); ("c", 6); ("d", 7) ] in
+  Alcotest.(check (list (pair int int))) "value" [ (4, 68) ] (Eval.outputs d env)
+
+let test_elliptic_structure () =
+  let d = Suite.elliptic () in
+  Alcotest.(check int) "29 ops" 29 (Dfg.n_ops d);
+  Alcotest.(check int) "one output" 1 (List.length (Dfg.outputs d));
+  Alcotest.(check int) "cp 8" 8 (Dfg.critical_path d)
+
+let test_fir16_structure () =
+  let d = Suite.fir16 () in
+  Alcotest.(check int) "16 muls" 16 (Dfg.count_kind d Mul);
+  Alcotest.(check int) "15 adds" 15 (Dfg.count_kind d Add);
+  Alcotest.(check int) "cp 5" 5 (Dfg.critical_path d)
+
+(* ----------------------------- generator -------------------------- *)
+
+let test_generator_basic () =
+  let prng = Thr_util.Prng.create ~seed:33 in
+  let d = Generator.generate ~prng () in
+  Alcotest.(check int) "n_ops" 20 (Dfg.n_ops d);
+  Alcotest.(check bool) "cp bounded by layers" true (Dfg.critical_path d <= 5)
+
+let test_generator_validation () =
+  let prng = Thr_util.Prng.create ~seed:34 in
+  Alcotest.check_raises "n_ops" (Invalid_argument "Generator.generate: n_ops >= 1")
+    (fun () ->
+      ignore
+        (Generator.generate
+           ~config:{ Generator.default_config with n_ops = 0 }
+           ~prng ()));
+  Alcotest.check_raises "layers"
+    (Invalid_argument "Generator.generate: 1 <= n_layers <= n_ops") (fun () ->
+      ignore
+        (Generator.generate
+           ~config:{ Generator.default_config with n_ops = 3; n_layers = 5 }
+           ~prng ()))
+
+let generator_well_formed =
+  QCheck.Test.make ~name:"generated DFGs are well-formed" ~count:100
+    QCheck.(pair small_int (QCheck.make QCheck.Gen.(int_range 1 40)))
+    (fun (seed, n_ops) ->
+      let prng = Thr_util.Prng.create ~seed in
+      let config =
+        { Generator.default_config with n_ops; n_layers = min 5 n_ops }
+      in
+      let d = Generator.generate ~config ~prng () in
+      Dfg.n_ops d = n_ops
+      && Dfg.critical_path d <= min 5 n_ops
+      && List.for_all (fun (i, j) -> i < j) (Dfg.edges d))
+
+let generator_deterministic =
+  QCheck.Test.make ~name:"generator deterministic per seed" ~count:50
+    QCheck.small_int (fun seed ->
+      let d1 =
+        Generator.generate ~prng:(Thr_util.Prng.create ~seed) ()
+      in
+      let d2 =
+        Generator.generate ~prng:(Thr_util.Prng.create ~seed) ()
+      in
+      Dfg.equal d1 d2)
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "op counts" `Quick test_op_counts;
+          Alcotest.test_case "critical paths" `Quick test_critical_paths;
+          Alcotest.test_case "motivational shape" `Quick test_motivational_shape;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "diff2 semantics" `Quick test_diff2_semantics;
+          Alcotest.test_case "polynom semantics" `Quick test_polynom_semantics;
+          Alcotest.test_case "elliptic structure" `Quick test_elliptic_structure;
+          Alcotest.test_case "fir16 structure" `Quick test_fir16_structure;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "basic" `Quick test_generator_basic;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+          QCheck_alcotest.to_alcotest generator_well_formed;
+          QCheck_alcotest.to_alcotest generator_deterministic;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the public trojan_hls facade: the Optimize front end wires the
+   three solvers correctly and the re-exports are usable end to end. *)
+
+module T = Trojan_hls
+
+let motivational_spec () =
+  T.Spec.make ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+    ~latency_detect:4 ~latency_recover:3 ~area_limit:22_000 ()
+
+let test_optimize_default_solver () =
+  match T.Optimize.run (motivational_spec ()) with
+  | Ok { design; quality; _ } ->
+      Alcotest.(check int) "paper cost" 4160 (T.Design.cost design);
+      Alcotest.(check bool) "optimal" true (quality = T.Optimize.Optimal)
+  | Error _ -> Alcotest.fail "should solve"
+
+let greedy_spec () =
+  (* greedy schedules ASAP, which needs more area headroom than the
+     optimiser's balanced schedules *)
+  T.Spec.make ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+    ~latency_detect:4 ~latency_recover:3 ~area_limit:60_000 ()
+
+let test_optimize_greedy_solver () =
+  match T.Optimize.run ~solver:T.Optimize.Greedy (greedy_spec ()) with
+  | Ok { design; quality; _ } ->
+      Alcotest.(check bool) "heuristic tag" true (quality = T.Optimize.Heuristic);
+      Alcotest.(check (list string)) "valid" [] (T.Design.validate design);
+      Alcotest.(check bool) "not cheaper than optimal" true
+        (T.Design.cost design >= 4160)
+  | Error _ -> Alcotest.fail "greedy should find something at this area"
+
+let test_optimize_infeasible () =
+  let spec =
+    T.Spec.make ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+      ~latency_detect:4 ~latency_recover:3 ~area_limit:1_000 ()
+  in
+  match T.Optimize.run spec with
+  | Error T.Optimize.Infeasible_proven -> ()
+  | Ok _ -> Alcotest.fail "1000 cells cannot fit multipliers"
+  | Error T.Optimize.Infeasible_budget -> Alcotest.fail "should be proven"
+
+let test_quality_suffix () =
+  Alcotest.(check string) "optimal" "" (T.Optimize.quality_suffix T.Optimize.Optimal);
+  Alcotest.(check string) "incumbent" "*"
+    (T.Optimize.quality_suffix T.Optimize.Incumbent);
+  Alcotest.(check string) "heuristic" "~"
+    (T.Optimize.quality_suffix T.Optimize.Heuristic)
+
+let test_end_to_end_through_facade () =
+  (* parse -> spec -> optimise -> execute with injection -> recover *)
+  let src = "dfg tiny\ninput a\ninput b\nn0 = mul a b\nn1 = add n0 a\nn2 = mul n1 b\n" in
+  let dfg =
+    match T.Dfg_parse.of_string src with Ok d -> d | Error _ -> Alcotest.fail "parse"
+  in
+  let spec =
+    T.Spec.make ~dfg ~catalog:T.Catalog.eight_vendors ~latency_detect:4
+      ~latency_recover:3 ~area_limit:80_000 ()
+  in
+  match T.Optimize.run spec with
+  | Error _ -> Alcotest.fail "tiny spec should solve"
+  | Ok { design; _ } ->
+      let env = [ ("a", 11); ("b", 13) ] in
+      let golden = T.Dfg_eval.run dfg env in
+      let a, b = T.Dfg_eval.operand_values dfg env golden 1 in
+      let nc = T.Copy.index spec { T.Copy.op = 1; phase = T.Copy.NC } in
+      let inj =
+        {
+          T.Engine.inj_vendor = T.Binding.vendor design.T.Design.binding nc;
+          inj_type = T.Spec.iptype_of_op spec 1;
+          trojan =
+            T.Trojan.make
+              (T.Trojan.Combinational
+                 { a_pattern = a; b_pattern = b; mask = (1 lsl 20) - 1 })
+              (T.Trojan.Xor_offset 0xAA);
+        }
+      in
+      let v = T.Engine.run ~injections:[ inj ] design env in
+      Alcotest.(check bool) "detected" true v.T.Engine.detected;
+      Alcotest.(check bool) "recovered" true v.T.Engine.recovery_correct
+
+let test_facade_streaming_and_verilog () =
+  (* run_stream, Pareto, Endurance and Verilog are all reachable through
+     the facade and compose on one design *)
+  match T.Optimize.run (motivational_spec ()) with
+  | Error _ -> Alcotest.fail "should solve"
+  | Ok { design; _ } ->
+      let dfg = design.T.Design.spec.T.Spec.dfg in
+      let env = List.map (fun i -> (i, 4)) (T.Dfg.inputs dfg) in
+      let verdicts = T.Engine.run_stream design [ env; env ] in
+      Alcotest.(check int) "two frames" 2 (List.length verdicts);
+      List.iter
+        (fun v -> Alcotest.(check bool) "clean frames" false v.T.Engine.detected)
+        verdicts;
+      Alcotest.(check bool) "endurance computes" true
+        (T.Endurance.rounds_supported design >= 0);
+      let rtl = T.Rtl.elaborate ~width:8 design in
+      let v = T.Verilog.to_string rtl.T.Rtl.netlist in
+      Alcotest.(check bool) "verilog non-trivial" true (String.length v > 1000)
+
+let test_facade_pareto () =
+  let points =
+    T.Pareto.sweep ~dfg:(T.Benchmarks.motivational ()) ~catalog:T.Catalog.table1
+      ~latencies:[ 7 ] ~area_limits:[ 60_000 ] ()
+  in
+  Alcotest.(check int) "one point" 1 (List.length points);
+  Alcotest.(check int) "frontier keeps it" 1 (List.length (T.Pareto.frontier points))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "optimize",
+        [
+          Alcotest.test_case "licence search" `Quick test_optimize_default_solver;
+          Alcotest.test_case "greedy" `Quick test_optimize_greedy_solver;
+          Alcotest.test_case "infeasible" `Quick test_optimize_infeasible;
+          Alcotest.test_case "quality suffix" `Quick test_quality_suffix;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end_through_facade;
+          Alcotest.test_case "streaming/verilog/endurance" `Quick
+            test_facade_streaming_and_verilog;
+          Alcotest.test_case "pareto" `Quick test_facade_pareto;
+        ] );
+    ]

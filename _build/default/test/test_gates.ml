@@ -1,0 +1,328 @@
+(* Tests for the gate-level netlist and simulator. *)
+
+module Netlist = Thr_gates.Netlist
+module Sim = Thr_gates.Sim
+module Bus = Thr_gates.Bus
+
+let truth_table2 build expected =
+  let nl = Netlist.create ~name:"tt" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  Netlist.output nl "o" (build nl a b);
+  let sim = Sim.create nl in
+  List.iter
+    (fun ((va, vb), want) ->
+      Sim.set_inputs sim [ ("a", va); ("b", vb) ];
+      Sim.settle sim;
+      Alcotest.(check bool)
+        (Printf.sprintf "(%b,%b)" va vb)
+        want (Sim.output sim "o"))
+    (List.combine
+       [ (false, false); (false, true); (true, false); (true, true) ]
+       expected)
+
+let test_and () = truth_table2 Netlist.and_ [ false; false; false; true ]
+
+let test_or () = truth_table2 Netlist.or_ [ false; true; true; true ]
+
+let test_xor () = truth_table2 Netlist.xor_ [ false; true; true; false ]
+
+let test_nand () = truth_table2 Netlist.nand_ [ true; true; true; false ]
+
+let test_nor () = truth_table2 Netlist.nor_ [ true; false; false; false ]
+
+let test_not_const_mux () =
+  let nl = Netlist.create ~name:"m" in
+  let s = Netlist.input nl "s" in
+  let t0 = Netlist.const nl false and t1 = Netlist.const nl true in
+  Netlist.output nl "mux" (Netlist.mux nl ~sel:s ~t0 ~t1);
+  Netlist.output nl "ns" (Netlist.not_ nl s);
+  let sim = Sim.create nl in
+  Sim.set_input sim "s" false;
+  Sim.settle sim;
+  Alcotest.(check bool) "mux 0" false (Sim.output sim "mux");
+  Alcotest.(check bool) "not 0" true (Sim.output sim "ns");
+  Sim.set_input sim "s" true;
+  Sim.settle sim;
+  Alcotest.(check bool) "mux 1" true (Sim.output sim "mux");
+  Alcotest.(check bool) "not 1" false (Sim.output sim "ns")
+
+let test_dff_delay () =
+  let nl = Netlist.create ~name:"d" in
+  let d = Netlist.input nl "d" in
+  let q = Netlist.dff nl d in
+  Netlist.output nl "q" q;
+  let sim = Sim.create nl in
+  Alcotest.(check bool) "powers on at init" false (Sim.output sim "q" = true);
+  Sim.step sim [ ("d", true) ];
+  Alcotest.(check bool) "captured" true (Sim.output sim "q");
+  Sim.step sim [ ("d", false) ];
+  Alcotest.(check bool) "updated" false (Sim.output sim "q")
+
+let test_dff_init () =
+  let nl = Netlist.create ~name:"d1" in
+  let d = Netlist.input nl "d" in
+  Netlist.output nl "q" (Netlist.dff nl ~init:true d);
+  let sim = Sim.create nl in
+  Sim.settle sim;
+  Alcotest.(check bool) "init 1" true (Sim.output sim "q")
+
+let test_dff_loop_toggle () =
+  (* q = dff(not q) toggles every cycle *)
+  let nl = Netlist.create ~name:"t" in
+  let q = Netlist.dff_loop nl (fun q -> Netlist.not_ nl q) in
+  Netlist.output nl "q" q;
+  let sim = Sim.create nl in
+  let observed = List.init 4 (fun _ ->
+      Sim.clock sim;
+      Sim.output sim "q")
+  in
+  Alcotest.(check (list bool)) "toggle" [ true; false; true; false ] observed
+
+let test_counter () =
+  let nl = Netlist.create ~name:"c" in
+  let en = Netlist.input nl "en" in
+  let c = Bus.counter nl ~width:4 ~enable:en in
+  Netlist.output nl "tc" (Bus.all_ones nl c);
+  let sim = Sim.create nl in
+  Sim.set_input sim "en" true;
+  for expect = 1 to 15 do
+    Sim.clock sim;
+    Alcotest.(check int) (Printf.sprintf "count %d" expect) expect
+      (Bus.to_int (Sim.peek sim) c)
+  done;
+  Alcotest.(check bool) "terminal count" true (Sim.output sim "tc");
+  Sim.clock sim;
+  Alcotest.(check int) "wraps" 0 (Bus.to_int (Sim.peek sim) c);
+  Sim.set_input sim "en" false;
+  Sim.clock sim;
+  Alcotest.(check int) "holds when disabled" 0 (Bus.to_int (Sim.peek sim) c)
+
+let test_reset () =
+  let nl = Netlist.create ~name:"r" in
+  let en = Netlist.input nl "en" in
+  let c = Bus.counter nl ~width:3 ~enable:en in
+  ignore c;
+  let sim = Sim.create nl in
+  Sim.set_input sim "en" true;
+  Sim.clock sim;
+  Sim.clock sim;
+  Sim.reset sim;
+  Sim.set_input sim "en" true;
+  Sim.clock sim;
+  Alcotest.(check int) "back to 1 after reset" 1 (Bus.to_int (Sim.peek sim) c)
+
+let test_bus_eq_const () =
+  let nl = Netlist.create ~name:"eq" in
+  let b = Bus.inputs nl "b" 4 in
+  Netlist.output nl "is5" (Bus.eq_const nl b 5);
+  let sim = Sim.create nl in
+  Bus.drive_int (Sim.set_input sim) "b" 4 5;
+  Sim.settle sim;
+  Alcotest.(check bool) "matches 5" true (Sim.output sim "is5");
+  Bus.drive_int (Sim.set_input sim) "b" 4 6;
+  Sim.settle sim;
+  Alcotest.(check bool) "rejects 6" false (Sim.output sim "is5")
+
+let test_bus_eq () =
+  let nl = Netlist.create ~name:"eq2" in
+  let a = Bus.inputs nl "a" 3 and b = Bus.inputs nl "b" 3 in
+  Netlist.output nl "eq" (Bus.eq nl a b);
+  let sim = Sim.create nl in
+  Bus.drive_int (Sim.set_input sim) "a" 3 6;
+  Bus.drive_int (Sim.set_input sim) "b" 3 6;
+  Sim.settle sim;
+  Alcotest.(check bool) "equal" true (Sim.output sim "eq");
+  Bus.drive_int (Sim.set_input sim) "b" 3 2;
+  Sim.settle sim;
+  Alcotest.(check bool) "unequal" false (Sim.output sim "eq")
+
+let test_bus_xor_enable () =
+  let nl = Netlist.create ~name:"x" in
+  let d = Bus.inputs nl "d" 8 in
+  let en = Netlist.input nl "en" in
+  let out = Bus.xor_enable nl d ~enable:en ~mask:0x0F in
+  Bus.outputs nl "o" out;
+  let sim = Sim.create nl in
+  Bus.drive_int (Sim.set_input sim) "d" 8 0xAB;
+  Sim.set_input sim "en" false;
+  Sim.settle sim;
+  Alcotest.(check int) "pass-through" 0xAB (Bus.to_int (Sim.peek sim) out);
+  Sim.set_input sim "en" true;
+  Sim.settle sim;
+  Alcotest.(check int) "flipped low nibble" (0xAB lxor 0x0F)
+    (Bus.to_int (Sim.peek sim) out)
+
+let test_combinational_cycle_detected () =
+  (* close a loop without a DFF: a = not a *)
+  let nl = Netlist.create ~name:"cyc" in
+  let q = Netlist.dff_loop nl (fun q -> q) in
+  ignore q;
+  (* that one is fine (identity through register); a real cycle needs a
+     self-feeding gate, which the combinator API cannot express, so check
+     the unconnected-DFF error path instead via a hand-built attempt *)
+  Netlist.finalise nl;
+  Alcotest.(check int) "one dff" 1 (Netlist.n_dffs nl)
+
+let test_duplicate_names () =
+  let nl = Netlist.create ~name:"dup" in
+  let a = Netlist.input nl "a" in
+  Alcotest.check_raises "duplicate input"
+    (Invalid_argument "Netlist.input: duplicate input \"a\"") (fun () ->
+      ignore (Netlist.input nl "a"));
+  Netlist.output nl "o" a;
+  Alcotest.check_raises "duplicate output"
+    (Invalid_argument "Netlist.output: duplicate output \"o\"") (fun () ->
+      Netlist.output nl "o" a)
+
+let test_frozen_after_finalise () =
+  let nl = Netlist.create ~name:"fr" in
+  let a = Netlist.input nl "a" in
+  Netlist.output nl "o" a;
+  Netlist.finalise nl;
+  Alcotest.check_raises "frozen"
+    (Invalid_argument "Netlist.const: netlist is finalised") (fun () ->
+      ignore (Netlist.const nl true))
+
+let test_stats () =
+  let nl = Netlist.create ~name:"st" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let x = Netlist.and_ nl a b in
+  let q = Netlist.dff nl x in
+  Netlist.output nl "o" (Netlist.or_ nl q x);
+  Alcotest.(check int) "gates" 2 (Netlist.n_gates nl);
+  Alcotest.(check int) "dffs" 1 (Netlist.n_dffs nl);
+  Alcotest.(check (list string)) "inputs" [ "a"; "b" ] (Netlist.input_names nl);
+  Alcotest.(check (list string)) "outputs" [ "o" ] (Netlist.output_names nl)
+
+let test_and_or_list () =
+  let nl = Netlist.create ~name:"lists" in
+  let ins = List.init 5 (fun i -> Netlist.input nl (Printf.sprintf "i%d" i)) in
+  Netlist.output nl "all" (Netlist.and_list nl ins);
+  Netlist.output nl "any" (Netlist.or_list nl ins);
+  let sim = Sim.create nl in
+  List.iteri (fun i _ -> Sim.set_input sim (Printf.sprintf "i%d" i) true) ins;
+  Sim.settle sim;
+  Alcotest.(check bool) "all true" true (Sim.output sim "all");
+  Sim.set_input sim "i3" false;
+  Sim.settle sim;
+  Alcotest.(check bool) "one false kills and" false (Sim.output sim "all");
+  Alcotest.(check bool) "or still true" true (Sim.output sim "any")
+
+(* Property: an 8-bit ripple counter built from gates tracks an integer
+   counter over a random enable sequence. *)
+let counter_matches_integer =
+  QCheck.Test.make ~name:"gate counter matches integer counter" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 60) bool)
+    (fun enables ->
+      let nl = Netlist.create ~name:"pc" in
+      let en = Netlist.input nl "en" in
+      let c = Bus.counter nl ~width:8 ~enable:en in
+      let sim = Sim.create nl in
+      let reference = ref 0 in
+      List.for_all
+        (fun e ->
+          Sim.step sim [ ("en", e) ];
+          if e then reference := (!reference + 1) land 0xFF;
+          Bus.to_int (Sim.peek sim) c = !reference)
+        enables)
+
+(* ----------------------------- verilog ---------------------------- *)
+
+module Verilog = Thr_gates.Verilog
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_verilog_structure () =
+  let nl = Netlist.create ~name:"demo one" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b.0" in
+  let x = Netlist.xor_ nl a b in
+  let q = Netlist.dff nl ~init:true x in
+  Netlist.output nl "out" (Netlist.mux nl ~sel:a ~t0:q ~t1:x);
+  let v = Verilog.to_string nl in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("has " ^ frag) true (contains v frag))
+    [
+      "module demo_one";
+      "input wire clk";
+      "input wire rst";
+      "input wire a";
+      "input wire b_0";
+      "output wire out";
+      "a ^ b_0";
+      "always @(posedge clk or posedge rst)";
+      "<= 1'b1;";
+      "endmodule";
+    ]
+
+let test_verilog_gate_counts () =
+  (* one assign per combinational driver, one reg per DFF *)
+  let nl = Netlist.create ~name:"counts" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let g1 = Netlist.and_ nl a b in
+  let g2 = Netlist.nor_ nl g1 a in
+  let q = Netlist.dff nl g2 in
+  Netlist.output nl "o" q;
+  let v = Verilog.to_string nl in
+  let count needle =
+    let n = ref 0 in
+    String.split_on_char '\n' v
+    |> List.iter (fun l -> if contains l needle then incr n);
+    !n
+  in
+  (* 2 gates + 1 output alias = 3 assigns, 1 reg *)
+  Alcotest.(check int) "assigns" 3 (count "assign ");
+  Alcotest.(check int) "regs" 1 (count "  reg ")
+
+let test_verilog_module_name_override () =
+  let nl = Netlist.create ~name:"x" in
+  let a = Netlist.input nl "a" in
+  Netlist.output nl "o" a;
+  let v = Verilog.to_string ~module_name:"My Top!" nl in
+  Alcotest.(check bool) "sanitised override" true (contains v "module My_Top_")
+
+let () =
+  Alcotest.run "gates"
+    [
+      ( "gates",
+        [
+          Alcotest.test_case "and" `Quick test_and;
+          Alcotest.test_case "or" `Quick test_or;
+          Alcotest.test_case "xor" `Quick test_xor;
+          Alcotest.test_case "nand" `Quick test_nand;
+          Alcotest.test_case "nor" `Quick test_nor;
+          Alcotest.test_case "not/const/mux" `Quick test_not_const_mux;
+          Alcotest.test_case "and_list/or_list" `Quick test_and_or_list;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "dff delay" `Quick test_dff_delay;
+          Alcotest.test_case "dff init" `Quick test_dff_init;
+          Alcotest.test_case "dff_loop toggle" `Quick test_dff_loop_toggle;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "reset" `Quick test_reset;
+          QCheck_alcotest.to_alcotest counter_matches_integer;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "eq_const" `Quick test_bus_eq_const;
+          Alcotest.test_case "eq" `Quick test_bus_eq;
+          Alcotest.test_case "xor_enable" `Quick test_bus_xor_enable;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "registered loop ok" `Quick test_combinational_cycle_detected;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+          Alcotest.test_case "frozen" `Quick test_frozen_after_finalise;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "structure" `Quick test_verilog_structure;
+          Alcotest.test_case "gate counts" `Quick test_verilog_gate_counts;
+          Alcotest.test_case "module name override" `Quick
+            test_verilog_module_name_override;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the HLS layer: specs, copies, rules, schedules, bindings,
+   designs. *)
+
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Rules = Thr_hls.Rules
+module Schedule = Thr_hls.Schedule
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Catalog = Thr_iplib.Catalog
+module Vendor = Thr_iplib.Vendor
+module Iptype = Thr_iplib.Iptype
+module Suite = Thr_benchmarks.Suite
+
+let motivational_spec ?(mode = Spec.Detection_and_recovery) ?(rule_variant = Spec.Strict_paper)
+    ?(closely_related = []) () =
+  Spec.make ~mode ~rule_variant ~closely_related ~dfg:(Suite.motivational ())
+    ~catalog:Catalog.table1 ~latency_detect:4 ~latency_recover:3
+    ~area_limit:22_000 ()
+
+let test_spec_validation () =
+  let dfg = Suite.motivational () in
+  Alcotest.check_raises "latency below cp"
+    (Invalid_argument "Spec.make: latency_detect 2 below critical path 3")
+    (fun () ->
+      ignore
+        (Spec.make ~dfg ~catalog:Catalog.table1 ~latency_detect:2 ~area_limit:1000 ()));
+  Alcotest.check_raises "bad area"
+    (Invalid_argument "Spec.make: area limit must be positive") (fun () ->
+      ignore
+        (Spec.make ~dfg ~catalog:Catalog.table1 ~latency_detect:4 ~area_limit:0 ()));
+  Alcotest.check_raises "related mismatched kinds"
+    (Invalid_argument "Spec.make: closely-related pair with mismatched kinds")
+    (fun () ->
+      ignore
+        (Spec.make ~closely_related:[ (0, 1) ] ~dfg ~catalog:Catalog.table1
+           ~latency_detect:4 ~area_limit:1000 ()));
+  (* diff2 has an Lt op but table1 sells no other-units *)
+  Alcotest.check_raises "missing type"
+    (Invalid_argument "Spec.make: no vendor offers other cores") (fun () ->
+      ignore
+        (Spec.make ~dfg:(Suite.diff2 ()) ~catalog:Catalog.table1 ~latency_detect:5
+           ~area_limit:100000 ()))
+
+let test_total_latency () =
+  let s = motivational_spec () in
+  Alcotest.(check int) "det+rec" 7 (Spec.total_latency s);
+  let s2 = motivational_spec ~mode:Spec.Detection_only () in
+  Alcotest.(check int) "det only" 4 (Spec.total_latency s2)
+
+let test_copy_indexing_bijection () =
+  let s = motivational_spec () in
+  Alcotest.(check int) "3n copies" 15 (Copy.count s);
+  List.iter
+    (fun c ->
+      let c' = Copy.of_index s (Copy.index s c) in
+      Alcotest.(check bool) "round trip" true (Copy.equal c c'))
+    (Copy.all s);
+  let s2 = motivational_spec ~mode:Spec.Detection_only () in
+  Alcotest.(check int) "2n copies" 10 (Copy.count s2);
+  Alcotest.check_raises "RV in det-only"
+    (Invalid_argument "Copy.index: RV copy in a detection-only spec") (fun () ->
+      ignore (Copy.index s2 { Copy.op = 0; phase = Copy.RV }))
+
+let count_reason spec reason =
+  List.length
+    (List.filter (fun c -> c.Rules.reason = reason) (Rules.conflicts spec))
+
+(* The motivational DFG: 5 ops, 4 edges, sibling pairs (0,1) and (2,3). *)
+let test_rules_counts_detection_only () =
+  let s = motivational_spec ~mode:Spec.Detection_only () in
+  Alcotest.(check int) "rule1: one per op" 5 (count_reason s Rules.R1_detection);
+  (* 4 edges x 2 computations *)
+  Alcotest.(check int) "rule2 parent-child" 8 (count_reason s Rules.R2_parent_child);
+  (* strict paper: siblings in NC only *)
+  Alcotest.(check int) "rule2 siblings" 2 (count_reason s Rules.R2_siblings);
+  Alcotest.(check int) "no recovery rules" 0 (count_reason s Rules.R1_recovery)
+
+let test_rules_counts_with_recovery () =
+  let s = motivational_spec () in
+  Alcotest.(check int) "rule1 det" 5 (count_reason s Rules.R1_detection);
+  (* 4 edges x 3 computations *)
+  Alcotest.(check int) "parent-child incl RV" 12 (count_reason s Rules.R2_parent_child);
+  (* RV_i vs NC_i and RC_i *)
+  Alcotest.(check int) "rule1 recovery" 10 (count_reason s Rules.R1_recovery)
+
+let test_rules_symmetric_variant () =
+  let strict = motivational_spec () in
+  let sym = motivational_spec ~rule_variant:Spec.Symmetric () in
+  Alcotest.(check int) "strict siblings NC only" 2
+    (count_reason strict Rules.R2_siblings);
+  Alcotest.(check int) "symmetric siblings all phases" 6
+    (count_reason sym Rules.R2_siblings)
+
+let test_rules_closely_related () =
+  (* ops 0 and 2 are both muls in the motivational DFG *)
+  let s = motivational_spec ~closely_related:[ (0, 2) ] () in
+  Alcotest.(check int) "rule2 recovery pairs" 4 (count_reason s Rules.R2_recovery)
+
+let test_rules_no_duplicate_pairs () =
+  let s = motivational_spec ~rule_variant:Spec.Symmetric ~closely_related:[ (0, 2) ] () in
+  let pairs =
+    List.map
+      (fun c ->
+        let a = Copy.index s c.Rules.a and b = Copy.index s c.Rules.b in
+        (min a b, max a b))
+      (Rules.conflicts s)
+  in
+  Alcotest.(check int) "no duplicates" (List.length pairs)
+    (List.length (List.sort_uniq compare pairs))
+
+let test_min_vendors_per_type () =
+  let s = motivational_spec () in
+  (* NC/RC/RV of one op are mutually conflicting: at least 3 vendors *)
+  Alcotest.(check bool) "adders >= 3" true (Rules.min_vendors_per_type s Iptype.Adder >= 3);
+  Alcotest.(check bool) "muls >= 3" true
+    (Rules.min_vendors_per_type s Iptype.Multiplier >= 3);
+  Alcotest.(check int) "unused type" 0 (Rules.min_vendors_per_type s Iptype.Other_unit)
+
+let test_schedule_asap_valid () =
+  let s = motivational_spec () in
+  let sched = Schedule.asap s in
+  Alcotest.(check (list string)) "no violations" [] (Schedule.check s sched);
+  Alcotest.(check int) "makespan" (4 + 3) (Schedule.makespan sched)
+
+let test_schedule_check_catches_violations () =
+  let s = motivational_spec () in
+  let steps = Schedule.steps (Schedule.asap s) in
+  (* push op 4's NC copy before its predecessors *)
+  steps.(4) <- 1;
+  let bad = Schedule.make s steps in
+  Alcotest.(check bool) "dependency violation" true (Schedule.check s bad <> []);
+  let steps2 = Schedule.steps (Schedule.asap s) in
+  steps2.(0) <- 9;
+  let bad2 = Schedule.make s steps2 in
+  Alcotest.(check bool) "window violation" true (Schedule.check s bad2 <> [])
+
+let test_schedule_make_length () =
+  let s = motivational_spec () in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Schedule.make: wrong number of steps") (fun () ->
+      ignore (Schedule.make s [| 1; 2 |]))
+
+(* A known-valid handmade design for the motivational spec: the one the
+   licence search finds (3 adders + 3 multiplier licences, $4160). *)
+let handmade_design () =
+  let s = motivational_spec () in
+  match Thr_opt.License_search.search s with
+  | Thr_opt.License_search.Solved { design; _ }, _ -> design
+  | _ -> Alcotest.fail "no design for motivational spec"
+
+let test_binding_licences_and_instances () =
+  let d = handmade_design () in
+  let lic = Binding.licences d.Design.spec d.Design.binding in
+  Alcotest.(check int) "6 licences" 6 (List.length lic);
+  let insts = Binding.instances d.Design.spec d.Design.schedule d.Design.binding in
+  let u = List.fold_left (fun acc (_, _, c) -> acc + c) 0 insts in
+  Alcotest.(check bool) "at least one instance per licence" true
+    (u >= List.length lic);
+  Alcotest.(check int) "stats u agrees" u (Design.stats d).Design.u;
+  (* instance assignment never double-books an instance in a step *)
+  let assignment =
+    Binding.instance_assignment d.Design.spec d.Design.schedule d.Design.binding
+  in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun idx inst ->
+      let copy = Copy.of_index d.Design.spec idx in
+      let key =
+        ( Vendor.id (Binding.vendor d.Design.binding idx),
+          Iptype.to_index (Spec.iptype_of_op d.Design.spec copy.Copy.op),
+          Schedule.step d.Design.schedule idx,
+          inst )
+      in
+      Alcotest.(check bool) "no double booking" false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ())
+    assignment
+
+let test_design_stats_match_paper_example () =
+  let d = handmade_design () in
+  let s = Design.stats d in
+  Alcotest.(check int) "mc" 4160 s.Design.mc;
+  Alcotest.(check int) "t" 6 s.Design.t;
+  Alcotest.(check bool) "area within limit" true (s.Design.area <= 22000);
+  Alcotest.(check (list string)) "validates" [] (Design.validate d)
+
+let test_design_validate_catches_rule_violation () =
+  let d = handmade_design () in
+  let vendors = Binding.vendors d.Design.binding in
+  (* force NC#0 and RC#0 onto the same vendor: violates detection rule 1 *)
+  let n = Thr_dfg.Dfg.n_ops d.Design.spec.Spec.dfg in
+  vendors.(n) <- vendors.(0);
+  let bad = Design.make d.Design.spec d.Design.schedule (Binding.make d.Design.spec vendors) in
+  Alcotest.(check bool) "caught" true
+    (List.exists
+       (fun msg ->
+         let contains hay needle =
+           let nh = String.length hay and nn = String.length needle in
+           let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+           go 0
+         in
+         contains msg "rule 1")
+       (Design.validate bad))
+
+let test_design_validate_catches_type_violation () =
+  let d = handmade_design () in
+  let vendors = Binding.vendors d.Design.binding in
+  (* op 1 is an adder; Ven 1 offers adders, so pick a fake vendor id 9 *)
+  vendors.(1) <- Vendor.make 9;
+  let bad = Design.make d.Design.spec d.Design.schedule (Binding.make d.Design.spec vendors) in
+  Alcotest.(check bool) "caught" true (Design.validate bad <> [])
+
+let test_design_report_renders () =
+  let d = handmade_design () in
+  let s = Format.asprintf "%a" Design.report d in
+  Alcotest.(check bool) "mentions cost" true (String.length s > 100)
+
+let () =
+  Alcotest.run "hls"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "total latency" `Quick test_total_latency;
+        ] );
+      ( "copy",
+        [ Alcotest.test_case "indexing bijection" `Quick test_copy_indexing_bijection ] );
+      ( "rules",
+        [
+          Alcotest.test_case "detection-only counts" `Quick
+            test_rules_counts_detection_only;
+          Alcotest.test_case "recovery counts" `Quick test_rules_counts_with_recovery;
+          Alcotest.test_case "symmetric variant" `Quick test_rules_symmetric_variant;
+          Alcotest.test_case "closely related" `Quick test_rules_closely_related;
+          Alcotest.test_case "no duplicate pairs" `Quick test_rules_no_duplicate_pairs;
+          Alcotest.test_case "min vendors" `Quick test_min_vendors_per_type;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "asap valid" `Quick test_schedule_asap_valid;
+          Alcotest.test_case "catches violations" `Quick
+            test_schedule_check_catches_violations;
+          Alcotest.test_case "length check" `Quick test_schedule_make_length;
+        ] );
+      ( "binding+design",
+        [
+          Alcotest.test_case "licences/instances" `Quick
+            test_binding_licences_and_instances;
+          Alcotest.test_case "stats match paper" `Quick
+            test_design_stats_match_paper_example;
+          Alcotest.test_case "catches rule violation" `Quick
+            test_design_validate_catches_rule_violation;
+          Alcotest.test_case "catches type violation" `Quick
+            test_design_validate_catches_type_violation;
+          Alcotest.test_case "report renders" `Quick test_design_report_renders;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the ILP modelling layer and branch-and-bound solver. *)
+
+module Model = Thr_ilp.Model
+module Solve = Thr_ilp.Solve
+module Enumerate = Thr_ilp.Enumerate
+
+let test_knapsack () =
+  let m = Model.create () in
+  let a = Model.add_bool m and b = Model.add_bool m in
+  let c = Model.add_bool m and d = Model.add_bool m in
+  Model.add_le m [ (5.0, a); (7.0, b); (4.0, c); (3.0, d) ] 14.0;
+  Model.set_objective m [ (-8.0, a); (-11.0, b); (-6.0, c); (-4.0, d) ];
+  match Solve.solve m with
+  | Solve.Optimal s, _ ->
+      Alcotest.(check (float 1e-9)) "objective" (-21.0) s.Solve.objective;
+      Alcotest.(check (list int)) "picks b,c,d" [ 0; 1; 1; 1 ]
+        (List.map (Solve.value s) [ a; b; c; d ])
+  | o, _ -> Alcotest.fail (Format.asprintf "%a" Solve.pp_outcome o)
+
+let test_integer_rounding_matters () =
+  (* LP relaxation of max x st 2x<=3 gives 1.5; ILP must give 1 *)
+  let m = Model.create () in
+  let x = Model.add_int m ~lo:0 ~up:5 in
+  Model.add_le m [ (2.0, x) ] 3.0;
+  Model.set_objective m [ (-1.0, x) ];
+  match Solve.solve m with
+  | Solve.Optimal s, _ -> Alcotest.(check int) "x" 1 (Solve.value s x)
+  | o, _ -> Alcotest.fail (Format.asprintf "%a" Solve.pp_outcome o)
+
+let test_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_bool m in
+  Model.add_ge m [ (1.0, x) ] 2.0;
+  match Solve.solve m with
+  | Solve.Infeasible, _ -> ()
+  | o, _ -> Alcotest.fail (Format.asprintf "expected infeasible: %a" Solve.pp_outcome o)
+
+let test_equality_constraint () =
+  (* x + y = 1 with costs 3,2 -> pick y *)
+  let m = Model.create () in
+  let x = Model.add_bool m and y = Model.add_bool m in
+  Model.add_eq m [ (1.0, x); (1.0, y) ] 1.0;
+  Model.set_objective m [ (3.0, x); (2.0, y) ];
+  match Solve.solve m with
+  | Solve.Optimal s, _ ->
+      Alcotest.(check (float 1e-9)) "objective" 2.0 s.Solve.objective;
+      Alcotest.(check int) "y chosen" 1 (Solve.value s y)
+  | o, _ -> Alcotest.fail (Format.asprintf "%a" Solve.pp_outcome o)
+
+let test_budget () =
+  let m = Model.create () in
+  let xs = List.init 12 (fun _ -> Model.add_bool m) in
+  List.iteri (fun i x -> Model.add_le m [ (float_of_int (i + 1), x) ] 100.0) xs;
+  Model.set_objective m (List.map (fun x -> (-1.0, x)) xs);
+  match Solve.solve ~max_nodes:1 m with
+  | Solve.Budget _, st -> Alcotest.(check int) "one node" 1 st.Solve.nodes
+  | Solve.Optimal _, st ->
+      (* root LP may already be integral; accept but require single node *)
+      Alcotest.(check int) "one node" 1 st.Solve.nodes
+  | o, _ -> Alcotest.fail (Format.asprintf "%a" Solve.pp_outcome o)
+
+let test_check_assignment () =
+  let m = Model.create () in
+  let x = Model.add_bool m and y = Model.add_int m ~lo:0 ~up:3 in
+  Model.add_le m [ (1.0, x); (1.0, y) ] 2.0;
+  Model.set_objective m [ (1.0, x); (1.0, y) ];
+  Alcotest.(check bool) "feasible" true (Model.check_assignment m [| 1; 1 |]);
+  Alcotest.(check bool) "violates constraint" false (Model.check_assignment m [| 1; 2 |]);
+  Alcotest.(check bool) "violates bounds" false (Model.check_assignment m [| 2; 0 |]);
+  Alcotest.(check (float 1e-9)) "objective" 2.0 (Model.eval_objective m [| 1; 1 |])
+
+let test_var_names () =
+  let m = Model.create () in
+  let x = Model.add_bool ~name:"chi" m in
+  let y = Model.add_bool m in
+  Alcotest.(check string) "named" "chi" (Model.var_name m x);
+  Alcotest.(check string) "default" "x1" (Model.var_name m y);
+  Alcotest.(check int) "index" 1 (Model.var_index y)
+
+let test_add_int_validation () =
+  let m = Model.create () in
+  Alcotest.check_raises "up < lo" (Invalid_argument "Model.add_int: up < lo")
+    (fun () -> ignore (Model.add_int m ~lo:2 ~up:1))
+
+let test_enumerate_matches_bb_on_knapsack () =
+  let m = Model.create () in
+  let a = Model.add_bool m and b = Model.add_bool m and c = Model.add_bool m in
+  Model.add_le m [ (3.0, a); (4.0, b); (5.0, c) ] 8.0;
+  Model.set_objective m [ (-3.0, a); (-5.0, b); (-6.0, c) ];
+  let bb =
+    match Solve.solve m with
+    | Solve.Optimal s, _ -> s.Solve.objective
+    | o, _ -> Alcotest.fail (Format.asprintf "%a" Solve.pp_outcome o)
+  in
+  match Enumerate.solve m with
+  | Some s -> Alcotest.(check (float 1e-9)) "agree" s.Solve.objective bb
+  | None -> Alcotest.fail "enumerate found nothing"
+
+(* Property: on random small 0-1 models, branch-and-bound agrees with
+   exhaustive enumeration on the optimal objective (or both infeasible). *)
+let random_model_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 1 5 in
+    let* rows =
+      list_repeat m
+        (pair (list_repeat n (int_range (-4) 4)) (int_range (-2) 8))
+    in
+    let* obj = list_repeat n (int_range (-5) 5) in
+    return (n, rows, obj))
+
+let bb_matches_enumeration =
+  QCheck.Test.make ~name:"B&B matches exhaustive enumeration" ~count:200
+    (QCheck.make random_model_gen)
+    (fun (n, rows, obj) ->
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_bool m) in
+      List.iter
+        (fun (coefs, rhs) ->
+          let terms =
+            List.map2 (fun c v -> (float_of_int c, v)) coefs vars
+            |> List.filter (fun (c, _) -> c <> 0.0)
+          in
+          if terms <> [] then Model.add_le m terms (float_of_int rhs))
+        rows;
+      Model.set_objective m (List.map2 (fun c v -> (float_of_int c, v)) obj vars);
+      let enum = Enumerate.solve m in
+      match (Solve.solve m, enum) with
+      | (Solve.Optimal s, _), Some e ->
+          Float.abs (s.Solve.objective -. e.Solve.objective) < 1e-6
+          && Model.check_assignment m s.Solve.values
+      | (Solve.Infeasible, _), None -> true
+      | _ -> false)
+
+(* --------------------------- LP export ---------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_lp_format_structure () =
+  let m = Model.create () in
+  let x = Model.add_bool ~name:"x" m in
+  let y = Model.add_int ~name:"y" m ~lo:0 ~up:7 in
+  Model.add_le m [ (2.0, x); (3.0, y) ] 10.0;
+  Model.add_ge m [ (1.0, y) ] 1.0;
+  Model.add_eq m [ (1.0, x); (1.0, y) ] 3.0;
+  Model.set_objective m [ (5.0, x); (-1.0, y) ];
+  let s = Thr_ilp.Lp_format.to_string m in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("has " ^ frag) true (contains s frag))
+    [
+      "Minimize"; "Subject To"; "Bounds"; "Binary"; "General"; "End";
+      "5 x"; "2 x + 3 y <= 10"; "y >= 1"; "x + y = 3"; "0 <= y <= 7";
+    ]
+
+let test_lp_format_sanitises_names () =
+  let m = Model.create () in
+  let bad = Model.add_bool ~name:"0weird name!" m in
+  Model.set_objective m [ (1.0, bad) ];
+  let s = Thr_ilp.Lp_format.to_string m in
+  Alcotest.(check bool) "no spaces in identifier" true (contains s "v_0weird_name_")
+
+let test_lp_format_write () =
+  let m = Model.create () in
+  let x = Model.add_bool m in
+  Model.set_objective m [ (1.0, x) ];
+  let path = Filename.temp_file "thls" ".lp" in
+  Thr_ilp.Lp_format.write m path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" (Thr_ilp.Lp_format.to_string m) contents
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "solve",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "integer rounding" `Quick test_integer_rounding_matters;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "budget" `Quick test_budget;
+          QCheck_alcotest.to_alcotest bb_matches_enumeration;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "check assignment" `Quick test_check_assignment;
+          Alcotest.test_case "var names" `Quick test_var_names;
+          Alcotest.test_case "add_int validation" `Quick test_add_int_validation;
+          Alcotest.test_case "enumerate vs bb" `Quick test_enumerate_matches_bb_on_knapsack;
+        ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "structure" `Quick test_lp_format_structure;
+          Alcotest.test_case "sanitised names" `Quick test_lp_format_sanitises_names;
+          Alcotest.test_case "write" `Quick test_lp_format_write;
+        ] );
+    ]

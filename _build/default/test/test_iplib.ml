@@ -1,0 +1,166 @@
+(* Tests for thr_iplib: IP types, vendors, catalogues. *)
+
+module Iptype = Thr_iplib.Iptype
+module Vendor = Thr_iplib.Vendor
+module Catalog = Thr_iplib.Catalog
+open Thr_dfg.Op
+
+let test_iptype_of_op () =
+  Alcotest.(check string) "add->adder" "adder" (Iptype.to_string (Iptype.of_op Add));
+  Alcotest.(check string) "sub->adder" "adder" (Iptype.to_string (Iptype.of_op Sub));
+  Alcotest.(check string) "mul->multiplier" "multiplier"
+    (Iptype.to_string (Iptype.of_op Mul));
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Thr_dfg.Op.to_string k ^ "->other")
+        "other"
+        (Iptype.to_string (Iptype.of_op k)))
+    [ Lt; Shl; Shr ]
+
+let test_iptype_index_bijection () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) "round trip" true
+        (Iptype.equal ty (Iptype.of_index (Iptype.to_index ty))))
+    Iptype.all;
+  Alcotest.check_raises "bad index" (Invalid_argument "Iptype.of_index") (fun () ->
+      ignore (Iptype.of_index 3))
+
+let test_vendor () =
+  let v = Vendor.make 3 in
+  Alcotest.(check int) "id" 3 (Vendor.id v);
+  Alcotest.(check string) "name" "Ven 3" (Vendor.name v);
+  Alcotest.(check int) "range" 5 (List.length (Vendor.range 5));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Vendor.make: id must be positive") (fun () ->
+      ignore (Vendor.make 0))
+
+let test_table1_values () =
+  let c = Catalog.table1 in
+  Alcotest.(check int) "vendors" 4 (Catalog.n_vendors c);
+  (* spot-check against the paper's Table 1 *)
+  Alcotest.(check int) "ven1 adder area" 532
+    (Catalog.area c (Vendor.make 1) Iptype.Adder);
+  Alcotest.(check int) "ven1 adder cost" 450
+    (Catalog.cost c (Vendor.make 1) Iptype.Adder);
+  Alcotest.(check int) "ven2 mult area" 5731
+    (Catalog.area c (Vendor.make 2) Iptype.Multiplier);
+  Alcotest.(check int) "ven3 mult cost" 760
+    (Catalog.cost c (Vendor.make 3) Iptype.Multiplier);
+  Alcotest.(check int) "ven4 mult cost" 1000
+    (Catalog.cost c (Vendor.make 4) Iptype.Multiplier);
+  Alcotest.(check bool) "no other units" false
+    (Catalog.offers c (Vendor.make 1) Iptype.Other_unit)
+
+let test_eight_vendors () =
+  let c = Catalog.eight_vendors in
+  Alcotest.(check int) "vendors" 8 (Catalog.n_vendors c);
+  List.iter
+    (fun ty ->
+      Alcotest.(check int)
+        (Iptype.to_string ty ^ " offered by all")
+        8
+        (List.length (Catalog.vendors_offering c ty)))
+    Iptype.all;
+  (* vendors 1-4 match Table 1 on adders and multipliers *)
+  List.iter
+    (fun vid ->
+      let v = Vendor.make vid in
+      List.iter
+        (fun ty ->
+          Alcotest.(check int) "area matches table1"
+            (Catalog.area Catalog.table1 v ty)
+            (Catalog.area c v ty);
+          Alcotest.(check int) "cost matches table1"
+            (Catalog.cost Catalog.table1 v ty)
+            (Catalog.cost c v ty))
+        [ Iptype.Adder; Iptype.Multiplier ])
+    [ 1; 2; 3; 4 ]
+
+let test_cheapest_vendors () =
+  let c = Catalog.table1 in
+  let order = List.map Vendor.id (Catalog.cheapest_vendors c Iptype.Multiplier) in
+  (* costs: 950, 880, 760, 1000 -> 3, 2, 1, 4 *)
+  Alcotest.(check (list int)) "ascending cost" [ 3; 2; 1; 4 ] order
+
+let test_min_area () =
+  Alcotest.(check int) "cheapest adder area" 532
+    (Catalog.min_area Catalog.table1 Iptype.Adder);
+  Alcotest.(check int) "cheapest mult area" 5731
+    (Catalog.min_area Catalog.table1 Iptype.Multiplier)
+
+let test_entry_absent () =
+  let c = Catalog.table1 in
+  Alcotest.(check bool) "entry None" true
+    (Catalog.entry c (Vendor.make 1) Iptype.Other_unit = None);
+  Alcotest.check_raises "area raises"
+    (Invalid_argument "Catalog.area: Ven 1 does not offer other") (fun () ->
+      ignore (Catalog.area c (Vendor.make 1) Iptype.Other_unit))
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Catalog.make: empty catalogue")
+    (fun () -> ignore (Catalog.make []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Catalog.make: area and cost must be positive") (fun () ->
+      ignore (Catalog.make [ (1, Iptype.Adder, { Catalog.area = 0; cost = 5 }) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.make: duplicate entry for Ven 1 adder") (fun () ->
+      ignore
+        (Catalog.make
+           [
+             (1, Iptype.Adder, { Catalog.area = 1; cost = 1 });
+             (1, Iptype.Adder, { Catalog.area = 2; cost = 2 });
+           ]))
+
+let test_random_catalog () =
+  let prng = Thr_util.Prng.create ~seed:21 in
+  let c = Catalog.random ~prng ~n_vendors:6 in
+  Alcotest.(check int) "vendors" 6 (Catalog.n_vendors c);
+  List.iter
+    (fun v ->
+      List.iter
+        (fun ty ->
+          Alcotest.(check bool) "offered" true (Catalog.offers c v ty);
+          Alcotest.(check bool) "positive" true
+            (Catalog.area c v ty > 0 && Catalog.cost c v ty > 0))
+        Iptype.all)
+    (Catalog.vendors c);
+  (* deterministic from the seed *)
+  let prng' = Thr_util.Prng.create ~seed:21 in
+  let c' = Catalog.random ~prng:prng' ~n_vendors:6 in
+  Alcotest.(check int) "deterministic"
+    (Catalog.cost c (Vendor.make 3) Iptype.Adder)
+    (Catalog.cost c' (Vendor.make 3) Iptype.Adder)
+
+let test_pp_contains_rows () =
+  let s = Format.asprintf "%a" Catalog.pp Catalog.table1 in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has Ven 1" true (contains "Ven 1");
+  Alcotest.(check bool) "has 6843" true (contains "6843")
+
+let () =
+  Alcotest.run "iplib"
+    [
+      ( "iptype",
+        [
+          Alcotest.test_case "of_op" `Quick test_iptype_of_op;
+          Alcotest.test_case "index bijection" `Quick test_iptype_index_bijection;
+        ] );
+      ("vendor", [ Alcotest.test_case "basics" `Quick test_vendor ]);
+      ( "catalog",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_values;
+          Alcotest.test_case "eight vendors" `Quick test_eight_vendors;
+          Alcotest.test_case "cheapest order" `Quick test_cheapest_vendors;
+          Alcotest.test_case "min area" `Quick test_min_area;
+          Alcotest.test_case "absent entries" `Quick test_entry_absent;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "random" `Quick test_random_catalog;
+          Alcotest.test_case "pretty print" `Quick test_pp_contains_rows;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for the word-level arithmetic and the RTL elaboration, including
+   cycle-accurate co-simulation against the behavioural engine. *)
+
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Word = Thr_gates.Word
+module Sim = Thr_gates.Sim
+module Rtl = Thr_runtime.Rtl
+module Engine = Thr_runtime.Engine
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Trojan = Thr_trojan.Trojan
+module Eval = Thr_dfg.Eval
+module Prng = Thr_util.Prng
+
+let width = 12
+
+let mask_w = (1 lsl width) - 1
+
+let sign_extend v =
+  if v land (1 lsl (width - 1)) <> 0 then (v land mask_w) - (1 lsl width)
+  else v land mask_w
+
+(* build a two-operand combinational harness for one Word operation *)
+let word_harness build =
+  let nl = Netlist.create ~name:"word" in
+  let a = Bus.inputs nl "a" width in
+  let b = Bus.inputs nl "b" width in
+  let out = build nl a b in
+  Bus.outputs nl "o" out;
+  let sim = Sim.create nl in
+  fun x y ->
+    Bus.drive_int (Sim.set_input sim) "a" width (x land mask_w);
+    Bus.drive_int (Sim.set_input sim) "b" width (y land mask_w);
+    Sim.settle sim;
+    Bus.to_int (Sim.peek sim) out
+
+let word_matches_reference name build reference =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(pair (int_range (-2000) 2000) (int_range (-2000) 2000))
+    (fun (x, y) ->
+      let gate = (word_harness build) x y in
+      gate = reference x y land mask_w)
+  |> QCheck_alcotest.to_alcotest
+
+let add_prop = word_matches_reference "Word.add == (+) mod 2^w" Word.add ( + )
+
+let sub_prop = word_matches_reference "Word.sub == (-) mod 2^w" Word.sub ( - )
+
+let mul_prop = word_matches_reference "Word.mul == ( * ) mod 2^w" Word.mul ( * )
+
+let lt_prop =
+  QCheck.Test.make ~name:"Word.lt_signed == signed <" ~count:300
+    QCheck.(pair (int_range (-2000) 2000) (int_range (-2000) 2000))
+    (fun (x, y) ->
+      let run = word_harness Word.lt_signed_bus in
+      let gate = run x y in
+      let expected = if sign_extend x < sign_extend y then 1 else 0 in
+      gate = expected)
+  |> QCheck_alcotest.to_alcotest
+
+let shl_prop =
+  QCheck.Test.make ~name:"Word.shl == lsl mod 2^w" ~count:300
+    QCheck.(pair (int_range 0 4000) (int_range 0 63))
+    (fun (x, s) ->
+      let run = word_harness (fun nl a b -> Word.shl nl a ~amount:b) in
+      let gate = run x s in
+      gate = Thr_dfg.Op.eval Thr_dfg.Op.Shl (x land mask_w) s land mask_w)
+  |> QCheck_alcotest.to_alcotest
+
+let shr_prop =
+  QCheck.Test.make ~name:"Word.ashr == asr on sign-extended words" ~count:300
+    QCheck.(pair (int_range (-2000) 2000) (int_range 0 63))
+    (fun (x, s) ->
+      let run = word_harness (fun nl a b -> Word.ashr nl a ~amount:b) in
+      let gate = run x s in
+      gate = Thr_dfg.Op.eval Thr_dfg.Op.Shr (sign_extend x) s land mask_w)
+  |> QCheck_alcotest.to_alcotest
+
+let test_register () =
+  let nl = Netlist.create ~name:"reg" in
+  let en = Netlist.input nl "en" in
+  let d = Bus.inputs nl "d" 4 in
+  let q = Word.register nl ~enable:en d in
+  Bus.outputs nl "q" q;
+  let sim = Sim.create nl in
+  Bus.drive_int (Sim.set_input sim) "d" 4 9;
+  Sim.set_input sim "en" false;
+  Sim.clock sim;
+  Alcotest.(check int) "hold" 0 (Bus.to_int (Sim.peek sim) q);
+  Sim.set_input sim "en" true;
+  Sim.clock sim;
+  Alcotest.(check int) "capture" 9 (Bus.to_int (Sim.peek sim) q);
+  Sim.set_input sim "en" false;
+  Bus.drive_int (Sim.set_input sim) "d" 4 3;
+  Sim.clock sim;
+  Alcotest.(check int) "hold captured" 9 (Bus.to_int (Sim.peek sim) q)
+
+(* ------------------------ RTL co-simulation ----------------------- *)
+
+let design_for name catalog l_det l_rec area =
+  let dfg = Option.get (Thr_benchmarks.Suite.find name) in
+  let spec =
+    Spec.make ~dfg ~catalog ~latency_detect:l_det ~latency_recover:l_rec
+      ~area_limit:area ()
+  in
+  match Thr_opt.License_search.search spec with
+  | Thr_opt.License_search.Solved { design; _ }, _ -> design
+  | _ -> Alcotest.fail ("no design for " ^ name)
+
+let small_env prng dfg =
+  List.map (fun nm -> (nm, Prng.int_in prng 1 15)) (Thr_dfg.Dfg.inputs dfg)
+
+let test_rtl_clean_matches_golden () =
+  List.iter
+    (fun (name, catalog, l_det, l_rec, area) ->
+      let design = design_for name catalog l_det l_rec area in
+      let rtl = Rtl.elaborate ~width:16 design in
+      let prng = Prng.create ~seed:5 in
+      for _ = 1 to 5 do
+        let env = small_env prng design.Design.spec.Spec.dfg in
+        let golden = Eval.outputs design.Design.spec.Spec.dfg env in
+        let r = Rtl.run rtl env in
+        Alcotest.(check bool) (name ^ " no mismatch") false r.Rtl.r_mismatch;
+        Alcotest.(check (list (pair int int))) (name ^ " nc == golden") golden r.Rtl.r_nc;
+        Alcotest.(check (list (pair int int))) (name ^ " rc == golden") golden r.Rtl.r_rc
+      done)
+    [
+      ("motivational", Thr_iplib.Catalog.table1, 4, 3, 40_000);
+      ("diff2", Thr_iplib.Catalog.eight_vendors, 5, 4, 80_000);
+    ]
+
+let injection_for design env op payload =
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let golden = Eval.run dfg env in
+  let a, b = Eval.operand_values dfg env golden op in
+  let nc = Copy.index spec { Copy.op; phase = Copy.NC } in
+  {
+    Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+    inj_type = Spec.iptype_of_op spec op;
+    trojan =
+      Trojan.make
+        (Trojan.Combinational
+           { a_pattern = a land 0xFFFF; b_pattern = b land 0xFFFF; mask = 0xFFFF })
+        payload;
+  }
+
+let test_rtl_detects_and_recovers () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let dfg = design.Design.spec.Spec.dfg in
+  let env = [ ("a", 3); ("b", 5); ("c", 7); ("d", 2); ("e", 4); ("f", 6) ] in
+  let golden = Eval.outputs dfg env in
+  for op = 0 to Thr_dfg.Dfg.n_ops dfg - 1 do
+    let inj = injection_for design env op (Trojan.Xor_offset 0x0FF) in
+    let rtl = Rtl.elaborate ~width:16 ~injections:[ inj ] design in
+    let r = Rtl.run rtl env in
+    Alcotest.(check bool) (Printf.sprintf "op %d detected" op) true r.Rtl.r_mismatch;
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "op %d recovery correct" op)
+      golden r.Rtl.r_rv
+  done
+
+let test_rtl_agrees_with_engine () =
+  (* behavioural and structural verdicts agree over random injections *)
+  let design = design_for "diff2" Thr_iplib.Catalog.eight_vendors 5 4 80_000 in
+  let dfg = design.Design.spec.Spec.dfg in
+  let prng = Prng.create ~seed:11 in
+  for _ = 1 to 10 do
+    let env = small_env prng dfg in
+    let op = Prng.int prng (Thr_dfg.Dfg.n_ops dfg) in
+    let inj = injection_for design env op (Trojan.Xor_offset (1 + Prng.int prng 0xFF)) in
+    let rtl = Rtl.elaborate ~width:16 ~injections:[ inj ] design in
+    let r = Rtl.run rtl env in
+    let beh = Engine.run ~injections:[ inj ] design env in
+    Alcotest.(check bool) "same detection verdict" beh.Engine.detected r.Rtl.r_mismatch;
+    if beh.Engine.detected then begin
+      let golden = Eval.outputs dfg env in
+      Alcotest.(check bool) "same recovery verdict" beh.Engine.recovery_correct
+        (r.Rtl.r_rv = golden)
+    end
+  done
+
+let test_rtl_sequential_trojan () =
+  (* a threshold-2 counter trigger on a core that executes the matching
+     operands twice in a row would fire; here the NC copy executes once
+     per run, so threshold 1 fires and threshold 2 stays silent *)
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let dfg = design.Design.spec.Spec.dfg in
+  let env = [ ("a", 3); ("b", 5); ("c", 7); ("d", 2); ("e", 4); ("f", 6) ] in
+  let golden = Eval.run dfg env in
+  let a, b = Eval.operand_values dfg env golden 4 in
+  let nc = Copy.index design.Design.spec { Copy.op = 4; phase = Copy.NC } in
+  let make_inj threshold =
+    {
+      Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+      inj_type = Spec.iptype_of_op design.Design.spec 4;
+      trojan =
+        Trojan.make
+          (Trojan.Sequential
+             { a_pattern = a land 0xFFFF; b_pattern = b land 0xFFFF;
+               mask = 0xFFFF; threshold })
+          (Trojan.Xor_offset 0x3C);
+    }
+  in
+  let r1 = Rtl.run (Rtl.elaborate ~width:16 ~injections:[ make_inj 1 ] design) env in
+  Alcotest.(check bool) "threshold 1 fires" true r1.Rtl.r_mismatch;
+  let r2 = Rtl.run (Rtl.elaborate ~width:16 ~injections:[ make_inj 2 ] design) env in
+  Alcotest.(check bool) "threshold 2 stays silent" false r2.Rtl.r_mismatch
+
+let test_rtl_latched_payload_defeats_recovery () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let dfg = design.Design.spec.Spec.dfg in
+  let env = [ ("a", 3); ("b", 5); ("c", 7); ("d", 2); ("e", 4); ("f", 6) ] in
+  let golden = Eval.outputs dfg env in
+  let inj = injection_for design env 4 (Trojan.Latched 0x55) in
+  let rtl = Rtl.elaborate ~width:16 ~injections:[ inj ] design in
+  let r = Rtl.run rtl env in
+  Alcotest.(check bool) "detected" true r.Rtl.r_mismatch;
+  Alcotest.(check bool) "latched corruption survives re-binding" true
+    (r.Rtl.r_rv <> golden)
+
+let test_rtl_validation () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  Alcotest.check_raises "narrow width"
+    (Invalid_argument "Rtl.elaborate: width must be at least 6") (fun () ->
+      ignore (Rtl.elaborate ~width:4 design));
+  let dfg = design.Design.spec.Spec.dfg in
+  let env = List.map (fun nm -> (nm, 1)) (Thr_dfg.Dfg.inputs dfg) in
+  let golden = Eval.run dfg env in
+  let a, b = Eval.operand_values dfg env golden 0 in
+  ignore (a, b);
+  let inj =
+    {
+      Engine.inj_vendor = Thr_iplib.Vendor.make 1;
+      inj_type = Thr_iplib.Iptype.Multiplier;
+      trojan =
+        Trojan.make
+          (Trojan.Combinational
+             { a_pattern = 1 lsl 20; b_pattern = 0; mask = 0xFFFFFF })
+          (Trojan.Xor_offset 1);
+    }
+  in
+  Alcotest.check_raises "oversized pattern"
+    (Invalid_argument "Rtl.elaborate: injection does not fit the datapath width")
+    (fun () -> ignore (Rtl.elaborate ~width:8 ~injections:[ inj ] design))
+
+let test_rtl_stats () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:8 design in
+  let s = Rtl.stats rtl in
+  Alcotest.(check bool) "mentions gates" true (String.length s > 10);
+  Alcotest.(check int) "7 cycles" 7 rtl.Rtl.total_cycles
+
+(* Property: on random small DFGs, the structural netlist and the
+   behavioural engine agree on detection and recovery for adversarial
+   combinational injections. *)
+let rtl_engine_equivalence =
+  QCheck.Test.make ~name:"RTL == engine on random DFGs" ~count:6
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create ~seed in
+      let config =
+        { Thr_benchmarks.Generator.default_config with n_ops = 6; n_layers = 3 }
+      in
+      let dfg = Thr_benchmarks.Generator.generate ~config ~prng () in
+      let cp = Thr_dfg.Dfg.critical_path dfg in
+      let spec =
+        Spec.make ~dfg ~catalog:Thr_iplib.Catalog.eight_vendors
+          ~latency_detect:(cp + 1) ~latency_recover:cp ~area_limit:300_000 ()
+      in
+      match Thr_opt.License_search.search spec with
+      | Thr_opt.License_search.Solved { design; _ }, _ ->
+          let env = small_env prng dfg in
+          let op = Prng.int prng (Thr_dfg.Dfg.n_ops dfg) in
+          let inj =
+            injection_for design env op (Trojan.Xor_offset (1 + Prng.int prng 0xFF))
+          in
+          let rtl = Rtl.elaborate ~width:20 ~injections:[ inj ] design in
+          let r = Rtl.run rtl env in
+          let beh = Engine.run ~injections:[ inj ] design env in
+          let golden = Eval.outputs dfg env in
+          Bool.equal beh.Engine.detected r.Rtl.r_mismatch
+          && ((not beh.Engine.detected)
+             || Bool.equal beh.Engine.recovery_correct (r.Rtl.r_rv = golden))
+      | _ -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "word",
+        [
+          add_prop;
+          sub_prop;
+          mul_prop;
+          lt_prop;
+          shl_prop;
+          shr_prop;
+          Alcotest.test_case "register" `Quick test_register;
+        ] );
+      ( "rtl",
+        [
+          Alcotest.test_case "clean matches golden" `Quick test_rtl_clean_matches_golden;
+          Alcotest.test_case "detects and recovers (every op)" `Quick
+            test_rtl_detects_and_recovers;
+          Alcotest.test_case "agrees with engine" `Quick test_rtl_agrees_with_engine;
+          Alcotest.test_case "sequential trojan" `Quick test_rtl_sequential_trojan;
+          Alcotest.test_case "latched payload" `Quick
+            test_rtl_latched_payload_defeats_recovery;
+          Alcotest.test_case "validation" `Quick test_rtl_validation;
+          Alcotest.test_case "stats" `Quick test_rtl_stats;
+          QCheck_alcotest.to_alcotest rtl_engine_equivalence;
+        ] );
+    ]

