@@ -5,6 +5,11 @@
      dune exec bench/main.exe            # fig5 table3 table4 campaign ablation
      dune exec bench/main.exe -- table3  # a single experiment
      dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- json    # solver metrics -> BENCH_solvers.json
+
+   `--jobs N` fans independent work (table rows, campaign trials) out over
+   N domains; the default is `Dpool.default_jobs ()` and `--jobs 1` runs
+   everything sequentially and deterministically.
 
    Area constraints: the paper's absolute unit-cell numbers assume its
    (unpublished) 8-vendor catalogue, so each row's area budget is derived
@@ -13,6 +18,9 @@
    EXPERIMENTS.md). *)
 
 module T = Trojan_hls
+
+(* set from --jobs in [main] before any experiment runs *)
+let jobs = ref 1
 
 let catalog = T.Catalog.eight_vendors
 
@@ -92,42 +100,45 @@ let run_table ~mode ~title ~paper_table rows =
         [ "Benchmark"; "n"; "lambda"; "A"; "u"; "t"; "v"; "mc"; "paper mc"; "time" ]
       ()
   in
-  List.iter
-    (fun row ->
-      let spec = spec_of_row ~mode row in
-      let n = T.Dfg.n_ops spec.T.Spec.dfg in
-      (match T.Optimize.run ~per_call_nodes:150_000 ~max_candidates:300_000 ~time_limit:30.0 spec with
-      | Ok { design; quality; seconds; _ } ->
-          let s = T.Design.stats design in
-          assert (T.Design.is_valid design);
-          T.Tablefmt.add_row table
-            [
-              row.bench;
-              string_of_int n;
-              string_of_int row.lambda;
-              string_of_int spec.T.Spec.area_limit;
-              string_of_int s.T.Design.u;
-              string_of_int s.T.Design.t;
-              string_of_int s.T.Design.v;
-              Printf.sprintf "$%d%s" s.T.Design.mc (T.Optimize.quality_suffix quality);
-              "$" ^ row.paper_mc;
-              Printf.sprintf "%.2fs" seconds;
-            ]
-      | Error e ->
-          T.Tablefmt.add_row table
-            [
-              row.bench;
-              string_of_int n;
-              string_of_int row.lambda;
-              string_of_int spec.T.Spec.area_limit;
-              "-"; "-"; "-";
-              (match e with
-              | T.Optimize.Infeasible_proven -> "infeasible"
-              | T.Optimize.Infeasible_budget -> "budget");
-              "$" ^ row.paper_mc;
-              "-";
-            ]))
-    rows;
+  (* each row is an independent solve: fan them out over the domain pool
+     (order is preserved — cells come back in row order) *)
+  let row_cells row =
+    let spec = spec_of_row ~mode row in
+    let n = T.Dfg.n_ops spec.T.Spec.dfg in
+    match T.Optimize.run ~per_call_nodes:150_000 ~max_candidates:300_000 ~time_limit:30.0 spec with
+    | Ok { design; quality; seconds; _ } ->
+        let s = T.Design.stats design in
+        assert (T.Design.is_valid design);
+        [
+          row.bench;
+          string_of_int n;
+          string_of_int row.lambda;
+          string_of_int spec.T.Spec.area_limit;
+          string_of_int s.T.Design.u;
+          string_of_int s.T.Design.t;
+          string_of_int s.T.Design.v;
+          Printf.sprintf "$%d%s" s.T.Design.mc (T.Optimize.quality_suffix quality);
+          "$" ^ row.paper_mc;
+          Printf.sprintf "%.2fs" seconds;
+        ]
+    | Error e ->
+        [
+          row.bench;
+          string_of_int n;
+          string_of_int row.lambda;
+          string_of_int spec.T.Spec.area_limit;
+          "-"; "-"; "-";
+          (match e with
+          | T.Optimize.Infeasible_proven -> "infeasible"
+          | T.Optimize.Infeasible_budget -> "budget");
+          "$" ^ row.paper_mc;
+          "-";
+        ]
+  in
+  let cells =
+    T.Dpool.run ~jobs:!jobs (fun pool -> T.Dpool.map pool row_cells rows)
+  in
+  List.iter (T.Tablefmt.add_row table) cells;
   Format.printf "%s" (T.Tablefmt.render table);
   Format.printf
     "(A derived from our catalogue: 2.5x / 1.5x the area lower bound; paper \
@@ -191,7 +202,7 @@ let campaign () =
       | Ok { design; _ } ->
           let prng = T.Prng.create ~seed:2014 in
           let config = { T.Campaign.default_config with n_runs = 200 } in
-          let r = T.Campaign.run ~config ~prng design in
+          let r = T.Campaign.run ~config ~jobs:!jobs ~prng design in
           T.Tablefmt.add_row table
             [
               name;
@@ -436,6 +447,131 @@ let rtl () =
     "(each netlist contains the shared functional units, operand muxes, \
      result registers, step counter and the NC/RC comparator)@."
 
+(* ------------------------------ json ------------------------------ *)
+
+(* Machine-readable solver metrics, written to BENCH_solvers.json: for
+   every Table 3/4 row the licence search's answer and effort, plus — on
+   rows whose literal ILP stays small enough to branch-and-bound in
+   seconds — a warm- vs cold-start comparison of the same solve
+   (identical optimum, fewer pivots).  Rows above [ilp_var_gate]
+   variables get ["ilp": null]: their node LPs are too large for the
+   bundled dense-tableau solver regardless of warm starts (the tight
+   elliptic ILP alone has ~10k variables). *)
+
+let ilp_var_gate = 800
+let ilp_node_cap = 2_000
+
+let json_quality = function
+  | T.Optimize.Optimal -> "optimal"
+  | T.Optimize.Incumbent -> "incumbent"
+  | T.Optimize.Heuristic -> "heuristic"
+
+(* one warm or cold branch-and-bound run over a built formulation *)
+let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
+  let t0 = Unix.gettimeofday () in
+  let outcome, st =
+    T.Ilp_solve.solve ~max_nodes:ilp_node_cap ~priority:f.T.Ilp_formulation.priority_vars
+      ~warm f.T.Ilp_formulation.model
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let mc =
+    match outcome with
+    | T.Ilp_solve.Optimal sol | T.Ilp_solve.Budget (Some sol) ->
+        string_of_int (T.Design.cost (f.T.Ilp_formulation.read_design sol))
+    | _ -> "null"
+  in
+  let sx = st.T.Ilp_solve.simplex in
+  let hit_den = sx.T.Simplex.warm_solves + sx.T.Simplex.cold_solves in
+  let hit =
+    if hit_den = 0 then 0.0
+    else float_of_int sx.T.Simplex.warm_solves /. float_of_int hit_den
+  in
+  ( Printf.sprintf
+      "{ \"mc\": %s, \"nodes\": %d, \"lp_solves\": %d, \"pivots\": %d, \
+       \"warm_solves\": %d, \"cold_solves\": %d, \"warm_hit_rate\": %.3f, \
+       \"seconds\": %.3f }"
+      mc st.T.Ilp_solve.nodes st.T.Ilp_solve.lp_solves
+      (T.Ilp_solve.total_pivots st) sx.T.Simplex.warm_solves
+      sx.T.Simplex.cold_solves hit seconds,
+    T.Ilp_solve.total_pivots st )
+
+(* one row -> (json object string, (warm, cold) pivots when compared) *)
+let json_row ~table ~mode row =
+  let spec = spec_of_row ~mode row in
+  let ls =
+    match
+      T.Optimize.run ~per_call_nodes:150_000 ~max_candidates:300_000
+        ~time_limit:30.0 spec
+    with
+    | Ok { design; quality; seconds; candidates; _ } ->
+        Printf.sprintf
+          "\"mc\": %d, \"quality\": %S, \"seconds\": %.3f, \"candidates\": %d"
+          (T.Design.cost design) (json_quality quality) seconds candidates
+    | Error e ->
+        Printf.sprintf "\"mc\": null, \"quality\": %S, \"seconds\": null, \"candidates\": null"
+          (match e with
+          | T.Optimize.Infeasible_proven -> "infeasible"
+          | T.Optimize.Infeasible_budget -> "budget")
+  in
+  let f = T.Ilp_formulation.build spec in
+  let nv = T.Ilp_model.n_vars f.T.Ilp_formulation.model in
+  let ilp, pivots =
+    if nv > ilp_var_gate then ("null", None)
+    else begin
+      let warm_json, warm_piv = json_ilp_side ~warm:true f in
+      let cold_json, cold_piv = json_ilp_side ~warm:false f in
+      ( Printf.sprintf
+          "{ \"vars\": %d, \"max_nodes\": %d, \"warm\": %s, \"cold\": %s, \
+           \"pivot_ratio\": %.2f }"
+          nv ilp_node_cap warm_json cold_json
+          (float_of_int cold_piv /. float_of_int (max 1 warm_piv)),
+        Some (warm_piv, cold_piv) )
+    end
+  in
+  ( Printf.sprintf
+      "    { \"table\": %S, \"bench\": %S, \"lambda\": %d, \"l_det\": %d, \
+       \"l_rec\": %d, \"frac\": %.1f, \"paper_mc\": %S, %s,\n      \"ilp\": %s }"
+      table row.bench row.lambda row.l_det row.l_rec row.frac row.paper_mc ls
+      ilp,
+    pivots )
+
+let json () =
+  Format.printf "@.== Solver metrics -> BENCH_solvers.json ==@.";
+  let work =
+    List.map (fun r -> ("table3", T.Spec.Detection_only, r)) table3_rows
+    @ List.map (fun r -> ("table4", T.Spec.Detection_and_recovery, r)) table4_rows
+  in
+  let results =
+    T.Dpool.run ~jobs:!jobs (fun pool ->
+        T.Dpool.map pool
+          (fun (table, mode, row) -> json_row ~table ~mode row)
+          work)
+  in
+  let warm_total, cold_total, compared =
+    List.fold_left
+      (fun (w, c, n) (_, p) ->
+        match p with Some (pw, pc) -> (w + pw, c + pc, n + 1) | None -> (w, c, n))
+      (0, 0, 0) results
+  in
+  let ratio = float_of_int cold_total /. float_of_int (max 1 warm_total) in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n  \"rows\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map fst results));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": { \"rows_compared\": %d, \"warm_pivots\": %d, \
+        \"cold_pivots\": %d, \"pivot_ratio\": %.2f },\n"
+       compared warm_total cold_total ratio);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d\n}\n" !jobs);
+  let oc = open_out "BENCH_solvers.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote BENCH_solvers.json (%d rows, %d with warm/cold ILP comparison; \
+     cold/warm pivot ratio %.2fx)@."
+    (List.length results) compared ratio
+
 (* ----------------------------- timing ----------------------------- *)
 
 let timing () =
@@ -512,7 +648,20 @@ let timing () =
       if ns >= 1e9 then Format.printf "  %-28s %8.2f s/run@." name (ns /. 1e9)
       else if ns >= 1e6 then Format.printf "  %-28s %8.2f ms/run@." name (ns /. 1e6)
       else Format.printf "  %-28s %8.2f us/run@." name (ns /. 1e3))
-    (List.sort compare rows)
+    (List.sort compare rows);
+  (* branch-and-bound / simplex effort counters on one representative
+     warm-started solve (polynom, tight area, detection only) *)
+  let row = List.nth table3_rows 1 in
+  let spec = spec_of_row ~mode:T.Spec.Detection_only row in
+  let f = T.Ilp_formulation.build spec in
+  let _, st =
+    T.Ilp_solve.solve ~priority:f.T.Ilp_formulation.priority_vars
+      f.T.Ilp_formulation.model
+  in
+  Format.printf
+    "@.B&B effort on %s lambda=%d (tight): nodes=%d lp_solves=%d@.  %a@."
+    row.bench row.lambda st.T.Ilp_solve.nodes st.T.Ilp_solve.lp_solves
+    T.Simplex.pp_stats st.T.Ilp_solve.simplex
 
 (* ------------------------------ main ------------------------------ *)
 
@@ -526,10 +675,32 @@ let experiments =
     ("testtime", testtime);
     ("rtl", rtl);
     ("timing", timing);
+    ("json", json);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  jobs := T.Dpool.default_jobs ();
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n -> jobs := max 1 n
+    | None ->
+        Format.printf "--jobs expects an integer, got %S@." s;
+        exit 1
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | [ "--jobs" ] ->
+        Format.printf "--jobs expects an integer argument@.";
+        exit 1
+    | "--jobs" :: n :: rest ->
+        set_jobs n;
+        parse acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        set_jobs (String.sub a 7 (String.length a - 7));
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let to_run =
     match args with
     | [] ->

@@ -109,6 +109,17 @@ let detection_only_flag =
     & info [ "detection-only" ]
         ~doc:"Optimise the Rajendran et al. detection-only baseline (Table 3).")
 
+let jobs_flag =
+  Arg.(
+    value
+    & opt int (T.Dpool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains used for parallel work: with N >= 2 $(b,optimize) races \
+           the licence search against the literal ILP and $(b,simulate) \
+           fans the injection trials out.  1 = fully sequential and \
+           deterministic (default: cores - 1).")
+
 let solver_flag =
   let solver_conv =
     Arg.enum
@@ -137,7 +148,7 @@ let make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area =
 
 let optimize_cmd =
   let doc = "Find a minimum-licence-cost Trojan-tolerant design." in
-  let run name cat detection_only latency latency_recover area solver =
+  let run name cat detection_only latency latency_recover area solver jobs =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -146,7 +157,7 @@ let optimize_cmd =
         let spec =
           make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
         in
-        match T.Optimize.run ~solver spec with
+        match T.Optimize.run ~solver ~jobs spec with
         | Ok { design; quality; seconds; _ } ->
             Format.printf "%a" T.Design.report design;
             Format.printf "quality: %s, %.2fs@."
@@ -166,7 +177,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
-      $ latency_rec_flag $ area_flag $ solver_flag)
+      $ latency_rec_flag $ area_flag $ solver_flag $ jobs_flag)
 
 let simulate_cmd =
   let doc = "Optimise a design, then run a Trojan-injection campaign on it." in
@@ -176,7 +187,7 @@ let simulate_cmd =
   let seed_flag =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run name cat latency latency_recover area runs seed =
+  let run name cat latency latency_recover area runs seed jobs =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -186,21 +197,21 @@ let simulate_cmd =
           make_spec dfg catalog ~detection_only:false ~latency ~latency_recover
             ~area
         in
-        match T.Optimize.run spec with
+        match T.Optimize.run ~jobs spec with
         | Error _ ->
             print_endline "no design found; relax the constraints";
             exit 2
         | Ok { design; _ } ->
             let prng = T.Prng.create ~seed in
             let config = { T.Campaign.default_config with n_runs = runs } in
-            let result = T.Campaign.run ~config ~prng design in
+            let result = T.Campaign.run ~config ~jobs ~prng design in
             Format.printf "%a@." T.Campaign.pp_result result)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
-      $ area_flag $ runs_flag $ seed_flag)
+      $ area_flag $ runs_flag $ seed_flag $ jobs_flag)
 
 let export_ilp_cmd =
   let doc =

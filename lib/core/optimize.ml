@@ -1,5 +1,7 @@
 module LS = Thr_opt.License_search
 module Ilp_f = Thr_opt.Ilp_formulation
+module Dpool = Thr_util.Dpool
+module Design = Thr_hls.Design
 
 type solver = License_search | Ilp | Greedy
 
@@ -10,44 +12,165 @@ type success = {
   quality : quality;
   seconds : float;
   candidates : int;
+  ilp_stats : Thr_ilp.Solve.stats option;
 }
 
 type failure = Infeasible_proven | Infeasible_budget
 
 let quality_suffix = function Optimal -> "" | Incumbent -> "*" | Heuristic -> "~"
 
+(* Wall clock, not [Sys.time]: the process CPU clock sums over domains, so
+   with [jobs > 1] it would overstate elapsed time. *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Unix.gettimeofday () -. t0)
+
+let run_license_search ?per_call_nodes ?max_candidates ?time_limit spec =
+  let (outcome, stats), seconds =
+    time (fun () -> LS.search ?per_call_nodes ?max_candidates ?time_limit spec)
+  in
+  match outcome with
+  | LS.Solved { design; quality = LS.Proven_optimal } ->
+      Ok
+        {
+          design;
+          quality = Optimal;
+          seconds;
+          candidates = stats.LS.candidates;
+          ilp_stats = None;
+        }
+  | LS.Solved { design; quality = LS.Incumbent } ->
+      Ok
+        {
+          design;
+          quality = Incumbent;
+          seconds;
+          candidates = stats.LS.candidates;
+          ilp_stats = None;
+        }
+  | LS.No_design { proven = true } -> Error Infeasible_proven
+  | LS.No_design { proven = false } -> Error Infeasible_budget
+
+(* Race the licence search against the literal-ILP branch-and-bound on two
+   domains; whichever side reaches a definitive answer first cancels the
+   other via the shared stop flag.
+
+   Only results that cannot make the answer worse end the race early: a
+   proven-optimal licence search, a proven-infeasible licence search, or
+   an ILP optimum.  An ILP [Infeasible] is *not* definitive — the ILP
+   models at most [max_instances] instances per licence, so its feasible
+   set is a subset of the licence search's — and does not set the flag.
+
+   The winner is the cheaper design; on equal cost a proven result beats
+   an incumbent, and the licence search breaks remaining ties (its
+   design-space is the unrestricted one).  The cost comparison means the
+   raced answer is never worse than what either solver alone returns. *)
+let run_race ?per_call_nodes ?max_candidates ?time_limit ~jobs spec =
+  let stop = Atomic.make false in
+  let should_stop () = Atomic.get stop in
+  let ls_side () =
+    let ((outcome, _) as r) =
+      LS.search ?per_call_nodes ?max_candidates ?time_limit ~should_stop spec
+    in
+    (match outcome with
+    | LS.Solved { quality = LS.Proven_optimal; _ } | LS.No_design { proven = true }
+      ->
+        Atomic.set stop true
+    | _ -> ());
+    r
+  in
+  let ilp_side () =
+    let ((outcome, _) as r) =
+      Ilp_f.solve_with_stats ?max_nodes:per_call_nodes ~should_stop spec
+    in
+    (match outcome with Ilp_f.Optimal _ -> Atomic.set stop true | _ -> ());
+    r
+  in
+  let ((ls_out, ls_stats), (ilp_out, ilp_stats)), seconds =
+    time (fun () -> Dpool.run ~jobs (fun pool -> Dpool.both pool ls_side ilp_side))
+  in
+  (* candidate = (design, proven, success-record builder inputs) *)
+  let ls_cand =
+    match ls_out with
+    | LS.Solved { design; quality } ->
+        Some (design, quality = LS.Proven_optimal, ls_stats.LS.candidates, None)
+    | LS.No_design _ -> None
+  in
+  let ilp_cand =
+    match ilp_out with
+    | Ilp_f.Optimal design ->
+        Some (design, true, ilp_stats.Thr_ilp.Solve.nodes, Some ilp_stats)
+    | Ilp_f.Budget (Some design) ->
+        Some (design, false, ilp_stats.Thr_ilp.Solve.nodes, Some ilp_stats)
+    | Ilp_f.Budget None | Ilp_f.Infeasible -> None
+  in
+  let pick (design, proven, candidates, st) =
+    Ok
+      {
+        design;
+        quality = (if proven then Optimal else Incumbent);
+        seconds;
+        candidates;
+        ilp_stats = st;
+      }
+  in
+  match (ls_cand, ilp_cand) with
+  | None, None -> (
+      match ls_out with
+      | LS.No_design { proven = true } -> Error Infeasible_proven
+      | _ -> Error Infeasible_budget)
+  | Some c, None | None, Some c -> pick c
+  | Some ((ld, lp, _, _) as lc), Some ((id, ip, _, _) as ic) ->
+      let lcost = Design.cost ld and icost = Design.cost id in
+      if lcost < icost then pick lc
+      else if icost < lcost then pick ic
+      else if ip && not lp then pick ic
+      else pick lc
 
 let run ?(solver = License_search) ?per_call_nodes ?max_candidates ?time_limit
-    spec =
+    ?(jobs = 1) spec =
   match solver with
-  | License_search -> (
-      let (outcome, stats), seconds =
-        time (fun () -> LS.search ?per_call_nodes ?max_candidates ?time_limit spec)
-      in
-      match outcome with
-      | LS.Solved { design; quality = LS.Proven_optimal } ->
-          Ok { design; quality = Optimal; seconds; candidates = stats.LS.candidates }
-      | LS.Solved { design; quality = LS.Incumbent } ->
-          Ok { design; quality = Incumbent; seconds; candidates = stats.LS.candidates }
-      | LS.No_design { proven = true } -> Error Infeasible_proven
-      | LS.No_design { proven = false } -> Error Infeasible_budget)
+  | License_search ->
+      if jobs >= 2 then
+        run_race ?per_call_nodes ?max_candidates ?time_limit ~jobs spec
+      else run_license_search ?per_call_nodes ?max_candidates ?time_limit spec
   | Ilp -> (
-      let outcome, seconds =
-        time (fun () -> Ilp_f.solve ?max_nodes:per_call_nodes spec)
+      let (outcome, stats), seconds =
+        time (fun () -> Ilp_f.solve_with_stats ?max_nodes:per_call_nodes spec)
       in
+      let nodes = stats.Thr_ilp.Solve.nodes in
       match outcome with
       | Ilp_f.Optimal design ->
-          Ok { design; quality = Optimal; seconds; candidates = 0 }
+          Ok
+            {
+              design;
+              quality = Optimal;
+              seconds;
+              candidates = nodes;
+              ilp_stats = Some stats;
+            }
       | Ilp_f.Budget (Some design) ->
-          Ok { design; quality = Incumbent; seconds; candidates = 0 }
+          Ok
+            {
+              design;
+              quality = Incumbent;
+              seconds;
+              candidates = nodes;
+              ilp_stats = Some stats;
+            }
       | Ilp_f.Budget None -> Error Infeasible_budget
       | Ilp_f.Infeasible -> Error Infeasible_proven)
   | Greedy -> (
       let outcome, seconds = time (fun () -> Thr_opt.Greedy.run spec) in
       match outcome with
-      | Some design -> Ok { design; quality = Heuristic; seconds; candidates = 0 }
+      | Some design ->
+          Ok
+            {
+              design;
+              quality = Heuristic;
+              seconds;
+              candidates = 0;
+              ilp_stats = None;
+            }
       | None -> Error Infeasible_budget)

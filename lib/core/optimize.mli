@@ -18,8 +18,11 @@ type quality =
 type success = {
   design : Thr_hls.Design.t;
   quality : quality;
-  seconds : float;
+  seconds : float; (** wall-clock seconds spent solving *)
   candidates : int; (** licence sets / B&B nodes explored (solver metric) *)
+  ilp_stats : Thr_ilp.Solve.stats option;
+      (** branch-and-bound effort counters, when the ILP solver produced
+          the design (directly or by winning a race) *)
 }
 
 type failure =
@@ -31,9 +34,17 @@ val run :
   ?per_call_nodes:int ->
   ?max_candidates:int ->
   ?time_limit:float ->
+  ?jobs:int ->
   Thr_hls.Spec.t ->
   (success, failure) result
-(** [time_limit] (CPU seconds) applies to the licence search only. *)
+(** [time_limit] (CPU seconds) applies to the licence search only.
+
+    [jobs] (default [1]) controls solver parallelism.  With
+    [jobs >= 2] and the default {!License_search} solver, the licence
+    search is {e raced} against the literal-ILP branch-and-bound on two
+    domains; the first definitive answer cancels the other side, and the
+    cheaper design wins (so the result is never worse than the licence
+    search alone).  Other solvers ignore [jobs]. *)
 
 val quality_suffix : quality -> string
 (** [""] for optimal, ["*"] for incumbent (paper convention), ["~"] for

@@ -20,7 +20,8 @@
       gate-level substrate and the Trojan models of Figs. 2–3;
     - {!Engine}, {!Campaign} — run-time detection/recovery execution;
     - {!Benchmarks}, {!Dfg_generator} — the Section 5 workloads;
-    - {!Prng}, {!Tablefmt} — deterministic randomness and table output. *)
+    - {!Prng}, {!Tablefmt}, {!Dpool} — deterministic randomness, table
+      output and the domain pool behind every [--jobs] flag. *)
 
 module Op = Thr_dfg.Op
 module Dfg = Thr_dfg.Dfg
@@ -75,3 +76,4 @@ module Dfg_generator = Thr_benchmarks.Generator
 
 module Prng = Thr_util.Prng
 module Tablefmt = Thr_util.Tablefmt
+module Dpool = Thr_util.Dpool

@@ -10,7 +10,9 @@ type outcome =
   | Unbounded
   | Budget of solution option
 
-type stats = { nodes : int; lp_solves : int }
+type stats = { nodes : int; lp_solves : int; simplex : Simplex.stats }
+
+let total_pivots st = Simplex.total_pivots st.simplex
 
 let pp_outcome ppf = function
   | Optimal s -> Format.fprintf ppf "optimal (objective %g)" s.objective
@@ -61,7 +63,8 @@ let most_fractional ~eps ?filter values =
       let j = scan ~restricted:true in
       if j >= 0 then j else scan ~restricted:false
 
-let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority m =
+let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
+    ?(should_stop = fun () -> false) m =
   let nv = Model.n_vars m in
   let filter =
     match priority with
@@ -80,21 +83,53 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority m =
   let incumbent_obj = ref infinity in
   let hit_budget = ref false in
   let saw_unbounded = ref false in
-  (* DFS over (lo, up) bound overrides. *)
+  (* DFS over (lo, up) bound overrides.  Each node re-solves the shared
+     LP warm from the basis left by the previous node (a sibling or the
+     parent), and aborts early once the relaxation provably exceeds the
+     incumbent. *)
   let rec explore lo up =
     if !nodes >= max_nodes then hit_budget := true
+    else if should_stop () then hit_budget := true
     else begin
       incr nodes;
       for v = 0 to nv - 1 do
         Simplex.set_bounds lp v ~lo:(float_of_int lo.(v)) ~up:(float_of_int up.(v))
       done;
       incr lp_solves;
-      match Simplex.solve lp with
+      let cutoff =
+        if Float.is_finite !incumbent_obj then Some (!incumbent_obj -. 1e-9)
+        else None
+      in
+      let warm_before = (Simplex.stats lp).Simplex.warm_solves in
+      match Simplex.solve ?cutoff ~warm lp with
       | Simplex.Infeasible -> ()
+      | Simplex.Cutoff -> () (* relaxation above incumbent: prune *)
       | Simplex.Iter_limit -> hit_budget := true
       | Simplex.Unbounded -> saw_unbounded := true
       | Simplex.Optimal sol ->
           if sol.Simplex.objective < !incumbent_obj -. 1e-9 then begin
+            (* A warm dual re-solve settles pruning cheaply, but among
+               alternate LP optima it lands on different (more fractional)
+               vertices than the cold path, which derails most-fractional
+               branching.  For a surviving fractional node, refactorise
+               cold so branching sees the same vertex as the cold
+               baseline — pruned/integral nodes keep the cheap result. *)
+            let sol =
+              let warm_used =
+                (Simplex.stats lp).Simplex.warm_solves > warm_before
+              in
+              if
+                warm_used && cutoff = None
+                && most_fractional ~eps ?filter sol.Simplex.values >= 0
+              then begin
+                Simplex.forget lp;
+                incr lp_solves;
+                match Simplex.solve ~warm:false lp with
+                | Simplex.Optimal cold_sol -> cold_sol
+                | _ -> sol (* numeric hiccup: keep the warm vertex *)
+              end
+              else sol
+            in
             let branch_var = most_fractional ~eps ?filter sol.Simplex.values in
             if branch_var < 0 then begin
               (* integral: new incumbent *)
@@ -128,7 +163,9 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority m =
     end
   in
   explore base_lo base_up;
-  let stats = { nodes = !nodes; lp_solves = !lp_solves } in
+  let stats =
+    { nodes = !nodes; lp_solves = !lp_solves; simplex = Simplex.stats lp }
+  in
   let outcome =
     if !hit_budget then Budget !incumbent
     else

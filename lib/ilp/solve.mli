@@ -24,18 +24,36 @@ type outcome =
   | Budget of solution option
       (** node budget exhausted; carries the best incumbent found *)
 
-type stats = { nodes : int; lp_solves : int }
+type stats = {
+  nodes : int;
+  lp_solves : int;
+  simplex : Thr_lp.Simplex.stats;
+      (** cumulative simplex effort (pivots, warm/cold solve counts) over
+          the node LPs of this solve *)
+}
+
+val total_pivots : stats -> int
+(** Total simplex pivots (phase 1 + phase 2 + dual) across all node LPs. *)
 
 val solve :
   ?max_nodes:int ->
   ?eps:float ->
   ?priority:Model.var list ->
+  ?warm:bool ->
+  ?should_stop:(unit -> bool) ->
   Model.t ->
   outcome * stats
 (** [solve m] minimises [m]'s objective.  [max_nodes] (default [100_000])
     bounds branch-and-bound nodes; [eps] (default [1e-6]) is the
     integrality tolerance.  When [priority] is given, branching always
     picks a fractional variable from that list first (most fractional
-    within the list) — useful when a few variables drive the objective. *)
+    within the list) — useful when a few variables drive the objective.
+
+    [warm] (default [true]) re-solves node LPs warm from the basis of the
+    previously explored node and prunes with an objective cutoff against
+    the incumbent; [~warm:false] restores the cold-start baseline.
+    [should_stop] is polled once per node; when it returns [true] the
+    search stops as if the node budget were exhausted (outcome
+    [Budget _]). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -2,6 +2,78 @@ type relation = Le | Ge | Eq
 
 type row = { terms : (int * float) list; rel : relation; rhs : float }
 
+type stats = {
+  phase1_pivots : int;
+  phase2_pivots : int;
+  dual_pivots : int;
+  degenerate_pivots : int;
+  bland_fallbacks : int;
+  warm_solves : int;
+  cold_solves : int;
+}
+
+let zero_stats =
+  {
+    phase1_pivots = 0;
+    phase2_pivots = 0;
+    dual_pivots = 0;
+    degenerate_pivots = 0;
+    bland_fallbacks = 0;
+    warm_solves = 0;
+    cold_solves = 0;
+  }
+
+let total_pivots s = s.phase1_pivots + s.phase2_pivots + s.dual_pivots
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "pivots p1=%d p2=%d dual=%d (degen=%d bland=%d) solves warm=%d cold=%d"
+    s.phase1_pivots s.phase2_pivots s.dual_pivots s.degenerate_pivots
+    s.bland_fallbacks s.warm_solves s.cold_solves
+
+(* mutable cumulative counters behind the immutable [stats] view *)
+type counters = {
+  mutable c_p1 : int;
+  mutable c_p2 : int;
+  mutable c_dual : int;
+  mutable c_degen : int;
+  mutable c_bland : int;
+  mutable c_warm : int;
+  mutable c_cold : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Solver state: full tableau of B^-1 A over all columns (structural +
+   slack + artificial), current basic-variable values, the reduced cost
+   row for the active objective, and B^-1 b — kept up to date through
+   pivots so the basis can be revived after bound changes. *)
+
+type status = Basic of int (* row *) | At_lo | At_up
+
+type state = {
+  m : int;                 (* rows *)
+  ncols : int;             (* total columns *)
+  tab : float array array; (* m x ncols, equals B^-1 A *)
+  bcol : float array;      (* B^-1 b *)
+  xb : float array;        (* current value of the basic var of each row *)
+  basis : int array;       (* column basic in each row *)
+  status : status array;   (* per column *)
+  slo : float array;       (* per-column lower bounds *)
+  sup : float array;       (* per-column upper bounds *)
+  zrow : float array;      (* reduced costs for active objective *)
+  cost : float array;      (* active objective *)
+  n_art : int;             (* artificials live in the last n_art columns *)
+}
+
+(* A cached optimal basis: dual feasible for the problem's objective, so
+   after [set_bounds] changes it can be re-solved with the dual simplex
+   instead of two cold phases.  [warm_uses] bounds how many re-solves are
+   allowed before a refactorising cold solve (tableau round-off grows with
+   every pivot and is only reset by a rebuild). *)
+type cache = { st : state; art0 : int; mutable warm_uses : int }
+
+let warm_refresh_limit = 256
+
 type problem = {
   nv : int;
   lo : float array;
@@ -9,6 +81,8 @@ type problem = {
   obj : float array;
   mutable rows : row list; (* reversed *)
   mutable n_rows : int;
+  mutable cache : cache option;
+  ctr : counters;
 }
 
 let create ~n_vars =
@@ -20,11 +94,35 @@ let create ~n_vars =
     obj = Array.make n_vars 0.0;
     rows = [];
     n_rows = 0;
+    cache = None;
+    ctr =
+      {
+        c_p1 = 0;
+        c_p2 = 0;
+        c_dual = 0;
+        c_degen = 0;
+        c_bland = 0;
+        c_warm = 0;
+        c_cold = 0;
+      };
   }
 
 let n_vars p = p.nv
 
 let n_constraints p = p.n_rows
+
+let stats p =
+  {
+    phase1_pivots = p.ctr.c_p1;
+    phase2_pivots = p.ctr.c_p2;
+    dual_pivots = p.ctr.c_dual;
+    degenerate_pivots = p.ctr.c_degen;
+    bland_fallbacks = p.ctr.c_bland;
+    warm_solves = p.ctr.c_warm;
+    cold_solves = p.ctr.c_cold;
+  }
+
+let forget p = p.cache <- None
 
 let check_var p j =
   if j < 0 || j >= p.nv then invalid_arg "Simplex: variable index out of range"
@@ -44,43 +142,30 @@ let set_objective p terms =
     (fun (j, c) ->
       check_var p j;
       p.obj.(j) <- p.obj.(j) +. c)
-    terms
+    terms;
+  p.cache <- None
 
 let add_constraint p terms rel rhs =
   List.iter (fun (j, _) -> check_var p j) terms;
   p.rows <- { terms; rel; rhs } :: p.rows;
-  p.n_rows <- p.n_rows + 1
+  p.n_rows <- p.n_rows + 1;
+  p.cache <- None
 
 type solution = { objective : float; values : float array }
 
-type result = Optimal of solution | Infeasible | Unbounded | Iter_limit
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+  | Cutoff
 
 let pp_result ppf = function
   | Optimal s -> Format.fprintf ppf "optimal (objective %g)" s.objective
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unbounded -> Format.pp_print_string ppf "unbounded"
   | Iter_limit -> Format.pp_print_string ppf "iteration limit"
-
-(* ------------------------------------------------------------------ *)
-(* Solver state: full tableau of B^-1 A over all columns (structural +
-   slack + artificial), current basic-variable values, and the reduced
-   cost row for the active objective. *)
-
-type status = Basic of int (* row *) | At_lo | At_up
-
-type state = {
-  m : int;                 (* rows *)
-  ncols : int;             (* total columns *)
-  tab : float array array; (* m x ncols, equals B^-1 A *)
-  xb : float array;        (* current value of the basic var of each row *)
-  basis : int array;       (* column basic in each row *)
-  status : status array;   (* per column *)
-  slo : float array;       (* per-column lower bounds *)
-  sup : float array;       (* per-column upper bounds *)
-  zrow : float array;      (* reduced costs for active objective *)
-  cost : float array;      (* active objective *)
-  n_art : int;             (* artificials live in the last n_art columns *)
-}
+  | Cutoff -> Format.pp_print_string ppf "objective cutoff exceeded"
 
 let nonbasic_value st j =
   match st.status.(j) with
@@ -143,8 +228,37 @@ type step = Moved of float (* objective progress *) | No_entering | Unbounded_di
 
 let pivot_tol = 1e-9
 
-(* One simplex step.  Returns the amount the entering variable moved (0.0
-   for a degenerate pivot). *)
+(* Gauss-Jordan pivot on (r, e): normalise row r, eliminate column e from
+   every other row, keep bcol and zrow in sync.  The caller updates basis,
+   status and xb. *)
+let pivot_tableau st r e =
+  let prow = st.tab.(r) in
+  let piv = prow.(e) in
+  for j = 0 to st.ncols - 1 do
+    prow.(j) <- prow.(j) /. piv
+  done;
+  st.bcol.(r) <- st.bcol.(r) /. piv;
+  for i = 0 to st.m - 1 do
+    if i <> r then begin
+      let f = st.tab.(i).(e) in
+      if f <> 0.0 then begin
+        let row = st.tab.(i) in
+        for j = 0 to st.ncols - 1 do
+          row.(j) <- row.(j) -. (f *. prow.(j))
+        done;
+        st.bcol.(i) <- st.bcol.(i) -. (f *. st.bcol.(r))
+      end
+    end
+  done;
+  let zf = st.zrow.(e) in
+  if zf <> 0.0 then
+    for j = 0 to st.ncols - 1 do
+      st.zrow.(j) <- st.zrow.(j) -. (zf *. prow.(j))
+    done;
+  st.zrow.(e) <- 0.0
+
+(* One primal simplex step.  Returns the amount the entering variable moved
+   (0.0 for a degenerate pivot). *)
 let simplex_step st ~eps ~bland ~allow =
   let e = price st ~eps ~bland ~allow in
   if e < 0 then No_entering
@@ -195,29 +309,7 @@ let simplex_step st ~eps ~bland ~allow =
         let enter_value =
           (match st.status.(e) with At_up -> st.sup.(e) | _ -> st.slo.(e)) +. (d *. t)
         in
-        (* Gauss-Jordan pivot on (r, e) *)
-        let prow = st.tab.(r) in
-        let piv = prow.(e) in
-        for j = 0 to st.ncols - 1 do
-          prow.(j) <- prow.(j) /. piv
-        done;
-        for i = 0 to st.m - 1 do
-          if i <> r then begin
-            let f = st.tab.(i).(e) in
-            if f <> 0.0 then begin
-              let row = st.tab.(i) in
-              for j = 0 to st.ncols - 1 do
-                row.(j) <- row.(j) -. (f *. prow.(j))
-              done
-            end
-          end
-        done;
-        let zf = st.zrow.(e) in
-        if zf <> 0.0 then
-          for j = 0 to st.ncols - 1 do
-            st.zrow.(j) <- st.zrow.(j) -. (zf *. prow.(j))
-          done;
-        st.zrow.(e) <- 0.0;
+        pivot_tableau st r e;
         st.basis.(r) <- e;
         st.status.(e) <- Basic r;
         st.status.(out) <- (if !leaving_to_up then At_up else At_lo);
@@ -228,8 +320,8 @@ let simplex_step st ~eps ~bland ~allow =
     else Unbounded_dir
   end
 
-(* Run simplex to optimality for the active objective. *)
-let optimize st ~eps ~allow iters_left =
+(* Run primal simplex to optimality for the active objective. *)
+let optimize st ~eps ~allow ~ctr ~phase1 iters_left =
   let degenerate_run = ref 0 in
   let bland = ref false in
   let rec loop () =
@@ -240,9 +332,15 @@ let optimize st ~eps ~allow iters_left =
       | No_entering -> `Optimal
       | Unbounded_dir -> `Unbounded
       | Moved t ->
+          if phase1 then ctr.c_p1 <- ctr.c_p1 + 1
+          else ctr.c_p2 <- ctr.c_p2 + 1;
           if t <= 1e-12 then begin
+            ctr.c_degen <- ctr.c_degen + 1;
             incr degenerate_run;
-            if !degenerate_run > 2 * (st.m + st.ncols) then bland := true
+            if !degenerate_run > 2 * (st.m + st.ncols) then begin
+              if not !bland then ctr.c_bland <- ctr.c_bland + 1;
+              bland := true
+            end
           end
           else begin
             degenerate_run := 0;
@@ -253,7 +351,26 @@ let optimize st ~eps ~allow iters_left =
   in
   loop ()
 
-let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
+let final_solution p st =
+  let values = Array.init p.nv (fun j -> nonbasic_value st j) in
+  (* clamp tiny numerical drift back into bounds *)
+  Array.iteri
+    (fun j v ->
+      let v = if v < p.lo.(j) then p.lo.(j) else v in
+      let v = if Float.is_finite p.up.(j) && v > p.up.(j) then p.up.(j) else v in
+      values.(j) <- v)
+    values;
+  let objective = ref 0.0 in
+  for j = 0 to p.nv - 1 do
+    objective := !objective +. (p.obj.(j) *. values.(j))
+  done;
+  Optimal { objective = !objective; values }
+
+(* ------------------------------------------------------------------ *)
+(* Cold solve: build the tableau from scratch, two-phase primal. *)
+
+let cold_solve ~eps ~max_iters p =
+  p.ctr.c_cold <- p.ctr.c_cold + 1;
   let rows = Array.of_list (List.rev p.rows) in
   let m = Array.length rows in
   let n_slack =
@@ -267,7 +384,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
      remaining rows (equalities and violated inequalities) get an
      artificial column.  When no artificials are needed, phase 1 is
      skipped entirely. *)
-  let slack_of = Array.make m (-1) in
+  let slack_of = Array.make (max m 1) (-1) in
   let slack_idx = ref p.nv in
   Array.iteri
     (fun i r ->
@@ -277,7 +394,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
           incr slack_idx
       | Eq -> ())
     rows;
-  let residual = Array.make m 0.0 in
+  let residual = Array.make (max m 1) 0.0 in
   Array.iteri
     (fun i r ->
       let s = ref r.rhs in
@@ -290,7 +407,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
     | Ge -> residual.(i) > 0.0
     | Eq -> true
   in
-  let art_of = Array.make m (-1) in
+  let art_of = Array.make (max m 1) (-1) in
   let n_art = ref 0 in
   for i = 0 to m - 1 do
     if needs_artificial i then begin
@@ -301,6 +418,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
   let n_art = !n_art in
   let ncols = art0 + n_art in
   let dense = Array.make_matrix m ncols 0.0 in
+  let rhsv = Array.init (max m 1) (fun i -> if i < m then rows.(i).rhs else 0.0) in
   let slo = Array.make ncols 0.0 in
   let sup = Array.make ncols infinity in
   Array.blit p.lo 0 slo 0 p.nv;
@@ -318,13 +436,17 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
   let status = Array.make ncols At_lo in
   let basis = Array.make (max m 1) 0 in
   let xb = Array.make (max m 1) 0.0 in
+  let negate_row i =
+    for j = 0 to ncols - 1 do
+      dense.(i).(j) <- -.dense.(i).(j)
+    done;
+    rhsv.(i) <- -.rhsv.(i)
+  in
   for i = 0 to m - 1 do
     if art_of.(i) >= 0 then begin
       (* flip the row if needed so the artificial starts nonnegative *)
       if residual.(i) < 0.0 then begin
-        for j = 0 to ncols - 1 do
-          dense.(i).(j) <- -.dense.(i).(j)
-        done;
+        negate_row i;
         residual.(i) <- -.residual.(i)
       end;
       dense.(i).(art_of.(i)) <- 1.0;
@@ -337,9 +459,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
       (match rows.(i).rel with
       | Le -> xb.(i) <- residual.(i)
       | Ge ->
-          for j = 0 to ncols - 1 do
-            dense.(i).(j) <- -.dense.(i).(j)
-          done;
+          negate_row i;
           xb.(i) <- -.residual.(i)
       | Eq -> assert false);
       basis.(i) <- slack_of.(i)
@@ -351,6 +471,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
       m;
       ncols;
       tab = dense;
+      bcol = Array.sub rhsv 0 (max m 1);
       xb;
       basis;
       status;
@@ -362,22 +483,6 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
     }
   in
   let iters_left = ref max_iters in
-  let structural_value j = nonbasic_value st j in
-  let final_solution () =
-    let values = Array.init p.nv structural_value in
-    (* clamp tiny numerical drift back into bounds *)
-    Array.iteri
-      (fun j v ->
-        let v = if v < p.lo.(j) then p.lo.(j) else v in
-        let v = if Float.is_finite p.up.(j) && v > p.up.(j) then p.up.(j) else v in
-        values.(j) <- v)
-      values;
-    let objective = ref 0.0 in
-    for j = 0 to p.nv - 1 do
-      objective := !objective +. (p.obj.(j) *. values.(j))
-    done;
-    Optimal { objective = !objective; values }
-  in
   if m = 0 then begin
     (* No constraints: each variable sits at whichever bound minimises. *)
     let values =
@@ -400,7 +505,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
           st.cost.(j) <- (if j >= art0 then 1.0 else 0.0)
         done;
         recompute_zrow st;
-        optimize st ~eps ~allow:(fun _ -> true) iters_left
+        optimize st ~eps ~allow:(fun _ -> true) ~ctr:p.ctr ~phase1:true iters_left
       end
     in
     match phase1 with
@@ -443,23 +548,8 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
               | -1 -> () (* redundant row; artificial stays basic at 0 *)
               | e ->
                   let out = st.basis.(i) in
-                  let prow = st.tab.(i) in
-                  let piv = prow.(e) in
-                  for j2 = 0 to ncols - 1 do
-                    prow.(j2) <- prow.(j2) /. piv
-                  done;
-                  for i2 = 0 to m - 1 do
-                    if i2 <> i then begin
-                      let f = st.tab.(i2).(e) in
-                      if f <> 0.0 then begin
-                        let row = st.tab.(i2) in
-                        for j2 = 0 to ncols - 1 do
-                          row.(j2) <- row.(j2) -. (f *. prow.(j2))
-                        done
-                      end
-                    end
-                  done;
                   let entering_value = nonbasic_value st e in
+                  pivot_tableau st i e;
                   st.basis.(i) <- e;
                   st.status.(e) <- Basic i;
                   st.status.(out) <- At_lo;
@@ -472,9 +562,221 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) p =
           done;
           recompute_zrow st;
           let allow j = j < art0 in
-          match optimize st ~eps ~allow iters_left with
+          match optimize st ~eps ~allow ~ctr:p.ctr ~phase1:false iters_left with
           | `Iter_limit -> Iter_limit
           | `Unbounded -> Unbounded
-          | `Optimal -> final_solution ()
+          | `Optimal ->
+              p.cache <- Some { st; art0; warm_uses = 0 };
+              final_solution p st
         end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Warm solve: revive the cached optimal basis after [set_bounds]
+   changes.  The reduced-cost row is unchanged (same objective, same
+   rows), so the basis stays dual feasible up to bound-status flips;
+   primal feasibility is restored with the bounded-variable dual simplex.
+   Returns [None] when the cache cannot be made dual feasible by flips
+   alone (a variable pinned against an infinite bound) — the caller then
+   falls back to a cold solve. *)
+
+let warm_solve ~eps ~max_iters ?cutoff p cache =
+  let st = cache.st in
+  let ok = ref true in
+  for j = 0 to p.nv - 1 do
+    st.slo.(j) <- p.lo.(j);
+    st.sup.(j) <- p.up.(j);
+    (match st.status.(j) with
+    | Basic _ -> ()
+    | At_up when not (Float.is_finite st.sup.(j)) -> st.status.(j) <- At_lo
+    | At_lo | At_up -> ());
+    match st.status.(j) with
+    | Basic _ -> ()
+    | At_lo ->
+        if st.slo.(j) < st.sup.(j) && st.zrow.(j) < -.eps then begin
+          if Float.is_finite st.sup.(j) then st.status.(j) <- At_up
+          else ok := false
+        end
+    | At_up ->
+        if st.slo.(j) < st.sup.(j) && st.zrow.(j) > eps then st.status.(j) <- At_lo
+  done;
+  if not !ok then None
+  else begin
+    (* x_B = B^-1 b - sum over nonbasic j of (B^-1 A_j) x_j *)
+    Array.blit st.bcol 0 st.xb 0 st.m;
+    for j = 0 to st.ncols - 1 do
+      match st.status.(j) with
+      | Basic _ -> ()
+      | At_lo | At_up ->
+          let v = nonbasic_value st j in
+          if v <> 0.0 then
+            for i = 0 to st.m - 1 do
+              st.xb.(i) <- st.xb.(i) -. (st.tab.(i).(j) *. v)
+            done
+    done;
+    (* objective of the current (super-optimal) basic solution; it rises
+       monotonically under dual pivots, so crossing [cutoff] proves the
+       true optimum lies beyond it *)
+    let z = ref 0.0 in
+    for j = 0 to p.nv - 1 do
+      if p.obj.(j) <> 0.0 then
+        z :=
+          !z
+          +. p.obj.(j)
+             *. (match st.status.(j) with
+                | Basic r -> st.xb.(r)
+                | At_lo | At_up -> nonbasic_value st j)
+    done;
+    (* Wandering guard: dual Dantzig pricing stalls badly on the highly
+       degenerate scheduling LPs this engine serves, so (a) rows are
+       priced by steepest edge — violation² / ‖tableau row‖², exact since
+       the dense tableau is at hand — and (b) a warm re-solve that still
+       hasn't converged after [pivot_cap] pivots gives up and reports
+       [None] so the caller refactorises cold. *)
+    let pivot_cap = min max_iters (200 + (2 * st.m)) in
+    let movable j =
+      match st.status.(j) with
+      | Basic _ -> false
+      | At_lo | At_up -> st.slo.(j) < st.sup.(j)
+    in
+    let iters = ref pivot_cap in
+    let degen_run = ref 0 in
+    let bland = ref false in
+    let rec loop () =
+      (* leaving row: steepest-edge scoring of violated basic bounds *)
+      let r = ref (-1) in
+      let best_score = ref 0.0 in
+      let to_up = ref false in
+      for i = 0 to st.m - 1 do
+        let b = st.basis.(i) in
+        let v = st.xb.(i) in
+        let viol, up =
+          if Float.is_finite st.sup.(b) && v -. st.sup.(b) > eps then
+            (v -. st.sup.(b), true)
+          else if st.slo.(b) -. v > eps then (st.slo.(b) -. v, false)
+          else (0.0, false)
+        in
+        if viol > 0.0 then begin
+          let row = st.tab.(i) in
+          let g = ref 1e-12 in
+          for j = 0 to cache.art0 - 1 do
+            if movable j then g := !g +. (row.(j) *. row.(j))
+          done;
+          let score = viol *. viol /. !g in
+          if score > !best_score then begin
+            r := i;
+            best_score := score;
+            to_up := up
+          end
+        end
+      done;
+      if !r < 0 then Some (final_solution p st)
+      else if !iters <= 0 then None (* give up: cold fallback *)
+      else begin
+        decr iters;
+        let r = !r in
+        let to_up = !to_up in
+        let out = st.basis.(r) in
+        let bound = if to_up then st.sup.(out) else st.slo.(out) in
+        let delta = st.xb.(r) -. bound in
+        (* entering column: keep dual feasibility, min |z_j / alpha_j|
+           ratio (Bland: first eligible, after a degenerate run) *)
+        let e = ref (-1) in
+        let best = ref infinity in
+        let best_alpha = ref 0.0 in
+        (try
+           for j = 0 to cache.art0 - 1 do
+             if movable j then begin
+               let alpha = st.tab.(r).(j) in
+               let eligible =
+                 Float.abs alpha > pivot_tol
+                 &&
+                 if delta > 0.0 then
+                   match st.status.(j) with
+                   | At_lo -> alpha > 0.0
+                   | _ -> alpha < 0.0
+                 else
+                   match st.status.(j) with
+                   | At_lo -> alpha < 0.0
+                   | _ -> alpha > 0.0
+               in
+               if eligible then begin
+                 if !bland then begin
+                   e := j;
+                   raise Exit
+                 end;
+                 let ratio = Float.abs (st.zrow.(j) /. alpha) in
+                 if
+                   ratio < !best -. 1e-12
+                   || (ratio < !best +. 1e-12
+                      && Float.abs alpha > Float.abs !best_alpha)
+                 then begin
+                   e := j;
+                   best := ratio;
+                   best_alpha := alpha
+                 end
+               end
+             end
+           done
+         with Exit -> ());
+        if !e < 0 then Some Infeasible (* dual unbounded: no primal point *)
+        else begin
+          let e = !e in
+          let alpha_e = st.tab.(r).(e) in
+          let t = delta /. alpha_e in
+          let dz = st.zrow.(e) *. t in
+          p.ctr.c_dual <- p.ctr.c_dual + 1;
+          if Float.abs dz <= 1e-12 then begin
+            p.ctr.c_degen <- p.ctr.c_degen + 1;
+            incr degen_run;
+            if !degen_run > 2 * (st.m + st.ncols) then begin
+              if not !bland then p.ctr.c_bland <- p.ctr.c_bland + 1;
+              bland := true
+            end
+          end
+          else begin
+            degen_run := 0;
+            bland := false
+          end;
+          z := !z +. dz;
+          match cutoff with
+          | Some c when !z > c +. 1e-9 ->
+              (* abort before pivoting: the state stays consistent *)
+              Some Cutoff
+          | _ ->
+              let enter_value = nonbasic_value st e +. t in
+              for i = 0 to st.m - 1 do
+                if i <> r then begin
+                  let coef = st.tab.(i).(e) in
+                  if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (coef *. t)
+                end
+              done;
+              pivot_tableau st r e;
+              st.basis.(r) <- e;
+              st.status.(e) <- Basic r;
+              st.status.(out) <- (if to_up then At_up else At_lo);
+              st.xb.(r) <- enter_value;
+              loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
+let solve ?(eps = 1e-7) ?(max_iters = 200_000) ?cutoff ?(warm = true) p =
+  let warm_result =
+    if not warm then None
+    else
+      match p.cache with
+      | Some c when c.warm_uses < warm_refresh_limit -> (
+          match warm_solve ~eps ~max_iters ?cutoff p c with
+          | Some r ->
+              c.warm_uses <- c.warm_uses + 1;
+              p.ctr.c_warm <- p.ctr.c_warm + 1;
+              Some r
+          | None -> None)
+      | _ -> None
+  in
+  match warm_result with
+  | Some r -> r
+  | None -> cold_solve ~eps ~max_iters p

@@ -8,7 +8,14 @@
 
     Minimisation only; negate the objective for maximisation.
     Anti-cycling: Dantzig pricing with a fallback to Bland's rule after a
-    run of degenerate pivots. *)
+    run of degenerate pivots.
+
+    {b Warm starts.}  A successful [solve] caches its final basis inside
+    the problem.  A later [solve] after [set_bounds] changes revives that
+    basis with the bounded-variable dual simplex — the basis is still dual
+    feasible for the unchanged objective, so only primal feasibility needs
+    restoring — instead of re-running both cold phases.
+    [set_objective] and [add_constraint] invalidate the cache. *)
 
 type relation = Le | Ge | Eq
 
@@ -24,16 +31,19 @@ val n_vars : problem -> int
 val n_constraints : problem -> int
 
 val set_bounds : problem -> int -> lo:float -> up:float -> unit
-(** @raise Invalid_argument if [lo] is infinite or NaN, [up < lo], or the
+(** Keeps any cached basis (re-solves warm start).
+    @raise Invalid_argument if [lo] is infinite or NaN, [up < lo], or the
     variable index is out of range. *)
 
 val set_objective : problem -> (int * float) list -> unit
 (** Sparse minimisation objective; unmentioned variables keep coefficient
-    [0].  Replaces any previous objective. *)
+    [0].  Replaces any previous objective.  Invalidates the warm-start
+    cache. *)
 
 val add_constraint : problem -> (int * float) list -> relation -> float -> unit
 (** [add_constraint p terms rel rhs] adds [Σ c_i·x_i rel rhs].  Repeated
-    variable indices within [terms] are summed. *)
+    variable indices within [terms] are summed.  Invalidates the
+    warm-start cache. *)
 
 type solution = {
   objective : float;
@@ -45,11 +55,45 @@ type result =
   | Infeasible
   | Unbounded
   | Iter_limit  (** iteration cap hit before convergence *)
+  | Cutoff
+      (** warm re-solve proved the optimum exceeds the given [?cutoff]
+          before reaching it (only produced by warm starts) *)
 
-val solve : ?eps:float -> ?max_iters:int -> problem -> result
+val solve :
+  ?eps:float -> ?max_iters:int -> ?cutoff:float -> ?warm:bool -> problem ->
+  result
 (** Solve the current problem.  [eps] (default [1e-7]) is the feasibility
     and pricing tolerance; [max_iters] (default [200_000]) bounds total
     pivots across both phases.  The problem may be solved again after
-    further [add_constraint]/[set_bounds] calls. *)
+    further [add_constraint]/[set_bounds] calls.
+
+    When [warm] (default [true]) and a cached basis from a previous
+    optimal solve is still valid, the re-solve runs the dual simplex from
+    that basis.  During such a warm re-solve the objective value rises
+    monotonically from below, so if [cutoff] is given and the running
+    objective exceeds it, the solve aborts with {!Cutoff} — the true
+    optimum is provably above the cutoff.  Cold solves ignore [cutoff]. *)
+
+val forget : problem -> unit
+(** Drop the cached basis; the next [solve] runs cold. *)
+
+type stats = {
+  phase1_pivots : int;
+  phase2_pivots : int;
+  dual_pivots : int;  (** pivots spent in warm-start dual re-solves *)
+  degenerate_pivots : int;
+  bland_fallbacks : int;  (** times anti-cycling switched to Bland's rule *)
+  warm_solves : int;
+  cold_solves : int;
+}
+(** Cumulative effort counters since [create]. *)
+
+val zero_stats : stats
+
+val stats : problem -> stats
+
+val total_pivots : stats -> int
+
+val pp_stats : Format.formatter -> stats -> unit
 
 val pp_result : Format.formatter -> result -> unit

@@ -17,15 +17,11 @@ let n_types = 3
 
 let ceil_div a b = (a + b - 1) / b
 
-(* Minimum instances of type [ti] forced by the schedule windows: the
-   interval (energetic) bound.  For every step interval [a, b] inside a
-   phase, the copies whose ASAP/ALAP window is contained in it need
-   ceil(count / |interval|) instances; the type's bound is the maximum
-   over intervals and phases.  (ASAP/ALAP pinning matters: e.g. fir16's 32
-   multiplier copies all live in steps 1–2 of a 6-step phase.) *)
-let min_instances inst ti =
+(* Per-copy ASAP/ALAP windows in absolute steps (recovery copies shifted
+   past the detection phase). *)
+let copy_windows inst =
   let spec = inst.Instance.spec in
-  (* per-copy ASAP/ALAP windows *)
+  let n = inst.Instance.n_copies in
   let dfg = spec.Spec.dfg in
   let asap = Dfg.asap dfg in
   let alap_det = Dfg.alap dfg ~latency:spec.Spec.latency_detect in
@@ -34,14 +30,28 @@ let min_instances inst ti =
     | Spec.Detection_only -> [||]
     | Spec.Detection_and_recovery -> Dfg.alap dfg ~latency:spec.Spec.latency_recover
   in
-  let window idx =
+  let est0 = Array.make (max n 1) 1 and lst0 = Array.make (max n 1) 1 in
+  for idx = 0 to n - 1 do
     let c = Copy.of_index spec idx in
+    let op = c.Copy.op in
     match c.Copy.phase with
-    | Copy.NC | Copy.RC -> (asap.(c.Copy.op), alap_det.(c.Copy.op))
+    | Copy.NC | Copy.RC ->
+        est0.(idx) <- asap.(op);
+        lst0.(idx) <- alap_det.(op)
     | Copy.RV ->
-        ( spec.Spec.latency_detect + asap.(c.Copy.op),
-          spec.Spec.latency_detect + alap_rec.(c.Copy.op) )
-  in
+        est0.(idx) <- spec.Spec.latency_detect + asap.(op);
+        lst0.(idx) <- spec.Spec.latency_detect + alap_rec.(op)
+  done;
+  (est0, lst0)
+
+(* Minimum instances of type [ti] forced by the schedule windows: the
+   interval (energetic) bound.  For every step interval [a, b] inside a
+   phase, the copies whose ASAP/ALAP window is contained in it need
+   ceil(count / |interval|) instances; the type's bound is the maximum
+   over intervals and phases.  (ASAP/ALAP pinning matters: e.g. fir16's 32
+   multiplier copies all live in steps 1–2 of a 6-step phase.) *)
+let min_instances_w inst ~est0 ~lst0 ti =
+  let spec = inst.Instance.spec in
   let phase_bound ~phase_lo ~phase_hi in_phase =
     if phase_hi < phase_lo then 0
     else begin
@@ -51,8 +61,7 @@ let min_instances inst ti =
           let count = ref 0 in
           for idx = 0 to inst.Instance.n_copies - 1 do
             if inst.Instance.type_of_copy.(idx) = ti && in_phase idx then begin
-              let lo, hi = window idx in
-              if lo >= a && hi <= b then incr count
+              if est0.(idx) >= a && lst0.(idx) <= b then incr count
             end
           done;
           let need = ceil_div !count (b - a + 1) in
@@ -79,12 +88,66 @@ let min_instances inst ti =
      rules force must own at least one instance *)
   if window_need = 0 then 0 else max window_need inst.Instance.min_vendors.(ti)
 
-let area_lower_bound inst ~allowed =
+(* -------------------------- solver context ------------------------ *)
+
+(* All the per-instance precomputation and scratch storage the search
+   needs, built once and reused across [solve_ctx] calls with different
+   [allowed] sets (the licence search probes thousands of candidate sets
+   against one instance).  NOT safe to share across domains or re-enter:
+   every call scribbles over the same scratch arrays. *)
+type ctx = {
+  inst : Instance.t;
+  est0 : int array;
+  lst0 : int array;
+  needed : int array;  (* min_instances per type index *)
+  (* scratch reused across calls *)
+  dom : int array;
+  vend : int array;
+  step : int array;
+  est : int array;
+  lst : int array;
+  usage : int array array;  (* (licence, step) -> copies running *)
+  peak : int array;
+  remaining_det : int array;
+  remaining_rec : int array;
+  copies_on : int array;
+}
+
+let make_ctx inst =
+  let spec = inst.Instance.spec in
+  let n = max inst.Instance.n_copies 1 in
+  let nl = max (inst.Instance.n_vendors * n_types) 1 in
+  let total_steps = Spec.total_latency spec in
+  let est0, lst0 = copy_windows inst in
+  let needed =
+    Array.init n_types (fun ti ->
+        if List.mem ti inst.Instance.types_used then
+          min_instances_w inst ~est0 ~lst0 ti
+        else 0)
+  in
+  {
+    inst;
+    est0;
+    lst0;
+    needed;
+    dom = Array.make n 0;
+    vend = Array.make n (-1);
+    step = Array.make n (-1);
+    est = Array.make n 1;
+    lst = Array.make n 1;
+    usage = Array.make_matrix nl (total_steps + 1) 0;
+    peak = Array.make nl 0;
+    remaining_det = Array.make nl 0;
+    remaining_rec = Array.make nl 0;
+    copies_on = Array.make nl 0;
+  }
+
+let area_lb ~needed inst ~allowed =
   let total = ref 0 in
   let missing = ref false in
   List.iter
     (fun ti ->
-      let needed = min_instances inst ti in
+      let needed = needed.(ti) in
       if needed > 0 then begin
         let cheapest = ref max_int in
         for k = 0 to inst.Instance.n_vendors - 1 do
@@ -100,6 +163,19 @@ let area_lower_bound inst ~allowed =
     inst.Instance.types_used;
   if !missing then None else Some !total
 
+let area_lower_bound inst ~allowed =
+  let est0, lst0 = copy_windows inst in
+  let needed =
+    Array.init n_types (fun ti ->
+        if List.mem ti inst.Instance.types_used then
+          min_instances_w inst ~est0 ~lst0 ti
+        else 0)
+  in
+  area_lb ~needed inst ~allowed
+
+let area_lower_bound_ctx ctx ~allowed =
+  area_lb ~needed:ctx.needed ctx.inst ~allowed
+
 (* The search runs in two nested phases sharing one node budget:
 
    Phase A assigns a vendor to every copy — a pure graph colouring over
@@ -111,42 +187,25 @@ let area_lower_bound inst ~allowed =
    bound (remaining copies of a licence need instance-slots inside their
    phase window; shortfalls force new instances at known area).  If Phase
    B exhausts its subtree, control backtracks into Phase A's colouring. *)
-let solve ?(max_nodes = 200_000) inst ~allowed =
+let solve_ctx ?(max_nodes = 200_000) ctx ~allowed =
+  let inst = ctx.inst in
   let spec = inst.Instance.spec in
   let n = inst.Instance.n_copies in
   let nv = inst.Instance.n_vendors in
   let total_steps = Spec.total_latency spec in
-  let dfg = spec.Spec.dfg in
-  let asap = Dfg.asap dfg in
-  let alap_det = Dfg.alap dfg ~latency:spec.Spec.latency_detect in
-  let alap_rec =
-    match spec.Spec.mode with
-    | Spec.Detection_only -> [||]
-    | Spec.Detection_and_recovery -> Dfg.alap dfg ~latency:spec.Spec.latency_recover
-  in
-  let est0 = Array.make n 1 and lst0 = Array.make n 1 in
+  let est0 = ctx.est0 and lst0 = ctx.lst0 in
+  let dom = ctx.dom in
   for idx = 0 to n - 1 do
-    let c = Copy.of_index spec idx in
-    let op = c.Copy.op in
-    match c.Copy.phase with
-    | Copy.NC | Copy.RC ->
-        est0.(idx) <- asap.(op);
-        lst0.(idx) <- alap_det.(op)
-    | Copy.RV ->
-        est0.(idx) <- spec.Spec.latency_detect + asap.(op);
-        lst0.(idx) <- spec.Spec.latency_detect + alap_rec.(op)
-  done;
-  let init_dom idx =
     let ti = inst.Instance.type_of_copy.(idx) in
     let m = ref 0 in
     for k = 0 to nv - 1 do
       if allowed.(k).(ti) && inst.Instance.offers.(k).(ti) then m := !m lor (1 lsl k)
     done;
-    !m
-  in
-  let dom = Array.init n init_dom in
-  let vend = Array.make n (-1) in
-  let step = Array.make n (-1) in
+    dom.(idx) <- !m
+  done;
+  let vend = ctx.vend in
+  Array.fill vend 0 n (-1);
+  let step = ctx.step in
   let nodes = ref 0 in
   let tick () =
     incr nodes;
@@ -157,20 +216,20 @@ let solve ?(max_nodes = 200_000) inst ~allowed =
     go m 0
   in
   let infeasible_precheck =
-    Array.exists (fun m -> m = 0) dom
+    (n > 0 && Array.exists (fun m -> m = 0) (Array.sub dom 0 n))
     ||
-    match area_lower_bound inst ~allowed with
+    match area_lb ~needed:ctx.needed inst ~allowed with
     | None -> true
     | Some lb -> lb > spec.Spec.area_limit
   in
 
   (* ---------------- Phase B: step assignment ---------------- *)
-  let usage = Array.make_matrix (nv * n_types) (total_steps + 1) 0 in
-  let peak = Array.make (nv * n_types) 0 in
+  let usage = ctx.usage in
+  let peak = ctx.peak in
   let area_now = ref 0 in
   (* per-licence unscheduled copies per phase window *)
-  let remaining_det = Array.make (nv * n_types) 0 in
-  let remaining_rec = Array.make (nv * n_types) 0 in
+  let remaining_det = ctx.remaining_det in
+  let remaining_rec = ctx.remaining_rec in
   let det_lo = 1 and det_hi = spec.Spec.latency_detect in
   let rec_lo = spec.Spec.latency_detect + 1 and rec_hi = total_steps in
   let licence idx = (vend.(idx) * n_types) + inst.Instance.type_of_copy.(idx) in
@@ -207,7 +266,7 @@ let solve ?(max_nodes = 200_000) inst ~allowed =
     done;
     !area_now + !extra <= spec.Spec.area_limit
   in
-  let est = Array.copy est0 and lst = Array.copy lst0 in
+  let est = ctx.est and lst = ctx.lst in
   (* list-scheduling order: earliest start first, then least slack — keeps
      high-utilisation packings from fragmenting *)
   let select_step () =
@@ -299,7 +358,7 @@ let solve ?(max_nodes = 200_000) inst ~allowed =
   in
   let enter_phase_b () =
     (* initialise Phase B state from the complete vendor assignment *)
-    Array.iteri (fun lic _ -> Array.fill usage.(lic) 0 (total_steps + 1) 0) usage;
+    Array.iter (fun row -> Array.fill row 0 (total_steps + 1) 0) usage;
     Array.fill peak 0 (nv * n_types) 0;
     Array.fill remaining_det 0 (nv * n_types) 0;
     Array.fill remaining_rec 0 (nv * n_types) 0;
@@ -317,7 +376,8 @@ let solve ?(max_nodes = 200_000) inst ~allowed =
   in
 
   (* ---------------- Phase A: vendor colouring ---------------- *)
-  let copies_on = Array.make (nv * n_types) 0 in
+  let copies_on = ctx.copies_on in
+  Array.fill copies_on 0 (nv * n_types) 0;
   let select_vendor () =
     let best = ref (-1) in
     let best_key = ref (max_int, max_int) in
@@ -378,8 +438,12 @@ let solve ?(max_nodes = 200_000) inst ~allowed =
   else
     match search_vendors () with
     | true ->
-        let sched = Schedule.make spec step in
-        let vendors = Array.map (fun k -> inst.Instance.vendors.(k)) vend in
+        let sched = Schedule.make spec (Array.sub step 0 n) in
+        let vendors =
+          Array.map (fun k -> inst.Instance.vendors.(k)) (Array.sub vend 0 n)
+        in
         (Feasible (sched, Binding.make spec vendors), { nodes = !nodes })
     | false -> (Infeasible, { nodes = !nodes })
     | exception Budget -> (Unknown, { nodes = !nodes })
+
+let solve ?max_nodes inst ~allowed = solve_ctx ?max_nodes (make_ctx inst) ~allowed

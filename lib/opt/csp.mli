@@ -22,11 +22,30 @@ type verdict =
 
 type stats = { nodes : int }
 
-val solve :
-  ?max_nodes:int -> Instance.t -> allowed:bool array array -> verdict * stats
-(** [solve inst ~allowed] with [allowed.(vendor_dense_index).(type_index)]
+type ctx
+(** Precomputed per-instance state (ASAP/ALAP windows, minimum-instance
+    bounds) plus the search's scratch arrays, reusable across many
+    [solve_ctx] calls with different [allowed] sets.  The licence search
+    probes thousands of candidate sets against one instance; building this
+    once removes the dominant per-call setup cost.  A [ctx] is NOT safe to
+    share across domains or use re-entrantly — each call overwrites the
+    same scratch storage. *)
+
+val make_ctx : Instance.t -> ctx
+
+val solve_ctx :
+  ?max_nodes:int -> ctx -> allowed:bool array array -> verdict * stats
+(** [solve_ctx ctx ~allowed] with [allowed.(vendor_dense_index).(type_index)]
     marking purchased licences.  Licences the catalogue does not actually
     offer are ignored.  [max_nodes] defaults to [200_000] assignments. *)
+
+val solve :
+  ?max_nodes:int -> Instance.t -> allowed:bool array array -> verdict * stats
+(** [solve inst ~allowed] is [solve_ctx (make_ctx inst) ~allowed] — one-shot
+    convenience; use a [ctx] when probing many licence sets. *)
+
+val area_lower_bound_ctx : ctx -> allowed:bool array array -> int option
+(** As {!area_lower_bound}, using the bounds cached in the context. *)
 
 val area_lower_bound : Instance.t -> allowed:bool array array -> int option
 (** A cheap lower bound on the instance area any design restricted to

@@ -240,11 +240,21 @@ type outcome =
   | Infeasible
   | Budget of Design.t option
 
-let solve ?max_instances ?(max_nodes = 200_000) spec =
+let solve_with_stats ?max_instances ?(max_nodes = 200_000) ?warm ?should_stop
+    spec =
   let t = build ?max_instances spec in
-  match Solve.solve ~max_nodes ~priority:t.priority_vars t.model with
-  | Solve.Optimal sol, _ -> Optimal (t.read_design sol)
-  | Solve.Infeasible, _ -> Infeasible
-  | Solve.Unbounded, _ -> assert false (* objective is a sum of 0-1 costs *)
-  | Solve.Budget (Some sol), _ -> Budget (Some (t.read_design sol))
-  | Solve.Budget None, _ -> Budget None
+  let outcome, st =
+    Solve.solve ~max_nodes ?warm ?should_stop ~priority:t.priority_vars t.model
+  in
+  let outcome =
+    match outcome with
+    | Solve.Optimal sol -> Optimal (t.read_design sol)
+    | Solve.Infeasible -> Infeasible
+    | Solve.Unbounded -> assert false (* objective is a sum of 0-1 costs *)
+    | Solve.Budget (Some sol) -> Budget (Some (t.read_design sol))
+    | Solve.Budget None -> Budget None
+  in
+  (outcome, st)
+
+let solve ?max_instances ?max_nodes spec =
+  fst (solve_with_stats ?max_instances ?max_nodes spec)

@@ -48,3 +48,13 @@ type outcome =
 
 val solve : ?max_instances:int -> ?max_nodes:int -> Thr_hls.Spec.t -> outcome
 (** Build and solve in one go ([max_nodes] defaults to [200_000]). *)
+
+val solve_with_stats :
+  ?max_instances:int ->
+  ?max_nodes:int ->
+  ?warm:bool ->
+  ?should_stop:(unit -> bool) ->
+  Thr_hls.Spec.t ->
+  outcome * Thr_ilp.Solve.stats
+(** As {!solve}, also returning the branch-and-bound effort counters.
+    [warm]/[should_stop] are passed through to {!Thr_ilp.Solve.solve}. *)

@@ -66,6 +66,7 @@ module Relax = struct
 
   type t = {
     inst : Instance.t;
+    ctx : Csp_.ctx;  (* reused across every relaxation probe *)
     group : int array array; (* group.(t_slot).(i) = dense vendor index *)
     cache : (int list, bool) Hashtbl.t;
     per_call_nodes : int;
@@ -102,7 +103,7 @@ module Relax = struct
                 (Thr_iplib.Vendor.make ((slot * group_size) + i + 1))))
         types
     in
-    { inst; group; cache = Hashtbl.create 64; per_call_nodes }
+    { inst; ctx = Csp_.make_ctx inst; group; cache = Hashtbl.create 64; per_call_nodes }
 
   (* sizes.(slot) vendors allowed for the slot's type, disjoint groups *)
   let feasible t (types : int array) sizes =
@@ -119,7 +120,7 @@ module Relax = struct
             done)
           types;
         let verdict, _ =
-          Csp_.solve ~max_nodes:t.per_call_nodes t.inst ~allowed
+          Csp_.solve_ctx ~max_nodes:t.per_call_nodes t.ctx ~allowed
         in
         (* Unknown must be treated as possibly feasible *)
         let r = verdict <> Csp_.Infeasible in
@@ -131,8 +132,10 @@ let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go m 0
 
-let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit spec =
+let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
+    ?(should_stop = fun () -> false) spec =
   let inst = Instance.make spec in
+  let ctx = Csp.make_ctx inst in
   let types = Array.of_list inst.Instance.types_used in
   let per_type =
     Array.map
@@ -186,6 +189,8 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit s
     let budget_out = ref false in
     let started = Sys.time () in
     let out_of_time () =
+      should_stop ()
+      ||
       match time_limit with
       | None -> false
       | Some limit -> Sys.time () -. started > limit
@@ -199,7 +204,7 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit s
           else begin
             if Relax.feasible relax types (size_vector tuple) then begin
               let allowed = allowed_of tuple in
-              let verdict, st = Csp.solve ~max_nodes:per_call_nodes inst ~allowed in
+              let verdict, st = Csp.solve_ctx ~max_nodes:per_call_nodes ctx ~allowed in
               csp_nodes := !csp_nodes + st.Csp.nodes;
               match verdict with
               | Csp.Feasible (sched, binding) ->

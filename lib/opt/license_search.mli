@@ -34,12 +34,15 @@ val search :
   ?per_call_nodes:int ->
   ?max_candidates:int ->
   ?time_limit:float ->
+  ?should_stop:(unit -> bool) ->
   Thr_hls.Spec.t ->
   outcome * stats
 (** [per_call_nodes] (default [200_000]) is each CSP call's budget;
     [max_candidates] (default [200_000]) bounds popped licence sets;
     [time_limit] (CPU seconds, default none) stops the search early — the
     same role as the paper's one-hour LINGO cap, and like there a result
-    cut short is reported as an incumbent/unproven. *)
+    cut short is reported as an incumbent/unproven.  [should_stop] is
+    polled between candidates and ends the search like an expired time
+    limit — used to cancel a search that lost a solver race. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -6,6 +6,7 @@ module Binding = Thr_hls.Binding
 module Design = Thr_hls.Design
 module Trojan = Thr_trojan.Trojan
 module Prng = Thr_util.Prng
+module Dpool = Thr_util.Dpool
 
 type config = {
   n_runs : int;
@@ -98,12 +99,75 @@ let consecutive_matches stream mask idx =
         stream;
       !best
 
-let run ?(config = default_config) ~prng design =
+(* Outcome of one injection run; trials are tallied separately so that
+   the trial body can also run on a worker domain. *)
+type trial = {
+  t_activated : bool;
+  t_detected : bool;
+  t_rebind : bool;
+  t_naive : bool;
+  t_latched : bool;
+  t_latched_rec : bool;
+  t_latency : int option;
+}
+
+(* One injection trial.  Draws from [prng] in a fixed order, so running
+   trials back-to-back on a shared generator reproduces the historical
+   sequential stream exactly. *)
+let run_trial config design prng =
   let spec = design.Design.spec in
-  if spec.Spec.mode <> Spec.Detection_and_recovery then
-    invalid_arg "Campaign.run: design must include recovery";
   let dfg = spec.Spec.dfg in
   let n = Dfg.n_ops dfg in
+  let env = random_env config prng dfg in
+  let golden = Eval.run dfg env in
+  (* adversarial trigger: match the operands an NC operation really sees *)
+  let op = Prng.int prng n in
+  let nc_idx = Copy.index spec { Copy.op; phase = Copy.NC } in
+  let a, b = Eval.operand_values dfg env golden op in
+  let a_pattern = a land config.mask and b_pattern = b land config.mask in
+  let sequential = Prng.float prng 1.0 < config.sequential_ratio in
+  let trigger =
+    if sequential then begin
+      let stream = instance_stream design env nc_idx in
+      let best = consecutive_matches stream config.mask nc_idx in
+      let threshold = max 1 (min best 3) in
+      Trojan.Sequential { a_pattern; b_pattern; mask = config.mask; threshold }
+    end
+    else Trojan.Combinational { a_pattern; b_pattern; mask = config.mask }
+  in
+  let latched = Prng.float prng 1.0 < config.latched_ratio in
+  let payload_mask = 1 + Prng.int prng 0xFFFF in
+  let payload =
+    if latched then Trojan.Latched payload_mask else Trojan.Xor_offset payload_mask
+  in
+  let trojan = Trojan.make trigger payload in
+  let injection =
+    {
+      Engine.inj_vendor = Binding.vendor design.Design.binding nc_idx;
+      inj_type = Spec.iptype_of_op spec op;
+      trojan;
+    }
+  in
+  let verdict = Engine.run ~injections:[ injection ] design env in
+  let naive = Engine.run_without_rebinding ~injections:[ injection ] design env in
+  let was_activated = verdict.Engine.detected || not verdict.Engine.nc_correct in
+  let det = was_activated && verdict.Engine.detected in
+  let recovered =
+    det && verdict.Engine.recovery_ran && verdict.Engine.recovery_correct
+  in
+  {
+    t_activated = was_activated;
+    t_detected = det;
+    t_rebind = recovered && not latched;
+    t_naive =
+      det && (not latched) && naive.Engine.recovery_ran
+      && naive.Engine.recovery_correct;
+    t_latched = latched;
+    t_latched_rec = recovered && latched;
+    t_latency = (if det then verdict.Engine.detection_latency else None);
+  }
+
+let tally config trials =
   let activated = ref 0 in
   let detected = ref 0 in
   let rebind_recovered = ref 0 in
@@ -112,58 +176,20 @@ let run ?(config = default_config) ~prng design =
   let latched_recovered = ref 0 in
   let latency_sum = ref 0 in
   let latency_count = ref 0 in
-  for _ = 1 to config.n_runs do
-    let env = random_env config prng dfg in
-    let golden = Eval.run dfg env in
-    (* adversarial trigger: match the operands an NC operation really sees *)
-    let op = Prng.int prng n in
-    let nc_idx = Copy.index spec { Copy.op; phase = Copy.NC } in
-    let a, b = Eval.operand_values dfg env golden op in
-    let a_pattern = a land config.mask and b_pattern = b land config.mask in
-    let sequential = Prng.float prng 1.0 < config.sequential_ratio in
-    let trigger =
-      if sequential then begin
-        let stream = instance_stream design env nc_idx in
-        let best = consecutive_matches stream config.mask nc_idx in
-        let threshold = max 1 (min best 3) in
-        Trojan.Sequential
-          { a_pattern; b_pattern; mask = config.mask; threshold }
-      end
-      else Trojan.Combinational { a_pattern; b_pattern; mask = config.mask }
-    in
-    let latched = Prng.float prng 1.0 < config.latched_ratio in
-    let payload_mask = 1 + Prng.int prng 0xFFFF in
-    let payload =
-      if latched then Trojan.Latched payload_mask else Trojan.Xor_offset payload_mask
-    in
-    let trojan = Trojan.make trigger payload in
-    let injection =
-      {
-        Engine.inj_vendor = Binding.vendor design.Design.binding nc_idx;
-        inj_type = Spec.iptype_of_op spec op;
-        trojan;
-      }
-    in
-    let verdict = Engine.run ~injections:[ injection ] design env in
-    let naive = Engine.run_without_rebinding ~injections:[ injection ] design env in
-    let was_activated = verdict.Engine.detected || not verdict.Engine.nc_correct in
-    if latched then incr latched_runs;
-    if was_activated then begin
-      incr activated;
-      if verdict.Engine.detected then begin
-        incr detected;
-        (match verdict.Engine.detection_latency with
-        | Some l ->
-            latency_sum := !latency_sum + l;
-            incr latency_count
-        | None -> ());
-        if verdict.Engine.recovery_ran && verdict.Engine.recovery_correct then
-          if latched then incr latched_recovered else incr rebind_recovered;
-        if naive.Engine.recovery_ran && naive.Engine.recovery_correct then
-          if not latched then incr naive_recovered
-      end
-    end
-  done;
+  List.iter
+    (fun t ->
+      if t.t_latched then incr latched_runs;
+      if t.t_activated then incr activated;
+      if t.t_detected then incr detected;
+      if t.t_rebind then incr rebind_recovered;
+      if t.t_naive then incr naive_recovered;
+      if t.t_latched_rec then incr latched_recovered;
+      match t.t_latency with
+      | Some l ->
+          latency_sum := !latency_sum + l;
+          incr latency_count
+      | None -> ())
+    trials;
   {
     runs = config.n_runs;
     activated = !activated;
@@ -176,3 +202,33 @@ let run ?(config = default_config) ~prng design =
       (if !latency_count = 0 then 0.0
        else float_of_int !latency_sum /. float_of_int !latency_count);
   }
+
+let run ?(config = default_config) ?(jobs = 1) ~prng design =
+  let spec = design.Design.spec in
+  if spec.Spec.mode <> Spec.Detection_and_recovery then
+    invalid_arg "Campaign.run: design must include recovery";
+  let trials =
+    if jobs <= 1 then begin
+      (* Shared generator, trials in order: byte-identical to the
+         historical sequential loop. *)
+      let acc = ref [] in
+      for _ = 1 to config.n_runs do
+        acc := run_trial config design prng :: !acc
+      done;
+      List.rev !acc
+    end
+    else begin
+      (* Pre-draw one generator per trial from the shared stream (still
+         sequential, so the split points are deterministic), then fan the
+         independent trials out across domains.  Results come back in
+         trial order, and the tally is order-insensitive anyway. *)
+      let gens = ref [] in
+      for _ = 1 to config.n_runs do
+        gens := Prng.split prng :: !gens
+      done;
+      let gens = List.rev !gens in
+      Dpool.run ~jobs (fun pool ->
+          Dpool.map pool (fun g -> run_trial config design g) gens)
+    end
+  in
+  tally config trials

@@ -38,10 +38,20 @@ type result = {
 
 val run :
   ?config:config ->
+  ?jobs:int ->
   prng:Thr_util.Prng.t ->
   Thr_hls.Design.t ->
   result
 (** Requires a design with [mode = Detection_and_recovery].
+
+    [jobs] (default [1]) is the number of domains used to execute the
+    injection trials.  With [jobs = 1] every trial draws from [prng] on
+    the caller — the stream (and hence the result) is bit-for-bit the
+    historical sequential one.  With [jobs > 1] a per-trial generator is
+    first split off [prng] for each trial (sequentially, so the split
+    points are deterministic) and the independent trials are fanned out
+    over a {!Thr_util.Dpool}; the tally is identical for a given [jobs]
+    value but differs from the [jobs = 1] stream.
 
     @raise Invalid_argument otherwise, or if the design is invalid. *)
 

@@ -1,0 +1,145 @@
+(* A fixed-size pool of worker domains fed from one task queue.
+
+   jobs = 1 is a strict no-op wrapper: no domains are spawned and every
+   submitted task runs inline on the caller, in submission order — the
+   byte-for-byte sequential behaviour the deterministic paths rely on. *)
+
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    match task with
+    | Quit -> ()
+    | Task f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+    }
+  in
+  if jobs = 1 then pool
+  else
+    { pool with
+      workers = List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    }
+
+let jobs pool = pool.jobs
+
+let submit pool f =
+  Mutex.lock pool.mutex;
+  Queue.push (Task f) pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+let shutdown pool =
+  if pool.workers <> [] then begin
+    Mutex.lock pool.mutex;
+    List.iter (fun _ -> Queue.push Quit pool.queue) pool.workers;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.workers
+  end
+
+(* Per-call completion tracking: results land in an option array by index;
+   a counter + condition wakes the caller when all are done.  The first
+   raised exception is re-raised on the caller after all tasks settle. *)
+let map pool f xs =
+  if pool.jobs = 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let out = Array.make n None in
+      let failure = ref None in
+      let left = ref n in
+      let done_m = Mutex.create () in
+      let all_done = Condition.create () in
+      let finish i res =
+        Mutex.lock done_m;
+        (match res with
+        | Ok v -> out.(i) <- Some v
+        | Error e -> if !failure = None then failure := Some e);
+        decr left;
+        if !left = 0 then Condition.signal all_done;
+        Mutex.unlock done_m
+      in
+      Array.iteri
+        (fun i x ->
+          submit pool (fun () ->
+              let res =
+                match f x with
+                | v -> Ok v
+                | exception e -> Error e
+              in
+              finish i res))
+        arr;
+      Mutex.lock done_m;
+      while !left > 0 do
+        Condition.wait all_done done_m
+      done;
+      Mutex.unlock done_m;
+      match !failure with
+      | Some e -> raise e
+      | None ->
+          Array.to_list (Array.map (function Some v -> v | None -> assert false) out)
+    end
+  end
+
+let both pool fa fb =
+  if pool.jobs = 1 then begin
+    let a = fa () in
+    let b = fb () in
+    (a, b)
+  end
+  else begin
+    let b_res = ref None in
+    let done_m = Mutex.create () in
+    let done_c = Condition.create () in
+    submit pool (fun () ->
+        let r = match fb () with v -> Ok v | exception e -> Error e in
+        Mutex.lock done_m;
+        b_res := Some r;
+        Condition.signal done_c;
+        Mutex.unlock done_m);
+    (* run [fa] on the caller so a 2-job pool only needs one worker *)
+    let a = match fa () with v -> Ok v | exception e -> Error e in
+    Mutex.lock done_m;
+    while !b_res = None do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    match (a, Option.get !b_res) with
+    | Ok a, Ok b -> (a, b)
+    | Error e, _ | _, Error e -> raise e
+  end
+
+let run ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,37 @@
+(** A small fixed-size domain pool (OCaml 5 [Domain] + [Mutex]/[Condition],
+    no external dependencies) for fanning out independent work: Monte-Carlo
+    campaign trials, benchmark table rows, racing solvers.
+
+    A pool with [jobs = n] uses the caller plus [n - 1] worker domains.
+    With [jobs = 1] no domains are spawned at all and every operation runs
+    inline on the caller in submission order — exactly the sequential
+    code path, which keeps [--jobs 1] runs bit-for-bit deterministic. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core for
+    the caller's own work. *)
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs - 1] worker domains.  Call {!shutdown} when done. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element, results in input order.
+    With [jobs = 1] this is [List.map f xs].  Otherwise elements run on
+    the worker domains; if any call raises, the first exception is
+    re-raised on the caller after all tasks settle.  [f] must be safe to
+    run concurrently with itself when [jobs > 1]. *)
+
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both pool fa fb] runs the two thunks — [fb] on a worker, [fa] on the
+    caller (sequentially, [fa] first, when [jobs = 1]) — and returns both
+    results.  Raises the first exception observed once both settle. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent for [jobs = 1] pools. *)
+
+val run : jobs:int -> (t -> 'a) -> 'a
+(** [run ~jobs f] = create, apply [f], always shutdown. *)

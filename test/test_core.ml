@@ -39,6 +39,15 @@ let test_optimize_infeasible () =
   | Ok _ -> Alcotest.fail "1000 cells cannot fit multipliers"
   | Error T.Optimize.Infeasible_budget -> Alcotest.fail "should be proven"
 
+let test_optimize_race () =
+  (* jobs>=2 races the licence search against the literal ILP; the winner
+     must still be the proven paper optimum *)
+  match T.Optimize.run ~jobs:2 (motivational_spec ()) with
+  | Ok { design; quality; _ } ->
+      Alcotest.(check int) "paper cost" 4160 (T.Design.cost design);
+      Alcotest.(check bool) "optimal" true (quality = T.Optimize.Optimal)
+  | Error _ -> Alcotest.fail "race should solve"
+
 let test_quality_suffix () =
   Alcotest.(check string) "optimal" "" (T.Optimize.quality_suffix T.Optimize.Optimal);
   Alcotest.(check string) "incumbent" "*"
@@ -113,6 +122,7 @@ let () =
           Alcotest.test_case "licence search" `Quick test_optimize_default_solver;
           Alcotest.test_case "greedy" `Quick test_optimize_greedy_solver;
           Alcotest.test_case "infeasible" `Quick test_optimize_infeasible;
+          Alcotest.test_case "solver race (jobs=2)" `Quick test_optimize_race;
           Alcotest.test_case "quality suffix" `Quick test_quality_suffix;
         ] );
       ( "facade",

@@ -132,6 +132,51 @@ let bb_matches_enumeration =
       | (Solve.Infeasible, _), None -> true
       | _ -> false)
 
+(* ------------------------ warm-start B&B -------------------------- *)
+
+let test_warm_start_fewer_pivots () =
+  (* Table-3 polynom detection-only tight-area (λ=6, 1.5×) instance:
+     warm-started B&B with objective cutoff must reach the same optimum as
+     the cold baseline while spending strictly fewer total simplex pivots.
+     (The loose-area λ=3 row solves integrally at the root — one LP, no
+     re-solves to warm — so the tight row is the meaningful check.) *)
+  let module Spec = Thr_hls.Spec in
+  let module Catalog = Thr_iplib.Catalog in
+  let module Suite = Thr_benchmarks.Suite in
+  let module Instance = Thr_opt.Instance in
+  let module Csp = Thr_opt.Csp in
+  let module Ilp_f = Thr_opt.Ilp_formulation in
+  let dfg = Suite.polynom () in
+  let mk area_limit =
+    Spec.make ~mode:Spec.Detection_only ~dfg ~catalog:Catalog.eight_vendors
+      ~latency_detect:6 ~latency_recover:1 ~area_limit ()
+  in
+  let inst = Instance.make (mk max_int) in
+  let allowed = Array.make_matrix inst.Instance.n_vendors 3 true in
+  let lb = Option.get (Csp.area_lower_bound inst ~allowed) in
+  let spec = mk (int_of_float (float_of_int lb *. 1.5)) in
+  let f = Ilp_f.build ~max_instances:2 spec in
+  let run ~warm =
+    match
+      Solve.solve ~max_nodes:50_000 ~priority:f.Ilp_f.priority_vars ~warm
+        f.Ilp_f.model
+    with
+    | Solve.Optimal s, st -> (s.Solve.objective, st)
+    | o, _ -> Alcotest.fail (Format.asprintf "expected optimal: %a" Solve.pp_outcome o)
+  in
+  let obj_w, st_w = run ~warm:true in
+  let obj_c, st_c = run ~warm:false in
+  Alcotest.(check (float 1e-6)) "same optimum" obj_c obj_w;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer pivots warm (%d) than cold (%d)"
+       (Solve.total_pivots st_w) (Solve.total_pivots st_c))
+    true
+    (Solve.total_pivots st_w < Solve.total_pivots st_c);
+  Alcotest.(check bool) "warm solves happened" true
+    (st_w.Solve.simplex.Thr_lp.Simplex.warm_solves > 0);
+  Alcotest.(check int) "cold baseline never warms" 0
+    st_c.Solve.simplex.Thr_lp.Simplex.warm_solves
+
 (* --------------------------- LP export ---------------------------- *)
 
 let contains hay needle =
@@ -186,6 +231,8 @@ let () =
           Alcotest.test_case "equality" `Quick test_equality_constraint;
           Alcotest.test_case "budget" `Quick test_budget;
           QCheck_alcotest.to_alcotest bb_matches_enumeration;
+          Alcotest.test_case "warm start beats cold on Table-3 row" `Quick
+            test_warm_start_fewer_pivots;
         ] );
       ( "model",
         [

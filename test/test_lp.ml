@@ -176,7 +176,101 @@ let random_lp_prop =
           feasible && s.S.objective <= star_obj +. 1e-5
       | S.Infeasible -> false (* x_star is feasible by construction *)
       | S.Unbounded -> false (* variables are boxed *)
-      | S.Iter_limit -> false)
+      | S.Iter_limit | S.Cutoff -> false)
+
+(* Property: warm re-solves after random bound tightenings agree with a
+   freshly built cold problem — same feasibility verdict, objectives within
+   1e-6. *)
+let warm_vs_cold_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 1 8 in
+    let* x_star = list_repeat n (float_range 0.0 5.0) in
+    let* rows =
+      list_repeat m
+        (pair (list_repeat n (float_range (-3.0) 3.0)) (float_range 0.0 4.0))
+    in
+    let* obj = list_repeat n (float_range (-2.0) 2.0) in
+    (* three rounds of bound adjustments: (var, lo, width) triples *)
+    let* tweaks =
+      list_repeat 3
+        (list_repeat n (pair (float_range 0.0 4.0) (float_range 0.0 6.0)))
+    in
+    return (n, Array.of_list x_star, rows, obj, tweaks))
+
+let build_lp n x_star rows obj =
+  let p = S.create ~n_vars:n in
+  for j = 0 to n - 1 do
+    S.set_bounds p j ~lo:0.0 ~up:10.0
+  done;
+  S.set_objective p (List.mapi (fun j c -> (j, c)) obj);
+  List.iter
+    (fun (coefs, slack) ->
+      let terms = List.mapi (fun j c -> (j, c)) coefs in
+      let lhs_star =
+        List.fold_left (fun acc (j, c) -> acc +. (c *. x_star.(j))) 0.0 terms
+      in
+      S.add_constraint p terms S.Le (lhs_star +. slack))
+    rows;
+  p
+
+let warm_vs_cold_prop =
+  QCheck.Test.make ~name:"warm re-solves agree with cold solves" ~count:100
+    (QCheck.make warm_vs_cold_gen)
+    (fun (n, x_star, rows, obj, tweaks) ->
+      let warm_p = build_lp n x_star rows obj in
+      (* first solve populates the basis cache *)
+      let _ = S.solve warm_p in
+      List.for_all
+        (fun round ->
+          let bounds =
+            List.mapi
+              (fun j (lo, width) -> (j, lo, min 10.0 (lo +. width)))
+              round
+          in
+          List.iter (fun (j, lo, up) -> S.set_bounds warm_p j ~lo ~up) bounds;
+          let cold_p = build_lp n x_star rows obj in
+          List.iter (fun (j, lo, up) -> S.set_bounds cold_p j ~lo ~up) bounds;
+          match (S.solve warm_p, S.solve ~warm:false cold_p) with
+          | S.Optimal w, S.Optimal c ->
+              Float.abs (w.S.objective -. c.S.objective) <= 1e-6
+          | S.Infeasible, S.Infeasible -> true
+          | S.Unbounded, S.Unbounded -> true
+          | _ -> false)
+        tweaks)
+
+let test_warm_cutoff () =
+  (* min -x, x in [0,10]: optimum -10.  After tightening to [0,4] the warm
+     optimum is -4; a cutoff below that (-6) must abort with Cutoff. *)
+  let p = S.create ~n_vars:2 in
+  S.set_bounds p 0 ~lo:0.0 ~up:10.0;
+  S.set_bounds p 1 ~lo:0.0 ~up:10.0;
+  S.set_objective p [ (0, -1.0); (1, -1.0) ];
+  S.add_constraint p [ (0, 1.0); (1, 1.0) ] S.Le 12.0;
+  check_optimal "initial" (-12.0) (S.solve p);
+  S.set_bounds p 0 ~lo:0.0 ~up:2.0;
+  S.set_bounds p 1 ~lo:0.0 ~up:2.0;
+  (match S.solve ~cutoff:(-6.0) p with
+  | S.Cutoff -> ()
+  | r -> Alcotest.fail (Format.asprintf "expected cutoff: %a" S.pp_result r));
+  (* without the cutoff the warm re-solve reaches the true optimum *)
+  check_optimal "tightened" (-4.0) (S.solve p);
+  let st = S.stats p in
+  Alcotest.(check bool) "warm solves counted" true (st.S.warm_solves >= 1);
+  Alcotest.(check bool) "cold solves counted" true (st.S.cold_solves >= 1)
+
+let test_forget_forces_cold () =
+  let p = S.create ~n_vars:1 in
+  S.set_bounds p 0 ~lo:0.0 ~up:5.0;
+  S.set_objective p [ (0, -1.0) ];
+  S.add_constraint p [ (0, 1.0) ] S.Le 8.0;
+  check_optimal "first" (-5.0) (S.solve p);
+  S.forget p;
+  S.set_bounds p 0 ~lo:0.0 ~up:3.0;
+  check_optimal "after forget" (-3.0) (S.solve p);
+  let st = S.stats p in
+  Alcotest.(check int) "no warm solves" 0 st.S.warm_solves;
+  Alcotest.(check int) "two cold solves" 2 st.S.cold_solves
 
 let test_iter_limit () =
   (* a tiny iteration cap cannot finish a non-trivial LP *)
@@ -244,6 +338,9 @@ let () =
           Alcotest.test_case "bounds validation" `Quick test_set_bounds_validation;
           Alcotest.test_case "re-solve after mutation" `Quick test_resolve_after_mutation;
           QCheck_alcotest.to_alcotest random_lp_prop;
+          QCheck_alcotest.to_alcotest warm_vs_cold_prop;
+          Alcotest.test_case "warm cutoff" `Quick test_warm_cutoff;
+          Alcotest.test_case "forget forces cold" `Quick test_forget_forces_cold;
           Alcotest.test_case "iteration limit" `Quick test_iter_limit;
           Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms_summed;
           Alcotest.test_case "negative rhs / artificials" `Quick

@@ -306,6 +306,24 @@ let test_campaign_deterministic () =
   Alcotest.(check bool) "same seed same result" true (run 7 = run 7);
   ignore (run 8)
 
+let test_campaign_parallel_reproducible () =
+  (* jobs>1 uses per-trial split generators: the tally must not depend on
+     domain scheduling, only on the seed (and still catch every
+     activation) *)
+  let design = design_for () in
+  let run () =
+    Campaign.run
+      ~config:{ Campaign.default_config with n_runs = 50 }
+      ~jobs:2
+      ~prng:(Thr_util.Prng.create ~seed:7)
+      design
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed same result" true (a = b);
+  Alcotest.(check int) "all runs counted" 50 a.Campaign.runs;
+  Alcotest.(check int) "every activation detected" a.Campaign.activated
+    a.Campaign.detected
+
 let test_campaign_requires_recovery_mode () =
   let spec =
     Spec.make ~mode:Spec.Detection_only ~dfg:(Suite.motivational ())
@@ -349,6 +367,8 @@ let () =
         [
           Alcotest.test_case "fir16 campaign" `Slow test_campaign_fir16;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "parallel reproducible" `Quick
+            test_campaign_parallel_reproducible;
           Alcotest.test_case "requires recovery mode" `Quick
             test_campaign_requires_recovery_mode;
         ] );

@@ -3,6 +3,7 @@
 module Prng = Thr_util.Prng
 module Pqueue = Thr_util.Pqueue
 module Tablefmt = Thr_util.Tablefmt
+module Dpool = Thr_util.Dpool
 
 let test_prng_deterministic () =
   let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
@@ -143,6 +144,46 @@ let pqueue_sorted_prop =
       in
       drain [] = List.sort compare l)
 
+(* --------------------------- domain pool --------------------------- *)
+
+let test_dpool_map_sequential () =
+  let order = ref [] in
+  let out =
+    Dpool.run ~jobs:1 (fun pool ->
+        Dpool.map pool
+          (fun x ->
+            order := x :: !order;
+            x * x)
+          [ 1; 2; 3; 4 ])
+  in
+  Alcotest.(check (list int)) "results" [ 1; 4; 9; 16 ] out;
+  Alcotest.(check (list int)) "inline, in submission order" [ 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_dpool_map_parallel_order () =
+  let xs = List.init 50 Fun.id in
+  let out = Dpool.run ~jobs:4 (fun pool -> Dpool.map pool (fun x -> 2 * x) xs) in
+  Alcotest.(check (list int)) "input order kept" (List.map (fun x -> 2 * x) xs) out
+
+let test_dpool_map_exception () =
+  Alcotest.check_raises "first exception re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Dpool.run ~jobs:3 (fun pool ->
+             Dpool.map pool
+               (fun x -> if x = 7 then failwith "boom" else x)
+               (List.init 20 Fun.id))))
+
+let test_dpool_both () =
+  List.iter
+    (fun jobs ->
+      let a, b = Dpool.run ~jobs (fun pool -> Dpool.both pool (fun () -> 6 * 7) (fun () -> "ok")) in
+      Alcotest.(check int) "left" 42 a;
+      Alcotest.(check string) "right" "ok" b)
+    [ 1; 2 ]
+
+let test_dpool_default_jobs () =
+  Alcotest.(check bool) "at least one" true (Dpool.default_jobs () >= 1)
+
 (* --------------------------- table fmt ---------------------------- *)
 
 let test_table_basic () =
@@ -207,6 +248,14 @@ let () =
           Alcotest.test_case "tie order" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
           QCheck_alcotest.to_alcotest pqueue_sorted_prop;
+        ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "map jobs=1 inline" `Quick test_dpool_map_sequential;
+          Alcotest.test_case "map jobs=4 order" `Quick test_dpool_map_parallel_order;
+          Alcotest.test_case "map exception" `Quick test_dpool_map_exception;
+          Alcotest.test_case "both" `Quick test_dpool_both;
+          Alcotest.test_case "default jobs" `Quick test_dpool_default_jobs;
         ] );
       ( "tablefmt",
         [
