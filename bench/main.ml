@@ -449,14 +449,19 @@ let rtl () =
 
 (* ------------------------------ json ------------------------------ *)
 
-(* Machine-readable solver metrics, written to BENCH_solvers.json: for
-   every Table 3/4 row the licence search's answer and effort, plus — on
-   rows whose literal ILP stays small enough to branch-and-bound in
-   seconds — a warm- vs cold-start comparison of the same solve
-   (identical optimum, fewer pivots).  Rows above [ilp_var_gate]
-   variables get ["ilp": null]: their node LPs are too large for the
-   bundled dense-tableau solver regardless of warm starts (the tight
-   elliptic ILP alone has ~10k variables). *)
+(* Machine-readable solver metrics, written to BENCH_solvers.json with
+   Thr_util.Json: for every Table 3/4 row the licence search's answer and
+   effort, plus — on rows whose literal ILP stays small enough to
+   branch-and-bound in seconds — a warm- vs cold-start comparison of the
+   same solve (identical optimum, fewer pivots).  Rows above
+   [ilp_var_gate] variables get ["ilp": null]: their node LPs are too
+   large for the bundled dense-tableau solver regardless of warm starts
+   (the tight elliptic ILP alone has ~10k variables).  A final section
+   drives the same rows through the optimisation service twice and
+   records the cache hit-rate and service-side p50/p95 of the warm
+   second pass. *)
+
+module J = T.Json
 
 let ilp_var_gate = 800
 let ilp_node_cap = 2_000
@@ -477,8 +482,8 @@ let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
   let mc =
     match outcome with
     | T.Ilp_solve.Optimal sol | T.Ilp_solve.Budget (Some sol) ->
-        string_of_int (T.Design.cost (f.T.Ilp_formulation.read_design sol))
-    | _ -> "null"
+        J.Int (T.Design.cost (f.T.Ilp_formulation.read_design sol))
+    | _ -> J.Null
   in
   let sx = st.T.Ilp_solve.simplex in
   let hit_den = sx.T.Simplex.warm_solves + sx.T.Simplex.cold_solves in
@@ -486,16 +491,18 @@ let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
     if hit_den = 0 then 0.0
     else float_of_int sx.T.Simplex.warm_solves /. float_of_int hit_den
   in
-  ( Printf.sprintf
-      "{ \"mc\": %s, \"nodes\": %d, \"lp_solves\": %d, \"pivots\": %d, \
-       \"warm_solves\": %d, \"cold_solves\": %d, \"warm_hit_rate\": %.3f, \
-       \"seconds\": %.3f }"
-      mc st.T.Ilp_solve.nodes st.T.Ilp_solve.lp_solves
-      (T.Ilp_solve.total_pivots st) sx.T.Simplex.warm_solves
-      sx.T.Simplex.cold_solves hit seconds,
+  ( J.Obj
+      [ ("mc", mc);
+        ("nodes", J.Int st.T.Ilp_solve.nodes);
+        ("lp_solves", J.Int st.T.Ilp_solve.lp_solves);
+        ("pivots", J.Int (T.Ilp_solve.total_pivots st));
+        ("warm_solves", J.Int sx.T.Simplex.warm_solves);
+        ("cold_solves", J.Int sx.T.Simplex.cold_solves);
+        ("warm_hit_rate", J.Float hit);
+        ("seconds", J.Float seconds) ],
     T.Ilp_solve.total_pivots st )
 
-(* one row -> (json object string, (warm, cold) pivots when compared) *)
+(* one row -> (json object, (warm, cold) pivots when compared) *)
 let json_row ~table ~mode row =
   let spec = spec_of_row ~mode row in
   let ls =
@@ -504,36 +511,129 @@ let json_row ~table ~mode row =
         ~time_limit:30.0 spec
     with
     | Ok { design; quality; seconds; candidates; _ } ->
-        Printf.sprintf
-          "\"mc\": %d, \"quality\": %S, \"seconds\": %.3f, \"candidates\": %d"
-          (T.Design.cost design) (json_quality quality) seconds candidates
+        [
+          ("mc", J.Int (T.Design.cost design));
+          ("quality", J.String (json_quality quality));
+          ("seconds", J.Float seconds);
+          ("candidates", J.Int candidates);
+        ]
     | Error e ->
-        Printf.sprintf "\"mc\": null, \"quality\": %S, \"seconds\": null, \"candidates\": null"
-          (match e with
-          | T.Optimize.Infeasible_proven -> "infeasible"
-          | T.Optimize.Infeasible_budget -> "budget")
+        [
+          ("mc", J.Null);
+          ( "quality",
+            J.String
+              (match e with
+              | T.Optimize.Infeasible_proven -> "infeasible"
+              | T.Optimize.Infeasible_budget -> "budget") );
+          ("seconds", J.Null);
+          ("candidates", J.Null);
+        ]
   in
   let f = T.Ilp_formulation.build spec in
   let nv = T.Ilp_model.n_vars f.T.Ilp_formulation.model in
   let ilp, pivots =
-    if nv > ilp_var_gate then ("null", None)
+    if nv > ilp_var_gate then (J.Null, None)
     else begin
       let warm_json, warm_piv = json_ilp_side ~warm:true f in
       let cold_json, cold_piv = json_ilp_side ~warm:false f in
-      ( Printf.sprintf
-          "{ \"vars\": %d, \"max_nodes\": %d, \"warm\": %s, \"cold\": %s, \
-           \"pivot_ratio\": %.2f }"
-          nv ilp_node_cap warm_json cold_json
-          (float_of_int cold_piv /. float_of_int (max 1 warm_piv)),
+      ( J.Obj
+          [ ("vars", J.Int nv);
+            ("max_nodes", J.Int ilp_node_cap);
+            ("warm", warm_json);
+            ("cold", cold_json);
+            ( "pivot_ratio",
+              J.Float (float_of_int cold_piv /. float_of_int (max 1 warm_piv))
+            ) ],
         Some (warm_piv, cold_piv) )
     end
   in
-  ( Printf.sprintf
-      "    { \"table\": %S, \"bench\": %S, \"lambda\": %d, \"l_det\": %d, \
-       \"l_rec\": %d, \"frac\": %.1f, \"paper_mc\": %S, %s,\n      \"ilp\": %s }"
-      table row.bench row.lambda row.l_det row.l_rec row.frac row.paper_mc ls
-      ilp,
+  ( J.Obj
+      ([
+         ("table", J.String table);
+         ("bench", J.String row.bench);
+         ("lambda", J.Int row.lambda);
+         ("l_det", J.Int row.l_det);
+         ("l_rec", J.Int row.l_rec);
+         ("frac", J.Float row.frac);
+         ("paper_mc", J.String row.paper_mc);
+       ]
+      @ ls
+      @ [ ("ilp", ilp) ]),
     pivots )
+
+(* Drive every Table 3/4 row through the optimisation service twice: a
+   cold pass that populates the content-addressed solve cache and a warm
+   pass answered from it.  Stats come from the service's own "stats"
+   request, so the recorded hit-rate and p50/p95 are exactly what a
+   client would observe.  Hard rows that degrade to the greedy incumbent
+   within the deadline are (by design) not cached, so the hit-rate also
+   documents how many of the paper's rows are service-cacheable within
+   the per-request budget. *)
+let json_service_pass () =
+  let module S = Thr_server.Service in
+  let config =
+    { S.default_config with S.default_deadline_ms = Some 10_000 }
+  in
+  let service = S.create ~config () in
+  let request ~mode row =
+    let spec = spec_of_row ~mode row in
+    J.to_string
+      (J.Obj
+         [ ("op", J.String "solve");
+           ("dfg", J.String (T.Dfg_parse.to_string spec.T.Spec.dfg));
+           ("catalog", J.String "eight");
+           ( "mode",
+             J.String
+               (match mode with
+               | T.Spec.Detection_only -> "detection"
+               | T.Spec.Detection_and_recovery -> "detection_and_recovery") );
+           ("latency_detect", J.Int spec.T.Spec.latency_detect);
+           ("latency_recover", J.Int spec.T.Spec.latency_recover);
+           ("area", J.Int spec.T.Spec.area_limit) ])
+  in
+  let work =
+    List.map (fun r -> (T.Spec.Detection_only, r)) table3_rows
+    @ List.map (fun r -> (T.Spec.Detection_and_recovery, r)) table4_rows
+  in
+  let lines = List.map (fun (mode, row) -> request ~mode row) work in
+  let pass () =
+    List.fold_left
+      (fun hits line ->
+        match S.handle_line service line with
+        | J.Obj fields ->
+            if List.assoc_opt "cache_hit" fields = Some (J.Bool true) then
+              hits + 1
+            else hits
+        | _ -> hits)
+      0 lines
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold_hits = pass () in
+  let t_cold = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let warm_hits = pass () in
+  let t_warm = Unix.gettimeofday () -. t1 in
+  let stats =
+    match S.stats_json service with
+    | J.Obj fields -> (
+        match List.assoc_opt "stats" fields with Some s -> s | None -> J.Null)
+    | _ -> J.Null
+  in
+  let n = List.length lines in
+  Format.printf
+    "service: %d rows, cold pass %.1fs (%d hits), warm pass %.3fs (%d/%d \
+     hits)@."
+    n t_cold cold_hits t_warm warm_hits n;
+  J.Obj
+    [ ("rows", J.Int n);
+      ("deadline_ms", J.Int 10_000);
+      ("cold_seconds", J.Float t_cold);
+      ("warm_seconds", J.Float t_warm);
+      ( "warm_hit_rate",
+        J.Float (float_of_int warm_hits /. float_of_int (max 1 n)) );
+      ( "warm_speedup",
+        J.Float (t_cold /. Float.max 1e-9 t_warm) );
+      ("stats", stats) ]
 
 let json () =
   Format.printf "@.== Solver metrics -> BENCH_solvers.json ==@.";
@@ -554,18 +654,22 @@ let json () =
       (0, 0, 0) results
   in
   let ratio = float_of_int cold_total /. float_of_int (max 1 warm_total) in
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf "{\n  \"rows\": [\n";
-  Buffer.add_string buf (String.concat ",\n" (List.map fst results));
-  Buffer.add_string buf "\n  ],\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"summary\": { \"rows_compared\": %d, \"warm_pivots\": %d, \
-        \"cold_pivots\": %d, \"pivot_ratio\": %.2f },\n"
-       compared warm_total cold_total ratio);
-  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d\n}\n" !jobs);
+  let service = json_service_pass () in
+  let doc =
+    J.Obj
+      [ ("rows", J.List (List.map fst results));
+        ( "summary",
+          J.Obj
+            [ ("rows_compared", J.Int compared);
+              ("warm_pivots", J.Int warm_total);
+              ("cold_pivots", J.Int cold_total);
+              ("pivot_ratio", J.Float ratio) ] );
+        ("service", service);
+        ("jobs", J.Int !jobs) ]
+  in
   let oc = open_out "BENCH_solvers.json" in
-  output_string oc (Buffer.contents buf);
+  output_string oc (J.to_string ~pretty:true doc);
+  output_char oc '\n';
   close_out oc;
   Format.printf
     "wrote BENCH_solvers.json (%d rows, %d with warm/cold ILP comparison; \

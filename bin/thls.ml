@@ -5,10 +5,20 @@
      show        print a benchmark DFG (text format or DOT)
      catalog     print a built-in vendor catalogue
      optimize    minimum-cost scheduling/binding for a benchmark
-     simulate    run a Trojan-injection campaign on an optimised design *)
+     simulate    run a Trojan-injection campaign on an optimised design
+     serve       long-running optimisation service (socket or stdio)
+     submit      send one request to a running `thls serve`
+
+   Exit codes, uniform across the solving commands (optimize, simulate,
+   rtl, submit): 0 = solved; 2 = proven infeasible; 3 = search budget
+   exhausted with no incumbent; 1 = usage or I/O errors. *)
 
 open Cmdliner
 module T = Trojan_hls
+module Json = Thr_util.Json
+
+let exit_infeasible = 2
+let exit_budget = 3
 
 let find_dfg name =
   match T.Benchmarks.find name with
@@ -120,6 +130,13 @@ let jobs_flag =
            fans the injection trials out.  1 = fully sequential and \
            deterministic (default: cores - 1).")
 
+(* Dpool.create rejects jobs < 1; turn that into a clean CLI error. *)
+let check_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
+    exit 1
+  end
+
 let solver_flag =
   let solver_conv =
     Arg.enum
@@ -154,6 +171,7 @@ let optimize_cmd =
         prerr_endline e;
         exit 1
     | Ok dfg, Ok catalog -> (
+        check_jobs jobs;
         let spec =
           make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
         in
@@ -168,10 +186,10 @@ let optimize_cmd =
               seconds
         | Error T.Optimize.Infeasible_proven ->
             print_endline "infeasible: no design satisfies the constraints";
-            exit 2
+            exit exit_infeasible
         | Error T.Optimize.Infeasible_budget ->
             print_endline "no design found within the search budget";
-            exit 3)
+            exit exit_budget)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc)
@@ -193,14 +211,18 @@ let simulate_cmd =
         prerr_endline e;
         exit 1
     | Ok dfg, Ok catalog -> (
+        check_jobs jobs;
         let spec =
           make_spec dfg catalog ~detection_only:false ~latency ~latency_recover
             ~area
         in
         match T.Optimize.run ~jobs spec with
-        | Error _ ->
-            print_endline "no design found; relax the constraints";
-            exit 2
+        | Error T.Optimize.Infeasible_proven ->
+            print_endline "infeasible: no design satisfies the constraints";
+            exit exit_infeasible
+        | Error T.Optimize.Infeasible_budget ->
+            print_endline "no design found within the search budget";
+            exit exit_budget
         | Ok { design; _ } ->
             let prng = T.Prng.create ~seed in
             let config = { T.Campaign.default_config with n_runs = runs } in
@@ -299,9 +321,12 @@ let rtl_cmd =
             ~area
         in
         match T.Optimize.run spec with
-        | Error _ ->
-            print_endline "no design; relax the constraints";
-            exit 2
+        | Error T.Optimize.Infeasible_proven ->
+            print_endline "infeasible: no design satisfies the constraints";
+            exit exit_infeasible
+        | Error T.Optimize.Infeasible_budget ->
+            print_endline "no design found within the search budget";
+            exit exit_budget
         | Ok { design; _ } ->
             let rtl = T.Rtl.elaborate ~width design in
             Printf.printf "%s\n" (T.Rtl.stats rtl);
@@ -317,13 +342,249 @@ let rtl_cmd =
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ width_flag $ verilog_flag)
 
+(* ------------------------------------------------------------------ *)
+(* serve / submit: the optimisation service and its line client.       *)
+
+(* Default persistence directory, in precedence order:
+   $THLS_CACHE_DIR, $XDG_CACHE_HOME/thls, $HOME/.cache/thls. *)
+let default_persist_dir () =
+  match Sys.getenv_opt "THLS_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Some (Filename.concat d "thls")
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" ->
+              Some (Filename.concat (Filename.concat h ".cache") "thls")
+          | _ -> None))
+
+let serve_cmd =
+  let doc = "Run the optimisation service (Unix socket or stdio)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves the line-delimited JSON protocol: one request object per \
+         line, one response object per line.  Requests are \
+         $(b,{\"op\":\"solve\",\"dfg\":...}), $(b,{\"op\":\"stats\"}) and \
+         $(b,{\"op\":\"shutdown\"}).  Solved designs are kept in a \
+         content-addressed cache keyed on the canonicalised problem \
+         instance, so repeated or renumbered submissions of the same DFG \
+         are answered without re-solving.";
+    ]
+  in
+  let socket_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let stdio_flag =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve one client over stdin/stdout instead of a socket.")
+  in
+  let cache_size_flag =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-size" ] ~docv:"N" ~doc:"In-memory solve-cache entries.")
+  in
+  let persist_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"DIR"
+          ~doc:
+            "On-disk cache directory (default: \\$THLS_CACHE_DIR, else \
+             \\$XDG_CACHE_HOME/thls, else ~/.cache/thls).")
+  in
+  let no_persist_flag =
+    Arg.(
+      value & flag
+      & info [ "no-persist" ] ~doc:"Keep the solve cache in memory only.")
+  in
+  let max_queue_flag =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission limit: max solves in flight before queue_full.")
+  in
+  let deadline_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-solve budget applied when a request names none; \
+             on expiry the solve degrades to the greedy incumbent.")
+  in
+  let run socket stdio cache_size persist no_persist max_queue deadline_ms jobs
+      =
+    check_jobs jobs;
+    if cache_size < 1 then begin
+      prerr_endline "--cache-size must be >= 1";
+      exit 1
+    end;
+    if max_queue < 1 then begin
+      prerr_endline "--max-queue must be >= 1";
+      exit 1
+    end;
+    let persist_dir =
+      if no_persist then None
+      else match persist with Some _ as p -> p | None -> default_persist_dir ()
+    in
+    let config =
+      {
+        Thr_server.Service.capacity = cache_size;
+        persist_dir;
+        max_queue;
+        default_deadline_ms = deadline_ms;
+        jobs = 1;
+      }
+    in
+    let service = Thr_server.Service.create ~config () in
+    match (socket, stdio) with
+    | Some _, true ->
+        prerr_endline "--socket and --stdio are mutually exclusive";
+        exit 1
+    | None, true -> Thr_server.Server.serve_stdio service
+    | Some path, false ->
+        Printf.eprintf "thls serve: listening on %s\n%!" path;
+        Thr_server.Server.serve_unix service ~socket_path:path ~jobs ()
+    | None, false ->
+        prerr_endline "serve needs --socket PATH or --stdio";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ socket_flag $ stdio_flag $ cache_size_flag $ persist_flag
+      $ no_persist_flag $ max_queue_flag $ deadline_flag $ jobs_flag)
+
+let submit_cmd =
+  let doc = "Send one request to a running $(b,thls serve)." in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark to solve (omit with --dfg, --stats or --shutdown).")
+  in
+  let socket_flag =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of the running server.")
+  in
+  let dfg_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dfg" ] ~docv:"FILE"
+          ~doc:"Solve a DFG from a file ('-' for stdin) instead of a benchmark.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Request the service counters.")
+  in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
+  in
+  let deadline_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request solve budget.")
+  in
+  let solver_name_flag =
+    Arg.(
+      value & opt string "search"
+      & info [ "solver" ] ~docv:"SOLVER" ~doc:"search | ilp | greedy.")
+  in
+  let read_file = function
+    | "-" -> In_channel.input_all stdin
+    | path -> In_channel.with_open_text path In_channel.input_all
+  in
+  let run bench socket dfg stats shutdown cat detection_only latency
+      latency_recover area solver deadline_ms =
+    let request =
+      if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
+      else if shutdown then Ok (Json.Obj [ ("op", Json.String "shutdown") ])
+      else
+        let dfg_text =
+          match (bench, dfg) with
+          | _, Some path -> (
+              try Ok (read_file path)
+              with Sys_error e -> Error e)
+          | Some name, None ->
+              Result.map T.Dfg_parse.to_string (find_dfg name)
+          | None, None ->
+              Error "submit needs BENCH, --dfg FILE, --stats or --shutdown"
+        in
+        Result.map
+          (fun text ->
+            let opt name v f = Option.map (fun x -> (name, f x)) v in
+            let fields =
+              [
+                Some ("op", Json.String "solve");
+                Some ("dfg", Json.String text);
+                Some ("catalog", Json.String cat);
+                (if detection_only then
+                   Some ("mode", Json.String "detection")
+                 else None);
+                opt "latency_detect" latency (fun i -> Json.Int i);
+                opt "latency_recover" latency_recover (fun i -> Json.Int i);
+                opt "area" area (fun i -> Json.Int i);
+                Some ("solver", Json.String solver);
+                opt "deadline_ms" deadline_ms (fun i -> Json.Int i);
+              ]
+            in
+            Json.Obj (List.filter_map Fun.id fields))
+          dfg_text
+    in
+    match request with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok req -> (
+        let reply =
+          try
+            Thr_server.Client.with_connection ~socket_path:socket (fun c ->
+                Thr_server.Client.rpc c req)
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot reach server at %s: %s" socket
+                 (Unix.error_message e))
+        in
+        match reply with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok j -> (
+            print_endline (Json.to_string ~pretty:true j);
+            match Json.mem_str "status" j with
+            | Some "ok" -> ()
+            | _ -> (
+                match Json.mem_str "code" j with
+                | Some "infeasible" -> exit exit_infeasible
+                | Some "budget" -> exit exit_budget
+                | _ -> exit 1)))
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
+      $ shutdown_flag $ catalog_flag $ detection_only_flag $ latency_flag
+      $ latency_rec_flag $ area_flag $ solver_name_flag $ deadline_flag)
+
 let main =
   let doc = "Trojan-tolerant high-level synthesis (DAC'14 reproduction)" in
   Cmd.group
     (Cmd.info "thls" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; catalog_cmd; optimize_cmd; simulate_cmd; export_ilp_cmd;
-      pareto_cmd; rtl_cmd;
+      pareto_cmd; rtl_cmd; serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -20,8 +20,10 @@
       gate-level substrate and the Trojan models of Figs. 2–3;
     - {!Engine}, {!Campaign} — run-time detection/recovery execution;
     - {!Benchmarks}, {!Dfg_generator} — the Section 5 workloads;
-    - {!Prng}, {!Tablefmt}, {!Dpool} — deterministic randomness, table
-      output and the domain pool behind every [--jobs] flag. *)
+    - {!Prng}, {!Tablefmt}, {!Dpool}, {!Json} — deterministic randomness,
+      table output, the domain pool behind every [--jobs] flag, and the
+      JSON values spoken by the optimisation service (whose modules live
+      in the separate [thr_server] library). *)
 
 module Op = Thr_dfg.Op
 module Dfg = Thr_dfg.Dfg
@@ -77,3 +79,4 @@ module Dfg_generator = Thr_benchmarks.Generator
 module Prng = Thr_util.Prng
 module Tablefmt = Thr_util.Tablefmt
 module Dpool = Thr_util.Dpool
+module Json = Thr_util.Json

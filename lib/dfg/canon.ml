@@ -1,0 +1,128 @@
+(* Canonical renumbering of a DFG.
+
+   Two requests that describe the same computation but number their ops
+   differently (any topological re-ordering of the `n<i> = ...` lines)
+   must hit the same solve-cache entry.  [perm] assigns every op a
+   canonical position that depends only on the graph structure — op
+   kinds, operand lists (constants and input names included), and the
+   edge relation — never on the incoming ids; [fingerprint] serialises
+   the graph in that canonical order, so isomorphic graphs print
+   byte-identically and the service can compare fingerprints to rule out
+   hash collisions.
+
+   The renumbering is a Weisfeiler-Lehman colour refinement run in both
+   edge directions (operand hashes are position-sensitive, successor
+   hashes order-insensitive), iterated until the colour partition stops
+   splitting, followed by a Kahn topological sort that always pops the
+   ready op with the smallest colour.  Ops left with equal colours after
+   refinement are structurally interchangeable for every practical graph
+   this tool sees, so either pop order serialises identically; the
+   original id is kept only as the final tie-break to make the order
+   total. *)
+
+(* 64-bit FNV-1a folded over strings/ints; native-int wraparound is
+   deterministic, which is all a fingerprint hash needs. *)
+let fnv_prime = 0x100000001b3
+
+let fnv_str acc s =
+  String.fold_left (fun a c -> (a lxor Char.code c) * fnv_prime) acc s
+
+let fnv_int acc i =
+  let rec go a i n =
+    if n = 0 then a else go ((a lxor (i land 0xff)) * fnv_prime) (i lsr 8) (n - 1)
+  in
+  go acc i 8
+
+let hash_operand colors = function
+  | Dfg.Const v -> fnv_int (fnv_str 0xcb1 "c") v
+  | Dfg.Input s -> fnv_str (fnv_str 0xcb2 "i") s
+  | Dfg.Node j -> fnv_int (fnv_str 0xcb3 "n") colors.(j)
+
+(* one refinement round; returns the new colouring *)
+let refine d colors =
+  let n = Dfg.n_ops d in
+  Array.init n (fun i ->
+      let nd = Dfg.node d i in
+      let h = fnv_str colors.(i) (Op.to_string nd.Dfg.kind) in
+      let h =
+        Array.fold_left (fun a o -> fnv_int a (hash_operand colors o)) h
+          nd.Dfg.operands
+      in
+      (* successor colours as a sorted multiset: order-insensitive *)
+      let succ_colors = List.map (fun j -> colors.(j)) (Dfg.succs d i) in
+      List.fold_left fnv_int h (List.sort Stdlib.compare succ_colors))
+
+let n_classes colors =
+  List.length (List.sort_uniq Stdlib.compare (Array.to_list colors))
+
+let stable_colors d =
+  let n = Dfg.n_ops d in
+  let colors =
+    Array.init n (fun i -> fnv_str 0x811c9dc5 (Op.to_string (Dfg.kind d i)))
+  in
+  let rec go colors classes rounds =
+    if rounds = 0 then colors
+    else
+      let colors' = refine d colors in
+      let classes' = n_classes colors' in
+      (* keep refining while the partition still splits; one extra round
+         after it stabilises propagates the final colours once more *)
+      if classes' = classes then refine d colors'
+      else go colors' classes' (rounds - 1)
+  in
+  go colors (n_classes colors) (n + 2)
+
+(* [perm d].(i) is the canonical position of op [i]: a topological order
+   that pops the smallest (colour, id) among ready ops. *)
+let perm d =
+  let n = Dfg.n_ops d in
+  let colors = stable_colors d in
+  let indeg = Array.init n (fun i -> List.length (Dfg.preds d i)) in
+  let module S = Set.Make (struct
+    type t = int * int (* colour, op id *)
+
+    let compare = Stdlib.compare
+  end) in
+  let ready = ref S.empty in
+  Array.iteri (fun i deg -> if deg = 0 then ready := S.add (colors.(i), i) !ready) indeg;
+  let position = Array.make n (-1) in
+  let next = ref 0 in
+  while not (S.is_empty !ready) do
+    let ((_, i) as elt) = S.min_elt !ready in
+    ready := S.remove elt !ready;
+    position.(i) <- !next;
+    incr next;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then ready := S.add (colors.(j), j) !ready)
+      (Dfg.succs d i)
+  done;
+  assert (!next = n);
+  position
+
+let operand_token position = function
+  | Dfg.Const v -> string_of_int v
+  | Dfg.Input s -> "i:" ^ s
+  | Dfg.Node j -> "n" ^ string_of_int position.(j)
+
+(* Canonical serialisation: ops in canonical order, operands referring to
+   canonical positions.  The DFG's display name and the first-use order
+   of its inputs are presentation details and deliberately absent. *)
+let fingerprint d =
+  let position = perm d in
+  let n = Dfg.n_ops d in
+  let inverse = Array.make n 0 in
+  Array.iteri (fun i p -> inverse.(p) <- i) position;
+  let buf = Buffer.create 256 in
+  for p = 0 to n - 1 do
+    let nd = Dfg.node d inverse.(p) in
+    Buffer.add_string buf (Op.to_string nd.Dfg.kind);
+    Array.iter
+      (fun o ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (operand_token position o))
+      nd.Dfg.operands;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

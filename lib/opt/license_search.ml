@@ -187,13 +187,16 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
     in
     let result = ref None in
     let budget_out = ref false in
-    let started = Sys.time () in
+    (* wall clock, not [Sys.time]: the CPU clock sums over domains when
+       racing, and a service deadline is a wall-clock promise *)
+    let started = Unix.gettimeofday () in
     let out_of_time () =
       should_stop ()
       ||
       match time_limit with
       | None -> false
-      | Some limit -> Sys.time () -. started > limit
+      (* inclusive, so a zero budget is out of time at the first check *)
+      | Some limit -> Unix.gettimeofday () -. started >= limit
     in
     while !result = None && not (Pqueue.is_empty queue) && not !budget_out do
       match Pqueue.pop queue with

@@ -1,0 +1,190 @@
+(* Content-addressed solve cache: an in-memory LRU over 64-bit canonical
+   keys with optional on-disk persistence.
+
+   Every entry keeps the full canonical serialisation of its instance
+   ([content]); a lookup only counts as a hit when the stored content
+   matches the probe byte-for-byte, so a hash collision can never hand
+   back a design for a different instance.
+
+   Persistence is a second tier, one file per key under [persist_dir]
+   (created on demand).  Stores write through; memory evictions leave the
+   file behind, so a later miss can be refilled from disk.  Files are
+   written to a temp name and renamed into place, and a version magic
+   guards against reading entries marshalled by an older layout — any
+   unreadable file is treated as a miss.  All operations are
+   mutex-guarded: the server hits one cache from several domains. *)
+
+module T = Trojan_hls
+
+type entry = {
+  content : string;  (* canonical instance serialisation (collision check) *)
+  design : T.Design.t;  (* in the numbering of the spec it was solved for *)
+  perm : int array;  (* that spec's op id -> canonical position *)
+  quality : T.Optimize.quality;
+  solve_seconds : float;  (* what the original cold solve cost *)
+  candidates : int;
+}
+
+type node = {
+  key : int64;
+  entry : entry;
+  mutable prev : node option;  (* towards most-recent *)
+  mutable next : node option;  (* towards least-recent *)
+}
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_hits : int;  (* subset of hits served by reloading a file *)
+}
+
+type t = {
+  capacity : int;
+  persist_dir : string option;
+  table : (int64, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  c : counters;
+  mutex : Mutex.t;
+}
+
+let create ?(capacity = 64) ?persist_dir () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    persist_dir;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    c = { hits = 0; misses = 0; evictions = 0; disk_hits = 0 };
+    mutex = Mutex.create ();
+  }
+
+let size t = Hashtbl.length t.table
+
+let capacity t = t.capacity
+
+let counters t =
+  Mutex.protect t.mutex (fun () ->
+      { hits = t.c.hits; misses = t.c.misses; evictions = t.c.evictions;
+        disk_hits = t.c.disk_hits })
+
+(* ------------------------- LRU list plumbing ------------------------ *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+(* --------------------------- persistence --------------------------- *)
+
+let magic = "thls-solve-cache-v1\n"
+
+let file_path dir key = Filename.concat dir (Printf.sprintf "%016Lx.solve" key)
+
+let ensure_dir dir =
+  let rec mk d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let persist_store dir key entry =
+  (* best-effort: a full disk or read-only cache dir must not fail solves *)
+  try
+    ensure_dir dir;
+    let tmp = file_path dir key ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc magic;
+    Marshal.to_channel oc (entry : entry) [];
+    close_out oc;
+    Sys.rename tmp (file_path dir key)
+  with _ -> ()
+
+let persist_load dir key : entry option =
+  let path = file_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then None
+          else Some (Marshal.from_channel ic : entry))
+    with _ -> None
+
+(* ----------------------------- lookups ----------------------------- *)
+
+let insert_locked t key entry =
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+      unlink t old;
+      Hashtbl.remove t.table key
+  | None -> ());
+  let node = { key; entry; prev = None; next = None } in
+  push_front t node;
+  Hashtbl.replace t.table key node;
+  if Hashtbl.length t.table > t.capacity then
+    match t.tail with
+    | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key;
+        t.c.evictions <- t.c.evictions + 1
+    | None -> ()
+
+let find t ~key ~content =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node when node.entry.content = content ->
+          touch t node;
+          t.c.hits <- t.c.hits + 1;
+          Some node.entry
+      | Some _ ->
+          (* same 64-bit address, different instance: treat as a miss *)
+          t.c.misses <- t.c.misses + 1;
+          None
+      | None -> (
+          match t.persist_dir with
+          | None ->
+              t.c.misses <- t.c.misses + 1;
+              None
+          | Some dir -> (
+              match persist_load dir key with
+              | Some entry when entry.content = content ->
+                  insert_locked t key entry;
+                  t.c.hits <- t.c.hits + 1;
+                  t.c.disk_hits <- t.c.disk_hits + 1;
+                  Some entry
+              | Some _ | None ->
+                  t.c.misses <- t.c.misses + 1;
+                  None)))
+
+let store t ~key entry =
+  Mutex.protect t.mutex (fun () ->
+      insert_locked t key entry;
+      match t.persist_dir with
+      | Some dir -> persist_store dir key entry
+      | None -> ())

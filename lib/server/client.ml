@@ -1,0 +1,33 @@
+(* Client side of the wire protocol: used by `thls submit` and by the
+   end-to-end tests, so both drive the service through the same code. *)
+
+module Json = Thr_util.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* send one raw line, wait for the one-line reply *)
+let rpc_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | reply -> Json.parse reply
+  | exception End_of_file -> Error "connection closed by server"
+
+let rpc t request = rpc_line t (Json.to_string request)
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

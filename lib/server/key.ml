@@ -1,0 +1,77 @@
+(* Canonical instance keys for the solve cache.
+
+   Two requests must collide exactly when the optimiser cannot tell them
+   apart: same DFG up to op renumbering (Thr_dfg.Canon), same catalogue,
+   mode, latencies, area limit, rule variant, closely-related pairs and
+   solver.  The key carries three things:
+
+   - [hash]     64-bit FNV-1a of the canonical serialisation — the cache
+                address;
+   - [content]  the canonical serialisation itself — compared verbatim on
+                every cache hit, so a 64-bit hash collision degrades to a
+                miss instead of returning a wrong design;
+   - [perm]     op id -> canonical position for THIS request's numbering,
+                used to translate a cached design into the requester's
+                numbering on a hit.
+
+   [latency_recover] is omitted in detection-only mode (the spec carries
+   a defaulted value there but no RV copy ever reads it), so requests
+   that differ only in that irrelevant field still collide. *)
+
+module Spec = Thr_hls.Spec
+module Catalog = Thr_iplib.Catalog
+module Iptype = Thr_iplib.Iptype
+module Vendor = Thr_iplib.Vendor
+module Canon = Thr_dfg.Canon
+module T = Trojan_hls
+
+type t = { hash : int64; content : string; perm : int array }
+
+let solver_token = function
+  | T.Optimize.License_search -> "search"
+  | T.Optimize.Ilp -> "ilp"
+  | T.Optimize.Greedy -> "greedy"
+
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  String.fold_left
+    (fun a c -> Int64.mul (Int64.logxor a (Int64.of_int (Char.code c))) prime)
+    0xcbf29ce484222325L s
+
+let of_spec ~solver (spec : Spec.t) =
+  let perm = Canon.perm spec.Spec.dfg in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "solver %s" (solver_token solver);
+  (match spec.Spec.mode with
+  | Spec.Detection_only -> line "mode detection"
+  | Spec.Detection_and_recovery ->
+      line "mode detection+recovery";
+      line "l_rec %d" spec.Spec.latency_recover);
+  line "l_det %d" spec.Spec.latency_detect;
+  line "area %d" spec.Spec.area_limit;
+  line "rule %s"
+    (match spec.Spec.rule_variant with
+    | Spec.Strict_paper -> "strict"
+    | Spec.Symmetric -> "symmetric");
+  List.iter
+    (fun v ->
+      List.iter
+        (fun ty ->
+          match Catalog.entry spec.Spec.catalog v ty with
+          | None -> ()
+          | Some e ->
+              line "cat %d %d %d %d" (Vendor.id v) (Iptype.to_index ty)
+                e.Catalog.area e.Catalog.cost)
+        Iptype.all)
+    (Catalog.vendors spec.Spec.catalog);
+  spec.Spec.closely_related
+  |> List.map (fun (i, j) ->
+         let a = perm.(i) and b = perm.(j) in
+         (min a b, max a b))
+  |> List.sort_uniq Stdlib.compare
+  |> List.iter (fun (a, b) -> line "related %d %d" a b);
+  Buffer.add_string buf "dfg\n";
+  Buffer.add_string buf (Canon.fingerprint spec.Spec.dfg);
+  let content = Buffer.contents buf in
+  { hash = fnv64 content; content; perm }

@@ -1,0 +1,177 @@
+(* Line-delimited JSON wire protocol of the optimisation service.
+
+   Every request and every response is one JSON object on one line.
+
+   Requests:
+     {"op":"solve", "dfg":"<thls DFG text>", ...options}
+     {"op":"stats"}
+     {"op":"shutdown"}
+
+   Solve options (all optional unless noted):
+     "dfg"              required DFG text (Thr_dfg.Parse syntax)
+     "catalog"          "table1" | "eight"            (default "eight")
+     "mode"             "detection" | "detection_and_recovery"
+                                                      (default the latter)
+     "latency_detect"   int   (default: critical path + 1)
+     "latency_recover"  int   (default: critical path)
+     "area"             int   (default: generous, 10 * 7000 * n_ops)
+     "solver"           "search" | "ilp" | "greedy"   (default "search")
+     "deadline_ms"      int   per-request solve budget
+
+   Responses:
+     {"status":"ok", "cache_hit":B, "seconds":F, "result":{...}}
+     {"status":"ok", "stats":{...}}
+     {"status":"error", "code":C, "error":MSG}
+   with C one of "parse" | "bad_request" | "queue_full" | "infeasible" |
+   "budget" | "internal".  The "result" object is a pure function of the
+   returned design, so a cache hit serialises bit-identically to the
+   solve that populated it. *)
+
+module Json = Thr_util.Json
+module T = Trojan_hls
+
+type solve = {
+  dfg_text : string;
+  catalog_name : string;
+  mode : T.Spec.mode;
+  latency_detect : int option;
+  latency_recover : int option;
+  area : int option;
+  solver : T.Optimize.solver;
+  deadline_ms : int option;
+}
+
+type request = Solve of solve | Stats | Shutdown
+
+(* ----------------------------- decoding ---------------------------- *)
+
+let field_int name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let catalog_of_name = function
+  | "table1" -> Ok T.Catalog.table1
+  | "eight" -> Ok T.Catalog.eight_vendors
+  | s -> Error (Printf.sprintf "unknown catalogue %S (table1 | eight)" s)
+
+let request_of_json j : (request, string * string) result =
+  let bad fmt = Printf.ksprintf (fun m -> Error ("bad_request", m)) fmt in
+  match j with
+  | Json.Obj _ -> (
+      match Json.mem_str "op" j with
+      | None -> bad "missing or non-string field \"op\""
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some "solve" -> (
+          match Json.mem_str "dfg" j with
+          | None -> bad "solve requires a string field \"dfg\""
+          | Some dfg_text -> (
+              let catalog_name =
+                Option.value ~default:"eight" (Json.mem_str "catalog" j)
+              in
+              let mode_name =
+                Option.value ~default:"detection_and_recovery"
+                  (Json.mem_str "mode" j)
+              in
+              let solver_name =
+                Option.value ~default:"search" (Json.mem_str "solver" j)
+              in
+              let ( let* ) = Result.bind in
+              let with_code r =
+                Result.map_error (fun m -> ("bad_request", m)) r
+              in
+              let* mode =
+                match mode_name with
+                | "detection" | "detection_only" -> Ok T.Spec.Detection_only
+                | "detection_and_recovery" | "detection+recovery" ->
+                    Ok T.Spec.Detection_and_recovery
+                | s -> bad "unknown mode %S" s
+              in
+              let* solver =
+                match solver_name with
+                | "search" -> Ok T.Optimize.License_search
+                | "ilp" -> Ok T.Optimize.Ilp
+                | "greedy" -> Ok T.Optimize.Greedy
+                | s -> bad "unknown solver %S" s
+              in
+              let* latency_detect = with_code (field_int "latency_detect" j) in
+              let* latency_recover = with_code (field_int "latency_recover" j) in
+              let* area = with_code (field_int "area" j) in
+              let* deadline_ms = with_code (field_int "deadline_ms" j) in
+              Ok
+                (Solve
+                   {
+                     dfg_text;
+                     catalog_name;
+                     mode;
+                     latency_detect;
+                     latency_recover;
+                     area;
+                     solver;
+                     deadline_ms;
+                   })))
+      | Some op -> bad "unknown op %S (solve | stats | shutdown)" op)
+  | _ -> Error ("bad_request", "request must be a JSON object")
+
+let request_of_line line : (request, string * string) result =
+  match Json.parse line with
+  | Error msg -> Error ("parse", msg)
+  | Ok j -> request_of_json j
+
+(* ----------------------------- encoding ---------------------------- *)
+
+let error_response ~code msg =
+  Json.Obj
+    [ ("status", Json.String "error"); ("code", Json.String code);
+      ("error", Json.String msg) ]
+
+let quality_name = function
+  | T.Optimize.Optimal -> "optimal"
+  | T.Optimize.Incumbent -> "incumbent"
+  | T.Optimize.Heuristic -> "heuristic"
+
+(* the "result" object: everything below is a deterministic function of
+   (design, quality, degraded) — timing lives one level up *)
+let design_json (design : T.Design.t) ~quality ~degraded =
+  let spec = design.T.Design.spec in
+  let s = T.Design.stats design in
+  let licences =
+    List.map
+      (fun (v, ty) ->
+        Json.Obj
+          [ ("vendor", Json.String (T.Vendor.name v));
+            ("type", Json.String (T.Iptype.to_string ty));
+            ("cost", Json.Int (T.Catalog.cost spec.T.Spec.catalog v ty)) ])
+      (T.Design.licences design)
+  in
+  let schedule =
+    List.map
+      (fun c ->
+        Json.Obj
+          [ ("op", Json.Int c.T.Copy.op);
+            ("phase", Json.String (T.Copy.phase_to_string c.T.Copy.phase));
+            ("step", Json.Int (T.Schedule.step_of spec design.T.Design.schedule c));
+            ("vendor",
+             Json.String
+               (T.Vendor.name (T.Binding.vendor_of spec design.T.Design.binding c)))
+          ])
+      (T.Copy.all spec)
+  in
+  Json.Obj
+    [ ("bench", Json.String (T.Dfg.name spec.T.Spec.dfg));
+      ("mc", Json.Int s.T.Design.mc);
+      ("u", Json.Int s.T.Design.u);
+      ("t", Json.Int s.T.Design.t);
+      ("v", Json.Int s.T.Design.v);
+      ("area", Json.Int s.T.Design.area);
+      ("quality", Json.String (quality_name quality));
+      ("degraded", Json.Bool degraded);
+      ("licences", Json.List licences);
+      ("schedule", Json.List schedule) ]
+
+let solve_response ~cache_hit ~seconds result =
+  Json.Obj
+    [ ("status", Json.String "ok"); ("cache_hit", Json.Bool cache_hit);
+      ("seconds", Json.Float seconds); ("result", result) ]

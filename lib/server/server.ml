@@ -1,0 +1,69 @@
+(* Serving loops: line-delimited JSON over a Unix-domain socket or
+   stdin/stdout.
+
+   The socket loop accepts with a short select timeout so a shutdown
+   request handled on any connection stops the accept loop within a
+   fraction of a second.  With [jobs > 1] each connection is handled on
+   a worker domain from one shared pool — the service object underneath
+   is already thread-safe — while [jobs = 1] handles connections inline,
+   sequentially and deterministically, exactly like every other --jobs
+   surface in this repo.
+
+   A connection is one client: requests are answered in order on that
+   connection, a malformed line gets an error object and the connection
+   (and server) live on, and EOF or a broken pipe just closes that one
+   client. *)
+
+module Json = Thr_util.Json
+module Dpool = Thr_util.Dpool
+
+let handle_connection service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       let response = Service.handle_line service line in
+       output_string oc (Json.to_string response);
+       output_char oc '\n';
+       flush oc;
+       (* after answering a shutdown, stop reading this connection too *)
+       if not (Service.stopping service) then loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_unix service ~socket_path ?(jobs = 1) () =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket_path);
+  Unix.listen sock 64;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Dpool.run ~jobs (fun pool ->
+          let dispatch f =
+            if Dpool.jobs pool = 1 then f () else Dpool.submit pool f
+          in
+          while not (Service.stopping service) do
+            match Unix.select [ sock ] [] [] 0.1 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ ->
+                let fd, _ = Unix.accept sock in
+                dispatch (fun () -> handle_connection service fd)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done))
+
+let serve_stdio service =
+  try
+    while not (Service.stopping service) do
+      let line = input_line stdin in
+      let response = Service.handle_line service line in
+      print_string (Json.to_string response);
+      print_newline ();
+      flush stdout
+    done
+  with End_of_file -> ()

@@ -33,7 +33,8 @@ let worker pool =
   loop ()
 
 let create ~jobs =
-  let jobs = max 1 jobs in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Dpool.create: jobs must be >= 1, got %d" jobs);
   let pool =
     {
       jobs;
@@ -141,5 +142,7 @@ let both pool fa fb =
   end
 
 let run ~jobs f =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Dpool.run: jobs must be >= 1, got %d" jobs);
   let pool = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

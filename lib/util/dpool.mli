@@ -14,9 +14,17 @@ val default_jobs : unit -> int
     the caller's own work. *)
 
 val create : jobs:int -> t
-(** Spawn [max 1 jobs - 1] worker domains.  Call {!shutdown} when done. *)
+(** Spawn [jobs - 1] worker domains.  Call {!shutdown} when done.
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val jobs : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue a task for the worker domains.  There is no
+    completion handle — build one (or use {!map}/{!both}) if the result
+    matters.  With [jobs = 1] there are no workers, so nothing ever runs
+    a submitted task: callers must dispatch inline instead for
+    sequential pools. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element, results in input order.
@@ -34,4 +42,5 @@ val shutdown : t -> unit
 (** Join all worker domains.  Idempotent for [jobs = 1] pools. *)
 
 val run : jobs:int -> (t -> 'a) -> 'a
-(** [run ~jobs f] = create, apply [f], always shutdown. *)
+(** [run ~jobs f] = create, apply [f], always shutdown.  Raises
+    [Invalid_argument] when [jobs < 1]. *)

@@ -148,7 +148,13 @@ let test_parse_errors () =
   bad "dfg x\ninput a\nn0 = frob a a";  (* unknown op *)
   bad "dfg x\ninput a\nn0 = add a";     (* arity *)
   bad "dfg x\ninput a\nn0 = add a n0";  (* forward/self reference *)
-  bad "dfg x\ndfg y\ninput a\nn0 = add a a" (* duplicate header *)
+  bad "dfg x\ndfg y\ninput a\nn0 = add a a"; (* duplicate header *)
+  bad "input a\nn0 = add a a";          (* op before any header *)
+  bad "dfg x\ninput a\nn0 = add a a\nn0 = add a a"; (* lhs repeats *)
+  bad "dfg x\ninput a\nn2 = add a a";   (* numbering skips ahead *)
+  bad "dfg x\ninput a\nn0 add a a";     (* missing '=' *)
+  bad "dfg x\ninput a\nn0 = add a a a"; (* too many operands *)
+  bad "dfg x\ninput a\nn0 = add a n99"  (* node id out of range *)
 
 let test_parse_comments_and_consts () =
   let src = "# header comment\ndfg t\ninput a\n\nn0 = add a -3 # trailing\n" in
@@ -165,6 +171,27 @@ let parse_round_trip_prop =
     (fun seed ->
       let prng = Thr_util.Prng.create ~seed in
       let d = Thr_benchmarks.Generator.generate ~prng () in
+      match Parse.of_string (Parse.to_string d) with
+      | Ok d' -> Dfg.equal d d'
+      | Error _ -> false)
+
+(* same property over the generator's whole shape space: op counts from a
+   single op up to 40, any layering that fits, mul-heavy to mul-free *)
+let parse_round_trip_varied_prop =
+  QCheck.Test.make ~name:"parse round-trips varied DFG shapes" ~count:100
+    QCheck.(triple small_int (int_bound 39) (int_bound 10))
+    (fun (seed, ops, tenths) ->
+      let n_ops = 1 + ops in
+      let config =
+        {
+          Thr_benchmarks.Generator.n_ops;
+          n_layers = 1 + (seed mod min n_ops 7);
+          mul_ratio = float_of_int tenths /. 10.0;
+          other_ratio = (10.0 -. float_of_int tenths) /. 20.0;
+        }
+      in
+      let prng = Thr_util.Prng.create ~seed:(seed + (41 * ops)) in
+      let d = Thr_benchmarks.Generator.generate ~config ~prng () in
       match Parse.of_string (Parse.to_string d) with
       | Ok d' -> Dfg.equal d d'
       | Error _ -> false)
@@ -276,6 +303,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "comments/constants" `Quick test_parse_comments_and_consts;
           QCheck_alcotest.to_alcotest parse_round_trip_prop;
+          QCheck_alcotest.to_alcotest parse_round_trip_varied_prop;
         ] );
       ( "eval",
         [

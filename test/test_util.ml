@@ -184,6 +184,132 @@ let test_dpool_both () =
 let test_dpool_default_jobs () =
   Alcotest.(check bool) "at least one" true (Dpool.default_jobs () >= 1)
 
+let test_dpool_invalid_jobs () =
+  Alcotest.check_raises "create jobs=0"
+    (Invalid_argument "Dpool.create: jobs must be >= 1, got 0") (fun () ->
+      ignore (Dpool.create ~jobs:0));
+  Alcotest.check_raises "create negative"
+    (Invalid_argument "Dpool.create: jobs must be >= 1, got -3") (fun () ->
+      ignore (Dpool.create ~jobs:(-3)));
+  Alcotest.check_raises "run jobs=0"
+    (Invalid_argument "Dpool.run: jobs must be >= 1, got 0") (fun () ->
+      ignore (Dpool.run ~jobs:0 (fun _ -> ())))
+
+(* ------------------------------ json ------------------------------- *)
+
+module Json = Thr_util.Json
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("count", Json.Int (-42));
+      ("ratio", Json.Float 1.5);
+      ("name", Json.String "a \"quoted\"\n\ttab \\ slash");
+      ("items", Json.List [ Json.Int 1; Json.String "two"; Json.Bool false ]);
+      ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+    ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty sample) with
+      | Ok j -> Alcotest.(check bool) "round trip" true (j = sample)
+      | Error e -> Alcotest.fail e)
+    [ false; true ]
+
+let test_json_parse_literals () =
+  let ok s v =
+    match Json.parse s with
+    | Ok j -> Alcotest.(check bool) ("parse " ^ s) true (j = v)
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  ok "null" Json.Null;
+  ok "true" (Json.Bool true);
+  ok " -17 " (Json.Int (-17));
+  ok "2.5e2" (Json.Float 250.0);
+  ok {|"Aé"|} (Json.String "A\xc3\xa9");
+  ok {|"😀"|} (Json.String "\xf0\x9f\x98\x80");
+  ok "[1, [2], {}]"
+    (Json.List [ Json.Int 1; Json.List [ Json.Int 2 ]; Json.Obj [] ])
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+    | Error e ->
+        Alcotest.(check bool) "error names an offset" true
+          (String.length e >= 5 && String.sub e 0 5 = "json:")
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "\"bad \\q escape\"";
+  bad "01";
+  bad "1 trailing";
+  bad "nul";
+  bad "{'single':1}"
+
+let test_json_float_special () =
+  (* non-finite floats have no JSON spelling; they serialise as null *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "whole floats keep a point" "2.0"
+    (Json.to_string (Json.Float 2.0))
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "mem_int" (Some (-42))
+    (Json.mem_int "count" sample);
+  Alcotest.(check (option string)) "mem_str missing" None
+    (Json.mem_str "absent" sample);
+  Alcotest.(check (option bool)) "mem_bool" (Some true)
+    (Json.mem_bool "flag" sample);
+  Alcotest.(check (option (float 1e-9))) "to_float accepts ints" (Some 3.0)
+    (Json.to_float (Json.Int 3))
+
+(* printable strings and int/bool/null scalars; floats are checked
+   separately because the printer's %.12g is not a lossless codec *)
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let scalar =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) int;
+                map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 12));
+              ]
+          in
+          if n <= 0 then scalar
+          else
+            frequency
+              [
+                (2, scalar);
+                (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (0 -- 4)
+                       (pair (string_size ~gen:printable (0 -- 8)) (self (n / 2))))
+                );
+              ])
+        n)
+
+let json_round_trip_prop =
+  QCheck.Test.make ~name:"json parse inverts to_string" ~count:300
+    (QCheck.make json_gen) (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> j' = j
+      | Error _ -> false)
+
 (* --------------------------- table fmt ---------------------------- *)
 
 let test_table_basic () =
@@ -256,6 +382,16 @@ let () =
           Alcotest.test_case "map exception" `Quick test_dpool_map_exception;
           Alcotest.test_case "both" `Quick test_dpool_both;
           Alcotest.test_case "default jobs" `Quick test_dpool_default_jobs;
+          Alcotest.test_case "invalid jobs" `Quick test_dpool_invalid_jobs;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "literals" `Quick test_json_parse_literals;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "special floats" `Quick test_json_float_special;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest json_round_trip_prop;
         ] );
       ( "tablefmt",
         [
