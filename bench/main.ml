@@ -9,7 +9,8 @@
 
    `--jobs N` fans independent work (table rows, campaign trials) out over
    N domains; the default is `Dpool.default_jobs ()` and `--jobs 1` runs
-   everything sequentially and deterministically.
+   everything sequentially and deterministically.  `--trace FILE` records
+   a Chrome trace_event profile of the run (chrome://tracing / Perfetto).
 
    Area constraints: the paper's absolute unit-cell numbers assume its
    (unpublished) 8-vendor catalogue, so each row's area budget is derived
@@ -502,8 +503,27 @@ let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
         ("seconds", J.Float seconds) ],
     T.Ilp_solve.total_pivots st )
 
+(* Per-row deltas of the process-wide metrics registry (simplex pivots,
+   B&B and CSP nodes, licence candidates).  Registry counters are global,
+   so with --jobs > 1 concurrent rows bleed into each other's deltas;
+   with --jobs 1 they are exact.  Readers of schema 1 ignore the extra
+   field. *)
+let registry_deltas before after =
+  let v l name = match List.assoc_opt name l with Some x -> x | None -> 0.0 in
+  List.map
+    (fun name -> (name, J.Int (int_of_float (v after name -. v before name))))
+    [
+      "simplex_pivots_total";
+      "simplex_warm_solves_total";
+      "simplex_cold_solves_total";
+      "bb_nodes_total";
+      "csp_nodes_total";
+      "license_candidates_total";
+    ]
+
 (* one row -> (json object, (warm, cold) pivots when compared) *)
 let json_row ~table ~mode row =
+  let snap0 = T.Metrics.snapshot () in
   let spec = spec_of_row ~mode row in
   let ls =
     match
@@ -547,6 +567,7 @@ let json_row ~table ~mode row =
         Some (warm_piv, cold_piv) )
     end
   in
+  let metrics = registry_deltas snap0 (T.Metrics.snapshot ()) in
   ( J.Obj
       ([
          ("table", J.String table);
@@ -558,7 +579,7 @@ let json_row ~table ~mode row =
          ("paper_mc", J.String row.paper_mc);
        ]
       @ ls
-      @ [ ("ilp", ilp) ]),
+      @ [ ("ilp", ilp); ("metrics", J.Obj metrics) ]),
     pivots )
 
 (* Drive every Table 3/4 row through the optimisation service twice: a
@@ -657,7 +678,9 @@ let json () =
   let service = json_service_pass () in
   let doc =
     J.Obj
-      [ ("rows", J.List (List.map fst results));
+      [ (* 2: per-row "metrics" registry deltas; 1: no such field *)
+        ("schema", J.Int 2);
+        ("rows", J.List (List.map fst results));
         ( "summary",
           J.Obj
             [ ("rows_compared", J.Int compared);
@@ -791,6 +814,10 @@ let () =
         Format.printf "--jobs expects an integer, got %S@." s;
         exit 1
   in
+  let set_trace path =
+    T.Trace.enable ();
+    at_exit (fun () -> T.Trace.write_file path)
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | [ "--jobs" ] ->
@@ -801,6 +828,15 @@ let () =
         parse acc rest
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
         set_jobs (String.sub a 7 (String.length a - 7));
+        parse acc rest
+    | [ "--trace" ] ->
+        Format.printf "--trace expects a file argument@.";
+        exit 1
+    | "--trace" :: path :: rest ->
+        set_trace path;
+        parse acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
+        set_trace (String.sub a 8 (String.length a - 8));
         parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in

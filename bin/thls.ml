@@ -133,9 +133,26 @@ let jobs_flag =
 (* Dpool.create rejects jobs < 1; turn that into a clean CLI error. *)
 let check_jobs jobs =
   if jobs < 1 then begin
-    Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
+    T.Log.error "invalid_jobs"
+      [ ("jobs", string_of_int jobs); ("hint", "--jobs must be >= 1") ];
     exit 1
   end
+
+let trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event JSON profile of the run to $(docv) \
+           (open it in chrome://tracing or Perfetto).")
+
+(* the file is written at exit so a trace survives exit 2/3 paths too *)
+let setup_trace = function
+  | None -> ()
+  | Some path ->
+      T.Trace.enable ();
+      at_exit (fun () -> T.Trace.write_file path)
 
 let solver_flag =
   let solver_conv =
@@ -165,13 +182,15 @@ let make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area =
 
 let optimize_cmd =
   let doc = "Find a minimum-licence-cost Trojan-tolerant design." in
-  let run name cat detection_only latency latency_recover area solver jobs =
+  let run name cat detection_only latency latency_recover area solver jobs
+      trace =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
         exit 1
     | Ok dfg, Ok catalog -> (
         check_jobs jobs;
+        setup_trace trace;
         let spec =
           make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
         in
@@ -195,7 +214,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
-      $ latency_rec_flag $ area_flag $ solver_flag $ jobs_flag)
+      $ latency_rec_flag $ area_flag $ solver_flag $ jobs_flag $ trace_flag)
 
 let simulate_cmd =
   let doc = "Optimise a design, then run a Trojan-injection campaign on it." in
@@ -205,13 +224,14 @@ let simulate_cmd =
   let seed_flag =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run name cat latency latency_recover area runs seed jobs =
+  let run name cat latency latency_recover area runs seed jobs trace =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
         exit 1
     | Ok dfg, Ok catalog -> (
         check_jobs jobs;
+        setup_trace trace;
         let spec =
           make_spec dfg catalog ~detection_only:false ~latency ~latency_recover
             ~area
@@ -233,7 +253,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
-      $ area_flag $ runs_flag $ seed_flag $ jobs_flag)
+      $ area_flag $ runs_flag $ seed_flag $ jobs_flag $ trace_flag)
 
 let export_ilp_cmd =
   let doc =
@@ -367,8 +387,8 @@ let serve_cmd =
       `P
         "Serves the line-delimited JSON protocol: one request object per \
          line, one response object per line.  Requests are \
-         $(b,{\"op\":\"solve\",\"dfg\":...}), $(b,{\"op\":\"stats\"}) and \
-         $(b,{\"op\":\"shutdown\"}).  Solved designs are kept in a \
+         $(b,{\"op\":\"solve\",\"dfg\":...}), $(b,{\"op\":\"stats\"}), \
+         $(b,{\"op\":\"metrics\"}) and $(b,{\"op\":\"shutdown\"}).  Solved designs are kept in a \
          content-addressed cache keyed on the canonicalised problem \
          instance, so repeated or renumbered submissions of the same DFG \
          are answered without re-solving.";
@@ -421,8 +441,9 @@ let serve_cmd =
              on expiry the solve degrades to the greedy incumbent.")
   in
   let run socket stdio cache_size persist no_persist max_queue deadline_ms jobs
-      =
+      trace =
     check_jobs jobs;
+    setup_trace trace;
     if cache_size < 1 then begin
       prerr_endline "--cache-size must be >= 1";
       exit 1
@@ -451,7 +472,7 @@ let serve_cmd =
         exit 1
     | None, true -> Thr_server.Server.serve_stdio service
     | Some path, false ->
-        Printf.eprintf "thls serve: listening on %s\n%!" path;
+        T.Log.info "listening" [ ("socket", path) ];
         Thr_server.Server.serve_unix service ~socket_path:path ~jobs ()
     | None, false ->
         prerr_endline "serve needs --socket PATH or --stdio";
@@ -461,7 +482,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ socket_flag $ stdio_flag $ cache_size_flag $ persist_flag
-      $ no_persist_flag $ max_queue_flag $ deadline_flag $ jobs_flag)
+      $ no_persist_flag $ max_queue_flag $ deadline_flag $ jobs_flag
+      $ trace_flag)
 
 let submit_cmd =
   let doc = "Send one request to a running $(b,thls serve)." in
@@ -488,6 +510,12 @@ let submit_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Request the service counters.")
   in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Request the metrics registry (Prometheus text format).")
+  in
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
   in
@@ -506,10 +534,11 @@ let submit_cmd =
     | "-" -> In_channel.input_all stdin
     | path -> In_channel.with_open_text path In_channel.input_all
   in
-  let run bench socket dfg stats shutdown cat detection_only latency
+  let run bench socket dfg stats metrics shutdown cat detection_only latency
       latency_recover area solver deadline_ms =
     let request =
       if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
+      else if metrics then Ok (Json.Obj [ ("op", Json.String "metrics") ])
       else if shutdown then Ok (Json.Obj [ ("op", Json.String "shutdown") ])
       else
         let dfg_text =
@@ -520,7 +549,9 @@ let submit_cmd =
           | Some name, None ->
               Result.map T.Dfg_parse.to_string (find_dfg name)
           | None, None ->
-              Error "submit needs BENCH, --dfg FILE, --stats or --shutdown"
+              Error
+                "submit needs BENCH, --dfg FILE, --stats, --metrics or \
+                 --shutdown"
         in
         Result.map
           (fun text ->
@@ -575,8 +606,9 @@ let submit_cmd =
     (Cmd.info "submit" ~doc)
     Term.(
       const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
-      $ shutdown_flag $ catalog_flag $ detection_only_flag $ latency_flag
-      $ latency_rec_flag $ area_flag $ solver_name_flag $ deadline_flag)
+      $ metrics_flag $ shutdown_flag $ catalog_flag $ detection_only_flag
+      $ latency_flag $ latency_rec_flag $ area_flag $ solver_name_flag
+      $ deadline_flag)
 
 let main =
   let doc = "Trojan-tolerant high-level synthesis (DAC'14 reproduction)" in

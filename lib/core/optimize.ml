@@ -2,8 +2,14 @@ module LS = Thr_opt.License_search
 module Ilp_f = Thr_opt.Ilp_formulation
 module Dpool = Thr_util.Dpool
 module Design = Thr_hls.Design
+module Trace = Thr_obs.Trace
 
 type solver = License_search | Ilp | Greedy
+
+let solver_name = function
+  | License_search -> "search"
+  | Ilp -> "ilp"
+  | Greedy -> "greedy"
 
 type quality = Optimal | Incumbent | Heuristic
 
@@ -82,7 +88,8 @@ let run_race ?per_call_nodes ?max_candidates ?time_limit ~jobs spec =
   in
   let ilp_side () =
     let ((outcome, _) as r) =
-      Ilp_f.solve_with_stats ?max_nodes:per_call_nodes ~should_stop spec
+      Trace.with_span "ilp_bb" (fun () ->
+          Ilp_f.solve_with_stats ?max_nodes:per_call_nodes ~should_stop spec)
     in
     (match outcome with Ilp_f.Optimal _ -> Atomic.set stop true | _ -> ());
     r
@@ -130,6 +137,14 @@ let run_race ?per_call_nodes ?max_candidates ?time_limit ~jobs spec =
 
 let run ?(solver = License_search) ?per_call_nodes ?max_candidates ?time_limit
     ?(jobs = 1) spec =
+  Trace.with_span "optimize"
+    ~args:
+      [
+        ("solver", solver_name solver);
+        ("bench", Thr_dfg.Dfg.name spec.Thr_hls.Spec.dfg);
+        ("jobs", string_of_int jobs);
+      ]
+  @@ fun () ->
   match solver with
   | License_search ->
       if jobs >= 2 then
@@ -137,7 +152,9 @@ let run ?(solver = License_search) ?per_call_nodes ?max_candidates ?time_limit
       else run_license_search ?per_call_nodes ?max_candidates ?time_limit spec
   | Ilp -> (
       let (outcome, stats), seconds =
-        time (fun () -> Ilp_f.solve_with_stats ?max_nodes:per_call_nodes spec)
+        time (fun () ->
+            Trace.with_span "ilp_bb" (fun () ->
+                Ilp_f.solve_with_stats ?max_nodes:per_call_nodes spec))
       in
       let nodes = stats.Thr_ilp.Solve.nodes in
       match outcome with

@@ -80,3 +80,7 @@ module Prng = Thr_util.Prng
 module Tablefmt = Thr_util.Tablefmt
 module Dpool = Thr_util.Dpool
 module Json = Thr_util.Json
+
+module Trace = Thr_obs.Trace
+module Metrics = Thr_obs.Metrics
+module Log = Thr_obs.Log

@@ -1,4 +1,9 @@
 module Simplex = Thr_lp.Simplex
+module Metrics = Thr_obs.Metrics
+module Trace = Thr_obs.Trace
+
+let m_nodes = Metrics.counter "bb_nodes_total"
+let m_incumbents = Metrics.counter "bb_incumbents_total"
 
 type solution = { objective : float; values : int array }
 
@@ -92,6 +97,7 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
     else if should_stop () then hit_budget := true
     else begin
       incr nodes;
+      Metrics.incr m_nodes;
       for v = 0 to nv - 1 do
         Simplex.set_bounds lp v ~lo:(float_of_int lo.(v)) ~up:(float_of_int up.(v))
       done;
@@ -139,7 +145,16 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
               let objective = Model.eval_objective m values in
               if objective < !incumbent_obj -. 1e-9 then begin
                 incumbent := Some { objective; values };
-                incumbent_obj := objective
+                incumbent_obj := objective;
+                Metrics.incr m_incumbents;
+                if Trace.enabled () then
+                  Trace.instant "bb.incumbent"
+                    ~args:
+                      [
+                        ("objective", Printf.sprintf "%g" objective);
+                        ("node", string_of_int !nodes);
+                      ]
+                    ()
               end
             end
             else begin

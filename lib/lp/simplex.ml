@@ -1,3 +1,8 @@
+(* process-wide profiling counters, alongside the per-problem [ctr] *)
+let m_pivots = Thr_obs.Metrics.counter "simplex_pivots_total"
+let m_warm = Thr_obs.Metrics.counter "simplex_warm_solves_total"
+let m_cold = Thr_obs.Metrics.counter "simplex_cold_solves_total"
+
 type relation = Le | Ge | Eq
 
 type row = { terms : (int * float) list; rel : relation; rhs : float }
@@ -332,6 +337,7 @@ let optimize st ~eps ~allow ~ctr ~phase1 iters_left =
       | No_entering -> `Optimal
       | Unbounded_dir -> `Unbounded
       | Moved t ->
+          Thr_obs.Metrics.incr m_pivots;
           if phase1 then ctr.c_p1 <- ctr.c_p1 + 1
           else ctr.c_p2 <- ctr.c_p2 + 1;
           if t <= 1e-12 then begin
@@ -371,6 +377,9 @@ let final_solution p st =
 
 let cold_solve ~eps ~max_iters p =
   p.ctr.c_cold <- p.ctr.c_cold + 1;
+  Thr_obs.Metrics.incr m_cold;
+  (* a cold solve rebuilds the tableau: the basis-refactor event *)
+  if Thr_obs.Trace.enabled () then Thr_obs.Trace.instant "simplex.refactor" ();
   let rows = Array.of_list (List.rev p.rows) in
   let m = Array.length rows in
   let n_slack =
@@ -726,6 +735,7 @@ let warm_solve ~eps ~max_iters ?cutoff p cache =
           let t = delta /. alpha_e in
           let dz = st.zrow.(e) *. t in
           p.ctr.c_dual <- p.ctr.c_dual + 1;
+          Thr_obs.Metrics.incr m_pivots;
           if Float.abs dz <= 1e-12 then begin
             p.ctr.c_degen <- p.ctr.c_degen + 1;
             incr degen_run;
@@ -773,6 +783,7 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) ?cutoff ?(warm = true) p =
           | Some r ->
               c.warm_uses <- c.warm_uses + 1;
               p.ctr.c_warm <- p.ctr.c_warm + 1;
+              Thr_obs.Metrics.incr m_warm;
               Some r
           | None -> None)
       | _ -> None

@@ -1,0 +1,84 @@
+type level = Debug | Info | Warn | Error
+
+let int_of_level = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let current = Atomic.make (int_of_level Info)
+
+let () =
+  (* an unknown THLS_LOG value keeps the default rather than failing
+     startup; the CLI is not the place to die over a typo *)
+  match Option.bind (Sys.getenv_opt "THLS_LOG") level_of_string with
+  | Some l -> Atomic.set current (int_of_level l)
+  | None -> ()
+
+let set_level l = Atomic.set current (int_of_level l)
+
+let level () =
+  match Atomic.get current with 0 -> Debug | 1 -> Info | 2 -> Warn | _ -> Error
+
+let enabled l = int_of_level l >= Atomic.get current
+
+let sink : (string -> unit) option Atomic.t = Atomic.make None
+let set_sink f = Atomic.set sink f
+let emit_mutex = Mutex.create ()
+
+let quote v =
+  let plain =
+    v <> ""
+    && not
+         (String.exists
+            (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '=' || c = '"')
+            v)
+  in
+  if plain then v
+  else begin
+    let buf = Buffer.create (String.length v + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let logf lvl event fields =
+  if enabled lvl then begin
+    let buf = Buffer.create 96 in
+    Printf.bprintf buf "ts=%.6f level=%s event=%s" (Unix.gettimeofday ())
+      (level_name lvl) (quote event);
+    List.iter
+      (fun (k, v) -> Printf.bprintf buf " %s=%s" k (quote v))
+      fields;
+    let line = Buffer.contents buf in
+    match Atomic.get sink with
+    | Some f -> f line
+    | None ->
+        Mutex.protect emit_mutex (fun () ->
+            output_string stderr line;
+            output_char stderr '\n';
+            flush stderr)
+  end
+
+let debug event fields = logf Debug event fields
+let info event fields = logf Info event fields
+let warn event fields = logf Warn event fields
+let error event fields = logf Error event fields

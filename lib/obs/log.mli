@@ -1,0 +1,29 @@
+(** Leveled structured logger: one [key=value] line per event on stderr.
+
+    The level is read from [THLS_LOG] (debug|info|warn|error) at startup
+    and defaults to [Info].  Emission takes a single atomic load when the
+    level is suppressed; enabled lines are formatted and written under a
+    mutex so concurrent domains never interleave within a line. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> level option
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] is true when a [logf l ...] call would emit. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Redirect formatted lines (without the trailing newline) away from
+    stderr — used by tests to capture events.  [None] restores stderr. *)
+
+val logf : level -> string -> (string * string) list -> unit
+(** [logf lvl event fields] emits
+    [ts=<epoch> level=<lvl> event=<event> k1=v1 ...].  Values containing
+    whitespace, ['='] or ['"'] are double-quoted with backslash escapes. *)
+
+val debug : string -> (string * string) list -> unit
+val info : string -> (string * string) list -> unit
+val warn : string -> (string * string) list -> unit
+val error : string -> (string * string) list -> unit

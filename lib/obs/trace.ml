@@ -1,0 +1,93 @@
+module Json = Thr_util.Json
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* -------------------------- monotonic clock ------------------------- *)
+
+(* The stdlib exposes no monotonic clock, so build one: wall-clock
+   microseconds since module load, max-clamped through an atomic so time
+   never runs backwards even across domains and NTP steps. *)
+let epoch = Unix.gettimeofday ()
+let last_us = Atomic.make 0.0
+
+let rec now_us () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let prev = Atomic.get last_us in
+  if t >= prev then
+    if Atomic.compare_and_set last_us prev t then t else now_us ()
+  else prev
+
+(* ----------------------------- recording ---------------------------- *)
+
+let events_mutex = Mutex.create ()
+let events : Json.t list ref = ref [] (* newest first *)
+let n_complete = Atomic.make 0
+
+let record ev = Mutex.protect events_mutex (fun () -> events := ev :: !events)
+
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let depth () = List.length !(Domain.DLS.get stack_key)
+let completed () = Atomic.get n_complete
+
+let clear () =
+  Mutex.protect events_mutex (fun () ->
+      events := [];
+      Atomic.set n_complete 0)
+
+let base name ph ts =
+  [
+    ("name", Json.String name);
+    ("cat", Json.String "thls");
+    ("ph", Json.String ph);
+    ("ts", Json.Float ts);
+    ("pid", Json.Int 1);
+    ("tid", Json.Int (Domain.self () :> int));
+  ]
+
+let json_args args =
+  ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args))
+
+let with_span name ?(args = []) f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let ts = now_us () in
+    stack := name :: !stack;
+    let finish () =
+      (match !stack with _ :: tl -> stack := tl | [] -> ());
+      let dur = Float.max 0.0 (now_us () -. ts) in
+      Atomic.incr n_complete;
+      record (Json.Obj (base name "X" ts @ [ ("dur", Json.Float dur); json_args args ]))
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let instant name ?(args = []) () =
+  if Atomic.get enabled_flag then
+    record
+      (Json.Obj (base name "i" (now_us ()) @ [ ("s", Json.String "t"); json_args args ]))
+
+let export () =
+  let evs = Mutex.protect events_mutex (fun () -> List.rev !events) in
+  Json.Obj
+    [ ("traceEvents", Json.List evs); ("displayTimeUnit", Json.String "ms") ]
+
+let write_file path =
+  let j = export () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n')

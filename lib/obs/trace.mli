@@ -1,0 +1,35 @@
+(** Span-based tracer exporting Chrome [trace_event] JSON.
+
+    Disabled (the default) the tracer costs a single atomic load per
+    [with_span]/[instant] call.  Enabled, each domain keeps its own stack
+    of open spans (so [Dpool] fan-out nests correctly and an exception
+    unwinds only its own domain's spans), timestamps come from a
+    software-monotonic clock (wall clock clamped to never run backwards
+    across domains), and completed spans accumulate in a process-wide
+    buffer until [write_file]/[export].
+
+    The output loads directly in chrome://tracing or Perfetto: complete
+    events carry [ph="X"], microsecond [ts]/[dur], [pid=1] and the domain
+    id as [tid]. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_span : string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+(** [with_span name ?args f] runs [f] inside a span.  The span is
+    recorded (and the per-domain stack unwound) whether [f] returns or
+    raises.  When tracing is disabled this is just [f ()]. *)
+
+val instant : string -> ?args:(string * string) list -> unit -> unit
+(** A zero-duration event ([ph="i"]), e.g. an incumbent improvement. *)
+
+val depth : unit -> int
+(** Open spans on the calling domain's stack. *)
+
+val completed : unit -> int
+(** Complete spans recorded since the last [clear]. *)
+
+val clear : unit -> unit
+val export : unit -> Thr_util.Json.t
+val write_file : string -> unit

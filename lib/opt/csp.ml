@@ -3,6 +3,13 @@ module Copy = Thr_hls.Copy
 module Schedule = Thr_hls.Schedule
 module Binding = Thr_hls.Binding
 module Dfg = Thr_dfg.Dfg
+module Metrics = Thr_obs.Metrics
+
+(* propagation stats: search-tree nodes are added in bulk per solve so
+   the hot propagation loop itself carries no atomics *)
+let m_solves = Metrics.counter "csp_solves_total"
+let m_nodes = Metrics.counter "csp_nodes_total"
+let m_unknown = Metrics.counter "csp_unknown_total"
 
 type verdict =
   | Feasible of Schedule.t * Binding.t
@@ -434,16 +441,22 @@ let solve_ctx ?(max_nodes = 200_000) ctx ~allowed =
       List.exists try_vendor cands
     end
   in
-  if infeasible_precheck then (Infeasible, { nodes = 0 })
-  else
-    match search_vendors () with
-    | true ->
-        let sched = Schedule.make spec (Array.sub step 0 n) in
-        let vendors =
-          Array.map (fun k -> inst.Instance.vendors.(k)) (Array.sub vend 0 n)
-        in
-        (Feasible (sched, Binding.make spec vendors), { nodes = !nodes })
-    | false -> (Infeasible, { nodes = !nodes })
-    | exception Budget -> (Unknown, { nodes = !nodes })
+  let verdict, st =
+    if infeasible_precheck then (Infeasible, { nodes = 0 })
+    else
+      match search_vendors () with
+      | true ->
+          let sched = Schedule.make spec (Array.sub step 0 n) in
+          let vendors =
+            Array.map (fun k -> inst.Instance.vendors.(k)) (Array.sub vend 0 n)
+          in
+          (Feasible (sched, Binding.make spec vendors), { nodes = !nodes })
+      | false -> (Infeasible, { nodes = !nodes })
+      | exception Budget -> (Unknown, { nodes = !nodes })
+  in
+  Metrics.incr m_solves;
+  Metrics.add m_nodes st.nodes;
+  (match verdict with Unknown -> Metrics.incr m_unknown | _ -> ());
+  (verdict, st)
 
 let solve ?max_nodes inst ~allowed = solve_ctx ?max_nodes (make_ctx inst) ~allowed

@@ -3,6 +3,12 @@ module Rules = Thr_hls.Rules
 module Design = Thr_hls.Design
 module Iptype = Thr_iplib.Iptype
 module Pqueue = Thr_util.Pqueue
+module Metrics = Thr_obs.Metrics
+module Log = Thr_obs.Log
+module Trace = Thr_obs.Trace
+
+let m_candidates = Metrics.counter "license_candidates_total"
+let m_candidate_ms = Metrics.histogram "license_candidate_ms"
 
 type quality = Proven_optimal | Incumbent
 
@@ -132,8 +138,8 @@ let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go m 0
 
-let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
-    ?(should_stop = fun () -> false) spec =
+let search_body ?(per_call_nodes = 200_000) ?(max_candidates = 200_000)
+    ?time_limit ?(should_stop = fun () -> false) spec =
   let inst = Instance.make spec in
   let ctx = Csp.make_ctx inst in
   let types = Array.of_list inst.Instance.types_used in
@@ -203,8 +209,10 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
       | None -> ()
       | Some (_, tuple) ->
           incr candidates;
+          Metrics.incr m_candidates;
           if !candidates > max_candidates || out_of_time () then budget_out := true
           else begin
+            let probe_t0 = Unix.gettimeofday () in
             if Relax.feasible relax types (size_vector tuple) then begin
               let allowed = allowed_of tuple in
               let verdict, st = Csp.solve_ctx ~max_nodes:per_call_nodes ctx ~allowed in
@@ -217,6 +225,8 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
               | Csp.Infeasible -> ()
               | Csp.Unknown -> incr unknowns
             end;
+            Metrics.observe m_candidate_ms
+              ((Unix.gettimeofday () -. probe_t0) *. 1000.0);
             (* successors: grow one type's subset to the next cost *)
             if !result = None then
               Array.iteri
@@ -229,6 +239,17 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
                 tuple
           end
     done;
+    if !budget_out then
+      Log.info "budget_exhausted"
+        [
+          ("bench", Thr_dfg.Dfg.name spec.Spec.dfg);
+          ("candidates", string_of_int !candidates);
+          ("elapsed_s", Printf.sprintf "%.3f" (Unix.gettimeofday () -. started));
+          ( "reason",
+            if !candidates > max_candidates then "max_candidates"
+            else if should_stop () then "stop"
+            else "time_limit" );
+        ];
     let outcome =
       match !result with
       | Some o -> o
@@ -236,3 +257,9 @@ let search ?(per_call_nodes = 200_000) ?(max_candidates = 200_000) ?time_limit
     in
     (outcome, { candidates = !candidates; csp_nodes = !csp_nodes; unknowns = !unknowns })
   end
+
+let search ?per_call_nodes ?max_candidates ?time_limit ?should_stop spec =
+  Trace.with_span "license_search"
+    ~args:[ ("bench", Thr_dfg.Dfg.name spec.Spec.dfg) ]
+    (fun () ->
+      search_body ?per_call_nodes ?max_candidates ?time_limit ?should_stop spec)

@@ -15,6 +15,14 @@
    mutex-guarded: the server hits one cache from several domains. *)
 
 module T = Trojan_hls
+module Metrics = Thr_obs.Metrics
+
+(* process-wide mirrors of the per-cache [counters], for the metrics op *)
+let m_hits = Metrics.counter "cache_hits_total"
+let m_misses = Metrics.counter "cache_misses_total"
+let m_evictions = Metrics.counter "cache_evictions_total"
+let m_disk_hits = Metrics.counter "cache_disk_hits_total"
+let m_persists = Metrics.counter "cache_persists_total"
 
 type entry = {
   content : string;  (* canonical instance serialisation (collision check) *)
@@ -119,7 +127,8 @@ let persist_store dir key entry =
     output_string oc magic;
     Marshal.to_channel oc (entry : entry) [];
     close_out oc;
-    Sys.rename tmp (file_path dir key)
+    Sys.rename tmp (file_path dir key);
+    Metrics.incr m_persists
   with _ -> ()
 
 let persist_load dir key : entry option =
@@ -152,7 +161,8 @@ let insert_locked t key entry =
     | Some lru ->
         unlink t lru;
         Hashtbl.remove t.table lru.key;
-        t.c.evictions <- t.c.evictions + 1
+        t.c.evictions <- t.c.evictions + 1;
+        Metrics.incr m_evictions
     | None -> ()
 
 let find t ~key ~content =
@@ -161,15 +171,18 @@ let find t ~key ~content =
       | Some node when node.entry.content = content ->
           touch t node;
           t.c.hits <- t.c.hits + 1;
+          Metrics.incr m_hits;
           Some node.entry
       | Some _ ->
           (* same 64-bit address, different instance: treat as a miss *)
           t.c.misses <- t.c.misses + 1;
+          Metrics.incr m_misses;
           None
       | None -> (
           match t.persist_dir with
           | None ->
               t.c.misses <- t.c.misses + 1;
+              Metrics.incr m_misses;
               None
           | Some dir -> (
               match persist_load dir key with
@@ -177,9 +190,12 @@ let find t ~key ~content =
                   insert_locked t key entry;
                   t.c.hits <- t.c.hits + 1;
                   t.c.disk_hits <- t.c.disk_hits + 1;
+                  Metrics.incr m_hits;
+                  Metrics.incr m_disk_hits;
                   Some entry
               | Some _ | None ->
                   t.c.misses <- t.c.misses + 1;
+                  Metrics.incr m_misses;
                   None)))
 
 let store t ~key entry =

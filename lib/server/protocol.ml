@@ -5,6 +5,7 @@
    Requests:
      {"op":"solve", "dfg":"<thls DFG text>", ...options}
      {"op":"stats"}
+     {"op":"metrics"}
      {"op":"shutdown"}
 
    Solve options (all optional unless noted):
@@ -20,7 +21,8 @@
 
    Responses:
      {"status":"ok", "cache_hit":B, "seconds":F, "result":{...}}
-     {"status":"ok", "stats":{...}}
+     {"status":"ok", "stats":{...}, "metrics":{...}}
+     {"status":"ok", "metrics":"<Prometheus text exposition>"}
      {"status":"error", "code":C, "error":MSG}
    with C one of "parse" | "bad_request" | "queue_full" | "infeasible" |
    "budget" | "internal".  The "result" object is a pure function of the
@@ -41,7 +43,7 @@ type solve = {
   deadline_ms : int option;
 }
 
-type request = Solve of solve | Stats | Shutdown
+type request = Solve of solve | Stats | Metrics | Shutdown
 
 (* ----------------------------- decoding ---------------------------- *)
 
@@ -63,6 +65,7 @@ let request_of_json j : (request, string * string) result =
       match Json.mem_str "op" j with
       | None -> bad "missing or non-string field \"op\""
       | Some "stats" -> Ok Stats
+      | Some "metrics" -> Ok Metrics
       | Some "shutdown" -> Ok Shutdown
       | Some "solve" -> (
           match Json.mem_str "dfg" j with
@@ -112,7 +115,7 @@ let request_of_json j : (request, string * string) result =
                      solver;
                      deadline_ms;
                    })))
-      | Some op -> bad "unknown op %S (solve | stats | shutdown)" op)
+      | Some op -> bad "unknown op %S (solve | stats | metrics | shutdown)" op)
   | _ -> Error ("bad_request", "request must be a JSON object")
 
 let request_of_line line : (request, string * string) result =

@@ -17,6 +17,13 @@
 
 module Json = Thr_util.Json
 module T = Trojan_hls
+module Metrics = Thr_obs.Metrics
+module Trace = Thr_obs.Trace
+
+let m_requests = Metrics.counter "service_requests_total"
+let m_degraded = Metrics.counter "service_degraded_total"
+let m_queue_refused = Metrics.counter "service_queue_refused_total"
+let m_solve_ms = Metrics.histogram "service_solve_ms"
 
 type config = {
   capacity : int;  (* solve-cache entries held in memory *)
@@ -68,6 +75,7 @@ let cache t = t.cache
 let stopping t = Atomic.get t.stop
 
 let record_latency t ms =
+  Metrics.observe m_solve_ms ms;
   Mutex.protect t.mutex (fun () ->
       if t.n_latencies = Array.length t.latencies_ms then begin
         let bigger = Array.make (2 * t.n_latencies) 0.0 in
@@ -171,7 +179,7 @@ let solve_miss t (r : Protocol.solve) spec (key : Key.t) =
           solve_seconds = seconds;
           candidates;
         };
-      Ok (Protocol.design_json design ~quality ~degraded:false)
+      Ok (design, quality, false)
   | Error T.Optimize.Infeasible_proven ->
       Error ("infeasible", "no design satisfies the constraints")
   | Error T.Optimize.Infeasible_budget -> (
@@ -183,9 +191,8 @@ let solve_miss t (r : Protocol.solve) spec (key : Key.t) =
       with
       | Ok { T.Optimize.design; _ } ->
           Mutex.protect t.mutex (fun () -> t.degraded <- t.degraded + 1);
-          Ok
-            (Protocol.design_json design ~quality:T.Optimize.Incumbent
-               ~degraded:true)
+          Metrics.incr m_degraded;
+          Ok (design, T.Optimize.Incumbent, true)
       | Error _ ->
           Error
             ( "budget",
@@ -195,6 +202,7 @@ let handle_solve t (r : Protocol.solve) =
   let depth = Atomic.fetch_and_add t.in_flight 1 in
   if depth >= t.config.max_queue then begin
     ignore (Atomic.fetch_and_add t.in_flight (-1));
+    Metrics.incr m_queue_refused;
     Protocol.error_response ~code:"queue_full"
       (Printf.sprintf "service at admission limit (%d in flight)"
          t.config.max_queue)
@@ -204,37 +212,42 @@ let handle_solve t (r : Protocol.solve) =
       ~finally:(fun () -> ignore (Atomic.fetch_and_add t.in_flight (-1)))
       (fun () ->
         Mutex.protect t.mutex (fun () -> t.requests <- t.requests + 1);
+        Metrics.incr m_requests;
         let t0 = Unix.gettimeofday () in
         let finish response =
           record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
           response
         in
-        match spec_of_request r with
+        match Trace.with_span "service.canon" (fun () -> spec_of_request r) with
         | Error (code, msg) -> finish (Protocol.error_response ~code msg)
         | Ok spec -> (
-            let key = Key.of_spec ~solver:r.Protocol.solver spec in
-            match
-              Cache.find t.cache ~key:key.Key.hash ~content:key.Key.content
-            with
-            | Some entry ->
-                let design = remap_design entry spec key.Key.perm in
-                let result =
-                  Protocol.design_json design ~quality:entry.Cache.quality
-                    ~degraded:false
-                in
+            let key =
+              Trace.with_span "service.key" (fun () ->
+                  Key.of_spec ~solver:r.Protocol.solver spec)
+            in
+            let solved =
+              Trace.with_span "service.solve" (fun () ->
+                  match
+                    Cache.find t.cache ~key:key.Key.hash ~content:key.Key.content
+                  with
+                  | Some entry ->
+                      let design = remap_design entry spec key.Key.perm in
+                      Ok (true, design, entry.Cache.quality, false)
+                  | None -> (
+                      match solve_miss t r spec key with
+                      | Ok (design, quality, degraded) ->
+                          Ok (false, design, quality, degraded)
+                      | Error e -> Error e))
+            in
+            Trace.with_span "service.respond" @@ fun () ->
+            match solved with
+            | Ok (cache_hit, design, quality, degraded) ->
+                let result = Protocol.design_json design ~quality ~degraded in
                 finish
-                  (Protocol.solve_response ~cache_hit:true
+                  (Protocol.solve_response ~cache_hit
                      ~seconds:(Unix.gettimeofday () -. t0)
                      result)
-            | None -> (
-                match solve_miss t r spec key with
-                | Ok result ->
-                    finish
-                      (Protocol.solve_response ~cache_hit:false
-                         ~seconds:(Unix.gettimeofday () -. t0)
-                         result)
-                | Error (code, msg) ->
-                    finish (Protocol.error_response ~code msg))))
+            | Error (code, msg) -> finish (Protocol.error_response ~code msg)))
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -259,12 +272,23 @@ let stats_json t =
             ("queue_depth", Json.Int (Atomic.get t.in_flight));
             ("max_queue", Json.Int t.config.max_queue);
             ("p50_ms", Json.Float p50);
-            ("p95_ms", Json.Float p95) ] ) ]
+            ("p95_ms", Json.Float p95) ] );
+      (* the full process-wide registry rides along with the service's
+         own aggregates, so one stats request shows solver internals too *)
+      ("metrics", Metrics.to_json ()) ]
 
 (* --------------------------- entry point --------------------------- *)
 
+let metrics_json () =
+  Json.Obj
+    [
+      ("status", Json.String "ok");
+      ("metrics", Json.String (Metrics.to_prometheus ()));
+    ]
+
 let handle_request t = function
   | Protocol.Stats -> stats_json t
+  | Protocol.Metrics -> metrics_json ()
   | Protocol.Shutdown ->
       Atomic.set t.stop true;
       Json.Obj
@@ -275,6 +299,7 @@ let handle_request t = function
         Protocol.error_response ~code:"internal" (Printexc.to_string e))
 
 let handle_line t line =
-  match Protocol.request_of_line line with
+  Trace.with_span "service.request" @@ fun () ->
+  match Trace.with_span "service.parse" (fun () -> Protocol.request_of_line line) with
   | Error (code, msg) -> Protocol.error_response ~code msg
   | Ok req -> handle_request t req

@@ -1,0 +1,299 @@
+(* Tests for Thr_obs: metrics registry (bucket boundaries, counter
+   atomicity under Dpool), span tracer (nesting, exception unwinding,
+   Chrome JSON validity round-tripped through Thr_util.Json.parse) and
+   the structured logger. *)
+
+module Metrics = Thr_obs.Metrics
+module Trace = Thr_obs.Trace
+module Log = Thr_obs.Log
+module Json = Thr_util.Json
+module Dpool = Thr_util.Dpool
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* ----------------------------- metrics ----------------------------- *)
+
+let test_counter_basics () =
+  let c = Metrics.counter "test_counter_basics_total" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "42" 42 (Metrics.counter_value c);
+  (* same name interns to the same counter *)
+  let c' = Metrics.counter "test_counter_basics_total" in
+  Metrics.incr c';
+  Alcotest.(check int) "shared" 43 (Metrics.counter_value c)
+
+let test_name_canonicalisation () =
+  (* the ISSUE-style dotted names land on the Prometheus charset *)
+  let c = Metrics.counter "test.dotted-name total" in
+  Metrics.incr c;
+  let prom = Metrics.to_prometheus () in
+  Alcotest.(check bool) "canonical name rendered" true
+    (let re = "test_dotted_name_total 1" in
+     let rec find i =
+       i + String.length re <= String.length prom
+       && (String.sub prom i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let test_kind_clash () =
+  ignore (Metrics.gauge "test_kind_clash");
+  Alcotest.(check bool) "counter over gauge rejected" true
+    (raises_invalid (fun () -> Metrics.counter "test_kind_clash"));
+  Alcotest.(check bool) "empty name rejected" true
+    (raises_invalid (fun () -> Metrics.counter ""));
+  Alcotest.(check bool) "bad char rejected" true
+    (raises_invalid (fun () -> Metrics.counter "a{b}"))
+
+let test_counter_atomicity_dpool () =
+  let c = Metrics.counter "test_atomicity_total" in
+  let per_task = 25_000 in
+  let results =
+    Dpool.run ~jobs:4 (fun pool ->
+        Dpool.map pool
+          (fun _ ->
+            for _ = 1 to per_task do
+              Metrics.incr c
+            done;
+            ())
+          [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check int) "all tasks ran" 4 (List.length results);
+  Alcotest.(check int) "no lost increments" (4 * per_task)
+    (Metrics.counter_value c)
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "test_hist_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.5 ];
+  (* le semantics: the boundary value belongs to its own bucket *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "per-bucket counts"
+    [ (1.0, 2); (2.0, 2); (5.0, 1); (infinity, 1) ]
+    (Metrics.bucket_counts h);
+  Alcotest.(check int) "count" 6 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 17.5 (Metrics.histogram_sum h);
+  Alcotest.(check bool) "non-increasing buckets rejected" true
+    (raises_invalid (fun () ->
+         Metrics.histogram ~buckets:[| 2.0; 1.0 |] "test_hist_bad"))
+
+let test_prometheus_render () =
+  let c = Metrics.counter "test_prom_total" in
+  Metrics.add c 7;
+  let h = Metrics.histogram ~buckets:[| 1.0 |] "test_prom_ms" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 3.0;
+  let prom = Metrics.to_prometheus () in
+  let contains needle =
+    let n = String.length needle and m = String.length prom in
+    let rec go i = i + n <= m && (String.sub prom i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line -> Alcotest.(check bool) line true (contains line))
+    [
+      "# TYPE test_prom_total counter";
+      "test_prom_total 7";
+      "# TYPE test_prom_ms histogram";
+      "test_prom_ms_bucket{le=\"1\"} 1";
+      (* cumulative: the +Inf bucket counts everything *)
+      "test_prom_ms_bucket{le=\"+Inf\"} 2";
+      "test_prom_ms_sum 3.5";
+      "test_prom_ms_count 2";
+    ]
+
+let test_metrics_json_and_snapshot () =
+  let c = Metrics.counter "test_json_total" in
+  Metrics.add c 3;
+  (match Json.member "test_json_total" (Metrics.to_json ()) with
+  | Some (Json.Int 3) -> ()
+  | other ->
+      Alcotest.failf "to_json: expected Int 3, got %s"
+        (match other with Some j -> Json.to_string j | None -> "absent"));
+  let before = Metrics.snapshot () in
+  Metrics.add c 5;
+  let after = Metrics.snapshot () in
+  let v l = List.assoc "test_json_total" l in
+  Alcotest.(check (float 1e-9)) "snapshot delta" 5.0 (v after -. v before)
+
+(* ------------------------------ trace ------------------------------ *)
+
+let test_trace_disabled_is_noop () =
+  Trace.disable ();
+  Trace.clear ();
+  let r = Trace.with_span "ghost" (fun () -> 17) in
+  Alcotest.(check int) "value through" 17 r;
+  Trace.instant "ghost.instant" ();
+  Alcotest.(check int) "nothing recorded" 0 (Trace.completed ())
+
+let test_trace_nesting () =
+  Trace.enable ();
+  Trace.clear ();
+  let seen = ref [] in
+  let r =
+    Trace.with_span "outer" ~args:[ ("k", "v") ] (fun () ->
+        seen := Trace.depth () :: !seen;
+        let x =
+          Trace.with_span "inner" (fun () ->
+              seen := Trace.depth () :: !seen;
+              21)
+        in
+        x * 2)
+  in
+  Trace.disable ();
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check (list int)) "depths inner-first" [ 2; 1 ] !seen;
+  Alcotest.(check int) "stack unwound" 0 (Trace.depth ());
+  Alcotest.(check int) "two spans" 2 (Trace.completed ())
+
+let test_trace_exception_unwinds () =
+  Trace.enable ();
+  Trace.clear ();
+  (match Trace.with_span "boom" (fun () -> raise Exit) with
+  | () -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  Trace.disable ();
+  Alcotest.(check int) "stack unwound after raise" 0 (Trace.depth ());
+  Alcotest.(check int) "span still recorded" 1 (Trace.completed ())
+
+let test_trace_chrome_json_roundtrip () =
+  Trace.enable ();
+  Trace.clear ();
+  ignore
+    (Trace.with_span "parent" (fun () ->
+         Trace.instant "mark" ~args:[ ("n", "1") ] ();
+         Trace.with_span "child" (fun () -> 1)));
+  Trace.disable ();
+  (* the export must survive our own strict RFC 8259 parser *)
+  let text = Json.to_string (Trace.export ()) in
+  match Json.parse text with
+  | Error e -> Alcotest.failf "trace JSON does not re-parse: %s" e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          Alcotest.(check int) "three events" 3 (List.length evs);
+          let complete =
+            List.filter (fun e -> Json.mem_str "ph" e = Some "X") evs
+          in
+          Alcotest.(check int) "two complete spans" 2 (List.length complete);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "has name" true (Json.mem_str "name" e <> None);
+              Alcotest.(check bool) "has pid" true (Json.mem_int "pid" e <> None);
+              Alcotest.(check bool) "has tid" true (Json.mem_int "tid" e <> None);
+              let ts = Option.bind (Json.member "ts" e) Json.to_float in
+              Alcotest.(check bool) "ts >= 0" true
+                (match ts with Some t -> t >= 0.0 | None -> false);
+              if Json.mem_str "ph" e = Some "X" then
+                let dur = Option.bind (Json.member "dur" e) Json.to_float in
+                Alcotest.(check bool) "dur >= 0" true
+                  (match dur with Some d -> d >= 0.0 | None -> false))
+            evs;
+          (* the child completes before the parent, so it is recorded
+             first; its interval nests inside the parent's *)
+          let span name =
+            let e =
+              List.find (fun e -> Json.mem_str "name" e = Some name) complete
+            in
+            let f k = Option.get (Option.bind (Json.member k e) Json.to_float) in
+            (f "ts", f "ts" +. f "dur")
+          in
+          let c0, c1 = span "child" and p0, p1 = span "parent" in
+          Alcotest.(check bool) "child within parent" true
+            (p0 <= c0 && c1 <= p1)
+      | _ -> Alcotest.fail "no traceEvents list")
+
+let test_trace_write_file () =
+  Trace.enable ();
+  Trace.clear ();
+  ignore (Trace.with_span "filed" (fun () -> ()));
+  Trace.disable ();
+  let path = Filename.temp_file "thls_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.write_file path;
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Json.parse (String.trim text) with
+      | Ok j ->
+          Alcotest.(check bool) "file has events" true
+            (match Json.member "traceEvents" j with
+            | Some (Json.List (_ :: _)) -> true
+            | _ -> false)
+      | Error e -> Alcotest.failf "trace file does not parse: %s" e)
+
+(* ------------------------------- log ------------------------------- *)
+
+let with_captured_log level f =
+  let lines = ref [] in
+  Log.set_sink (Some (fun l -> lines := l :: !lines));
+  let saved = Log.level () in
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      Log.set_level saved)
+    (fun () -> f ());
+  List.rev !lines
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_log_levels_and_format () =
+  let lines =
+    with_captured_log Log.Warn (fun () ->
+        Log.debug "too_quiet" [];
+        Log.info "still_quiet" [];
+        Log.warn "heard" [ ("k", "v") ];
+        Log.error "also_heard" [ ("msg", "two words") ])
+  in
+  Alcotest.(check int) "only warn+error pass" 2 (List.length lines);
+  let warn_line = List.nth lines 0 and error_line = List.nth lines 1 in
+  Alcotest.(check bool) "warn formatted" true
+    (contains warn_line "level=warn event=heard k=v");
+  Alcotest.(check bool) "value with space quoted" true
+    (contains error_line "msg=\"two words\"");
+  Alcotest.(check bool) "timestamp present" true (contains warn_line "ts=")
+
+let test_log_level_of_string () =
+  Alcotest.(check bool) "debug" true (Log.level_of_string "debug" = Some Log.Debug);
+  Alcotest.(check bool) "WARN" true (Log.level_of_string "WARN" = Some Log.Warn);
+  Alcotest.(check bool) "junk" true (Log.level_of_string "loud" = None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "name canonicalisation" `Quick
+            test_name_canonicalisation;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "counter atomicity (Dpool, 4 domains)" `Quick
+            test_counter_atomicity_dpool;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "prometheus render" `Quick test_prometheus_render;
+          Alcotest.test_case "json + snapshot deltas" `Quick
+            test_metrics_json_and_snapshot;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_trace_disabled_is_noop;
+          Alcotest.test_case "span nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "exception unwinds" `Quick
+            test_trace_exception_unwinds;
+          Alcotest.test_case "chrome JSON roundtrip" `Quick
+            test_trace_chrome_json_roundtrip;
+          Alcotest.test_case "write_file" `Quick test_trace_write_file;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and format" `Quick
+            test_log_levels_and_format;
+          Alcotest.test_case "level_of_string" `Quick test_log_level_of_string;
+        ] );
+    ]

@@ -365,6 +365,43 @@ let test_time_limit_reports_budget () =
       ()
   | LS.No_design { proven = true }, _ -> Alcotest.fail "cannot be proven in 0s"
 
+let test_zero_budget_logs_budget_exhausted () =
+  (* the wall-clock comparison is inclusive (elapsed >= limit), so a zero
+     budget is out of time at the very first check — and that exit is a
+     logged budget_exhausted event, not a silent return *)
+  let module Log = Thr_obs.Log in
+  let lines = ref [] in
+  Log.set_sink (Some (fun l -> lines := l :: !lines));
+  let saved = Log.level () in
+  Log.set_level Log.Info;
+  let outcome, st =
+    Fun.protect
+      ~finally:(fun () ->
+        Log.set_sink None;
+        Log.set_level saved)
+      (fun () ->
+        let spec =
+          Spec.make ~dfg:(Suite.elliptic ()) ~catalog:Catalog.eight_vendors
+            ~latency_detect:9 ~latency_recover:8 ~area_limit:40_000 ()
+        in
+        LS.search ~time_limit:0.0 spec)
+  in
+  (match outcome with
+  | LS.No_design { proven = false } -> ()
+  | o -> Alcotest.failf "expected unproven budget miss, got %a" LS.pp_outcome o);
+  Alcotest.(check int) "stopped at the first candidate" 1 st.LS.candidates;
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  match List.find_opt (fun l -> contains l "event=budget_exhausted") !lines with
+  | None -> Alcotest.fail "no budget_exhausted log event emitted"
+  | Some line ->
+      Alcotest.(check bool) "reason is the clock" true
+        (contains line "reason=time_limit");
+      Alcotest.(check bool) "bench named" true (contains line "bench=elliptic")
+
 let test_two_phase_proves_coloring_infeasible_fast () =
   (* diff2 at a long latency with too few vendors: colouring infeasibility
      must be proven without enumerating the huge schedule space
@@ -499,6 +536,8 @@ let () =
           Alcotest.test_case "clique bound in area LB" `Quick
             test_clique_bound_in_area_lb;
           Alcotest.test_case "time limit" `Quick test_time_limit_reports_budget;
+          Alcotest.test_case "zero budget logs budget_exhausted" `Quick
+            test_zero_budget_logs_budget_exhausted;
           Alcotest.test_case "two-phase colouring proof" `Quick
             test_two_phase_proves_coloring_infeasible_fast;
         ] );
