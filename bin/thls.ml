@@ -8,17 +8,21 @@
      simulate    run a Trojan-injection campaign on an optimised design
      serve       long-running optimisation service (socket or stdio)
      submit      send one request to a running `thls serve`
+     lint        static analysis of an elaborated netlist
 
-   Exit codes, uniform across the solving commands (optimize, simulate,
-   rtl, submit): 0 = solved; 2 = proven infeasible; 3 = search budget
-   exhausted with no incumbent; 1 = usage or I/O errors. *)
+   Exit codes, uniform across the solving and checking commands
+   (optimize, simulate, rtl, submit, lint) — the one table lives in
+   Thr_util.Exit_code: 0 = solved/clean; 2 = proven infeasible;
+   3 = search budget exhausted with no incumbent; 4 = lint findings;
+   1 = usage or I/O errors. *)
 
 open Cmdliner
 module T = Trojan_hls
 module Json = Thr_util.Json
+module Exit_code = Thr_util.Exit_code
 
-let exit_infeasible = 2
-let exit_budget = 3
+let exit_infeasible = Exit_code.code Exit_code.Infeasible
+let exit_budget = Exit_code.code Exit_code.Budget
 
 let find_dfg name =
   match T.Benchmarks.find name with
@@ -362,6 +366,94 @@ let rtl_cmd =
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ width_flag $ verilog_flag)
 
+let lint_cmd =
+  let doc = "Statically analyse an elaborated design's netlist." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Optimises the benchmark, elaborates it to gates and runs the \
+         $(b,thr_check) analyser: structural lint, vendor-taint \
+         verification (every primary output must be dominated by the \
+         mismatch comparator) and rare-net Trojan-trigger scoring.  \
+         Exits 0 when the netlist is clean and 4 when any warning or \
+         error is reported.";
+      `P
+        "$(b,--mutant) seeds a known-bad netlist for exercising the \
+         analyser: $(b,bypass) drops the first output pair from the \
+         mismatch comparator (caught by the taint pass), $(b,trojan) \
+         injects a combinational Trojan on a bound core (caught by the \
+         rare-net pass).";
+    ]
+  in
+  let width_flag =
+    Arg.(value & opt int 16 & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width.")
+  in
+  let threshold_flag =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"P"
+          ~doc:
+            "Rare-net activation-probability threshold (default: the \
+             calibrated 1e-8).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON instead of a table.")
+  in
+  let mutant_flag =
+    let mutant_conv =
+      Arg.enum [ ("none", `None); ("bypass", `Bypass); ("trojan", `Trojan) ]
+    in
+    Arg.(
+      value & opt mutant_conv `None
+      & info [ "mutant" ] ~docv:"KIND" ~doc:"none | bypass | trojan.")
+  in
+  let run name cat detection_only latency latency_recover area width threshold
+      mutant json trace =
+    match (find_dfg name, catalog_of_string cat) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dfg, Ok catalog -> (
+        setup_trace trace;
+        let spec =
+          make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
+        in
+        match T.Optimize.run spec with
+        | Error T.Optimize.Infeasible_proven ->
+            print_endline "infeasible: no design satisfies the constraints";
+            exit exit_infeasible
+        | Error T.Optimize.Infeasible_budget ->
+            print_endline "no design found within the search budget";
+            exit exit_budget
+        | Ok { design; _ } ->
+            let rtl =
+              match mutant with
+              | `None -> T.Rtl.elaborate ~width design
+              | `Bypass ->
+                  T.Rtl.elaborate ~width ~seeded_bug:T.Rtl.Comparator_skip
+                    design
+              | `Trojan ->
+                  T.Rtl.elaborate ~width
+                    ~injections:[ T.Rtl.canned_injection ~width design ]
+                    design
+            in
+            let report = T.Rtl.check ?rare_threshold:threshold rtl in
+            if json then
+              print_endline (Json.to_string ~pretty:true (T.Check.to_json report))
+            else print_string (T.Check.render report);
+            Exit_code.exit (T.Check.exit_code report))
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
+      $ latency_rec_flag $ area_flag $ width_flag $ threshold_flag
+      $ mutant_flag $ json_flag $ trace_flag)
+
 (* ------------------------------------------------------------------ *)
 (* serve / submit: the optimisation service and its line client.       *)
 
@@ -510,6 +602,27 @@ let submit_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Request the service counters.")
   in
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Request static analysis of the elaborated design instead of \
+             the solve result (exit 4 when not clean).")
+  in
+  let lint_width_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width for --lint.")
+  in
+  let lint_mutant_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"KIND"
+          ~doc:"Seeded mutant for --lint: none | bypass | trojan.")
+  in
   let metrics_flag =
     Arg.(
       value & flag
@@ -534,8 +647,8 @@ let submit_cmd =
     | "-" -> In_channel.input_all stdin
     | path -> In_channel.with_open_text path In_channel.input_all
   in
-  let run bench socket dfg stats metrics shutdown cat detection_only latency
-      latency_recover area solver deadline_ms =
+  let run bench socket dfg stats metrics shutdown lint lint_width lint_mutant
+      cat detection_only latency latency_recover area solver deadline_ms =
     let request =
       if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
       else if metrics then Ok (Json.Obj [ ("op", Json.String "metrics") ])
@@ -558,7 +671,7 @@ let submit_cmd =
             let opt name v f = Option.map (fun x -> (name, f x)) v in
             let fields =
               [
-                Some ("op", Json.String "solve");
+                Some ("op", Json.String (if lint then "lint" else "solve"));
                 Some ("dfg", Json.String text);
                 Some ("catalog", Json.String cat);
                 (if detection_only then
@@ -569,6 +682,10 @@ let submit_cmd =
                 opt "area" area (fun i -> Json.Int i);
                 Some ("solver", Json.String solver);
                 opt "deadline_ms" deadline_ms (fun i -> Json.Int i);
+                (if lint then opt "width" lint_width (fun i -> Json.Int i)
+                 else None);
+                (if lint then opt "mutant" lint_mutant (fun s -> Json.String s)
+                 else None);
               ]
             in
             Json.Obj (List.filter_map Fun.id fields))
@@ -595,7 +712,11 @@ let submit_cmd =
         | Ok j -> (
             print_endline (Json.to_string ~pretty:true j);
             match Json.mem_str "status" j with
-            | Some "ok" -> ()
+            | Some "ok" -> (
+                (* a lint reply that is not clean exits like `thls lint` *)
+                match Json.mem_bool "clean" j with
+                | Some false -> Exit_code.exit Exit_code.Lint
+                | _ -> ())
             | _ -> (
                 match Json.mem_str "code" j with
                 | Some "infeasible" -> exit exit_infeasible
@@ -606,9 +727,9 @@ let submit_cmd =
     (Cmd.info "submit" ~doc)
     Term.(
       const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
-      $ metrics_flag $ shutdown_flag $ catalog_flag $ detection_only_flag
-      $ latency_flag $ latency_rec_flag $ area_flag $ solver_name_flag
-      $ deadline_flag)
+      $ metrics_flag $ shutdown_flag $ lint_flag $ lint_width_flag
+      $ lint_mutant_flag $ catalog_flag $ detection_only_flag $ latency_flag
+      $ latency_rec_flag $ area_flag $ solver_name_flag $ deadline_flag)
 
 let main =
   let doc = "Trojan-tolerant high-level synthesis (DAC'14 reproduction)" in
@@ -616,7 +737,7 @@ let main =
     (Cmd.info "thls" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; catalog_cmd; optimize_cmd; simulate_cmd; export_ilp_cmd;
-      pareto_cmd; rtl_cmd; serve_cmd; submit_cmd;
+      pareto_cmd; rtl_cmd; lint_cmd; serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

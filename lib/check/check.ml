@@ -1,0 +1,133 @@
+module Netlist = Thr_gates.Netlist
+module Json = Thr_util.Json
+module Tablefmt = Thr_util.Tablefmt
+module Trace = Thr_obs.Trace
+module Metrics = Thr_obs.Metrics
+
+type taint_spec = {
+  vendor_of : Netlist.net -> int option;
+  mismatch : Netlist.net;
+  min_vendors : int;
+}
+
+type report = {
+  netlist_name : string;
+  n_nets : int;
+  n_gates : int;
+  n_dffs : int;
+  findings : Finding.t list;
+  probs : float array;
+}
+
+let runs = Metrics.counter "thr_check_runs"
+
+let c_error = Metrics.counter "thr_check_findings_error"
+
+let c_warning = Metrics.counter "thr_check_findings_warning"
+
+let c_info = Metrics.counter "thr_check_findings_info"
+
+let count_severity fs sev =
+  List.length (List.filter (fun f -> f.Finding.severity = sev) fs)
+
+let run ?taint ?rare_threshold ?prob_iters nl =
+  Metrics.incr runs;
+  let name = Netlist.name nl in
+  let lint_findings =
+    Trace.with_span "check.lint" ~args:[ ("netlist", name) ] (fun () ->
+        Lint.analyse nl)
+  in
+  let taint_findings =
+    match taint with
+    | None -> []
+    | Some { vendor_of; mismatch; min_vendors } ->
+        Trace.with_span "check.taint" ~args:[ ("netlist", name) ] (fun () ->
+            fst (Taint.analyse ~vendor_of ~mismatch ~min_vendors nl))
+  in
+  let rare_findings, probs =
+    (* The mismatch comparator's reduction cone (up to the register
+       boundary) is scored as near-constant because the NC/RC replicas
+       it compares always agree — integrator-inserted checker logic the
+       taint pass verifies structurally, so keep it out of the
+       trigger-candidate scoring. *)
+    let exclude =
+      Option.map
+        (fun { mismatch; _ } ->
+          Netlist.in_cone nl ~through_dffs:false ~roots:[ mismatch ] ())
+        taint
+    in
+    Trace.with_span "check.rare" ~args:[ ("netlist", name) ] (fun () ->
+        Prob.analyse ?iters:prob_iters ?threshold:rare_threshold ?exclude nl)
+  in
+  let findings =
+    List.sort Finding.compare (lint_findings @ taint_findings @ rare_findings)
+  in
+  Metrics.add c_error (count_severity findings Finding.Error);
+  Metrics.add c_warning (count_severity findings Finding.Warning);
+  Metrics.add c_info (count_severity findings Finding.Info);
+  {
+    netlist_name = name;
+    n_nets = Netlist.n_nets nl;
+    n_gates = Netlist.n_gates nl;
+    n_dffs = Netlist.n_dffs nl;
+    findings;
+    probs;
+  }
+
+let errors r =
+  List.filter (fun f -> f.Finding.severity = Finding.Error) r.findings
+
+let warnings r =
+  List.filter (fun f -> f.Finding.severity = Finding.Warning) r.findings
+
+let clean r = not (List.exists Finding.is_blocking r.findings)
+
+let exit_code r =
+  if clean r then Thr_util.Exit_code.Ok else Thr_util.Exit_code.Lint
+
+let to_json r =
+  Json.Obj
+    [
+      ("netlist", Json.String r.netlist_name);
+      ("nets", Json.Int r.n_nets);
+      ("gates", Json.Int r.n_gates);
+      ("dffs", Json.Int r.n_dffs);
+      ("clean", Json.Bool (clean r));
+      ("errors", Json.Int (List.length (errors r)));
+      ("warnings", Json.Int (List.length (warnings r)));
+      ("findings", Json.List (List.map Finding.to_json r.findings));
+    ]
+
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d nets, %d gates, %d DFFs\n" r.netlist_name r.n_nets
+       r.n_gates r.n_dffs);
+  (match r.findings with
+  | [] -> ()
+  | fs ->
+      let tbl =
+        Tablefmt.create
+          ~aligns:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Left; Tablefmt.Left ]
+          ~header:[ "severity"; "pass"; "rule"; "detail" ]
+          ()
+      in
+      List.iter
+        (fun f ->
+          Tablefmt.add_row tbl
+            [
+              Finding.severity_name f.Finding.severity;
+              Finding.pass_name f.Finding.pass;
+              f.Finding.rule;
+              f.Finding.detail;
+            ])
+        fs;
+      Buffer.add_string buf (Tablefmt.render tbl);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf
+    (if clean r then "clean: no blocking findings\n"
+     else
+       Printf.sprintf "NOT clean: %d error(s), %d warning(s)\n"
+         (List.length (errors r))
+         (List.length (warnings r)));
+  Buffer.contents buf

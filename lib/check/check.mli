@@ -1,0 +1,50 @@
+(** Static-analysis driver: run the lint, taint and rare-net passes over
+    one netlist and package the results.
+
+    Instrumented with {!Thr_obs}: spans [check.lint] / [check.taint] /
+    [check.rare] and counters [thr_check_runs] /
+    [thr_check_findings_{error,warning,info}]. *)
+
+type taint_spec = {
+  vendor_of : Thr_gates.Netlist.net -> int option;
+      (** provenance: which vendor's IP-core region built the net *)
+  mismatch : Thr_gates.Netlist.net;  (** the comparator output *)
+  min_vendors : int;  (** diversity the comparator must exhibit *)
+}
+
+type report = {
+  netlist_name : string;
+  n_nets : int;
+  n_gates : int;
+  n_dffs : int;
+  findings : Finding.t list;  (** most severe first *)
+  probs : float array;  (** per-net signal probabilities *)
+}
+
+val run :
+  ?taint:taint_spec ->
+  ?rare_threshold:float ->
+  ?prob_iters:int ->
+  Thr_gates.Netlist.t ->
+  report
+(** Run every pass (taint only when [taint] is given).  The netlist must
+    be finalised. *)
+
+val errors : report -> Finding.t list
+
+val warnings : report -> Finding.t list
+
+val clean : report -> bool
+(** No Warning or Error findings (Info is fine). *)
+
+val exit_code : report -> Thr_util.Exit_code.t
+(** {!Thr_util.Exit_code.Ok} when {!clean}, else
+    {!Thr_util.Exit_code.Lint}. *)
+
+val to_json : report -> Thr_util.Json.t
+(** [{"netlist": .., "nets": .., "gates": .., "dffs": .., "clean": ..,
+    "errors": n, "warnings": n, "findings": [..]}]. *)
+
+val render : report -> string
+(** Human-readable report: a {!Thr_util.Tablefmt} table of findings and
+    a one-line verdict. *)

@@ -1,0 +1,85 @@
+module Netlist = Thr_gates.Netlist
+module Json = Thr_util.Json
+
+type severity = Info | Warning | Error
+
+type pass = Lint | Taint | Rare
+
+type t = {
+  pass : pass;
+  severity : severity;
+  rule : string;
+  net : int option;
+  detail : string;
+}
+
+let make ~pass ~severity ~rule ?net detail =
+  { pass; severity; rule; net = Option.map Netlist.net_index net; detail }
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pass_name = function Lint -> "lint" | Taint -> "taint" | Rare -> "rare"
+
+let driver_name = function
+  | Netlist.D_input nm -> Printf.sprintf "input %s" nm
+  | Netlist.D_const b -> if b then "const 1" else "const 0"
+  | Netlist.D_not _ -> "not"
+  | Netlist.D_and _ -> "and"
+  | Netlist.D_or _ -> "or"
+  | Netlist.D_xor _ -> "xor"
+  | Netlist.D_nand _ -> "nand"
+  | Netlist.D_nor _ -> "nor"
+  | Netlist.D_mux _ -> "mux"
+  | Netlist.D_dff _ -> "dff"
+
+let net_label nl n =
+  let idx = Netlist.net_index n in
+  let kind = driver_name (Netlist.driver nl n) in
+  let out_names =
+    List.filter_map
+      (fun (nm, o) -> if Netlist.net_index o = idx then Some nm else None)
+      (Netlist.outputs nl)
+  in
+  match out_names with
+  | [] -> Printf.sprintf "n%d (%s)" idx kind
+  | names ->
+      Printf.sprintf "n%d (%s, output %s)" idx kind (String.concat "," names)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let pass_rank = function Lint -> 0 | Taint -> 1 | Rare -> 2
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (pass_rank a.pass) (pass_rank b.pass) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.net b.net in
+        if c <> 0 then c else String.compare a.detail b.detail
+
+let is_blocking t = match t.severity with Warning | Error -> true | Info -> false
+
+let to_json t =
+  Json.Obj
+    [
+      ("pass", Json.String (pass_name t.pass));
+      ("severity", Json.String (severity_name t.severity));
+      ("rule", Json.String t.rule);
+      ("net", match t.net with Some n -> Json.Int n | None -> Json.Null);
+      ("detail", Json.String t.detail);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s/%s%s: %s"
+    (severity_name t.severity)
+    (pass_name t.pass) t.rule
+    (match t.net with Some n -> Printf.sprintf " n%d" n | None -> "")
+    t.detail

@@ -1,0 +1,50 @@
+(** Typed findings reported by the static analyser.
+
+    Every pass ({!Lint}, {!Taint}, {!Prob}) reports problems as values of
+    {!t}: a pass tag, a severity, a stable kebab-case rule identifier
+    (what CI greps for), the offending net when there is one, and a
+    human-readable detail line.  [Info] findings are statistics and never
+    affect the exit code; [Warning] and [Error] findings make
+    [thls lint] exit with {!Thr_util.Exit_code.Lint}. *)
+
+type severity = Info | Warning | Error
+
+type pass = Lint | Taint | Rare
+
+type t = {
+  pass : pass;
+  severity : severity;
+  rule : string;  (** stable identifier, e.g. ["unused-net"] *)
+  net : int option;  (** {!Thr_gates.Netlist.net_index} of the subject *)
+  detail : string;
+}
+
+val make :
+  pass:pass ->
+  severity:severity ->
+  rule:string ->
+  ?net:Thr_gates.Netlist.net ->
+  string ->
+  t
+
+val severity_name : severity -> string
+(** ["info"] / ["warning"] / ["error"]. *)
+
+val pass_name : pass -> string
+(** ["lint"] / ["taint"] / ["rare"]. *)
+
+val net_label : Thr_gates.Netlist.t -> Thr_gates.Netlist.net -> string
+(** ["n42 (and)"], naming the driver kind; input and output names are
+    included when the net has them. *)
+
+val compare : t -> t -> int
+(** Orders most severe first, then by pass, rule and net index — the
+    order findings are reported in. *)
+
+val is_blocking : t -> bool
+(** True for [Warning] and [Error] (the severities that fail a lint). *)
+
+val to_json : t -> Thr_util.Json.t
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity pass/rule net: detail]. *)

@@ -1,0 +1,134 @@
+module Netlist = Thr_gates.Netlist
+
+let finding ~severity ~rule ?net detail =
+  Finding.make ~pass:Finding.Lint ~severity ~rule ?net detail
+
+let const_values nl =
+  let cv = Array.make (Netlist.n_nets nl) None in
+  let get n = cv.(Netlist.net_index n) in
+  Array.iter
+    (fun net ->
+      let v =
+        match Netlist.driver nl net with
+        | Netlist.D_const b -> Some b
+        | Netlist.D_input _ | Netlist.D_dff _ -> None
+        | Netlist.D_not a -> Option.map not (get a)
+        | Netlist.D_and (a, b) -> (
+            match (get a, get b) with
+            | Some false, _ | _, Some false -> Some false
+            | Some true, Some true -> Some true
+            | _ -> None)
+        | Netlist.D_or (a, b) -> (
+            match (get a, get b) with
+            | Some true, _ | _, Some true -> Some true
+            | Some false, Some false -> Some false
+            | _ -> None)
+        | Netlist.D_nand (a, b) -> (
+            match (get a, get b) with
+            | Some false, _ | _, Some false -> Some true
+            | Some true, Some true -> Some false
+            | _ -> None)
+        | Netlist.D_nor (a, b) -> (
+            match (get a, get b) with
+            | Some true, _ | _, Some true -> Some false
+            | Some false, Some false -> Some true
+            | _ -> None)
+        | Netlist.D_xor (a, b) -> (
+            match (get a, get b) with
+            | Some x, Some y -> Some (x <> y)
+            | _ -> None)
+        | Netlist.D_mux (s, a, b) -> (
+            match get s with
+            | Some false -> get a
+            | Some true -> get b
+            | None -> (
+                match (get a, get b) with
+                | Some x, Some y when x = y -> Some x
+                | _ -> None))
+      in
+      cv.(Netlist.net_index net) <- v)
+    (Netlist.nets_in_order nl);
+  cv
+
+let analyse nl =
+  let n = Netlist.n_nets nl in
+  let fan = Netlist.fanout nl in
+  let is_output = Array.make n false in
+  List.iter
+    (fun (_, o) -> is_output.(Netlist.net_index o) <- true)
+    (Netlist.outputs nl);
+  let out_nets = List.map snd (Netlist.outputs nl) in
+  let reaches_output =
+    match out_nets with
+    | [] -> Array.make n false
+    | roots -> Netlist.in_cone nl ~roots ()
+  in
+  let cv = const_values nl in
+  let findings = ref [] in
+  let emit ~severity ~rule ?net detail =
+    findings := finding ~severity ~rule ?net detail :: !findings
+  in
+  Array.iter
+    (fun net ->
+      let i = Netlist.net_index net in
+      let dangling = fan.(i) = 0 && not is_output.(i) in
+      let lbl () = Finding.net_label nl net in
+      match Netlist.driver nl net with
+      | Netlist.D_input _ ->
+          if dangling then
+            emit ~severity:Finding.Warning ~rule:"floating-input" ~net
+              (Printf.sprintf "primary %s is never read" (lbl ()))
+      | Netlist.D_const _ ->
+          if dangling then
+            emit ~severity:Finding.Info ~rule:"unused-net" ~net
+              (Printf.sprintf "%s drives nothing" (lbl ()))
+      | Netlist.D_dff _ ->
+          if dangling then
+            emit ~severity:Finding.Warning ~rule:"unused-net" ~net
+              (Printf.sprintf "%s drives nothing" (lbl ()))
+          else if not reaches_output.(i) then
+            emit ~severity:Finding.Warning ~rule:"unreachable-dff" ~net
+              (Printf.sprintf "%s state never reaches a primary output"
+                 (lbl ()))
+      | gate ->
+          if dangling then
+            emit ~severity:Finding.Warning ~rule:"unused-net" ~net
+              (Printf.sprintf "%s drives nothing" (lbl ()));
+          (match cv.(i) with
+          | Some b ->
+              emit ~severity:Finding.Warning ~rule:"const-foldable" ~net
+                (Printf.sprintf "%s always evaluates to %d" (lbl ())
+                   (if b then 1 else 0))
+          | None -> (
+              (* a mux with a constant selector is foldable even when the
+                 surviving arm is not itself constant *)
+              match gate with
+              | Netlist.D_mux (s, _, _) when cv.(Netlist.net_index s) <> None
+                ->
+                  emit ~severity:Finding.Warning ~rule:"const-foldable" ~net
+                    (Printf.sprintf "%s has a constant selector" (lbl ()))
+              | _ -> ()));
+          (match gate with
+          | Netlist.D_mux (_, a, b)
+            when Netlist.net_index a = Netlist.net_index b ->
+              emit ~severity:Finding.Warning ~rule:"mux-equal-arms" ~net
+                (Printf.sprintf "%s selects between identical arms" (lbl ()))
+          | _ -> ()))
+    (Netlist.nets_in_order nl);
+  (* fanout statistics: one Info finding *)
+  let max_fan = ref 0 and max_net = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i f ->
+      total := !total + f;
+      if f > !max_fan then begin
+        max_fan := f;
+        max_net := i
+      end)
+    fan;
+  if n > 0 then
+    emit ~severity:Finding.Info ~rule:"fanout"
+      (Printf.sprintf "max fanout %d at n%d, mean %.2f over %d nets" !max_fan
+         !max_net
+         (float_of_int !total /. float_of_int n)
+         n);
+  List.sort Finding.compare !findings

@@ -1,0 +1,26 @@
+(** Structural netlist lint.
+
+    Purely syntactic checks over a finalised {!Thr_gates.Netlist.t}:
+
+    - [floating-input] — a primary input no gate reads (Warning);
+    - [unused-net] — a gate or DFF that drives nothing and is not a
+      primary output (Warning; dead constants are Info, they cost no
+      area);
+    - [const-foldable] — a gate whose output value (or a mux whose
+      selected arm) is decided statically by constant inputs (Warning);
+    - [mux-equal-arms] — a mux with the same net on both arms (Warning);
+    - [unreachable-dff] — register state that can never reach a primary
+      output (Warning);
+    - [fanout] — one Info finding with max/mean fanout statistics.
+
+    A clean elaboration ({!Thr_runtime.Rtl.elaborate}) produces no
+    Warning or Error findings; the gate builders in {!Thr_gates.Word} and
+    {!Thr_gates.Bus} are written to keep it that way. *)
+
+val const_values : Thr_gates.Netlist.t -> bool option array
+(** Per-net statically known values, propagated through the combinational
+    graph ([Some b] = the net is always [b]).  DFFs and inputs are
+    unknown.  Requires a finalised netlist. *)
+
+val analyse : Thr_gates.Netlist.t -> Finding.t list
+(** Run every rule.  Requires a finalised netlist. *)

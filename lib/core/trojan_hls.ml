@@ -19,6 +19,8 @@
     - {!Netlist}, {!Gate_sim}, {!Bus}, {!Trojan}, {!Trojan_circuits} —
       gate-level substrate and the Trojan models of Figs. 2–3;
     - {!Engine}, {!Campaign} — run-time detection/recovery execution;
+    - {!Check} (with {!Lint}, {!Taint}, {!Prob}, {!Finding}) — the
+      gate-level static analyser behind [thls lint];
     - {!Benchmarks}, {!Dfg_generator} — the Section 5 workloads;
     - {!Prng}, {!Tablefmt}, {!Dpool}, {!Json} — deterministic randomness,
       table output, the domain pool behind every [--jobs] flag, and the
@@ -68,6 +70,12 @@ module Campaign = Thr_runtime.Campaign
 module Rtl = Thr_runtime.Rtl
 module Word = Thr_gates.Word
 module Verilog = Thr_gates.Verilog
+
+module Check = Thr_check.Check
+module Lint = Thr_check.Lint
+module Taint = Thr_check.Taint
+module Prob = Thr_check.Prob
+module Finding = Thr_check.Finding
 
 module Logic_test = Thr_testtime.Logic_test
 module Side_channel = Thr_testtime.Side_channel

@@ -46,7 +46,8 @@ let counter nl ~width ~enable =
     let toggle = !carry in
     let q = Netlist.dff_loop nl (fun q -> Netlist.xor_ nl q toggle) in
     result.(i) <- q;
-    carry := Netlist.and_ nl !carry q
+    (* the carry out of the top bit has no reader; don't build it *)
+    if i < width - 1 then carry := Netlist.and_ nl !carry q
   done;
   result
 

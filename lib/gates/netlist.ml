@@ -257,3 +257,60 @@ let find_output t nm =
   match List.assoc_opt nm t.outputs with
   | Some n -> n
   | None -> raise Not_found
+
+let outputs t = List.rev t.outputs
+
+(* Reverse edges: for every net, the nets whose driver reads it.  A DFF
+   output counts as a reader of its data net, so the index covers the
+   sequential edges too.  Reader lists preserve creation order. *)
+let readers t =
+  let acc = Array.make t.count [] in
+  for i = t.count - 1 downto 0 do
+    let record d = acc.(d) <- i :: acc.(d) in
+    (match t.drivers.(i) with
+    | D_dff k -> if t.dff_d.(k) >= 0 then record t.dff_d.(k)
+    | d -> List.iter record (comb_deps d))
+  done;
+  acc
+
+let fanout t =
+  let acc = Array.make t.count 0 in
+  for i = 0 to t.count - 1 do
+    let record d = acc.(d) <- acc.(d) + 1 in
+    match t.drivers.(i) with
+    | D_dff k -> if t.dff_d.(k) >= 0 then record t.dff_d.(k)
+    | d -> List.iter record (comb_deps d)
+  done;
+  acc
+
+let fold_cone t ?(through_dffs = true) ~roots f init =
+  let seen = Array.make t.count false in
+  let acc = ref init in
+  let stack = Stack.create () in
+  List.iter
+    (fun n ->
+      check_net t n;
+      if not seen.(n) then begin
+        seen.(n) <- true;
+        Stack.push n stack
+      end)
+    roots;
+  while not (Stack.is_empty stack) do
+    let n = Stack.pop stack in
+    acc := f !acc n;
+    let visit d =
+      if not seen.(d) then begin
+        seen.(d) <- true;
+        Stack.push d stack
+      end
+    in
+    match t.drivers.(n) with
+    | D_dff k -> if through_dffs && t.dff_d.(k) >= 0 then visit t.dff_d.(k)
+    | d -> List.iter visit (comb_deps d)
+  done;
+  !acc
+
+let in_cone t ?through_dffs ~roots () =
+  let mark = Array.make t.count false in
+  fold_cone t ?through_dffs ~roots (fun () n -> mark.(n) <- true) ();
+  mark

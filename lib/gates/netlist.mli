@@ -119,3 +119,31 @@ val dff_init : t -> int -> bool
 
 val find_output : t -> string -> net
 (** @raise Not_found if no such output. *)
+
+val outputs : t -> (string * net) list
+(** Declared primary outputs, in declaration order. *)
+
+(** {1 Graph traversal (static analysis)} *)
+
+val readers : t -> net list array
+(** Reverse-edge index: entry [n] lists every net whose driver reads [n] —
+    combinational readers plus the output net of any DFF whose data input
+    is [n].  Lists are in net-creation order. *)
+
+val fanout : t -> int array
+(** Per-net reader counts (the lengths of {!readers}'s lists, without
+    building them). *)
+
+val fold_cone :
+  t -> ?through_dffs:bool -> roots:net list -> ('a -> net -> 'a) -> 'a -> 'a
+(** [fold_cone t ~roots f init] folds [f] over the transitive fan-in cone
+    of [roots] (roots included), visiting every net exactly once.
+    [through_dffs] (default [true]) continues the traversal from a DFF's
+    output into its data input; with [false] the cone is purely
+    combinational and stops at register boundaries.
+
+    @raise Invalid_argument if a root is from another netlist. *)
+
+val in_cone : t -> ?through_dffs:bool -> roots:net list -> unit -> bool array
+(** Membership mask of {!fold_cone}: entry [n] is true iff net [n] is in
+    the fan-in cone of [roots]. *)

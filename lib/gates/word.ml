@@ -2,34 +2,72 @@ let check_widths name a b =
   if Bus.width a <> Bus.width b then
     invalid_arg (Printf.sprintf "Word.%s: width mismatch" name)
 
-let full_adder nl a b cin =
-  let axb = Netlist.xor_ nl a b in
-  let sum = Netlist.xor_ nl axb cin in
-  let carry = Netlist.or_ nl (Netlist.and_ nl a b) (Netlist.and_ nl axb cin) in
-  (sum, carry)
+(* Constant-folding gate constructors.  Feeding a literal 0/1 through a
+   real gate both wastes area and trips the static analyser's
+   const-foldable lint, so the arithmetic below never builds a gate whose
+   output is decided by a constant operand. *)
+let cval nl n =
+  match Netlist.driver nl n with Netlist.D_const b -> Some b | _ -> None
 
-let add_with_carry nl a b cin =
+let sand nl a b =
+  match (cval nl a, cval nl b) with
+  | Some false, _ -> a
+  | _, Some false -> b
+  | Some true, _ -> b
+  | _, Some true -> a
+  | None, None -> Netlist.and_ nl a b
+
+let sor nl a b =
+  match (cval nl a, cval nl b) with
+  | Some true, _ -> a
+  | _, Some true -> b
+  | Some false, _ -> b
+  | _, Some false -> a
+  | None, None -> Netlist.or_ nl a b
+
+let sxor nl a b =
+  match (cval nl a, cval nl b) with
+  | Some false, _ -> b
+  | _, Some false -> a
+  | Some true, _ -> Netlist.not_ nl b
+  | _, Some true -> Netlist.not_ nl a
+  | None, None -> Netlist.xor_ nl a b
+
+let smux nl ~sel ~t0 ~t1 =
+  if Netlist.net_index t0 = Netlist.net_index t1 then t0
+  else
+    match (cval nl sel, cval nl t0, cval nl t1) with
+    | Some false, _, _ -> t0
+    | Some true, _, _ -> t1
+    | None, Some b0, Some b1 when b0 = b1 -> t0
+    | None, Some false, Some true -> sel
+    | None, Some true, Some false -> Netlist.not_ nl sel
+    | _ -> Netlist.mux nl ~sel ~t0 ~t1
+
+(* Ripple-carry adder.  [carry_out] controls whether the carry out of the
+   top bit is materialised; when the caller wraps at the bus width that
+   gate would dangle. *)
+let adder nl ~carry_out a b cin =
   check_widths "add" a b;
   let w = Bus.width a in
   let out = Array.make w cin in
   let carry = ref cin in
   for i = 0 to w - 1 do
-    let sum, cout = full_adder nl a.(i) b.(i) !carry in
-    out.(i) <- sum;
-    carry := cout
+    let axb = sxor nl a.(i) b.(i) in
+    out.(i) <- sxor nl axb !carry;
+    if i < w - 1 || carry_out then
+      carry := sor nl (sand nl a.(i) b.(i)) (sand nl axb !carry)
   done;
   (out, !carry)
 
-let add nl a b = fst (add_with_carry nl a b (Netlist.const nl false))
+let add nl a b = fst (adder nl ~carry_out:false a b (Netlist.const nl false))
 
 let invert nl a = Array.map (Netlist.not_ nl) a
 
 (* a - b = a + ~b + 1 *)
-let sub_with_end nl a b =
+let sub nl a b =
   check_widths "sub" a b;
-  add_with_carry nl a (invert nl b) (Netlist.const nl true)
-
-let sub nl a b = fst (sub_with_end nl a b)
+  fst (adder nl ~carry_out:false a (invert nl b) (Netlist.const nl true))
 
 let neg nl a =
   let zero = Bus.const nl ~width:(Bus.width a) 0 in
@@ -39,22 +77,30 @@ let mul nl a b =
   check_widths "mul" a b;
   let w = Bus.width a in
   let zero = Netlist.const nl false in
-  (* shift-and-add over the low word: partial_i = (a << i) AND b_i *)
-  let acc = ref (Bus.const nl ~width:w 0) in
-  for i = 0 to w - 1 do
-    let shifted =
-      Array.init w (fun j -> if j < i then zero else a.(j - i))
-    in
-    let masked = Array.map (fun n -> Netlist.and_ nl n b.(i)) shifted in
-    acc := add nl !acc masked
+  (* shift-and-add over the low word: partial_i = (a << i) AND b_i; the
+     low [i] bits of a shifted partial are literal zeros, not gates *)
+  let partial i =
+    Array.init w (fun j -> if j < i then zero else sand nl a.(j - i) b.(i))
+  in
+  let acc = ref (partial 0) in
+  for i = 1 to w - 1 do
+    acc := add nl !acc (partial i)
   done;
   !acc
 
 let lt_signed nl a b =
   check_widths "lt_signed" a b;
   let w = Bus.width a in
-  let diff, _ = sub_with_end nl a b in
-  let a_s = a.(w - 1) and b_s = b.(w - 1) and d_s = diff.(w - 1) in
+  (* only the sign bit of a - b is observed: build the carry chain of
+     a + ~b + 1 and the top sum bit, skipping the unread low sums *)
+  let nb = invert nl b in
+  let carry = ref (Netlist.const nl true) in
+  for i = 0 to w - 2 do
+    let axb = sxor nl a.(i) nb.(i) in
+    carry := sor nl (sand nl a.(i) nb.(i)) (sand nl axb !carry)
+  done;
+  let d_s = sxor nl (sxor nl a.(w - 1) nb.(w - 1)) !carry in
+  let a_s = a.(w - 1) and b_s = b.(w - 1) in
   (* signed overflow of a - b: operand signs differ and the result sign
      disagrees with a's *)
   let overflow = Netlist.and_ nl (Netlist.xor_ nl a_s b_s) (Netlist.xor_ nl d_s a_s) in
@@ -67,7 +113,7 @@ let lt_signed_bus nl a b =
 
 let mux_bus nl ~sel ~t0 ~t1 =
   check_widths "mux_bus" t0 t1;
-  Array.init (Bus.width t0) (fun i -> Netlist.mux nl ~sel ~t0:t0.(i) ~t1:t1.(i))
+  Array.init (Bus.width t0) (fun i -> smux nl ~sel ~t0:t0.(i) ~t1:t1.(i))
 
 let log2_stages w =
   let rec go k = if 1 lsl k >= w then k else go (k + 1) in

@@ -13,6 +13,9 @@ module Netlist = Thr_gates.Netlist
 module Bus = Thr_gates.Bus
 module Word = Thr_gates.Word
 module Sim = Thr_gates.Sim
+module Check = Thr_check.Check
+module Taint = Thr_check.Taint
+module Finding = Thr_check.Finding
 
 type t = {
   netlist : Netlist.t;
@@ -22,8 +25,12 @@ type t = {
   nc_outputs : (int * Bus.t) list;
   rc_outputs : (int * Bus.t) list;
   rv_outputs : (int * Bus.t) list;
+  final_outputs : (int * Bus.t) list;
+  vendor_regions : (int * int * int) list;
   total_cycles : int;
 }
+
+type seeded_bug = Comparator_skip
 
 let bits_for n =
   let rec go k = if 1 lsl k > n then k else go (k + 1) in
@@ -78,14 +85,14 @@ let trigger_net nl width trojan ~active ~a_bus ~b_bus =
         Netlist.dff_loop_many nl ~inits:(Array.make k false) (fun qs ->
             let at_thr = Bus.eq_const nl qs threshold in
             let carry = ref (Netlist.const nl true) in
-            let incremented =
-              Array.map
-                (fun q ->
-                  let sum = Netlist.xor_ nl q !carry in
-                  carry := Netlist.and_ nl !carry q;
-                  sum)
-                qs
-            in
+            let incremented = Array.make (Array.length qs) qs.(0) in
+            Array.iteri
+              (fun i q ->
+                incremented.(i) <- Netlist.xor_ nl q !carry;
+                (* the carry out of the top bit has no reader *)
+                if i < Array.length qs - 1 then
+                  carry := Netlist.and_ nl !carry q)
+              qs;
             let next =
               Array.mapi
                 (fun i q ->
@@ -111,7 +118,21 @@ let payload_wrap nl trojan ~trigger out =
       let corrupting = Netlist.or_ nl latch trigger in
       Bus.xor_enable nl out ~enable:corrupting ~mask
 
-let elaborate ?(width = 16) ?(injections = []) design =
+let vendor_of t net =
+  let i = Netlist.net_index net in
+  let rec go = function
+    | [] -> None
+    | (lo, hi, v) :: rest -> if i >= lo && i <= hi then Some v else go rest
+  in
+  go t.vendor_regions
+
+(* THLS_ELAB_CHECK=0 disables the post-elaboration taint assertion *)
+let elab_check_enabled () =
+  match Sys.getenv_opt "THLS_ELAB_CHECK" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | _ -> true
+
+let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
   if width < 6 then invalid_arg "Rtl.elaborate: width must be at least 6";
   (match Design.validate design with
   | [] -> ()
@@ -132,7 +153,20 @@ let elaborate ?(width = 16) ?(injections = []) design =
   let counter =
     Bus.counter nl ~width:(bits_for (total + 1)) ~enable:(Netlist.const nl true)
   in
-  let step_eq = Array.init (total + 1) (fun s -> Bus.eq_const nl counter (s - 1)) in
+  (* step-activation decoders, built only for the steps the schedule
+     actually uses (step 0 never is: steps are 1-based) so no decoder
+     dangles unread *)
+  let step_used = Array.make (total + 1) false in
+  for idx = 0 to n_copies - 1 do
+    step_used.(Schedule.step design.Design.schedule idx) <- true
+  done;
+  let step_eq =
+    Array.init (total + 1) (fun s ->
+        if step_used.(s) then Some (Bus.eq_const nl counter (s - 1)) else None)
+  in
+  let sel_step s =
+    match step_eq.(s) with Some n -> n | None -> assert false
+  in
   (* core instances and the copies they execute *)
   let assignment = Binding.instance_assignment spec design.Design.schedule design.Design.binding in
   let cores = Hashtbl.create 32 in
@@ -152,6 +186,10 @@ let elaborate ?(width = 16) ?(injections = []) design =
       injections
   in
   let zero = Bus.const nl ~width 0 in
+  (* gate->vendor provenance: every net built while one core's datapath
+     cone is constructed belongs to that core's vendor.  (lo, hi, vendor
+     id) ranges of net indices, consumed by the taint pass. *)
+  let regions = ref [] in
   (* all result registers at once: their next-state needs the FU outputs,
      which need the registers (operand feedback through the datapath) *)
   let flat_regs =
@@ -166,9 +204,10 @@ let elaborate ?(width = 16) ?(injections = []) design =
         let next = Array.copy flat in
         Hashtbl.iter
           (fun (vid, ti, _inst) idxs ->
+            let region_lo = Netlist.n_nets nl in
             let idxs = List.sort Stdlib.compare idxs in
             let step_of idx = Schedule.step design.Design.schedule idx in
-            let sel idx = step_eq.(step_of idx) in
+            let sel idx = sel_step (step_of idx) in
             (* operand muxes: pick the active copy's operands *)
             let pick_operand slot =
               List.fold_left
@@ -223,7 +262,8 @@ let elaborate ?(width = 16) ?(injections = []) design =
                   Word.mux_bus nl ~sel:(sel idx) ~t0:(reg idx) ~t1:out
                 in
                 Array.blit captured 0 next (idx * width) width)
-              idxs)
+              idxs;
+            regions := (region_lo, Netlist.n_nets nl - 1, vid) :: !regions)
           cores;
         next)
   in
@@ -237,31 +277,105 @@ let elaborate ?(width = 16) ?(injections = []) design =
     | Spec.Detection_only -> []
     | Spec.Detection_and_recovery -> List.map (fun o -> (o, out_reg Copy.RV o)) outputs
   in
+  let mismatch_pairs =
+    List.map2
+      (fun (_, nc) (_, rc) -> Netlist.not_ nl (Bus.eq nl nc rc))
+      nc_outputs rc_outputs
+  in
+  (* test-only mutant: drop the first output pair from the comparator, the
+     exact bug class the taint pass exists to catch *)
+  let mismatch_pairs =
+    match seeded_bug with
+    | Some Comparator_skip -> List.tl mismatch_pairs
+    | None -> mismatch_pairs
+  in
   let mismatch =
-    Netlist.or_list nl
-      (List.map2
-         (fun (_, nc) (_, rc) -> Netlist.not_ nl (Bus.eq nl nc rc))
-         nc_outputs rc_outputs)
+    match mismatch_pairs with
+    | [] -> Netlist.const nl false
+    | pairs -> Netlist.or_list nl pairs
   in
   Netlist.output nl "mismatch" mismatch;
   List.iter (fun (o, bus) -> Bus.outputs nl (Printf.sprintf "nc%d" o) bus) nc_outputs;
+  List.iter (fun (o, bus) -> Bus.outputs nl (Printf.sprintf "rc%d" o) bus) rc_outputs;
+  (* the circuit's actual results: recovery value when the comparator
+     fired, NC value otherwise (Fig. 1's output mux) *)
+  let final_outputs =
+    match rv_outputs with
+    | [] -> []
+    | rvs ->
+        List.map2
+          (fun (o, nc) (_, rv) ->
+            (o, Word.mux_bus nl ~sel:mismatch ~t0:nc ~t1:rv))
+          nc_outputs rvs
+  in
+  List.iter (fun (o, bus) -> Bus.outputs nl (Printf.sprintf "r%d" o) bus) final_outputs;
   Netlist.finalise nl;
+  let t =
+    {
+      netlist = nl;
+      width;
+      design;
+      mismatch;
+      nc_outputs;
+      rc_outputs;
+      rv_outputs;
+      final_outputs;
+      vendor_regions = !regions;
+      total_cycles = total;
+    }
+  in
+  (match seeded_bug with
+  | Some _ -> ()
+  | None ->
+      if elab_check_enabled () then
+        Thr_obs.Trace.with_span "rtl.elab_check" (fun () ->
+            let findings, _ =
+              Taint.analyse ~vendor_of:(vendor_of t) ~mismatch ~min_vendors:2
+                nl
+            in
+            match
+              List.filter
+                (fun f -> f.Finding.severity = Finding.Error)
+                findings
+            with
+            | [] -> ()
+            | f :: _ ->
+                failwith
+                  (Printf.sprintf
+                     "Rtl.elaborate: internal taint check failed: %s"
+                     f.Finding.detail)));
+  t
+
+let taint_spec t =
+  { Check.vendor_of = vendor_of t; mismatch = t.mismatch; min_vendors = 2 }
+
+(* A deterministic full-mask combinational Trojan on the core that
+   computes the design's first primary output — the canned "known bad"
+   netlist behind `thls lint --mutant trojan` and the server's lint op. *)
+let canned_injection ~width design =
+  let spec = design.Design.spec in
+  let op = List.hd (Dfg.outputs spec.Spec.dfg) in
+  let nc = Copy.index spec { Copy.op; phase = Copy.NC } in
+  let mask = (1 lsl min width 16) - 1 in
   {
-    netlist = nl;
-    width;
-    design;
-    mismatch;
-    nc_outputs;
-    rc_outputs;
-    rv_outputs;
-    total_cycles = total;
+    Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+    inj_type = Spec.iptype_of_op spec op;
+    trojan =
+      Trojan.make
+        (Trojan.Combinational
+           { a_pattern = 0xDEAD land mask; b_pattern = 0xBEEF land mask; mask })
+        (Trojan.Xor_offset 0xFF);
   }
+
+let check ?rare_threshold ?prob_iters t =
+  Check.run ~taint:(taint_spec t) ?rare_threshold ?prob_iters t.netlist
 
 type result = {
   r_mismatch : bool;
   r_nc : (int * int) list;
   r_rc : (int * int) list;
   r_rv : (int * int) list;
+  r_final : (int * int) list;
 }
 
 let sign_extend width v =
@@ -286,6 +400,9 @@ let run t env =
     r_nc = List.map read t.nc_outputs;
     r_rc = List.map read t.rc_outputs;
     r_rv = List.map read t.rv_outputs;
+    r_final =
+      List.map read
+        (match t.final_outputs with [] -> t.nc_outputs | l -> l);
   }
 
 let stats t =

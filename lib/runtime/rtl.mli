@@ -27,22 +27,63 @@ type t = {
       (** result registers of the NC copies of the DFG's primary outputs *)
   rc_outputs : (int * Thr_gates.Bus.t) list;
   rv_outputs : (int * Thr_gates.Bus.t) list;  (** empty for detection-only *)
+  final_outputs : (int * Thr_gates.Bus.t) list;
+      (** Fig. 1's output mux: recovery value when [mismatch] fired, NC
+          value otherwise.  Empty for detection-only designs. *)
+  vendor_regions : (int * int * int) list;
+      (** gate->vendor provenance as [(lo, hi, vendor id)] net-index
+          ranges: nets built while elaborating one core's datapath cone *)
   total_cycles : int;  (** cycles to clock before reading outputs *)
 }
 
+type seeded_bug = Comparator_skip
+    (** Test-only mutant: elaborate with the first output pair dropped
+        from the mismatch comparator, so an NC core output reaches the
+        pins unobserved — the bug class the taint pass must catch. *)
+
 val elaborate :
-  ?width:int -> ?injections:Engine.injection list -> Thr_hls.Design.t -> t
+  ?width:int ->
+  ?injections:Engine.injection list ->
+  ?seeded_bug:seeded_bug ->
+  Thr_hls.Design.t ->
+  t
 (** [elaborate design] builds the netlist.  [width] (default 16, minimum 6)
     is the datapath word size; DFG values are computed modulo [2^width].
 
+    Unless [seeded_bug] is given (or [THLS_ELAB_CHECK=0] is set in the
+    environment), the elaborated netlist is re-verified with the
+    {!Thr_check.Taint} pass: every primary output must be dominated by
+    the mismatch comparator.
+
     @raise Invalid_argument if the design is invalid, or an injection's
-    trigger patterns/mask or payload mask do not fit in [width] bits. *)
+    trigger patterns/mask or payload mask do not fit in [width] bits.
+    @raise Failure if the post-elaboration taint check finds an
+    unguarded output (an elaborator bug, not a user error). *)
+
+val vendor_of : t -> Thr_gates.Netlist.net -> int option
+(** Which vendor's core region built the net, from [vendor_regions]. *)
+
+val taint_spec : t -> Thr_check.Check.taint_spec
+(** Taint-pass input for this elaboration: provenance, the mismatch net
+    and the Rule 1 minimum of 2 vendors. *)
+
+val canned_injection : width:int -> Thr_hls.Design.t -> Engine.injection
+(** A deterministic full-mask combinational Trojan on the core computing
+    the design's first primary output: the canned "known bad" netlist
+    behind [thls lint --mutant trojan] and the server's lint op. *)
+
+val check :
+  ?rare_threshold:float -> ?prob_iters:int -> t -> Thr_check.Check.report
+(** Run the full static analyser ({!Thr_check.Check.run}) with
+    {!taint_spec} wired in. *)
 
 type result = {
   r_mismatch : bool;
   r_nc : (int * int) list;  (** primary-output values, sign-extended *)
   r_rc : (int * int) list;
   r_rv : (int * int) list;
+  r_final : (int * int) list;
+      (** the output mux ([r_nc] for detection-only designs) *)
 }
 
 val run : t -> Thr_dfg.Eval.env -> result

@@ -4,6 +4,8 @@
 
    Requests:
      {"op":"solve", "dfg":"<thls DFG text>", ...options}
+     {"op":"lint",  "dfg":"<thls DFG text>", ...options,
+                    "width":N, "threshold":F, "mutant":"none|bypass|trojan"}
      {"op":"stats"}
      {"op":"metrics"}
      {"op":"shutdown"}
@@ -21,6 +23,7 @@
 
    Responses:
      {"status":"ok", "cache_hit":B, "seconds":F, "result":{...}}
+     {"status":"ok", "clean":B, "report":{...}}          (lint)
      {"status":"ok", "stats":{...}, "metrics":{...}}
      {"status":"ok", "metrics":"<Prometheus text exposition>"}
      {"status":"error", "code":C, "error":MSG}
@@ -43,7 +46,16 @@ type solve = {
   deadline_ms : int option;
 }
 
-type request = Solve of solve | Stats | Metrics | Shutdown
+type mutant = No_mutant | Bypass | Trojan
+
+type lint = {
+  lint_solve : solve;
+  width : int option;
+  threshold : float option;
+  mutant : mutant;
+}
+
+type request = Solve of solve | Lint of lint | Stats | Metrics | Shutdown
 
 (* ----------------------------- decoding ---------------------------- *)
 
@@ -53,10 +65,64 @@ let field_int name j =
   | Some (Json.Int i) -> Ok (Some i)
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
 
+let field_float name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+
 let catalog_of_name = function
   | "table1" -> Ok T.Catalog.table1
   | "eight" -> Ok T.Catalog.eight_vendors
   | s -> Error (Printf.sprintf "unknown catalogue %S (table1 | eight)" s)
+
+(* the options shared by "solve" and "lint" (which optimises first) *)
+let solve_of_json ~op j : (solve, string * string) result =
+  let bad fmt = Printf.ksprintf (fun m -> Error ("bad_request", m)) fmt in
+  match Json.mem_str "dfg" j with
+  | None -> bad "%s requires a string field \"dfg\"" op
+  | Some dfg_text ->
+      let catalog_name =
+        Option.value ~default:"eight" (Json.mem_str "catalog" j)
+      in
+      let mode_name =
+        Option.value ~default:"detection_and_recovery" (Json.mem_str "mode" j)
+      in
+      let solver_name =
+        Option.value ~default:"search" (Json.mem_str "solver" j)
+      in
+      let ( let* ) = Result.bind in
+      let with_code r = Result.map_error (fun m -> ("bad_request", m)) r in
+      let* mode =
+        match mode_name with
+        | "detection" | "detection_only" -> Ok T.Spec.Detection_only
+        | "detection_and_recovery" | "detection+recovery" ->
+            Ok T.Spec.Detection_and_recovery
+        | s -> bad "unknown mode %S" s
+      in
+      let* solver =
+        match solver_name with
+        | "search" -> Ok T.Optimize.License_search
+        | "ilp" -> Ok T.Optimize.Ilp
+        | "greedy" -> Ok T.Optimize.Greedy
+        | s -> bad "unknown solver %S" s
+      in
+      let* latency_detect = with_code (field_int "latency_detect" j) in
+      let* latency_recover = with_code (field_int "latency_recover" j) in
+      let* area = with_code (field_int "area" j) in
+      let* deadline_ms = with_code (field_int "deadline_ms" j) in
+      Ok
+        {
+          dfg_text;
+          catalog_name;
+          mode;
+          latency_detect;
+          latency_recover;
+          area;
+          solver;
+          deadline_ms;
+        }
 
 let request_of_json j : (request, string * string) result =
   let bad fmt = Printf.ksprintf (fun m -> Error ("bad_request", m)) fmt in
@@ -67,55 +133,24 @@ let request_of_json j : (request, string * string) result =
       | Some "stats" -> Ok Stats
       | Some "metrics" -> Ok Metrics
       | Some "shutdown" -> Ok Shutdown
-      | Some "solve" -> (
-          match Json.mem_str "dfg" j with
-          | None -> bad "solve requires a string field \"dfg\""
-          | Some dfg_text -> (
-              let catalog_name =
-                Option.value ~default:"eight" (Json.mem_str "catalog" j)
-              in
-              let mode_name =
-                Option.value ~default:"detection_and_recovery"
-                  (Json.mem_str "mode" j)
-              in
-              let solver_name =
-                Option.value ~default:"search" (Json.mem_str "solver" j)
-              in
-              let ( let* ) = Result.bind in
-              let with_code r =
-                Result.map_error (fun m -> ("bad_request", m)) r
-              in
-              let* mode =
-                match mode_name with
-                | "detection" | "detection_only" -> Ok T.Spec.Detection_only
-                | "detection_and_recovery" | "detection+recovery" ->
-                    Ok T.Spec.Detection_and_recovery
-                | s -> bad "unknown mode %S" s
-              in
-              let* solver =
-                match solver_name with
-                | "search" -> Ok T.Optimize.License_search
-                | "ilp" -> Ok T.Optimize.Ilp
-                | "greedy" -> Ok T.Optimize.Greedy
-                | s -> bad "unknown solver %S" s
-              in
-              let* latency_detect = with_code (field_int "latency_detect" j) in
-              let* latency_recover = with_code (field_int "latency_recover" j) in
-              let* area = with_code (field_int "area" j) in
-              let* deadline_ms = with_code (field_int "deadline_ms" j) in
-              Ok
-                (Solve
-                   {
-                     dfg_text;
-                     catalog_name;
-                     mode;
-                     latency_detect;
-                     latency_recover;
-                     area;
-                     solver;
-                     deadline_ms;
-                   })))
-      | Some op -> bad "unknown op %S (solve | stats | metrics | shutdown)" op)
+      | Some "solve" ->
+          Result.map (fun s -> Solve s) (solve_of_json ~op:"solve" j)
+      | Some "lint" ->
+          let ( let* ) = Result.bind in
+          let with_code r = Result.map_error (fun m -> ("bad_request", m)) r in
+          let* lint_solve = solve_of_json ~op:"lint" j in
+          let* width = with_code (field_int "width" j) in
+          let* threshold = with_code (field_float "threshold" j) in
+          let* mutant =
+            match Json.mem_str "mutant" j with
+            | None | Some "none" -> Ok No_mutant
+            | Some "bypass" -> Ok Bypass
+            | Some "trojan" -> Ok Trojan
+            | Some s -> bad "unknown mutant %S (none | bypass | trojan)" s
+          in
+          Ok (Lint { lint_solve; width; threshold; mutant })
+      | Some op ->
+          bad "unknown op %S (solve | lint | stats | metrics | shutdown)" op)
   | _ -> Error ("bad_request", "request must be a JSON object")
 
 let request_of_line line : (request, string * string) result =
@@ -178,3 +213,9 @@ let solve_response ~cache_hit ~seconds result =
   Json.Obj
     [ ("status", Json.String "ok"); ("cache_hit", Json.Bool cache_hit);
       ("seconds", Json.Float seconds); ("result", result) ]
+
+let lint_response report =
+  Json.Obj
+    [ ("status", Json.String "ok");
+      ("clean", Json.Bool (T.Check.clean report));
+      ("report", T.Check.to_json report) ]

@@ -21,6 +21,7 @@ module Metrics = Thr_obs.Metrics
 module Trace = Thr_obs.Trace
 
 let m_requests = Metrics.counter "service_requests_total"
+let m_lint_requests = Metrics.counter "service_lint_total"
 let m_degraded = Metrics.counter "service_degraded_total"
 let m_queue_refused = Metrics.counter "service_queue_refused_total"
 let m_solve_ms = Metrics.histogram "service_solve_ms"
@@ -198,7 +199,24 @@ let solve_miss t (r : Protocol.solve) spec (key : Key.t) =
             ( "budget",
               "search budget exhausted with no incumbent (raise deadline_ms)" ))
 
-let handle_solve t (r : Protocol.solve) =
+(* cache-first design resolution, shared by solve and lint *)
+let resolve_design t (r : Protocol.solve) spec =
+  let key =
+    Trace.with_span "service.key" (fun () ->
+        Key.of_spec ~solver:r.Protocol.solver spec)
+  in
+  Trace.with_span "service.solve" (fun () ->
+      match Cache.find t.cache ~key:key.Key.hash ~content:key.Key.content with
+      | Some entry ->
+          let design = remap_design entry spec key.Key.perm in
+          Ok (true, design, entry.Cache.quality, false)
+      | None -> (
+          match solve_miss t r spec key with
+          | Ok (design, quality, degraded) -> Ok (false, design, quality, degraded)
+          | Error e -> Error e))
+
+(* admission control shared by the solving ops *)
+let with_admission t f =
   let depth = Atomic.fetch_and_add t.in_flight 1 in
   if depth >= t.config.max_queue then begin
     ignore (Atomic.fetch_and_add t.in_flight (-1));
@@ -210,44 +228,60 @@ let handle_solve t (r : Protocol.solve) =
   else
     Fun.protect
       ~finally:(fun () -> ignore (Atomic.fetch_and_add t.in_flight (-1)))
-      (fun () ->
-        Mutex.protect t.mutex (fun () -> t.requests <- t.requests + 1);
-        Metrics.incr m_requests;
-        let t0 = Unix.gettimeofday () in
-        let finish response =
-          record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
-          response
-        in
-        match Trace.with_span "service.canon" (fun () -> spec_of_request r) with
-        | Error (code, msg) -> finish (Protocol.error_response ~code msg)
-        | Ok spec -> (
-            let key =
-              Trace.with_span "service.key" (fun () ->
-                  Key.of_spec ~solver:r.Protocol.solver spec)
-            in
-            let solved =
-              Trace.with_span "service.solve" (fun () ->
-                  match
-                    Cache.find t.cache ~key:key.Key.hash ~content:key.Key.content
-                  with
-                  | Some entry ->
-                      let design = remap_design entry spec key.Key.perm in
-                      Ok (true, design, entry.Cache.quality, false)
-                  | None -> (
-                      match solve_miss t r spec key with
-                      | Ok (design, quality, degraded) ->
-                          Ok (false, design, quality, degraded)
-                      | Error e -> Error e))
-            in
-            Trace.with_span "service.respond" @@ fun () ->
-            match solved with
-            | Ok (cache_hit, design, quality, degraded) ->
-                let result = Protocol.design_json design ~quality ~degraded in
-                finish
-                  (Protocol.solve_response ~cache_hit
-                     ~seconds:(Unix.gettimeofday () -. t0)
-                     result)
-            | Error (code, msg) -> finish (Protocol.error_response ~code msg)))
+      f
+
+let handle_solve t (r : Protocol.solve) =
+  with_admission t (fun () ->
+      Mutex.protect t.mutex (fun () -> t.requests <- t.requests + 1);
+      Metrics.incr m_requests;
+      let t0 = Unix.gettimeofday () in
+      let finish response =
+        record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+        response
+      in
+      match Trace.with_span "service.canon" (fun () -> spec_of_request r) with
+      | Error (code, msg) -> finish (Protocol.error_response ~code msg)
+      | Ok spec -> (
+          Trace.with_span "service.respond" @@ fun () ->
+          match resolve_design t r spec with
+          | Ok (cache_hit, design, quality, degraded) ->
+              let result = Protocol.design_json design ~quality ~degraded in
+              finish
+                (Protocol.solve_response ~cache_hit
+                   ~seconds:(Unix.gettimeofday () -. t0)
+                   result)
+          | Error (code, msg) -> finish (Protocol.error_response ~code msg)))
+
+let handle_lint t (l : Protocol.lint) =
+  let r = l.Protocol.lint_solve in
+  with_admission t (fun () ->
+      Metrics.incr m_lint_requests;
+      match Trace.with_span "service.canon" (fun () -> spec_of_request r) with
+      | Error (code, msg) -> Protocol.error_response ~code msg
+      | Ok spec -> (
+          match resolve_design t r spec with
+          | Error (code, msg) -> Protocol.error_response ~code msg
+          | Ok (_, design, _, _) -> (
+              Trace.with_span "service.lint" @@ fun () ->
+              let width = Option.value ~default:16 l.Protocol.width in
+              match
+                match l.Protocol.mutant with
+                | Protocol.No_mutant -> T.Rtl.elaborate ~width design
+                | Protocol.Bypass ->
+                    T.Rtl.elaborate ~width ~seeded_bug:T.Rtl.Comparator_skip
+                      design
+                | Protocol.Trojan ->
+                    T.Rtl.elaborate ~width
+                      ~injections:[ T.Rtl.canned_injection ~width design ]
+                      design
+              with
+              | exception Invalid_argument m ->
+                  Protocol.error_response ~code:"bad_request" m
+              | rtl ->
+                  let report =
+                    T.Rtl.check ?rare_threshold:l.Protocol.threshold rtl
+                  in
+                  Protocol.lint_response report)))
 
 (* ------------------------------ stats ------------------------------ *)
 
@@ -295,6 +329,10 @@ let handle_request t = function
         [ ("status", Json.String "ok"); ("shutting_down", Json.Bool true) ]
   | Protocol.Solve r -> (
       try handle_solve t r
+      with e ->
+        Protocol.error_response ~code:"internal" (Printexc.to_string e))
+  | Protocol.Lint l -> (
+      try handle_lint t l
       with e ->
         Protocol.error_response ~code:"internal" (Printexc.to_string e))
 

@@ -1,0 +1,19 @@
+type t = Ok | Usage | Infeasible | Budget | Lint
+
+let code = function
+  | Ok -> 0
+  | Usage -> 1
+  | Infeasible -> 2
+  | Budget -> 3
+  | Lint -> 4
+
+let describe = function
+  | Ok -> "success"
+  | Usage -> "usage or I/O error"
+  | Infeasible -> "proven infeasible: no design satisfies the constraints"
+  | Budget -> "search budget exhausted with no incumbent design"
+  | Lint -> "static analysis reported findings"
+
+let all = [ Ok; Usage; Infeasible; Budget; Lint ]
+
+let exit t = Stdlib.exit (code t)

@@ -1,0 +1,30 @@
+(** The one table of process exit codes used by the [thls] CLI.
+
+    Every solving or checking subcommand ([optimize], [simulate], [rtl],
+    [submit], [lint]) reports its outcome through these codes, so scripts
+    and CI can branch on them uniformly:
+
+    - [0] — success;
+    - [1] — usage or I/O error (also what [Cmdliner] itself uses);
+    - [2] — the constraint problem is proven infeasible;
+    - [3] — the search budget was exhausted with no incumbent design;
+    - [4] — static analysis found lint findings (warnings or errors). *)
+
+type t =
+  | Ok            (** solved / ran / clean *)
+  | Usage         (** bad arguments, unreadable files, unreachable server *)
+  | Infeasible    (** no design satisfies the constraints (proven) *)
+  | Budget        (** search budget exhausted with no incumbent *)
+  | Lint          (** [thls lint] reported findings *)
+
+val code : t -> int
+(** The process exit status: 0 / 1 / 2 / 3 / 4 in declaration order. *)
+
+val describe : t -> string
+(** One-line meaning, as printed by [--help] and the README table. *)
+
+val all : t list
+(** Every code, in ascending numeric order. *)
+
+val exit : t -> 'a
+(** [Stdlib.exit] with the numeric code. *)

@@ -1,0 +1,334 @@
+(* Tests for the static analyser: structural lint, vendor taint
+   verification and rare-net trigger scoring, including the acceptance
+   properties (clean elaborations are clean; seeded Trojans and the
+   comparator-bypass mutant are flagged). *)
+
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Finding = Thr_check.Finding
+module Lint = Thr_check.Lint
+module Taint = Thr_check.Taint
+module Prob = Thr_check.Prob
+module Check = Thr_check.Check
+module Rtl = Thr_runtime.Rtl
+module Engine = Thr_runtime.Engine
+module Spec = Thr_hls.Spec
+module Copy = Thr_hls.Copy
+module Binding = Thr_hls.Binding
+module Design = Thr_hls.Design
+module Trojan = Thr_trojan.Trojan
+module Circuits = Thr_trojan.Circuits
+module Eval = Thr_dfg.Eval
+
+let rules fs = List.sort_uniq compare (List.map (fun f -> f.Finding.rule) fs)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_rule rule fs = List.filter (fun f -> f.Finding.rule = rule) fs
+
+let blocking fs = List.filter Finding.is_blocking fs
+
+(* ------------------------------ lint ------------------------------ *)
+
+let test_lint_rules_fire () =
+  let nl = Netlist.create ~name:"lint_fixture" in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let _floating = Netlist.input nl "floating" in
+  let g = Netlist.and_ nl a b in
+  let _dead = Netlist.or_ nl a b in
+  let zero = Netlist.const nl false in
+  let const_foldable = Netlist.and_ nl a zero in
+  let equal_arms = Netlist.mux nl ~sel:b ~t0:g ~t1:g in
+  let reachable_dff = Netlist.dff nl g in
+  let unreachable = Netlist.dff nl a in
+  let _unread = Netlist.dff nl unreachable in
+  Netlist.output nl "o1" equal_arms;
+  Netlist.output nl "o2" reachable_dff;
+  Netlist.output nl "o3" const_foldable;
+  Netlist.finalise nl;
+  let fs = Lint.analyse nl in
+  Alcotest.(check (list string))
+    "every structural rule fires"
+    [
+      "const-foldable";
+      "fanout";
+      "floating-input";
+      "mux-equal-arms";
+      "unreachable-dff";
+      "unused-net";
+    ]
+    (rules fs);
+  Alcotest.(check int) "two dead nets" 2 (List.length (with_rule "unused-net" fs));
+  Alcotest.(check bool) "findings block" true (List.exists Finding.is_blocking fs)
+
+let test_lint_clean_netlist () =
+  let nl = Netlist.create ~name:"clean" in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let g = Netlist.xor_ nl a b in
+  let q = Netlist.dff nl g in
+  Netlist.output nl "q" q;
+  Netlist.finalise nl;
+  let fs = Lint.analyse nl in
+  Alcotest.(check (list string)) "stats only" [ "fanout" ] (rules fs);
+  Alcotest.(check int) "nothing blocks" 0 (List.length (blocking fs))
+
+let test_const_values () =
+  let nl = Netlist.create ~name:"cv" in
+  let a = Netlist.input nl "a" in
+  let t = Netlist.const nl true in
+  let n1 = Netlist.not_ nl t in
+  let n2 = Netlist.or_ nl n1 a in
+  let n3 = Netlist.or_ nl t a in
+  Netlist.output nl "o2" n2;
+  Netlist.output nl "o3" n3;
+  Netlist.finalise nl;
+  let cv = Lint.const_values nl in
+  let at n = cv.(Netlist.net_index n) in
+  Alcotest.(check (option bool)) "not 1 = 0" (Some false) (at n1);
+  Alcotest.(check (option bool)) "0 or a unknown" None (at n2);
+  Alcotest.(check (option bool)) "1 or a = 1" (Some true) (at n3)
+
+(* ------------------------------ taint ----------------------------- *)
+
+(* two "vendor" gates feeding a comparator, one guarded output, one
+   unguarded output *)
+let taint_fixture () =
+  let nl = Netlist.create ~name:"taint_fixture" in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let v1 = Netlist.and_ nl a b in
+  let v2 = Netlist.or_ nl a b in
+  let cmp = Netlist.xor_ nl v1 v2 in
+  let guarded = Netlist.mux nl ~sel:cmp ~t0:v1 ~t1:v2 in
+  let unguarded = Netlist.not_ nl v1 in
+  Netlist.output nl "mismatch" cmp;
+  Netlist.output nl "good" guarded;
+  Netlist.output nl "bad" unguarded;
+  Netlist.finalise nl;
+  let vendor_of n =
+    if Netlist.net_index n = Netlist.net_index v1 then Some 1
+    else if Netlist.net_index n = Netlist.net_index v2 then Some 2
+    else None
+  in
+  (nl, cmp, v1, vendor_of)
+
+let test_taint_propagation () =
+  let nl, cmp, v1, vendor_of = taint_fixture () in
+  let taint = Taint.propagate ~vendor_of nl in
+  Alcotest.(check (list int)) "comparator sees both vendors" [ 1; 2 ]
+    taint.(Netlist.net_index cmp);
+  Alcotest.(check (list int)) "region label" [ 1 ] taint.(Netlist.net_index v1)
+
+let test_taint_unguarded_output () =
+  let nl, cmp, _, vendor_of = taint_fixture () in
+  let fs, _ = Taint.analyse ~vendor_of ~mismatch:cmp nl in
+  let errs = with_rule "unguarded-output" fs in
+  Alcotest.(check int) "exactly one unguarded output" 1 (List.length errs);
+  Alcotest.(check bool) "names the bad output" true
+    (contains (List.hd errs).Finding.detail "output bad");
+  Alcotest.(check int) "diversity satisfied" 0
+    (List.length (with_rule "comparator-diversity" fs))
+
+let test_taint_diversity () =
+  let nl, cmp, _, vendor_of = taint_fixture () in
+  let fs, _ = Taint.analyse ~vendor_of ~mismatch:cmp ~min_vendors:3 nl in
+  Alcotest.(check int) "diversity violated at 3" 1
+    (List.length (with_rule "comparator-diversity" fs))
+
+(* ------------------------------ rare ------------------------------ *)
+
+let test_prob_model () =
+  let nl = Netlist.create ~name:"prob" in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let g_and = Netlist.and_ nl a b in
+  let g_or = Netlist.or_ nl a b in
+  let g_not = Netlist.not_ nl a in
+  Netlist.output nl "o1" g_and;
+  Netlist.output nl "o2" g_or;
+  Netlist.output nl "o3" g_not;
+  Netlist.finalise nl;
+  let p = Prob.signal_probabilities nl in
+  let at n = p.(Netlist.net_index n) in
+  Alcotest.(check (float 1e-9)) "and" 0.25 (at g_and);
+  Alcotest.(check (float 1e-9)) "or" 0.75 (at g_or);
+  Alcotest.(check (float 1e-9)) "not" 0.5 (at g_not)
+
+let test_prob_counter_converges () =
+  (* a free-running counter's bits must not oscillate to activation 0 *)
+  let nl = Netlist.create ~name:"ctr" in
+  let c = Bus.counter nl ~width:4 ~enable:(Netlist.const nl true) in
+  Netlist.output nl "hit" (Bus.eq_const nl c 11);
+  Netlist.finalise nl;
+  let fs, p = Prob.analyse nl in
+  Alcotest.(check int) "no rare nets in a counter" 0
+    (List.length (with_rule "rare-net" fs));
+  Alcotest.(check bool) "low bit near 0.5" true
+    (Float.abs (p.(Netlist.net_index c.(0)) -. 0.5) < 0.01)
+
+let seeded_harnesses () =
+  [
+    ( "fig2a",
+      Circuits.fig2a ~width:16 ~a_pattern:0xDEAD ~b_pattern:0xBEEF
+        ~mask:0xFFFF ~payload_mask:0x8 );
+    ( "fig2b",
+      Circuits.fig2b ~width:16 ~a_pattern:0xCAFE ~b_pattern:0x1234
+        ~mask:0xFFFF ~threshold:2 ~payload_mask:0x8 );
+    ( "fig3",
+      Circuits.fig3 ~width:16 ~a_pattern:0xDEAD ~b_pattern:0xBEEF
+        ~mask:0xFFFF ~payload_mask:0x8 );
+  ]
+
+let test_rare_flags_seeded_trojans () =
+  List.iter
+    (fun (name, h) ->
+      Netlist.finalise h.Circuits.netlist;
+      let fs, p = Prob.analyse h.Circuits.netlist in
+      let flagged =
+        List.filter_map (fun f -> f.Finding.net) (with_rule "rare-net" fs)
+      in
+      Alcotest.(check bool)
+        (name ^ " trigger net flagged")
+        true
+        (List.mem (Netlist.net_index h.Circuits.trigger_net) flagged);
+      let pt = p.(Netlist.net_index h.Circuits.trigger_net) in
+      Alcotest.(check bool)
+        (name ^ " trigger probability tiny")
+        true
+        (Float.min pt (1.0 -. pt) < Prob.default_threshold))
+    (seeded_harnesses ())
+
+(* --------------------- elaborated designs ------------------------- *)
+
+let design_for ?mode name catalog l_det l_rec area =
+  let dfg = Option.get (Thr_benchmarks.Suite.find name) in
+  let spec =
+    Spec.make ?mode ~dfg ~catalog ~latency_detect:l_det ~latency_recover:l_rec
+      ~area_limit:area ()
+  in
+  match Thr_opt.License_search.search spec with
+  | Thr_opt.License_search.Solved { design; _ }, _ -> design
+  | _ -> Alcotest.fail ("no design for " ^ name)
+
+let clean_designs () =
+  [
+    ("motivational", design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000);
+    ("diff2", design_for "diff2" Thr_iplib.Catalog.eight_vendors 5 4 80_000);
+    ( "motivational-detection-only",
+      design_for ~mode:Spec.Detection_only "motivational"
+        Thr_iplib.Catalog.table1 4 3 40_000 );
+  ]
+
+let test_clean_elaborations_are_clean () =
+  List.iter
+    (fun (name, design) ->
+      let rtl = Rtl.elaborate ~width:16 design in
+      let report = Rtl.check rtl in
+      let bad = blocking report.Check.findings in
+      List.iter (fun f -> Printf.printf "%s: %s\n" name (Format.asprintf "%a" Finding.pp f)) bad;
+      Alcotest.(check int) (name ^ " has no blocking findings") 0 (List.length bad);
+      Alcotest.(check bool) (name ^ " is clean") true (Check.clean report);
+      Alcotest.(check int)
+        (name ^ " has zero trigger candidates")
+        0
+        (List.length (with_rule "rare-net" report.Check.findings)))
+    (clean_designs ())
+
+let injection_for design op =
+  let nc = Copy.index design.Design.spec { Copy.op; phase = Copy.NC } in
+  {
+    Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+    inj_type = Spec.iptype_of_op design.Design.spec op;
+    trojan =
+      Trojan.make
+        (Trojan.Combinational
+           { a_pattern = 0xDEAD; b_pattern = 0xBEEF; mask = 0xFFFF })
+        (Trojan.Xor_offset 0xFF);
+  }
+
+let test_rare_flags_rtl_injection () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 ~injections:[ injection_for design 4 ] design in
+  let report = Rtl.check rtl in
+  Alcotest.(check bool) "trigger candidates found" true
+    (with_rule "rare-net" report.Check.findings <> []);
+  Alcotest.(check bool) "not clean" false (Check.clean report)
+
+let test_taint_flags_comparator_bypass () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 ~seeded_bug:Rtl.Comparator_skip design in
+  let report = Rtl.check rtl in
+  let errs = Check.errors report in
+  Alcotest.(check bool) "taint errors reported" true (errs <> []);
+  Alcotest.(check bool) "an output is unguarded" true
+    (with_rule "unguarded-output" errs <> []);
+  Alcotest.(check bool) "exit code is Lint" true
+    (Check.exit_code report = Thr_util.Exit_code.Lint)
+
+let test_elab_assertion_catches_bypass () =
+  (* the post-elaboration assertion itself must reject the mutant when it
+     is not explicitly seeded (simulate by running taint on the mutant) *)
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 ~seeded_bug:Rtl.Comparator_skip design in
+  let fs, _ =
+    Taint.analyse
+      ~vendor_of:(Rtl.vendor_of rtl)
+      ~mismatch:rtl.Rtl.mismatch rtl.Rtl.netlist
+  in
+  Alcotest.(check bool) "assertion condition trips" true
+    (List.exists (fun f -> f.Finding.severity = Finding.Error) fs)
+
+(* --------------------------- reporting ---------------------------- *)
+
+let test_report_json_and_render () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 design in
+  let report = Rtl.check rtl in
+  let json = Check.to_json report in
+  Alcotest.(check (option bool)) "clean in json" (Some true)
+    (Thr_util.Json.mem_bool "clean" json);
+  Alcotest.(check bool) "render mentions verdict" true
+    (contains (Check.render report) "clean")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "all rules fire" `Quick test_lint_rules_fire;
+          Alcotest.test_case "clean netlist" `Quick test_lint_clean_netlist;
+          Alcotest.test_case "const values" `Quick test_const_values;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "propagation" `Quick test_taint_propagation;
+          Alcotest.test_case "unguarded output" `Quick test_taint_unguarded_output;
+          Alcotest.test_case "diversity" `Quick test_taint_diversity;
+        ] );
+      ( "rare",
+        [
+          Alcotest.test_case "probability model" `Quick test_prob_model;
+          Alcotest.test_case "counter converges" `Quick test_prob_counter_converges;
+          Alcotest.test_case "flags seeded trojans" `Quick test_rare_flags_seeded_trojans;
+        ] );
+      ( "elaborations",
+        [
+          Alcotest.test_case "clean designs are clean" `Quick
+            test_clean_elaborations_are_clean;
+          Alcotest.test_case "rtl injection flagged" `Quick
+            test_rare_flags_rtl_injection;
+          Alcotest.test_case "comparator bypass flagged" `Quick
+            test_taint_flags_comparator_bypass;
+          Alcotest.test_case "elab assertion trips" `Quick
+            test_elab_assertion_catches_bypass;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json and render" `Quick test_report_json_and_render;
+        ] );
+    ]

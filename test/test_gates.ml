@@ -208,6 +208,63 @@ let test_and_or_list () =
   Alcotest.(check bool) "one false kills and" false (Sim.output sim "all");
   Alcotest.(check bool) "or still true" true (Sim.output sim "any")
 
+(* ------------------------ graph traversal ------------------------- *)
+
+let test_readers_fanout () =
+  let nl = Netlist.create ~name:"rd" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let x = Netlist.and_ nl a b in
+  let y = Netlist.or_ nl x a in
+  let q = Netlist.dff nl x in
+  Netlist.output nl "o" y;
+  Netlist.output nl "q" q;
+  Netlist.finalise nl;
+  let idx = Netlist.net_index in
+  let rd = Netlist.readers nl in
+  let fo = Netlist.fanout nl in
+  Alcotest.(check (list int)) "readers of x: y and the DFF output"
+    [ idx y; idx q ]
+    (List.map idx rd.(idx x));
+  Alcotest.(check (list int)) "readers of a: x then y" [ idx x; idx y ]
+    (List.map idx rd.(idx a));
+  Alcotest.(check (list int)) "q drives nothing" [] (List.map idx rd.(idx q));
+  Alcotest.(check bool) "fanout matches readers lengths" true
+    (Array.for_all2 (fun l n -> List.length l = n) rd fo)
+
+let test_fold_cone () =
+  let nl = Netlist.create ~name:"cone" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let c = Netlist.input nl "c" in
+  let x = Netlist.and_ nl a b in
+  let q = Netlist.dff nl x in
+  let y = Netlist.or_ nl q c in
+  Netlist.output nl "o" y;
+  Netlist.finalise nl;
+  let idx = Netlist.net_index in
+  let sorted_cone ?through_dffs roots =
+    Netlist.fold_cone nl ?through_dffs ~roots (fun acc n -> idx n :: acc) []
+    |> List.sort compare
+  in
+  (* through registers (default): the whole history of y *)
+  Alcotest.(check (list int)) "cone of y through dffs"
+    (List.sort compare [ idx a; idx b; idx c; idx x; idx q; idx y ])
+    (sorted_cone [ y ]);
+  (* combinational only: stops at the register boundary *)
+  Alcotest.(check (list int)) "combinational cone of y"
+    (List.sort compare [ idx c; idx q; idx y ])
+    (sorted_cone ~through_dffs:false [ y ]);
+  (* the membership mask agrees with the fold *)
+  let mask = Netlist.in_cone nl ~through_dffs:false ~roots:[ y ] () in
+  let members = ref [] in
+  Array.iteri (fun i m -> if m then members := i :: !members) mask;
+  Alcotest.(check (list int)) "in_cone mask agrees"
+    (sorted_cone ~through_dffs:false [ y ])
+    (List.sort compare !members);
+  (* every net is in the cone of all outputs plus dff data nets *)
+  Alcotest.(check int) "full design cone covers everything"
+    (Netlist.n_nets nl)
+    (Netlist.fold_cone nl ~roots:[ y ] (fun n _ -> n + 1) 0)
+
 (* Property: an 8-bit ripple counter built from gates tracks an integer
    counter over a random enable sequence. *)
 let counter_matches_integer =
@@ -276,6 +333,113 @@ let test_verilog_gate_counts () =
   Alcotest.(check int) "assigns" 3 (count "assign ");
   Alcotest.(check int) "regs" 1 (count "  reg ")
 
+(* Build a random netlist from a seed script: each step picks a gate kind
+   and operands among the nets built so far.  Reader-less nets are OR'd
+   into a sink output so the emitted Verilog has no dangling wires by
+   construction — which is exactly what the self-lint then verifies. *)
+let random_netlist script =
+  let nl = Netlist.create ~name:"rand" in
+  let nets = ref [| Netlist.input nl "a"; Netlist.input nl "b" |] in
+  let push n = nets := Array.append !nets [| n |] in
+  List.iter
+    (fun (kind, i, j) ->
+      let pick k = !nets.(k mod Array.length !nets) in
+      let x = pick i and y = pick j in
+      push
+        (match kind mod 8 with
+        | 0 -> Netlist.and_ nl x y
+        | 1 -> Netlist.or_ nl x y
+        | 2 -> Netlist.xor_ nl x y
+        | 3 -> Netlist.nand_ nl x y
+        | 4 -> Netlist.nor_ nl x y
+        | 5 -> Netlist.not_ nl x
+        | 6 -> Netlist.mux nl ~sel:x ~t0:y ~t1:(pick (i + j))
+        | _ -> Netlist.dff nl ~init:(i mod 2 = 0) x))
+    script;
+  let fo = Netlist.fanout nl in
+  let dangling =
+    Array.to_list !nets
+    |> List.filter (fun n -> fo.(Netlist.net_index n) = 0)
+  in
+  Netlist.output nl "sink" (Netlist.or_list nl dangling);
+  Netlist.finalise nl;
+  nl
+
+(* The emitter's own lint: every declared wire has exactly one driver
+   (one [assign]), every reg exactly two non-blocking assignments (reset
+   arm + update arm), and every declared name is referenced at least
+   once beyond its declaration and driver. *)
+let verilog_self_lint v =
+  let ident_counts = Hashtbl.create 64 in
+  let n = String.length v in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident v.[!i] then begin
+      let start = !i in
+      while !i < n && is_ident v.[!i] do incr i done;
+      let tok = String.sub v start (!i - start) in
+      Hashtbl.replace ident_counts tok
+        (1 + Option.value ~default:0 (Hashtbl.find_opt ident_counts tok))
+    end
+    else incr i
+  done;
+  let count_sub needle =
+    let nn = String.length needle in
+    let c = ref 0 in
+    for k = 0 to n - nn do
+      if String.sub v k nn = needle then incr c
+    done;
+    !c
+  in
+  let occurrences tok =
+    Option.value ~default:0 (Hashtbl.find_opt ident_counts tok)
+  in
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  String.split_on_char '\n' v
+  |> List.iter (fun line ->
+         let declared prefix =
+           if
+             String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+           then
+             Some
+               (String.sub line (String.length prefix)
+                  (String.length line - String.length prefix - 1))
+           else None
+         in
+         (match declared "  wire " with
+         | Some w ->
+             check
+               (count_sub (Printf.sprintf "  assign %s = " w) = 1)
+               (w ^ " must have exactly one driver");
+             check (occurrences w >= 3) (w ^ " is never read")
+         | None -> ());
+         (match declared "  reg " with
+         | Some r ->
+             check
+               (count_sub (Printf.sprintf "      %s <= " r) = 2)
+               (r ^ " must be assigned in both always arms");
+             check (occurrences r >= 4) (r ^ " is never read")
+         | None -> ()));
+  List.rev !failures
+
+let verilog_emits_linted_netlists =
+  QCheck.Test.make ~name:"emitted verilog passes self-lint" ~count:40
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun script ->
+      let nl = random_netlist script in
+      match verilog_self_lint (Verilog.to_string nl) with
+      | [] -> true
+      | fs -> QCheck.Test.fail_report (String.concat "; " fs))
+
 let test_verilog_module_name_override () =
   let nl = Netlist.create ~name:"x" in
   let a = Netlist.input nl "a" in
@@ -318,11 +482,17 @@ let () =
           Alcotest.test_case "frozen" `Quick test_frozen_after_finalise;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "readers and fanout" `Quick test_readers_fanout;
+          Alcotest.test_case "fold_cone" `Quick test_fold_cone;
+        ] );
       ( "verilog",
         [
           Alcotest.test_case "structure" `Quick test_verilog_structure;
           Alcotest.test_case "gate counts" `Quick test_verilog_gate_counts;
           Alcotest.test_case "module name override" `Quick
             test_verilog_module_name_override;
+          QCheck_alcotest.to_alcotest verilog_emits_linted_netlists;
         ] );
     ]

@@ -210,6 +210,50 @@ let test_design_validate_catches_type_violation () =
   let bad = Design.make d.Design.spec d.Design.schedule (Binding.make d.Design.spec vendors) in
   Alcotest.(check bool) "caught" true (Design.validate bad <> [])
 
+(* Property: [Design.validate] returns [] exactly when every conflict
+   pair from [Rules] is vendor-diverse.  Start from a known-valid design
+   under a generous area limit (so diversity is the only live
+   constraint), then flip a random set of copies onto random
+   type-compatible vendors; flipping nothing keeps the valid side of the
+   iff exercised. *)
+let validate_iff_rules_diverse =
+  let spec =
+    lazy
+      (Spec.make ~mode:Spec.Detection_and_recovery
+         ~dfg:(Suite.motivational ()) ~catalog:Catalog.table1
+         ~latency_detect:4 ~latency_recover:3 ~area_limit:1_000_000 ())
+  in
+  let base =
+    lazy
+      (match Thr_opt.License_search.search (Lazy.force spec) with
+      | Thr_opt.License_search.Solved { design; _ }, _ -> design
+      | _ -> failwith "no design for the property's spec")
+  in
+  QCheck.Test.make ~name:"validate empty iff rules vendor-diverse" ~count:100
+    QCheck.(list (pair (int_bound 10_000) (int_bound 10_000)))
+    (fun flips ->
+      let spec = Lazy.force spec and base = Lazy.force base in
+      let vendors = Array.copy (Binding.vendors base.Design.binding) in
+      let n = Array.length vendors in
+      List.iter
+        (fun (ci, vi) ->
+          let ci = ci mod n in
+          let ty = Spec.iptype_of_op spec (Copy.of_index spec ci).Copy.op in
+          let candidates =
+            List.filter
+              (fun v -> Catalog.offers Catalog.table1 v ty)
+              (Catalog.vendors Catalog.table1)
+          in
+          vendors.(ci) <- List.nth candidates (vi mod List.length candidates))
+        flips;
+      let d =
+        Design.make spec base.Design.schedule (Binding.make spec vendors)
+      in
+      let diverse =
+        Rules.violations spec ~vendor_of:(fun i -> vendors.(i)) = []
+      in
+      (Design.validate d = []) = diverse)
+
 let test_design_report_renders () =
   let d = handmade_design () in
   let s = Format.asprintf "%a" Design.report d in
@@ -253,5 +297,6 @@ let () =
           Alcotest.test_case "catches type violation" `Quick
             test_design_validate_catches_type_violation;
           Alcotest.test_case "report renders" `Quick test_design_report_renders;
+          QCheck_alcotest.to_alcotest validate_iff_rules_diverse;
         ] );
     ]

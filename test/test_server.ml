@@ -262,6 +262,51 @@ let test_service_stats () =
   Alcotest.(check bool) "latency percentiles present" true
     (p "p50_ms" <> None && p "p95_ms" <> None && p "p50_ms" <= p "p95_ms")
 
+let lint_line ?(extra = []) text =
+  Json.to_string
+    (Json.Obj ([ ("op", Json.String "lint"); ("dfg", Json.String text) ] @ extra))
+
+let test_service_lint () =
+  let s = Service.create () in
+  let r = Service.handle_line s (lint_line poly_a) in
+  Alcotest.(check (option string)) "status ok" (Some "ok")
+    (Json.mem_str "status" r);
+  Alcotest.(check (option bool)) "clean elaboration" (Some true)
+    (Json.mem_bool "clean" r);
+  let report_int name r =
+    Option.bind (Json.member "report" r) (Json.mem_int name)
+  in
+  Alcotest.(check (option int)) "no errors" (Some 0) (report_int "errors" r);
+  (* lint solves (or reuses) the same cached design as solve *)
+  let r2 = Service.handle_line s (solve_line poly_a) in
+  Alcotest.(check (option bool)) "design cached by lint" (Some true)
+    (Json.mem_bool "cache_hit" r2);
+  (* the comparator-bypass mutant must be flagged by the taint pass *)
+  let rb =
+    Service.handle_line s
+      (lint_line ~extra:[ ("mutant", Json.String "bypass") ] poly_a)
+  in
+  Alcotest.(check (option bool)) "bypass not clean" (Some false)
+    (Json.mem_bool "clean" rb);
+  Alcotest.(check bool) "bypass has errors" true
+    (match report_int "errors" rb with Some n -> n > 0 | None -> false);
+  (* the canned Trojan must be flagged by the rare-net pass *)
+  let rt =
+    Service.handle_line s
+      (lint_line ~extra:[ ("mutant", Json.String "trojan") ] poly_a)
+  in
+  Alcotest.(check (option bool)) "trojan not clean" (Some false)
+    (Json.mem_bool "clean" rt);
+  (* malformed lint options are structured bad_request errors *)
+  Alcotest.(check (option string)) "bad mutant" (Some "bad_request")
+    (err_code
+       (Service.handle_line s
+          (lint_line ~extra:[ ("mutant", Json.String "wat") ] poly_a)));
+  Alcotest.(check (option string)) "bad width" (Some "bad_request")
+    (err_code
+       (Service.handle_line s
+          (lint_line ~extra:[ ("width", Json.Int 2) ] poly_a)))
+
 let test_service_config_invalid () =
   Alcotest.check_raises "max_queue 0"
     (Invalid_argument "Service.create: max_queue must be >= 1") (fun () ->
@@ -386,6 +431,7 @@ let () =
           Alcotest.test_case "bad requests" `Quick test_service_bad_request;
           Alcotest.test_case "solve then hit" `Quick test_service_solve_and_hit;
           Alcotest.test_case "stats" `Quick test_service_stats;
+          Alcotest.test_case "lint" `Quick test_service_lint;
           Alcotest.test_case "config invalid" `Quick test_service_config_invalid;
         ] );
       ( "e2e",

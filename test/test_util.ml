@@ -349,6 +349,29 @@ let test_table_separator () =
   in
   Alcotest.(check int) "four rules" 4 (List.length rules)
 
+(* ---------------------------- exit codes -------------------------- *)
+
+module Exit_code = Thr_util.Exit_code
+
+let test_exit_code_table () =
+  Alcotest.(check (list int)) "ascending dense codes" [ 0; 1; 2; 3; 4 ]
+    (List.map Exit_code.code Exit_code.all);
+  Alcotest.(check int) "ok" 0 (Exit_code.code Exit_code.Ok);
+  Alcotest.(check int) "usage" 1 (Exit_code.code Exit_code.Usage);
+  Alcotest.(check int) "infeasible" 2 (Exit_code.code Exit_code.Infeasible);
+  Alcotest.(check int) "budget" 3 (Exit_code.code Exit_code.Budget);
+  Alcotest.(check int) "lint" 4 (Exit_code.code Exit_code.Lint);
+  (* descriptions are one-line, non-empty and pairwise distinct *)
+  let descs = List.map Exit_code.describe Exit_code.all in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "non-empty" true (String.length d > 0);
+      Alcotest.(check bool) "single line" false (String.contains d '\n'))
+    descs;
+  Alcotest.(check int) "distinct descriptions"
+    (List.length descs)
+    (List.length (List.sort_uniq compare descs))
+
 let () =
   Alcotest.run "util"
     [
@@ -400,4 +423,6 @@ let () =
           Alcotest.test_case "alignment" `Quick test_table_alignment;
           Alcotest.test_case "separator" `Quick test_table_separator;
         ] );
+      ( "exit_code",
+        [ Alcotest.test_case "table" `Quick test_exit_code_table ] );
     ]
