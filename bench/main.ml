@@ -448,6 +448,131 @@ let rtl () =
     "(each netlist contains the shared functional units, operand muxes, \
      result registers, step counter and the NC/RC comparator)@."
 
+(* ------------------------------- sim ------------------------------- *)
+
+(* set from --min-speedup in [main]; 0 = report only, do not enforce *)
+let min_speedup = ref 0.0
+
+module P = T.Gate_packed
+
+(* vectors/second of [f], repeating the whole batch until >= 0.25s of
+   wall clock so small netlists aren't timed by clock granularity *)
+let rate f n_vectors =
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < 0.25 do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int (!reps * n_vectors) /. !elapsed
+
+(* The campaign-class netlists of the [rtl] experiment, elaborated once. *)
+let sim_netlists () =
+  List.filter_map
+    (fun (name, catalog, l_det, l_rec, area) ->
+      let dfg = Option.get (T.Benchmarks.find name) in
+      let spec =
+        T.Spec.make ~dfg ~catalog ~latency_detect:l_det ~latency_recover:l_rec
+          ~area_limit:area ()
+      in
+      match T.Optimize.run spec with
+      | Error _ -> None
+      | Ok { design; _ } -> Some (name, T.Rtl.elaborate ~width:16 design))
+    [
+      ("motivational", T.Catalog.table1, 4, 3, 40_000);
+      ("diff2", T.Catalog.eight_vendors, 5, 4, 90_000);
+      ("fir16", T.Catalog.eight_vendors, 7, 5, 300_000);
+    ]
+
+type sim_row = {
+  sim_bench : string;
+  sim_nets : int;
+  sim_scalar : float;   (** vectors/s, scalar reference *)
+  sim_packed : float;   (** vectors/s, packed, one domain *)
+  sim_sharded : float;  (** vectors/s, packed, --jobs domains *)
+}
+
+let sim_measure (name, rtl) =
+  let nl = rtl.T.Rtl.netlist in
+  let cycles = 4 in
+  (* equivalence spot-check before timing anything *)
+  let prng = T.Prng.create ~seed:42 in
+  let check = P.batch ~prng ~cycles 200 in
+  let oracle = P.run_reference nl check in
+  assert (P.equal_outputs (P.run (P.create nl) check) oracle);
+  assert (P.equal_outputs (P.run_sharded ~jobs:(max 2 !jobs) nl check) oracle);
+  (* smaller batch for the scalar engine so one rep stays sub-second on
+     the large netlists; rates are per-vector so they stay comparable *)
+  let scalar_n = P.lanes * 4 in
+  let packed_n = P.lanes * 64 in
+  let scalar_batch = P.batch ~prng ~cycles scalar_n in
+  let packed_batch = P.batch ~prng ~cycles packed_n in
+  let sim = P.create nl in
+  {
+    sim_bench = name;
+    sim_nets = T.Netlist.n_nets nl;
+    sim_scalar = rate (fun () -> ignore (P.run_reference nl scalar_batch)) scalar_n;
+    sim_packed = rate (fun () -> ignore (P.run sim packed_batch)) packed_n;
+    sim_sharded =
+      rate (fun () -> ignore (P.run_sharded ~jobs:!jobs nl packed_batch)) packed_n;
+  }
+
+let sim_measurements () = List.map sim_measure (sim_netlists ())
+
+let sim () =
+  Format.printf
+    "@.== Gate-simulation throughput (scalar vs %d-lane packed) ==@." P.lanes;
+  let rows = sim_measurements () in
+  let table =
+    T.Tablefmt.create
+      ~aligns:[ T.Tablefmt.Left; Right; Right; Right; Right; Right; Right ]
+      ~header:
+        [
+          "Benchmark"; "nets"; "scalar v/s"; "packed v/s"; "speedup";
+          Printf.sprintf "sharded v/s (x%d)" !jobs; "speedup";
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      T.Tablefmt.add_row table
+        [
+          r.sim_bench;
+          string_of_int r.sim_nets;
+          Printf.sprintf "%.3g" r.sim_scalar;
+          Printf.sprintf "%.3g" r.sim_packed;
+          Printf.sprintf "%.1fx" (r.sim_packed /. r.sim_scalar);
+          Printf.sprintf "%.3g" r.sim_sharded;
+          Printf.sprintf "%.1fx" (r.sim_sharded /. r.sim_scalar);
+        ])
+    rows;
+  Format.printf "%s" (T.Tablefmt.render table);
+  Format.printf
+    "(4-cycle random vectors; packed = compiled instruction tape, %d \
+     vectors per word; all three engines verified bit-identical first)@."
+    P.lanes;
+  if !min_speedup > 0.0 then begin
+    (* enforce on the mid-size netlist: big enough to be representative,
+       small enough that CI runners measure it stably *)
+    match List.find_opt (fun r -> r.sim_bench = "diff2") rows with
+    | None ->
+        Format.printf "--min-speedup: no diff2 row measured@.";
+        exit 1
+    | Some r ->
+        let s = r.sim_packed /. r.sim_scalar in
+        if s < !min_speedup then begin
+          Format.printf
+            "FAIL: packed/scalar speedup %.1fx on diff2 below required %.1fx@."
+            s !min_speedup;
+          exit 1
+        end
+        else
+          Format.printf "speedup gate: %.1fx >= %.1fx on diff2, ok@." s
+            !min_speedup
+  end
+
 (* ------------------------------ json ------------------------------ *)
 
 (* Machine-readable solver metrics, written to BENCH_solvers.json with
@@ -688,6 +813,20 @@ let json () =
               ("cold_pivots", J.Int cold_total);
               ("pivot_ratio", J.Float ratio) ] );
         ("service", service);
+        ( "sim",
+          J.List
+            (List.map
+               (fun r ->
+                 J.Obj
+                   [ ("bench", J.String r.sim_bench);
+                     ("nets", J.Int r.sim_nets);
+                     ("scalar_vps", J.Float r.sim_scalar);
+                     ("packed_vps", J.Float r.sim_packed);
+                     ("sharded_vps", J.Float r.sim_sharded);
+                     ("packed_speedup", J.Float (r.sim_packed /. r.sim_scalar));
+                     ( "sharded_speedup",
+                       J.Float (r.sim_sharded /. r.sim_scalar) ) ])
+               (sim_measurements ())) );
         ("jobs", J.Int !jobs) ]
   in
   let oc = open_out "BENCH_solvers.json" in
@@ -801,6 +940,7 @@ let experiments =
     ("ablation", ablation);
     ("testtime", testtime);
     ("rtl", rtl);
+    ("sim", sim);
     ("timing", timing);
     ("json", json);
   ]
@@ -817,6 +957,13 @@ let () =
   let set_trace path =
     T.Trace.enable ();
     at_exit (fun () -> T.Trace.write_file path)
+  in
+  let set_min_speedup s =
+    match float_of_string_opt s with
+    | Some x -> min_speedup := x
+    | None ->
+        Format.printf "--min-speedup expects a number, got %S@." s;
+        exit 1
   in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -837,6 +984,15 @@ let () =
         parse acc rest
     | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
         set_trace (String.sub a 8 (String.length a - 8));
+        parse acc rest
+    | [ "--min-speedup" ] ->
+        Format.printf "--min-speedup expects a number argument@.";
+        exit 1
+    | "--min-speedup" :: x :: rest ->
+        set_min_speedup x;
+        parse acc rest
+    | a :: rest when String.length a > 14 && String.sub a 0 14 = "--min-speedup=" ->
+        set_min_speedup (String.sub a 14 (String.length a - 14));
         parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in

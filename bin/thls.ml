@@ -228,7 +228,17 @@ let simulate_cmd =
   let seed_flag =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run name cat latency latency_recover area runs seed jobs trace =
+  let vectors_flag =
+    Arg.(
+      value & opt int 0
+      & info [ "vectors" ] ~docv:"N"
+          ~doc:
+            "After the campaign, co-simulate $(docv) random input vectors \
+             of the clean elaborated netlist against the behavioural model \
+             on the bit-parallel gate engine (0 = skip).  Exits non-zero \
+             on any disagreement.")
+  in
+  let run name cat latency latency_recover area runs seed vectors jobs trace =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -251,13 +261,27 @@ let simulate_cmd =
             let prng = T.Prng.create ~seed in
             let config = { T.Campaign.default_config with n_runs = runs } in
             let result = T.Campaign.run ~config ~jobs ~prng design in
-            Format.printf "%a@." T.Campaign.pp_result result)
+            Format.printf "%a@." T.Campaign.pp_result result;
+            if vectors > 0 then begin
+              let cs = T.Campaign.cosim ~config ~jobs ~prng ~vectors design in
+              if T.Campaign.cosim_ok cs then
+                Format.printf
+                  "cosim: %d vectors, netlist matches the behavioural model@."
+                  cs.T.Campaign.cosim_vectors
+              else begin
+                Format.printf
+                  "cosim: %d/%d vectors disagree with the behavioural model@."
+                  cs.T.Campaign.cosim_mismatches cs.T.Campaign.cosim_vectors;
+                exit 1
+              end
+            end)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
-      $ area_flag $ runs_flag $ seed_flag $ jobs_flag $ trace_flag)
+      $ area_flag $ runs_flag $ seed_flag $ vectors_flag $ jobs_flag
+      $ trace_flag)
 
 let export_ilp_cmd =
   let doc =
@@ -411,13 +435,23 @@ let lint_cmd =
       value & opt mutant_conv `None
       & info [ "mutant" ] ~docv:"KIND" ~doc:"none | bypass | trojan.")
   in
+  let empirical_flag =
+    Arg.(
+      value & opt int 0
+      & info [ "empirical" ] ~docv:"N"
+          ~doc:
+            "Cross-check the rare-net scores against a Monte-Carlo \
+             estimate over $(docv) packed simulation vectors (0 = skip).  \
+             Reports Info findings only; never changes the exit code.")
+  in
   let run name cat detection_only latency latency_recover area width threshold
-      mutant json trace =
+      mutant empirical json jobs trace =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
         exit 1
     | Ok dfg, Ok catalog -> (
+        check_jobs jobs;
         setup_trace trace;
         let spec =
           make_spec dfg catalog ~detection_only ~latency ~latency_recover ~area
@@ -441,7 +475,11 @@ let lint_cmd =
                     ~injections:[ T.Rtl.canned_injection ~width design ]
                     design
             in
-            let report = T.Rtl.check ?rare_threshold:threshold rtl in
+            let report =
+              T.Rtl.check ?rare_threshold:threshold
+                ?empirical:(if empirical > 0 then Some empirical else None)
+                ~jobs rtl
+            in
             if json then
               print_endline (Json.to_string ~pretty:true (T.Check.to_json report))
             else print_string (T.Check.render report);
@@ -452,7 +490,7 @@ let lint_cmd =
     Term.(
       const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
       $ latency_rec_flag $ area_flag $ width_flag $ threshold_flag
-      $ mutant_flag $ json_flag $ trace_flag)
+      $ mutant_flag $ empirical_flag $ json_flag $ jobs_flag $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve / submit: the optimisation service and its line client.       *)

@@ -30,7 +30,55 @@ let c_info = Metrics.counter "thr_check_findings_info"
 let count_severity fs sev =
   List.length (List.filter (fun f -> f.Finding.severity = sev) fs)
 
-let run ?taint ?rare_threshold ?prob_iters nl =
+(* Cross-check the analytic rare-net candidates against a packed-engine
+   Monte-Carlo estimate.  Everything reported here is Info: the
+   empirical pass corroborates or questions the model, it never changes
+   the exit code (sampling noise must not flake a CI lint). *)
+let empirical_findings ~jobs ~vectors nl rare_findings =
+  let q = Prob.empirical ~jobs ~seed:0x7105 ~vectors nl in
+  let activation i = Float.min q.(i) (1.0 -. q.(i)) in
+  let candidate_idx =
+    List.filter_map
+      (fun f ->
+        if f.Finding.rule = "rare-net" then f.Finding.net else None)
+      rare_findings
+    |> List.sort_uniq Stdlib.compare
+  in
+  let corroborated = ref 0 and contradicted = ref 0 in
+  let per_net =
+    Netlist.nets_in_order nl
+    |> Array.to_list
+    |> List.filter_map (fun net ->
+           let i = Netlist.net_index net in
+           if not (List.mem i candidate_idx) then None
+           else begin
+             let a = activation i in
+             (* a true trigger candidate should essentially never toggle
+                in a few thousand vectors; anything past 1% is the model
+                and the simulation disagreeing *)
+             let agrees = a < 0.01 in
+             if agrees then incr corroborated else incr contradicted;
+             Some
+               (Finding.make ~pass:Finding.Rare ~severity:Finding.Info
+                  ~rule:"rare-empirical" ~net
+                  (Printf.sprintf
+                     "%s: empirical activation %.3g over %d packed vectors \
+                      %s the analytic rare-net score"
+                     (Finding.net_label nl net) a vectors
+                     (if agrees then "corroborates" else "contradicts")))
+           end)
+  in
+  let summary =
+    Finding.make ~pass:Finding.Rare ~severity:Finding.Info ~rule:"empirical"
+      (Printf.sprintf
+         "empirical cross-check: %d vectors on the packed engine; %d/%d \
+          rare-net candidate(s) corroborated"
+         vectors !corroborated
+         (!corroborated + !contradicted))
+  in
+  summary :: per_net
+
+let run ?taint ?rare_threshold ?prob_iters ?empirical ?(jobs = 1) nl =
   Metrics.incr runs;
   let name = Netlist.name nl in
   let lint_findings =
@@ -59,8 +107,17 @@ let run ?taint ?rare_threshold ?prob_iters nl =
     Trace.with_span "check.rare" ~args:[ ("netlist", name) ] (fun () ->
         Prob.analyse ?iters:prob_iters ?threshold:rare_threshold ?exclude nl)
   in
+  let empirical_fs =
+    match empirical with
+    | None -> []
+    | Some vectors ->
+        Trace.with_span "check.empirical"
+          ~args:[ ("netlist", name); ("vectors", string_of_int vectors) ]
+          (fun () -> empirical_findings ~jobs ~vectors nl rare_findings)
+  in
   let findings =
-    List.sort Finding.compare (lint_findings @ taint_findings @ rare_findings)
+    List.sort Finding.compare
+      (lint_findings @ taint_findings @ rare_findings @ empirical_fs)
   in
   Metrics.add c_error (count_severity findings Finding.Error);
   Metrics.add c_warning (count_severity findings Finding.Warning);

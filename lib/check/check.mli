@@ -2,7 +2,7 @@
     one netlist and package the results.
 
     Instrumented with {!Thr_obs}: spans [check.lint] / [check.taint] /
-    [check.rare] and counters [thr_check_runs] /
+    [check.rare] / [check.empirical] and counters [thr_check_runs] /
     [thr_check_findings_{error,warning,info}]. *)
 
 type taint_spec = {
@@ -25,10 +25,19 @@ val run :
   ?taint:taint_spec ->
   ?rare_threshold:float ->
   ?prob_iters:int ->
+  ?empirical:int ->
+  ?jobs:int ->
   Thr_gates.Netlist.t ->
   report
 (** Run every pass (taint only when [taint] is given).  The netlist must
-    be finalised. *)
+    be finalised.
+
+    [empirical] (off by default) additionally cross-checks the analytic
+    rare-net candidates against a {!Prob.empirical} Monte-Carlo estimate
+    over that many packed vectors, sharded over [jobs] (default 1)
+    domains.  The cross-check reports Info findings only (rules
+    [rare-empirical] per candidate and one [empirical] summary), so it
+    never changes the exit code. *)
 
 val errors : report -> Finding.t list
 

@@ -1,4 +1,7 @@
 module Netlist = Thr_gates.Netlist
+module Packed = Thr_gates.Packed
+module Prng = Thr_util.Prng
+module Dpool = Thr_util.Dpool
 
 (* Calibrated between the two populations this repo elaborates: a
    full-width trigger condition (>= 32 specified pattern bits) scores
@@ -212,6 +215,84 @@ let signal_probabilities ?(iters = default_iters) nl =
   (* settle gate probabilities on the final register values *)
   sweep p tags;
   p
+
+(* Monte-Carlo cross-check of the analytic model above: simulate random
+   vectors on the bit-parallel engine and count how often each net is 1.
+   One generator per vector is split off up front (sequentially), each
+   lane-word chunk copies its generators before drawing, and shard
+   counts are plain sums — so the estimate is bit-identical for any
+   [jobs] and any lane packing. *)
+let empirical ?(cycles = 8) ?(jobs = 1) ~seed ~vectors nl =
+  if vectors < 1 then invalid_arg "Prob.empirical: vectors < 1";
+  if cycles < 1 then invalid_arg "Prob.empirical: cycles < 1";
+  Netlist.finalise nl;
+  let tape = Packed.tape nl in
+  let names = Netlist.input_names nl in
+  let nets = Netlist.nets_in_order nl in
+  let n = Netlist.n_nets nl in
+  let prng = Prng.create ~seed in
+  let gens = Array.make vectors prng in
+  for j = 0 to vectors - 1 do
+    gens.(j) <- Prng.split prng
+  done;
+  let count_range lo hi =
+    let counts = Array.make n 0 in
+    let sim = Packed.of_tape tape in
+    let j = ref lo in
+    while !j < hi do
+      let cnt = min Packed.lanes (hi - !j) in
+      let mask = Packed.lane_mask cnt in
+      Packed.reset sim;
+      let gs = Array.init cnt (fun k -> Prng.copy gens.(!j + k)) in
+      for _ = 1 to cycles do
+        List.iter
+          (fun nm ->
+            let w = ref 0 in
+            for k = 0 to cnt - 1 do
+              if Prng.bool gs.(k) then w := !w lor (1 lsl k)
+            done;
+            Packed.set_input sim nm !w)
+          names;
+        Packed.clock sim;
+        Array.iter
+          (fun net ->
+            let i = Netlist.net_index net in
+            counts.(i) <-
+              counts.(i) + Packed.popcount (Packed.peek sim net land mask))
+          nets
+      done;
+      j := !j + cnt
+    done;
+    counts
+  in
+  let words = (vectors + Packed.lanes - 1) / Packed.lanes in
+  let counts =
+    if jobs <= 1 || words <= 1 then count_range 0 vectors
+    else begin
+      let shards = min words (jobs * 2) in
+      let per = (words + shards - 1) / shards in
+      let ranges =
+        List.init shards (fun s ->
+            let lo = s * per * Packed.lanes in
+            (lo, min vectors (lo + (per * Packed.lanes))))
+        |> List.filter (fun (lo, hi) -> lo < hi)
+      in
+      let partials =
+        Dpool.run ~jobs (fun pool ->
+            Dpool.map pool (fun (lo, hi) -> count_range lo hi) ranges)
+      in
+      let total = Array.make n 0 in
+      List.iter
+        (fun c ->
+          for i = 0 to n - 1 do
+            total.(i) <- total.(i) + c.(i)
+          done)
+        partials;
+      total
+    end
+  in
+  let samples = float_of_int (vectors * cycles) in
+  Array.map (fun c -> float_of_int c /. samples) counts
 
 let analyse ?iters ?(threshold = default_threshold) ?exclude nl =
   let p = signal_probabilities ?iters nl in

@@ -47,6 +47,29 @@ val signal_probabilities : ?iters:int -> Thr_gates.Netlist.t -> float array
 (** Per-net probability of being 1 (indexed by
     {!Thr_gates.Netlist.net_index}).  Requires a finalised netlist. *)
 
+val empirical :
+  ?cycles:int ->
+  ?jobs:int ->
+  seed:int ->
+  vectors:int ->
+  Thr_gates.Netlist.t ->
+  float array
+(** Monte-Carlo estimate of the same per-net P(1): simulate [vectors]
+    independent random excitations of [cycles] (default 8) clock edges
+    each on the bit-parallel {!Thr_gates.Packed} engine, sampling every
+    net after every edge.  Deterministic in [seed] — one generator per
+    vector is split off up front and shard counts are plain sums, so
+    the result is bit-identical for any [jobs] (lane-word-aligned
+    {!Thr_util.Dpool} fan-out) and any lane packing.
+
+    This is the cross-check behind [thls lint --empirical]: the analytic
+    model above can be fooled in both directions (correlation it does
+    not track, conditioning it cannot see), and a few thousand packed
+    vectors are cheap — a net the model calls rare that toggles freely
+    under simulation deserves a second look, and vice versa.
+
+    @raise Invalid_argument if [vectors < 1] or [cycles < 1]. *)
+
 val analyse :
   ?iters:int ->
   ?threshold:float ->

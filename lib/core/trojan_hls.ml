@@ -61,6 +61,7 @@ module Lp_format = Thr_ilp.Lp_format
 
 module Netlist = Thr_gates.Netlist
 module Gate_sim = Thr_gates.Sim
+module Gate_packed = Thr_gates.Packed
 module Bus = Thr_gates.Bus
 module Trojan = Thr_trojan.Trojan
 module Trojan_circuits = Thr_trojan.Circuits

@@ -14,6 +14,7 @@ type driver =
 
 type t = {
   nl_name : string;
+  nl_uid : int;                   (* process-unique creation id *)
   mutable drivers : driver array;
   mutable count : int;
   mutable dff_d : net array;      (* data input per DFF; -1 = unconnected *)
@@ -22,11 +23,15 @@ type t = {
   mutable inputs : (string * net) list;   (* reversed *)
   mutable outputs : (string * net) list;  (* reversed *)
   mutable order : net array option;       (* set by finalise *)
+  mutable input_tbl : (string, int) Hashtbl.t option; (* set by finalise *)
 }
+
+let uid_counter = Atomic.make 0
 
 let create ~name =
   {
     nl_name = name;
+    nl_uid = Atomic.fetch_and_add uid_counter 1;
     drivers = Array.make 64 (D_const false);
     count = 0;
     dff_d = Array.make 16 (-1);
@@ -35,7 +40,10 @@ let create ~name =
     inputs = [];
     outputs = [];
     order = None;
+    input_tbl = None;
   }
+
+let uid t = t.nl_uid
 
 let name t = t.nl_name
 
@@ -214,8 +222,18 @@ let finalise t =
         invalid_arg
           (Printf.sprintf "Netlist.finalise: unconnected DFF in %S" t.nl_name)
     done;
-    t.order <- Some order
+    t.order <- Some order;
+    (* Memoise the input-name table once: every simulator built over this
+       netlist (scalar or packed, on any domain) shares it read-only. *)
+    let tbl = Hashtbl.create (max 16 (List.length t.inputs)) in
+    List.iter (fun (nm, n) -> Hashtbl.replace tbl nm n) t.inputs;
+    t.input_tbl <- Some tbl
   end
+
+let input_index t =
+  match t.input_tbl with
+  | Some tbl -> tbl
+  | None -> invalid_arg "Netlist.input_index: finalise first"
 
 let n_nets t = t.count
 

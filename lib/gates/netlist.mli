@@ -19,6 +19,11 @@ val create : name:string -> t
 
 val name : t -> string
 
+val uid : t -> int
+(** Process-unique id assigned at creation.  Compiled forms of a netlist
+    (the {!Packed} instruction tape) are cached on it, so repeated
+    simulator construction over the same netlist never re-walks it. *)
+
 (** {1 Drivers} *)
 
 val input : t -> string -> net
@@ -111,6 +116,12 @@ val net_index : net -> int
 val nets_in_order : t -> net array
 (** All nets in a valid combinational evaluation order (DFF outputs and
     inputs first).  Only available after {!finalise}. *)
+
+val input_index : t -> (string, int) Hashtbl.t
+(** Input name -> {!net_index} table, memoised at {!finalise} and shared
+    by every simulator over this netlist.  Treat as read-only (it is
+    also read concurrently from worker domains).  Only available after
+    {!finalise}. *)
 
 val dff_data : t -> int -> net
 (** Data input net of the [i]-th DFF. *)

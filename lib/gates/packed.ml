@@ -1,0 +1,415 @@
+module Prng = Thr_util.Prng
+module Dpool = Thr_util.Dpool
+module Trace = Thr_obs.Trace
+module Metrics = Thr_obs.Metrics
+
+let lanes = Sys.int_size
+
+let all_lanes = -1 (* every lane bit set *)
+
+let lane_mask k = if k >= lanes then all_lanes else (1 lsl k) - 1
+
+(* 16-bit popcount table; a lane word is at most 63 bits, so four
+   lookups cover it without looping over lanes. *)
+let pop16 =
+  let t = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.set t i (Char.chr (Char.code (Bytes.get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
+let popcount w =
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 48) land 0xffff))
+
+(* ---------------------------- the tape ----------------------------- *)
+
+(* Opcodes of the instruction tape.  D_input nets are not compiled (their
+   values are written by set_input and retained); D_const nets are poked
+   into the state once at reset instead of re-evaluated every pass. *)
+let op_not = 0
+
+let op_and = 1
+
+let op_or = 2
+
+let op_xor = 3
+
+let op_nand = 4
+
+let op_nor = 5
+
+let op_mux = 6 (* a = sel, b = t0, c = t1 *)
+
+let op_dff = 7 (* a = DFF table index *)
+
+type tape = {
+  t_nl : Netlist.t;
+  t_code : int array;
+  t_a : int array;
+  t_b : int array;
+  t_c : int array;
+  t_dst : int array;
+  t_const_net : int array;
+  t_const_val : int array;
+  t_dff_src : int array;  (* data net index per DFF *)
+  t_dff_init : int array; (* power-on lane word per DFF *)
+  t_input_nets : (string * int) array; (* declaration order *)
+  t_out_nets : (string * int) array;   (* declaration order *)
+}
+
+let compiles = Metrics.counter "thr_sim_compiles_total"
+
+let compile_hits = Metrics.counter "thr_sim_compile_cache_hits_total"
+
+let vectors_total = Metrics.counter "thr_sim_vectors_total"
+
+let vps_hist =
+  Metrics.histogram
+    ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+    "thr_sim_vectors_per_second"
+
+let compile nl =
+  Netlist.finalise nl;
+  Trace.with_span "sim.compile"
+    ~args:[ ("netlist", Netlist.name nl) ]
+    (fun () ->
+      Metrics.incr compiles;
+      let order = Netlist.nets_in_order nl in
+      let idx = Netlist.net_index in
+      let n_instr = ref 0 and n_consts = ref 0 in
+      Array.iter
+        (fun net ->
+          match Netlist.driver nl net with
+          | Netlist.D_input _ -> ()
+          | Netlist.D_const _ -> incr n_consts
+          | _ -> incr n_instr)
+        order;
+      let code = Array.make !n_instr 0 in
+      let a = Array.make !n_instr 0 in
+      let b = Array.make !n_instr 0 in
+      let c = Array.make !n_instr 0 in
+      let dst = Array.make !n_instr 0 in
+      let const_net = Array.make !n_consts 0 in
+      let const_val = Array.make !n_consts 0 in
+      let pc = ref 0 and kc = ref 0 in
+      let emit op oa ob oc d =
+        code.(!pc) <- op;
+        a.(!pc) <- oa;
+        b.(!pc) <- ob;
+        c.(!pc) <- oc;
+        dst.(!pc) <- d;
+        incr pc
+      in
+      Array.iter
+        (fun net ->
+          let d = idx net in
+          match Netlist.driver nl net with
+          | Netlist.D_input _ -> ()
+          | Netlist.D_const v ->
+              const_net.(!kc) <- d;
+              const_val.(!kc) <- (if v then all_lanes else 0);
+              incr kc
+          | Netlist.D_not x -> emit op_not (idx x) 0 0 d
+          | Netlist.D_and (x, y) -> emit op_and (idx x) (idx y) 0 d
+          | Netlist.D_or (x, y) -> emit op_or (idx x) (idx y) 0 d
+          | Netlist.D_xor (x, y) -> emit op_xor (idx x) (idx y) 0 d
+          | Netlist.D_nand (x, y) -> emit op_nand (idx x) (idx y) 0 d
+          | Netlist.D_nor (x, y) -> emit op_nor (idx x) (idx y) 0 d
+          | Netlist.D_mux (s, t0, t1) -> emit op_mux (idx s) (idx t0) (idx t1) d
+          | Netlist.D_dff k -> emit op_dff k 0 0 d)
+        order;
+      let n_dffs = Netlist.n_dffs nl in
+      let input_tbl = Netlist.input_index nl in
+      {
+        t_nl = nl;
+        t_code = code;
+        t_a = a;
+        t_b = b;
+        t_c = c;
+        t_dst = dst;
+        t_const_net = const_net;
+        t_const_val = const_val;
+        t_dff_src = Array.init n_dffs (fun k -> idx (Netlist.dff_data nl k));
+        t_dff_init =
+          Array.init n_dffs (fun k ->
+              if Netlist.dff_init nl k then all_lanes else 0);
+        t_input_nets =
+          Netlist.input_names nl
+          |> List.map (fun nm -> (nm, Hashtbl.find input_tbl nm))
+          |> Array.of_list;
+        t_out_nets =
+          Netlist.outputs nl
+          |> List.map (fun (nm, net) -> (nm, idx net))
+          |> Array.of_list;
+      })
+
+(* Compile-once cache keyed on Netlist.uid.  Bounded (reset past a
+   generous cap) so a long-lived process elaborating many netlists does
+   not pin them all; recompiling after a reset is deterministic. *)
+let cache : (int, tape) Hashtbl.t = Hashtbl.create 32
+
+let cache_mutex = Mutex.create ()
+
+let cache_cap = 128
+
+let tape nl =
+  Netlist.finalise nl;
+  let id = Netlist.uid nl in
+  match
+    Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache id)
+  with
+  | Some tp ->
+      Metrics.incr compile_hits;
+      tp
+  | None ->
+      let tp = compile nl in
+      Mutex.protect cache_mutex (fun () ->
+          match Hashtbl.find_opt cache id with
+          | Some existing -> existing (* another domain won the race *)
+          | None ->
+              if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+              Hashtbl.add cache id tp;
+              tp)
+
+(* ------------------------------ state ------------------------------ *)
+
+type t = {
+  tp : tape;
+  values : int array; (* lane word per net *)
+  dffs : int array;   (* lane word per DFF *)
+  ins : (string, int) Hashtbl.t; (* shared read-only name table *)
+}
+
+let apply_consts t =
+  let net = t.tp.t_const_net and v = t.tp.t_const_val in
+  for i = 0 to Array.length net - 1 do
+    t.values.(net.(i)) <- v.(i)
+  done
+
+let of_tape tp =
+  let t =
+    {
+      tp;
+      values = Array.make (Netlist.n_nets tp.t_nl) 0;
+      dffs = Array.copy tp.t_dff_init;
+      ins = Netlist.input_index tp.t_nl;
+    }
+  in
+  apply_consts t;
+  t
+
+let create nl = of_tape (tape nl)
+
+let netlist t = t.tp.t_nl
+
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) 0;
+  apply_consts t;
+  Array.blit t.tp.t_dff_init 0 t.dffs 0 (Array.length t.dffs)
+
+let set_input t nm w =
+  match Hashtbl.find_opt t.ins nm with
+  | Some i -> t.values.(i) <- w
+  | None -> invalid_arg (Printf.sprintf "Packed.set_input: unknown input %S" nm)
+
+(* The hot loop: one int match per instruction (a jump table), unsafe
+   array accesses (indices come from the compiled tape), every bitwise
+   op evaluating all lanes at once.  [lnot] pollutes the unused high
+   lanes with ones; that is deliberate — only active lanes are ever
+   read out, and masking per instruction would double the work. *)
+let settle t =
+  let tp = t.tp in
+  let v = t.values and dffs = t.dffs in
+  let code = tp.t_code
+  and aa = tp.t_a
+  and bb = tp.t_b
+  and cc = tp.t_c
+  and dst = tp.t_dst in
+  for i = 0 to Array.length code - 1 do
+    let a = Array.unsafe_get aa i in
+    let x =
+      match Array.unsafe_get code i with
+      | 0 -> lnot (Array.unsafe_get v a)
+      | 1 ->
+          Array.unsafe_get v a land Array.unsafe_get v (Array.unsafe_get bb i)
+      | 2 ->
+          Array.unsafe_get v a lor Array.unsafe_get v (Array.unsafe_get bb i)
+      | 3 ->
+          Array.unsafe_get v a lxor Array.unsafe_get v (Array.unsafe_get bb i)
+      | 4 ->
+          lnot
+            (Array.unsafe_get v a
+            land Array.unsafe_get v (Array.unsafe_get bb i))
+      | 5 ->
+          lnot
+            (Array.unsafe_get v a
+            lor Array.unsafe_get v (Array.unsafe_get bb i))
+      | 6 ->
+          let s = Array.unsafe_get v a in
+          Array.unsafe_get v (Array.unsafe_get cc i) land s
+          lor (Array.unsafe_get v (Array.unsafe_get bb i) land lnot s)
+      | _ -> Array.unsafe_get dffs a
+    in
+    Array.unsafe_set v (Array.unsafe_get dst i) x
+  done
+
+let clock t =
+  settle t;
+  let v = t.values and dffs = t.dffs and src = t.tp.t_dff_src in
+  for k = 0 to Array.length dffs - 1 do
+    Array.unsafe_set dffs k (Array.unsafe_get v (Array.unsafe_get src k))
+  done;
+  (* expose the new state combinationally, like Sim.clock *)
+  settle t
+
+let peek t net = t.values.(Netlist.net_index net)
+
+let peek_lane t net lane = (peek t net lsr lane) land 1 = 1
+
+let output t nm =
+  match Netlist.find_output t.tp.t_nl nm with
+  | n -> peek t n
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "Packed.output: unknown output %S" nm)
+
+let dff_state t = Array.copy t.dffs
+
+(* ----------------------------- batches ----------------------------- *)
+
+type batch = { b_gens : Prng.t array; b_cycles : int }
+
+let batch ~prng ?(cycles = 1) n =
+  if n < 0 then invalid_arg "Packed.batch: negative size";
+  if cycles < 1 then invalid_arg "Packed.batch: cycles < 1";
+  (* split in vector order so the derivation is independent of packing *)
+  let gens = ref [] in
+  for _ = 1 to n do
+    gens := Prng.split prng :: !gens
+  done;
+  { b_gens = Array.of_list (List.rev !gens); b_cycles = cycles }
+
+let batch_size b = Array.length b.b_gens
+
+let batch_cycles b = b.b_cycles
+
+type outputs = {
+  out_names : string array;
+  out_bits : bool array array;
+}
+
+let equal_outputs x y =
+  x.out_names = y.out_names
+  && Array.length x.out_bits = Array.length y.out_bits
+  && Array.for_all2 (fun a b -> a = b) x.out_bits y.out_bits
+
+(* Simulate vectors [lo, hi) of the batch into rows [lo, hi) of [bits],
+   lanes lanes at a time.  Generators are copied, so the batch stays
+   reusable and other shards' entries are untouched. *)
+let run_into t b bits lo hi =
+  let tp = t.tp in
+  let n_in = Array.length tp.t_input_nets in
+  let n_out = Array.length tp.t_out_nets in
+  let j = ref lo in
+  while !j < hi do
+    let count = min lanes (hi - !j) in
+    reset t;
+    let gens = Array.init count (fun k -> Prng.copy b.b_gens.(!j + k)) in
+    for _ = 1 to b.b_cycles do
+      for ii = 0 to n_in - 1 do
+        let _, net = tp.t_input_nets.(ii) in
+        let w = ref 0 in
+        for k = 0 to count - 1 do
+          if Prng.bool gens.(k) then w := !w lor (1 lsl k)
+        done;
+        t.values.(net) <- !w
+      done;
+      clock t
+    done;
+    for k = 0 to count - 1 do
+      let row = bits.(!j + k) in
+      for oi = 0 to n_out - 1 do
+        let _, net = tp.t_out_nets.(oi) in
+        row.(oi) <- (t.values.(net) lsr k) land 1 = 1
+      done
+    done;
+    j := !j + count
+  done
+
+let observe_throughput n t0 =
+  Metrics.add vectors_total n;
+  let dt = (Trace.now_us () -. t0) /. 1e6 in
+  if n > 0 && dt > 0.0 then Metrics.observe vps_hist (float_of_int n /. dt)
+
+let out_names_of tp = Array.map fst tp.t_out_nets
+
+let run t b =
+  let n = Array.length b.b_gens in
+  Trace.with_span "sim.run"
+    ~args:
+      [
+        ("netlist", Netlist.name t.tp.t_nl); ("vectors", string_of_int n);
+      ]
+    (fun () ->
+      let n_out = Array.length t.tp.t_out_nets in
+      let bits = Array.init n (fun _ -> Array.make n_out false) in
+      let t0 = Trace.now_us () in
+      run_into t b bits 0 n;
+      observe_throughput n t0;
+      { out_names = out_names_of t.tp; out_bits = bits })
+
+let run_sharded ?(jobs = 1) nl b =
+  let tp = tape nl in
+  let n = Array.length b.b_gens in
+  if jobs <= 1 || n <= lanes then run (of_tape tp) b
+  else
+    Trace.with_span "sim.run"
+      ~args:
+        [
+          ("netlist", Netlist.name nl);
+          ("vectors", string_of_int n);
+          ("jobs", string_of_int jobs);
+        ]
+      (fun () ->
+        let n_out = Array.length tp.t_out_nets in
+        let bits = Array.init n (fun _ -> Array.make n_out false) in
+        (* contiguous word-aligned shards, a couple per domain for
+           balance; rows are disjoint so domains never share a cell *)
+        let words = (n + lanes - 1) / lanes in
+        let shards = min words (jobs * 2) in
+        let per = (words + shards - 1) / shards in
+        let ranges =
+          List.init shards (fun s ->
+              let lo = s * per * lanes in
+              (lo, min n (lo + (per * lanes))))
+          |> List.filter (fun (lo, hi) -> lo < hi)
+        in
+        let t0 = Trace.now_us () in
+        Dpool.run ~jobs (fun pool ->
+            ignore
+              (Dpool.map pool
+                 (fun (lo, hi) -> run_into (of_tape tp) b bits lo hi)
+                 ranges));
+        observe_throughput n t0;
+        { out_names = out_names_of tp; out_bits = bits })
+
+let run_reference nl b =
+  Netlist.finalise nl;
+  let sim = Sim.create nl in
+  let names = Array.of_list (Netlist.input_names nl) in
+  let outs = Array.of_list (Netlist.outputs nl) in
+  let n = Array.length b.b_gens in
+  let bits = Array.init n (fun _ -> Array.make (Array.length outs) false) in
+  for j = 0 to n - 1 do
+    Sim.reset sim;
+    let g = Prng.copy b.b_gens.(j) in
+    for _ = 1 to b.b_cycles do
+      Array.iter (fun nm -> Sim.set_input sim nm (Prng.bool g)) names;
+      Sim.clock sim
+    done;
+    let row = bits.(j) in
+    Array.iteri (fun oi (_, net) -> row.(oi) <- Sim.peek sim net) outs
+  done;
+  { out_names = Array.map fst outs; out_bits = bits }

@@ -1,0 +1,137 @@
+(** Compiled bit-parallel netlist simulation.
+
+    {!Sim} interprets the driver ADT net by net; this engine instead
+    compiles a finalised netlist {e once} into a flat, levelized
+    instruction tape — parallel [int] arrays for opcode, operands and
+    destination, in the topological order {!Netlist.finalise} already
+    computed — and evaluates it with native [int] bitwise ops.  Each
+    machine word carries {!lanes} independent input vectors, one per
+    bit, so a single settle pass simulates {!lanes} vectors at the cost
+    of one ([lnot]/[land]/[lor]/[lxor] evaluate all lanes at once; a mux
+    is [ (t1 land sel) lor (t0 land lnot sel) ]).  DFF state, constants
+    and mux selects all stay packed.
+
+    Tapes are immutable and cached on {!Netlist.uid} (compile once, even
+    across repeated simulator construction and worker domains); the
+    mutable per-simulator state is just two [int] arrays, so fanning a
+    batch out over a {!Thr_util.Dpool} costs one state allocation per
+    domain.
+
+    {b Determinism contract.}  A {!batch} derives one generator per
+    vector up front ({!Thr_util.Prng.split} in vector order), and every
+    run copies those generators before drawing, so the stimulus of
+    vector [j] — [cycles] clock edges, each driving every input (in
+    declaration order) with one {!Thr_util.Prng.bool} — depends only on
+    the batch, never on how vectors are packed into lanes or sharded
+    across domains.  [run], [run_sharded] (any [jobs]) and the scalar
+    oracle [run_reference] therefore return bit-identical outputs for
+    the same batch.
+
+    Scalar {!Sim} remains the reference semantics; the equivalence is
+    enforced by a qcheck property over random netlists. *)
+
+val lanes : int
+(** Vectors carried per machine word: [Sys.int_size] (63 on 64-bit —
+    the native OCaml [int] is unboxed in arrays, which beats boxed
+    64-bit words in the inner loop; the last word of a batch simply
+    runs partially full). *)
+
+val lane_mask : int -> int
+(** [lane_mask k] has the low [min k lanes] lane bits set — mask a lane
+    word down to [k] active vectors before counting or comparing. *)
+
+val popcount : int -> int
+(** Set bits in a lane word (table-driven, no loop over lanes). *)
+
+(** {1 Compilation} *)
+
+type tape
+(** A compiled netlist: immutable, shareable across domains. *)
+
+val tape : Netlist.t -> tape
+(** Compile (finalising first if needed).  Memoised on {!Netlist.uid}
+    under a ["sim.compile"] trace span; cache hits are O(1). *)
+
+(** {1 Simulation} *)
+
+type t
+(** Mutable lane-packed simulator state over a tape.  Mirrors {!Sim}:
+    all DFFs at their init values, all inputs at 0, in every lane. *)
+
+val create : Netlist.t -> t
+(** [create nl] = [of_tape (tape nl)]. *)
+
+val of_tape : tape -> t
+
+val netlist : t -> Netlist.t
+
+val reset : t -> unit
+(** Back to power-on: DFFs to init values, inputs (and all nets) to 0,
+    in every lane. *)
+
+val set_input : t -> string -> int -> unit
+(** Drive an input with a lane word (bit [k] = the value in lane [k]).
+    @raise Invalid_argument on an unknown input name. *)
+
+val settle : t -> unit
+(** One tape pass: propagate inputs through the combinational logic.
+    Unused high lanes may hold garbage after inversions; mask with
+    {!lane_mask} before interpreting fewer than {!lanes} lanes. *)
+
+val clock : t -> unit
+(** [settle], latch every DFF, [settle] — the same edge semantics as
+    {!Sim.clock}, in every lane at once. *)
+
+val output : t -> string -> int
+(** Lane word of a primary output after the last [settle]/[clock].
+    @raise Invalid_argument on an unknown output name. *)
+
+val peek : t -> Netlist.net -> int
+(** Lane word of any net. *)
+
+val peek_lane : t -> Netlist.net -> int -> bool
+(** One lane of one net ([lane] in [0, lanes)). *)
+
+val dff_state : t -> int array
+(** Snapshot of the packed DFF lane words (copy). *)
+
+(** {1 Batches} *)
+
+type batch
+(** [n] vectors of random stimulus: per-vector generators split off the
+    caller's generator, plus a cycle count.  Reusable: every run copies
+    the generators. *)
+
+val batch : prng:Thr_util.Prng.t -> ?cycles:int -> int -> batch
+(** [batch ~prng ~cycles n] derives [n] per-vector generators from
+    [prng] (advancing it [n] splits).  [cycles] (default 1) clock edges
+    are applied per vector, each driving every input with a fresh bool.
+    @raise Invalid_argument if [n < 0] or [cycles < 1]. *)
+
+val batch_size : batch -> int
+
+val batch_cycles : batch -> int
+
+type outputs = {
+  out_names : string array;          (** primary outputs, declaration order *)
+  out_bits : bool array array;       (** [out_bits.(vector).(output)] *)
+}
+
+val run : t -> batch -> outputs
+(** Simulate the whole batch on one domain, {!lanes} vectors per pass,
+    resetting between lane words.  Wrapped in a ["sim.run"] span; bumps
+    the [thr_sim_vectors_total] counter and the
+    [thr_sim_vectors_per_second] histogram. *)
+
+val run_sharded : ?jobs:int -> Netlist.t -> batch -> outputs
+(** [run] with the lane words of the batch sharded over [jobs] domains
+    ({!Thr_util.Dpool}); each domain gets its own state over the shared
+    cached tape.  [jobs <= 1] runs inline.  Output is bit-identical to
+    [run] for any [jobs] (see the determinism contract). *)
+
+val run_reference : Netlist.t -> batch -> outputs
+(** The same batch through scalar {!Sim}, one vector at a time (a single
+    simulator reused with {!Sim.reset}) — the oracle for equivalence
+    tests and the baseline for the [bench -- sim] speedup. *)
+
+val equal_outputs : outputs -> outputs -> bool

@@ -9,24 +9,14 @@ type t = {
 let create nl =
   Netlist.finalise nl;
   let n = Netlist.n_nets nl in
-  let inputs = Hashtbl.create 16 in
-  let order = Netlist.nets_in_order nl in
-  Array.iter
-    (fun net ->
-      match Netlist.driver nl net with
-      | Netlist.D_input nm -> Hashtbl.replace inputs nm (Netlist.net_index net)
-      | _ -> ())
-    order;
-  let t =
-    {
-      nl;
-      values = Array.make n false;
-      dffs = Array.init (Netlist.n_dffs nl) (Netlist.dff_init nl);
-      order;
-      inputs;
-    }
-  in
-  t
+  {
+    nl;
+    values = Array.make n false;
+    dffs = Array.init (Netlist.n_dffs nl) (Netlist.dff_init nl);
+    order = Netlist.nets_in_order nl;
+    (* shared, read-only: memoised by finalise *)
+    inputs = Netlist.input_index nl;
+  }
 
 let reset t =
   Array.fill t.values 0 (Array.length t.values) false;

@@ -16,6 +16,13 @@ val enable : unit -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
+val now_us : unit -> float
+(** The tracer's software-monotonic clock: microseconds since module
+    load, never decreasing across domains.  Exposed so throughput
+    measurements (e.g. the packed simulator's vectors-per-second
+    histogram) share the span timestamps' time base without taking
+    their own [unix] dependency. *)
+
 val with_span : string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
 (** [with_span name ?args f] runs [f] inside a span.  The span is
     recorded (and the per-domain stack unwound) whether [f] returns or

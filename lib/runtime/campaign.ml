@@ -203,6 +203,47 @@ let tally config trials =
        else float_of_int !latency_sum /. float_of_int !latency_count);
   }
 
+(* ------------------------ gate-level co-sim ------------------------ *)
+
+type cosim_result = {
+  cosim_vectors : int;
+  cosim_mismatches : int;
+  cosim_first_bad : Eval.env option;
+}
+
+let cosim_ok r = r.cosim_mismatches = 0
+
+let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ~prng ~vectors
+    design =
+  let dfg = design.Design.spec.Spec.dfg in
+  let rtl = Rtl.elaborate ~width design in
+  (* environments drawn from the shared generator, like campaign trials *)
+  let envs = List.init vectors (fun _ -> random_env config prng dfg) in
+  let results = Rtl.run_batch ~jobs rtl envs in
+  let m = 1 lsl width in
+  let mismatches = ref 0 and first_bad = ref None in
+  List.iter2
+    (fun env r ->
+      let golden = Eval.outputs dfg env in
+      let agrees =
+        (not r.Rtl.r_mismatch)
+        && List.for_all2
+             (fun (o, g) (o', v) ->
+               (* the netlist computes modulo 2^width *)
+               o = o' && (g - v) land (m - 1) = 0)
+             golden r.Rtl.r_final
+      in
+      if not agrees then begin
+        incr mismatches;
+        if !first_bad = None then first_bad := Some env
+      end)
+    envs results;
+  {
+    cosim_vectors = vectors;
+    cosim_mismatches = !mismatches;
+    cosim_first_bad = !first_bad;
+  }
+
 let run ?(config = default_config) ?(jobs = 1) ~prng design =
   let spec = design.Design.spec in
   if spec.Spec.mode <> Spec.Detection_and_recovery then

@@ -56,3 +56,34 @@ val run :
     @raise Invalid_argument otherwise, or if the design is invalid. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Gate-level co-simulation} *)
+
+type cosim_result = {
+  cosim_vectors : int;
+  cosim_mismatches : int;
+      (** environments where the elaborated netlist's final outputs (or
+          its mismatch flag) disagree with the behavioural golden model *)
+  cosim_first_bad : Thr_dfg.Eval.env option;  (** a witness, if any *)
+}
+
+val cosim_ok : cosim_result -> bool
+
+val cosim :
+  ?config:config ->
+  ?jobs:int ->
+  ?width:int ->
+  prng:Thr_util.Prng.t ->
+  vectors:int ->
+  Thr_hls.Design.t ->
+  cosim_result
+(** Elaborate the (clean) design to gates ({!Rtl.elaborate}, [width]
+    default 16) and co-simulate [vectors] random environments — drawn
+    from [prng] with [config]'s input range, like campaign trials — on
+    the bit-parallel {!Thr_gates.Packed} engine via {!Rtl.run_batch},
+    against {!Thr_dfg.Eval} reference outputs (compared modulo
+    [2^width]).  A clean design must report zero mismatches and never
+    raise the comparator flag; [jobs] shards the batch across domains
+    without changing the result.  This backs [thls simulate --vectors].
+
+    @raise Invalid_argument if the design is invalid. *)

@@ -13,6 +13,8 @@ module Netlist = Thr_gates.Netlist
 module Bus = Thr_gates.Bus
 module Word = Thr_gates.Word
 module Sim = Thr_gates.Sim
+module Packed = Thr_gates.Packed
+module Dpool = Thr_util.Dpool
 module Check = Thr_check.Check
 module Taint = Thr_check.Taint
 module Finding = Thr_check.Finding
@@ -367,8 +369,9 @@ let canned_injection ~width design =
         (Trojan.Xor_offset 0xFF);
   }
 
-let check ?rare_threshold ?prob_iters t =
-  Check.run ~taint:(taint_spec t) ?rare_threshold ?prob_iters t.netlist
+let check ?rare_threshold ?prob_iters ?empirical ?jobs t =
+  Check.run ~taint:(taint_spec t) ?rare_threshold ?prob_iters ?empirical ?jobs
+    t.netlist
 
 type result = {
   r_mismatch : bool;
@@ -381,29 +384,85 @@ type result = {
 let sign_extend width v =
   if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
 
-let run t env =
-  let sim = Sim.create t.netlist in
+(* Simulate environments [lo, hi) of [envs] lane-packed on one packed
+   simulator, writing each result into its slot of [results].  Inputs
+   are held constant while the design clocks through both phases, so one
+   word per input bit carries up to [Packed.lanes] environments. *)
+let run_chunks t sim envs results lo hi =
   let dfg = t.design.Design.spec.Spec.dfg in
-  List.iter
-    (fun nm ->
-      match List.assoc_opt nm env with
-      | Some v ->
-          Bus.drive_int (Sim.set_input sim) nm t.width (v land ((1 lsl t.width) - 1))
-      | None -> invalid_arg (Printf.sprintf "Rtl.run: missing input %S" nm))
-    (Dfg.inputs dfg);
-  for _ = 1 to t.total_cycles do
-    Sim.clock sim
-  done;
-  let read (o, bus) = (o, sign_extend t.width (Bus.to_int (Sim.peek sim) bus)) in
-  {
-    r_mismatch = Sim.peek sim t.mismatch;
-    r_nc = List.map read t.nc_outputs;
-    r_rc = List.map read t.rc_outputs;
-    r_rv = List.map read t.rv_outputs;
-    r_final =
-      List.map read
-        (match t.final_outputs with [] -> t.nc_outputs | l -> l);
-  }
+  let input_names = Dfg.inputs dfg in
+  let vmask = (1 lsl t.width) - 1 in
+  let j = ref lo in
+  while !j < hi do
+    let count = min Packed.lanes (hi - !j) in
+    Packed.reset sim;
+    List.iter
+      (fun nm ->
+        let vals =
+          Array.init count (fun k ->
+              match List.assoc_opt nm envs.(!j + k) with
+              | Some v -> v land vmask
+              | None ->
+                  invalid_arg (Printf.sprintf "Rtl.run: missing input %S" nm))
+        in
+        for i = 0 to t.width - 1 do
+          let w = ref 0 in
+          for k = 0 to count - 1 do
+            if (vals.(k) lsr i) land 1 = 1 then w := !w lor (1 lsl k)
+          done;
+          Packed.set_input sim (Printf.sprintf "%s.%d" nm i) !w
+        done)
+      input_names;
+    for _ = 1 to t.total_cycles do
+      Packed.clock sim
+    done;
+    for k = 0 to count - 1 do
+      let lane net = Packed.peek_lane sim net k in
+      let read (o, bus) = (o, sign_extend t.width (Bus.to_int lane bus)) in
+      results.(!j + k) <-
+        Some
+          {
+            r_mismatch = lane t.mismatch;
+            r_nc = List.map read t.nc_outputs;
+            r_rc = List.map read t.rc_outputs;
+            r_rv = List.map read t.rv_outputs;
+            r_final =
+              List.map read
+                (match t.final_outputs with [] -> t.nc_outputs | l -> l);
+          }
+    done;
+    j := !j + count
+  done
+
+let run_batch ?(jobs = 1) t envs =
+  let tape = Packed.tape t.netlist in
+  let envs = Array.of_list envs in
+  let n = Array.length envs in
+  let results = Array.make n None in
+  let words = (n + Packed.lanes - 1) / Packed.lanes in
+  if jobs <= 1 || words <= 1 then
+    run_chunks t (Packed.of_tape tape) envs results 0 n
+  else begin
+    (* contiguous lane-word-aligned shards; each domain writes a disjoint
+       slice of [results] through its own simulator state *)
+    let shards = min words (jobs * 2) in
+    let per = (words + shards - 1) / shards in
+    let ranges =
+      List.init shards (fun s ->
+          let lo = s * per * Packed.lanes in
+          (lo, min n (lo + (per * Packed.lanes))))
+      |> List.filter (fun (lo, hi) -> lo < hi)
+    in
+    Dpool.run ~jobs (fun pool ->
+        ignore
+          (Dpool.map pool
+             (fun (lo, hi) -> run_chunks t (Packed.of_tape tape) envs results lo hi)
+             ranges))
+  end;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
+
+let run t env = match run_batch t [ env ] with [ r ] -> r | _ -> assert false
 
 let stats t =
   Printf.sprintf "%d nets, %d gates, %d DFFs, %d cycles"

@@ -73,9 +73,15 @@ val canned_injection : width:int -> Thr_hls.Design.t -> Engine.injection
     behind [thls lint --mutant trojan] and the server's lint op. *)
 
 val check :
-  ?rare_threshold:float -> ?prob_iters:int -> t -> Thr_check.Check.report
+  ?rare_threshold:float ->
+  ?prob_iters:int ->
+  ?empirical:int ->
+  ?jobs:int ->
+  t ->
+  Thr_check.Check.report
 (** Run the full static analyser ({!Thr_check.Check.run}) with
-    {!taint_spec} wired in. *)
+    {!taint_spec} wired in.  [empirical]/[jobs] enable the Info-only
+    packed-simulation cross-check of the rare-net pass. *)
 
 type result = {
   r_mismatch : bool;
@@ -88,7 +94,19 @@ type result = {
 
 val run : t -> Thr_dfg.Eval.env -> result
 (** Drive the primary inputs (values taken modulo [2^width]), clock through
-    both phases and read the registers.  Fresh simulator per call. *)
+    both phases and read the registers.  Equivalent to a one-element
+    {!run_batch}: the netlist's compiled {!Thr_gates.Packed} tape is
+    cached, so repeated calls never re-walk the netlist. *)
+
+val run_batch : ?jobs:int -> t -> Thr_dfg.Eval.env list -> result list
+(** [run] over many environments at once on the bit-parallel
+    {!Thr_gates.Packed} engine — {!Thr_gates.Packed.lanes} environments
+    per simulation pass, and with [jobs > 1] lane-word-aligned slices of
+    the batch fanned out across a {!Thr_util.Dpool}.  Results are in
+    input order and identical to mapping {!run} (every environment is an
+    independent power-on run of the netlist), for any [jobs].
+
+    @raise Invalid_argument if an environment misses a primary input. *)
 
 val stats : t -> string
 (** One-line netlist size summary (nets/gates/DFFs). *)

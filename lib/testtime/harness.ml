@@ -83,18 +83,21 @@ type outcome = {
 }
 
 (* run-time check: force the activation condition through the suspect and
-   compare against the golden unit — the NC/RC comparator in miniature *)
+   compare against the golden unit — the NC/RC comparator in miniature.
+   One simulator per netlist, created once and reset between probes:
+   construction walks the whole netlist, reset just clears two arrays. *)
 let runtime_check pair =
+  let gsim = Sim.create pair.golden and ssim = Sim.create pair.suspect in
   let a, b = Trojan.matching_operands pair.trojan in
-  let run nl =
-    let sim = Sim.create nl in
+  let probe sim =
+    Sim.reset sim;
     Bus.drive_int (Sim.set_input sim) "a" pair.width a;
     Bus.drive_int (Sim.set_input sim) "b" pair.width b;
     Sim.settle sim;
     List.init pair.width (fun i ->
         Sim.output sim (Printf.sprintf "out.%d" i))
   in
-  run pair.golden <> run pair.suspect
+  probe gsim <> probe ssim
 
 let evaluate ~prng ?(n_tests = 512) pair =
   let vectors = Logic_test.random_vectors ~prng pair.suspect n_tests in

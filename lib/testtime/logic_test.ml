@@ -1,5 +1,6 @@
 module Netlist = Thr_gates.Netlist
 module Sim = Thr_gates.Sim
+module Packed = Thr_gates.Packed
 module Prng = Thr_util.Prng
 
 type vector = (string * bool) list
@@ -23,16 +24,89 @@ let internal_nets nl =
          | _ -> true)
   |> Array.of_list
 
+(* Drive one lane-word chunk of explicit vectors: bit [k] of each input
+   word is vector [k]'s value (absent names stay 0, as after a scalar
+   reset).  The simulator must have been reset since the last chunk. *)
+let apply_chunk sim names chunk =
+  let words = Hashtbl.create 16 in
+  List.iteri
+    (fun k v ->
+      List.iter
+        (fun (nm, b) ->
+          if b then
+            Hashtbl.replace words nm
+              (Option.value ~default:0 (Hashtbl.find_opt words nm)
+              lor (1 lsl k)))
+        v)
+    chunk;
+  List.iter
+    (fun nm ->
+      Packed.set_input sim nm
+        (Option.value ~default:0 (Hashtbl.find_opt words nm)))
+    names;
+  Packed.clock sim
+
+let rec chunked n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let c, rest = take n [] l in
+      c :: chunked n rest
+
 let signal_probabilities ~prng ?(samples = 512) nl =
+  Netlist.finalise nl;
   let nets = internal_nets nl in
   let ones = Array.make (Array.length nets) 0 in
-  let sim = Sim.create nl in
   let names = Netlist.input_names nl in
-  for _ = 1 to samples do
-    List.iter (fun nm -> Sim.set_input sim nm (Prng.bool prng)) names;
-    Sim.clock sim;
-    Array.iteri (fun i net -> if Sim.peek sim net then ones.(i) <- ones.(i) + 1) nets
-  done;
+  if Netlist.n_dffs nl > 0 then begin
+    (* Sequential: state deliberately carries over from sample to sample
+       (one long random excitation), which independent lanes cannot
+       reproduce — keep the scalar walk. *)
+    let sim = Sim.create nl in
+    for _ = 1 to samples do
+      List.iter (fun nm -> Sim.set_input sim nm (Prng.bool prng)) names;
+      Sim.clock sim;
+      Array.iteri
+        (fun i net -> if Sim.peek sim net then ones.(i) <- ones.(i) + 1)
+        nets
+    done
+  end
+  else begin
+    (* Combinational: samples are independent, so pack them into lanes.
+       Bits are drawn sample-major in input declaration order — exactly
+       the scalar loop's order, so seeded profiles are unchanged. *)
+    let sim = Packed.create nl in
+    let done_ = ref 0 in
+    while !done_ < samples do
+      let count = min Packed.lanes (samples - !done_) in
+      let words = Hashtbl.create 16 in
+      for k = 0 to count - 1 do
+        List.iter
+          (fun nm ->
+            if Prng.bool prng then
+              Hashtbl.replace words nm
+                (Option.value ~default:0 (Hashtbl.find_opt words nm)
+                lor (1 lsl k)))
+          names
+      done;
+      List.iter
+        (fun nm ->
+          Packed.set_input sim nm
+            (Option.value ~default:0 (Hashtbl.find_opt words nm)))
+        names;
+      Packed.settle sim;
+      let mask = Packed.lane_mask count in
+      Array.iteri
+        (fun i net ->
+          ones.(i) <- ones.(i) + Packed.popcount (Packed.peek sim net land mask))
+        nets;
+      done_ := !done_ + count
+    done
+  end;
   {
     nets;
     one_probability =
@@ -54,17 +128,23 @@ let apply_vector sim vector =
   Sim.clock sim
 
 let n_detect_count nl rare vectors =
-  let sim = Sim.create nl in
+  Netlist.finalise nl;
+  let names = Netlist.input_names nl in
+  let sim = Packed.create nl in
   let counts = Array.make (List.length rare) 0 in
   List.iter
-    (fun v ->
-      Sim.reset sim;
-      apply_vector sim v;
+    (fun chunk ->
+      let count = List.length chunk in
+      Packed.reset sim;
+      apply_chunk sim names chunk;
+      let mask = Packed.lane_mask count in
       List.iteri
         (fun i (net, rare_value) ->
-          if Sim.peek sim net = rare_value then counts.(i) <- counts.(i) + 1)
+          let w = Packed.peek sim net in
+          let hits = (if rare_value then w else lnot w) land mask in
+          counts.(i) <- counts.(i) + Packed.popcount hits)
         rare)
-    vectors;
+    (chunked Packed.lanes vectors);
   counts
 
 (* score = sum over rare nodes of min(hits, n_target) — MERO's objective *)
@@ -74,6 +154,9 @@ let score ~n_target counts =
 let mero_refine ~prng ?(rounds = 2000) ?(n_target = 10) nl rare base =
   if rare = [] || base = [] then base
   else begin
+    (* One mutated vector per round: the scalar simulator (reused across
+       all rounds) is the right tool; the packed engine only pays off on
+       batches. *)
     let sim = Sim.create nl in
     let hits_of vector =
       Sim.reset sim;
@@ -118,14 +201,21 @@ let mero_refine ~prng ?(rounds = 2000) ?(n_target = 10) nl rare base =
   end
 
 let detect ~golden ~suspect vectors =
-  let gsim = Sim.create golden in
-  let ssim = Sim.create suspect in
+  Netlist.finalise golden;
+  Netlist.finalise suspect;
+  let names = Netlist.input_names golden in
+  let gsim = Packed.create golden in
+  let ssim = Packed.create suspect in
   let outputs = Netlist.output_names golden in
   List.exists
-    (fun v ->
-      Sim.reset gsim;
-      Sim.reset ssim;
-      apply_vector gsim v;
-      apply_vector ssim v;
-      List.exists (fun o -> Sim.output gsim o <> Sim.output ssim o) outputs)
-    vectors
+    (fun chunk ->
+      let mask = Packed.lane_mask (List.length chunk) in
+      Packed.reset gsim;
+      Packed.reset ssim;
+      apply_chunk gsim names chunk;
+      apply_chunk ssim names chunk;
+      List.exists
+        (fun o ->
+          (Packed.output gsim o lxor Packed.output ssim o) land mask <> 0)
+        outputs)
+    (chunked Packed.lanes vectors)

@@ -29,7 +29,14 @@ type profile = {
 val signal_probabilities :
   prng:Thr_util.Prng.t -> ?samples:int -> Thr_gates.Netlist.t -> profile
 (** Monte-Carlo signal probabilities over [samples] (default 512) random
-    vectors, clocking sequential netlists one cycle per vector. *)
+    vectors, clocking sequential netlists one cycle per vector.
+
+    Combinational netlists are profiled with the bit-parallel
+    {!Thr_gates.Packed} engine ({!Thr_gates.Packed.lanes} samples per
+    pass); sequential netlists keep the scalar walk because their state
+    deliberately carries over from sample to sample.  Either way the
+    bits drawn from [prng] (sample-major, inputs in declaration order)
+    are identical, so seeded profiles do not depend on the engine. *)
 
 val rare_nodes : profile -> theta:float -> (Thr_gates.Netlist.net * bool) list
 (** Nets whose probability of being [1] (resp. [0]) is below [theta]; the
@@ -38,7 +45,9 @@ val rare_nodes : profile -> theta:float -> (Thr_gates.Netlist.net * bool) list
 val n_detect_count :
   Thr_gates.Netlist.t -> (Thr_gates.Netlist.net * bool) list -> vector list ->
   int array
-(** How many vectors of the set drive each rare node to its rare value. *)
+(** How many vectors of the set drive each rare node to its rare value.
+    State is reset per vector, so vectors pack into lanes — the count is
+    one popcount per rare node per {!Thr_gates.Packed.lanes} vectors. *)
 
 val mero_refine :
   prng:Thr_util.Prng.t ->
@@ -61,4 +70,6 @@ val detect :
   bool
 (** Black-box comparison: true iff some vector makes any primary output of
     [suspect] differ from [golden]'s.  The two netlists must have the same
-    input and output names.  Sequential state is reset per vector. *)
+    input and output names.  Sequential state is reset per vector, so both
+    circuits run lane-packed, {!Thr_gates.Packed.lanes} vectors per pass,
+    and a whole chunk is cleared by one XOR of the output words. *)

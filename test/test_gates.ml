@@ -440,6 +440,121 @@ let verilog_emits_linted_netlists =
       | [] -> true
       | fs -> QCheck.Test.fail_report (String.concat "; " fs))
 
+(* ------------------------- packed engine -------------------------- *)
+
+module Packed = Thr_gates.Packed
+module Prng = Thr_util.Prng
+
+let test_lane_mask_popcount () =
+  Alcotest.(check int) "mask 0" 0 (Packed.lane_mask 0);
+  Alcotest.(check int) "mask 1" 1 (Packed.lane_mask 1);
+  Alcotest.(check int) "mask 5" 31 (Packed.lane_mask 5);
+  Alcotest.(check int) "mask lanes" (-1) (Packed.lane_mask Packed.lanes);
+  Alcotest.(check int) "mask beyond" (-1) (Packed.lane_mask (Packed.lanes + 9));
+  Alcotest.(check int) "pop 0" 0 (Packed.popcount 0);
+  Alcotest.(check int) "pop 1" 1 (Packed.popcount 1);
+  Alcotest.(check int) "pop 0xffff" 16 (Packed.popcount 0xffff);
+  Alcotest.(check int) "pop full word" Sys.int_size (Packed.popcount (-1));
+  Alcotest.(check int) "pop alternating" (Sys.int_size / 2)
+    (Packed.popcount (Packed.lane_mask Packed.lanes land 0x2AAAAAAAAAAAAAAA))
+
+(* All lanes of a packed counter advance independently: lanes whose
+   enable bit is set count every cycle, the rest hold at zero. *)
+let test_packed_counter_lanes () =
+  let nl = Netlist.create ~name:"pcnt" in
+  let en = Netlist.input nl "en" in
+  let c = Bus.counter nl ~width:6 ~enable:en in
+  Netlist.output nl "tc" (Bus.all_ones nl c);
+  let sim = Packed.create nl in
+  (* enable every third lane *)
+  let en_word = ref 0 in
+  for k = 0 to Packed.lanes - 1 do
+    if k mod 3 = 0 then en_word := !en_word lor (1 lsl k)
+  done;
+  Packed.set_input sim "en" !en_word;
+  let cycles = 11 in
+  for _ = 1 to cycles do
+    Packed.clock sim
+  done;
+  for k = 0 to Packed.lanes - 1 do
+    let v = Bus.to_int (fun n -> Packed.peek_lane sim n k) c in
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d" k)
+      (if k mod 3 = 0 then cycles else 0)
+      v
+  done;
+  (* reset returns every lane to power-on *)
+  Packed.reset sim;
+  Packed.settle sim;
+  Alcotest.(check int) "reset clears" 0
+    (Bus.to_int (fun n -> Packed.peek_lane sim n 0) c)
+
+let test_packed_matches_scalar_basics () =
+  (* same netlist, same stimulus, packed vs scalar, lane by lane *)
+  let nl = Netlist.create ~name:"pbasic" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let x = Netlist.xor_ nl a b in
+  let q = Netlist.dff nl ~init:true (Netlist.nand_ nl x a) in
+  Netlist.output nl "o" (Netlist.mux nl ~sel:q ~t0:x ~t1:b);
+  let prng = Prng.create ~seed:7 in
+  let batch = Packed.batch ~prng ~cycles:3 100 in
+  let packed = Packed.run (Packed.create nl) batch in
+  let scalar = Packed.run_reference nl batch in
+  Alcotest.(check bool) "packed = scalar" true
+    (Packed.equal_outputs packed scalar)
+
+let test_packed_tape_cached () =
+  let nl = Netlist.create ~name:"pcache" in
+  let a = Netlist.input nl "a" in
+  Netlist.output nl "o" (Netlist.not_ nl a);
+  Alcotest.(check bool) "same tape object" true
+    (Packed.tape nl == Packed.tape nl)
+
+let test_packed_errors () =
+  let nl = Netlist.create ~name:"perr" in
+  let a = Netlist.input nl "a" in
+  Netlist.output nl "o" a;
+  let sim = Packed.create nl in
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Packed.set_input: unknown input \"zz\"") (fun () ->
+      Packed.set_input sim "zz" 0);
+  Alcotest.check_raises "unknown output"
+    (Invalid_argument "Packed.output: unknown output \"zz\"") (fun () ->
+      ignore (Packed.output sim "zz"));
+  let prng = Prng.create ~seed:1 in
+  Alcotest.check_raises "negative batch"
+    (Invalid_argument "Packed.batch: negative size") (fun () ->
+      ignore (Packed.batch ~prng (-1)));
+  Alcotest.check_raises "zero cycles"
+    (Invalid_argument "Packed.batch: cycles < 1") (fun () ->
+      ignore (Packed.batch ~prng ~cycles:0 5))
+
+(* The equivalence property behind the engine: over random netlists
+   (muxes, DFFs with mixed inits, multi-cycle sequences) and random
+   batch sizes, the packed engine — single-domain and sharded — agrees
+   bit-for-bit with the scalar oracle. *)
+let packed_equals_scalar =
+  QCheck.Test.make ~name:"packed engine matches scalar Sim" ~count:60
+    QCheck.(
+      triple
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        (int_range 1 150)
+        (int_range 1 5))
+    (fun (script, n_vectors, cycles) ->
+      let nl = random_netlist script in
+      let prng = Prng.create ~seed:(n_vectors + (cycles * 1000)) in
+      let batch = Packed.batch ~prng ~cycles n_vectors in
+      let scalar = Packed.run_reference nl batch in
+      let packed = Packed.run (Packed.create nl) batch in
+      let sharded = Packed.run_sharded ~jobs:3 nl batch in
+      if not (Packed.equal_outputs packed scalar) then
+        QCheck.Test.fail_report "packed run disagrees with scalar oracle"
+      else if not (Packed.equal_outputs sharded scalar) then
+        QCheck.Test.fail_report "sharded run disagrees with scalar oracle"
+      else true)
+
 let test_verilog_module_name_override () =
   let nl = Netlist.create ~name:"x" in
   let a = Netlist.input nl "a" in
@@ -486,6 +601,17 @@ let () =
         [
           Alcotest.test_case "readers and fanout" `Quick test_readers_fanout;
           Alcotest.test_case "fold_cone" `Quick test_fold_cone;
+        ] );
+      ( "packed",
+        [
+          Alcotest.test_case "lane_mask/popcount" `Quick test_lane_mask_popcount;
+          Alcotest.test_case "counter lanes independent" `Quick
+            test_packed_counter_lanes;
+          Alcotest.test_case "matches scalar (sequential mux)" `Quick
+            test_packed_matches_scalar_basics;
+          Alcotest.test_case "tape cached" `Quick test_packed_tape_cached;
+          Alcotest.test_case "errors" `Quick test_packed_errors;
+          QCheck_alcotest.to_alcotest packed_equals_scalar;
         ] );
       ( "verilog",
         [
