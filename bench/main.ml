@@ -453,6 +453,17 @@ let rtl () =
 (* set from --min-speedup in [main]; 0 = report only, do not enforce *)
 let min_speedup = ref 0.0
 
+(* set from --max-ilp-warm-seconds in [main]; 0 = report only.  When
+   positive, [json] fails (exit 1) if any measured warm ILP row takes
+   longer than this many seconds — the CI regression gate for the
+   revised-simplex + cutting-plane solve path. *)
+let max_ilp_warm_seconds = ref 0.0
+
+(* set from --bench in [main]; empty = every Table 3/4 row.  Restricts
+   the [json] experiment to the named benchmarks (comma-separated), so
+   CI can gate on a small fast subset. *)
+let bench_filter : string list ref = ref []
+
 module P = T.Gate_packed
 
 (* vectors/second of [f], repeating the whole batch until >= 0.25s of
@@ -580,9 +591,10 @@ let sim () =
    effort, plus — on rows whose literal ILP stays small enough to
    branch-and-bound in seconds — a warm- vs cold-start comparison of the
    same solve (identical optimum, fewer pivots).  Rows above
-   [ilp_var_gate] variables get ["ilp": null]: their node LPs are too
-   large for the bundled dense-tableau solver regardless of warm starts
-   (the tight elliptic ILP alone has ~10k variables).  A final section
+   [ilp_var_gate] variables get ["ilp": null]: even with the
+   LU-factorised revised simplex their branch-and-bound trees are too
+   deep to finish within the node cap (the tight elliptic ILP alone has
+   ~10k variables).  A final section
    drives the same rows through the optimisation service twice and
    records the cache hit-rate and service-side p50/p95 of the warm
    second pass. *)
@@ -591,6 +603,13 @@ module J = T.Json
 
 let ilp_var_gate = 800
 let ilp_node_cap = 2_000
+
+(* round to 6 significant digits so BENCH_solvers.json diffs stay small *)
+let sig6 x =
+  if x = 0.0 || not (Float.is_finite x) then x
+  else
+    let scale = 10.0 ** (5.0 -. Float.floor (Float.log10 (Float.abs x))) in
+    Float.round (x *. scale) /. scale
 
 let json_quality = function
   | T.Optimize.Optimal -> "optimal"
@@ -612,10 +631,11 @@ let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
     | _ -> J.Null
   in
   let sx = st.T.Ilp_solve.simplex in
-  let hit_den = sx.T.Simplex.warm_solves + sx.T.Simplex.cold_solves in
+  (* share of node LPs answered from a revived basis; lp_solves can be 0
+     when the node budget is 0, hence the guard *)
   let hit =
-    if hit_den = 0 then 0.0
-    else float_of_int sx.T.Simplex.warm_solves /. float_of_int hit_den
+    float_of_int sx.T.Simplex.warm_solves
+    /. float_of_int (max 1 st.T.Ilp_solve.lp_solves)
   in
   ( J.Obj
       [ ("mc", mc);
@@ -624,9 +644,14 @@ let json_ilp_side ~warm (f : T.Ilp_formulation.t) =
         ("pivots", J.Int (T.Ilp_solve.total_pivots st));
         ("warm_solves", J.Int sx.T.Simplex.warm_solves);
         ("cold_solves", J.Int sx.T.Simplex.cold_solves);
-        ("warm_hit_rate", J.Float hit);
-        ("seconds", J.Float seconds) ],
-    T.Ilp_solve.total_pivots st )
+        ("refactorizations", J.Int sx.T.Simplex.refactorizations);
+        ("eta_updates", J.Int sx.T.Simplex.eta_updates);
+        ("cover_cuts", J.Int st.T.Ilp_solve.cover_cuts);
+        ("clique_cuts", J.Int st.T.Ilp_solve.clique_cuts);
+        ("cut_rounds", J.Int st.T.Ilp_solve.cut_rounds);
+        ("warm_hit_rate", J.Float (sig6 hit));
+        ("seconds", J.Float (sig6 seconds)) ],
+    (T.Ilp_solve.total_pivots st, seconds) )
 
 (* Per-row deltas of the process-wide metrics registry (simplex pivots,
    B&B and CSP nodes, licence candidates).  Registry counters are global,
@@ -659,7 +684,7 @@ let json_row ~table ~mode row =
         [
           ("mc", J.Int (T.Design.cost design));
           ("quality", J.String (json_quality quality));
-          ("seconds", J.Float seconds);
+          ("seconds", J.Float (sig6 seconds));
           ("candidates", J.Int candidates);
         ]
     | Error e ->
@@ -679,17 +704,19 @@ let json_row ~table ~mode row =
   let ilp, pivots =
     if nv > ilp_var_gate then (J.Null, None)
     else begin
-      let warm_json, warm_piv = json_ilp_side ~warm:true f in
-      let cold_json, cold_piv = json_ilp_side ~warm:false f in
+      let warm_json, (warm_piv, warm_secs) = json_ilp_side ~warm:true f in
+      let cold_json, (cold_piv, _) = json_ilp_side ~warm:false f in
+      let label = Printf.sprintf "%s %s lambda=%d" table row.bench row.lambda in
       ( J.Obj
           [ ("vars", J.Int nv);
             ("max_nodes", J.Int ilp_node_cap);
             ("warm", warm_json);
             ("cold", cold_json);
             ( "pivot_ratio",
-              J.Float (float_of_int cold_piv /. float_of_int (max 1 warm_piv))
+              J.Float
+                (sig6 (float_of_int cold_piv /. float_of_int (max 1 warm_piv)))
             ) ],
-        Some (warm_piv, cold_piv) )
+        Some (warm_piv, cold_piv, warm_secs, label) )
     end
   in
   let metrics = registry_deltas snap0 (T.Metrics.snapshot ()) in
@@ -783,35 +810,59 @@ let json_service_pass () =
 
 let json () =
   Format.printf "@.== Solver metrics -> BENCH_solvers.json ==@.";
+  let keep r = !bench_filter = [] || List.mem r.bench !bench_filter in
   let work =
-    List.map (fun r -> ("table3", T.Spec.Detection_only, r)) table3_rows
-    @ List.map (fun r -> ("table4", T.Spec.Detection_and_recovery, r)) table4_rows
+    List.map
+      (fun r -> ("table3", T.Spec.Detection_only, r))
+      (List.filter keep table3_rows)
+    @ List.map
+        (fun r -> ("table4", T.Spec.Detection_and_recovery, r))
+        (List.filter keep table4_rows)
   in
+  if work = [] then begin
+    Format.printf "--bench matched no Table 3/4 rows@.";
+    exit 1
+  end;
   let results =
     T.Dpool.run ~jobs:!jobs (fun pool ->
         T.Dpool.map pool
           (fun (table, mode, row) -> json_row ~table ~mode row)
           work)
   in
-  let warm_total, cold_total, compared =
+  let warm_total, cold_total, compared, slowest =
     List.fold_left
-      (fun (w, c, n) (_, p) ->
-        match p with Some (pw, pc) -> (w + pw, c + pc, n + 1) | None -> (w, c, n))
-      (0, 0, 0) results
+      (fun (w, c, n, sl) (_, p) ->
+        match p with
+        | Some (pw, pc, secs, label) ->
+            let sl =
+              match sl with
+              | Some (s0, _) when s0 >= secs -> sl
+              | _ -> Some (secs, label)
+            in
+            (w + pw, c + pc, n + 1, sl)
+        | None -> (w, c, n, sl))
+      (0, 0, 0, None) results
   in
   let ratio = float_of_int cold_total /. float_of_int (max 1 warm_total) in
   let service = json_service_pass () in
   let doc =
     J.Obj
-      [ (* 2: per-row "metrics" registry deltas; 1: no such field *)
-        ("schema", J.Int 2);
+      [ (* 3: ILP sides gain LU/cut counters, warm_hit_rate is the share
+           of node LPs warm-started (was warm/(warm+cold) solve mix), and
+           floats are rounded to 6 significant digits.
+           2: per-row "metrics" registry deltas; 1: no such field *)
+        ("schema", J.Int 3);
         ("rows", J.List (List.map fst results));
         ( "summary",
           J.Obj
             [ ("rows_compared", J.Int compared);
               ("warm_pivots", J.Int warm_total);
               ("cold_pivots", J.Int cold_total);
-              ("pivot_ratio", J.Float ratio) ] );
+              ( "max_warm_seconds",
+                match slowest with
+                | Some (s, _) -> J.Float (sig6 s)
+                | None -> J.Null );
+              ("pivot_ratio", J.Float (sig6 ratio)) ] );
         ("service", service);
         ( "sim",
           J.List
@@ -836,7 +887,24 @@ let json () =
   Format.printf
     "wrote BENCH_solvers.json (%d rows, %d with warm/cold ILP comparison; \
      cold/warm pivot ratio %.2fx)@."
-    (List.length results) compared ratio
+    (List.length results) compared ratio;
+  (match slowest with
+  | Some (s, label) ->
+      Format.printf "slowest warm ILP row: %s at %.3fs@." label s
+  | None -> ());
+  if !max_ilp_warm_seconds > 0.0 then
+    match slowest with
+    | Some (s, label) when s > !max_ilp_warm_seconds ->
+        Format.printf
+          "--max-ilp-warm-seconds: %s took %.3fs, above the %.3fs budget@."
+          label s !max_ilp_warm_seconds;
+        exit 1
+    | Some _ ->
+        Format.printf "--max-ilp-warm-seconds: all rows within %.3fs@."
+          !max_ilp_warm_seconds
+    | None ->
+        Format.printf "--max-ilp-warm-seconds: no ILP row measured@.";
+        exit 1
 
 (* ----------------------------- timing ----------------------------- *)
 
@@ -965,6 +1033,17 @@ let () =
         Format.printf "--min-speedup expects a number, got %S@." s;
         exit 1
   in
+  let set_max_ilp_warm s =
+    match float_of_string_opt s with
+    | Some x when x > 0.0 -> max_ilp_warm_seconds := x
+    | _ ->
+        Format.printf "--max-ilp-warm-seconds expects a positive number, got %S@." s;
+        exit 1
+  in
+  let set_bench s =
+    bench_filter :=
+      List.filter (fun b -> b <> "") (String.split_on_char ',' s)
+  in
   let rec parse acc = function
     | [] -> List.rev acc
     | [ "--jobs" ] ->
@@ -993,6 +1072,25 @@ let () =
         parse acc rest
     | a :: rest when String.length a > 14 && String.sub a 0 14 = "--min-speedup=" ->
         set_min_speedup (String.sub a 14 (String.length a - 14));
+        parse acc rest
+    | [ "--max-ilp-warm-seconds" ] ->
+        Format.printf "--max-ilp-warm-seconds expects a number argument@.";
+        exit 1
+    | "--max-ilp-warm-seconds" :: x :: rest ->
+        set_max_ilp_warm x;
+        parse acc rest
+    | a :: rest
+      when String.length a > 23 && String.sub a 0 23 = "--max-ilp-warm-seconds=" ->
+        set_max_ilp_warm (String.sub a 23 (String.length a - 23));
+        parse acc rest
+    | [ "--bench" ] ->
+        Format.printf "--bench expects a comma-separated benchmark list@.";
+        exit 1
+    | "--bench" :: b :: rest ->
+        set_bench b;
+        parse acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--bench=" ->
+        set_bench (String.sub a 8 (String.length a - 8));
         parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in

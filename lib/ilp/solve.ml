@@ -15,7 +15,14 @@ type outcome =
   | Unbounded
   | Budget of solution option
 
-type stats = { nodes : int; lp_solves : int; simplex : Simplex.stats }
+type stats = {
+  nodes : int;
+  lp_solves : int;
+  cover_cuts : int;
+  clique_cuts : int;
+  cut_rounds : int;
+  simplex : Simplex.stats;
+}
 
 let total_pivots st = Simplex.total_pivots st.simplex
 
@@ -69,6 +76,7 @@ let most_fractional ~eps ?filter values =
       if j >= 0 then j else scan ~restricted:false
 
 let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
+    ?(cuts = true) ?(cut_rounds = 8) ?(dive = true)
     ?(should_stop = fun () -> false) m =
   let nv = Model.n_vars m in
   let filter =
@@ -88,6 +96,99 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
   let incumbent_obj = ref infinity in
   let hit_budget = ref false in
   let saw_unbounded = ref false in
+  let n_cover = ref 0 in
+  let n_clique = ref 0 in
+  let n_rounds = ref 0 in
+  let cut_state = if cuts then Some (Cuts.prepare m) else None in
+  (* Root cutting-plane loop: separate clique/cover cuts against the
+     fractional root optimum, append them to the shared LP (they are
+     valid for every integer point, hence at every node) and re-solve
+     until no violated cut remains or the round budget is spent. *)
+  let rec tighten_root sol round =
+    match cut_state with
+    | None -> sol
+    | Some cs ->
+        if round >= cut_rounds then sol
+        else begin
+          match Cuts.separate cs sol.Simplex.values with
+          | [] -> sol
+          | found ->
+              List.iter
+                (fun c ->
+                  (match c.Cuts.kind with
+                  | Cuts.Cover -> incr n_cover
+                  | Cuts.Clique -> incr n_clique);
+                  Simplex.add_constraint lp c.Cuts.terms Simplex.Le c.Cuts.rhs)
+                found;
+              incr n_rounds;
+              incr lp_solves;
+              (match Simplex.solve ~warm:false lp with
+              | Simplex.Optimal sol' ->
+                  if most_fractional ~eps ?filter sol'.Simplex.values >= 0 then
+                    tighten_root sol' (round + 1)
+                  else sol'
+              | _ -> sol (* numeric trouble: keep the uncut vertex *))
+        end
+  in
+  (* Rounding dive: from the root optimum, repeatedly fix the most
+     fractional integer variable to its nearest integer and re-solve,
+     until the relaxation is integral or a dead end.  An integral
+     endpoint is a feasible point whose objective arms the cutoff for
+     the whole DFS — every later node prunes against it, and the warm
+     path skips its pre-incumbent cold refactorisations (see below).
+     The dive mutates the shared LP's bounds freely: every DFS node
+     re-applies its own bound vector on entry. *)
+  let record_incumbent values_f =
+    let values =
+      Array.map (fun v -> int_of_float (Float.round v)) values_f
+    in
+    let objective = Model.eval_objective m values in
+    if objective < !incumbent_obj -. 1e-9 then begin
+      incumbent := Some { objective; values };
+      incumbent_obj := objective;
+      Metrics.incr m_incumbents;
+      if Trace.enabled () then
+        Trace.instant "bb.incumbent"
+          ~args:
+            [
+              ("objective", Printf.sprintf "%g" objective);
+              ("node", string_of_int !nodes);
+            ]
+          ()
+    end
+  in
+  let run_dive root_sol =
+    (* Dive steps solve cold even in warm mode: warm dual re-solves land
+       on different (more fractional) alternate optima, which sends the
+       two modes down different dive paths — some of which dead-end.
+       Solving cold keeps the dive deterministic across modes, so warm
+       and cold runs start the DFS from the same incumbent. *)
+    let rec step sol depth =
+      let j = most_fractional ~eps ?filter sol.Simplex.values in
+      if j < 0 then record_incumbent sol.Simplex.values
+      else if depth < 100 && not (should_stop ()) then begin
+        let x = sol.Simplex.values.(j) in
+        let r = Float.round x in
+        let fix v =
+          Simplex.set_bounds lp j ~lo:v ~up:v;
+          incr lp_solves;
+          Simplex.solve ~warm:false lp
+        in
+        match fix r with
+        | Simplex.Optimal sol' -> step sol' (depth + 1)
+        | _ -> (
+            (* rounding to the nearer integer hit a dead end — the LP's
+               feasible interval for a variable need not contain an
+               integer once earlier fixings bind — so try the other
+               side once before abandoning the dive *)
+            let r' = if r > x then floor x else ceil x in
+            match fix r' with
+            | Simplex.Optimal sol' -> step sol' (depth + 1)
+            | _ -> () (* dead end: the DFS starts without an incumbent *))
+      end
+    in
+    step root_sol 0
+  in
   (* DFS over (lo, up) bound overrides.  Each node re-solves the shared
      LP warm from the basis left by the previous node (a sibling or the
      parent), and aborts early once the relaxation provably exceeds the
@@ -117,15 +218,17 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
             (* A warm dual re-solve settles pruning cheaply, but among
                alternate LP optima it lands on different (more fractional)
                vertices than the cold path, which derails most-fractional
-               branching.  For a surviving fractional node, refactorise
-               cold so branching sees the same vertex as the cold
-               baseline — pruned/integral nodes keep the cheap result. *)
+               branching — on symmetric instances badly enough to blow the
+               tree up by orders of magnitude.  For a surviving fractional
+               node, refactorise cold so branching sees the same vertex as
+               the cold baseline; pruned/integral nodes (the vast majority
+               once an incumbent arms the cutoff) keep the cheap result. *)
             let sol =
               let warm_used =
                 (Simplex.stats lp).Simplex.warm_solves > warm_before
               in
               if
-                warm_used && cutoff = None
+                warm_used
                 && most_fractional ~eps ?filter sol.Simplex.values >= 0
               then begin
                 Simplex.forget lp;
@@ -136,27 +239,12 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
               end
               else sol
             in
+            let sol = if !nodes = 1 then tighten_root sol 0 else sol in
             let branch_var = most_fractional ~eps ?filter sol.Simplex.values in
-            if branch_var < 0 then begin
+            if dive && branch_var >= 0 && !nodes = 1 then run_dive sol;
+            if branch_var < 0 then
               (* integral: new incumbent *)
-              let values =
-                Array.map (fun v -> int_of_float (Float.round v)) sol.Simplex.values
-              in
-              let objective = Model.eval_objective m values in
-              if objective < !incumbent_obj -. 1e-9 then begin
-                incumbent := Some { objective; values };
-                incumbent_obj := objective;
-                Metrics.incr m_incumbents;
-                if Trace.enabled () then
-                  Trace.instant "bb.incumbent"
-                    ~args:
-                      [
-                        ("objective", Printf.sprintf "%g" objective);
-                        ("node", string_of_int !nodes);
-                      ]
-                    ()
-              end
-            end
+              record_incumbent sol.Simplex.values
             else begin
               let x = sol.Simplex.values.(branch_var) in
               let fl = int_of_float (floor x) in
@@ -179,7 +267,14 @@ let solve ?(max_nodes = 100_000) ?(eps = 1e-6) ?priority ?(warm = true)
   in
   explore base_lo base_up;
   let stats =
-    { nodes = !nodes; lp_solves = !lp_solves; simplex = Simplex.stats lp }
+    {
+      nodes = !nodes;
+      lp_solves = !lp_solves;
+      cover_cuts = !n_cover;
+      clique_cuts = !n_clique;
+      cut_rounds = !n_rounds;
+      simplex = Simplex.stats lp;
+    }
   in
   let outcome =
     if !hit_budget then Budget !incumbent

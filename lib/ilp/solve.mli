@@ -27,6 +27,9 @@ type outcome =
 type stats = {
   nodes : int;
   lp_solves : int;
+  cover_cuts : int;  (** cover cuts added during the root tightening loop *)
+  clique_cuts : int;  (** clique cuts added during the root tightening loop *)
+  cut_rounds : int;  (** separation/re-solve rounds actually run *)
   simplex : Thr_lp.Simplex.stats;
       (** cumulative simplex effort (pivots, warm/cold solve counts) over
           the node LPs of this solve *)
@@ -40,6 +43,9 @@ val solve :
   ?eps:float ->
   ?priority:Model.var list ->
   ?warm:bool ->
+  ?cuts:bool ->
+  ?cut_rounds:int ->
+  ?dive:bool ->
   ?should_stop:(unit -> bool) ->
   Model.t ->
   outcome * stats
@@ -52,6 +58,21 @@ val solve :
     [warm] (default [true]) re-solves node LPs warm from the basis of the
     previously explored node and prunes with an objective cutoff against
     the incumbent; [~warm:false] restores the cold-start baseline.
+
+    [cuts] (default [true]) runs a root cutting-plane loop before
+    branching: {!Cuts} clique and cover cuts violated by the fractional
+    root optimum are appended to the relaxation and it is re-solved, up
+    to [cut_rounds] (default [8]) separation rounds.  Cuts never exclude
+    an integer-feasible point, so the optimum is unchanged.
+
+    [dive] (default [true]) runs a rounding dive from the root optimum —
+    repeatedly fixing the most fractional integer variable to its
+    nearest feasible integer and re-solving — to plant an incumbent
+    before the search starts, which arms the objective cutoff for the
+    whole tree.  Dive LPs always solve cold so warm and cold runs dive
+    identically; [~dive:false] isolates the pure branch-and-bound for
+    benchmarking.
+
     [should_stop] is polled once per node; when it returns [true] the
     search stops as if the node budget were exhausted (outcome
     [Budget _]). *)

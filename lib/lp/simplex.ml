@@ -2,6 +2,8 @@
 let m_pivots = Thr_obs.Metrics.counter "simplex_pivots_total"
 let m_warm = Thr_obs.Metrics.counter "simplex_warm_solves_total"
 let m_cold = Thr_obs.Metrics.counter "simplex_cold_solves_total"
+let m_refactor = Thr_obs.Metrics.counter "thr_lp_refactorizations_total"
+let m_eta = Thr_obs.Metrics.counter "thr_lp_eta_updates_total"
 
 type relation = Le | Ge | Eq
 
@@ -15,6 +17,8 @@ type stats = {
   bland_fallbacks : int;
   warm_solves : int;
   cold_solves : int;
+  refactorizations : int;
+  eta_updates : int;
 }
 
 let zero_stats =
@@ -26,15 +30,19 @@ let zero_stats =
     bland_fallbacks = 0;
     warm_solves = 0;
     cold_solves = 0;
+    refactorizations = 0;
+    eta_updates = 0;
   }
 
 let total_pivots s = s.phase1_pivots + s.phase2_pivots + s.dual_pivots
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "pivots p1=%d p2=%d dual=%d (degen=%d bland=%d) solves warm=%d cold=%d"
+    "pivots p1=%d p2=%d dual=%d (degen=%d bland=%d) solves warm=%d cold=%d \
+     lu refactor=%d eta=%d"
     s.phase1_pivots s.phase2_pivots s.dual_pivots s.degenerate_pivots
-    s.bland_fallbacks s.warm_solves s.cold_solves
+    s.bland_fallbacks s.warm_solves s.cold_solves s.refactorizations
+    s.eta_updates
 
 (* mutable cumulative counters behind the immutable [stats] view *)
 type counters = {
@@ -45,21 +53,48 @@ type counters = {
   mutable c_bland : int;
   mutable c_warm : int;
   mutable c_cold : int;
+  mutable c_refactor : int;
+  mutable c_eta : int;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Solver state: full tableau of B^-1 A over all columns (structural +
-   slack + artificial), current basic-variable values, the reduced cost
-   row for the active objective, and B^-1 b — kept up to date through
-   pivots so the basis can be revived after bound changes. *)
+(* The constraint matrix in sparse form.  Rows are normalised once per
+   problem shape — structural columns first, then one slack per
+   inequality (Le: +1, Ge: -1) — and cached across solves; only
+   [add_constraint] invalidates it.  Artificial columns are per-solve
+   unit columns and never enter the stored matrix. *)
+
+type nmat = {
+  nm : int;                 (* rows *)
+  art0 : int;               (* n_vars + n_slack: artificials start here *)
+  cptr : int array;         (* CSC over columns [0, art0) *)
+  crow : int array;
+  cval : float array;
+  rptr : int array;         (* CSR over the same entries *)
+  rcol : int array;
+  rval : float array;
+  nrhs : float array;
+  nrel : relation array;
+  slack_of : int array;     (* row -> slack column, -1 on equalities *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Solver state: an LU-factorised basis (plus its product-form eta file)
+   instead of the former dense B⁻¹A tableau.  Tableau columns and rows
+   are materialised on demand with FTRAN/BTRAN; the reduced-cost row is
+   maintained incrementally across pivots and recomputed from scratch at
+   every refactorisation. *)
 
 type status = Basic of int (* row *) | At_lo | At_up
 
 type state = {
+  mat : nmat;
   m : int;                 (* rows *)
-  ncols : int;             (* total columns *)
-  tab : float array array; (* m x ncols, equals B^-1 A *)
-  bcol : float array;      (* B^-1 b *)
+  ncols : int;             (* total columns incl. artificials *)
+  art0 : int;
+  n_art : int;
+  art_row : int array;     (* artificial (col - art0) -> row *)
+  art_sign : float array;  (* its single coefficient, ±1 *)
   xb : float array;        (* current value of the basic var of each row *)
   basis : int array;       (* column basic in each row *)
   status : status array;   (* per column *)
@@ -67,15 +102,23 @@ type state = {
   sup : float array;       (* per-column upper bounds *)
   zrow : float array;      (* reduced costs for active objective *)
   cost : float array;      (* active objective *)
-  n_art : int;             (* artificials live in the last n_art columns *)
+  dw : float array;        (* dual steepest-edge row weights *)
+  mutable lu : Lu.t;
+  (* dense scratch, reused across pivots *)
+  fcol : float array;      (* m: FTRAN image of the entering column *)
+  rho : float array;       (* m: BTRAN image of the leaving unit row *)
+  tau : float array;       (* m: FTRAN of rho, for the DSE update *)
+  rwork : float array;     (* ncols: gathered tableau row *)
+  rtouch : int array;      (* columns touched in rwork *)
+  rmark : bool array;
+  mutable n_touch : int;
 }
 
 (* A cached optimal basis: dual feasible for the problem's objective, so
    after [set_bounds] changes it can be re-solved with the dual simplex
    instead of two cold phases.  [warm_uses] bounds how many re-solves are
-   allowed before a refactorising cold solve (tableau round-off grows with
-   every pivot and is only reset by a rebuild). *)
-type cache = { st : state; art0 : int; mutable warm_uses : int }
+   allowed before a refactorising cold solve. *)
+type cache = { st : state; mutable warm_uses : int }
 
 let warm_refresh_limit = 256
 
@@ -86,6 +129,7 @@ type problem = {
   obj : float array;
   mutable rows : row list; (* reversed *)
   mutable n_rows : int;
+  mutable nmat : nmat option;
   mutable cache : cache option;
   ctr : counters;
 }
@@ -99,6 +143,7 @@ let create ~n_vars =
     obj = Array.make n_vars 0.0;
     rows = [];
     n_rows = 0;
+    nmat = None;
     cache = None;
     ctr =
       {
@@ -109,6 +154,8 @@ let create ~n_vars =
         c_bland = 0;
         c_warm = 0;
         c_cold = 0;
+        c_refactor = 0;
+        c_eta = 0;
       };
   }
 
@@ -125,6 +172,8 @@ let stats p =
     bland_fallbacks = p.ctr.c_bland;
     warm_solves = p.ctr.c_warm;
     cold_solves = p.ctr.c_cold;
+    refactorizations = p.ctr.c_refactor;
+    eta_updates = p.ctr.c_eta;
   }
 
 let forget p = p.cache <- None
@@ -154,6 +203,7 @@ let add_constraint p terms rel rhs =
   List.iter (fun (j, _) -> check_var p j) terms;
   p.rows <- { terms; rel; rhs } :: p.rows;
   p.n_rows <- p.n_rows + 1;
+  p.nmat <- None;
   p.cache <- None
 
 type solution = { objective : float; values : float array }
@@ -172,27 +222,270 @@ let pp_result ppf = function
   | Iter_limit -> Format.pp_print_string ppf "iteration limit"
   | Cutoff -> Format.pp_print_string ppf "objective cutoff exceeded"
 
+(* ------------------------------------------------------------------ *)
+(* Matrix construction (cached across solves). *)
+
+let build_matrix p =
+  let rows = Array.of_list (List.rev p.rows) in
+  let m = Array.length rows in
+  (* compact each row: duplicate indices summed, columns ascending *)
+  let racc = Array.make p.nv 0.0 in
+  let rstamp = Array.make p.nv (-1) in
+  let terms =
+    Array.mapi
+      (fun i r ->
+        let cols = ref [] in
+        List.iter
+          (fun (j, c) ->
+            if rstamp.(j) <> i then begin
+              rstamp.(j) <- i;
+              racc.(j) <- c;
+              cols := j :: !cols
+            end
+            else racc.(j) <- racc.(j) +. c)
+          r.terms;
+        List.sort compare !cols
+        |> List.filter_map (fun j ->
+               if racc.(j) = 0.0 then None else Some (j, racc.(j)))
+        |> Array.of_list)
+      rows
+  in
+  let slack_of = Array.make (max m 1) (-1) in
+  let n_slack = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r.rel with
+      | Le | Ge ->
+          slack_of.(i) <- p.nv + !n_slack;
+          incr n_slack
+      | Eq -> ())
+    rows;
+  let art0 = p.nv + !n_slack in
+  let slack_coef i = match rows.(i).rel with Ge -> -1.0 | Le | Eq -> 1.0 in
+  (* CSC *)
+  let cptr = Array.make (art0 + 1) 0 in
+  Array.iter (Array.iter (fun (j, _) -> cptr.(j + 1) <- cptr.(j + 1) + 1)) terms;
+  Array.iteri
+    (fun _ s -> if s >= 0 then cptr.(s + 1) <- cptr.(s + 1) + 1)
+    slack_of;
+  for j = 0 to art0 - 1 do
+    cptr.(j + 1) <- cptr.(j + 1) + cptr.(j)
+  done;
+  let nnz = cptr.(art0) in
+  let crow = Array.make (max nnz 1) 0 in
+  let cval = Array.make (max nnz 1) 0.0 in
+  let cur = Array.make art0 0 in
+  Array.blit cptr 0 cur 0 art0;
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun (j, c) ->
+          crow.(cur.(j)) <- i;
+          cval.(cur.(j)) <- c;
+          cur.(j) <- cur.(j) + 1)
+        row;
+      let s = slack_of.(i) in
+      if s >= 0 then begin
+        crow.(cur.(s)) <- i;
+        cval.(cur.(s)) <- slack_coef i;
+        cur.(s) <- cur.(s) + 1
+      end)
+    terms;
+  (* CSR *)
+  let rptr = Array.make (m + 1) 0 in
+  Array.iteri
+    (fun i row ->
+      rptr.(i + 1) <-
+        rptr.(i) + Array.length row + (if slack_of.(i) >= 0 then 1 else 0))
+    terms;
+  let rcol = Array.make (max nnz 1) 0 in
+  let rval = Array.make (max nnz 1) 0.0 in
+  Array.iteri
+    (fun i row ->
+      let k = ref rptr.(i) in
+      Array.iter
+        (fun (j, c) ->
+          rcol.(!k) <- j;
+          rval.(!k) <- c;
+          incr k)
+        row;
+      if slack_of.(i) >= 0 then begin
+        rcol.(!k) <- slack_of.(i);
+        rval.(!k) <- slack_coef i
+      end)
+    terms;
+  {
+    nm = m;
+    art0;
+    cptr;
+    crow;
+    cval;
+    rptr;
+    rcol;
+    rval;
+    nrhs = Array.map (fun r -> r.rhs) rows;
+    nrel = Array.map (fun r -> r.rel) rows;
+    slack_of;
+  }
+
+let get_matrix p =
+  match p.nmat with
+  | Some m -> m
+  | None ->
+      let m = build_matrix p in
+      p.nmat <- Some m;
+      m
+
+(* ------------------------------------------------------------------ *)
+(* State primitives. *)
+
 let nonbasic_value st j =
   match st.status.(j) with
+  | Basic r -> st.xb.(r)
   | At_lo -> st.slo.(j)
   | At_up -> st.sup.(j)
-  | Basic r -> st.xb.(r)
 
-let recompute_zrow st =
-  for j = 0 to st.ncols - 1 do
-    st.zrow.(j) <- st.cost.(j)
+let col_iter st j f =
+  if j < st.art0 then begin
+    let mat = st.mat in
+    for k = mat.cptr.(j) to mat.cptr.(j + 1) - 1 do
+      f mat.crow.(k) mat.cval.(k)
+    done
+  end
+  else f st.art_row.(j - st.art0) st.art_sign.(j - st.art0)
+
+(* FTRAN the column of variable [j] into [st.fcol] (position space). *)
+let ftran_col st j =
+  Array.fill st.fcol 0 st.m 0.0;
+  col_iter st j (fun i a -> st.fcol.(i) <- st.fcol.(i) +. a);
+  Lu.ftran st.lu st.fcol
+
+(* BTRAN the unit vector of basis position [r] into [st.rho] (row space). *)
+let btran_row st r =
+  Array.fill st.rho 0 st.m 0.0;
+  st.rho.(r) <- 1.0;
+  Lu.btran st.lu st.rho
+
+(* Gather the tableau row ρᵀA into [st.rwork]/[st.rtouch] from the BTRAN
+   image in [st.rho]; untouched columns stay exactly 0. *)
+let gather_row st =
+  for t = 0 to st.n_touch - 1 do
+    let j = st.rtouch.(t) in
+    st.rmark.(j) <- false;
+    st.rwork.(j) <- 0.0
   done;
+  st.n_touch <- 0;
+  let mat = st.mat in
   for i = 0 to st.m - 1 do
-    let cb = st.cost.(st.basis.(i)) in
-    if cb <> 0.0 then begin
-      let row = st.tab.(i) in
-      for j = 0 to st.ncols - 1 do
-        st.zrow.(j) <- st.zrow.(j) -. (cb *. row.(j))
+    let y = st.rho.(i) in
+    if y <> 0.0 then
+      for k = mat.rptr.(i) to mat.rptr.(i + 1) - 1 do
+        let j = mat.rcol.(k) in
+        if not st.rmark.(j) then begin
+          st.rmark.(j) <- true;
+          st.rtouch.(st.n_touch) <- j;
+          st.n_touch <- st.n_touch + 1
+        end;
+        st.rwork.(j) <- st.rwork.(j) +. (y *. mat.rval.(k))
       done
-    end
   done;
-  (* exact zeros on basic columns avoid spurious re-entering *)
-  Array.iter (fun b -> st.zrow.(b) <- 0.0) st.basis
+  for a = 0 to st.n_art - 1 do
+    let y = st.rho.(st.art_row.(a)) in
+    if y <> 0.0 then begin
+      let j = st.art0 + a in
+      if not st.rmark.(j) then begin
+        st.rmark.(j) <- true;
+        st.rtouch.(st.n_touch) <- j;
+        st.n_touch <- st.n_touch + 1
+      end;
+      st.rwork.(j) <- st.rwork.(j) +. (y *. st.art_sign.(a))
+    end
+  done
+
+let basis_cols st =
+  Array.init st.m (fun k ->
+      let j = st.basis.(k) in
+      if j < st.art0 then begin
+        let mat = st.mat in
+        let lo = mat.cptr.(j) in
+        let n = mat.cptr.(j + 1) - lo in
+        Array.init n (fun t -> (mat.crow.(lo + t), mat.cval.(lo + t)))
+      end
+      else [| (st.art_row.(j - st.art0), st.art_sign.(j - st.art0)) |])
+
+let refactor ~ctr st =
+  ctr.c_refactor <- ctr.c_refactor + 1;
+  Thr_obs.Metrics.incr m_refactor;
+  st.lu <-
+    Thr_obs.Trace.with_span "lp.factorize" (fun () ->
+        Lu.factorize st.m (basis_cols st))
+
+(* x_B = B⁻¹ (b - Σ nonbasic A_j x_j), recomputed from the factors. *)
+let recompute_xb st =
+  Thr_obs.Trace.with_span "lp.ftran" (fun () ->
+      let b = st.fcol in
+      Array.blit st.mat.nrhs 0 b 0 st.m;
+      for j = 0 to st.ncols - 1 do
+        match st.status.(j) with
+        | Basic _ -> ()
+        | At_lo | At_up ->
+            let v = nonbasic_value st j in
+            if v <> 0.0 then col_iter st j (fun i a -> b.(i) <- b.(i) -. (a *. v))
+      done;
+      Lu.ftran st.lu b;
+      Array.blit b 0 st.xb 0 st.m)
+
+(* z_j = c_j - yᵀ A_j with y = B⁻ᵀ c_B, recomputed from the factors. *)
+let recompute_zrow st =
+  Thr_obs.Trace.with_span "lp.btran" (fun () ->
+      let y = st.rho in
+      for k = 0 to st.m - 1 do
+        y.(k) <- st.cost.(st.basis.(k))
+      done;
+      Lu.btran st.lu y;
+      for j = 0 to st.ncols - 1 do
+        match st.status.(j) with
+        | Basic _ -> st.zrow.(j) <- 0.0
+        | At_lo | At_up ->
+            let s = ref st.cost.(j) in
+            col_iter st j (fun i a -> s := !s -. (y.(i) *. a));
+            st.zrow.(j) <- !s
+      done)
+
+(* zrow after a pivot on (row r, entering e), from the gathered row:
+   z_j ← z_j - (z_e / α_re)·row_j.  Only touched columns change. *)
+let update_zrow_after_pivot st e =
+  let ze = st.zrow.(e) in
+  if ze <> 0.0 then begin
+    let f = ze /. st.rwork.(e) in
+    for t = 0 to st.n_touch - 1 do
+      let j = st.rtouch.(t) in
+      st.zrow.(j) <- st.zrow.(j) -. (f *. st.rwork.(j))
+    done
+  end;
+  st.zrow.(e) <- 0.0
+
+let eta_limit = 64     (* refactorise when the eta file reaches this *)
+let stab_tol = 1e-6    (* row/column pivot-agreement tolerance *)
+let pivot_tol = 1e-9
+let eta_pivot_tol = 1e-7
+(* A pivot element this small computed through a stale eta file cannot be
+   trusted — an earlier eta with a tiny diagonal amplifies round-off
+   enough that the row/column agreement check can pass on a value whose
+   true magnitude is zero, and committing such a pivot makes the recorded
+   basis exactly singular.  Below this threshold the factors are rebuilt
+   first and the step re-run on accurate numbers; after a fresh
+   factorisation the same pivot is trusted down to [pivot_tol]. *)
+
+let record_eta ~ctr st r =
+  Lu.update st.lu ~r st.fcol;
+  ctr.c_eta <- ctr.c_eta + 1;
+  Thr_obs.Metrics.incr m_eta
+
+let refresh ~ctr st =
+  refactor ~ctr st;
+  recompute_xb st;
+  recompute_zrow st
 
 (* Price: choose an entering column.  Dantzig rule by default, Bland's
    (first eligible index) when [bland].  [allow] filters columns. *)
@@ -229,52 +522,25 @@ let price st ~eps ~bland ~allow =
    with Exit -> ());
   if bland then !found_bland else !best
 
-type step = Moved of float (* objective progress *) | No_entering | Unbounded_dir
+type step =
+  | Moved of float (* objective progress *)
+  | No_entering
+  | Unbounded_dir
+  | Refactored (* stability trip: factors rebuilt, iteration not performed *)
 
-let pivot_tol = 1e-9
-
-(* Gauss-Jordan pivot on (r, e): normalise row r, eliminate column e from
-   every other row, keep bcol and zrow in sync.  The caller updates basis,
-   status and xb. *)
-let pivot_tableau st r e =
-  let prow = st.tab.(r) in
-  let piv = prow.(e) in
-  for j = 0 to st.ncols - 1 do
-    prow.(j) <- prow.(j) /. piv
-  done;
-  st.bcol.(r) <- st.bcol.(r) /. piv;
-  for i = 0 to st.m - 1 do
-    if i <> r then begin
-      let f = st.tab.(i).(e) in
-      if f <> 0.0 then begin
-        let row = st.tab.(i) in
-        for j = 0 to st.ncols - 1 do
-          row.(j) <- row.(j) -. (f *. prow.(j))
-        done;
-        st.bcol.(i) <- st.bcol.(i) -. (f *. st.bcol.(r))
-      end
-    end
-  done;
-  let zf = st.zrow.(e) in
-  if zf <> 0.0 then
-    for j = 0 to st.ncols - 1 do
-      st.zrow.(j) <- st.zrow.(j) -. (zf *. prow.(j))
-    done;
-  st.zrow.(e) <- 0.0
-
-(* One primal simplex step.  Returns the amount the entering variable moved
-   (0.0 for a degenerate pivot). *)
-let simplex_step st ~eps ~bland ~allow =
+(* One primal simplex step over the factorised basis. *)
+let simplex_step ~ctr st ~eps ~bland ~allow =
   let e = price st ~eps ~bland ~allow in
   if e < 0 then No_entering
   else begin
+    ftran_col st e;
     let d = match st.status.(e) with At_up -> -1.0 | At_lo | Basic _ -> 1.0 in
-    (* x_B(i) moves at rate_i = -d * tab(i,e) per unit of t >= 0 *)
+    (* x_B(i) moves at rate_i = -d * α_i per unit of t >= 0 *)
     let t_limit = ref (st.sup.(e) -. st.slo.(e)) in
     let leaving = ref (-1) in
     let leaving_to_up = ref false in
     for i = 0 to st.m - 1 do
-      let coef = st.tab.(i).(e) in
+      let coef = st.fcol.(i) in
       if Float.abs coef > pivot_tol then begin
         let rate = -.d *. coef in
         let b = st.basis.(i) in
@@ -296,33 +562,86 @@ let simplex_step st ~eps ~bland ~allow =
         end
       end
     done;
-    if Float.is_finite !t_limit then begin
-      let t = max !t_limit 0.0 in
-      (* update basic values *)
+    (* when the ratio test lands on a dangerously small pivot element,
+       rescan the rows (near-)tied at the minimum ratio for one with a
+       larger pivot: degenerate LPs tie many rows at t = 0, and committing
+       a tiny pivot there poisons the eta file (and hence the recorded
+       basis).  Gated on the pivot actually being small so the common
+       well-conditioned case keeps the first-match row — the tie-break
+       changes which vertex a degenerate LP lands on, which downstream
+       consumers (cut separation, branching) are sensitive to. *)
+    if !leaving >= 0 && Float.abs st.fcol.(!leaving) < 1e-4 then begin
+      let best_abs = ref (Float.abs st.fcol.(!leaving)) in
       for i = 0 to st.m - 1 do
-        let coef = st.tab.(i).(e) in
-        if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (d *. t *. coef)
-      done;
+        let coef = st.fcol.(i) in
+        let a = Float.abs coef in
+        if a > !best_abs then begin
+          let rate = -.d *. coef in
+          let b = st.basis.(i) in
+          if rate > pivot_tol && Float.is_finite st.sup.(b) then begin
+            let t = (st.sup.(b) -. st.xb.(i)) /. rate in
+            if t <= !t_limit +. 1e-12 then begin
+              leaving := i;
+              leaving_to_up := true;
+              best_abs := a
+            end
+          end
+          else if rate < -.pivot_tol then begin
+            let t = (st.slo.(b) -. st.xb.(i)) /. rate in
+            if t <= !t_limit +. 1e-12 then begin
+              leaving := i;
+              leaving_to_up := false;
+              best_abs := a
+            end
+          end
+        end
+      done
+    end;
+    if not (Float.is_finite !t_limit) then Unbounded_dir
+    else begin
+      let t = max !t_limit 0.0 in
       if !leaving < 0 then begin
         (* bound flip of the entering variable *)
+        for i = 0 to st.m - 1 do
+          let coef = st.fcol.(i) in
+          if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (d *. t *. coef)
+        done;
         st.status.(e) <- (match st.status.(e) with At_lo -> At_up | _ -> At_lo);
         Moved t
       end
       else begin
         let r = !leaving in
-        let out = st.basis.(r) in
-        let enter_value =
-          (match st.status.(e) with At_up -> st.sup.(e) | _ -> st.slo.(e)) +. (d *. t)
-        in
-        pivot_tableau st r e;
-        st.basis.(r) <- e;
-        st.status.(e) <- Basic r;
-        st.status.(out) <- (if !leaving_to_up then At_up else At_lo);
-        st.xb.(r) <- enter_value;
-        Moved t
+        btran_row st r;
+        gather_row st;
+        let piv = st.fcol.(r) in
+        if
+          Float.abs (st.rwork.(e) -. piv) > stab_tol *. (1.0 +. Float.abs piv)
+          || (Float.abs piv < eta_pivot_tol && Lu.n_etas st.lu > 0)
+        then begin
+          refresh ~ctr st;
+          Refactored
+        end
+        else begin
+          for i = 0 to st.m - 1 do
+            let coef = st.fcol.(i) in
+            if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (d *. t *. coef)
+          done;
+          let out = st.basis.(r) in
+          let enter_value =
+            (match st.status.(e) with At_up -> st.sup.(e) | _ -> st.slo.(e))
+            +. (d *. t)
+          in
+          update_zrow_after_pivot st e;
+          record_eta ~ctr st r;
+          st.basis.(r) <- e;
+          st.status.(e) <- Basic r;
+          st.status.(out) <- (if !leaving_to_up then At_up else At_lo);
+          st.xb.(r) <- enter_value;
+          if Lu.n_etas st.lu >= eta_limit then refresh ~ctr st;
+          Moved t
+        end
       end
     end
-    else Unbounded_dir
   end
 
 (* Run primal simplex to optimality for the active objective. *)
@@ -333,9 +652,10 @@ let optimize st ~eps ~allow ~ctr ~phase1 iters_left =
     if !iters_left <= 0 then `Iter_limit
     else begin
       decr iters_left;
-      match simplex_step st ~eps ~bland:!bland ~allow with
+      match simplex_step ~ctr st ~eps ~bland:!bland ~allow with
       | No_entering -> `Optimal
       | Unbounded_dir -> `Unbounded
+      | Refactored -> loop ()
       | Moved t ->
           Thr_obs.Metrics.incr m_pivots;
           if phase1 then ctr.c_p1 <- ctr.c_p1 + 1
@@ -373,130 +693,17 @@ let final_solution p st =
   Optimal { objective = !objective; values }
 
 (* ------------------------------------------------------------------ *)
-(* Cold solve: build the tableau from scratch, two-phase primal. *)
+(* Cold solve: crash basis, factorise, two-phase primal. *)
 
 let cold_solve ~eps ~max_iters p =
   p.ctr.c_cold <- p.ctr.c_cold + 1;
   Thr_obs.Metrics.incr m_cold;
-  (* a cold solve rebuilds the tableau: the basis-refactor event *)
+  (* a cold solve rebuilds the basis from scratch: the refactor event *)
   if Thr_obs.Trace.enabled () then Thr_obs.Trace.instant "simplex.refactor" ();
-  let rows = Array.of_list (List.rev p.rows) in
-  let m = Array.length rows in
-  let n_slack =
-    Array.fold_left
-      (fun acc r -> match r.rel with Le | Ge -> acc + 1 | Eq -> acc)
-      0 rows
-  in
-  let art0 = p.nv + n_slack in
-  (* Crash basis: at the all-lower-bound point, a row whose slack value is
-     already nonnegative uses its slack as the basic variable; only the
-     remaining rows (equalities and violated inequalities) get an
-     artificial column.  When no artificials are needed, phase 1 is
-     skipped entirely. *)
-  let slack_of = Array.make (max m 1) (-1) in
-  let slack_idx = ref p.nv in
-  Array.iteri
-    (fun i r ->
-      match r.rel with
-      | Le | Ge ->
-          slack_of.(i) <- !slack_idx;
-          incr slack_idx
-      | Eq -> ())
-    rows;
-  let residual = Array.make (max m 1) 0.0 in
-  Array.iteri
-    (fun i r ->
-      let s = ref r.rhs in
-      List.iter (fun (j, c) -> s := !s -. (c *. p.lo.(j))) r.terms;
-      residual.(i) <- !s)
-    rows;
-  let needs_artificial i =
-    match rows.(i).rel with
-    | Le -> residual.(i) < 0.0
-    | Ge -> residual.(i) > 0.0
-    | Eq -> true
-  in
-  let art_of = Array.make (max m 1) (-1) in
-  let n_art = ref 0 in
-  for i = 0 to m - 1 do
-    if needs_artificial i then begin
-      art_of.(i) <- art0 + !n_art;
-      incr n_art
-    end
-  done;
-  let n_art = !n_art in
-  let ncols = art0 + n_art in
-  let dense = Array.make_matrix m ncols 0.0 in
-  let rhsv = Array.init (max m 1) (fun i -> if i < m then rows.(i).rhs else 0.0) in
-  let slo = Array.make ncols 0.0 in
-  let sup = Array.make ncols infinity in
-  Array.blit p.lo 0 slo 0 p.nv;
-  Array.blit p.up 0 sup 0 p.nv;
-  Array.iteri
-    (fun i r -> List.iter (fun (j, c) -> dense.(i).(j) <- dense.(i).(j) +. c) r.terms)
-    rows;
-  Array.iteri
-    (fun i r ->
-      match r.rel with
-      | Le -> dense.(i).(slack_of.(i)) <- 1.0
-      | Ge -> dense.(i).(slack_of.(i)) <- -1.0
-      | Eq -> ())
-    rows;
-  let status = Array.make ncols At_lo in
-  let basis = Array.make (max m 1) 0 in
-  let xb = Array.make (max m 1) 0.0 in
-  let negate_row i =
-    for j = 0 to ncols - 1 do
-      dense.(i).(j) <- -.dense.(i).(j)
-    done;
-    rhsv.(i) <- -.rhsv.(i)
-  in
-  for i = 0 to m - 1 do
-    if art_of.(i) >= 0 then begin
-      (* flip the row if needed so the artificial starts nonnegative *)
-      if residual.(i) < 0.0 then begin
-        negate_row i;
-        residual.(i) <- -.residual.(i)
-      end;
-      dense.(i).(art_of.(i)) <- 1.0;
-      basis.(i) <- art_of.(i);
-      xb.(i) <- residual.(i)
-    end
-    else begin
-      (* slack-basic row; Ge rows are negated so the slack coefficient
-         becomes +1 and its starting value -residual >= 0 *)
-      (match rows.(i).rel with
-      | Le -> xb.(i) <- residual.(i)
-      | Ge ->
-          negate_row i;
-          xb.(i) <- -.residual.(i)
-      | Eq -> assert false);
-      basis.(i) <- slack_of.(i)
-    end
-  done;
-  Array.iteri (fun i b -> if i < m then status.(b) <- Basic i) basis;
-  let st =
-    {
-      m;
-      ncols;
-      tab = dense;
-      bcol = Array.sub rhsv 0 (max m 1);
-      xb;
-      basis;
-      status;
-      slo;
-      sup;
-      zrow = Array.make ncols 0.0;
-      cost = Array.make ncols 0.0;
-      n_art;
-    }
-  in
-  let iters_left = ref max_iters in
-  if m = 0 then begin
+  if p.n_rows = 0 then begin
     (* No constraints: each variable sits at whichever bound minimises. *)
     let values =
-      Array.init p.nv (fun j ->
-          if p.obj.(j) < 0.0 then p.up.(j) else p.lo.(j))
+      Array.init p.nv (fun j -> if p.obj.(j) < 0.0 then p.up.(j) else p.lo.(j))
     in
     if Array.exists (fun v -> not (Float.is_finite v)) values then Unbounded
     else begin
@@ -506,6 +713,99 @@ let cold_solve ~eps ~max_iters p =
     end
   end
   else begin
+    let mat = get_matrix p in
+    let m = mat.nm in
+    let art0 = mat.art0 in
+    (* residual of each row at the all-lower-bound point *)
+    let residual = Array.copy mat.nrhs in
+    for i = 0 to m - 1 do
+      for k = mat.rptr.(i) to mat.rptr.(i + 1) - 1 do
+        let j = mat.rcol.(k) in
+        if j < p.nv then
+          residual.(i) <- residual.(i) -. (mat.rval.(k) *. p.lo.(j))
+      done
+    done;
+    (* Crash basis: a row whose slack value is already nonnegative uses
+       its slack as the basic variable; only the remaining rows
+       (equalities and violated inequalities) get an artificial unit
+       column signed so it starts nonnegative.  When no artificials are
+       needed, phase 1 is skipped entirely. *)
+    let needs_artificial i =
+      match mat.nrel.(i) with
+      | Le -> residual.(i) < 0.0
+      | Ge -> residual.(i) > 0.0
+      | Eq -> true
+    in
+    let art_of = Array.make m (-1) in
+    let n_art = ref 0 in
+    for i = 0 to m - 1 do
+      if needs_artificial i then begin
+        art_of.(i) <- art0 + !n_art;
+        incr n_art
+      end
+    done;
+    let n_art = !n_art in
+    let ncols = art0 + n_art in
+    let art_row = Array.make (max n_art 1) 0 in
+    let art_sign = Array.make (max n_art 1) 1.0 in
+    let slo = Array.make ncols 0.0 in
+    let sup = Array.make ncols infinity in
+    Array.blit p.lo 0 slo 0 p.nv;
+    Array.blit p.up 0 sup 0 p.nv;
+    let status = Array.make ncols At_lo in
+    let basis = Array.make m 0 in
+    let xb = Array.make m 0.0 in
+    for i = 0 to m - 1 do
+      if art_of.(i) >= 0 then begin
+        let a = art_of.(i) - art0 in
+        art_row.(a) <- i;
+        art_sign.(a) <- (if residual.(i) < 0.0 then -1.0 else 1.0);
+        basis.(i) <- art_of.(i);
+        xb.(i) <- Float.abs residual.(i)
+      end
+      else begin
+        (* slack-basic row: Le slack (coef +1) starts at residual >= 0,
+           Ge slack (coef -1) starts at -residual >= 0 *)
+        basis.(i) <- mat.slack_of.(i);
+        xb.(i) <-
+          (match mat.nrel.(i) with
+          | Le -> residual.(i)
+          | Ge -> -.residual.(i)
+          | Eq -> assert false)
+      end
+    done;
+    Array.iteri (fun i b -> status.(b) <- Basic i) basis;
+    let st =
+      {
+        mat;
+        m;
+        ncols;
+        art0;
+        n_art;
+        art_row;
+        art_sign;
+        xb;
+        basis;
+        status;
+        slo;
+        sup;
+        zrow = Array.make ncols 0.0;
+        cost = Array.make ncols 0.0;
+        (* the crash basis is diagonal ±1, whose B⁻ᵀ rows have unit norm
+           — so the steepest-edge weights start exact *)
+        dw = Array.make m 1.0;
+        lu = Lu.factorize 0 [||];
+        fcol = Array.make m 0.0;
+        rho = Array.make m 0.0;
+        tau = Array.make m 0.0;
+        rwork = Array.make ncols 0.0;
+        rtouch = Array.make ncols 0;
+        rmark = Array.make ncols false;
+        n_touch = 0;
+      }
+    in
+    refactor ~ctr:p.ctr st;
+    let iters_left = ref max_iters in
     (* Phase 1 — skipped when the crash basis is already feasible *)
     let phase1 =
       if n_art = 0 then `Optimal
@@ -514,7 +814,8 @@ let cold_solve ~eps ~max_iters p =
           st.cost.(j) <- (if j >= art0 then 1.0 else 0.0)
         done;
         recompute_zrow st;
-        optimize st ~eps ~allow:(fun _ -> true) ~ctr:p.ctr ~phase1:true iters_left
+        optimize st ~eps ~allow:(fun _ -> true) ~ctr:p.ctr ~phase1:true
+          iters_left
       end
     in
     match phase1 with
@@ -543,26 +844,38 @@ let cold_solve ~eps ~max_iters p =
           done;
           for i = 0 to m - 1 do
             if st.basis.(i) >= art0 then begin
-              (* find a structural/slack column with nonzero tableau entry *)
-              let j = ref 0 in
-              let found = ref (-1) in
-              while !found < 0 && !j < art0 do
-                (match st.status.(!j) with
-                | Basic _ -> ()
-                | At_lo | At_up ->
-                    if Float.abs st.tab.(i).(!j) > 1e-6 then found := !j);
-                incr j
+              (* find a nonbasic structural/slack column with a usable
+                 tableau entry in this row *)
+              btran_row st i;
+              gather_row st;
+              let e = ref (-1) in
+              for t = 0 to st.n_touch - 1 do
+                let j = st.rtouch.(t) in
+                if
+                  j < art0
+                  && (!e < 0 || j < !e)
+                  && Float.abs st.rwork.(j) > 1e-6
+                  && (match st.status.(j) with Basic _ -> false | _ -> true)
+                then e := j
               done;
-              match !found with
+              match !e with
               | -1 -> () (* redundant row; artificial stays basic at 0 *)
               | e ->
-                  let out = st.basis.(i) in
-                  let entering_value = nonbasic_value st e in
-                  pivot_tableau st i e;
-                  st.basis.(i) <- e;
-                  st.status.(e) <- Basic i;
-                  st.status.(out) <- At_lo;
-                  st.xb.(i) <- entering_value
+                  ftran_col st e;
+                  (* demand the same magnitude of the column-computed
+                     pivot as of the row-computed one: a drive-out pivot
+                     is optional, so only well-conditioned swaps are
+                     worth an eta *)
+                  if Float.abs st.fcol.(i) > 1e-6 then begin
+                    let out = st.basis.(i) in
+                    let enter_value = nonbasic_value st e in
+                    record_eta ~ctr:p.ctr st i;
+                    st.basis.(i) <- e;
+                    st.status.(e) <- Basic i;
+                    st.status.(out) <- At_lo;
+                    st.xb.(i) <- enter_value;
+                    if Lu.n_etas st.lu >= eta_limit then refactor ~ctr:p.ctr st
+                  end
             end
           done;
           (* Phase 2 *)
@@ -575,7 +888,7 @@ let cold_solve ~eps ~max_iters p =
           | `Iter_limit -> Iter_limit
           | `Unbounded -> Unbounded
           | `Optimal ->
-              p.cache <- Some { st; art0; warm_uses = 0 };
+              p.cache <- Some { st; warm_uses = 0 };
               final_solution p st
         end
   end
@@ -584,10 +897,10 @@ let cold_solve ~eps ~max_iters p =
 (* Warm solve: revive the cached optimal basis after [set_bounds]
    changes.  The reduced-cost row is unchanged (same objective, same
    rows), so the basis stays dual feasible up to bound-status flips;
-   primal feasibility is restored with the bounded-variable dual simplex.
-   Returns [None] when the cache cannot be made dual feasible by flips
-   alone (a variable pinned against an infinite bound) — the caller then
-   falls back to a cold solve. *)
+   primal feasibility is restored with the bounded-variable dual simplex
+   over the cached LU factors.  Returns [None] when the cache cannot be
+   made dual feasible by flips alone (a variable pinned against an
+   infinite bound) — the caller then falls back to a cold solve. *)
 
 let warm_solve ~eps ~max_iters ?cutoff p cache =
   let st = cache.st in
@@ -611,18 +924,7 @@ let warm_solve ~eps ~max_iters ?cutoff p cache =
   done;
   if not !ok then None
   else begin
-    (* x_B = B^-1 b - sum over nonbasic j of (B^-1 A_j) x_j *)
-    Array.blit st.bcol 0 st.xb 0 st.m;
-    for j = 0 to st.ncols - 1 do
-      match st.status.(j) with
-      | Basic _ -> ()
-      | At_lo | At_up ->
-          let v = nonbasic_value st j in
-          if v <> 0.0 then
-            for i = 0 to st.m - 1 do
-              st.xb.(i) <- st.xb.(i) -. (st.tab.(i).(j) *. v)
-            done
-    done;
+    recompute_xb st;
     (* objective of the current (super-optimal) basic solution; it rises
        monotonically under dual pivots, so crossing [cutoff] proves the
        true optimum lies beyond it *)
@@ -636,12 +938,14 @@ let warm_solve ~eps ~max_iters ?cutoff p cache =
                 | Basic r -> st.xb.(r)
                 | At_lo | At_up -> nonbasic_value st j)
     done;
-    (* Wandering guard: dual Dantzig pricing stalls badly on the highly
-       degenerate scheduling LPs this engine serves, so (a) rows are
-       priced by steepest edge — violation² / ‖tableau row‖², exact since
-       the dense tableau is at hand — and (b) a warm re-solve that still
-       hasn't converged after [pivot_cap] pivots gives up and reports
-       [None] so the caller refactorises cold. *)
+    (* Leaving rows are priced by dual steepest edge — violation² / w_i
+       with w_i ≈ ‖e_iᵀB⁻¹‖², reset to the unit reference frame at each
+       revival and maintained exactly (Forrest–Goldfarb) across the dual
+       pivots of this re-solve.  Plain Dantzig pricing stalls badly on
+       the highly degenerate scheduling LPs this engine serves.  A warm
+       re-solve that still hasn't converged after [pivot_cap] pivots
+       gives up and reports [None] so the caller refactorises cold. *)
+    Array.fill st.dw 0 st.m 1.0;
     let pivot_cap = min max_iters (200 + (2 * st.m)) in
     let movable j =
       match st.status.(j) with
@@ -666,12 +970,7 @@ let warm_solve ~eps ~max_iters ?cutoff p cache =
           else (0.0, false)
         in
         if viol > 0.0 then begin
-          let row = st.tab.(i) in
-          let g = ref 1e-12 in
-          for j = 0 to cache.art0 - 1 do
-            if movable j then g := !g +. (row.(j) *. row.(j))
-          done;
-          let score = viol *. viol /. !g in
+          let score = viol *. viol /. st.dw.(i) in
           if score > !best_score then begin
             r := i;
             best_score := score;
@@ -688,85 +987,118 @@ let warm_solve ~eps ~max_iters ?cutoff p cache =
         let out = st.basis.(r) in
         let bound = if to_up then st.sup.(out) else st.slo.(out) in
         let delta = st.xb.(r) -. bound in
+        btran_row st r;
+        gather_row st;
         (* entering column: keep dual feasibility, min |z_j / alpha_j|
-           ratio (Bland: first eligible, after a degenerate run) *)
+           ratio (Bland: lowest eligible index, after a degenerate run) *)
         let e = ref (-1) in
         let best = ref infinity in
         let best_alpha = ref 0.0 in
-        (try
-           for j = 0 to cache.art0 - 1 do
-             if movable j then begin
-               let alpha = st.tab.(r).(j) in
-               let eligible =
-                 Float.abs alpha > pivot_tol
-                 &&
-                 if delta > 0.0 then
-                   match st.status.(j) with
-                   | At_lo -> alpha > 0.0
-                   | _ -> alpha < 0.0
-                 else
-                   match st.status.(j) with
-                   | At_lo -> alpha < 0.0
-                   | _ -> alpha > 0.0
-               in
-               if eligible then begin
-                 if !bland then begin
-                   e := j;
-                   raise Exit
-                 end;
-                 let ratio = Float.abs (st.zrow.(j) /. alpha) in
-                 if
-                   ratio < !best -. 1e-12
-                   || (ratio < !best +. 1e-12
-                      && Float.abs alpha > Float.abs !best_alpha)
-                 then begin
-                   e := j;
-                   best := ratio;
-                   best_alpha := alpha
-                 end
-               end
-             end
-           done
-         with Exit -> ());
+        for t = 0 to st.n_touch - 1 do
+          let j = st.rtouch.(t) in
+          if j < st.art0 && movable j then begin
+            let alpha = st.rwork.(j) in
+            let eligible =
+              Float.abs alpha > pivot_tol
+              &&
+              if delta > 0.0 then
+                match st.status.(j) with
+                | At_lo -> alpha > 0.0
+                | _ -> alpha < 0.0
+              else
+                match st.status.(j) with
+                | At_lo -> alpha < 0.0
+                | _ -> alpha > 0.0
+            in
+            if eligible then
+              if !bland then begin
+                if !e < 0 || j < !e then e := j
+              end
+              else begin
+                let ratio = Float.abs (st.zrow.(j) /. alpha) in
+                if
+                  ratio < !best -. 1e-12
+                  || (ratio < !best +. 1e-12
+                     && Float.abs alpha > Float.abs !best_alpha)
+                then begin
+                  e := j;
+                  best := ratio;
+                  best_alpha := alpha
+                end
+              end
+          end
+        done;
         if !e < 0 then Some Infeasible (* dual unbounded: no primal point *)
         else begin
           let e = !e in
-          let alpha_e = st.tab.(r).(e) in
-          let t = delta /. alpha_e in
-          let dz = st.zrow.(e) *. t in
-          p.ctr.c_dual <- p.ctr.c_dual + 1;
-          Thr_obs.Metrics.incr m_pivots;
-          if Float.abs dz <= 1e-12 then begin
-            p.ctr.c_degen <- p.ctr.c_degen + 1;
-            incr degen_run;
-            if !degen_run > 2 * (st.m + st.ncols) then begin
-              if not !bland then p.ctr.c_bland <- p.ctr.c_bland + 1;
-              bland := true
-            end
+          ftran_col st e;
+          let piv = st.fcol.(r) in
+          let alpha_e = st.rwork.(e) in
+          if
+            Float.abs (piv -. alpha_e) > stab_tol *. (1.0 +. Float.abs piv)
+            || (Float.abs piv < eta_pivot_tol && Lu.n_etas st.lu > 0)
+          then begin
+            (* row/column disagreement or an untrustworthy small pivot:
+               rebuild the factors and retry *)
+            refresh ~ctr:p.ctr st;
+            loop ()
           end
           else begin
-            degen_run := 0;
-            bland := false
-          end;
-          z := !z +. dz;
-          match cutoff with
-          | Some c when !z > c +. 1e-9 ->
-              (* abort before pivoting: the state stays consistent *)
-              Some Cutoff
-          | _ ->
-              let enter_value = nonbasic_value st e +. t in
-              for i = 0 to st.m - 1 do
-                if i <> r then begin
-                  let coef = st.tab.(i).(e) in
-                  if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (coef *. t)
-                end
-              done;
-              pivot_tableau st r e;
-              st.basis.(r) <- e;
-              st.status.(e) <- Basic r;
-              st.status.(out) <- (if to_up then At_up else At_lo);
-              st.xb.(r) <- enter_value;
-              loop ()
+            let step = delta /. alpha_e in
+            let dz = st.zrow.(e) *. step in
+            p.ctr.c_dual <- p.ctr.c_dual + 1;
+            Thr_obs.Metrics.incr m_pivots;
+            if Float.abs dz <= 1e-12 then begin
+              p.ctr.c_degen <- p.ctr.c_degen + 1;
+              incr degen_run;
+              if !degen_run > 2 * (st.m + st.ncols) then begin
+                if not !bland then p.ctr.c_bland <- p.ctr.c_bland + 1;
+                bland := true
+              end
+            end
+            else begin
+              degen_run := 0;
+              bland := false
+            end;
+            z := !z +. dz;
+            match cutoff with
+            | Some c when !z > c +. 1e-9 ->
+                (* abort before pivoting: the state stays consistent *)
+                Some Cutoff
+            | _ ->
+                (* Forrest–Goldfarb weight update needs τ = B⁻¹ρ for the
+                   outgoing basis *)
+                Array.blit st.rho 0 st.tau 0 st.m;
+                Lu.ftran st.lu st.tau;
+                let enter_value = nonbasic_value st e +. step in
+                for i = 0 to st.m - 1 do
+                  if i <> r then begin
+                    let coef = st.fcol.(i) in
+                    if coef <> 0.0 then st.xb.(i) <- st.xb.(i) -. (coef *. step)
+                  end
+                done;
+                update_zrow_after_pivot st e;
+                let wr = st.dw.(r) in
+                for i = 0 to st.m - 1 do
+                  if i <> r then begin
+                    let a = st.fcol.(i) /. piv in
+                    if a <> 0.0 then
+                      st.dw.(i) <-
+                        Float.max
+                          (st.dw.(i) -. (2.0 *. a *. st.tau.(i))
+                          +. (a *. a *. wr))
+                          1e-4
+                  end
+                done;
+                st.dw.(r) <- Float.max (wr /. (piv *. piv)) 1e-4;
+                record_eta ~ctr:p.ctr st r;
+                st.basis.(r) <- e;
+                st.status.(e) <- Basic r;
+                st.status.(out) <- (if to_up then At_up else At_lo);
+                st.xb.(r) <- enter_value;
+                if Lu.n_etas st.lu >= eta_limit then refresh ~ctr:p.ctr st;
+                loop ()
+          end
         end
       end
     in
@@ -779,7 +1111,10 @@ let solve ?(eps = 1e-7) ?(max_iters = 200_000) ?cutoff ?(warm = true) p =
     else
       match p.cache with
       | Some c when c.warm_uses < warm_refresh_limit -> (
-          match warm_solve ~eps ~max_iters ?cutoff p c with
+          match
+            try warm_solve ~eps ~max_iters ?cutoff p c
+            with Lu.Singular _ -> None
+          with
           | Some r ->
               c.warm_uses <- c.warm_uses + 1;
               p.ctr.c_warm <- p.ctr.c_warm + 1;

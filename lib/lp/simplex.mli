@@ -1,21 +1,36 @@
-(** Dense bounded-variable linear programming.
+(** Sparse revised simplex with an LU-factorised basis.
 
     A two-phase primal simplex over variables with explicit bounds
     [l_j <= x_j <= u_j] (finite lower bound required, upper bound may be
     infinite).  This is the LP relaxation engine under the 0–1 ILP
-    branch-and-bound in {!Thr_ilp}; problem sizes there are a few hundred
-    rows and columns, for which a dense tableau is simple and fast enough.
+    branch-and-bound in {!Thr_ilp}.
+
+    The basis is held as a sparse LU factorisation ({!Lu}:
+    Gilbert–Peierls elimination with Markowitz-style pivoting for
+    sparsity).  Tableau columns and rows are materialised on demand with
+    FTRAN/BTRAN; each basis change appends a product-form eta, and the
+    factors are rebuilt when the eta file reaches its budget or a
+    row/column pivot-agreement check trips — so per-pivot cost scales
+    with the nonzeros actually touched instead of m·ncols as in the
+    former dense tableau (retained as {!Dense} for cross-checking).
 
     Minimisation only; negate the objective for maximisation.
     Anti-cycling: Dantzig pricing with a fallback to Bland's rule after a
     run of degenerate pivots.
 
-    {b Warm starts.}  A successful [solve] caches its final basis inside
-    the problem.  A later [solve] after [set_bounds] changes revives that
-    basis with the bounded-variable dual simplex — the basis is still dual
-    feasible for the unchanged objective, so only primal feasibility needs
-    restoring — instead of re-running both cold phases.
-    [set_objective] and [add_constraint] invalidate the cache. *)
+    {b Warm starts.}  A successful [solve] caches its final basis (LU
+    factors and eta file included) inside the problem.  A later [solve]
+    after [set_bounds] changes revives that basis with the
+    bounded-variable dual simplex — the basis is still dual feasible for
+    the unchanged objective, so only primal feasibility needs restoring —
+    instead of re-running both cold phases.  Leaving rows are priced by
+    dual steepest edge (Forrest–Goldfarb weights from a unit reference
+    frame).  [set_objective] and [add_constraint] invalidate the cache.
+
+    {b Observability.}  Emits [lp.factorize]/[lp.ftran]/[lp.btran] spans
+    via {!Thr_obs.Trace} and bumps the process-wide
+    [thr_lp_refactorizations_total] / [thr_lp_eta_updates_total]
+    counters. *)
 
 type relation = Le | Ge | Eq
 
@@ -85,6 +100,8 @@ type stats = {
   bland_fallbacks : int;  (** times anti-cycling switched to Bland's rule *)
   warm_solves : int;
   cold_solves : int;
+  refactorizations : int;  (** basis LU rebuilds (scheduled or stability) *)
+  eta_updates : int;  (** product-form eta columns appended to the factors *)
 }
 (** Cumulative effort counters since [create]. *)
 

@@ -13,6 +13,7 @@ type t = {
   max_instances : int;
   read_design : Solve.solution -> Design.t;
   priority_vars : Model.var list;
+  symmetry_rows : int;
 }
 
 let n_types = 3
@@ -21,7 +22,7 @@ let n_types = 3
    by ASAP/ALAP, for vendors offering the copy's type, and for instances
    m < max_instances.  H.(copy).(step).(vendor).(m) is the paper's
    D/D'/R_{i,l,k,m} depending on the copy's phase. *)
-let build ?(max_instances = 2) spec =
+let build ?(max_instances = 2) ?(symmetry = true) spec =
   let inst = Instance.make spec in
   let m_cap = max_instances in
   let model = Model.create () in
@@ -185,6 +186,78 @@ let build ?(max_instances = 2) spec =
           done
       done)
     inst.Instance.types_used;
+  (* vendor-permutation symmetry breaking (not in the paper; each row
+     removes relabelled duplicates of the same design from the search
+     tree without excluding any design, see DESIGN.md §11) *)
+  let symmetry_rows = ref 0 in
+  if symmetry then begin
+    (* Equivalent-vendor ordering: vendors with identical offers, area
+       and cost over every used type are interchangeable (the diversity
+       rules only compare vendor identities pairwise), so relabelled
+       duplicates of the same design differ only in which class member
+       carries which licence vector.  Order adjacent index pairs of each
+       equivalence class lexicographically on the δ licence vector: for
+       binary variables, Σ_t 2^(T−1−t) δ(k,t) is the vector read as a
+       binary number, so a single row per pair encodes the lex
+       comparison exactly, and any solution can be relabelled so the
+       vectors are lex-ascending in vendor index.  The orientation is
+       deliberate: branch-and-bound dives toward the nearer bound, and
+       making the higher-indexed twin carry the licences agrees with
+       where those dives land — the opposite orientation forces every
+       dive through an infeasible relabelling and multiplies the node
+       count instead of shrinking it.  Only δ is ordered — the δ variables
+       are the branch-priority variables, so these rows prune twin
+       subtrees right at the top of the tree; ordering the much larger
+       ε/H aggregates instead measurably derails most-fractional
+       branching (3–16× more nodes on the bench instances).  Instance
+       permutation within a licence is already broken by the
+       ε(m+1) ≤ ε(m) chain above.  Stock catalogs have no equivalent
+       vendors, so these rows cost nothing there; catalogs with
+       duplicated vendors (common when modelling multi-sourced IP)
+       prune every relabelled subtree whose licence vectors differ. *)
+    let signature k =
+      List.map
+        (fun ti ->
+          if inst.Instance.offers.(k).(ti) then
+            Some (inst.Instance.area.(k).(ti), inst.Instance.cost.(k).(ti))
+          else None)
+        inst.Instance.types_used
+    in
+    let delta_lex sign k =
+      let offered =
+        List.filter
+          (fun ti -> inst.Instance.offers.(k).(ti))
+          inst.Instance.types_used
+      in
+      let nt = List.length offered in
+      List.mapi
+        (fun i ti ->
+          ( sign *. float_of_int (1 lsl (nt - 1 - i)),
+            some delta.((k * n_types) + ti) ))
+        offered
+    in
+    let classes = Hashtbl.create 7 in
+    for k = nv - 1 downto 0 do
+      let sg = signature k in
+      let prev = try Hashtbl.find classes sg with Not_found -> [] in
+      Hashtbl.replace classes sg (k :: prev)
+    done;
+    Hashtbl.iter
+      (fun _ ks ->
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+              (* lex(δ_a) ≤ lex(δ_b) *)
+              let terms = delta_lex 1.0 a @ delta_lex (-1.0) b in
+              if terms <> [] then begin
+                Model.add_le model terms 0.0;
+                incr symmetry_rows
+              end;
+              pairs rest
+          | _ -> ()
+        in
+        pairs ks)
+      classes
+  end;
   (* valid clique cuts: at least [min_vendors_per_type] licences of each
      used type (implied by the diversity rules; strengthens the LP bound) *)
   List.iter
@@ -233,18 +306,26 @@ let build ?(max_instances = 2) spec =
           (List.init nv (fun k -> k)))
       inst.Instance.types_used
   in
-  { model; spec; max_instances = m_cap; read_design; priority_vars }
+  {
+    model;
+    spec;
+    max_instances = m_cap;
+    read_design;
+    priority_vars;
+    symmetry_rows = !symmetry_rows;
+  }
 
 type outcome =
   | Optimal of Design.t
   | Infeasible
   | Budget of Design.t option
 
-let solve_with_stats ?max_instances ?(max_nodes = 200_000) ?warm ?should_stop
-    spec =
-  let t = build ?max_instances spec in
+let solve_with_stats ?max_instances ?(max_nodes = 200_000) ?warm ?symmetry
+    ?cuts ?should_stop spec =
+  let t = build ?max_instances ?symmetry spec in
   let outcome, st =
-    Solve.solve ~max_nodes ?warm ?should_stop ~priority:t.priority_vars t.model
+    Solve.solve ~max_nodes ?warm ?cuts ?should_stop ~priority:t.priority_vars
+      t.model
   in
   let outcome =
     match outcome with

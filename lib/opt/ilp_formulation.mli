@@ -34,12 +34,23 @@ type t = {
       (** decode a solver solution into a design *)
   priority_vars : Thr_ilp.Model.var list;
       (** the δ licence variables — branch on these first *)
+  symmetry_rows : int;
+      (** symmetry-breaking rows added (0 when built with
+          [~symmetry:false]) *)
 }
 
-val build : ?max_instances:int -> Thr_hls.Spec.t -> t
+val build : ?max_instances:int -> ?symmetry:bool -> Thr_hls.Spec.t -> t
 (** [max_instances] (default [2]) is |τ(t)|, the instance count modelled
     per licence; designs needing more concurrency than that are excluded
-    from the model's feasible set. *)
+    from the model's feasible set.
+
+    [symmetry] (default [true]) adds vendor-permutation symmetry-breaking
+    rows: equivalent vendors (identical offers, area and cost over the
+    used types) are ordered lexicographically on their δ licence
+    vectors, one row per adjacent index pair of each equivalence class.
+    Every design remains representable — only relabelled duplicates are
+    cut — so the optimal cost is unchanged.  Stock catalogs have no
+    equivalent vendors and get zero rows. *)
 
 type outcome =
   | Optimal of Thr_hls.Design.t
@@ -53,8 +64,11 @@ val solve_with_stats :
   ?max_instances:int ->
   ?max_nodes:int ->
   ?warm:bool ->
+  ?symmetry:bool ->
+  ?cuts:bool ->
   ?should_stop:(unit -> bool) ->
   Thr_hls.Spec.t ->
   outcome * Thr_ilp.Solve.stats
 (** As {!solve}, also returning the branch-and-bound effort counters.
-    [warm]/[should_stop] are passed through to {!Thr_ilp.Solve.solve}. *)
+    [warm]/[cuts]/[should_stop] are passed through to
+    {!Thr_ilp.Solve.solve}; [symmetry] to {!build}. *)

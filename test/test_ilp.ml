@@ -158,8 +158,12 @@ let test_warm_start_fewer_pivots () =
   let f = Ilp_f.build ~max_instances:2 spec in
   let run ~warm =
     match
+      (* ~dive:false — the root dive solves cold in both modes and tends
+         to find the optimum outright, leaving a tiny tree where the
+         shared dive cost dominates; disabling it isolates the pure
+         warm-vs-cold branch-and-bound comparison this test is about *)
       Solve.solve ~max_nodes:50_000 ~priority:f.Ilp_f.priority_vars ~warm
-        f.Ilp_f.model
+        ~dive:false f.Ilp_f.model
     with
     | Solve.Optimal s, st -> (s.Solve.objective, st)
     | o, _ -> Alcotest.fail (Format.asprintf "expected optimal: %a" Solve.pp_outcome o)
@@ -176,6 +180,114 @@ let test_warm_start_fewer_pivots () =
     (st_w.Solve.simplex.Thr_lp.Simplex.warm_solves > 0);
   Alcotest.(check int) "cold baseline never warms" 0
     st_c.Solve.simplex.Thr_lp.Simplex.warm_solves
+
+(* ------------------------ root cutting planes --------------------- *)
+
+(* Table-3/Table-4 polynom instances as used by the bench tables: λ from the
+   paper, area = frac × lower bound. *)
+let polynom_spec ~mode ~l_det ~l_rec ~frac ~catalog =
+  let module Spec = Thr_hls.Spec in
+  let module Instance = Thr_opt.Instance in
+  let module Csp = Thr_opt.Csp in
+  let dfg = Thr_benchmarks.Suite.polynom () in
+  let mk area_limit =
+    Spec.make ~mode ~dfg ~catalog ~latency_detect:l_det ~latency_recover:l_rec
+      ~area_limit ()
+  in
+  let inst = Instance.make (mk max_int) in
+  let allowed = Array.make_matrix inst.Instance.n_vendors 3 true in
+  let lb = Option.get (Csp.area_lower_bound inst ~allowed) in
+  mk (int_of_float (float_of_int lb *. frac))
+
+let solve_spec ?symmetry ~cuts spec =
+  let module Ilp_f = Thr_opt.Ilp_formulation in
+  match
+    Ilp_f.solve_with_stats ~max_nodes:50_000 ~warm:true ?symmetry ~cuts spec
+  with
+  | Ilp_f.Optimal d, st -> (Thr_hls.Design.cost d, st)
+  | o, _ ->
+      Alcotest.fail
+        (match o with
+        | Ilp_f.Infeasible -> "unexpected infeasible"
+        | Ilp_f.Budget _ -> "node budget exhausted"
+        | Ilp_f.Optimal _ -> assert false)
+
+let test_cuts_preserve_optimum () =
+  (* Cover/clique cuts are only valid if they never cut off the integer
+     optimum: with and without cuts the B&B must land on the same minimum
+     licence cost, on both a Table-3 (detection-only, tight area) and a
+     Table-4 (detection + recovery) polynom instance. *)
+  let module Spec = Thr_hls.Spec in
+  let catalog = Thr_iplib.Catalog.eight_vendors in
+  let t3 =
+    polynom_spec ~mode:Spec.Detection_only ~l_det:6 ~l_rec:1 ~frac:1.5 ~catalog
+  in
+  let cost_cuts, st_cuts = solve_spec ~cuts:true t3 in
+  let cost_plain, _ = solve_spec ~cuts:false t3 in
+  Alcotest.(check int) "table3 optimum unchanged" cost_plain cost_cuts;
+  Alcotest.(check bool) "cuts separated on the tight row" true
+    (st_cuts.Solve.cover_cuts + st_cuts.Solve.clique_cuts > 0);
+  let t4 =
+    polynom_spec ~mode:Spec.Detection_and_recovery ~l_det:3 ~l_rec:3 ~frac:2.5
+      ~catalog
+  in
+  let cost_cuts4, _ = solve_spec ~cuts:true t4 in
+  let cost_plain4, _ = solve_spec ~cuts:false t4 in
+  Alcotest.(check int) "table4 optimum unchanged" cost_plain4 cost_cuts4
+
+(* ----------------------- symmetry breaking ------------------------ *)
+
+let test_symmetry_breaking () =
+  (* A catalogue with two identical vendors has a relabelling symmetry; the
+     equivalent-vendor ordering rows must leave the minimum cost unchanged
+     while visiting no more B&B nodes.  Stock catalogues have no equivalent
+     vendors, so they get zero symmetry rows. *)
+  let module Catalog = Thr_iplib.Catalog in
+  let module Iptype = Thr_iplib.Iptype in
+  let module Spec = Thr_hls.Spec in
+  let module Ilp_f = Thr_opt.Ilp_formulation in
+  let twin =
+    Catalog.make
+      [
+        (1, Iptype.Adder, { Catalog.area = 532; cost = 450 });
+        (1, Iptype.Multiplier, { Catalog.area = 6843; cost = 950 });
+        (1, Iptype.Other_unit, { Catalog.area = 410; cost = 320 });
+        (* vendor 2 is an exact copy of vendor 1 *)
+        (2, Iptype.Adder, { Catalog.area = 532; cost = 450 });
+        (2, Iptype.Multiplier, { Catalog.area = 6843; cost = 950 });
+        (2, Iptype.Other_unit, { Catalog.area = 410; cost = 320 });
+        (3, Iptype.Adder, { Catalog.area = 763; cost = 540 });
+        (3, Iptype.Multiplier, { Catalog.area = 6325; cost = 760 });
+        (3, Iptype.Other_unit, { Catalog.area = 428; cost = 350 });
+        (4, Iptype.Adder, { Catalog.area = 618; cost = 580 });
+        (4, Iptype.Multiplier, { Catalog.area = 5937; cost = 1000 });
+        (4, Iptype.Other_unit, { Catalog.area = 390; cost = 240 });
+      ]
+  in
+  let spec =
+    polynom_spec ~mode:Spec.Detection_only ~l_det:6 ~l_rec:1 ~frac:1.5
+      ~catalog:twin
+  in
+  let f_sym = Ilp_f.build ~max_instances:2 ~symmetry:true spec in
+  let f_raw = Ilp_f.build ~max_instances:2 ~symmetry:false spec in
+  Alcotest.(check bool) "twin catalogue yields symmetry rows" true
+    (f_sym.Ilp_f.symmetry_rows > 0);
+  Alcotest.(check int) "symmetry:false yields none" 0 f_raw.Ilp_f.symmetry_rows;
+  let stock =
+    Ilp_f.build ~max_instances:2
+      (polynom_spec ~mode:Spec.Detection_only ~l_det:6 ~l_rec:1 ~frac:1.5
+         ~catalog:Catalog.eight_vendors)
+  in
+  Alcotest.(check int) "stock catalogue yields none" 0
+    stock.Ilp_f.symmetry_rows;
+  let cost_sym, st_sym = solve_spec ~symmetry:true ~cuts:true spec in
+  let cost_raw, st_raw = solve_spec ~symmetry:false ~cuts:true spec in
+  Alcotest.(check int) "same minimum cost" cost_raw cost_sym;
+  Alcotest.(check bool)
+    (Printf.sprintf "no more nodes with symmetry (%d vs %d)"
+       st_sym.Solve.nodes st_raw.Solve.nodes)
+    true
+    (st_sym.Solve.nodes <= st_raw.Solve.nodes)
 
 (* --------------------------- LP export ---------------------------- *)
 
@@ -231,6 +343,9 @@ let () =
           Alcotest.test_case "equality" `Quick test_equality_constraint;
           Alcotest.test_case "budget" `Quick test_budget;
           QCheck_alcotest.to_alcotest bb_matches_enumeration;
+          Alcotest.test_case "cuts preserve optimum" `Quick
+            test_cuts_preserve_optimum;
+          Alcotest.test_case "symmetry breaking" `Quick test_symmetry_breaking;
           Alcotest.test_case "warm start beats cold on Table-3 row" `Quick
             test_warm_start_fewer_pivots;
         ] );

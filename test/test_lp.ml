@@ -239,6 +239,96 @@ let warm_vs_cold_prop =
           | _ -> false)
         tweaks)
 
+(* Property: the LU-factorised revised simplex and the retained dense-tableau
+   oracle ({!Thr_lp.Dense}) agree on every random LP — same status
+   constructor, objectives within 1e-9 (relative) — including warm re-solves
+   of the LU engine after bound perturbations, checked against a freshly
+   built dense solve.  Unlike [random_lp_prop] the instances here are not
+   anchored to a feasible point: mixed relations, signed right-hand sides
+   and occasionally-unbounded variables make Infeasible and Unbounded
+   outcomes reachable, so all three statuses are exercised. *)
+module D = Thr_lp.Dense
+
+let engine_equiv_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 0 8 in
+    let* bounds =
+      list_repeat n
+        (triple (float_range (-2.0) 2.0) (float_range 0.0 8.0) bool)
+    in
+    let* rows =
+      list_repeat m
+        (triple
+           (list_repeat n (float_range (-3.0) 3.0))
+           (int_range 0 2)
+           (float_range (-5.0) 5.0))
+    in
+    let* obj = list_repeat n (float_range (-2.0) 2.0) in
+    let* tweaks =
+      list_repeat 2
+        (list_repeat n (pair (float_range (-2.0) 3.0) (float_range 0.0 6.0)))
+    in
+    return (n, bounds, rows, obj, tweaks))
+
+let engine_equiv_prop =
+  QCheck.Test.make ~name:"LU engine agrees with dense oracle" ~count:300
+    (QCheck.make engine_equiv_gen)
+    (fun (n, bounds, rows, obj, tweaks) ->
+      let rel_s = function 0 -> S.Le | 1 -> S.Ge | _ -> S.Eq in
+      let rel_d r = (rel_s r : D.relation) in
+      let apply_bounds set =
+        List.iteri
+          (fun j (lo, width, unbounded) ->
+            let up = if unbounded then Float.infinity else lo +. width in
+            set j ~lo ~up)
+          bounds
+      in
+      let build_s () =
+        let p = S.create ~n_vars:n in
+        apply_bounds (S.set_bounds p);
+        S.set_objective p (List.mapi (fun j c -> (j, c)) obj);
+        List.iter
+          (fun (coefs, r, rhs) ->
+            S.add_constraint p (List.mapi (fun j c -> (j, c)) coefs) (rel_s r) rhs)
+          rows;
+        p
+      in
+      let build_d () =
+        let p = D.create ~n_vars:n in
+        apply_bounds (D.set_bounds p);
+        D.set_objective p (List.mapi (fun j c -> (j, c)) obj);
+        List.iter
+          (fun (coefs, r, rhs) ->
+            D.add_constraint p (List.mapi (fun j c -> (j, c)) coefs) (rel_d r) rhs)
+          rows;
+        p
+      in
+      let agree rs rd =
+        match (rs, rd) with
+        | S.Optimal s, D.Optimal d ->
+            Float.abs (s.S.objective -. d.D.objective)
+            <= 1e-9 *. (1.0 +. Float.abs d.D.objective)
+        | S.Infeasible, D.Infeasible -> true
+        | S.Unbounded, D.Unbounded -> true
+        | _ -> false
+      in
+      let sp = build_s () in
+      agree (S.solve sp) (D.solve (build_d ()))
+      && List.for_all
+           (fun round ->
+             let new_bounds =
+               List.mapi
+                 (fun j (lo, width) -> (j, lo, lo +. width))
+                 round
+             in
+             (* warm LU re-solve vs a freshly built dense cold solve *)
+             List.iter (fun (j, lo, up) -> S.set_bounds sp j ~lo ~up) new_bounds;
+             let dp = build_d () in
+             List.iter (fun (j, lo, up) -> D.set_bounds dp j ~lo ~up) new_bounds;
+             agree (S.solve sp) (D.solve ~warm:false dp))
+           tweaks)
+
 let test_warm_cutoff () =
   (* min -x, x in [0,10]: optimum -10.  After tightening to [0,4] the warm
      optimum is -4; a cutoff below that (-6) must abort with Cutoff. *)
@@ -339,6 +429,7 @@ let () =
           Alcotest.test_case "re-solve after mutation" `Quick test_resolve_after_mutation;
           QCheck_alcotest.to_alcotest random_lp_prop;
           QCheck_alcotest.to_alcotest warm_vs_cold_prop;
+          QCheck_alcotest.to_alcotest engine_equiv_prop;
           Alcotest.test_case "warm cutoff" `Quick test_warm_cutoff;
           Alcotest.test_case "forget forces cold" `Quick test_forget_forces_cold;
           Alcotest.test_case "iteration limit" `Quick test_iter_limit;
