@@ -407,7 +407,16 @@ let lint_cmd =
          analyser: $(b,bypass) drops the first output pair from the \
          mismatch comparator (caught by the taint pass), $(b,trojan) \
          injects a combinational Trojan on a bound core (caught by the \
-         rare-net pass).";
+         rare-net pass), $(b,trojan-seq) injects a sequential \
+         consecutive-match counter Trojan.";
+      `P
+        "$(b,--prove) escalates every rare-net finding to an exact \
+         verdict by bounded model checking (CDCL SAT over the unrolled \
+         cone): proved reachable (with the concrete activating input \
+         sequence, replayed on the packed simulator; exit 4), proved \
+         unreachable within the bound (downgraded to Info), or \
+         inconclusive when the solver budget runs out (exit 5 when \
+         nothing else blocks).";
     ]
   in
   let width_flag =
@@ -429,11 +438,37 @@ let lint_cmd =
   in
   let mutant_flag =
     let mutant_conv =
-      Arg.enum [ ("none", `None); ("bypass", `Bypass); ("trojan", `Trojan) ]
+      Arg.enum
+        [
+          ("none", `None);
+          ("bypass", `Bypass);
+          ("trojan", `Trojan);
+          ("trojan-seq", `Trojan_seq);
+        ]
     in
     Arg.(
       value & opt mutant_conv `None
-      & info [ "mutant" ] ~docv:"KIND" ~doc:"none | bypass | trojan.")
+      & info [ "mutant" ] ~docv:"KIND"
+          ~doc:"none | bypass | trojan | trojan-seq.")
+  in
+  let prove_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some T.Bmc.default_bound) (some int) None
+      & info [ "prove" ] ~docv:"K"
+          ~doc:
+            "Bounded-model-check every rare-net finding up to $(docv) \
+             cycles (default 8 when given without a value).")
+  in
+  let prove_budget_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prove-budget" ] ~docv:"STEPS"
+          ~doc:
+            "Solver steps (decisions + propagations + conflicts) each \
+             candidate's proof may spend before going inconclusive \
+             (default 400000).")
   in
   let empirical_flag =
     Arg.(
@@ -445,7 +480,7 @@ let lint_cmd =
              Reports Info findings only; never changes the exit code.")
   in
   let run name cat detection_only latency latency_recover area width threshold
-      mutant empirical json jobs trace =
+      mutant empirical prove prove_budget json jobs trace =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -474,11 +509,16 @@ let lint_cmd =
                   T.Rtl.elaborate ~width
                     ~injections:[ T.Rtl.canned_injection ~width design ]
                     design
+              | `Trojan_seq ->
+                  T.Rtl.elaborate ~width
+                    ~injections:
+                      [ T.Rtl.canned_sequential_injection ~width design ]
+                    design
             in
             let report =
               T.Rtl.check ?rare_threshold:threshold
                 ?empirical:(if empirical > 0 then Some empirical else None)
-                ~jobs rtl
+                ?prove ?prove_budget ~jobs rtl
             in
             if json then
               print_endline (Json.to_string ~pretty:true (T.Check.to_json report))
@@ -490,7 +530,8 @@ let lint_cmd =
     Term.(
       const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
       $ latency_rec_flag $ area_flag $ width_flag $ threshold_flag
-      $ mutant_flag $ empirical_flag $ json_flag $ jobs_flag $ trace_flag)
+      $ mutant_flag $ empirical_flag $ prove_flag $ prove_budget_flag
+      $ json_flag $ jobs_flag $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve / submit: the optimisation service and its line client.       *)
@@ -659,7 +700,23 @@ let submit_cmd =
       value
       & opt (some string) None
       & info [ "mutant" ] ~docv:"KIND"
-          ~doc:"Seeded mutant for --lint: none | bypass | trojan.")
+          ~doc:"Seeded mutant for --lint: none | bypass | trojan | trojan-seq.")
+  in
+  let lint_prove_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some T.Bmc.default_bound) (some int) None
+      & info [ "prove" ] ~docv:"K"
+          ~doc:
+            "For --lint: bounded-model-check every rare-net finding up to \
+             $(docv) cycles (default 8 when given without a value).")
+  in
+  let lint_prove_budget_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prove-budget" ] ~docv:"STEPS"
+          ~doc:"For --lint: per-candidate solver step budget.")
   in
   let metrics_flag =
     Arg.(
@@ -686,7 +743,8 @@ let submit_cmd =
     | path -> In_channel.with_open_text path In_channel.input_all
   in
   let run bench socket dfg stats metrics shutdown lint lint_width lint_mutant
-      cat detection_only latency latency_recover area solver deadline_ms =
+      lint_prove lint_prove_budget cat detection_only latency latency_recover
+      area solver deadline_ms =
     let request =
       if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
       else if metrics then Ok (Json.Obj [ ("op", Json.String "metrics") ])
@@ -724,6 +782,11 @@ let submit_cmd =
                  else None);
                 (if lint then opt "mutant" lint_mutant (fun s -> Json.String s)
                  else None);
+                (if lint then opt "prove" lint_prove (fun i -> Json.Int i)
+                 else None);
+                (if lint then
+                   opt "prove_budget" lint_prove_budget (fun i -> Json.Int i)
+                 else None);
               ]
             in
             Json.Obj (List.filter_map Fun.id fields))
@@ -751,10 +814,15 @@ let submit_cmd =
             print_endline (Json.to_string ~pretty:true j);
             match Json.mem_str "status" j with
             | Some "ok" -> (
-                (* a lint reply that is not clean exits like `thls lint` *)
-                match Json.mem_bool "clean" j with
-                | Some false -> Exit_code.exit Exit_code.Lint
-                | _ -> ())
+                (* a lint reply exits like `thls lint`: the report carries
+                   its own exit code (4 findings / 5 inconclusive) *)
+                match Json.mem_int "exit_code" j with
+                | Some 0 -> ()
+                | Some c -> Stdlib.exit c
+                | None -> (
+                    match Json.mem_bool "clean" j with
+                    | Some false -> Exit_code.exit Exit_code.Lint
+                    | _ -> ()))
             | _ -> (
                 match Json.mem_str "code" j with
                 | Some "infeasible" -> exit exit_infeasible
@@ -766,8 +834,9 @@ let submit_cmd =
     Term.(
       const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
       $ metrics_flag $ shutdown_flag $ lint_flag $ lint_width_flag
-      $ lint_mutant_flag $ catalog_flag $ detection_only_flag $ latency_flag
-      $ latency_rec_flag $ area_flag $ solver_name_flag $ deadline_flag)
+      $ lint_mutant_flag $ lint_prove_flag $ lint_prove_budget_flag
+      $ catalog_flag $ detection_only_flag $ latency_flag $ latency_rec_flag
+      $ area_flag $ solver_name_flag $ deadline_flag)
 
 let main =
   let doc = "Trojan-tolerant high-level synthesis (DAC'14 reproduction)" in

@@ -3,11 +3,24 @@ module Json = Thr_util.Json
 module Tablefmt = Thr_util.Tablefmt
 module Trace = Thr_obs.Trace
 module Metrics = Thr_obs.Metrics
+module Log = Thr_obs.Log
+module Bmc = Thr_sat.Bmc
 
 type taint_spec = {
   vendor_of : Netlist.net -> int option;
   mismatch : Netlist.net;
   min_vendors : int;
+}
+
+type prover = net:Netlist.net -> value:bool -> Bmc.outcome
+
+type prove_stats = {
+  prove_bound : int;
+  prove_candidates : int;
+  prove_reachable : int;
+  prove_unreachable : int;
+  prove_inconclusive : int;
+  prove_replay_failed : int;
 }
 
 type report = {
@@ -17,7 +30,10 @@ type report = {
   n_dffs : int;
   findings : Finding.t list;
   probs : float array;
+  prove : prove_stats option;
 }
+
+let default_prove_budget = 400_000
 
 let runs = Metrics.counter "thr_check_runs"
 
@@ -78,7 +94,130 @@ let empirical_findings ~jobs ~vectors nl rare_findings =
   in
   summary :: per_net
 
-let run ?taint ?rare_threshold ?prob_iters ?empirical ?(jobs = 1) nl =
+(* Escalate every rare-net Warning to an exact verdict: a bounded model
+   check of the flagged net's rare value ({!Thr_sat.Bmc}).  Reachable
+   with a witness that replays on the packed simulator becomes a
+   blocking Error carrying the concrete activating input sequence;
+   proven unreachable within the bound is downgraded to Info (the
+   finding is a false alarm of the probabilistic model, within [bound]
+   cycles); a budget-exhausted check stays a Warning under its own rule
+   so the exit code can say "inconclusive" rather than "infected".
+
+   A Reachable witness that does {e not} replay is a prover bug — the
+   original Warning is kept (never silently upgraded or dropped), an
+   Info records the mismatch, and a [witness_replay_mismatch] log event
+   fires for the operator. *)
+let prove_findings ~bound ~prover nl probs rare_findings =
+  Trace.with_span "check.prove"
+    ~args:
+      [ ("netlist", Netlist.name nl); ("bound", string_of_int bound) ]
+    (fun () ->
+      let net_by_idx = Array.make (Netlist.n_nets nl) None in
+      Array.iter
+        (fun net -> net_by_idx.(Netlist.net_index net) <- Some net)
+        (Netlist.nets_in_order nl);
+      let stats =
+        ref
+          {
+            prove_bound = bound;
+            prove_candidates = 0;
+            prove_reachable = 0;
+            prove_unreachable = 0;
+            prove_inconclusive = 0;
+            prove_replay_failed = 0;
+          }
+      in
+      let escalate f =
+        match
+          if f.Finding.rule = "rare-net" then
+            Option.bind f.Finding.net (fun i -> net_by_idx.(i))
+          else None
+        with
+        | None -> [ f ]
+        | Some net ->
+            let i = Netlist.net_index net in
+            let value = probs.(i) < 0.5 in
+            let label = Finding.net_label nl net in
+            stats := { !stats with prove_candidates = !stats.prove_candidates + 1 };
+            (match prover ~net ~value with
+            | Bmc.Reachable w when Bmc.replay nl w ->
+                stats :=
+                  { !stats with prove_reachable = !stats.prove_reachable + 1 };
+                [
+                  Finding.make ~pass:Finding.Rare ~severity:Finding.Error
+                    ~rule:"proved-reachable" ~net
+                    (Printf.sprintf
+                       "%s: rare value proven reachable; activating sequence %s"
+                       label (Bmc.describe w));
+                ]
+            | Bmc.Reachable w ->
+                stats :=
+                  {
+                    !stats with
+                    prove_replay_failed = !stats.prove_replay_failed + 1;
+                  };
+                Log.warn "witness_replay_mismatch"
+                  [
+                    ("netlist", Netlist.name nl);
+                    ("net", label);
+                    ("cycle", string_of_int w.Bmc.w_cycle);
+                  ];
+                [
+                  f;
+                  Finding.make ~pass:Finding.Rare ~severity:Finding.Info
+                    ~rule:"witness-replay-mismatch" ~net
+                    (Printf.sprintf
+                       "%s: prover returned a %d-cycle witness that does not \
+                        replay on the packed simulator; keeping the \
+                        probabilistic finding"
+                       label w.Bmc.w_cycle);
+                ]
+            | Bmc.Unreachable k ->
+                stats :=
+                  {
+                    !stats with
+                    prove_unreachable = !stats.prove_unreachable + 1;
+                  };
+                [
+                  Finding.make ~pass:Finding.Rare ~severity:Finding.Info
+                    ~rule:"rare-unreachable" ~net
+                    (Printf.sprintf
+                       "%s: rare value proven unreachable within %d cycle(s)"
+                       label k);
+                ]
+            | Bmc.Inconclusive frame ->
+                stats :=
+                  {
+                    !stats with
+                    prove_inconclusive = !stats.prove_inconclusive + 1;
+                  };
+                [
+                  Finding.make ~pass:Finding.Rare ~severity:Finding.Warning
+                    ~rule:"rare-inconclusive" ~net
+                    (Printf.sprintf
+                       "%s: prove budget exhausted at frame %d; reachability \
+                        undecided"
+                       label frame);
+                ])
+      in
+      let escalated = List.concat_map escalate rare_findings in
+      let s = !stats in
+      let summary =
+        Finding.make ~pass:Finding.Rare ~severity:Finding.Info ~rule:"prove"
+          (Printf.sprintf
+             "bounded proof (bound %d): %d candidate(s): %d proved reachable, \
+              %d unreachable, %d inconclusive%s"
+             s.prove_bound s.prove_candidates s.prove_reachable
+             s.prove_unreachable s.prove_inconclusive
+             (if s.prove_replay_failed > 0 then
+                Printf.sprintf ", %d witness replay failure(s)"
+                  s.prove_replay_failed
+              else ""))
+      in
+      (summary :: escalated, s))
+
+let run ?taint ?rare_threshold ?prob_iters ?empirical ?prove ?prove_budget
+    ?prover ?(jobs = 1) nl =
   Metrics.incr runs;
   let name = Netlist.name nl in
   let lint_findings =
@@ -115,6 +254,22 @@ let run ?taint ?rare_threshold ?prob_iters ?empirical ?(jobs = 1) nl =
           ~args:[ ("netlist", name); ("vectors", string_of_int vectors) ]
           (fun () -> empirical_findings ~jobs ~vectors nl rare_findings)
   in
+  let rare_findings, prove_stats =
+    match prove with
+    | None -> (rare_findings, None)
+    | Some bound ->
+        let budget =
+          Option.value ~default:default_prove_budget prove_budget
+        in
+        let prover =
+          match prover with
+          | Some p -> p
+          | None ->
+              fun ~net ~value -> Bmc.check_net ~bound ~budget nl ~net ~value
+        in
+        let fs, stats = prove_findings ~bound ~prover nl probs rare_findings in
+        (fs, Some stats)
+  in
   let findings =
     List.sort Finding.compare
       (lint_findings @ taint_findings @ rare_findings @ empirical_fs)
@@ -129,6 +284,7 @@ let run ?taint ?rare_threshold ?prob_iters ?empirical ?(jobs = 1) nl =
     n_dffs = Netlist.n_dffs nl;
     findings;
     probs;
+    prove = prove_stats;
   }
 
 let errors r =
@@ -139,21 +295,46 @@ let warnings r =
 
 let clean r = not (List.exists Finding.is_blocking r.findings)
 
+(* A blocking finding means Lint — except when under [--prove] the only
+   blocking findings left are budget-starved [rare-inconclusive]
+   warnings, which deserve their own exit code: the design was not shown
+   infected, the prover just ran out of budget. *)
 let exit_code r =
-  if clean r then Thr_util.Exit_code.Ok else Thr_util.Exit_code.Lint
+  let blocking = List.filter Finding.is_blocking r.findings in
+  if List.exists (fun f -> f.Finding.rule <> "rare-inconclusive") blocking
+  then Thr_util.Exit_code.Lint
+  else if blocking <> [] then Thr_util.Exit_code.Inconclusive
+  else Thr_util.Exit_code.Ok
 
 let to_json r =
   Json.Obj
-    [
-      ("netlist", Json.String r.netlist_name);
-      ("nets", Json.Int r.n_nets);
-      ("gates", Json.Int r.n_gates);
-      ("dffs", Json.Int r.n_dffs);
-      ("clean", Json.Bool (clean r));
-      ("errors", Json.Int (List.length (errors r)));
-      ("warnings", Json.Int (List.length (warnings r)));
-      ("findings", Json.List (List.map Finding.to_json r.findings));
-    ]
+    ([
+       ("netlist", Json.String r.netlist_name);
+       ("nets", Json.Int r.n_nets);
+       ("gates", Json.Int r.n_gates);
+       ("dffs", Json.Int r.n_dffs);
+       ("clean", Json.Bool (clean r));
+       ("exit_code", Json.Int (Thr_util.Exit_code.code (exit_code r)));
+       ("errors", Json.Int (List.length (errors r)));
+       ("warnings", Json.Int (List.length (warnings r)));
+       ("findings", Json.List (List.map Finding.to_json r.findings));
+     ]
+    @
+    match r.prove with
+    | None -> []
+    | Some s ->
+        [
+          ( "prove",
+            Json.Obj
+              [
+                ("bound", Json.Int s.prove_bound);
+                ("candidates", Json.Int s.prove_candidates);
+                ("reachable", Json.Int s.prove_reachable);
+                ("unreachable", Json.Int s.prove_unreachable);
+                ("inconclusive", Json.Int s.prove_inconclusive);
+                ("replay_failed", Json.Int s.prove_replay_failed);
+              ] );
+        ])
 
 let render r =
   let buf = Buffer.create 256 in
@@ -181,6 +362,15 @@ let render r =
         fs;
       Buffer.add_string buf (Tablefmt.render tbl);
       Buffer.add_char buf '\n');
+  (match r.prove with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "prove: bound %d, %d candidate(s): %d reachable, %d unreachable, \
+            %d inconclusive\n"
+           s.prove_bound s.prove_candidates s.prove_reachable
+           s.prove_unreachable s.prove_inconclusive));
   Buffer.add_string buf
     (if clean r then "clean: no blocking findings\n"
      else

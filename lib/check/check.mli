@@ -2,14 +2,28 @@
     one netlist and package the results.
 
     Instrumented with {!Thr_obs}: spans [check.lint] / [check.taint] /
-    [check.rare] / [check.empirical] and counters [thr_check_runs] /
-    [thr_check_findings_{error,warning,info}]. *)
+    [check.rare] / [check.empirical] / [check.prove] and counters
+    [thr_check_runs] / [thr_check_findings_{error,warning,info}]. *)
 
 type taint_spec = {
   vendor_of : Thr_gates.Netlist.net -> int option;
       (** provenance: which vendor's IP-core region built the net *)
   mismatch : Thr_gates.Netlist.net;  (** the comparator output *)
   min_vendors : int;  (** diversity the comparator must exhibit *)
+}
+
+type prover = net:Thr_gates.Netlist.net -> value:bool -> Thr_sat.Bmc.outcome
+(** How a rare-net candidate is decided.  The default is
+    {!Thr_sat.Bmc.check_net} over the report's netlist; tests inject
+    broken provers to exercise the witness-replay gate. *)
+
+type prove_stats = {
+  prove_bound : int;          (** cycle bound the candidates were checked to *)
+  prove_candidates : int;     (** rare-net findings escalated *)
+  prove_reachable : int;      (** proved reachable, witness replayed *)
+  prove_unreachable : int;    (** proved unreachable within the bound *)
+  prove_inconclusive : int;   (** budget exhausted *)
+  prove_replay_failed : int;  (** witnesses the packed simulator rejected *)
 }
 
 type report = {
@@ -19,13 +33,21 @@ type report = {
   n_dffs : int;
   findings : Finding.t list;  (** most severe first *)
   probs : float array;  (** per-net signal probabilities *)
+  prove : prove_stats option;  (** present iff [run] was given [?prove] *)
 }
+
+val default_prove_budget : int
+(** Solver steps (decisions + propagations + conflicts) each candidate's
+    bounded model check may spend before going inconclusive. *)
 
 val run :
   ?taint:taint_spec ->
   ?rare_threshold:float ->
   ?prob_iters:int ->
   ?empirical:int ->
+  ?prove:int ->
+  ?prove_budget:int ->
+  ?prover:prover ->
   ?jobs:int ->
   Thr_gates.Netlist.t ->
   report
@@ -37,7 +59,28 @@ val run :
     over that many packed vectors, sharded over [jobs] (default 1)
     domains.  The cross-check reports Info findings only (rules
     [rare-empirical] per candidate and one [empirical] summary), so it
-    never changes the exit code. *)
+    never changes the exit code.
+
+    [prove] (off by default) escalates every [rare-net] Warning to an
+    exact verdict by bounded model checking the flagged net's rare value
+    up to [prove] cycles ({!Thr_sat.Bmc.check_net}), spending at most
+    [prove_budget] (default {!default_prove_budget}) solver steps per
+    candidate:
+
+    - {b proved reachable} — the Warning becomes an Error under rule
+      [proved-reachable] carrying the concrete activating input
+      sequence, but only after the witness replays on the packed
+      simulator; a witness that fails replay keeps the original Warning,
+      adds a [witness-replay-mismatch] Info and logs a
+      [witness_replay_mismatch] warning event;
+    - {b proved unreachable} within the bound — downgraded to Info under
+      rule [rare-unreachable];
+    - {b inconclusive} (budget exhausted) — stays a Warning under rule
+      [rare-inconclusive], which {!exit_code} maps to
+      {!Thr_util.Exit_code.Inconclusive} when nothing else blocks.
+
+    One Info summary under rule [prove] records the tallies, also
+    available structurally as [report.prove]. *)
 
 val errors : report -> Finding.t list
 
@@ -47,13 +90,17 @@ val clean : report -> bool
 (** No Warning or Error findings (Info is fine). *)
 
 val exit_code : report -> Thr_util.Exit_code.t
-(** {!Thr_util.Exit_code.Ok} when {!clean}, else
-    {!Thr_util.Exit_code.Lint}. *)
+(** {!Thr_util.Exit_code.Ok} when {!clean};
+    {!Thr_util.Exit_code.Inconclusive} when the only blocking findings
+    are [rare-inconclusive] Warnings (the prover ran out of budget,
+    nothing was shown wrong); {!Thr_util.Exit_code.Lint} otherwise. *)
 
 val to_json : report -> Thr_util.Json.t
 (** [{"netlist": .., "nets": .., "gates": .., "dffs": .., "clean": ..,
-    "errors": n, "warnings": n, "findings": [..]}]. *)
+    "exit_code": n, "errors": n, "warnings": n, "findings": [..]}] plus,
+    under [--prove], a ["prove"] object with the {!prove_stats}
+    tallies. *)
 
 val render : report -> string
 (** Human-readable report: a {!Thr_util.Tablefmt} table of findings and
-    a one-line verdict. *)
+    a one-line verdict (plus a prove-tally line when present). *)

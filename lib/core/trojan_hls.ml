@@ -21,6 +21,8 @@
     - {!Engine}, {!Campaign} — run-time detection/recovery execution;
     - {!Check} (with {!Lint}, {!Taint}, {!Prob}, {!Finding}) — the
       gate-level static analyser behind [thls lint];
+    - {!Sat_solver}, {!Sat_cnf}, {!Bmc} — the CDCL SAT solver, Tseitin
+      CNF lowering and bounded model checker behind [thls lint --prove];
     - {!Benchmarks}, {!Dfg_generator} — the Section 5 workloads;
     - {!Prng}, {!Tablefmt}, {!Dpool}, {!Json} — deterministic randomness,
       table output, the domain pool behind every [--jobs] flag, and the
@@ -78,6 +80,10 @@ module Taint = Thr_check.Taint
 module Prob = Thr_check.Prob
 module Finding = Thr_check.Finding
 
+module Sat_solver = Thr_sat.Solver
+module Sat_cnf = Thr_sat.Cnf
+module Bmc = Thr_sat.Bmc
+
 module Logic_test = Thr_testtime.Logic_test
 module Side_channel = Thr_testtime.Side_channel
 module Testtime = Thr_testtime.Harness
@@ -89,6 +95,7 @@ module Prng = Thr_util.Prng
 module Tablefmt = Thr_util.Tablefmt
 module Dpool = Thr_util.Dpool
 module Json = Thr_util.Json
+module Exit_code = Thr_util.Exit_code
 
 module Trace = Thr_obs.Trace
 module Metrics = Thr_obs.Metrics

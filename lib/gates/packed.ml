@@ -174,6 +174,33 @@ let tape nl =
               Hashtbl.add cache id tp;
               tp)
 
+(* ------------------------ tape introspection ------------------------ *)
+
+(* Read-only views of the compiled tape for consumers that lower the
+   levelized instruction stream to another representation (the Thr_sat
+   CNF encoder).  The arrays behind these accessors are shared with the
+   simulator hot loop — callers must not mutate what they see. *)
+
+let tape_netlist tp = tp.t_nl
+
+let tape_length tp = Array.length tp.t_code
+
+let tape_code tp i = tp.t_code.(i)
+
+let tape_args tp i = (tp.t_a.(i), tp.t_b.(i), tp.t_c.(i))
+
+let tape_dst tp i = tp.t_dst.(i)
+
+let tape_consts tp =
+  Array.init (Array.length tp.t_const_net) (fun i ->
+      (tp.t_const_net.(i), tp.t_const_val.(i) <> 0))
+
+let tape_dff_data tp k = tp.t_dff_src.(k)
+
+let tape_dff_init tp k = tp.t_dff_init.(k) <> 0
+
+let tape_inputs tp = Array.copy tp.t_input_nets
+
 (* ------------------------------ state ------------------------------ *)
 
 type t = {

@@ -52,6 +52,60 @@ val tape : Netlist.t -> tape
 (** Compile (finalising first if needed).  Memoised on {!Netlist.uid}
     under a ["sim.compile"] trace span; cache hits are O(1). *)
 
+(** {1 Tape introspection}
+
+    Read-only views of the compiled instruction stream, in the same
+    levelized order the simulator evaluates it.  [Thr_sat.Cnf] lowers
+    netlist cones to CNF by walking these instead of re-deriving its own
+    topological order.  Nets are {!Netlist.net_index} integers
+    throughout; opcodes are the [op_*] values below. *)
+
+val op_not : int
+
+val op_and : int
+
+val op_or : int
+
+val op_xor : int
+
+val op_nand : int
+
+val op_nor : int
+
+val op_mux : int
+(** Operands: [a] = select, [b] = the [sel=0] arm, [c] = the [sel=1] arm. *)
+
+val op_dff : int
+(** Operand [a] is the DFF table index (see {!tape_dff_data}). *)
+
+val tape_netlist : tape -> Netlist.t
+
+val tape_length : tape -> int
+(** Number of compiled instructions (inputs and constants are not
+    instructions). *)
+
+val tape_code : tape -> int -> int
+(** Opcode of instruction [i]. *)
+
+val tape_args : tape -> int -> int * int * int
+(** [(a, b, c)] operand net indices of instruction [i] (unused slots
+    are 0). *)
+
+val tape_dst : tape -> int -> int
+(** Destination net index of instruction [i]. *)
+
+val tape_consts : tape -> (int * bool) array
+(** The [D_const] nets as [(net index, value)] pairs. *)
+
+val tape_dff_data : tape -> int -> int
+(** Net index of the data input of DFF [k]. *)
+
+val tape_dff_init : tape -> int -> bool
+(** Power-on value of DFF [k]. *)
+
+val tape_inputs : tape -> (string * int) array
+(** Primary inputs as [(name, net index)], declaration order. *)
+
 (** {1 Simulation} *)
 
 type t

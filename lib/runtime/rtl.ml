@@ -369,9 +369,97 @@ let canned_injection ~width design =
         (Trojan.Xor_offset 0xFF);
   }
 
-let check ?rare_threshold ?prob_iters ?empirical ?jobs t =
-  Check.run ~taint:(taint_spec t) ?rare_threshold ?prob_iters ?empirical ?jobs
-    t.netlist
+(* A deterministic sequential (threshold-counting) Trojan for `--mutant
+   trojan-seq`, built so that `lint --prove` can actually construct its
+   activating sequence within the default 8-cycle BMC bound.  The
+   trigger condition must hold on consecutive {e active} cycles of one
+   core, so the scan prefers a core executing two back-to-back copies
+   whose operands are both distinct primary inputs (each cycle's
+   condition then depends only on that frame's free inputs) with the
+   second activation early enough; failing that, a single free-input
+   copy with threshold 1; failing that, the first output's core. *)
+let canned_sequential_injection ~width design =
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let mask = (1 lsl min width 16) - 1 in
+  let n_copies = Copy.count spec in
+  let assignment =
+    Binding.instance_assignment spec design.Design.schedule design.Design.binding
+  in
+  let cores = Hashtbl.create 32 in
+  for idx = 0 to n_copies - 1 do
+    let c = Copy.of_index spec idx in
+    let v = Binding.vendor design.Design.binding idx in
+    let ty = Spec.iptype_of_op spec c.Copy.op in
+    let key = (Vendor.id v, Iptype.to_index ty, assignment.(idx)) in
+    let existing =
+      match Hashtbl.find_opt cores key with Some l -> l | None -> []
+    in
+    Hashtbl.replace cores key (idx :: existing)
+  done;
+  let step_of idx = Schedule.step design.Design.schedule idx in
+  (* both operand slots read distinct primary inputs: the trigger
+     condition at this copy's cycle is freely controllable *)
+  let free_inputs idx =
+    let c = Copy.of_index spec idx in
+    let nd = Dfg.node dfg c.Copy.op in
+    match nd.Dfg.operands with
+    | [| Dfg.Input x; Dfg.Input y |] -> x <> y
+    | _ -> false
+  in
+  let inj idx threshold =
+    {
+      Engine.inj_vendor = Binding.vendor design.Design.binding idx;
+      inj_type = Spec.iptype_of_op spec (Copy.of_index spec idx).Copy.op;
+      trojan =
+        Trojan.make
+          (Trojan.Sequential
+             {
+               a_pattern = 0xDEAD land mask;
+               b_pattern = 0xBEEF land mask;
+               mask;
+               threshold;
+             })
+          (Trojan.Xor_offset 0xFF);
+    }
+  in
+  (* the default BMC bound of `lint --prove`: the chosen activation must
+     complete within it (frame f activates step f) *)
+  let bound = 8 in
+  let best_pair = ref None in
+  let best_single = ref None in
+  let better best s =
+    match !best with Some (_, s') -> s < s' | None -> true
+  in
+  Hashtbl.iter
+    (fun _ idxs ->
+      let idxs = List.sort (fun i j -> compare (step_of i) (step_of j)) idxs in
+      let rec pairs = function
+        | i :: (j :: _ as rest) ->
+            if free_inputs i && free_inputs j && step_of j <= bound
+               && better best_pair (step_of j)
+            then best_pair := Some (i, step_of j);
+            pairs rest
+        | _ -> ()
+      in
+      pairs idxs;
+      List.iter
+        (fun i ->
+          if free_inputs i && step_of i <= bound && better best_single (step_of i)
+          then best_single := Some (i, step_of i))
+        idxs)
+    cores;
+  match (!best_pair, !best_single) with
+  | Some (i, _), _ -> inj i 2
+  | None, Some (i, _) -> inj i 1
+  | None, None ->
+      let op = List.hd (Dfg.outputs dfg) in
+      inj (Copy.index spec { Copy.op; phase = Copy.NC }) 1
+
+let check ?rare_threshold ?prob_iters ?empirical ?prove ?prove_budget ?prover
+    ?jobs t =
+  Check.run ~taint:(taint_spec t) ?rare_threshold ?prob_iters ?empirical
+    ?prove ?prove_budget ?prover ?jobs t.netlist
 
 type result = {
   r_mismatch : bool;

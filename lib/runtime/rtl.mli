@@ -72,16 +72,31 @@ val canned_injection : width:int -> Thr_hls.Design.t -> Engine.injection
     the design's first primary output: the canned "known bad" netlist
     behind [thls lint --mutant trojan] and the server's lint op. *)
 
+val canned_sequential_injection :
+  width:int -> Thr_hls.Design.t -> Engine.injection
+(** A deterministic {e sequential} (consecutive-match counter) Trojan —
+    [thls lint --mutant trojan-seq] — placed so that [lint --prove] can
+    construct its activating input sequence within the default 8-cycle
+    BMC bound: preferably a core executing two back-to-back copies whose
+    operands are all distinct primary inputs (threshold 2), else a
+    single such copy (threshold 1), else the first output's core. *)
+
 val check :
   ?rare_threshold:float ->
   ?prob_iters:int ->
   ?empirical:int ->
+  ?prove:int ->
+  ?prove_budget:int ->
+  ?prover:Thr_check.Check.prover ->
   ?jobs:int ->
   t ->
   Thr_check.Check.report
 (** Run the full static analyser ({!Thr_check.Check.run}) with
     {!taint_spec} wired in.  [empirical]/[jobs] enable the Info-only
-    packed-simulation cross-check of the rare-net pass. *)
+    packed-simulation cross-check of the rare-net pass;
+    [prove]/[prove_budget] escalate rare-net findings to exact bounded
+    model-checking verdicts ([prover] overrides the decision procedure,
+    for tests). *)
 
 type result = {
   r_mismatch : bool;

@@ -1,0 +1,169 @@
+(* Tseitin lowering of netlist cones to CNF.
+
+   The encoder walks the levelized instruction tape the packed simulator
+   compiled ({!Thr_gates.Packed}) — the same shared, cached artefact —
+   instead of re-deriving a topological order, so both engines agree on
+   evaluation order by construction.  One [frame] maps each in-cone net
+   to a solver variable; chaining frames with [prev] unrolls sequential
+   behaviour: frame 1 pins every DFF output to its power-on value, frame
+   [f > 1] aliases a DFF's output variable to the {e previous} frame's
+   variable of its data net (the latch edge needs no clauses). *)
+
+module Trace = Thr_obs.Trace
+module Packed = Thr_gates.Packed
+module Netlist = Thr_gates.Netlist
+
+type frame = {
+  f_nl : Netlist.t;
+  f_vars : int array; (* net index -> DIMACS var; 0 = outside the cone *)
+  f_inputs : (string * int) array; (* every primary input, var 0 if unused *)
+  f_depth : int; (* 1-based frame number *)
+}
+
+let var_idx f i = f.f_vars.(i)
+
+let var f net = f.f_vars.(Netlist.net_index net)
+
+let inputs f = f.f_inputs
+
+let depth f = f.f_depth
+
+let netlist f = f.f_nl
+
+(* Gate clauses, [z] the output variable.  Each set is the standard
+   Tseitin biconditional of the gate function. *)
+
+let emit_not s z a =
+  Solver.add_clause s [ z; a ];
+  Solver.add_clause s [ -z; -a ]
+
+let emit_and s z a b =
+  Solver.add_clause s [ -z; a ];
+  Solver.add_clause s [ -z; b ];
+  Solver.add_clause s [ z; -a; -b ]
+
+let emit_or s z a b =
+  Solver.add_clause s [ z; -a ];
+  Solver.add_clause s [ z; -b ];
+  Solver.add_clause s [ -z; a; b ]
+
+let emit_nand s z a b =
+  Solver.add_clause s [ z; a ];
+  Solver.add_clause s [ z; b ];
+  Solver.add_clause s [ -z; -a; -b ]
+
+let emit_nor s z a b =
+  Solver.add_clause s [ -z; -a ];
+  Solver.add_clause s [ -z; -b ];
+  Solver.add_clause s [ z; a; b ]
+
+let emit_xor s z a b =
+  Solver.add_clause s [ -z; a; b ];
+  Solver.add_clause s [ -z; -a; -b ];
+  Solver.add_clause s [ z; -a; b ];
+  Solver.add_clause s [ z; a; -b ]
+
+(* z = if sel then t1 else t0; the last two clauses are redundant but
+   strengthen unit propagation when both arms agree. *)
+let emit_mux s z sel t0 t1 =
+  Solver.add_clause s [ -sel; -t1; z ];
+  Solver.add_clause s [ -sel; t1; -z ];
+  Solver.add_clause s [ sel; -t0; z ];
+  Solver.add_clause s [ sel; t0; -z ];
+  Solver.add_clause s [ -t0; -t1; z ];
+  Solver.add_clause s [ t0; t1; -z ]
+
+let encode_frame s nl ~cone ~prev =
+  Trace.with_span "sat.cnf"
+    ~args:[ ("netlist", Netlist.name nl) ]
+    (fun () ->
+      let tp = Packed.tape nl in
+      if Array.length cone <> Netlist.n_nets nl then
+        invalid_arg "Cnf.encode_frame: cone mask size mismatch";
+      let vars = Array.make (Netlist.n_nets nl) 0 in
+      (* primary inputs: a fresh unconstrained variable per frame *)
+      let f_inputs =
+        Array.map
+          (fun (nm, i) ->
+            if cone.(i) then begin
+              vars.(i) <- Solver.new_var s;
+              (nm, vars.(i))
+            end
+            else (nm, 0))
+          (Packed.tape_inputs tp)
+      in
+      (* constants: a variable pinned by a unit clause *)
+      Array.iter
+        (fun (i, v) ->
+          if cone.(i) then begin
+            let z = Solver.new_var s in
+            vars.(i) <- z;
+            Solver.add_clause s [ (if v then z else -z) ]
+          end)
+        (Packed.tape_consts tp);
+      let operand name i =
+        let v = vars.(i) in
+        if v = 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Cnf.encode_frame: %s operand net %d outside the cone" name i)
+        else v
+      in
+      for pc = 0 to Packed.tape_length tp - 1 do
+        let d = Packed.tape_dst tp pc in
+        if cone.(d) then begin
+          let a, b, c = Packed.tape_args tp pc in
+          let code = Packed.tape_code tp pc in
+          if code = Packed.op_dff then begin
+            match prev with
+            | None ->
+                (* frame 1: the power-on value, as a pinned variable *)
+                let z = Solver.new_var s in
+                vars.(d) <- z;
+                Solver.add_clause s
+                  [ (if Packed.tape_dff_init tp a then z else -z) ]
+            | Some p ->
+                (* frame f: alias to frame f-1's data-net variable.  The
+                   cone is closed through DFFs, so it is present. *)
+                let src = Packed.tape_dff_data tp a in
+                let v = p.f_vars.(src) in
+                if v = 0 then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Cnf.encode_frame: DFF %d data net %d missing from \
+                        previous frame"
+                       a src);
+                vars.(d) <- v
+          end
+          else begin
+            let z = Solver.new_var s in
+            vars.(d) <- z;
+            if code = Packed.op_not then emit_not s z (operand "not" a)
+            else if code = Packed.op_and then
+              emit_and s z (operand "and" a) (operand "and" b)
+            else if code = Packed.op_or then
+              emit_or s z (operand "or" a) (operand "or" b)
+            else if code = Packed.op_xor then
+              emit_xor s z (operand "xor" a) (operand "xor" b)
+            else if code = Packed.op_nand then
+              emit_nand s z (operand "nand" a) (operand "nand" b)
+            else if code = Packed.op_nor then
+              emit_nor s z (operand "nor" a) (operand "nor" b)
+            else if code = Packed.op_mux then
+              emit_mux s z (operand "mux" a) (operand "mux" b)
+                (operand "mux" c)
+            else invalid_arg "Cnf.encode_frame: unknown opcode"
+          end
+        end
+      done;
+      {
+        f_nl = nl;
+        f_vars = vars;
+        f_inputs;
+        f_depth = (match prev with None -> 1 | Some p -> p.f_depth + 1);
+      })
+
+let of_cone s nl ~roots =
+  Netlist.finalise nl;
+  let cone = Netlist.in_cone nl ~through_dffs:true ~roots () in
+  encode_frame s nl ~cone ~prev:None

@@ -1,0 +1,53 @@
+(** Tseitin lowering of netlist cones to CNF.
+
+    One {!frame} encodes the combinational settle of a netlist's fan-in
+    cone as clauses over a {!Solver.t}: every in-cone net gets a solver
+    variable whose truth in any model equals the net's simulated value
+    under the model's input assignment.  The encoder walks the levelized
+    instruction tape compiled by {!Thr_gates.Packed} — the same cached
+    artefact the bit-parallel simulator executes — so the two engines
+    share one evaluation order by construction (a qcheck property pins
+    the bit-for-bit agreement).
+
+    Sequential unrolling chains frames: with [prev = None] every DFF
+    output is pinned to its power-on value; with [prev = Some f] a DFF
+    output {e aliases} the previous frame's variable of its data net, so
+    the latch edge costs no clauses.  {!Bmc} builds on this. *)
+
+type frame
+
+val of_cone : Solver.t -> Thr_gates.Netlist.t -> roots:Thr_gates.Netlist.net list -> frame
+(** Encode the transitive fan-in cone of [roots] (through DFFs) as a
+    single frame — power-on DFF values, free inputs.  Finalises the
+    netlist if needed. *)
+
+val encode_frame :
+  Solver.t ->
+  Thr_gates.Netlist.t ->
+  cone:bool array ->
+  prev:frame option ->
+  frame
+(** One unrolled time frame over an explicit cone mask (as returned by
+    {!Thr_gates.Netlist.in_cone} with [through_dffs:true]).  Runs under
+    a ["sat.cnf"] trace span.
+
+    @raise Invalid_argument if the mask's size does not match the
+    netlist, or if the mask is not closed under fan-in (an in-cone gate
+    with an out-of-cone operand). *)
+
+val var : frame -> Thr_gates.Netlist.net -> int
+(** The DIMACS variable of a net in this frame; [0] if the net is
+    outside the cone. *)
+
+val var_idx : frame -> int -> int
+(** {!var} by {!Thr_gates.Netlist.net_index}. *)
+
+val inputs : frame -> (string * int) array
+(** Every primary input of the netlist, declaration order, with its
+    frame variable ([0] when the input does not feed the cone — any
+    value works then). *)
+
+val depth : frame -> int
+(** 1-based frame number ([1] for the initial frame). *)
+
+val netlist : frame -> Thr_gates.Netlist.t

@@ -1,0 +1,638 @@
+(* CDCL SAT solver (MiniSat lineage): two-watched-literal propagation,
+   VSIDS-style variable activities with an indexed max-heap, first-UIP
+   conflict analysis, activity-driven learnt-clause deletion, Luby
+   restarts, phase saving, and incremental solving under assumptions.
+
+   External literals are DIMACS integers (variable [v >= 1], negation
+   [-v]); internally a literal is [(var lsl 1) lor sign] with [sign = 1]
+   for the negation, so arrays index by literal directly. *)
+
+module Trace = Thr_obs.Trace
+module Metrics = Thr_obs.Metrics
+
+type result = Sat | Unsat | Unknown
+
+type clause = {
+  lits : int array; (* internal literals; lits.(0) and lits.(1) are watched *)
+  learnt : bool;
+  mutable act : float;
+  mutable deleted : bool;
+}
+
+(* growable clause vector (watch lists, clause databases) *)
+type cvec = { mutable data : clause array; mutable sz : int }
+
+let dummy_clause = { lits = [||]; learnt = false; act = 0.0; deleted = true }
+
+let cvec () = { data = [||]; sz = 0 }
+
+let cpush v c =
+  if v.sz = Array.length v.data then begin
+    let cap = max 4 (2 * Array.length v.data) in
+    let d = Array.make cap dummy_clause in
+    Array.blit v.data 0 d 0 v.sz;
+    v.data <- d
+  end;
+  v.data.(v.sz) <- c;
+  v.sz <- v.sz + 1
+
+type t = {
+  mutable n_vars : int;
+  clauses : cvec;
+  learnts : cvec;
+  mutable watches : cvec array; (* indexed by internal literal *)
+  mutable assign : int array;   (* per var: 1 true, -1 false, 0 undef *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;   (* saved polarity *)
+  mutable seen : bool array;    (* conflict-analysis scratch *)
+  mutable heap : int array;     (* binary max-heap of vars by activity *)
+  mutable heap_sz : int;
+  mutable heap_pos : int array; (* var -> heap slot, -1 when absent *)
+  mutable trail : int array;
+  mutable trail_sz : int;
+  mutable trail_lim : int array;
+  mutable trail_lim_sz : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnts : float;
+  mutable ok : bool;            (* false once unsatisfiable at level 0 *)
+  mutable model : int array;    (* last satisfying assignment *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learned : int;
+}
+
+let var_decay = 1.0 /. 0.95
+
+let cla_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    n_vars = 0;
+    clauses = cvec ();
+    learnts = cvec ();
+    watches = [||];
+    assign = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    phase = [||];
+    seen = [||];
+    heap = [||];
+    heap_sz = 0;
+    heap_pos = [||];
+    trail = [||];
+    trail_sz = 0;
+    trail_lim = [||];
+    trail_lim_sz = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnts = 100.0;
+    ok = true;
+    model = [||];
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    learned = 0;
+  }
+
+(* ---------------------------- literals ----------------------------- *)
+
+let var l = l lsr 1
+
+let sign l = l land 1
+
+let mk_lit v s = (v lsl 1) lor s
+
+let of_dimacs t d =
+  let v = abs d - 1 in
+  if d = 0 || v >= t.n_vars then
+    invalid_arg (Printf.sprintf "Solver: literal %d out of range" d);
+  mk_lit v (if d < 0 then 1 else 0)
+
+(* 1 true, -1 false, 0 undef *)
+let value t l =
+  let a = t.assign.(var l) in
+  if sign l = 0 then a else -a
+
+let decision_level t = t.trail_lim_sz
+
+(* --------------------------- growth/heap --------------------------- *)
+
+let grow_int a n fill =
+  if Array.length a >= n then a
+  else begin
+    let d = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 d 0 (Array.length a);
+    d
+  end
+
+let grow_bool a n =
+  if Array.length a >= n then a
+  else begin
+    let d = Array.make (max n (2 * Array.length a)) false in
+    Array.blit a 0 d 0 (Array.length a);
+    d
+  end
+
+let grow_float a n =
+  if Array.length a >= n then a
+  else begin
+    let d = Array.make (max n (2 * Array.length a)) 0.0 in
+    Array.blit a 0 d 0 (Array.length a);
+    d
+  end
+
+let heap_swap t i j =
+  let u = t.heap.(i) and v = t.heap.(j) in
+  t.heap.(i) <- v;
+  t.heap.(j) <- u;
+  t.heap_pos.(v) <- i;
+  t.heap_pos.(u) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.activity.(t.heap.(i)) > t.activity.(t.heap.(p)) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_sz && t.activity.(t.heap.(l)) > t.activity.(t.heap.(!best))
+  then best := l;
+  if r < t.heap_sz && t.activity.(t.heap.(r)) > t.activity.(t.heap.(!best))
+  then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_sz) <- v;
+    t.heap_pos.(v) <- t.heap_sz;
+    t.heap_sz <- t.heap_sz + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_sz <- t.heap_sz - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_sz > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_sz);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    heap_down t 0
+  end;
+  v
+
+(* --------------------------- activities ---------------------------- *)
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 0 to t.n_vars - 1 do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let decay_var t = t.var_inc <- t.var_inc *. var_decay
+
+let bump_clause t c =
+  c.act <- c.act +. t.cla_inc;
+  if c.act > 1e20 then begin
+    for i = 0 to t.learnts.sz - 1 do
+      let d = t.learnts.data.(i) in
+      d.act <- d.act *. 1e-20
+    done;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_clause t = t.cla_inc <- t.cla_inc *. cla_decay
+
+(* ----------------------------- new_var ----------------------------- *)
+
+let new_var t =
+  let v = t.n_vars in
+  t.n_vars <- v + 1;
+  let n = t.n_vars in
+  t.assign <- grow_int t.assign n 0;
+  t.level <- grow_int t.level n 0;
+  t.reason <-
+    (if Array.length t.reason >= n then t.reason
+     else begin
+       let d = Array.make (max n (2 * Array.length t.reason)) None in
+       Array.blit t.reason 0 d 0 (Array.length t.reason);
+       d
+     end);
+  t.activity <- grow_float t.activity n;
+  t.phase <- grow_bool t.phase n;
+  t.seen <- grow_bool t.seen n;
+  t.heap <- grow_int t.heap n 0;
+  t.heap_pos <- grow_int t.heap_pos n (-1);
+  t.heap_pos.(v) <- -1;
+  t.trail <- grow_int t.trail n 0;
+  t.trail_lim <- grow_int t.trail_lim n 0;
+  t.model <- grow_int t.model n 0;
+  (if Array.length t.watches < 2 * n then begin
+     let d = Array.make (max (2 * n) (2 * Array.length t.watches)) (cvec ()) in
+     Array.blit t.watches 0 d 0 (Array.length t.watches);
+     for i = Array.length t.watches to Array.length d - 1 do
+       d.(i) <- cvec ()
+     done;
+     t.watches <- d
+   end);
+  heap_insert t v;
+  v + 1
+
+(* ----------------------- assignment and trail ---------------------- *)
+
+let enqueue t l reason =
+  let v = var l in
+  t.assign.(v) <- (if sign l = 0 then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail.(t.trail_sz) <- l;
+  t.trail_sz <- t.trail_sz + 1;
+  t.propagations <- t.propagations + 1
+
+let new_decision_level t =
+  t.trail_lim.(t.trail_lim_sz) <- t.trail_sz;
+  t.trail_lim_sz <- t.trail_lim_sz + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_sz - 1 downto bound do
+      let l = t.trail.(i) in
+      let v = var l in
+      t.phase.(v) <- t.assign.(v) = 1;
+      t.assign.(v) <- 0;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_sz <- bound;
+    t.qhead <- bound;
+    t.trail_lim_sz <- lvl
+  end
+
+(* --------------------------- propagation --------------------------- *)
+
+let attach t c =
+  cpush t.watches.(c.lits.(0)) c;
+  cpush t.watches.(c.lits.(1)) c
+
+let propagate t =
+  let confl = ref None in
+  while !confl = None && t.qhead < t.trail_sz do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let false_lit = p lxor 1 in
+    let ws = t.watches.(false_lit) in
+    let n = ws.sz in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = ws.data.(!i) in
+      incr i;
+      if not c.deleted then begin
+        let lits = c.lits in
+        (* normalise: the false watched literal sits at index 1 *)
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        let first = lits.(0) in
+        if value t first = 1 then begin
+          (* clause already satisfied: keep the watch *)
+          ws.data.(!j) <- c;
+          incr j
+        end
+        else begin
+          (* look for a non-false literal to watch instead *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && value t lits.(!k) = -1 do
+            incr k
+          done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            cpush t.watches.(lits.(1)) c
+          end
+          else begin
+            ws.data.(!j) <- c;
+            incr j;
+            if value t first = -1 then begin
+              (* conflict: keep the remaining watches and stop *)
+              confl := Some c;
+              while !i < n do
+                ws.data.(!j) <- ws.data.(!i);
+                incr j;
+                incr i
+              done;
+              t.qhead <- t.trail_sz
+            end
+            else enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    ws.sz <- !j
+  done;
+  !confl
+
+(* ------------------------ conflict analysis ------------------------ *)
+
+(* First-UIP: walk the trail backwards resolving on literals of the
+   current decision level until one remains; the learnt clause is that
+   UIP's negation plus the lower-level literals met on the way. *)
+let analyze t confl =
+  let lower = ref [] in
+  let pathc = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl in
+  let index = ref (t.trail_sz - 1) in
+  let to_clear = ref [] in
+  let looping = ref true in
+  while !looping do
+    if !c.learnt then bump_clause t !c;
+    let lits = !c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        bump_var t v;
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        if t.level.(v) >= decision_level t then incr pathc
+        else lower := q :: !lower
+      end
+    done;
+    while not t.seen.(var t.trail.(!index)) do
+      decr index
+    done;
+    p := t.trail.(!index);
+    decr index;
+    t.seen.(var !p) <- false;
+    decr pathc;
+    if !pathc = 0 then looping := false
+    else
+      c :=
+        (match t.reason.(var !p) with
+        | Some r -> r
+        | None -> assert false (* a decision cannot be mid-path *))
+  done;
+  let learnt = Array.of_list ((!p lxor 1) :: !lower) in
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  let bt =
+    if Array.length learnt = 1 then 0
+    else begin
+      (* the second-highest decision level, swapped into the watch slot *)
+      let mx = ref 1 in
+      for k = 2 to Array.length learnt - 1 do
+        if t.level.(var learnt.(k)) > t.level.(var learnt.(!mx)) then mx := k
+      done;
+      let tmp = learnt.(1) in
+      learnt.(1) <- learnt.(!mx);
+      learnt.(!mx) <- tmp;
+      t.level.(var learnt.(1))
+    end
+  in
+  (learnt, bt)
+
+let record_learnt t lits =
+  if Array.length lits = 1 then enqueue t lits.(0) None
+  else begin
+    let c = { lits; learnt = true; act = 0.0; deleted = false } in
+    attach t c;
+    cpush t.learnts c;
+    bump_clause t c;
+    enqueue t lits.(0) (Some c)
+  end;
+  t.learned <- t.learned + 1
+
+(* ----------------------- learnt-DB reduction ----------------------- *)
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  match t.reason.(var c.lits.(0)) with
+  | Some r -> r == c && value t c.lits.(0) = 1
+  | None -> false
+
+let reduce_db t =
+  let ls = Array.sub t.learnts.data 0 t.learnts.sz in
+  Array.sort (fun a b -> Float.compare a.act b.act) ls;
+  let keep_from = t.learnts.sz / 2 in
+  Array.iteri
+    (fun i c ->
+      if i < keep_from && Array.length c.lits > 2 && not (locked t c) then
+        c.deleted <- true)
+    ls;
+  let j = ref 0 in
+  for i = 0 to t.learnts.sz - 1 do
+    let c = t.learnts.data.(i) in
+    if not c.deleted then begin
+      t.learnts.data.(!j) <- c;
+      incr j
+    end
+  done;
+  t.learnts.sz <- !j;
+  t.max_learnts <- t.max_learnts *. 1.15
+
+(* ---------------------------- add_clause --------------------------- *)
+
+let add_clause t dimacs =
+  if t.ok then begin
+    let lits = List.sort_uniq compare (List.map (of_dimacs t) dimacs) in
+    let rec tautology = function
+      | a :: (b :: _ as rest) -> a lxor 1 = b || tautology rest
+      | _ -> false
+    in
+    if not (tautology lits) then
+      if List.exists (fun l -> value t l = 1) lits then ()
+      else
+        match List.filter (fun l -> value t l <> -1) lits with
+        | [] -> t.ok <- false
+        | [ l ] -> (
+            enqueue t l None;
+            match propagate t with
+            | Some _ -> t.ok <- false
+            | None -> ())
+        | ls ->
+            let c =
+              { lits = Array.of_list ls; learnt = false; act = 0.0;
+                deleted = false }
+            in
+            attach t c;
+            cpush t.clauses c
+  end
+
+(* ------------------------------ search ----------------------------- *)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 ... *)
+let rec luby i =
+  let rec size_seq sz len = if sz >= i + 1 then (sz, len) else size_seq ((2 * sz) + 1) (len + 1) in
+  let sz, len = size_seq 1 0 in
+  if sz = i + 1 then 1 lsl len else luby (i - (sz / 2))
+
+let restart_first = 100
+
+let steps t = t.decisions + t.propagations + t.conflicts
+
+let choose_var t =
+  let rec go () =
+    if t.heap_sz = 0 then None
+    else
+      let v = heap_pop t in
+      if t.assign.(v) = 0 then Some v else go ()
+  in
+  go ()
+
+let save_model t =
+  Array.blit t.assign 0 t.model 0 t.n_vars
+
+let search t ~asms ~within_budget =
+  let result = ref None in
+  let restarts = ref 0 in
+  let conflict_c = ref 0 in
+  let limit = ref (restart_first * luby 0) in
+  while !result = None do
+    match propagate t with
+    | Some confl ->
+        t.conflicts <- t.conflicts + 1;
+        incr conflict_c;
+        if decision_level t = 0 then begin
+          t.ok <- false;
+          result := Some Unsat
+        end
+        else begin
+          let learnt, bt = analyze t confl in
+          cancel_until t bt;
+          record_learnt t learnt;
+          decay_var t;
+          decay_clause t;
+          if not (within_budget ()) then result := Some Unknown
+        end
+    | None ->
+        if not (within_budget ()) then result := Some Unknown
+        else if !conflict_c >= !limit then begin
+          incr restarts;
+          conflict_c := 0;
+          limit := restart_first * luby !restarts;
+          cancel_until t 0
+        end
+        else begin
+          if float_of_int t.learnts.sz >= t.max_learnts then reduce_db t;
+          (* assumptions are decided first, one level each, in order *)
+          let rec pick () =
+            if decision_level t < Array.length asms then begin
+              let p = asms.(decision_level t) in
+              match value t p with
+              | 1 ->
+                  new_decision_level t;
+                  pick ()
+              | -1 -> result := Some Unsat
+              | _ ->
+                  new_decision_level t;
+                  enqueue t p None
+            end
+            else
+              match choose_var t with
+              | None ->
+                  save_model t;
+                  result := Some Sat
+              | Some v ->
+                  t.decisions <- t.decisions + 1;
+                  new_decision_level t;
+                  enqueue t (mk_lit v (if t.phase.(v) then 0 else 1)) None
+          in
+          pick ()
+        end
+  done;
+  cancel_until t 0;
+  match !result with Some r -> r | None -> assert false
+
+(* ----------------------------- metrics ----------------------------- *)
+
+let m_conflicts = Metrics.counter "thr_sat_conflicts_total"
+
+let m_decisions = Metrics.counter "thr_sat_decisions_total"
+
+let m_propagations = Metrics.counter "thr_sat_propagations_total"
+
+let m_learned = Metrics.counter "thr_sat_learned_clauses_total"
+
+let m_solve_ms =
+  Metrics.histogram
+    ~buckets:[| 0.1; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1e3; 5e3; 3e4 |]
+    "thr_sat_solve_ms"
+
+(* ------------------------------ solve ------------------------------ *)
+
+let solve ?(assumptions = []) ?max_steps t =
+  Trace.with_span "sat.solve"
+    ~args:
+      [
+        ("vars", string_of_int t.n_vars);
+        ("clauses", string_of_int (t.clauses.sz + t.learnts.sz));
+      ]
+    (fun () ->
+      let t0 = Trace.now_us () in
+      let c0 = t.conflicts
+      and d0 = t.decisions
+      and p0 = t.propagations
+      and l0 = t.learned in
+      let s0 = steps t in
+      let r =
+        if not t.ok then Unsat
+        else begin
+          cancel_until t 0;
+          let asms = Array.of_list (List.map (of_dimacs t) assumptions) in
+          let within_budget () =
+            match max_steps with None -> true | Some m -> steps t - s0 < m
+          in
+          search t ~asms ~within_budget
+        end
+      in
+      Metrics.add m_conflicts (t.conflicts - c0);
+      Metrics.add m_decisions (t.decisions - d0);
+      Metrics.add m_propagations (t.propagations - p0);
+      Metrics.add m_learned (t.learned - l0);
+      Metrics.observe m_solve_ms ((Trace.now_us () -. t0) /. 1e3);
+      r)
+
+let value t d =
+  let v = abs d - 1 in
+  if d = 0 || v >= t.n_vars then
+    invalid_arg (Printf.sprintf "Solver.value: literal %d out of range" d);
+  let a = t.model.(v) = 1 in
+  if d > 0 then a else not a
+
+let ok t = t.ok
+
+let n_vars t = t.n_vars
+
+let n_clauses t = t.clauses.sz
+
+let n_learnts t = t.learnts.sz
+
+let conflicts t = t.conflicts
+
+let decisions t = t.decisions
+
+let propagations t = t.propagations
+
+let learned t = t.learned

@@ -5,10 +5,18 @@
    Requests:
      {"op":"solve", "dfg":"<thls DFG text>", ...options}
      {"op":"lint",  "dfg":"<thls DFG text>", ...options,
-                    "width":N, "threshold":F, "mutant":"none|bypass|trojan"}
+                    "width":N, "threshold":F,
+                    "mutant":"none|bypass|trojan|trojan-seq",
+                    "prove":K, "prove_budget":N}
      {"op":"stats"}
      {"op":"metrics"}
      {"op":"shutdown"}
+
+   Lint extras: "prove" bounded-model-checks every rare-net finding up
+   to K cycles (exact reachability verdicts with replayed witnesses);
+   "prove_budget" caps the per-candidate solver steps.  The lint
+   response carries the process exit code a local `thls lint` would
+   return (0 clean / 4 findings / 5 proof budget exhausted).
 
    Solve options (all optional unless noted):
      "dfg"              required DFG text (Thr_dfg.Parse syntax)
@@ -23,7 +31,7 @@
 
    Responses:
      {"status":"ok", "cache_hit":B, "seconds":F, "result":{...}}
-     {"status":"ok", "clean":B, "report":{...}}          (lint)
+     {"status":"ok", "clean":B, "exit_code":N, "report":{...}}   (lint)
      {"status":"ok", "stats":{...}, "metrics":{...}}
      {"status":"ok", "metrics":"<Prometheus text exposition>"}
      {"status":"error", "code":C, "error":MSG}
@@ -46,13 +54,15 @@ type solve = {
   deadline_ms : int option;
 }
 
-type mutant = No_mutant | Bypass | Trojan
+type mutant = No_mutant | Bypass | Trojan | Trojan_seq
 
 type lint = {
   lint_solve : solve;
   width : int option;
   threshold : float option;
   mutant : mutant;
+  prove : int option;
+  prove_budget : int option;
 }
 
 type request = Solve of solve | Lint of lint | Stats | Metrics | Shutdown
@@ -146,9 +156,13 @@ let request_of_json j : (request, string * string) result =
             | None | Some "none" -> Ok No_mutant
             | Some "bypass" -> Ok Bypass
             | Some "trojan" -> Ok Trojan
-            | Some s -> bad "unknown mutant %S (none | bypass | trojan)" s
+            | Some "trojan-seq" | Some "trojan_seq" -> Ok Trojan_seq
+            | Some s ->
+                bad "unknown mutant %S (none | bypass | trojan | trojan-seq)" s
           in
-          Ok (Lint { lint_solve; width; threshold; mutant })
+          let* prove = with_code (field_int "prove" j) in
+          let* prove_budget = with_code (field_int "prove_budget" j) in
+          Ok (Lint { lint_solve; width; threshold; mutant; prove; prove_budget })
       | Some op ->
           bad "unknown op %S (solve | lint | stats | metrics | shutdown)" op)
   | _ -> Error ("bad_request", "request must be a JSON object")
@@ -218,4 +232,6 @@ let lint_response report =
   Json.Obj
     [ ("status", Json.String "ok");
       ("clean", Json.Bool (T.Check.clean report));
+      ("exit_code",
+       Json.Int (Thr_util.Exit_code.code (T.Check.exit_code report)));
       ("report", T.Check.to_json report) ]

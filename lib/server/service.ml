@@ -274,12 +274,19 @@ let handle_lint t (l : Protocol.lint) =
                     T.Rtl.elaborate ~width
                       ~injections:[ T.Rtl.canned_injection ~width design ]
                       design
+                | Protocol.Trojan_seq ->
+                    T.Rtl.elaborate ~width
+                      ~injections:
+                        [ T.Rtl.canned_sequential_injection ~width design ]
+                      design
               with
               | exception Invalid_argument m ->
                   Protocol.error_response ~code:"bad_request" m
               | rtl ->
                   let report =
-                    T.Rtl.check ?rare_threshold:l.Protocol.threshold rtl
+                    T.Rtl.check ?rare_threshold:l.Protocol.threshold
+                      ?prove:l.Protocol.prove
+                      ?prove_budget:l.Protocol.prove_budget rtl
                   in
                   Protocol.lint_response report)))
 

@@ -1,4 +1,4 @@
-type t = Ok | Usage | Infeasible | Budget | Lint
+type t = Ok | Usage | Infeasible | Budget | Lint | Inconclusive
 
 let code = function
   | Ok -> 0
@@ -6,6 +6,7 @@ let code = function
   | Infeasible -> 2
   | Budget -> 3
   | Lint -> 4
+  | Inconclusive -> 5
 
 let describe = function
   | Ok -> "success"
@@ -13,7 +14,8 @@ let describe = function
   | Infeasible -> "proven infeasible: no design satisfies the constraints"
   | Budget -> "search budget exhausted with no incumbent design"
   | Lint -> "static analysis reported findings"
+  | Inconclusive -> "bounded proof inconclusive: the prove budget was exhausted"
 
-let all = [ Ok; Usage; Infeasible; Budget; Lint ]
+let all = [ Ok; Usage; Infeasible; Budget; Lint; Inconclusive ]
 
 let exit t = Stdlib.exit (code t)

@@ -8,7 +8,9 @@
     - [1] — usage or I/O error (also what [Cmdliner] itself uses);
     - [2] — the constraint problem is proven infeasible;
     - [3] — the search budget was exhausted with no incumbent design;
-    - [4] — static analysis found lint findings (warnings or errors). *)
+    - [4] — static analysis found lint findings (warnings or errors);
+    - [5] — [thls lint --prove] could not decide every rare-net finding
+      within its conflict/decision budget (and nothing else blocked). *)
 
 type t =
   | Ok            (** solved / ran / clean *)
@@ -16,9 +18,10 @@ type t =
   | Infeasible    (** no design satisfies the constraints (proven) *)
   | Budget        (** search budget exhausted with no incumbent *)
   | Lint          (** [thls lint] reported findings *)
+  | Inconclusive  (** [lint --prove] budget exhausted on a rare finding *)
 
 val code : t -> int
-(** The process exit status: 0 / 1 / 2 / 3 / 4 in declaration order. *)
+(** The process exit status: 0 / 1 / 2 / 3 / 4 / 5 in declaration order. *)
 
 val describe : t -> string
 (** One-line meaning, as printed by [--help] and the README table. *)

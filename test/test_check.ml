@@ -19,6 +19,8 @@ module Design = Thr_hls.Design
 module Trojan = Thr_trojan.Trojan
 module Circuits = Thr_trojan.Circuits
 module Eval = Thr_dfg.Eval
+module Bmc = Thr_sat.Bmc
+module Log = Thr_obs.Log
 
 let rules fs = List.sort_uniq compare (List.map (fun f -> f.Finding.rule) fs)
 
@@ -283,6 +285,93 @@ let test_elab_assertion_catches_bypass () =
   Alcotest.(check bool) "assertion condition trips" true
     (List.exists (fun f -> f.Finding.severity = Finding.Error) fs)
 
+(* ------------------------------ prove ----------------------------- *)
+
+let prove_stats report =
+  match report.Check.prove with
+  | Some s -> s
+  | None -> Alcotest.fail "report carries no prove stats"
+
+let test_prove_clean_design () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 design in
+  let report = Rtl.check ~prove:8 rtl in
+  let s = prove_stats report in
+  Alcotest.(check bool) "still clean" true (Check.clean report);
+  Alcotest.(check bool) "exit Ok" true
+    (Check.exit_code report = Thr_util.Exit_code.Ok);
+  Alcotest.(check int) "no candidates" 0 s.Check.prove_candidates;
+  Alcotest.(check int) "bound recorded" 8 s.Check.prove_bound
+
+let test_prove_seq_injection () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl =
+    Rtl.elaborate ~width:16
+      ~injections:[ Rtl.canned_sequential_injection ~width:16 design ]
+      design
+  in
+  let report = Rtl.check ~prove:8 rtl in
+  let s = prove_stats report in
+  let proved = with_rule "proved-reachable" report.Check.findings in
+  Alcotest.(check bool) "candidates found" true (s.Check.prove_candidates > 0);
+  Alcotest.(check int) "every candidate proved reachable"
+    s.Check.prove_candidates s.Check.prove_reachable;
+  Alcotest.(check int) "no replay failures" 0 s.Check.prove_replay_failed;
+  Alcotest.(check bool) "escalated to errors" true
+    (proved <> []
+    && List.for_all (fun f -> f.Finding.severity = Finding.Error) proved);
+  Alcotest.(check bool) "witness text carries a cycle" true
+    (List.for_all (fun f -> contains f.Finding.detail "cycle") proved);
+  Alcotest.(check bool) "exit code is Lint" true
+    (Check.exit_code report = Thr_util.Exit_code.Lint)
+
+let test_prove_budget_inconclusive () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl =
+    Rtl.elaborate ~width:16
+      ~injections:[ Rtl.canned_sequential_injection ~width:16 design ]
+      design
+  in
+  let report = Rtl.check ~prove:8 ~prove_budget:1 rtl in
+  let s = prove_stats report in
+  Alcotest.(check int) "every candidate inconclusive" s.Check.prove_candidates
+    s.Check.prove_inconclusive;
+  Alcotest.(check int) "nothing proved" 0 s.Check.prove_reachable;
+  Alcotest.(check bool) "rare-inconclusive warnings remain" true
+    (with_rule "rare-inconclusive" report.Check.findings <> []);
+  Alcotest.(check bool) "exit code is Inconclusive" true
+    (Check.exit_code report = Thr_util.Exit_code.Inconclusive)
+
+let test_prove_replay_gate () =
+  (* a prover that fabricates witnesses must not produce errors: the
+     packed-simulator replay gate downgrades them and logs the bug *)
+  let h =
+    Circuits.fig2b ~width:16 ~a_pattern:0xCAFE ~b_pattern:0x1234 ~mask:0xFFFF
+      ~threshold:2 ~payload_mask:0x8
+  in
+  let nl = h.Circuits.netlist in
+  Netlist.finalise nl;
+  let bogus ~net ~value =
+    Bmc.Reachable
+      { Bmc.w_target = net; w_value = value; w_cycle = 1; w_inputs = [| [] |] }
+  in
+  let logged = Buffer.create 256 in
+  Log.set_sink (Some (fun line -> Buffer.add_string logged line));
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Log.set_sink None)
+      (fun () -> Check.run ~prove:8 ~prover:bogus nl)
+  in
+  let s = prove_stats report in
+  Alcotest.(check bool) "replay failures counted" true
+    (s.Check.prove_replay_failed > 0);
+  Alcotest.(check bool) "mismatch findings reported" true
+    (with_rule "witness-replay-mismatch" report.Check.findings <> []);
+  Alcotest.(check bool) "rare warnings survive the downgrade" true
+    (with_rule "rare-net" report.Check.findings <> []);
+  Alcotest.(check bool) "replay bug logged" true
+    (contains (Buffer.contents logged) "witness_replay_mismatch")
+
 (* --------------------------- reporting ---------------------------- *)
 
 let test_report_json_and_render () =
@@ -326,6 +415,17 @@ let () =
             test_taint_flags_comparator_bypass;
           Alcotest.test_case "elab assertion trips" `Quick
             test_elab_assertion_catches_bypass;
+        ] );
+      ( "prove",
+        [
+          Alcotest.test_case "clean design certifies" `Quick
+            test_prove_clean_design;
+          Alcotest.test_case "sequential injection proved" `Quick
+            test_prove_seq_injection;
+          Alcotest.test_case "budget starves to inconclusive" `Quick
+            test_prove_budget_inconclusive;
+          Alcotest.test_case "replay gate rejects fabricated witnesses" `Quick
+            test_prove_replay_gate;
         ] );
       ( "report",
         [

@@ -1,0 +1,370 @@
+(* Tests for the SAT subsystem: the CDCL solver against a brute-force
+   oracle, the CNF encoder against the packed simulator, and the BMC
+   unroller against hand-computed reachability depths. *)
+
+module Netlist = Thr_gates.Netlist
+module Bus = Thr_gates.Bus
+module Packed = Thr_gates.Packed
+module Circuits = Thr_trojan.Circuits
+module Solver = Thr_sat.Solver
+module Cnf = Thr_sat.Cnf
+module Bmc = Thr_sat.Bmc
+
+let result : Solver.result Alcotest.testable =
+  Alcotest.testable
+    (fun ppf r ->
+      Format.pp_print_string ppf
+        (match r with
+        | Solver.Sat -> "Sat"
+        | Solver.Unsat -> "Unsat"
+        | Solver.Unknown -> "Unknown"))
+    ( = )
+
+(* ----------------------------- solver ------------------------------ *)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  Solver.add_clause s [ x; y ];
+  Solver.add_clause s [ -x; y ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "y true" true (Solver.value s y)
+
+let test_unit_propagation () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  let c = Solver.new_var s in
+  Solver.add_clause s [ a ];
+  Solver.add_clause s [ -a; b ];
+  Solver.add_clause s [ -b; c ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "a" true (Solver.value s a);
+  Alcotest.(check bool) "b" true (Solver.value s b);
+  Alcotest.(check bool) "c" true (Solver.value s c)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let x = Solver.new_var s in
+  Solver.add_clause s [ x ];
+  Solver.add_clause s [ -x ];
+  Alcotest.(check bool) "ok cleared" false (Solver.ok s);
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Alcotest.(check bool) "ok cleared" false (Solver.ok s);
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+(* PHP(h+1, h): h+1 pigeons in h holes — classically hard for resolution
+   at scale, decided instantly at this size, and a good workout for
+   conflict analysis. *)
+let pigeonhole holes =
+  let s = Solver.create () in
+  let v = Array.init (holes + 1) (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to holes do
+    Solver.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to holes do
+      for q = p + 1 to holes do
+        Solver.add_clause s [ -v.(p).(h); -v.(q).(h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  Alcotest.check result "php(5,4)" Solver.Unsat (Solver.solve (pigeonhole 4));
+  Alcotest.check result "php(7,6)" Solver.Unsat (Solver.solve (pigeonhole 6))
+
+let test_assumptions_incremental () =
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  Solver.add_clause s [ x; y ];
+  Alcotest.check result "x,y free" Solver.Sat (Solver.solve s);
+  Alcotest.check result "assume -x" Solver.Sat
+    (Solver.solve ~assumptions:[ -x ] s);
+  Alcotest.(check bool) "y forced" true (Solver.value s y);
+  Alcotest.check result "assume -x -y" Solver.Unsat
+    (Solver.solve ~assumptions:[ -x; -y ] s);
+  Alcotest.(check bool) "still ok" true (Solver.ok s);
+  (* add a clause between calls: the solver stays incremental *)
+  Solver.add_clause s [ -y ];
+  Alcotest.check result "now x forced" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "x" true (Solver.value s x);
+  Alcotest.check result "assume -x now unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ -x ] s);
+  Alcotest.check result "recovers" Solver.Sat (Solver.solve s)
+
+let test_budget_unknown () =
+  let s = pigeonhole 6 in
+  Alcotest.check result "starved" Solver.Unknown (Solver.solve ~max_steps:1 s);
+  (* the same solver finishes the job when the budget is lifted *)
+  Alcotest.check result "finishes" Solver.Unsat (Solver.solve s)
+
+let test_bad_literals () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Alcotest.check_raises "zero" (Invalid_argument "Solver: literal 0 out of range")
+    (fun () -> Solver.add_clause s [ 0 ]);
+  Alcotest.check_raises "unallocated"
+    (Invalid_argument "Solver: literal 2 out of range") (fun () ->
+      Solver.add_clause s [ 2 ])
+
+(* Oracle check: random small CNFs against exhaustive enumeration. *)
+let solver_matches_brute_force =
+  QCheck.Test.make ~name:"solver matches brute force on random CNF" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size
+           Gen.(int_range 0 30)
+           (list_of_size Gen.(int_range 0 4) (int_range 0 1000))))
+    (fun (n, raw) ->
+      let clauses =
+        List.map
+          (List.map (fun k ->
+               let v = (k mod n) + 1 in
+               if k mod 2 = 0 then v else -v))
+          raw
+      in
+      let sat_under m =
+        List.for_all
+          (fun c ->
+            List.exists
+              (fun l ->
+                let bit = m land (1 lsl (abs l - 1)) <> 0 in
+                if l > 0 then bit else not bit)
+              c)
+          clauses
+      in
+      let brute = ref false in
+      for m = 0 to (1 lsl n) - 1 do
+        if sat_under m then brute := true
+      done;
+      let s = Solver.create () in
+      for _ = 1 to n do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Unknown -> QCheck.Test.fail_report "unbounded solve was Unknown"
+      | Solver.Unsat ->
+          if !brute then
+            QCheck.Test.fail_report "solver Unsat but brute force found a model"
+          else true
+      | Solver.Sat ->
+          if not !brute then
+            QCheck.Test.fail_report "solver Sat but brute force found none"
+          else begin
+            (* and the reported model must actually satisfy the clauses *)
+            let m = ref 0 in
+            for v = 1 to n do
+              if Solver.value s v then m := !m lor (1 lsl (v - 1))
+            done;
+            if sat_under !m then true
+            else QCheck.Test.fail_report "reported model does not satisfy CNF"
+          end)
+
+(* ------------------------------- cnf -------------------------------- *)
+
+(* The same random-netlist script as test_gates: gates over a growing
+   net pool, dangling nets OR'd into a sink output. *)
+let random_netlist script =
+  let nl = Netlist.create ~name:"rand" in
+  let nets = ref [| Netlist.input nl "a"; Netlist.input nl "b" |] in
+  let push n = nets := Array.append !nets [| n |] in
+  List.iter
+    (fun (kind, i, j) ->
+      let pick k = !nets.(k mod Array.length !nets) in
+      let x = pick i and y = pick j in
+      push
+        (match kind mod 8 with
+        | 0 -> Netlist.and_ nl x y
+        | 1 -> Netlist.or_ nl x y
+        | 2 -> Netlist.xor_ nl x y
+        | 3 -> Netlist.nand_ nl x y
+        | 4 -> Netlist.nor_ nl x y
+        | 5 -> Netlist.not_ nl x
+        | 6 -> Netlist.mux nl ~sel:x ~t0:y ~t1:(pick (i + j))
+        | _ -> Netlist.dff nl ~init:(i mod 2 = 0) x))
+    script;
+  let fo = Netlist.fanout nl in
+  let dangling =
+    Array.to_list !nets |> List.filter (fun n -> fo.(Netlist.net_index n) = 0)
+  in
+  Netlist.output nl "sink" (Netlist.or_list nl dangling);
+  Netlist.finalise nl;
+  nl
+
+(* The encoder's defining property: fix the frame's inputs with
+   assumptions and every in-cone variable must agree with the packed
+   simulator's settle of the same inputs over the power-on state. *)
+let cnf_matches_packed =
+  QCheck.Test.make ~name:"Cnf.of_cone models agree with Packed settle"
+    ~count:120
+    QCheck.(
+      triple
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        bool bool)
+    (fun (script, va, vb) ->
+      let nl = random_netlist script in
+      let root = Netlist.find_output nl "sink" in
+      let s = Solver.create () in
+      let frame = Cnf.of_cone s nl ~roots:[ root ] in
+      let input_val = function "a" -> va | _ -> vb in
+      let assumptions =
+        Array.to_list (Cnf.inputs frame)
+        |> List.filter_map (fun (nm, v) ->
+               if v = 0 then None
+               else Some (if input_val nm then v else -v))
+      in
+      (match Solver.solve ~assumptions s with
+      | Solver.Sat -> ()
+      | _ -> QCheck.Test.fail_report "fully-driven cone must be Sat");
+      let sim = Packed.create nl in
+      Packed.reset sim;
+      Packed.set_input sim "a" (if va then 1 else 0);
+      Packed.set_input sim "b" (if vb then 1 else 0);
+      Packed.settle sim;
+      Array.iter
+        (fun net ->
+          let v = Cnf.var frame net in
+          if v <> 0 then begin
+            let want = Packed.peek_lane sim net 0 in
+            if Solver.value s v <> want then
+              QCheck.Test.fail_reportf "net %d: cnf=%b packed=%b"
+                (Netlist.net_index net) (Solver.value s v) want
+          end)
+        (Netlist.nets_in_order nl);
+      true)
+
+(* ------------------------------- bmc -------------------------------- *)
+
+(* A 4-bit free-running counter reaches 12 at frame 13 (frame f shows
+   the state after f-1 clock edges) and not a cycle earlier. *)
+let counter_netlist () =
+  let nl = Netlist.create ~name:"cnt" in
+  let enable = Netlist.const nl true in
+  let c = Bus.counter nl ~width:4 ~enable in
+  let hit = Bus.eq_const nl c 12 in
+  Netlist.output nl "hit" hit;
+  Netlist.finalise nl;
+  (nl, Netlist.find_output nl "hit")
+
+let test_bmc_counter_unreachable () =
+  let nl, hit = counter_netlist () in
+  match Bmc.check_net ~bound:8 nl ~net:hit ~value:true with
+  | Bmc.Unreachable 8 -> ()
+  | Bmc.Unreachable k -> Alcotest.failf "unreachable at wrong bound %d" k
+  | Bmc.Reachable w -> Alcotest.failf "reachable at cycle %d?" w.Bmc.w_cycle
+  | Bmc.Inconclusive _ -> Alcotest.fail "inconclusive without a budget"
+
+let test_bmc_counter_reachable () =
+  let nl, hit = counter_netlist () in
+  match Bmc.check_net ~bound:13 nl ~net:hit ~value:true with
+  | Bmc.Reachable w ->
+      Alcotest.(check int) "exact depth" 13 w.Bmc.w_cycle;
+      Alcotest.(check bool) "witness replays" true (Bmc.replay nl w)
+  | _ -> Alcotest.fail "count 12 must be reachable within 13 cycles"
+
+let test_bmc_budget_inconclusive () =
+  let nl, hit = counter_netlist () in
+  match Bmc.check_net ~bound:8 ~budget:1 nl ~net:hit ~value:true with
+  | Bmc.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "a 1-step budget cannot decide anything"
+
+(* The low value is immediate: frame 1, all-zero state. *)
+let test_bmc_trivially_low () =
+  let nl, hit = counter_netlist () in
+  match Bmc.check_net ~bound:8 nl ~net:hit ~value:false with
+  | Bmc.Reachable w ->
+      Alcotest.(check int) "frame 1" 1 w.Bmc.w_cycle;
+      Alcotest.(check bool) "replays" true (Bmc.replay nl w)
+  | _ -> Alcotest.fail "low must be reachable at frame 1"
+
+(* Fig. 2(b): the registered consecutive-match counter with threshold 2
+   raises T at frame 3 — two matching clocked cycles, observed before
+   the third latch — and provably not earlier. *)
+let test_bmc_fig2b_trigger () =
+  let h =
+    Circuits.fig2b ~width:8 ~a_pattern:0xA5 ~b_pattern:0x5A ~mask:0xFF
+      ~threshold:2 ~payload_mask:0xFF
+  in
+  let nl = h.Circuits.netlist in
+  let t = h.Circuits.trigger_net in
+  (match Bmc.check_net ~bound:2 nl ~net:t ~value:true with
+  | Bmc.Unreachable 2 -> ()
+  | _ -> Alcotest.fail "threshold-2 trigger must be quiet for 2 frames");
+  match Bmc.check_net ~bound:8 nl ~net:t ~value:true with
+  | Bmc.Reachable w ->
+      Alcotest.(check int) "fires at frame 3" 3 w.Bmc.w_cycle;
+      Alcotest.(check bool) "witness replays" true (Bmc.replay nl w);
+      let d = Bmc.describe w in
+      Alcotest.(check bool) "describe mentions cycle" true
+        (String.length d > 0
+        &&
+        let sub = "cycle 3" in
+        let n = String.length d and m = String.length sub in
+        let found = ref false in
+        for i = 0 to n - m do
+          if String.sub d i m = sub then found := true
+        done;
+        !found)
+  | _ -> Alcotest.fail "threshold-2 trigger must fire by frame 8"
+
+(* A corrupted witness must not replay: soundness of the replay gate. *)
+let test_bmc_replay_rejects_bogus () =
+  let h =
+    Circuits.fig2b ~width:8 ~a_pattern:0xA5 ~b_pattern:0x5A ~mask:0xFF
+      ~threshold:2 ~payload_mask:0xFF
+  in
+  let nl = h.Circuits.netlist in
+  match Bmc.check_net ~bound:8 nl ~net:h.Circuits.trigger_net ~value:true with
+  | Bmc.Reachable w ->
+      let scrambled =
+        {
+          w with
+          Bmc.w_inputs =
+            Array.map (List.map (fun (nm, b) -> (nm, not b))) w.Bmc.w_inputs;
+        }
+      in
+      Alcotest.(check bool) "scrambled witness fails" false
+        (Bmc.replay nl scrambled)
+  | _ -> Alcotest.fail "trigger must be reachable"
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "assumptions + incremental" `Quick
+            test_assumptions_incremental;
+          Alcotest.test_case "budget -> Unknown" `Quick test_budget_unknown;
+          Alcotest.test_case "bad literals" `Quick test_bad_literals;
+          QCheck_alcotest.to_alcotest solver_matches_brute_force;
+        ] );
+      ("cnf", [ QCheck_alcotest.to_alcotest cnf_matches_packed ]);
+      ( "bmc",
+        [
+          Alcotest.test_case "counter unreachable at 8" `Quick
+            test_bmc_counter_unreachable;
+          Alcotest.test_case "counter reachable at 13" `Quick
+            test_bmc_counter_reachable;
+          Alcotest.test_case "budget inconclusive" `Quick
+            test_bmc_budget_inconclusive;
+          Alcotest.test_case "trivially low" `Quick test_bmc_trivially_low;
+          Alcotest.test_case "fig2b trigger depth" `Quick
+            test_bmc_fig2b_trigger;
+          Alcotest.test_case "replay rejects bogus witness" `Quick
+            test_bmc_replay_rejects_bogus;
+        ] );
+    ]

@@ -354,13 +354,15 @@ let test_table_separator () =
 module Exit_code = Thr_util.Exit_code
 
 let test_exit_code_table () =
-  Alcotest.(check (list int)) "ascending dense codes" [ 0; 1; 2; 3; 4 ]
+  Alcotest.(check (list int)) "ascending dense codes" [ 0; 1; 2; 3; 4; 5 ]
     (List.map Exit_code.code Exit_code.all);
   Alcotest.(check int) "ok" 0 (Exit_code.code Exit_code.Ok);
   Alcotest.(check int) "usage" 1 (Exit_code.code Exit_code.Usage);
   Alcotest.(check int) "infeasible" 2 (Exit_code.code Exit_code.Infeasible);
   Alcotest.(check int) "budget" 3 (Exit_code.code Exit_code.Budget);
   Alcotest.(check int) "lint" 4 (Exit_code.code Exit_code.Lint);
+  Alcotest.(check int) "inconclusive" 5
+    (Exit_code.code Exit_code.Inconclusive);
   (* descriptions are one-line, non-empty and pairwise distinct *)
   let descs = List.map Exit_code.describe Exit_code.all in
   List.iter
