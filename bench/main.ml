@@ -1046,6 +1046,92 @@ let sat () =
     "(every candidate verdict is exact: a witness replayed on the packed \
      simulator, or an unreachability certificate for the bound)@."
 
+(* ----------------------------- journal ---------------------------- *)
+
+(* Cost of the runtime observability layer: the journal emit site when
+   disabled (the price every simulation pays — one Atomic.get) and when
+   enabled, the flight-recorder sampling rate, and the end-to-end
+   overhead of a recorded run vs a plain one. *)
+let journal () =
+  Format.printf "@.== Runtime journal / flight recorder cost ==@.";
+  let n = 1_000_000 in
+  T.Journal.disable ();
+  T.Journal.clear ();
+  let disabled_rate =
+    rate
+      (fun () ->
+        for c = 1 to n do
+          T.Journal.emit ~cycle:c T.Journal.Trigger_candidate_active
+        done)
+      n
+  in
+  T.Journal.enable ();
+  T.Journal.clear ();
+  let enabled_rate =
+    rate
+      (fun () ->
+        for c = 1 to n do
+          T.Journal.emit ~cycle:c T.Journal.Trigger_candidate_active
+        done)
+      n
+  in
+  T.Journal.disable ();
+  T.Journal.clear ();
+  let signals = 64 in
+  let words = Array.make signals 0 in
+  let recorder =
+    T.Recorder.create
+      ~names:(Array.init signals (Printf.sprintf "n%d"))
+      ~depth:256 ()
+  in
+  let pushes = 100_000 in
+  let push_rate =
+    rate
+      (fun () ->
+        for c = 1 to pushes do
+          T.Recorder.push recorder ~cycle:c words
+        done)
+      pushes
+  in
+  let rtl =
+    match sim_netlists () with
+    | (_, rtl) :: _ -> rtl
+    | [] -> failwith "no netlist"
+  in
+  let env =
+    List.map
+      (fun i -> (i, 9))
+      (T.Dfg.inputs rtl.T.Rtl.design.T.Design.spec.T.Spec.dfg)
+  in
+  let plain_rate = rate (fun () -> ignore (T.Rtl.run rtl env)) 1 in
+  let recorded_rate =
+    rate (fun () -> ignore (T.Rtl.run_recorded rtl env)) 1
+  in
+  let table =
+    T.Tablefmt.create
+      ~aligns:[ T.Tablefmt.Left; Right ]
+      ~header:[ "Site"; "rate" ] ()
+  in
+  T.Tablefmt.add_row table
+    [ "emit, disabled"; Printf.sprintf "%.3g events/s" disabled_rate ];
+  T.Tablefmt.add_row table
+    [ "emit, enabled"; Printf.sprintf "%.3g events/s" enabled_rate ];
+  T.Tablefmt.add_row table
+    [
+      Printf.sprintf "recorder push (%d signals)" signals;
+      Printf.sprintf "%.3g cycles/s" push_rate;
+    ];
+  T.Tablefmt.add_row table
+    [ "Rtl.run (motivational)"; Printf.sprintf "%.3g runs/s" plain_rate ];
+  T.Tablefmt.add_row table
+    [ "Rtl.run_recorded"; Printf.sprintf "%.3g runs/s" recorded_rate ];
+  Format.printf "%s" (T.Tablefmt.render table);
+  Format.printf
+    "(disabled emit is the always-on cost: one Atomic.get per site; \
+     disabled/enabled ratio %.1fx; recorded run costs %.2fx a plain run)@."
+    (disabled_rate /. enabled_rate)
+    (plain_rate /. recorded_rate)
+
 (* ------------------------------ main ------------------------------ *)
 
 let experiments =
@@ -1058,6 +1144,7 @@ let experiments =
     ("testtime", testtime);
     ("rtl", rtl);
     ("sim", sim);
+    ("journal", journal);
     ("sat", sat);
     ("timing", timing);
     ("json", json);

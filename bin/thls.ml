@@ -220,6 +220,100 @@ let optimize_cmd =
       const run $ bench_arg $ catalog_flag $ detection_only_flag $ latency_flag
       $ latency_rec_flag $ area_flag $ solver_flag $ jobs_flag $ trace_flag)
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_text path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* --record: a single recorded gate-level run with the flight recorder
+   and journal on, frozen into a postmortem bundle.  The behavioural
+   campaign is skipped on purpose: it injects a Trojan into *every*
+   trial, so recording it would journal detections even for a clean
+   design. *)
+let record_run ~design ~mutant ~seed ~width ~depth dir =
+  let spec = design.T.Design.spec in
+  let dfg = spec.T.Spec.dfg in
+  T.Journal.enable ();
+  T.Journal.clear ();
+  let prng = T.Prng.create ~seed in
+  let cfg = T.Campaign.default_config in
+  let env =
+    List.map
+      (fun nm -> (nm, T.Prng.int_in prng cfg.T.Campaign.input_lo cfg.T.Campaign.input_hi))
+      (T.Dfg.inputs dfg)
+  in
+  let config =
+    { cfg with T.Campaign.mask = (1 lsl min width 16) - 1 }
+  in
+  let injections, cls, mutant_name =
+    match mutant with
+    | `None -> ([], "", "none")
+    | `Trojan -> ([ T.Campaign.armed_injection ~config design env ], "comb", "trojan")
+    | `Trojan_seq ->
+        ( [ T.Campaign.armed_injection ~config ~sequential:true design env ],
+          "seq",
+          "trojan-seq" )
+  in
+  let rtl = T.Rtl.elaborate ~width ~injections design in
+  (* static analysis feeds the rare-net candidates into the watch-list *)
+  let report = T.Rtl.check rtl in
+  let watch = T.Rtl.watchlist ~report rtl in
+  let recorded = T.Rtl.run_recorded ~depth ~watch ~cls rtl env in
+  mkdir_p dir;
+  T.Journal.write_file (Filename.concat dir "journal.json");
+  let window = recorded.T.Rtl.rec_window in
+  let wave =
+    {
+      T.Vcd.v_names = window.T.Recorder.w_names;
+      v_cycles = window.T.Recorder.w_cycles;
+      v_bits = T.Recorder.lane_bits window ~lane:0;
+    }
+  in
+  T.Vcd.write_file (Filename.concat dir "wave.vcd") wave;
+  write_text
+    (Filename.concat dir "metrics.json")
+    (Json.to_string ~pretty:true (T.Metrics.to_json ()) ^ "\n");
+  let first = recorded.T.Rtl.rec_result.T.Rtl.r_first_detect in
+  let summary =
+    Json.Obj
+      [
+        ("bench", Json.String (T.Dfg.name dfg));
+        ("mutant", Json.String mutant_name);
+        ("seed", Json.Int seed);
+        ("width", Json.Int width);
+        ("cycles", Json.Int rtl.T.Rtl.total_cycles);
+        ("latency_detect", Json.Int spec.T.Spec.latency_detect);
+        ("latency_recover", Json.Int spec.T.Spec.latency_recover);
+        ("detected", Json.Bool (first <> None));
+        ( "first_detect_cycle",
+          match first with Some c -> Json.Int c | None -> Json.Null );
+        ("signals", Json.Int (Array.length window.T.Recorder.w_names));
+        ("window_cycles", Json.Int (Array.length window.T.Recorder.w_cycles));
+        ("env", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) env));
+      ]
+  in
+  write_text
+    (Filename.concat dir "summary.json")
+    (Json.to_string ~pretty:true summary ^ "\n");
+  Format.printf "recorded %d cycles of %d signals into %s@."
+    rtl.T.Rtl.total_cycles
+    (Array.length window.T.Recorder.w_names)
+    dir;
+  (match first with
+  | Some c -> Format.printf "mismatch detected at cycle %d@." c
+  | None -> Format.printf "no detection (comparator ended clean)@.");
+  if mutant <> `None && first = None then begin
+    prerr_endline "error: an injected mutant produced no detection";
+    exit 1
+  end
+
 let simulate_cmd =
   let doc = "Optimise a design, then run a Trojan-injection campaign on it." in
   let runs_flag =
@@ -238,7 +332,44 @@ let simulate_cmd =
              on the bit-parallel gate engine (0 = skip).  Exits non-zero \
              on any disagreement.")
   in
-  let run name cat latency latency_recover area runs seed vectors jobs trace =
+  let record_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"DIR"
+          ~doc:
+            "Skip the campaign and instead run one recorded gate-level \
+             simulation with the runtime journal and flight recorder on, \
+             writing a postmortem bundle (journal.json, wave.vcd, \
+             metrics.json, summary.json) to $(docv).  Render it with \
+             $(b,thls postmortem).")
+  in
+  let mutant_flag =
+    let mutant_conv =
+      Arg.enum [ ("none", `None); ("trojan", `Trojan); ("trojan-seq", `Trojan_seq) ]
+    in
+    Arg.(
+      value & opt mutant_conv `None
+      & info [ "mutant" ] ~docv:"KIND"
+          ~doc:
+            "For --record: inject an armed Trojan (none | trojan | \
+             trojan-seq) whose trigger pattern matches the operands the \
+             recorded run actually computes, guaranteeing a runtime \
+             detection.")
+  in
+  let width_flag =
+    Arg.(
+      value & opt int 16
+      & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width for --record.")
+  in
+  let depth_flag =
+    Arg.(
+      value & opt int 256
+      & info [ "record-depth" ] ~docv:"CYCLES"
+          ~doc:"Flight-recorder ring depth for --record.")
+  in
+  let run name cat latency latency_recover area runs seed vectors jobs trace
+      record mutant width depth =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -257,31 +388,141 @@ let simulate_cmd =
         | Error T.Optimize.Infeasible_budget ->
             print_endline "no design found within the search budget";
             exit exit_budget
-        | Ok { design; _ } ->
-            let prng = T.Prng.create ~seed in
-            let config = { T.Campaign.default_config with n_runs = runs } in
-            let result = T.Campaign.run ~config ~jobs ~prng design in
-            Format.printf "%a@." T.Campaign.pp_result result;
-            if vectors > 0 then begin
-              let cs = T.Campaign.cosim ~config ~jobs ~prng ~vectors design in
-              if T.Campaign.cosim_ok cs then
-                Format.printf
-                  "cosim: %d vectors, netlist matches the behavioural model@."
-                  cs.T.Campaign.cosim_vectors
-              else begin
-                Format.printf
-                  "cosim: %d/%d vectors disagree with the behavioural model@."
-                  cs.T.Campaign.cosim_mismatches cs.T.Campaign.cosim_vectors;
-                exit 1
-              end
-            end)
+        | Ok { design; _ } -> (
+            match record with
+            | Some dir -> record_run ~design ~mutant ~seed ~width ~depth dir
+            | None ->
+                let prng = T.Prng.create ~seed in
+                let config = { T.Campaign.default_config with n_runs = runs } in
+                let result = T.Campaign.run ~config ~jobs ~prng design in
+                Format.printf "%a@." T.Campaign.pp_result result;
+                if vectors > 0 then begin
+                  let cs = T.Campaign.cosim ~config ~jobs ~prng ~vectors design in
+                  if T.Campaign.cosim_ok cs then
+                    Format.printf
+                      "cosim: %d vectors, netlist matches the behavioural \
+                       model@."
+                      cs.T.Campaign.cosim_vectors
+                  else begin
+                    Format.printf
+                      "cosim: %d/%d vectors disagree with the behavioural \
+                       model@."
+                      cs.T.Campaign.cosim_mismatches cs.T.Campaign.cosim_vectors;
+                    exit 1
+                  end
+                end))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ runs_flag $ seed_flag $ vectors_flag $ jobs_flag
-      $ trace_flag)
+      $ trace_flag $ record_flag $ mutant_flag $ width_flag $ depth_flag)
+
+let postmortem_cmd =
+  let doc = "Render a postmortem bundle written by simulate --record." in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Bundle directory.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the merged bundle as JSON instead.")
+  in
+  let read_json path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | text -> Json.parse text
+  in
+  let run dir json =
+    let journal_path = Filename.concat dir "journal.json" in
+    let summary_path = Filename.concat dir "summary.json" in
+    let vcd_path = Filename.concat dir "wave.vcd" in
+    let journal = read_json journal_path in
+    let summary = read_json summary_path in
+    let wave =
+      match In_channel.with_open_text vcd_path In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | text -> T.Vcd.parse text
+    in
+    match journal with
+    | Error e ->
+        Printf.eprintf "cannot read %s: %s\n" journal_path e;
+        exit 1
+    | Ok j -> (
+        match T.Journal.events_of_json j with
+        | Error e ->
+            Printf.eprintf "malformed journal %s: %s\n" journal_path e;
+            exit 1
+        | Ok events ->
+            if json then
+              print_endline
+                (Json.to_string ~pretty:true
+                   (Json.Obj
+                      [
+                        ( "summary",
+                          match summary with Ok s -> s | Error _ -> Json.Null );
+                        ("journal", j);
+                      ]))
+            else begin
+              (match summary with
+              | Ok s ->
+                  let str k =
+                    match Json.mem_str k s with Some v -> v | None -> "?"
+                  in
+                  let intf k =
+                    match Json.mem_int k s with
+                    | Some v -> string_of_int v
+                    | None -> "?"
+                  in
+                  Printf.printf "bench %s, mutant %s, seed %s, %s cycles\n"
+                    (str "bench") (str "mutant") (intf "seed") (intf "cycles");
+                  (match Json.mem_int "first_detect_cycle" s with
+                  | Some c -> Printf.printf "detected at cycle %d\n" c
+                  | None -> print_endline "no detection recorded")
+              | Error _ -> ());
+              let tbl =
+                T.Tablefmt.create
+                  ~aligns:
+                    [
+                      T.Tablefmt.Right; T.Tablefmt.Right; T.Tablefmt.Right;
+                      T.Tablefmt.Left; T.Tablefmt.Left;
+                    ]
+                  ~header:[ "seq"; "cycle"; "lane"; "event"; "context" ] ()
+              in
+              List.iter
+                (fun (ev : T.Journal.event) ->
+                  T.Tablefmt.add_row tbl
+                    [
+                      string_of_int ev.T.Journal.seq;
+                      string_of_int ev.T.Journal.cycle;
+                      string_of_int ev.T.Journal.lane;
+                      T.Journal.kind_name ev.T.Journal.kind;
+                      String.concat " "
+                        (List.map
+                           (fun (k, v) -> Printf.sprintf "%s=%s" k v)
+                           ev.T.Journal.ctx);
+                    ])
+                events;
+              if events = [] then print_endline "journal: no events"
+              else print_string (T.Tablefmt.render tbl);
+              (match wave with
+              | Ok w ->
+                  let n = Array.length w.T.Vcd.v_cycles in
+                  Printf.printf
+                    "waveform: %d signals over %d cycles (%d..%d) — %s\n"
+                    (Array.length w.T.Vcd.v_names)
+                    n
+                    (if n > 0 then w.T.Vcd.v_cycles.(0) else 0)
+                    (if n > 0 then w.T.Vcd.v_cycles.(n - 1) else 0)
+                    vcd_path
+              | Error e -> Printf.printf "waveform: unreadable (%s)\n" e)
+            end)
+  in
+  Cmd.v (Cmd.info "postmortem" ~doc) Term.(const run $ dir_arg $ json_flag)
 
 let export_ilp_cmd =
   let doc =
@@ -727,6 +968,15 @@ let submit_cmd =
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
   in
+  let events_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some (-1)) (some int) None
+      & info [ "events" ] ~docv:"N"
+          ~doc:
+            "Request the server's runtime journal — the newest $(docv) \
+             events, or all buffered events when given without a value.")
+  in
   let deadline_flag =
     Arg.(
       value
@@ -742,12 +992,20 @@ let submit_cmd =
     | "-" -> In_channel.input_all stdin
     | path -> In_channel.with_open_text path In_channel.input_all
   in
-  let run bench socket dfg stats metrics shutdown lint lint_width lint_mutant
-      lint_prove lint_prove_budget cat detection_only latency latency_recover
-      area solver deadline_ms =
+  let run bench socket dfg stats metrics shutdown events lint lint_width
+      lint_mutant lint_prove lint_prove_budget cat detection_only latency
+      latency_recover area solver deadline_ms =
     let request =
       if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
       else if metrics then Ok (Json.Obj [ ("op", Json.String "metrics") ])
+      else if events <> None then
+        Ok
+          (Json.Obj
+             (("op", Json.String "events")
+             ::
+             (match events with
+             | Some n when n >= 0 -> [ ("n", Json.Int n) ]
+             | _ -> [])))
       else if shutdown then Ok (Json.Obj [ ("op", Json.String "shutdown") ])
       else
         let dfg_text =
@@ -759,8 +1017,8 @@ let submit_cmd =
               Result.map T.Dfg_parse.to_string (find_dfg name)
           | None, None ->
               Error
-                "submit needs BENCH, --dfg FILE, --stats, --metrics or \
-                 --shutdown"
+                "submit needs BENCH, --dfg FILE, --stats, --metrics, \
+                 --events or --shutdown"
         in
         Result.map
           (fun text ->
@@ -833,7 +1091,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc)
     Term.(
       const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
-      $ metrics_flag $ shutdown_flag $ lint_flag $ lint_width_flag
+      $ metrics_flag $ shutdown_flag $ events_flag $ lint_flag $ lint_width_flag
       $ lint_mutant_flag $ lint_prove_flag $ lint_prove_budget_flag
       $ catalog_flag $ detection_only_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ solver_name_flag $ deadline_flag)
@@ -843,8 +1101,9 @@ let main =
   Cmd.group
     (Cmd.info "thls" ~version:"1.0.0" ~doc)
     [
-      list_cmd; show_cmd; catalog_cmd; optimize_cmd; simulate_cmd; export_ilp_cmd;
-      pareto_cmd; rtl_cmd; lint_cmd; serve_cmd; submit_cmd;
+      list_cmd; show_cmd; catalog_cmd; optimize_cmd; simulate_cmd;
+      postmortem_cmd; export_ilp_cmd; pareto_cmd; rtl_cmd; lint_cmd; serve_cmd;
+      submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -287,6 +287,24 @@ let run ?taint ?rare_threshold ?prob_iters ?empirical ?prove ?prove_budget
     prove = prove_stats;
   }
 
+type watch_point = { wp_net : int; wp_rare_value : bool; wp_prob : float }
+
+(* Hand the rare-net candidates to the runtime flight recorder: for each
+   flagged net, which logic value is the rare one (the level a trigger
+   would wait for) and how rare the analytic pass thinks it is. *)
+let rare_watchlist r =
+  List.filter_map
+    (fun f ->
+      match f.Finding.net with
+      | Some i
+        when f.Finding.rule = "rare-net" || f.Finding.rule = "proved-reachable"
+        ->
+          let p = if i < Array.length r.probs then r.probs.(i) else 0.5 in
+          Some { wp_net = i; wp_rare_value = p < 0.5; wp_prob = p }
+      | _ -> None)
+    r.findings
+  |> List.sort_uniq (fun a b -> compare a.wp_net b.wp_net)
+
 let errors r =
   List.filter (fun f -> f.Finding.severity = Finding.Error) r.findings
 

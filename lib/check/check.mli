@@ -82,6 +82,17 @@ val run :
     One Info summary under rule [prove] records the tallies, also
     available structurally as [report.prove]. *)
 
+type watch_point = {
+  wp_net : int;  (** {!Thr_gates.Netlist.net_index} of the candidate *)
+  wp_rare_value : bool;  (** the logic level the analyser deems rare *)
+  wp_prob : float;  (** analytic P(net = 1) *)
+}
+
+val rare_watchlist : report -> watch_point list
+(** The rare-net trigger candidates ([rare-net] Warnings and
+    [proved-reachable] Errors) as watch points for the runtime flight
+    recorder, net-sorted and deduplicated.  Empty on a clean design. *)
+
 val errors : report -> Finding.t list
 
 val warnings : report -> Finding.t list

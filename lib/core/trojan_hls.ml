@@ -100,3 +100,6 @@ module Exit_code = Thr_util.Exit_code
 module Trace = Thr_obs.Trace
 module Metrics = Thr_obs.Metrics
 module Log = Thr_obs.Log
+module Journal = Thr_obs.Journal
+module Recorder = Thr_obs.Recorder
+module Vcd = Thr_obs.Vcd

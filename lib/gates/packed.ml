@@ -296,6 +296,17 @@ let peek t net = t.values.(Netlist.net_index net)
 
 let peek_lane t net lane = (peek t net lsr lane) land 1 = 1
 
+let peek_index t i = t.values.(i)
+
+(* probe hook for the flight recorder: one bounds-checked bulk read per
+   cycle instead of a [peek] per watched net *)
+let sample t nets dst =
+  let n = Array.length nets in
+  if Array.length dst <> n then invalid_arg "Packed.sample: width mismatch";
+  for i = 0 to n - 1 do
+    dst.(i) <- t.values.(nets.(i))
+  done
+
 let output t nm =
   match Netlist.find_output t.tp.t_nl nm with
   | n -> peek t n

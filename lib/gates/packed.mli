@@ -146,6 +146,15 @@ val peek : t -> Netlist.net -> int
 val peek_lane : t -> Netlist.net -> int -> bool
 (** One lane of one net ([lane] in [0, lanes)). *)
 
+val peek_index : t -> int -> int
+(** Lane word of the net with raw index [i] (see {!Netlist.net_index}).
+    Probe hook for watch-lists that pre-resolve nets to indices. *)
+
+val sample : t -> int array -> int array -> unit
+(** [sample t nets dst] bulk-reads the lane words of the raw net indices
+    [nets] into [dst] — the flight recorder's once-per-cycle probe.
+    @raise Invalid_argument if the array lengths differ. *)
+
 val dff_state : t -> int array
 (** Snapshot of the packed DFF lane words (copy). *)
 

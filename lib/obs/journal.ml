@@ -1,0 +1,288 @@
+module Json = Thr_util.Json
+
+type kind =
+  | Trigger_candidate_active
+  | Mismatch_detected
+  | Recovery_started
+  | Recovery_ok
+  | Recovery_failed
+
+type event = {
+  seq : int;
+  ts_us : float;
+  cycle : int;
+  lane : int;
+  kind : kind;
+  ctx : (string * string) list;
+}
+
+let kind_name = function
+  | Trigger_candidate_active -> "Trigger_candidate_active"
+  | Mismatch_detected -> "Mismatch_detected"
+  | Recovery_started -> "Recovery_started"
+  | Recovery_ok -> "Recovery_ok"
+  | Recovery_failed -> "Recovery_failed"
+
+let all_kinds =
+  [
+    Trigger_candidate_active;
+    Mismatch_detected;
+    Recovery_started;
+    Recovery_ok;
+    Recovery_failed;
+  ]
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+let kind_index k = match k with
+  | Trigger_candidate_active -> 0
+  | Mismatch_detected -> 1
+  | Recovery_started -> 2
+  | Recovery_ok -> 3
+  | Recovery_failed -> 4
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* ------------------------------- state ------------------------------ *)
+
+let default_capacity = 65_536
+let lock = Mutex.create ()
+let capacity = ref default_capacity
+let ring : event array ref = ref [||]
+let head = ref 0
+let count = ref 0
+let n_dropped = ref 0
+let next_seq = ref 0
+let kind_counts = Array.make (List.length all_kinds) 0
+let first_detect : int option ref = ref None
+
+let events_total = Metrics.counter "thr_rt_events_total"
+let dropped_total = Metrics.counter "thr_obs_journal_dropped_total"
+let triggers_total = Metrics.counter "thr_rt_trigger_candidates_total"
+let detections_total = Metrics.counter "thr_rt_detections_total"
+let recoveries_ok_total = Metrics.counter "thr_rt_recoveries_ok_total"
+let recoveries_failed_total = Metrics.counter "thr_rt_recoveries_failed_total"
+
+let bump_kind_counter = function
+  | Trigger_candidate_active -> Metrics.incr triggers_total
+  | Mismatch_detected -> Metrics.incr detections_total
+  | Recovery_started -> ()
+  | Recovery_ok -> Metrics.incr recoveries_ok_total
+  | Recovery_failed -> Metrics.incr recoveries_failed_total
+
+(* dummy slot for fresh rings; never observable through [events] *)
+let null_event =
+  { seq = -1; ts_us = 0.0; cycle = 0; lane = 0; kind = Recovery_ok; ctx = [] }
+
+let emit ~cycle ?(lane = 0) ?(ctx = []) kind =
+  if Atomic.get enabled_flag then begin
+    let ts_us = Trace.now_us () in
+    Mutex.protect lock (fun () ->
+        let cap = !capacity in
+        if Array.length !ring <> cap then begin
+          ring := Array.make cap null_event;
+          head := 0;
+          count := 0
+        end;
+        let ev = { seq = !next_seq; ts_us; cycle; lane; kind; ctx } in
+        incr next_seq;
+        kind_counts.(kind_index kind) <- kind_counts.(kind_index kind) + 1;
+        (match kind with
+        | Mismatch_detected ->
+            if !first_detect = None then first_detect := Some cycle
+        | _ -> ());
+        !ring.(!head) <- ev;
+        head := (!head + 1) mod cap;
+        if !count < cap then incr count
+        else begin
+          incr n_dropped;
+          Metrics.incr dropped_total
+        end);
+    Metrics.incr events_total;
+    bump_kind_counter kind
+  end
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Journal.set_capacity: capacity must be >= 1";
+  Mutex.protect lock (fun () ->
+      capacity := n;
+      ring := [||];
+      head := 0;
+      count := 0;
+      n_dropped := 0)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      ring := [||];
+      head := 0;
+      count := 0;
+      n_dropped := 0;
+      next_seq := 0;
+      Array.fill kind_counts 0 (Array.length kind_counts) 0;
+      first_detect := None)
+
+let events_locked () =
+  let cap = Array.length !ring in
+  let n = !count in
+  if n = 0 then []
+  else List.init n (fun i -> !ring.((!head - n + i + (2 * cap)) mod cap))
+
+let events () = Mutex.protect lock events_locked
+
+let tail n =
+  let evs = events () in
+  let len = List.length evs in
+  if n >= len then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+let dropped () = Mutex.protect lock (fun () -> !n_dropped)
+let first_detection_cycle () = Mutex.protect lock (fun () -> !first_detect)
+
+(* --------------------------- cycle metrics -------------------------- *)
+
+(* Cycle-scale buckets: schedules in the paper's tables are a handful of
+   control steps, campaigns run a few hundred cycles. *)
+let cycle_buckets =
+  [| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 48.; 64.; 128.; 256.; 512. |]
+
+let latency_hist base cls =
+  let h = Metrics.histogram ~buckets:cycle_buckets base in
+  if cls = "" then [ h ]
+  else [ h; Metrics.histogram ~buckets:cycle_buckets (base ^ "_" ^ cls) ]
+
+(* register the base histograms up front so a metrics scrape shows them
+   (at zero) before any detection has been observed *)
+let () =
+  ignore (latency_hist "thr_rt_detection_latency_cycles" "");
+  ignore (latency_hist "thr_rt_recovery_latency_cycles" "")
+
+let observe_detection_latency ~cls cycles =
+  List.iter
+    (fun h -> Metrics.observe h (float_of_int cycles))
+    (latency_hist "thr_rt_detection_latency_cycles" cls)
+
+let observe_recovery_latency ~cls cycles =
+  List.iter
+    (fun h -> Metrics.observe h (float_of_int cycles))
+    (latency_hist "thr_rt_recovery_latency_cycles" cls)
+
+(* -------------------------------- JSON ------------------------------- *)
+
+let event_to_json ev =
+  Json.Obj
+    [
+      ("seq", Json.Int ev.seq);
+      ("ts_us", Json.Float ev.ts_us);
+      ("cycle", Json.Int ev.cycle);
+      ("lane", Json.Int ev.lane);
+      ("kind", Json.String (kind_name ev.kind));
+      ("ctx", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ev.ctx));
+    ]
+
+let event_of_json j =
+  match (Json.mem_int "seq" j, Json.mem_int "cycle" j, Json.member "kind" j) with
+  | Some seq, Some cycle, Some (Json.String ks) -> (
+      match kind_of_name ks with
+      | None -> Error (Printf.sprintf "unknown journal event kind %S" ks)
+      | Some kind ->
+          let ts_us =
+            match Json.member "ts_us" j with
+            | Some v -> ( match Json.to_float v with Some f -> f | None -> 0.0)
+            | None -> 0.0
+          in
+          let lane = Option.value (Json.mem_int "lane" j) ~default:0 in
+          let ctx =
+            match Json.member "ctx" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.String s -> Some (k, s) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          Ok { seq; ts_us; cycle; lane; kind; ctx })
+  | _ -> Error "journal event: missing seq/cycle/kind"
+
+let summary_json () =
+  Mutex.protect lock (fun () ->
+      Json.Obj
+        ([
+           ("events", Json.Int !next_seq);
+           ("buffered", Json.Int !count);
+           ("dropped", Json.Int !n_dropped);
+           ( "first_detection_cycle",
+             match !first_detect with Some c -> Json.Int c | None -> Json.Null
+           );
+         ]
+        @ List.map
+            (fun k ->
+              (String.lowercase_ascii (kind_name k),
+               Json.Int kind_counts.(kind_index k)))
+            all_kinds))
+
+let to_json () =
+  let evs = events () in
+  Json.Obj
+    [
+      ("events", Json.List (List.map event_to_json evs));
+      ("dropped", Json.Int (dropped ()));
+      ("summary", summary_json ());
+    ]
+
+let events_of_json j =
+  match Json.member "events" j with
+  | Some (Json.List evs) ->
+      List.fold_left
+        (fun acc ej ->
+          match (acc, event_of_json ej) with
+          | Error _, _ -> acc
+          | Ok l, Ok ev -> Ok (ev :: l)
+          | Ok _, Error e -> Error e)
+        (Ok []) evs
+      |> Result.map List.rev
+  | _ -> Error "journal: missing \"events\" list"
+
+let write_file path =
+  let j = to_json () in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "thls-journal" ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (Json.to_string ~pretty:true j);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* --------------------------- trace provider -------------------------- *)
+
+(* Mirror journal events into Chrome trace exports as instants on a
+   synthetic tid lane (1000 + packed lane), far above real domain ids, so
+   the cycle timeline reads as its own track next to CPU spans. *)
+let trace_tid_base = 1000
+
+let trace_events () =
+  List.map
+    (fun ev ->
+      Json.Obj
+        [
+          ("name", Json.String (kind_name ev.kind));
+          ("cat", Json.String "cycle");
+          ("ph", Json.String "i");
+          ("ts", Json.Float ev.ts_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int (trace_tid_base + ev.lane));
+          ("s", Json.String "t");
+          ( "args",
+            Json.Obj
+              (("cycle", Json.String (string_of_int ev.cycle))
+              :: List.map (fun (k, v) -> (k, Json.String v)) ev.ctx) );
+        ])
+    (events ())
+
+let () = Trace.register_provider trace_events

@@ -1,0 +1,96 @@
+(** Cycle-stamped runtime event journal for trojan detection and recovery.
+
+    Where {!Trace} records wall-clock spans of the *tools* (simplex
+    pivots, cache hits), the journal records what the *simulated design*
+    did, in clock cycles: a rare-net trigger candidate going active, the
+    mismatch comparator tripping, recovery starting and succeeding or
+    failing.  Emitters in [Rtl], [Engine] and [Campaign] guard each site
+    with a single [Atomic.get], so the disabled cost matches spans.
+
+    Events carry a globally ordered sequence number (assigned under the
+    journal lock, so [events ()] is strictly [seq]-sorted even under
+    multi-domain emission), a wall timestamp from {!Trace.now_us}, the
+    simulation cycle, a lane index, and free-form [(key, value)] context.
+
+    The journal is a bounded ring (oldest-drop, counted in
+    [thr_obs_journal_dropped_total]).  Emission also feeds the
+    [thr_rt_*] metrics family: per-kind counters plus per-trojan-class
+    detection/recovery latency histograms in cycles.  A {!Trace}
+    provider mirrors the journal into Chrome trace exports on a
+    synthetic tid lane so the cycle timeline sits alongside CPU spans. *)
+
+type kind =
+  | Trigger_candidate_active
+      (** A watch-listed rare net first reached its rare value. *)
+  | Mismatch_detected  (** The NC/RC comparator tripped. *)
+  | Recovery_started  (** Recovery-phase copies began re-execution. *)
+  | Recovery_ok  (** Recovered outputs matched the golden model. *)
+  | Recovery_failed  (** Recovery ran but outputs still diverged. *)
+
+type event = {
+  seq : int;  (** global emission order, starting at 0 *)
+  ts_us : float;  (** wall clock, {!Trace.now_us} time base *)
+  cycle : int;  (** simulation clock cycle *)
+  lane : int;  (** packed-simulator lane (0 for scalar runs) *)
+  kind : kind;
+  ctx : (string * string) list;  (** operation / binding / net context *)
+}
+
+val kind_name : kind -> string
+(** Stable wire name — the constructor name verbatim, e.g.
+    ["Mismatch_detected"]. *)
+
+val kind_of_name : string -> kind option
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val emit : cycle:int -> ?lane:int -> ?ctx:(string * string) list -> kind -> unit
+(** Record an event (no-op when disabled, at one atomic-load cost). *)
+
+val set_capacity : int -> unit
+(** Resize the ring (default 65536 events) and discard buffered events.
+    @raise Invalid_argument if the capacity is < 1. *)
+
+val clear : unit -> unit
+(** Drop buffered events and reset [dropped]/summary state.  Does not
+    change the enabled flag or capacity. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first, strictly increasing [seq]. *)
+
+val tail : int -> event list
+(** [tail n] is the newest [n] buffered events, oldest first. *)
+
+val dropped : unit -> int
+(** Events overwritten since the last [clear]. *)
+
+val first_detection_cycle : unit -> int option
+(** Cycle of the first [Mismatch_detected] emitted since the last
+    [clear] (tracked even if the event was later dropped by the ring). *)
+
+val observe_detection_latency : cls:string -> int -> unit
+(** Record a detection latency (in cycles) into
+    [thr_rt_detection_latency_cycles] and, when [cls] is non-empty, into
+    the per-class [thr_rt_detection_latency_cycles_<cls>] histogram. *)
+
+val observe_recovery_latency : cls:string -> int -> unit
+(** Same, for [thr_rt_recovery_latency_cycles]. *)
+
+val event_to_json : event -> Thr_util.Json.t
+val event_of_json : Thr_util.Json.t -> (event, string) result
+
+val to_json : unit -> Thr_util.Json.t
+(** [{"events": [...], "dropped": n, "summary": {...}}]. *)
+
+val events_of_json : Thr_util.Json.t -> (event list, string) result
+(** Parse the [to_json]/[write_file] shape back (for [thls postmortem]). *)
+
+val summary_json : unit -> Thr_util.Json.t
+(** Per-kind counts since the last [clear], plus ["dropped"] and
+    ["first_detection_cycle"] (null when none).  Merged into the server's
+    [stats] response. *)
+
+val write_file : string -> unit
+(** Write [to_json ()] via temp-file + rename (crash-safe). *)

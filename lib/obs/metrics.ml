@@ -72,7 +72,7 @@ let gauge_value g = Atomic.get g.g_val
 
 (* millisecond-latency scale by default *)
 let default_buckets =
-  [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 10000. |]
+  [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000.; 10000. |]
 
 (* CAS retry loop: [Atomic.get] hands us the one boxed float the cell
    currently holds, so comparing it back by physical equality is exact *)

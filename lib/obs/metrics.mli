@@ -21,6 +21,11 @@ val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+val default_buckets : float array
+(** The bucket boundaries used when [histogram] is given none: strictly
+    increasing, 0.25 .. 10000 (suiting millisecond latencies up to
+    10 s). *)
+
 val histogram : ?buckets:float array -> string -> histogram
 (** [buckets] are strictly increasing finite upper bounds; an implicit
     [+Inf] bucket is always appended.  The default buckets suit

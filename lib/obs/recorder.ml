@@ -1,0 +1,66 @@
+type t = {
+  r_names : string array;
+  r_depth : int;
+  r_words : int array array; (* depth x signals, ring-indexed *)
+  r_cycles : int array; (* cycle stamp per ring slot *)
+  mutable r_head : int; (* next write slot *)
+  mutable r_count : int;
+  mutable r_seen : int;
+}
+
+let samples_total = Metrics.counter "thr_rt_recorder_samples_total"
+
+let create ~names ?(depth = 256) () =
+  if depth < 1 then invalid_arg "Recorder.create: depth must be >= 1";
+  if Array.length names = 0 then invalid_arg "Recorder.create: no signals";
+  {
+    r_names = Array.copy names;
+    r_depth = depth;
+    r_words = Array.make_matrix depth (Array.length names) 0;
+    r_cycles = Array.make depth 0;
+    r_head = 0;
+    r_count = 0;
+    r_seen = 0;
+  }
+
+let names t = Array.copy t.r_names
+let depth t = t.r_depth
+
+let push t ~cycle words =
+  let n = Array.length t.r_names in
+  if Array.length words <> n then
+    invalid_arg "Recorder.push: sample width mismatch";
+  Array.blit words 0 t.r_words.(t.r_head) 0 n;
+  t.r_cycles.(t.r_head) <- cycle;
+  t.r_head <- (t.r_head + 1) mod t.r_depth;
+  if t.r_count < t.r_depth then t.r_count <- t.r_count + 1;
+  t.r_seen <- t.r_seen + 1;
+  Metrics.incr samples_total
+
+let cycles_seen t = t.r_seen
+
+type window = {
+  w_names : string array;
+  w_cycles : int array;
+  w_words : int array array;
+}
+
+let window t =
+  let n = t.r_count in
+  let slot i = (t.r_head - n + i + (2 * t.r_depth)) mod t.r_depth in
+  {
+    w_names = Array.copy t.r_names;
+    w_cycles = Array.init n (fun i -> t.r_cycles.(slot i));
+    w_words = Array.init n (fun i -> Array.copy t.r_words.(slot i));
+  }
+
+let lane_bits w ~lane =
+  if lane < 0 || lane > 62 then invalid_arg "Recorder.lane_bits: bad lane";
+  Array.map
+    (fun words -> Array.map (fun word -> (word lsr lane) land 1 = 1) words)
+    w.w_words
+
+let clear t =
+  t.r_head <- 0;
+  t.r_count <- 0;
+  t.r_seen <- 0

@@ -1,0 +1,46 @@
+(** Bounded flight recorder for lane-packed signal words.
+
+    A recorder snapshots a fixed watch-list of signals once per clock
+    cycle into a ring holding the last [depth] cycles.  Samples are plain
+    native-int words — one bit per packed-simulator lane — so this module
+    stays representation-agnostic and below [Thr_gates] in the dependency
+    order; the glue that reads a [Packed] simulator lives in
+    [Thr_runtime.Rtl].
+
+    On detection the ring is frozen into a {!window} (oldest cycle
+    first), which [bin/thls] renders to a VCD waveform via {!Vcd}. *)
+
+type t
+
+val create : names:string array -> ?depth:int -> unit -> t
+(** [create ~names ()] makes a recorder for [Array.length names] signals
+    remembering the last [depth] cycles (default 256).
+    @raise Invalid_argument if [depth < 1] or [names] is empty. *)
+
+val names : t -> string array
+val depth : t -> int
+
+val push : t -> cycle:int -> int array -> unit
+(** [push t ~cycle words] snapshots one cycle; [words.(i)] is the packed
+    word of signal [names.(i)].  The words are copied.  Once [depth]
+    cycles are buffered the oldest is overwritten.
+    @raise Invalid_argument if [Array.length words] mismatches [names]. *)
+
+val cycles_seen : t -> int
+(** Total [push] calls since [create]/[clear]. *)
+
+type window = {
+  w_names : string array;
+  w_cycles : int array;  (** recorded cycle stamps, oldest first *)
+  w_words : int array array;  (** [w_words.(t).(s)]: cycle [t], signal [s] *)
+}
+
+val window : t -> window
+(** Freeze the buffered cycles (oldest first) into an immutable window. *)
+
+val lane_bits : window -> lane:int -> bool array array
+(** [lane_bits w ~lane] extracts one lane: [(.(t).(s))] is signal [s]'s
+    bit at recorded cycle [t].
+    @raise Invalid_argument unless [0 <= lane < 63]. *)
+
+val clear : t -> unit

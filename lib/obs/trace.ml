@@ -22,11 +22,46 @@ let rec now_us () =
 
 (* ----------------------------- recording ---------------------------- *)
 
-let events_mutex = Mutex.create ()
-let events : Json.t list ref = ref [] (* newest first *)
-let n_complete = Atomic.make 0
+(* Completed events live in a bounded ring so a long-running [thls serve]
+   with tracing enabled cannot grow without limit: once [capacity] events
+   are buffered the oldest is overwritten and counted as dropped. *)
 
-let record ev = Mutex.protect events_mutex (fun () -> events := ev :: !events)
+let default_capacity = 262_144
+let events_mutex = Mutex.create ()
+let capacity = ref default_capacity
+let ring : Json.t array ref = ref [||]
+let head = ref 0 (* next write slot *)
+let count = ref 0
+let n_dropped = ref 0
+let n_complete = Atomic.make 0
+let dropped_total = Metrics.counter "thr_obs_trace_dropped_total"
+
+let record ev =
+  Mutex.protect events_mutex (fun () ->
+      let cap = !capacity in
+      if Array.length !ring <> cap then begin
+        ring := Array.make cap Json.Null;
+        head := 0;
+        count := 0
+      end;
+      !ring.(!head) <- ev;
+      head := (!head + 1) mod cap;
+      if !count < cap then incr count
+      else begin
+        incr n_dropped;
+        Metrics.incr dropped_total
+      end)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Mutex.protect events_mutex (fun () ->
+      capacity := n;
+      ring := [||];
+      head := 0;
+      count := 0;
+      n_dropped := 0)
+
+let dropped () = Mutex.protect events_mutex (fun () -> !n_dropped)
 
 let stack_key : string list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
@@ -36,7 +71,10 @@ let completed () = Atomic.get n_complete
 
 let clear () =
   Mutex.protect events_mutex (fun () ->
-      events := [];
+      ring := [||];
+      head := 0;
+      count := 0;
+      n_dropped := 0;
       Atomic.set n_complete 0)
 
 let base name ph ts =
@@ -78,16 +116,50 @@ let instant name ?(args = []) () =
     record
       (Json.Obj (base name "i" (now_us ()) @ [ ("s", Json.String "t"); json_args args ]))
 
-let export () =
-  let evs = Mutex.protect events_mutex (fun () -> List.rev !events) in
-  Json.Obj
-    [ ("traceEvents", Json.List evs); ("displayTimeUnit", Json.String "ms") ]
+(* Extra event sources (e.g. the runtime journal) register a thunk that
+   contributes trace events at export time, so cycle-domain timelines sit
+   alongside CPU spans in the same Chrome trace.  Providers are invoked
+   outside [events_mutex]: a provider may itself consult modules that
+   record. *)
+let providers_mutex = Mutex.create ()
+let providers : (unit -> Json.t list) list ref = ref []
 
+let register_provider f =
+  Mutex.protect providers_mutex (fun () -> providers := !providers @ [ f ])
+
+let export () =
+  let evs =
+    Mutex.protect events_mutex (fun () ->
+        let cap = Array.length !ring in
+        let n = !count in
+        if n = 0 then []
+        else List.init n (fun i -> !ring.((!head - n + i + (2 * cap)) mod cap)))
+  in
+  let extra =
+    Mutex.protect providers_mutex (fun () -> !providers)
+    |> List.concat_map (fun f -> f ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (evs @ extra));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* Crash-safe: write to a temp file in the destination directory, then
+   atomically rename over the target, so a killed process never leaves a
+   truncated trace behind (same pattern as the solve cache's persist). *)
 let write_file path =
   let j = export () in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string j);
-      output_char oc '\n')
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "thls-trace" ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (Json.to_string j);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

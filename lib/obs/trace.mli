@@ -37,6 +37,25 @@ val depth : unit -> int
 val completed : unit -> int
 (** Complete spans recorded since the last [clear]. *)
 
+val set_capacity : int -> unit
+(** Resize the bounded event ring (default 262144 events) and discard
+    anything buffered.  Once full, recording overwrites the oldest event
+    and bumps [thr_obs_trace_dropped_total].
+    @raise Invalid_argument if the capacity is < 1. *)
+
+val dropped : unit -> int
+(** Events overwritten by the ring since the last [clear]/[set_capacity]. *)
+
+val register_provider : (unit -> Thr_util.Json.t list) -> unit
+(** [register_provider f] adds a source of extra trace events consulted at
+    [export] time (after the ring's own events, in registration order).
+    Used by {!Journal} to lay the cycle-domain timeline alongside CPU
+    spans.  [f] runs outside the tracer's lock and must not raise. *)
+
 val clear : unit -> unit
 val export : unit -> Thr_util.Json.t
+
 val write_file : string -> unit
+(** Write [export ()] to [path] via a temp file in the same directory
+    followed by an atomic rename, so a crash mid-write never leaves a
+    truncated trace. *)

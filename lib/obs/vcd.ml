@@ -1,0 +1,168 @@
+type wave = {
+  v_names : string array;
+  v_cycles : int array;
+  v_bits : bool array array;
+}
+
+(* VCD identifier codes: bijective base-94 over the printable ASCII range
+   '!'..'~', assigned in signal-declaration order. *)
+let id_of i =
+  let rec go acc i =
+    let acc = String.make 1 (Char.chr (33 + (i mod 94))) ^ acc in
+    if i < 94 then acc else go acc ((i / 94) - 1)
+  in
+  go "" i
+
+let sanitize name =
+  String.map (function ' ' | '\t' | '\n' | '\r' -> '_' | c -> c) name
+
+let to_string w =
+  let nsig = Array.length w.v_names in
+  let ntime = Array.length w.v_cycles in
+  if nsig = 0 then invalid_arg "Vcd.to_string: no signals";
+  if ntime = 0 then invalid_arg "Vcd.to_string: no cycles";
+  if Array.length w.v_bits <> ntime then
+    invalid_arg "Vcd.to_string: cycles/bits length mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> nsig then
+        invalid_arg "Vcd.to_string: ragged bits row")
+    w.v_bits;
+  Array.iteri
+    (fun i c ->
+      if i > 0 && c <= w.v_cycles.(i - 1) then
+        invalid_arg "Vcd.to_string: cycles not strictly increasing")
+    w.v_cycles;
+  let buf = Buffer.create (1024 + (ntime * nsig * 3)) in
+  Buffer.add_string buf "$comment thls flight recorder $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf "$scope module thls $end\n";
+  Array.iteri
+    (fun i name ->
+      Printf.bprintf buf "$var wire 1 %s %s $end\n" (id_of i) (sanitize name))
+    w.v_names;
+  Buffer.add_string buf "$upscope $end\n";
+  Buffer.add_string buf "$enddefinitions $end\n";
+  Printf.bprintf buf "#%d\n" w.v_cycles.(0);
+  Buffer.add_string buf "$dumpvars\n";
+  Array.iteri
+    (fun s b -> Printf.bprintf buf "%c%s\n" (if b then '1' else '0') (id_of s))
+    w.v_bits.(0);
+  Buffer.add_string buf "$end\n";
+  for t = 1 to ntime - 1 do
+    Printf.bprintf buf "#%d\n" w.v_cycles.(t);
+    for s = 0 to nsig - 1 do
+      if w.v_bits.(t).(s) <> w.v_bits.(t - 1).(s) then
+        Printf.bprintf buf "%c%s\n"
+          (if w.v_bits.(t).(s) then '1' else '0')
+          (id_of s)
+    done
+  done;
+  Buffer.contents buf
+
+(* ------------------------------- parse ------------------------------- *)
+
+let tokenize s =
+  String.split_on_char '\n' s
+  |> List.concat_map (fun line ->
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t'))
+  |> List.filter (fun t -> t <> "")
+
+exception Bad of string
+
+let parse s =
+  let names = ref [] (* reversed (name, id) *) in
+  let in_defs = ref true in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let values = ref [||] in
+  let cur_time = ref None in
+  let snaps = ref [] (* reversed (time, bits) *) in
+  let flush () =
+    match !cur_time with
+    | None -> ()
+    | Some t -> snaps := (t, Array.copy !values) :: !snaps
+  in
+  let rec skip_to_end = function
+    | [] -> raise (Bad "unterminated $-section")
+    | "$end" :: rest -> rest
+    | _ :: rest -> skip_to_end rest
+  in
+  let rec var_name acc = function
+    | [] -> raise (Bad "unterminated $var")
+    | "$end" :: rest -> (String.concat " " (List.rev acc), rest)
+    | tok :: rest -> var_name (tok :: acc) rest
+  in
+  let rec go = function
+    | [] -> ()
+    | "$var" :: rest -> (
+        if not !in_defs then raise (Bad "$var after $enddefinitions");
+        match rest with
+        | "wire" :: "1" :: id :: rest ->
+            let name, rest = var_name [] rest in
+            if Hashtbl.mem ids id then raise (Bad ("duplicate id " ^ id));
+            Hashtbl.replace ids id (List.length !names);
+            names := name :: !names;
+            go rest
+        | _ -> raise (Bad "unsupported $var (only single-bit wires)"))
+    | "$enddefinitions" :: rest ->
+        in_defs := false;
+        values := Array.make (List.length !names) false;
+        go (skip_to_end rest)
+    | "$dumpvars" :: rest -> go rest
+    | "$end" :: rest -> go rest
+    | tok :: rest when String.length tok > 0 && tok.[0] = '$' ->
+        go (skip_to_end rest)
+    | tok :: rest when String.length tok > 0 && tok.[0] = '#' -> (
+        if !in_defs then raise (Bad "time before $enddefinitions");
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | None -> raise (Bad ("bad time " ^ tok))
+        | Some t ->
+            flush ();
+            (match !snaps with
+            | (prev, _) :: _ when t <= prev ->
+                raise (Bad "time not increasing")
+            | _ -> ());
+            cur_time := Some t;
+            go rest)
+    | tok :: rest when String.length tok > 1 && (tok.[0] = '0' || tok.[0] = '1')
+      -> (
+        if !in_defs then raise (Bad "value before $enddefinitions");
+        let id = String.sub tok 1 (String.length tok - 1) in
+        match Hashtbl.find_opt ids id with
+        | None -> raise (Bad ("unknown signal id " ^ id))
+        | Some s ->
+            !values.(s) <- tok.[0] = '1';
+            go rest)
+    | tok :: _ -> raise (Bad ("unsupported token " ^ tok))
+  in
+  match go (tokenize s) with
+  | () ->
+      flush ();
+      let names = Array.of_list (List.rev !names) in
+      if Array.length names = 0 then Error "no signals declared"
+      else
+        let snaps = List.rev !snaps in
+        if snaps = [] then Error "no sampled times"
+        else
+          Ok
+            {
+              v_names = names;
+              v_cycles = Array.of_list (List.map fst snaps);
+              v_bits = Array.of_list (List.map snd snaps);
+            }
+  | exception Bad msg -> Error msg
+
+let write_file path w =
+  let s = to_string w in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "thls-vcd" ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc s)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -7,6 +7,7 @@ module Design = Thr_hls.Design
 module Trojan = Thr_trojan.Trojan
 module Prng = Thr_util.Prng
 module Dpool = Thr_util.Dpool
+module Journal = Thr_obs.Journal
 
 type config = {
   n_runs : int;
@@ -155,6 +156,16 @@ let run_trial config design prng =
   let recovered =
     det && verdict.Engine.recovery_ran && verdict.Engine.recovery_correct
   in
+  (* per-trojan-class cycle histograms (thr_rt_*_latency_cycles_<cls>) *)
+  let cls =
+    (if sequential then "seq" else "comb")
+    ^ if latched then "_latched" else ""
+  in
+  (match (det, verdict.Engine.detection_latency) with
+  | true, Some l -> Journal.observe_detection_latency ~cls l
+  | _ -> ());
+  if det && verdict.Engine.recovery_ran then
+    Journal.observe_recovery_latency ~cls spec.Spec.latency_recover;
   {
     t_activated = was_activated;
     t_detected = det;
@@ -203,11 +214,48 @@ let tally config trials =
        else float_of_int !latency_sum /. float_of_int !latency_count);
   }
 
+(* An injection guaranteed to {e activate at run time}: the trigger
+   pattern is the very operand pair the first output's NC copy computes
+   under [env], so a gate-level run of the elaborated netlist over [env]
+   trips the comparator.  (The canned [Rtl.canned_injection] mutants use
+   fixed 0xDEAD/0xBEEF patterns that essentially never occur — right for
+   static-analysis smoke, useless for recording a live detection.) *)
+let armed_injection ?(config = default_config) ?(sequential = false) design env
+    =
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let golden = Eval.run dfg env in
+  let op = List.hd (Dfg.outputs dfg) in
+  let nc_idx = Copy.index spec { Copy.op; phase = Copy.NC } in
+  let a, b = Eval.operand_values dfg env golden op in
+  let a_pattern = a land config.mask and b_pattern = b land config.mask in
+  let trigger =
+    if sequential then begin
+      let stream = instance_stream design env nc_idx in
+      let best = consecutive_matches stream config.mask nc_idx in
+      Trojan.Sequential
+        {
+          a_pattern;
+          b_pattern;
+          mask = config.mask;
+          threshold = max 1 (min best 3);
+        }
+    end
+    else Trojan.Combinational { a_pattern; b_pattern; mask = config.mask }
+  in
+  {
+    Engine.inj_vendor = Binding.vendor design.Design.binding nc_idx;
+    inj_type = Spec.iptype_of_op spec op;
+    trojan = Trojan.make trigger (Trojan.Xor_offset 0xFF);
+  }
+
 (* ------------------------ gate-level co-sim ------------------------ *)
 
 type cosim_result = {
   cosim_vectors : int;
   cosim_mismatches : int;
+  cosim_detections : int;
+  cosim_first_detect : int option;
   cosim_first_bad : Eval.env option;
 }
 
@@ -222,8 +270,16 @@ let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ~prng ~vectors
   let results = Rtl.run_batch ~jobs rtl envs in
   let m = 1 lsl width in
   let mismatches = ref 0 and first_bad = ref None in
+  let detections = ref 0 and first_detect = ref None in
   List.iter2
     (fun env r ->
+      (match r.Rtl.r_first_detect with
+      | Some c ->
+          incr detections;
+          (match !first_detect with
+          | Some c' when c' <= c -> ()
+          | _ -> first_detect := Some c)
+      | None -> ());
       let golden = Eval.outputs dfg env in
       let agrees =
         (not r.Rtl.r_mismatch)
@@ -241,6 +297,8 @@ let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ~prng ~vectors
   {
     cosim_vectors = vectors;
     cosim_mismatches = !mismatches;
+    cosim_detections = !detections;
+    cosim_first_detect = !first_detect;
     cosim_first_bad = !first_bad;
   }
 

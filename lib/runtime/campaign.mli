@@ -57,6 +57,22 @@ val run :
 
 val pp_result : Format.formatter -> result -> unit
 
+val armed_injection :
+  ?config:config ->
+  ?sequential:bool ->
+  Thr_hls.Design.t ->
+  Thr_dfg.Eval.env ->
+  Engine.injection
+(** An injection whose trigger pattern is the operand pair the design's
+    first primary output's NC copy actually computes under [env] — so
+    simulating the elaborated netlist over [env] is {e guaranteed} to
+    activate the payload and trip the comparator.  With [sequential] the
+    trigger is the counter variant, threshold chosen from the core's
+    clean operand stream like campaign trials.  This powers
+    [thls simulate --mutant trojan[-seq] --record]: the canned lint
+    mutants' fixed 0xDEAD/0xBEEF patterns essentially never occur at run
+    time, so they cannot produce a recordable detection. *)
+
 (** {1 Gate-level co-simulation} *)
 
 type cosim_result = {
@@ -64,6 +80,11 @@ type cosim_result = {
   cosim_mismatches : int;
       (** environments where the elaborated netlist's final outputs (or
           its mismatch flag) disagree with the behavioural golden model *)
+  cosim_detections : int;
+      (** environments whose run ended with the comparator latched high
+          ({!Rtl.result.r_first_detect}); 0 for a clean design *)
+  cosim_first_detect : int option;
+      (** earliest first-detection cycle over all vectors, if any *)
   cosim_first_bad : Thr_dfg.Eval.env option;  (** a witness, if any *)
 }
 

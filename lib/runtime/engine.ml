@@ -9,6 +9,7 @@ module Design = Thr_hls.Design
 module Vendor = Thr_iplib.Vendor
 module Iptype = Thr_iplib.Iptype
 module Trojan = Thr_trojan.Trojan
+module Journal = Thr_obs.Journal
 
 type injection = {
   inj_vendor : Vendor.t;
@@ -172,6 +173,25 @@ let run_phases ~recovery_copies session env =
     spec.Spec.latency_detect
     + (if run_recovery then spec.Spec.latency_recover else 0)
   in
+  (* mirror the behavioural run into the runtime journal; guarded here so
+     the disabled cost stays one atomic load for the whole frame *)
+  if Journal.enabled () then begin
+    if detected_hw then
+      Journal.emit
+        ~cycle:(Option.value detection_latency ~default:spec.Spec.latency_detect)
+        ~ctx:[ ("engine", "behavioural"); ("design", Dfg.name dfg) ]
+        Journal.Mismatch_detected;
+    if run_recovery then begin
+      Journal.emit
+        ~cycle:(spec.Spec.latency_detect + 1)
+        ~ctx:[ ("engine", "behavioural") ]
+        Journal.Recovery_started;
+      Journal.emit ~cycle:cycles
+        ~ctx:[ ("latency_cycles", string_of_int spec.Spec.latency_recover) ]
+        (if recovery_correct then Journal.Recovery_ok
+         else Journal.Recovery_failed)
+    end
+  end;
   {
     detected = detected_hw;
     nc_correct;

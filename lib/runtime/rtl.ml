@@ -18,6 +18,8 @@ module Dpool = Thr_util.Dpool
 module Check = Thr_check.Check
 module Taint = Thr_check.Taint
 module Finding = Thr_check.Finding
+module Journal = Thr_obs.Journal
+module Recorder = Thr_obs.Recorder
 
 type t = {
   netlist : Netlist.t;
@@ -463,11 +465,31 @@ let check ?rare_threshold ?prob_iters ?empirical ?prove ?prove_budget ?prover
 
 type result = {
   r_mismatch : bool;
+  r_first_detect : int option;
   r_nc : (int * int) list;
   r_rc : (int * int) list;
   r_rv : (int * int) list;
   r_final : (int * int) list;
 }
+
+(* First-detection cycle for lane [k] from the per-cycle mismatch lane
+   words [mhist] (index [c - 1] holds the value after clock edge [c]).
+   NC and RC copies of the same operation complete at different schedule
+   steps, so the comparator can be transiently high mid-run even on a
+   clean design; what marks a detection is the level that is still high
+   when the run ends (result registers hold once their step has passed,
+   so a real divergence latches).  The detection cycle is the start of
+   that final contiguous high run. *)
+let first_detect_of mhist k =
+  let n = Array.length mhist in
+  if n = 0 || (mhist.(n - 1) lsr k) land 1 = 0 then None
+  else begin
+    let c = ref n in
+    while !c > 1 && (mhist.(!c - 2) lsr k) land 1 = 1 do
+      decr c
+    done;
+    Some !c
+  end
 
 let sign_extend width v =
   if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
@@ -501,8 +523,10 @@ let run_chunks t sim envs results lo hi =
           Packed.set_input sim (Printf.sprintf "%s.%d" nm i) !w
         done)
       input_names;
-    for _ = 1 to t.total_cycles do
-      Packed.clock sim
+    let mhist = Array.make t.total_cycles 0 in
+    for c = 1 to t.total_cycles do
+      Packed.clock sim;
+      mhist.(c - 1) <- Packed.peek sim t.mismatch
     done;
     for k = 0 to count - 1 do
       let lane net = Packed.peek_lane sim net k in
@@ -511,6 +535,7 @@ let run_chunks t sim envs results lo hi =
         Some
           {
             r_mismatch = lane t.mismatch;
+            r_first_detect = first_detect_of mhist k;
             r_nc = List.map read t.nc_outputs;
             r_rc = List.map read t.rc_outputs;
             r_rv = List.map read t.rv_outputs;
@@ -551,6 +576,147 @@ let run_batch ?(jobs = 1) t envs =
   |> List.map (function Some r -> r | None -> assert false)
 
 let run t env = match run_batch t [ env ] with [ r ] -> r | _ -> assert false
+
+(* ------------------------- recorded (flight) runs ------------------------- *)
+
+type watch = {
+  w_name : string;
+  w_index : int; (* Netlist.net_index *)
+  w_rare : bool option; (* rare level of a trigger candidate, if any *)
+}
+
+(* Default watch-list: every primary input bit, every declared output
+   (mismatch, the per-phase result buses and the final mux), plus — when
+   a static-analysis [report] is supplied — the rare-net trigger
+   candidates from [Check.rare_watchlist]. *)
+let watchlist ?report t =
+  let nl = t.netlist in
+  let tbl = Netlist.input_index nl in
+  let inputs =
+    List.map
+      (fun nm -> { w_name = nm; w_index = Hashtbl.find tbl nm; w_rare = None })
+      (Netlist.input_names nl)
+  in
+  let outs =
+    List.map
+      (fun (nm, net) ->
+        { w_name = nm; w_index = Netlist.net_index net; w_rare = None })
+      (Netlist.outputs nl)
+  in
+  let seen = List.map (fun w -> w.w_index) (inputs @ outs) in
+  let rare =
+    match report with
+    | None -> []
+    | Some r ->
+        Check.rare_watchlist r
+        |> List.filter_map (fun wp ->
+               if List.mem wp.Check.wp_net seen then None
+               else
+                 Some
+                   {
+                     w_name = Printf.sprintf "rare_n%d" wp.Check.wp_net;
+                     w_index = wp.Check.wp_net;
+                     w_rare = Some wp.Check.wp_rare_value;
+                   })
+  in
+  inputs @ outs @ rare
+
+type recorded = {
+  rec_result : result;
+  rec_window : Recorder.window;
+  rec_watch : watch list;
+}
+
+(* Single-environment run with the flight recorder attached: the watched
+   nets are sampled every clock into a bounded ring, trigger candidates
+   first reaching their rare level, the comparator tripping and the
+   recovery outcome are emitted to the journal (no-ops unless
+   [Journal.enable] was called), and detection/recovery latencies feed
+   the [thr_rt_*] cycle histograms under trojan class [cls]. *)
+let run_recorded ?(depth = 256) ?watch ?(cls = "") t env =
+  let watch = match watch with Some w -> w | None -> watchlist t in
+  if watch = [] then invalid_arg "Rtl.run_recorded: empty watch list";
+  let names = Array.of_list (List.map (fun w -> w.w_name) watch) in
+  let nets = Array.of_list (List.map (fun w -> w.w_index) watch) in
+  let rares = Array.of_list (List.map (fun w -> w.w_rare) watch) in
+  let recorder = Recorder.create ~names ~depth () in
+  let sim = Packed.of_tape (Packed.tape t.netlist) in
+  Packed.reset sim;
+  let dfg = t.design.Design.spec.Spec.dfg in
+  let vmask = (1 lsl t.width) - 1 in
+  List.iter
+    (fun nm ->
+      let v =
+        match List.assoc_opt nm env with
+        | Some v -> v land vmask
+        | None ->
+            invalid_arg (Printf.sprintf "Rtl.run_recorded: missing input %S" nm)
+      in
+      for i = 0 to t.width - 1 do
+        Packed.set_input sim (Printf.sprintf "%s.%d" nm i) ((v lsr i) land 1)
+      done)
+    (Dfg.inputs dfg);
+  let scratch = Array.make (Array.length nets) 0 in
+  let mhist = Array.make t.total_cycles 0 in
+  let fired = Array.make (Array.length nets) false in
+  for c = 1 to t.total_cycles do
+    Packed.clock sim;
+    Packed.sample sim nets scratch;
+    Recorder.push recorder ~cycle:c scratch;
+    mhist.(c - 1) <- Packed.peek sim t.mismatch;
+    Array.iteri
+      (fun i rare ->
+        match rare with
+        | Some rv when (not fired.(i)) && (scratch.(i) land 1 = 1) = rv ->
+            fired.(i) <- true;
+            Journal.emit ~cycle:c
+              ~ctx:[ ("net", names.(i)) ]
+              Journal.Trigger_candidate_active
+        | _ -> ())
+      rares
+  done;
+  let lane net = Packed.peek_lane sim net 0 in
+  let read (o, bus) = (o, sign_extend t.width (Bus.to_int lane bus)) in
+  let first = first_detect_of mhist 0 in
+  let result =
+    {
+      r_mismatch = lane t.mismatch;
+      r_first_detect = first;
+      r_nc = List.map read t.nc_outputs;
+      r_rc = List.map read t.rc_outputs;
+      r_rv = List.map read t.rv_outputs;
+      r_final =
+        List.map read
+          (match t.final_outputs with [] -> t.nc_outputs | l -> l);
+    }
+  in
+  let spec = t.design.Design.spec in
+  (match first with
+  | Some c ->
+      Journal.emit ~cycle:c
+        ~ctx:[ ("signal", "mismatch"); ("design", Dfg.name dfg) ]
+        Journal.Mismatch_detected;
+      Journal.observe_detection_latency ~cls c
+  | None -> ());
+  (match (first, t.rv_outputs) with
+  | Some _, _ :: _ ->
+      let ld = spec.Spec.latency_detect in
+      Journal.emit
+        ~cycle:(min (ld + 1) t.total_cycles)
+        ~ctx:[ ("copies", "recovery") ]
+        Journal.Recovery_started;
+      let golden = Eval.outputs dfg env in
+      let ok =
+        List.for_all2
+          (fun (o, g) (o', v) -> o = o' && (g - v) land vmask = 0)
+          golden result.r_final
+      in
+      Journal.emit ~cycle:t.total_cycles
+        ~ctx:[ ("latency_cycles", string_of_int (t.total_cycles - ld)) ]
+        (if ok then Journal.Recovery_ok else Journal.Recovery_failed);
+      Journal.observe_recovery_latency ~cls (t.total_cycles - ld)
+  | _ -> ());
+  { rec_result = result; rec_window = Recorder.window recorder; rec_watch = watch }
 
 let stats t =
   Printf.sprintf "%d nets, %d gates, %d DFFs, %d cycles"

@@ -100,6 +100,12 @@ val check :
 
 type result = {
   r_mismatch : bool;
+  r_first_detect : int option;
+      (** the cycle (1-based) at which the comparator's final high level
+          began — the start of the trailing contiguous high run of
+          [mismatch].  [None] when the run ended clean.  Transient
+          mid-run comparator blips on clean designs (NC and RC copies
+          complete at different steps) never count as a detection. *)
   r_nc : (int * int) list;  (** primary-output values, sign-extended *)
   r_rc : (int * int) list;
   r_rv : (int * int) list;
@@ -122,6 +128,49 @@ val run_batch : ?jobs:int -> t -> Thr_dfg.Eval.env list -> result list
     independent power-on run of the netlist), for any [jobs].
 
     @raise Invalid_argument if an environment misses a primary input. *)
+
+(** {1 Recorded (flight-data) runs}
+
+    A recorded run drives one environment cycle by cycle with the
+    {!Thr_obs.Recorder} attached: a watch-list of nets is sampled every
+    clock into a bounded ring, and runtime trojan events (trigger
+    candidate going active, comparator tripping, recovery outcome) are
+    emitted to the {!Thr_obs.Journal}.  This is the engine behind
+    [thls simulate --record DIR]. *)
+
+type watch = {
+  w_name : string;  (** signal name as it appears in the VCD *)
+  w_index : int;  (** {!Thr_gates.Netlist.net_index} *)
+  w_rare : bool option;
+      (** for rare-net trigger candidates, the rare logic level — first
+          time the net reaches it, [Trigger_candidate_active] is
+          journalled *)
+}
+
+val watchlist : ?report:Thr_check.Check.report -> t -> watch list
+(** The default watch-list: every primary input bit, every declared
+    output (including [mismatch] and the result buses), and — when a
+    static-analysis [report] is given — the rare-net trigger candidates
+    from {!Thr_check.Check.rare_watchlist} (named [rare_n<index>]). *)
+
+type recorded = {
+  rec_result : result;
+  rec_window : Thr_obs.Recorder.window;
+      (** the last [depth] cycles of the watched nets, oldest first *)
+  rec_watch : watch list;
+}
+
+val run_recorded :
+  ?depth:int -> ?watch:watch list -> ?cls:string -> t -> Thr_dfg.Eval.env -> recorded
+(** [run_recorded t env] is {!run} with the flight recorder on: watched
+    nets ([watch], default {!watchlist} without rare candidates) are
+    sampled into a [depth]-cycle ring (default 256), journal events are
+    emitted (one [Atomic.get] each when the journal is disabled), and a
+    detection feeds the [thr_rt_detection_latency_cycles] /
+    [thr_rt_recovery_latency_cycles] histograms, also per trojan class
+    when [cls] is non-empty (e.g. ["comb"], ["seq"]).
+
+    @raise Invalid_argument on an empty watch list or a missing input. *)
 
 val stats : t -> string
 (** One-line netlist size summary (nets/gates/DFFs). *)

@@ -10,6 +10,7 @@
                     "prove":K, "prove_budget":N}
      {"op":"stats"}
      {"op":"metrics"}
+     {"op":"events", "n":N}
      {"op":"shutdown"}
 
    Lint extras: "prove" bounded-model-checks every rare-net finding up
@@ -34,6 +35,7 @@
      {"status":"ok", "clean":B, "exit_code":N, "report":{...}}   (lint)
      {"status":"ok", "stats":{...}, "metrics":{...}}
      {"status":"ok", "metrics":"<Prometheus text exposition>"}
+     {"status":"ok", "events":[...], "dropped":N, "summary":{...}}
      {"status":"error", "code":C, "error":MSG}
    with C one of "parse" | "bad_request" | "queue_full" | "infeasible" |
    "budget" | "internal".  The "result" object is a pure function of the
@@ -65,7 +67,13 @@ type lint = {
   prove_budget : int option;
 }
 
-type request = Solve of solve | Lint of lint | Stats | Metrics | Shutdown
+type request =
+  | Solve of solve
+  | Lint of lint
+  | Stats
+  | Metrics
+  | Events of int option  (** journal tail: newest [n] events (all if None) *)
+  | Shutdown
 
 (* ----------------------------- decoding ---------------------------- *)
 
@@ -142,6 +150,10 @@ let request_of_json j : (request, string * string) result =
       | None -> bad "missing or non-string field \"op\""
       | Some "stats" -> Ok Stats
       | Some "metrics" -> Ok Metrics
+      | Some "events" -> (
+          match field_int "n" j with
+          | Ok n -> Ok (Events n)
+          | Error m -> Error ("bad_request", m))
       | Some "shutdown" -> Ok Shutdown
       | Some "solve" ->
           Result.map (fun s -> Solve s) (solve_of_json ~op:"solve" j)
@@ -164,7 +176,8 @@ let request_of_json j : (request, string * string) result =
           let* prove_budget = with_code (field_int "prove_budget" j) in
           Ok (Lint { lint_solve; width; threshold; mutant; prove; prove_budget })
       | Some op ->
-          bad "unknown op %S (solve | lint | stats | metrics | shutdown)" op)
+          bad "unknown op %S (solve | lint | stats | metrics | events | shutdown)"
+            op)
   | _ -> Error ("bad_request", "request must be a JSON object")
 
 let request_of_line line : (request, string * string) result =
@@ -235,3 +248,13 @@ let lint_response report =
       ("exit_code",
        Json.Int (Thr_util.Exit_code.code (T.Check.exit_code report)));
       ("report", T.Check.to_json report) ]
+
+let events_response n =
+  let events =
+    match n with Some n -> T.Journal.tail n | None -> T.Journal.events ()
+  in
+  Json.Obj
+    [ ("status", Json.String "ok");
+      ("events", Json.List (List.map T.Journal.event_to_json events));
+      ("dropped", Json.Int (T.Journal.dropped ()));
+      ("summary", T.Journal.summary_json ()) ]

@@ -313,7 +313,10 @@ let stats_json t =
             ("queue_depth", Json.Int (Atomic.get t.in_flight));
             ("max_queue", Json.Int t.config.max_queue);
             ("p50_ms", Json.Float p50);
-            ("p95_ms", Json.Float p95) ] );
+            ("p95_ms", Json.Float p95);
+            (* runtime journal summary: per-kind event counts and the
+               first detection cycle of this process's recorded runs *)
+            ("journal", Trojan_hls.Journal.summary_json ()) ] );
       (* the full process-wide registry rides along with the service's
          own aggregates, so one stats request shows solver internals too *)
       ("metrics", Metrics.to_json ()) ]
@@ -330,6 +333,7 @@ let metrics_json () =
 let handle_request t = function
   | Protocol.Stats -> stats_json t
   | Protocol.Metrics -> metrics_json ()
+  | Protocol.Events n -> Protocol.events_response n
   | Protocol.Shutdown ->
       Atomic.set t.stop true;
       Json.Obj

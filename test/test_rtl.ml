@@ -254,6 +254,126 @@ let test_rtl_stats () =
   Alcotest.(check bool) "mentions gates" true (String.length s > 10);
   Alcotest.(check int) "7 cycles" 7 rtl.Rtl.total_cycles
 
+(* --------------------- recorded (flight-data) runs ------------------ *)
+
+module Campaign = Thr_runtime.Campaign
+module Journal = Thr_obs.Journal
+module Recorder = Thr_obs.Recorder
+module Vcd = Thr_obs.Vcd
+module Packed = Thr_gates.Packed
+
+let with_journal f =
+  Journal.enable ();
+  Journal.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.disable ();
+      Journal.clear ())
+    f
+
+let kinds_emitted () =
+  List.map (fun e -> Journal.kind_name e.Journal.kind) (Journal.events ())
+
+(* Replay the VCD produced from a recorded run against an independent
+   packed simulation of the same netlist: every sampled bit must agree. *)
+let check_vcd_replay rtl (recorded : Rtl.recorded) env =
+  let window = recorded.Rtl.rec_window in
+  let wave =
+    {
+      Vcd.v_names = window.Recorder.w_names;
+      v_cycles = window.Recorder.w_cycles;
+      v_bits = Recorder.lane_bits window ~lane:0;
+    }
+  in
+  let parsed =
+    match Vcd.parse (Vcd.to_string wave) with
+    | Ok w -> w
+    | Error m -> Alcotest.failf "VCD does not re-parse: %s" m
+  in
+  Alcotest.(check bool) "VCD round-trips bit-identically" true (parsed = wave);
+  (* independent simulation, sampling the same nets each cycle *)
+  let nets =
+    Array.of_list (List.map (fun w -> w.Rtl.w_index) recorded.Rtl.rec_watch)
+  in
+  let sim = Packed.of_tape (Packed.tape rtl.Rtl.netlist) in
+  Packed.reset sim;
+  let vmask = (1 lsl rtl.Rtl.width) - 1 in
+  List.iter
+    (fun nm ->
+      let v = List.assoc nm env land vmask in
+      for i = 0 to rtl.Rtl.width - 1 do
+        Packed.set_input sim (Printf.sprintf "%s.%d" nm i) ((v lsr i) land 1)
+      done)
+    (Thr_dfg.Dfg.inputs rtl.Rtl.design.Design.spec.Spec.dfg);
+  let scratch = Array.make (Array.length nets) 0 in
+  Array.iteri
+    (fun t cycle ->
+      (* the window is every cycle of this short run: cycle = t + 1 *)
+      Alcotest.(check int) "window cycle stamp" (t + 1) cycle;
+      Packed.clock sim;
+      Packed.sample sim nets scratch;
+      Array.iteri
+        (fun s word ->
+          if parsed.Vcd.v_bits.(t).(s) <> (word land 1 = 1) then
+            Alcotest.failf "VCD bit differs from replay at cycle %d signal %s"
+              cycle
+              parsed.Vcd.v_names.(s))
+        scratch)
+    parsed.Vcd.v_cycles
+
+let test_recorded_trojan_run () =
+  with_journal (fun () ->
+      let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+      let prng = Prng.create ~seed:11 in
+      let env = small_env prng design.Design.spec.Spec.dfg in
+      let inj = Campaign.armed_injection design env in
+      let rtl = Rtl.elaborate ~width:16 ~injections:[ inj ] design in
+      let report = Rtl.check rtl in
+      let watch = Rtl.watchlist ~report rtl in
+      let recorded = Rtl.run_recorded ~watch ~cls:"comb" rtl env in
+      (match recorded.Rtl.rec_result.Rtl.r_first_detect with
+      | Some c ->
+          Alcotest.(check bool) "first detect within the run" true
+            (c >= 1 && c <= rtl.Rtl.total_cycles)
+      | None -> Alcotest.fail "armed trojan not detected");
+      let kinds = kinds_emitted () in
+      Alcotest.(check bool) "journal has Mismatch_detected" true
+        (List.mem "Mismatch_detected" kinds);
+      Alcotest.(check bool) "journal has Recovery_ok" true
+        (List.mem "Recovery_ok" kinds);
+      Alcotest.(check (option int)) "journal first detection agrees"
+        recorded.Rtl.rec_result.Rtl.r_first_detect
+        (Journal.first_detection_cycle ());
+      check_vcd_replay rtl recorded env)
+
+let test_recorded_clean_run () =
+  with_journal (fun () ->
+      let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+      let prng = Prng.create ~seed:11 in
+      let env = small_env prng design.Design.spec.Spec.dfg in
+      let rtl = Rtl.elaborate ~width:16 design in
+      let recorded = Rtl.run_recorded rtl env in
+      Alcotest.(check (option int)) "no first detect" None
+        recorded.Rtl.rec_result.Rtl.r_first_detect;
+      Alcotest.(check bool) "no detection events" true
+        (not (List.mem "Mismatch_detected" (kinds_emitted ())));
+      Alcotest.(check bool) "no recovery events" true
+        (not
+           (List.exists
+              (fun k -> k = "Recovery_started" || k = "Recovery_ok")
+              (kinds_emitted ())));
+      check_vcd_replay rtl recorded env)
+
+let test_cosim_counts_detections () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let prng = Prng.create ~seed:7 in
+  let cs = Campaign.cosim ~prng ~vectors:50 design in
+  Alcotest.(check bool) "clean cosim ok" true (Campaign.cosim_ok cs);
+  Alcotest.(check int) "no detections on a clean design" 0
+    cs.Campaign.cosim_detections;
+  Alcotest.(check (option int)) "no first-detect cycle" None
+    cs.Campaign.cosim_first_detect
+
 (* Property: on random small DFGs, the structural netlist and the
    behavioural engine agree on detection and recovery for adversarial
    combinational injections. *)
@@ -311,5 +431,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_rtl_validation;
           Alcotest.test_case "stats" `Quick test_rtl_stats;
           QCheck_alcotest.to_alcotest rtl_engine_equivalence;
+        ] );
+      ( "recorded",
+        [
+          Alcotest.test_case "armed trojan journals and replays" `Quick
+            test_recorded_trojan_run;
+          Alcotest.test_case "clean run journals nothing" `Quick
+            test_recorded_clean_run;
+          Alcotest.test_case "cosim counts detections" `Quick
+            test_cosim_counts_detections;
         ] );
     ]

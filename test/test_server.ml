@@ -260,7 +260,47 @@ let test_service_stats () =
         Option.bind (Json.member name st) Json.to_float)
   in
   Alcotest.(check bool) "latency percentiles present" true
-    (p "p50_ms" <> None && p "p95_ms" <> None && p "p50_ms" <= p "p95_ms")
+    (p "p50_ms" <> None && p "p95_ms" <> None && p "p50_ms" <= p "p95_ms");
+  (* the runtime journal summary is merged into stats *)
+  Alcotest.(check bool) "journal summary present" true
+    (match Option.bind (Json.member "stats" r) (Json.member "journal") with
+    | Some (Json.Obj fields) -> List.mem_assoc "mismatch_detected" fields
+    | _ -> false)
+
+let test_service_events () =
+  let module Journal = Thr_obs.Journal in
+  Journal.enable ();
+  Journal.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.disable ();
+      Journal.clear ())
+    (fun () ->
+      Journal.emit ~cycle:2 Journal.Trigger_candidate_active;
+      Journal.emit ~cycle:5 Journal.Mismatch_detected;
+      Journal.emit ~cycle:7 Journal.Recovery_ok;
+      let s = Service.create () in
+      let r = Service.handle_line s {|{"op":"events"}|} in
+      Alcotest.(check (option string)) "status ok" (Some "ok")
+        (Json.mem_str "status" r);
+      let kinds r =
+        match Json.member "events" r with
+        | Some (Json.List evs) -> List.filter_map (Json.mem_str "kind") evs
+        | _ -> []
+      in
+      Alcotest.(check (list string)) "all events, oldest first"
+        [ "Trigger_candidate_active"; "Mismatch_detected"; "Recovery_ok" ]
+        (kinds r);
+      Alcotest.(check (option int)) "summary reports the detection cycle"
+        (Some 5)
+        (Option.bind (Json.member "summary" r)
+           (Json.mem_int "first_detection_cycle"));
+      (* "n" limits to the newest n events *)
+      let r2 = Service.handle_line s {|{"op":"events","n":1}|} in
+      Alcotest.(check (list string)) "tail 1" [ "Recovery_ok" ] (kinds r2);
+      (* a malformed n is a structured bad_request *)
+      Alcotest.(check (option string)) "bad n" (Some "bad_request")
+        (err_code (Service.handle_line s {|{"op":"events","n":"all"}|})))
 
 let lint_line ?(extra = []) text =
   Json.to_string
@@ -431,6 +471,7 @@ let () =
           Alcotest.test_case "bad requests" `Quick test_service_bad_request;
           Alcotest.test_case "solve then hit" `Quick test_service_solve_and_hit;
           Alcotest.test_case "stats" `Quick test_service_stats;
+          Alcotest.test_case "events" `Quick test_service_events;
           Alcotest.test_case "lint" `Quick test_service_lint;
           Alcotest.test_case "config invalid" `Quick test_service_config_invalid;
         ] );
