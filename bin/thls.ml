@@ -649,15 +649,21 @@ let lint_cmd =
          mismatch comparator (caught by the taint pass), $(b,trojan) \
          injects a combinational Trojan on a bound core (caught by the \
          rare-net pass), $(b,trojan-seq) injects a sequential \
-         consecutive-match counter Trojan.";
+         consecutive-match counter Trojan, and $(b,trojan-dud) injects a \
+         decoy trigger chain that provably can never fire — the canned \
+         false positive that $(b,--prove) must discharge with unbounded \
+         certificates (exit 0).";
       `P
         "$(b,--prove) escalates every rare-net finding to an exact \
-         verdict by bounded model checking (CDCL SAT over the unrolled \
-         cone): proved reachable (with the concrete activating input \
-         sequence, replayed on the packed simulator; exit 4), proved \
-         unreachable within the bound (downgraded to Info), or \
-         inconclusive when the solver budget runs out (exit 5 when \
-         nothing else blocks).";
+         verdict via the shared-cone prover portfolio (CNF-preprocessed \
+         BMC interleaved with strengthened k-induction, raced across \
+         $(b,--jobs) domains): proved reachable (with the concrete \
+         activating input sequence, replayed on the packed simulator; \
+         exit 4), certified unreachable at $(i,any) depth (a k-induction \
+         or combinational-cone certificate, reported with its method and \
+         depth), proved unreachable within the bound only (downgraded to \
+         Info), or inconclusive when the solver budget runs out (exit 5 \
+         when nothing else blocks).";
     ]
   in
   let width_flag =
@@ -685,12 +691,13 @@ let lint_cmd =
           ("bypass", `Bypass);
           ("trojan", `Trojan);
           ("trojan-seq", `Trojan_seq);
+          ("trojan-dud", `Trojan_dud);
         ]
     in
     Arg.(
       value & opt mutant_conv `None
       & info [ "mutant" ] ~docv:"KIND"
-          ~doc:"none | bypass | trojan | trojan-seq.")
+          ~doc:"none | bypass | trojan | trojan-seq | trojan-dud.")
   in
   let prove_flag =
     Arg.(
@@ -754,6 +761,10 @@ let lint_cmd =
                   T.Rtl.elaborate ~width
                     ~injections:
                       [ T.Rtl.canned_sequential_injection ~width design ]
+                    design
+              | `Trojan_dud ->
+                  T.Rtl.elaborate ~width
+                    ~injections:[ T.Rtl.canned_dud_injection ~width design ]
                     design
             in
             let report =
@@ -941,7 +952,9 @@ let submit_cmd =
       value
       & opt (some string) None
       & info [ "mutant" ] ~docv:"KIND"
-          ~doc:"Seeded mutant for --lint: none | bypass | trojan | trojan-seq.")
+          ~doc:
+            "Seeded mutant for --lint: none | bypass | trojan | trojan-seq \
+             | trojan-dud.")
   in
   let lint_prove_flag =
     Arg.(
@@ -958,6 +971,13 @@ let submit_cmd =
       & opt (some int) None
       & info [ "prove-budget" ] ~docv:"STEPS"
           ~doc:"For --lint: per-candidate solver step budget.")
+  in
+  let lint_jobs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"For --lint: domains for the server's prover portfolio.")
   in
   let metrics_flag =
     Arg.(
@@ -993,8 +1013,8 @@ let submit_cmd =
     | path -> In_channel.with_open_text path In_channel.input_all
   in
   let run bench socket dfg stats metrics shutdown events lint lint_width
-      lint_mutant lint_prove lint_prove_budget cat detection_only latency
-      latency_recover area solver deadline_ms =
+      lint_mutant lint_prove lint_prove_budget lint_jobs cat detection_only
+      latency latency_recover area solver deadline_ms =
     let request =
       if stats then Ok (Json.Obj [ ("op", Json.String "stats") ])
       else if metrics then Ok (Json.Obj [ ("op", Json.String "metrics") ])
@@ -1045,6 +1065,8 @@ let submit_cmd =
                 (if lint then
                    opt "prove_budget" lint_prove_budget (fun i -> Json.Int i)
                  else None);
+                (if lint then opt "jobs" lint_jobs (fun i -> Json.Int i)
+                 else None);
               ]
             in
             Json.Obj (List.filter_map Fun.id fields))
@@ -1093,7 +1115,7 @@ let submit_cmd =
       const run $ bench_opt_arg $ socket_flag $ dfg_flag $ stats_flag
       $ metrics_flag $ shutdown_flag $ events_flag $ lint_flag $ lint_width_flag
       $ lint_mutant_flag $ lint_prove_flag $ lint_prove_budget_flag
-      $ catalog_flag $ detection_only_flag $ latency_flag $ latency_rec_flag
+      $ lint_jobs_flag $ catalog_flag $ detection_only_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ solver_name_flag $ deadline_flag)
 
 let main =

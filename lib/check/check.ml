@@ -18,6 +18,7 @@ type prove_stats = {
   prove_bound : int;
   prove_candidates : int;
   prove_reachable : int;
+  prove_certified : int;
   prove_unreachable : int;
   prove_inconclusive : int;
   prove_replay_failed : int;
@@ -94,20 +95,22 @@ let empirical_findings ~jobs ~vectors nl rare_findings =
   in
   summary :: per_net
 
-(* Escalate every rare-net Warning to an exact verdict: a bounded model
-   check of the flagged net's rare value ({!Thr_sat.Bmc}).  Reachable
-   with a witness that replays on the packed simulator becomes a
-   blocking Error carrying the concrete activating input sequence;
-   proven unreachable within the bound is downgraded to Info (the
-   finding is a false alarm of the probabilistic model, within [bound]
-   cycles); a budget-exhausted check stays a Warning under its own rule
-   so the exit code can say "inconclusive" rather than "infected".
+(* Escalate every rare-net Warning to an exact verdict, in one batch
+   handed to the prover portfolio ({!Thr_sat.Induction} unless a custom
+   [prover] was injected).  Reachable with a witness that replays on the
+   packed simulator becomes a blocking Error carrying the concrete
+   activating input sequence; an unbounded certificate (k-induction or a
+   combinational cone) is downgraded to Info under its own rule carrying
+   the certificate depth and method; proven unreachable merely within
+   the bound is the weaker Info; a budget-exhausted check stays a
+   Warning under its own rule so the exit code can say "inconclusive"
+   rather than "infected".
 
    A Reachable witness that does {e not} replay is a prover bug — the
    original Warning is kept (never silently upgraded or dropped), an
    Info records the mismatch, and a [witness_replay_mismatch] log event
    fires for the operator. *)
-let prove_findings ~bound ~prover nl probs rare_findings =
+let prove_findings ~bound ~batch nl probs rare_findings =
   Trace.with_span "check.prove"
     ~args:
       [ ("netlist", Netlist.name nl); ("bound", string_of_int bound) ]
@@ -116,30 +119,46 @@ let prove_findings ~bound ~prover nl probs rare_findings =
       Array.iter
         (fun net -> net_by_idx.(Netlist.net_index net) <- Some net)
         (Netlist.nets_in_order nl);
+      let candidate_of f =
+        if f.Finding.rule = "rare-net" then
+          Option.bind f.Finding.net (fun i -> net_by_idx.(i))
+        else None
+      in
+      let cands =
+        Array.of_list
+          (List.filter_map
+             (fun f ->
+               Option.map
+                 (fun net ->
+                   (net, probs.(Netlist.net_index net) < 0.5))
+                 (candidate_of f))
+             rare_findings)
+      in
+      let outcomes = batch cands in
+      if Array.length outcomes <> Array.length cands then
+        invalid_arg "Check.run: prover returned a short outcome array";
       let stats =
         ref
           {
             prove_bound = bound;
-            prove_candidates = 0;
+            prove_candidates = Array.length cands;
             prove_reachable = 0;
+            prove_certified = 0;
             prove_unreachable = 0;
             prove_inconclusive = 0;
             prove_replay_failed = 0;
           }
       in
+      (* walk the findings again in the same order, consuming outcomes *)
+      let next = ref 0 in
       let escalate f =
-        match
-          if f.Finding.rule = "rare-net" then
-            Option.bind f.Finding.net (fun i -> net_by_idx.(i))
-          else None
-        with
+        match candidate_of f with
         | None -> [ f ]
         | Some net ->
-            let i = Netlist.net_index net in
-            let value = probs.(i) < 0.5 in
             let label = Finding.net_label nl net in
-            stats := { !stats with prove_candidates = !stats.prove_candidates + 1 };
-            (match prover ~net ~value with
+            let outcome = outcomes.(!next) in
+            incr next;
+            (match outcome with
             | Bmc.Reachable w when Bmc.replay nl w ->
                 stats :=
                   { !stats with prove_reachable = !stats.prove_reachable + 1 };
@@ -171,6 +190,17 @@ let prove_findings ~bound ~prover nl probs rare_findings =
                         replay on the packed simulator; keeping the \
                         probabilistic finding"
                        label w.Bmc.w_cycle);
+                ]
+            | Bmc.Unreachable_unbounded c ->
+                stats :=
+                  { !stats with prove_certified = !stats.prove_certified + 1 };
+                [
+                  Finding.make ~pass:Finding.Rare ~severity:Finding.Info
+                    ~rule:"unreachable-unbounded" ~net
+                    (Printf.sprintf
+                       "%s: rare value proven unreachable at any depth \
+                        (%s, depth %d)"
+                       label c.Bmc.c_method c.Bmc.c_depth);
                 ]
             | Bmc.Unreachable k ->
                 stats :=
@@ -205,10 +235,11 @@ let prove_findings ~bound ~prover nl probs rare_findings =
       let summary =
         Finding.make ~pass:Finding.Rare ~severity:Finding.Info ~rule:"prove"
           (Printf.sprintf
-             "bounded proof (bound %d): %d candidate(s): %d proved reachable, \
-              %d unreachable, %d inconclusive%s"
+             "prover portfolio (bound %d): %d candidate(s): %d proved \
+              reachable, %d certified unreachable-unbounded, %d unreachable \
+              within bound, %d inconclusive%s"
              s.prove_bound s.prove_candidates s.prove_reachable
-             s.prove_unreachable s.prove_inconclusive
+             s.prove_certified s.prove_unreachable s.prove_inconclusive
              (if s.prove_replay_failed > 0 then
                 Printf.sprintf ", %d witness replay failure(s)"
                   s.prove_replay_failed
@@ -261,13 +292,13 @@ let run ?taint ?rare_threshold ?prob_iters ?empirical ?prove ?prove_budget
         let budget =
           Option.value ~default:default_prove_budget prove_budget
         in
-        let prover =
+        let batch =
           match prover with
-          | Some p -> p
-          | None ->
-              fun ~net ~value -> Bmc.check_net ~bound ~budget nl ~net ~value
+          | Some p ->
+              fun cands -> Array.map (fun (net, value) -> p ~net ~value) cands
+          | None -> Thr_sat.Induction.prove ~bound ~budget ~jobs nl
         in
-        let fs, stats = prove_findings ~bound ~prover nl probs rare_findings in
+        let fs, stats = prove_findings ~bound ~batch nl probs rare_findings in
         (fs, Some stats)
   in
   let findings =
@@ -348,6 +379,7 @@ let to_json r =
                 ("bound", Json.Int s.prove_bound);
                 ("candidates", Json.Int s.prove_candidates);
                 ("reachable", Json.Int s.prove_reachable);
+                ("certified", Json.Int s.prove_certified);
                 ("unreachable", Json.Int s.prove_unreachable);
                 ("inconclusive", Json.Int s.prove_inconclusive);
                 ("replay_failed", Json.Int s.prove_replay_failed);
@@ -385,9 +417,9 @@ let render r =
   | Some s ->
       Buffer.add_string buf
         (Printf.sprintf
-           "prove: bound %d, %d candidate(s): %d reachable, %d unreachable, \
-            %d inconclusive\n"
-           s.prove_bound s.prove_candidates s.prove_reachable
+           "prove: bound %d, %d candidate(s): %d reachable, %d certified \
+            unbounded, %d unreachable within bound, %d inconclusive\n"
+           s.prove_bound s.prove_candidates s.prove_reachable s.prove_certified
            s.prove_unreachable s.prove_inconclusive));
   Buffer.add_string buf
     (if clean r then "clean: no blocking findings\n"

@@ -13,15 +13,19 @@ type taint_spec = {
 }
 
 type prover = net:Thr_gates.Netlist.net -> value:bool -> Thr_sat.Bmc.outcome
-(** How a rare-net candidate is decided.  The default is
-    {!Thr_sat.Bmc.check_net} over the report's netlist; tests inject
-    broken provers to exercise the witness-replay gate. *)
+(** How a single rare-net candidate is decided when a custom prover is
+    injected ([?prover] of {!run}); the default is the batch
+    {!Thr_sat.Induction.prove} portfolio over all candidates at once.
+    Tests inject broken provers to exercise the witness-replay gate. *)
 
 type prove_stats = {
-  prove_bound : int;          (** cycle bound the candidates were checked to *)
+  prove_bound : int;          (** cycle/induction bound the candidates ran to *)
   prove_candidates : int;     (** rare-net findings escalated *)
   prove_reachable : int;      (** proved reachable, witness replayed *)
-  prove_unreachable : int;    (** proved unreachable within the bound *)
+  prove_certified : int;
+      (** certified unreachable at {e any} depth (k-induction or a
+          combinational cone) *)
+  prove_unreachable : int;    (** proved unreachable within the bound only *)
   prove_inconclusive : int;   (** budget exhausted *)
   prove_replay_failed : int;  (** witnesses the packed simulator rejected *)
 }
@@ -62,10 +66,13 @@ val run :
     never changes the exit code.
 
     [prove] (off by default) escalates every [rare-net] Warning to an
-    exact verdict by bounded model checking the flagged net's rare value
-    up to [prove] cycles ({!Thr_sat.Bmc.check_net}), spending at most
-    [prove_budget] (default {!default_prove_budget}) solver steps per
-    candidate:
+    exact verdict.  All candidates are handed as one batch to the
+    {!Thr_sat.Induction.prove} portfolio — shared incremental cone
+    encoding, CNF preprocessing, BMC base cases interleaved with
+    strengthened k-induction steps up to depth [prove], raced over
+    [jobs] domains — spending at most [prove_budget] (default
+    {!default_prove_budget}) solver steps per candidate.  A custom
+    [prover] replaces the portfolio with a per-candidate callback:
 
     - {b proved reachable} — the Warning becomes an Error under rule
       [proved-reachable] carrying the concrete activating input
@@ -73,8 +80,12 @@ val run :
       simulator; a witness that fails replay keeps the original Warning,
       adds a [witness-replay-mismatch] Info and logs a
       [witness_replay_mismatch] warning event;
-    - {b proved unreachable} within the bound — downgraded to Info under
-      rule [rare-unreachable];
+    - {b certified unreachable at any depth} (a k-induction proof, or a
+      combinational cone decided by a single frame) — downgraded to Info
+      under rule [unreachable-unbounded], the detail carrying the
+      certificate method and depth;
+    - {b proved unreachable} within the bound only — downgraded to Info
+      under rule [rare-unreachable];
     - {b inconclusive} (budget exhausted) — stays a Warning under rule
       [rare-inconclusive], which {!exit_code} maps to
       {!Thr_util.Exit_code.Inconclusive} when nothing else blocks.

@@ -82,7 +82,9 @@ module Finding = Thr_check.Finding
 
 module Sat_solver = Thr_sat.Solver
 module Sat_cnf = Thr_sat.Cnf
+module Sat_preprocess = Thr_sat.Preprocess
 module Bmc = Thr_sat.Bmc
+module Induction = Thr_sat.Induction
 
 module Logic_test = Thr_testtime.Logic_test
 module Side_channel = Thr_testtime.Side_channel

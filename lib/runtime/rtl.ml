@@ -45,7 +45,8 @@ let check_injection width inj =
   let trigger_ok =
     match inj.Engine.trojan.Trojan.trigger with
     | Trojan.Combinational { a_pattern; b_pattern; mask }
-    | Trojan.Sequential { a_pattern; b_pattern; mask; _ } ->
+    | Trojan.Sequential { a_pattern; b_pattern; mask; _ }
+    | Trojan.Decoy { a_pattern; b_pattern; mask; _ } ->
         fits a_pattern && fits b_pattern && fits mask
   in
   let payload_ok =
@@ -73,12 +74,9 @@ let condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask =
    the core executes an operation; sequential trigger state only advances
    on active cycles, matching the behavioural model's operand stream. *)
 let trigger_net nl width trojan ~active ~a_bus ~b_bus =
-  match trojan.Trojan.trigger with
-  | Trojan.Combinational { a_pattern; b_pattern; mask } ->
-      Netlist.and_ nl active
-        (condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask)
-  | Trojan.Sequential { a_pattern; b_pattern; mask; threshold } ->
-      let cond = condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask in
+  (* the saturating consecutive-match counter shared by [Sequential] and
+     [Decoy] triggers *)
+  let counter_fire cond threshold =
       let k = bits_for threshold in
       (* The payload must corrupt the very operation that completes the
          trigger sequence (the behavioural model updates the counter and
@@ -113,6 +111,21 @@ let trigger_net nl width trojan ~active ~a_bus ~b_bus =
             next)
       in
       (match !fire with Some t -> t | None -> assert false)
+  in
+  match trojan.Trojan.trigger with
+  | Trojan.Combinational { a_pattern; b_pattern; mask } ->
+      Netlist.and_ nl active
+        (condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask)
+  | Trojan.Sequential { a_pattern; b_pattern; mask; threshold } ->
+      counter_fire (condition nl width a_bus b_bus ~a_pattern ~b_pattern ~mask)
+        threshold
+  | Trojan.Decoy { a_pattern; b_pattern; mask; threshold } ->
+      (* the same operand bus against two different patterns: each
+         comparator half is satisfiable on its own, but their conjunction
+         demands some bit both ways, so the chain from the condition down
+         through the counter is structurally dead *)
+      counter_fire (condition nl width a_bus a_bus ~a_pattern ~b_pattern ~mask)
+        threshold
 
 let payload_wrap nl trojan ~trigger out =
   match trojan.Trojan.payload with
@@ -368,6 +381,38 @@ let canned_injection ~width design =
       Trojan.make
         (Trojan.Combinational
            { a_pattern = 0xDEAD land mask; b_pattern = 0xBEEF land mask; mask })
+        (Trojan.Xor_offset 0xFF);
+  }
+
+(* The canned false positive behind `--mutant trojan-dud`: all the
+   trigger hardware of the sequential Trojan — condition tree, saturating
+   match counter, payload XOR — on the core that computes the first
+   primary output, but comparing the same operand bus against two
+   different patterns.  The condition is structurally unsatisfiable, so
+   the design stays behaviourally clean and every rare-looking net the
+   decoy adds is unreachable at any depth; `lint --prove` must discharge
+   the whole cone with unbounded certificates and exit 0. *)
+let canned_dud_injection ~width design =
+  let spec = design.Design.spec in
+  let op = List.hd (Dfg.outputs spec.Spec.dfg) in
+  let nc = Copy.index spec { Copy.op; phase = Copy.NC } in
+  (* 8 masked bits: each comparator half keeps an activation probability
+     orders of magnitude above the rare threshold (so the rare pass never
+     flags a satisfiable net), while their structurally-dead conjunction
+     and the counter chain under it score well below it *)
+  let mask = 0xFF land ((1 lsl min width 16) - 1) in
+  {
+    Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+    inj_type = Spec.iptype_of_op spec op;
+    trojan =
+      Trojan.make
+        (Trojan.Decoy
+           {
+             a_pattern = 0xAD land mask;
+             b_pattern = lnot 0xAD land mask;
+             mask;
+             threshold = 2;
+           })
         (Trojan.Xor_offset 0xFF);
   }
 

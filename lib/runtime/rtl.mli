@@ -81,6 +81,16 @@ val canned_sequential_injection :
     operands are all distinct primary inputs (threshold 2), else a
     single such copy (threshold 1), else the first output's core. *)
 
+val canned_dud_injection : width:int -> Thr_hls.Design.t -> Engine.injection
+(** The canned {e false positive} — [thls lint --mutant trojan-dud]: a
+    {!Thr_trojan.Trojan.trigger.Decoy} chain (the sequential trigger's
+    condition tree, saturating counter and payload XOR, but comparing
+    the same operand bus against two different patterns) on the first
+    output's core.  Its condition is structurally unsatisfiable, so the
+    design stays behaviourally clean and [lint --prove] must discharge
+    every rare net it adds with an [unreachable-unbounded] certificate
+    and exit 0. *)
+
 val check :
   ?rare_threshold:float ->
   ?prob_iters:int ->

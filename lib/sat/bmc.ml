@@ -10,10 +10,13 @@
    clauses carry across frames and across nets. *)
 
 module Trace = Thr_obs.Trace
+module Metrics = Thr_obs.Metrics
 module Packed = Thr_gates.Packed
 module Netlist = Thr_gates.Netlist
 
 let default_bound = 8
+
+let m_certificates = Metrics.counter "thr_sat_certificates_total"
 
 type witness = {
   w_target : Netlist.net;
@@ -22,9 +25,12 @@ type witness = {
   w_inputs : (string * bool) list array;
 }
 
+type certificate = { c_depth : int; c_method : string }
+
 type outcome =
   | Reachable of witness
   | Unreachable of int
+  | Unreachable_unbounded of certificate
   | Inconclusive of int
 
 let witness_of s ~target ~value frames =
@@ -57,29 +63,51 @@ let check_net ?(bound = default_bound) ?budget nl ~net ~value =
         | None -> None
         | Some b -> Some (b - (Solver.steps s - s0))
       in
-      let result = ref None in
-      let frames = ref [] in
-      let f = ref 0 in
-      while !result = None && !f < bound do
-        incr f;
-        let prev = match !frames with [] -> None | p :: _ -> Some p in
-        let frame = Cnf.encode_frame s nl ~cone ~prev in
-        frames := frame :: !frames;
+      if not (Cnf.has_state nl ~cone) then begin
+        (* purely combinational cone: one frame decides reachability for
+           all time — no state ever feeds the target, so there is
+           nothing to unroll and the certificate depth is 0 *)
+        let frame = Cnf.encode_frame s nl ~cone ~prev:None in
         let target = Cnf.var frame net in
         if target = 0 then
           invalid_arg "Bmc.check_net: target net missing from its own cone";
         let asm = if value then target else -target in
-        match remaining () with
-        | Some left when left <= 0 -> result := Some (Inconclusive !f)
-        | left -> (
-            match Solver.solve ~assumptions:[ asm ] ?max_steps:left s with
-            | Solver.Sat ->
-                result :=
-                  Some (Reachable (witness_of s ~target:net ~value !frames))
-            | Solver.Unknown -> result := Some (Inconclusive !f)
-            | Solver.Unsat -> ())
-      done;
-      match !result with Some r -> r | None -> Unreachable bound)
+        match
+          Solver.solve ~assumptions:[ asm ] ~phase:`Bmc ?max_steps:(remaining ()) s
+        with
+        | Solver.Sat -> Reachable (witness_of s ~target:net ~value [ frame ])
+        | Solver.Unknown -> Inconclusive 1
+        | Solver.Unsat ->
+            Metrics.incr m_certificates;
+            Unreachable_unbounded { c_depth = 0; c_method = "combinational" }
+      end
+      else begin
+        let result = ref None in
+        let frames = ref [] in
+        let f = ref 0 in
+        while !result = None && !f < bound do
+          incr f;
+          let prev = match !frames with [] -> None | p :: _ -> Some p in
+          let frame = Cnf.encode_frame s nl ~cone ~prev in
+          frames := frame :: !frames;
+          let target = Cnf.var frame net in
+          if target = 0 then
+            invalid_arg "Bmc.check_net: target net missing from its own cone";
+          let asm = if value then target else -target in
+          match remaining () with
+          | Some left when left <= 0 -> result := Some (Inconclusive !f)
+          | left -> (
+              match
+                Solver.solve ~assumptions:[ asm ] ~phase:`Bmc ?max_steps:left s
+              with
+              | Solver.Sat ->
+                  result :=
+                    Some (Reachable (witness_of s ~target:net ~value !frames))
+              | Solver.Unknown -> result := Some (Inconclusive !f)
+              | Solver.Unsat -> ())
+        done;
+        match !result with Some r -> r | None -> Unreachable bound
+      end)
 
 let replay nl w =
   Netlist.finalise nl;

@@ -24,10 +24,21 @@ type witness = {
       (** per-frame primary-input assignment, [w_cycle] entries *)
 }
 
+type certificate = {
+  c_depth : int;
+      (** the induction depth that closed the proof; [0] for a purely
+          combinational cone (nothing to unroll) *)
+  c_method : string;  (** ["combinational"] or ["k-induction"] *)
+}
+(** An {e unbounded} unreachability certificate: the rare value is
+    unreachable at {e any} depth, not merely within a cycle bound. *)
+
 type outcome =
   | Reachable of witness
   | Unreachable of int
       (** proven unreachable within this many cycles *)
+  | Unreachable_unbounded of certificate
+      (** proven unreachable at any depth *)
   | Inconclusive of int
       (** budget exhausted while exploring this frame *)
 
@@ -46,9 +57,23 @@ val check_net :
     most [bound] (default {!default_bound}) cycles drives [net] to
     [value].  [budget] caps total solver steps (decisions +
     propagations + conflicts) across all frames; exhaustion yields
-    [Inconclusive].  Finalises the netlist if needed; runs under a
-    ["bmc.unroll"] trace span.
+    [Inconclusive].  A zero-DFF (purely combinational) cone skips the
+    sequential unrolling entirely: one frame decides reachability for
+    all time, so an Unsat answer is an {!Unreachable_unbounded}
+    certificate of depth 0.  Finalises the netlist if needed; runs under
+    a ["bmc.unroll"] trace span.
     @raise Invalid_argument if [bound < 1]. *)
+
+val witness_of :
+  Solver.t ->
+  target:Thr_gates.Netlist.net ->
+  value:bool ->
+  Cnf.frame list ->
+  witness
+(** Extract a witness from the model of the last [Sat] answer over an
+    unrolling given newest-first (frame [w_cycle] at the head).  Shared
+    with {!Induction}, whose portfolio reads witnesses off a base-case
+    solver common to many candidates. *)
 
 val replay : Thr_gates.Netlist.t -> witness -> bool
 (** Replay the witness on the packed simulator — [w_cycle - 1] clocked

@@ -5,18 +5,32 @@
    instead of re-deriving a topological order, so both engines agree on
    evaluation order by construction.  One [frame] maps each in-cone net
    to a solver variable; chaining frames with [prev] unrolls sequential
-   behaviour: frame 1 pins every DFF output to its power-on value, frame
-   [f > 1] aliases a DFF's output variable to the {e previous} frame's
-   variable of its data net (the latch edge needs no clauses). *)
+   behaviour: frame 1 pins every DFF output to its power-on value (or,
+   for the inductive step of k-induction, leaves it a free state
+   variable), frame [f > 1] aliases a DFF's output variable to the
+   {e previous} frame's variable of its data net (the latch edge needs
+   no clauses).
+
+   Clauses are emitted through a [sink] so callers can interpose — the
+   portfolio prover routes each frame through {!Preprocess} before the
+   clauses reach the solver. *)
 
 module Trace = Thr_obs.Trace
 module Packed = Thr_gates.Packed
 module Netlist = Thr_gates.Netlist
 
+type sink = { fresh_var : unit -> int; clause : int list -> unit }
+
+let solver_sink s =
+  { fresh_var = (fun () -> Solver.new_var s);
+    clause = (fun c -> Solver.add_clause s c) }
+
 type frame = {
   f_nl : Netlist.t;
   f_vars : int array; (* net index -> DIMACS var; 0 = outside the cone *)
   f_inputs : (string * int) array; (* every primary input, var 0 if unused *)
+  f_state : int array; (* in-cone DFF output vars, tape order *)
+  f_next : int array; (* matching DFF data-net vars (the next state) *)
   f_depth : int; (* 1-based frame number *)
 }
 
@@ -26,54 +40,67 @@ let var f net = f.f_vars.(Netlist.net_index net)
 
 let inputs f = f.f_inputs
 
+let state_vars f = f.f_state
+
+let next_state_vars f = f.f_next
+
 let depth f = f.f_depth
 
 let netlist f = f.f_nl
 
+let has_state nl ~cone =
+  let tp = Packed.tape nl in
+  let found = ref false in
+  for pc = 0 to Packed.tape_length tp - 1 do
+    if Packed.tape_code tp pc = Packed.op_dff && cone.(Packed.tape_dst tp pc)
+    then found := true
+  done;
+  !found
+
 (* Gate clauses, [z] the output variable.  Each set is the standard
    Tseitin biconditional of the gate function. *)
 
-let emit_not s z a =
-  Solver.add_clause s [ z; a ];
-  Solver.add_clause s [ -z; -a ]
+let emit_not k z a =
+  k.clause [ z; a ];
+  k.clause [ -z; -a ]
 
-let emit_and s z a b =
-  Solver.add_clause s [ -z; a ];
-  Solver.add_clause s [ -z; b ];
-  Solver.add_clause s [ z; -a; -b ]
+let emit_and k z a b =
+  k.clause [ -z; a ];
+  k.clause [ -z; b ];
+  k.clause [ z; -a; -b ]
 
-let emit_or s z a b =
-  Solver.add_clause s [ z; -a ];
-  Solver.add_clause s [ z; -b ];
-  Solver.add_clause s [ -z; a; b ]
+let emit_or k z a b =
+  k.clause [ z; -a ];
+  k.clause [ z; -b ];
+  k.clause [ -z; a; b ]
 
-let emit_nand s z a b =
-  Solver.add_clause s [ z; a ];
-  Solver.add_clause s [ z; b ];
-  Solver.add_clause s [ -z; -a; -b ]
+let emit_nand k z a b =
+  k.clause [ z; a ];
+  k.clause [ z; b ];
+  k.clause [ -z; -a; -b ]
 
-let emit_nor s z a b =
-  Solver.add_clause s [ -z; -a ];
-  Solver.add_clause s [ -z; -b ];
-  Solver.add_clause s [ z; a; b ]
+let emit_nor k z a b =
+  k.clause [ -z; -a ];
+  k.clause [ -z; -b ];
+  k.clause [ z; a; b ]
 
-let emit_xor s z a b =
-  Solver.add_clause s [ -z; a; b ];
-  Solver.add_clause s [ -z; -a; -b ];
-  Solver.add_clause s [ z; -a; b ];
-  Solver.add_clause s [ z; a; -b ]
+let emit_xor k z a b =
+  k.clause [ -z; a; b ];
+  k.clause [ -z; -a; -b ];
+  k.clause [ z; -a; b ];
+  k.clause [ z; a; -b ]
 
 (* z = if sel then t1 else t0; the last two clauses are redundant but
    strengthen unit propagation when both arms agree. *)
-let emit_mux s z sel t0 t1 =
-  Solver.add_clause s [ -sel; -t1; z ];
-  Solver.add_clause s [ -sel; t1; -z ];
-  Solver.add_clause s [ sel; -t0; z ];
-  Solver.add_clause s [ sel; t0; -z ];
-  Solver.add_clause s [ -t0; -t1; z ];
-  Solver.add_clause s [ t0; t1; -z ]
+let emit_mux k z sel t0 t1 =
+  k.clause [ -sel; -t1; z ];
+  k.clause [ -sel; t1; -z ];
+  k.clause [ sel; -t0; z ];
+  k.clause [ sel; t0; -z ];
+  k.clause [ -t0; -t1; z ];
+  k.clause [ t0; t1; -z ]
 
-let encode_frame s nl ~cone ~prev =
+let encode_frame_via k nl ?(free_state = false) ~cone ~prev () =
   Trace.with_span "sat.cnf"
     ~args:[ ("netlist", Netlist.name nl) ]
     (fun () ->
@@ -86,7 +113,7 @@ let encode_frame s nl ~cone ~prev =
         Array.map
           (fun (nm, i) ->
             if cone.(i) then begin
-              vars.(i) <- Solver.new_var s;
+              vars.(i) <- k.fresh_var ();
               (nm, vars.(i))
             end
             else (nm, 0))
@@ -96,9 +123,9 @@ let encode_frame s nl ~cone ~prev =
       Array.iter
         (fun (i, v) ->
           if cone.(i) then begin
-            let z = Solver.new_var s in
+            let z = k.fresh_var () in
             vars.(i) <- z;
-            Solver.add_clause s [ (if v then z else -z) ]
+            k.clause [ (if v then z else -z) ]
           end)
         (Packed.tape_consts tp);
       let operand name i =
@@ -109,19 +136,22 @@ let encode_frame s nl ~cone ~prev =
                "Cnf.encode_frame: %s operand net %d outside the cone" name i)
         else v
       in
+      let state = ref [] and next = ref [] in
       for pc = 0 to Packed.tape_length tp - 1 do
         let d = Packed.tape_dst tp pc in
         if cone.(d) then begin
           let a, b, c = Packed.tape_args tp pc in
           let code = Packed.tape_code tp pc in
           if code = Packed.op_dff then begin
-            match prev with
+            (match prev with
+            | None when free_state ->
+                (* inductive-step frame 1: an unconstrained state var *)
+                vars.(d) <- k.fresh_var ()
             | None ->
                 (* frame 1: the power-on value, as a pinned variable *)
-                let z = Solver.new_var s in
+                let z = k.fresh_var () in
                 vars.(d) <- z;
-                Solver.add_clause s
-                  [ (if Packed.tape_dff_init tp a then z else -z) ]
+                k.clause [ (if Packed.tape_dff_init tp a then z else -z) ]
             | Some p ->
                 (* frame f: alias to frame f-1's data-net variable.  The
                    cone is closed through DFFs, so it is present. *)
@@ -133,35 +163,47 @@ let encode_frame s nl ~cone ~prev =
                        "Cnf.encode_frame: DFF %d data net %d missing from \
                         previous frame"
                        a src);
-                vars.(d) <- v
+                vars.(d) <- v);
+            state := vars.(d) :: !state;
+            next := Packed.tape_dff_data tp a :: !next
           end
           else begin
-            let z = Solver.new_var s in
+            let z = k.fresh_var () in
             vars.(d) <- z;
-            if code = Packed.op_not then emit_not s z (operand "not" a)
+            if code = Packed.op_not then emit_not k z (operand "not" a)
             else if code = Packed.op_and then
-              emit_and s z (operand "and" a) (operand "and" b)
+              emit_and k z (operand "and" a) (operand "and" b)
             else if code = Packed.op_or then
-              emit_or s z (operand "or" a) (operand "or" b)
+              emit_or k z (operand "or" a) (operand "or" b)
             else if code = Packed.op_xor then
-              emit_xor s z (operand "xor" a) (operand "xor" b)
+              emit_xor k z (operand "xor" a) (operand "xor" b)
             else if code = Packed.op_nand then
-              emit_nand s z (operand "nand" a) (operand "nand" b)
+              emit_nand k z (operand "nand" a) (operand "nand" b)
             else if code = Packed.op_nor then
-              emit_nor s z (operand "nor" a) (operand "nor" b)
+              emit_nor k z (operand "nor" a) (operand "nor" b)
             else if code = Packed.op_mux then
-              emit_mux s z (operand "mux" a) (operand "mux" b)
+              emit_mux k z (operand "mux" a) (operand "mux" b)
                 (operand "mux" c)
             else invalid_arg "Cnf.encode_frame: unknown opcode"
           end
         end
       done;
+      (* the data nets' variables are only known once the whole tape has
+         run (a DFF's data gate may sit later in the tape) *)
+      let f_next =
+        Array.of_list (List.rev_map (fun i -> vars.(i)) !next)
+      in
       {
         f_nl = nl;
         f_vars = vars;
         f_inputs;
+        f_state = Array.of_list (List.rev !state);
+        f_next;
         f_depth = (match prev with None -> 1 | Some p -> p.f_depth + 1);
       })
+
+let encode_frame s nl ~cone ~prev =
+  encode_frame_via (solver_sink s) nl ~cone ~prev ()
 
 let of_cone s nl ~roots =
   Netlist.finalise nl;

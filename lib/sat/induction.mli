@@ -1,0 +1,84 @@
+(** A parallel prover portfolio: strengthened k-induction over the
+    {!Cnf} unrolling, with {!Preprocess}-simplified frames and one
+    shared incremental cone context per batch of candidates.
+
+    Overlapping trigger-chain candidates (the lint pass typically hands
+    over a dozen nets from the same counter cone) encode their {e union}
+    fan-in cone once per time frame on two incremental solvers — a base
+    solver (power-on initial state, plain BMC frames) and a step solver
+    (free initial state, simple-path constraints) — and each candidate
+    is asked as an assumption, so learnt clauses are shared across the
+    whole batch.  Sharing is gated on the cones actually overlapping: a
+    batch is first greedily clustered by cone similarity (Jaccard
+    against the running cluster union) and each cluster gets its own
+    context, so a wide shallow cone is never unrolled to the depth only
+    some unrelated narrow candidate needs.
+
+    At depth [k] a candidate [b] is decided by:
+
+    - {b base}: frames [1..k] with assumption [b_k].  [Sat] is a
+      concrete witness (extracted with {!Bmc.witness_of} and replayable
+      on the packed simulator); [Unsat] means no activation within [k]
+      cycles.
+    - {b step}: frames [1..k+1] from an {e arbitrary} state, assumptions
+      [¬b_1 .. ¬b_k ∧ b_{k+1}], plus pairwise-distinct state (loop-free
+      path) constraints over the in-cone DFF variables.  [Unsat] here,
+      together with the clean base case, closes the proof: any shortest
+      counterexample deeper than [k] would contain exactly such a
+      distinct-state window, so none exists at {e any} depth —
+      {!Bmc.outcome.Unreachable_unbounded} with [c_method]
+      ["k-induction"] and [c_depth = k].
+
+    Candidates whose own cone is purely combinational skip the unrolling
+    entirely: one frame decides reachability for all time and an
+    [Unsat] is a depth-0 ["combinational"] certificate.
+
+    The base sweep always runs to [bound] before a verdict is merged:
+    reachable candidates are decided by the cheap pinned-init solver and
+    a step certificate is only trusted together with the clean base case
+    through its depth.
+
+    With [jobs > 1] the two solvers race on two domains — wall-clock
+    max(base, step) instead of their sum — and the step side retires a
+    candidate as soon as the base sweep decides it.  Batches large
+    enough to amortise the duplicated cone encode (32 candidates per
+    domain) are instead split into contiguous chunks across a
+    {!Thr_util.Dpool}.  Either way results are merged back in input
+    order and, without a budget, are bit-identical to the [jobs = 1]
+    outcomes whatever the domain scheduling.  Runs under
+    ["sat.induction"] trace spans and bumps [thr_sat_certificates_total]
+    per closed proof. *)
+
+val prove :
+  ?bound:int ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?preprocess:bool ->
+  Thr_gates.Netlist.t ->
+  (Thr_gates.Netlist.net * bool) array ->
+  Bmc.outcome array
+(** [prove nl cands] decides, for every [(net, value)] candidate,
+    whether some input sequence drives [net] to [value] — returning
+    outcomes in input order.
+
+    [bound] (default {!Bmc.default_bound}) caps both the BMC depth and
+    the induction depth; a candidate neither witnessed nor certified by
+    then degrades to the bounded [Unreachable bound] of plain BMC.
+    [budget] is a {e per-candidate} solver-step allowance, metered by
+    {!Solver.steps} deltas around each assumption solve on the shared
+    solvers; a base-case exhaustion yields [Inconclusive] exactly as in
+    {!Bmc.check_net}, while a step-case exhaustion merely abandons the
+    induction attempt for that candidate and leaves its bounded verdict
+    standing.  At [jobs = 1] the base sweep runs to [bound] {e before}
+    any step query, and one meter covers both phases; at [jobs > 1] the
+    racing phases each meter the full allowance on their own counter, so
+    budget-starved verdicts may differ from the sequential ones.
+    [preprocess] (default [true]) routes the step solver's first frame —
+    the clauses every deep induction query chains through — via
+    {!Preprocess.simplify} with the frame boundary (inputs, state,
+    next-state and target variables) frozen; the base solver's frames
+    always go in raw, keeping shallow witness extraction free of model
+    reconstruction.  [jobs] (default 1) sizes the racing pool.
+
+    Finalises the netlist if needed.
+    @raise Invalid_argument if [bound < 1]. *)

@@ -1,0 +1,57 @@
+(** CNF preprocessing: unit/pure-literal simplification, failed-literal
+    probing and bounded variable elimination (NiVER/SatElite lineage),
+    with a model-reconstruction stack.
+
+    {!simplify} rewrites a clause list into an equisatisfiable one over
+    the same variable numbering.  Variables marked {e frozen} (frame
+    inputs, DFF state variables, proof targets — anything referenced by
+    assumptions, later frames or witness extraction) are never removed;
+    a root-level value derived for a frozen variable is emitted as a
+    unit clause instead.  Every removal of a non-frozen variable pushes
+    an entry onto the reconstruction stack, and {!extend} replays the
+    stack over a model of the simplified formula to recover a full model
+    of the original one — this is what keeps preprocessed witnesses
+    bit-exact on the packed simulator.
+
+    Soundness: the simplified set is equisatisfiable with the original
+    {e in conjunction with any future clauses over frozen variables
+    only}, which is exactly how {!Induction} feeds frames to the
+    incremental solver.  Each call runs under a ["sat.preprocess"] trace
+    span and bumps [thr_sat_preprocess_removed_vars_total] and the
+    clause in/out counters. *)
+
+type t
+(** A reconstruction stack, shared by every {!simplify} call made
+    through it (one per solver context). *)
+
+val create : unit -> t
+
+type stats = {
+  pp_clauses_in : int;
+  pp_clauses_out : int;  (** incl. units re-emitted for frozen vars *)
+  pp_removed_vars : int;  (** non-frozen vars fixed or eliminated *)
+  pp_probe_units : int;  (** units learnt by failed-literal probing *)
+  pp_eliminated : int;  (** vars removed by bounded variable elimination *)
+}
+
+val simplify :
+  ?probe_limit:int ->
+  ?elim_occ_limit:int ->
+  t ->
+  frozen:bool array ->
+  n_vars:int ->
+  int list list ->
+  int list list * stats
+(** [simplify t ~frozen ~n_vars clauses] returns the simplified clause
+    list.  [frozen] is indexed by variable ([frozen.(v)] for DIMACS var
+    [v], size at least [n_vars + 1]).  [probe_limit] caps the number of
+    variables probed (default 512); [elim_occ_limit] caps the occurrence
+    count on each side of a variable elimination (default 10).  An
+    unsatisfiable input yields [[[]]] (one empty clause). *)
+
+val extend : t -> n_vars:int -> (int -> bool) -> bool array
+(** [extend t ~n_vars assign] completes a model: [assign v] supplies the
+    solver's value for every surviving variable, and the stack fills in
+    the removed ones.  Index the result by variable (slot [0] unused).
+    Entries accumulate across {!simplify} calls, so one [extend] covers
+    every frame simplified through [t]. *)

@@ -575,14 +575,24 @@ let m_propagations = Metrics.counter "thr_sat_propagations_total"
 
 let m_learned = Metrics.counter "thr_sat_learned_clauses_total"
 
-let m_solve_ms =
-  Metrics.histogram
-    ~buckets:[| 0.1; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1e3; 5e3; 3e4 |]
-    "thr_sat_solve_ms"
+let solve_buckets = [| 0.1; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1e3; 5e3; 3e4 |]
+
+let m_solve_ms = Metrics.histogram ~buckets:solve_buckets "thr_sat_solve_ms"
+
+(* per-phase siblings so `bench -- sat` can attribute solve time to the
+   plain BMC sweep, the k-induction base case or the inductive step *)
+let m_solve_ms_bmc =
+  Metrics.histogram ~buckets:solve_buckets "thr_sat_solve_ms_bmc"
+
+let m_solve_ms_base =
+  Metrics.histogram ~buckets:solve_buckets "thr_sat_solve_ms_base"
+
+let m_solve_ms_step =
+  Metrics.histogram ~buckets:solve_buckets "thr_sat_solve_ms_step"
 
 (* ------------------------------ solve ------------------------------ *)
 
-let solve ?(assumptions = []) ?max_steps t =
+let solve ?(assumptions = []) ?phase ?max_steps t =
   Trace.with_span "sat.solve"
     ~args:
       [
@@ -611,7 +621,13 @@ let solve ?(assumptions = []) ?max_steps t =
       Metrics.add m_decisions (t.decisions - d0);
       Metrics.add m_propagations (t.propagations - p0);
       Metrics.add m_learned (t.learned - l0);
-      Metrics.observe m_solve_ms ((Trace.now_us () -. t0) /. 1e3);
+      let ms = (Trace.now_us () -. t0) /. 1e3 in
+      Metrics.observe m_solve_ms ms;
+      (match phase with
+      | Some `Bmc -> Metrics.observe m_solve_ms_bmc ms
+      | Some `Base -> Metrics.observe m_solve_ms_base ms
+      | Some `Step -> Metrics.observe m_solve_ms_step ms
+      | None -> ());
       r)
 
 let value t d =

@@ -44,12 +44,22 @@ val add_clause : t -> int list -> unit
     conflict) makes the solver permanently unsatisfiable ({!ok}).
     @raise Invalid_argument on 0 or an unallocated variable. *)
 
-val solve : ?assumptions:int list -> ?max_steps:int -> t -> result
+val solve :
+  ?assumptions:int list ->
+  ?phase:[ `Bmc | `Base | `Step ] ->
+  ?max_steps:int ->
+  t ->
+  result
 (** [solve ~assumptions ~max_steps t] decides the clause set with the
     assumption literals forced first (failing fast with [Unsat] if they
     conflict).  [max_steps] bounds this call's decisions + propagations
     + conflicts; on exhaustion the result is [Unknown].  The solver
-    remains usable after any outcome. *)
+    remains usable after any outcome.
+
+    [phase] additionally routes the call's wall-clock into a sibling
+    histogram ([thr_sat_solve_ms_bmc] / [_base] / [_step]) so the plain
+    BMC sweep, the k-induction base case and the inductive step can be
+    told apart; the aggregate [thr_sat_solve_ms] always fires. *)
 
 val value : t -> int -> bool
 (** Value of a literal in the model of the last [Sat] answer.

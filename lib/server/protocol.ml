@@ -6,16 +6,19 @@
      {"op":"solve", "dfg":"<thls DFG text>", ...options}
      {"op":"lint",  "dfg":"<thls DFG text>", ...options,
                     "width":N, "threshold":F,
-                    "mutant":"none|bypass|trojan|trojan-seq",
+                    "mutant":"none|bypass|trojan|trojan-seq|trojan-dud",
+                    "jobs":N,
                     "prove":K, "prove_budget":N}
      {"op":"stats"}
      {"op":"metrics"}
      {"op":"events", "n":N}
      {"op":"shutdown"}
 
-   Lint extras: "prove" bounded-model-checks every rare-net finding up
-   to K cycles (exact reachability verdicts with replayed witnesses);
-   "prove_budget" caps the per-candidate solver steps.  The lint
+   Lint extras: "prove" escalates every rare-net finding to the prover
+   portfolio up to bound K (replayed witnesses, unbounded k-induction
+   certificates or bounded unreachability); "prove_budget" caps the
+   per-candidate solver steps and "jobs" sizes the portfolio's domain
+   pool.  The lint
    response carries the process exit code a local `thls lint` would
    return (0 clean / 4 findings / 5 proof budget exhausted).
 
@@ -56,7 +59,7 @@ type solve = {
   deadline_ms : int option;
 }
 
-type mutant = No_mutant | Bypass | Trojan | Trojan_seq
+type mutant = No_mutant | Bypass | Trojan | Trojan_seq | Trojan_dud
 
 type lint = {
   lint_solve : solve;
@@ -65,6 +68,7 @@ type lint = {
   mutant : mutant;
   prove : int option;
   prove_budget : int option;
+  lint_jobs : int option;
 }
 
 type request =
@@ -169,12 +173,27 @@ let request_of_json j : (request, string * string) result =
             | Some "bypass" -> Ok Bypass
             | Some "trojan" -> Ok Trojan
             | Some "trojan-seq" | Some "trojan_seq" -> Ok Trojan_seq
+            | Some "trojan-dud" | Some "trojan_dud" -> Ok Trojan_dud
             | Some s ->
-                bad "unknown mutant %S (none | bypass | trojan | trojan-seq)" s
+                bad
+                  "unknown mutant %S (none | bypass | trojan | trojan-seq | \
+                   trojan-dud)"
+                  s
           in
           let* prove = with_code (field_int "prove" j) in
           let* prove_budget = with_code (field_int "prove_budget" j) in
-          Ok (Lint { lint_solve; width; threshold; mutant; prove; prove_budget })
+          let* lint_jobs = with_code (field_int "jobs" j) in
+          Ok
+            (Lint
+               {
+                 lint_solve;
+                 width;
+                 threshold;
+                 mutant;
+                 prove;
+                 prove_budget;
+                 lint_jobs;
+               })
       | Some op ->
           bad "unknown op %S (solve | lint | stats | metrics | events | shutdown)"
             op)

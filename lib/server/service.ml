@@ -279,6 +279,10 @@ let handle_lint t (l : Protocol.lint) =
                       ~injections:
                         [ T.Rtl.canned_sequential_injection ~width design ]
                       design
+                | Protocol.Trojan_dud ->
+                    T.Rtl.elaborate ~width
+                      ~injections:[ T.Rtl.canned_dud_injection ~width design ]
+                      design
               with
               | exception Invalid_argument m ->
                   Protocol.error_response ~code:"bad_request" m
@@ -286,7 +290,8 @@ let handle_lint t (l : Protocol.lint) =
                   let report =
                     T.Rtl.check ?rare_threshold:l.Protocol.threshold
                       ?prove:l.Protocol.prove
-                      ?prove_budget:l.Protocol.prove_budget rtl
+                      ?prove_budget:l.Protocol.prove_budget
+                      ?jobs:l.Protocol.lint_jobs rtl
                   in
                   Protocol.lint_response report)))
 

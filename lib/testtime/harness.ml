@@ -48,7 +48,7 @@ let build kind width trojan_opt =
               | Trojan.Xor_offset m | Trojan.Latched m -> m
             in
             Bus.xor_enable nl clean ~enable:trigger ~mask
-        | Trojan.Sequential _ ->
+        | Trojan.Sequential _ | Trojan.Decoy _ ->
             invalid_arg "Harness.build: combinational triggers only")
   in
   Bus.outputs nl "out" out;

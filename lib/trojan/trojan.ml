@@ -1,6 +1,7 @@
 type trigger =
   | Combinational of { a_pattern : int; b_pattern : int; mask : int }
   | Sequential of { a_pattern : int; b_pattern : int; mask : int; threshold : int }
+  | Decoy of { a_pattern : int; b_pattern : int; mask : int; threshold : int }
 
 type payload = Xor_offset of int | Latched of int
 
@@ -17,7 +18,13 @@ let make trigger payload =
   | Sequential { a_pattern; b_pattern; mask; threshold } ->
       if threshold < 1 then invalid_arg "Trojan.make: threshold < 1";
       if a_pattern land lnot mask <> 0 || b_pattern land lnot mask <> 0 then
-        invalid_arg "Trojan.make: pattern outside mask");
+        invalid_arg "Trojan.make: pattern outside mask"
+  | Decoy { a_pattern; b_pattern; mask; threshold } ->
+      if threshold < 1 then invalid_arg "Trojan.make: threshold < 1";
+      if a_pattern land lnot mask <> 0 || b_pattern land lnot mask <> 0 then
+        invalid_arg "Trojan.make: pattern outside mask";
+      if a_pattern = b_pattern then
+        invalid_arg "Trojan.make: decoy patterns must differ");
   { trigger; payload }
 
 type state = { mutable counter : int; mutable latched : bool }
@@ -33,11 +40,14 @@ let matches t ~a ~b =
   | Combinational { a_pattern; b_pattern; mask }
   | Sequential { a_pattern; b_pattern; mask; _ } ->
       a land mask = a_pattern && b land mask = b_pattern
+  | Decoy { a_pattern; b_pattern; mask; _ } ->
+      (* the same word against two different patterns: never true *)
+      a land mask = a_pattern && a land mask = b_pattern
 
 let trigger_fires t st ~a ~b =
   match t.trigger with
   | Combinational _ -> matches t ~a ~b
-  | Sequential { threshold; _ } ->
+  | Sequential { threshold; _ } | Decoy { threshold; _ } ->
       if matches t ~a ~b then st.counter <- min (st.counter + 1) threshold
       else st.counter <- 0;
       st.counter = threshold
@@ -51,7 +61,8 @@ let active t st =
           (* combinational trigger has no state; [active] reflects the
              last apply, recorded in [latched] as a convenience flag *)
           st.latched
-      | Sequential { threshold; _ } -> st.counter = threshold)
+      | Sequential { threshold; _ } | Decoy { threshold; _ } ->
+          st.counter = threshold)
 
 let apply t st ~a ~b ~clean =
   let fired = trigger_fires t st ~a ~b in
@@ -59,7 +70,7 @@ let apply t st ~a ~b ~clean =
   | Xor_offset mask ->
       (match t.trigger with
       | Combinational _ -> st.latched <- fired (* see [active] *)
-      | Sequential _ -> ());
+      | Sequential _ | Decoy _ -> ());
       if fired then clean lxor mask else clean
   | Latched mask ->
       if fired then st.latched <- true;
@@ -70,6 +81,8 @@ let matching_operands t =
   | Combinational { a_pattern; b_pattern; _ }
   | Sequential { a_pattern; b_pattern; _ } ->
       (a_pattern, b_pattern)
+  | Decoy _ ->
+      invalid_arg "Trojan.matching_operands: a decoy trigger never matches"
 
 let random ~prng ~sequential ~rare_bits =
   if rare_bits < 1 || rare_bits > 16 then
@@ -95,6 +108,10 @@ let describe t =
     | Sequential { a_pattern; b_pattern; mask; threshold } ->
         Printf.sprintf "seq trigger (a&%#x=%#x, b&%#x=%#x, %d consecutive)" mask
           a_pattern mask b_pattern threshold
+    | Decoy { a_pattern; b_pattern; mask; threshold } ->
+        Printf.sprintf
+          "decoy trigger (a&%#x=%#x and a&%#x=%#x, %d consecutive; never fires)"
+          mask a_pattern mask b_pattern threshold
   in
   let pay =
     match t.payload with

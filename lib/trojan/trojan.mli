@@ -22,6 +22,16 @@ type trigger =
           trigger is set while the counter sits at [threshold] — Fig. 2(b)
           with the reset behaviour of §3.1 ("the trigger signal … will be
           reset when the otherwise"). *)
+  | Decoy of { a_pattern : int; b_pattern : int; mask : int; threshold : int }
+      (** The trigger {e hardware} of [Sequential] — condition tree,
+          saturating match counter, threshold compare — but the condition
+          checks the host's {e first} operand against both patterns at
+          once.  {!make} requires the patterns to differ under the mask,
+          so the condition is unsatisfiable and the chain provably never
+          fires: the silicon of a trigger with none of the threat.  This
+          is the canned false positive behind [thls lint --mutant
+          trojan-dud]; its rare-looking nets must all be discharged by
+          the prover with unbounded-unreachability certificates. *)
 
 type payload =
   | Xor_offset of int
@@ -34,8 +44,10 @@ type payload =
 type t = { trigger : trigger; payload : payload }
 
 val make : trigger -> payload -> t
-(** @raise Invalid_argument on a zero payload mask, a [Sequential]
-    threshold < 1, or trigger patterns outside their mask. *)
+(** @raise Invalid_argument on a zero payload mask, a [Sequential] or
+    [Decoy] threshold < 1, trigger patterns outside their mask, or
+    [Decoy] patterns that do not differ (equal patterns would make the
+    decoy a live trigger). *)
 
 (** {1 Execution} *)
 
@@ -62,7 +74,8 @@ val active : t -> state -> bool
 
 val matching_operands : t -> int * int
 (** Operand values that satisfy the trigger condition (for [Sequential],
-    one step of it; feed them [threshold] times in a row). *)
+    one step of it; feed them [threshold] times in a row).
+    @raise Invalid_argument on a [Decoy] trigger — nothing matches it. *)
 
 val matches : t -> a:int -> b:int -> bool
 (** Whether [(a, b)] satisfies the (single-step) trigger condition. *)

@@ -342,6 +342,35 @@ let test_prove_budget_inconclusive () =
   Alcotest.(check bool) "exit code is Inconclusive" true
     (Check.exit_code report = Thr_util.Exit_code.Inconclusive)
 
+let test_prove_dud_certified () =
+  (* the decoy injection scores rare but its trigger is structurally
+     unsatisfiable: --prove must discharge every candidate with an
+     unbounded certificate and leave the design clean *)
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl =
+    Rtl.elaborate ~width:16
+      ~injections:[ Rtl.canned_dud_injection ~width:16 design ]
+      design
+  in
+  let report = Rtl.check ~prove:8 rtl in
+  let s = prove_stats report in
+  let certs = with_rule "unreachable-unbounded" report.Check.findings in
+  Alcotest.(check bool) "candidates found" true (s.Check.prove_candidates > 0);
+  Alcotest.(check int) "every candidate certified" s.Check.prove_candidates
+    s.Check.prove_certified;
+  Alcotest.(check int) "none inconclusive" 0 s.Check.prove_inconclusive;
+  Alcotest.(check int) "one certificate finding per candidate"
+    s.Check.prove_candidates (List.length certs);
+  Alcotest.(check bool) "certificates name their method" true
+    (List.for_all
+       (fun f ->
+         contains f.Finding.detail "k-induction"
+         || contains f.Finding.detail "combinational")
+       certs);
+  Alcotest.(check bool) "still clean" true (Check.clean report);
+  Alcotest.(check bool) "exit Ok" true
+    (Check.exit_code report = Thr_util.Exit_code.Ok)
+
 let test_prove_replay_gate () =
   (* a prover that fabricates witnesses must not produce errors: the
      packed-simulator replay gate downgrades them and logs the bug *)
@@ -424,6 +453,8 @@ let () =
             test_prove_seq_injection;
           Alcotest.test_case "budget starves to inconclusive" `Quick
             test_prove_budget_inconclusive;
+          Alcotest.test_case "decoy injection certified unreachable" `Quick
+            test_prove_dud_certified;
           Alcotest.test_case "replay gate rejects fabricated witnesses" `Quick
             test_prove_replay_gate;
         ] );

@@ -9,6 +9,8 @@ module Circuits = Thr_trojan.Circuits
 module Solver = Thr_sat.Solver
 module Cnf = Thr_sat.Cnf
 module Bmc = Thr_sat.Bmc
+module Preprocess = Thr_sat.Preprocess
+module Induction = Thr_sat.Induction
 
 let result : Solver.result Alcotest.testable =
   Alcotest.testable
@@ -260,6 +262,8 @@ let test_bmc_counter_unreachable () =
   match Bmc.check_net ~bound:8 nl ~net:hit ~value:true with
   | Bmc.Unreachable 8 -> ()
   | Bmc.Unreachable k -> Alcotest.failf "unreachable at wrong bound %d" k
+  | Bmc.Unreachable_unbounded _ ->
+      Alcotest.fail "plain BMC cannot certify unbounded unreachability"
   | Bmc.Reachable w -> Alcotest.failf "reachable at cycle %d?" w.Bmc.w_cycle
   | Bmc.Inconclusive _ -> Alcotest.fail "inconclusive without a budget"
 
@@ -336,6 +340,329 @@ let test_bmc_replay_rejects_bogus () =
         (Bmc.replay nl scrambled)
   | _ -> Alcotest.fail "trigger must be reachable"
 
+(* ---------------------------- preprocess ---------------------------- *)
+
+let test_pp_unit_chain () =
+  let pp = Preprocess.create () in
+  let frozen = Array.make 4 false in
+  let out, stats =
+    Preprocess.simplify pp ~frozen ~n_vars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ]
+  in
+  Alcotest.(check (list (list int))) "everything propagated away" [] out;
+  Alcotest.(check int) "three vars removed" 3 stats.Preprocess.pp_removed_vars;
+  let m = Preprocess.extend pp ~n_vars:3 (fun _ -> false) in
+  Alcotest.(check (list bool)) "chain reconstructs all-true" [ true; true; true ]
+    [ m.(1); m.(2); m.(3) ]
+
+let test_pp_unsat () =
+  let pp = Preprocess.create () in
+  let frozen = Array.make 2 false in
+  let out, _ = Preprocess.simplify pp ~frozen ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check (list (list int))) "empty clause out" [ [] ] out
+
+let test_pp_frozen_unit_survives () =
+  let pp = Preprocess.create () in
+  let frozen = [| false; true; false |] in
+  let out, _ = Preprocess.simplify pp ~frozen ~n_vars:2 [ [ 1 ]; [ -1; 2 ] ] in
+  (* var 1 is frozen: its forced value must travel as a unit clause so
+     later frames and assumptions still see it *)
+  Alcotest.(check bool) "frozen unit re-emitted" true (List.mem [ 1 ] out)
+
+let test_pp_pure_literal () =
+  let pp = Preprocess.create () in
+  let frozen = Array.make 3 false in
+  let out, stats =
+    Preprocess.simplify pp ~frozen ~n_vars:2 [ [ 1; 2 ]; [ 1; -2 ] ]
+  in
+  (* 1 is pure positive: fixing it satisfies both clauses *)
+  Alcotest.(check (list (list int))) "pure literal clears the CNF" [] out;
+  Alcotest.(check bool) "vars removed" true (stats.Preprocess.pp_removed_vars >= 1);
+  let m = Preprocess.extend pp ~n_vars:2 (fun _ -> false) in
+  Alcotest.(check bool) "pure var reconstructs true" true m.(1)
+
+(* Soundness of simplify + extend against brute force: same
+   satisfiability, and a reconstructed model satisfies the original. *)
+let preprocess_preserves_sat =
+  QCheck.Test.make
+    ~name:"preprocessing preserves satisfiability; extend rebuilds a model"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 7)
+        (list_of_size
+           Gen.(int_range 0 25)
+           (list_of_size Gen.(int_range 0 4) (int_range 0 1000)))
+        (int_bound 127))
+    (fun (n, raw, fmask) ->
+      let clauses =
+        List.map
+          (List.map (fun k ->
+               let v = (k mod n) + 1 in
+               if k mod 2 = 0 then v else -v))
+          raw
+      in
+      let frozen =
+        Array.init (n + 1) (fun v -> v > 0 && fmask land (1 lsl (v - 1)) <> 0)
+      in
+      let sat_under m cs =
+        List.for_all
+          (fun c ->
+            List.exists
+              (fun l ->
+                let bit = m land (1 lsl (abs l - 1)) <> 0 in
+                if l > 0 then bit else not bit)
+              c)
+          cs
+      in
+      let exists_model cs =
+        let found = ref None in
+        for m = 0 to (1 lsl n) - 1 do
+          if !found = None && sat_under m cs then found := Some m
+        done;
+        !found
+      in
+      let pp = Preprocess.create () in
+      let simplified, _ = Preprocess.simplify pp ~frozen ~n_vars:n clauses in
+      match (exists_model clauses, exists_model simplified) with
+      | Some _, None ->
+          QCheck.Test.fail_report "preprocessing lost satisfiability"
+      | None, Some _ ->
+          QCheck.Test.fail_report "preprocessing gained satisfiability"
+      | None, None -> true
+      | Some _, Some m ->
+          let full =
+            Preprocess.extend pp ~n_vars:n (fun v ->
+                m land (1 lsl (v - 1)) <> 0)
+          in
+          let mi = ref 0 in
+          for v = 1 to n do
+            if full.(v) then mi := !mi lor (1 lsl (v - 1))
+          done;
+          if sat_under !mi clauses then true
+          else
+            QCheck.Test.fail_report
+              "reconstructed model does not satisfy the original CNF")
+
+(* The portfolio's frame pipeline end to end: encode through a buffer
+   sink, preprocess with the inputs frozen, solve, reconstruct — every
+   in-cone net of the reconstructed model must match the packed
+   simulator bit for bit. *)
+let preprocessed_cnf_matches_packed =
+  QCheck.Test.make
+    ~name:"preprocessed frame reconstructs Packed settle bit-for-bit"
+    ~count:80
+    QCheck.(
+      triple
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        bool bool)
+    (fun (script, va, vb) ->
+      let nl = random_netlist script in
+      let root = Netlist.find_output nl "sink" in
+      let cone = Netlist.in_cone nl ~through_dffs:true ~roots:[ root ] () in
+      let s = Solver.create () in
+      let buf = ref [] in
+      let sink =
+        {
+          Cnf.fresh_var = (fun () -> Solver.new_var s);
+          clause = (fun c -> buf := c :: !buf);
+        }
+      in
+      let frame = Cnf.encode_frame_via sink nl ~cone ~prev:None () in
+      let n_vars = Solver.n_vars s in
+      let frozen = Array.make (n_vars + 1) false in
+      Array.iter
+        (fun (_, v) -> if v <> 0 then frozen.(v) <- true)
+        (Cnf.inputs frame);
+      let pp = Preprocess.create () in
+      let simplified, _ =
+        Preprocess.simplify pp ~frozen ~n_vars (List.rev !buf)
+      in
+      List.iter (Solver.add_clause s) simplified;
+      let input_val = function "a" -> va | _ -> vb in
+      let assumptions =
+        Array.to_list (Cnf.inputs frame)
+        |> List.filter_map (fun (nm, v) ->
+               if v = 0 then None
+               else Some (if input_val nm then v else -v))
+      in
+      (match Solver.solve ~assumptions s with
+      | Solver.Sat -> ()
+      | _ -> QCheck.Test.fail_report "fully-driven cone must stay Sat");
+      let model = Preprocess.extend pp ~n_vars (fun v -> Solver.value s v) in
+      let sim = Packed.create nl in
+      Packed.reset sim;
+      Packed.set_input sim "a" (if va then 1 else 0);
+      Packed.set_input sim "b" (if vb then 1 else 0);
+      Packed.settle sim;
+      Array.iter
+        (fun net ->
+          let v = Cnf.var frame net in
+          if v <> 0 then begin
+            let want = Packed.peek_lane sim net 0 in
+            if model.(v) <> want then
+              QCheck.Test.fail_reportf "net %d: reconstructed=%b packed=%b"
+                (Netlist.net_index net) model.(v) want
+          end)
+        (Netlist.nets_in_order nl);
+      true)
+
+(* ---------------------------- induction ----------------------------- *)
+
+let test_induction_comb_certificate () =
+  let nl = Netlist.create ~name:"comb" in
+  let a = Netlist.input nl "a" in
+  let x = Netlist.and_ nl a (Netlist.not_ nl a) in
+  Netlist.output nl "x" x;
+  Netlist.finalise nl;
+  match (Induction.prove nl [| (x, true) |]).(0) with
+  | Bmc.Unreachable_unbounded c ->
+      Alcotest.(check int) "depth 0" 0 c.Bmc.c_depth;
+      Alcotest.(check string) "combinational" "combinational" c.Bmc.c_method
+  | _ -> Alcotest.fail "a & ~a must earn a depth-0 certificate"
+
+let test_induction_held_register_chain () =
+  let nl = Netlist.create ~name:"held" in
+  let z = Netlist.const nl false in
+  let r1 = Netlist.dff nl ~init:false z in
+  let r2 = Netlist.dff nl ~init:false r1 in
+  let t = Netlist.and_ nl r1 r2 in
+  Netlist.output nl "t" t;
+  Netlist.finalise nl;
+  match (Induction.prove ~bound:8 nl [| (t, true) |]).(0) with
+  | Bmc.Unreachable_unbounded c ->
+      Alcotest.(check string) "k-induction" "k-induction" c.Bmc.c_method;
+      Alcotest.(check bool) "shallow certificate" true
+        (c.Bmc.c_depth >= 1 && c.Bmc.c_depth <= 2)
+  | _ -> Alcotest.fail "a held register chain must certify at small k"
+
+(* The counter DOES reach 12 at depth 13: at bound 8 the portfolio must
+   degrade to the bounded verdict, never a bogus certificate. *)
+let test_induction_counter_stays_bounded () =
+  let nl, hit = counter_netlist () in
+  match (Induction.prove ~bound:8 nl [| (hit, true) |]).(0) with
+  | Bmc.Unreachable 8 -> ()
+  | Bmc.Unreachable_unbounded _ ->
+      Alcotest.fail "unsound certificate: the counter reaches 12 at depth 13"
+  | _ -> Alcotest.fail "expected the bounded unreachability verdict"
+
+let test_induction_budget_inconclusive () =
+  (* a real cone (free primary inputs) makes every base solve cost
+     steps, so a 1-step budget dies on the first frame *)
+  let h =
+    Circuits.fig2b ~width:8 ~a_pattern:0xA5 ~b_pattern:0x5A ~mask:0xFF
+      ~threshold:2 ~payload_mask:0xFF
+  in
+  let nl = h.Circuits.netlist in
+  (match
+     (Induction.prove ~bound:8 ~budget:1 nl
+        [| (h.Circuits.trigger_net, true) |]).(0)
+   with
+  | Bmc.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "a 1-step budget cannot decide anything");
+  (* the input-free counter is different: its base cases propagate for
+     free, so only the step budget dies and the bounded verdict stands *)
+  let nl, hit = counter_netlist () in
+  match (Induction.prove ~bound:8 ~budget:1 nl [| (hit, true) |]).(0) with
+  | Bmc.Unreachable 8 -> ()
+  | _ ->
+      Alcotest.fail
+        "free base sweep must still yield the bounded verdict when the \
+         step budget dies"
+
+let test_induction_fig2b_portfolio () =
+  let h =
+    Circuits.fig2b ~width:8 ~a_pattern:0xA5 ~b_pattern:0x5A ~mask:0xFF
+      ~threshold:2 ~payload_mask:0xFF
+  in
+  let nl = h.Circuits.netlist in
+  let t = h.Circuits.trigger_net in
+  let cands = [| (t, true); (t, false) |] in
+  let check_outcomes label out =
+    (match out.(0) with
+    | Bmc.Reachable w ->
+        Alcotest.(check int) (label ^ ": trigger at frame 3") 3 w.Bmc.w_cycle;
+        Alcotest.(check bool) (label ^ ": witness replays") true
+          (Bmc.replay nl w)
+    | _ -> Alcotest.fail (label ^ ": trigger-high must be reachable"));
+    match out.(1) with
+    | Bmc.Reachable w ->
+        Alcotest.(check int) (label ^ ": low at frame 1") 1 w.Bmc.w_cycle
+    | _ -> Alcotest.fail (label ^ ": trigger-low must be immediate")
+  in
+  check_outcomes "jobs=1" (Induction.prove ~bound:8 nl cands);
+  (* raced base-vs-step across two domains: same outcomes, same order *)
+  check_outcomes "jobs=2" (Induction.prove ~bound:8 ~jobs:2 nl cands)
+
+(* Past 32 candidates per domain the portfolio splits contiguous chunks
+   across the pool instead of racing its two solvers; the merged array
+   must still be verdict-identical to the sequential run. *)
+let test_induction_chunked_determinism () =
+  let nl = Netlist.create ~name:"shift70" in
+  let a = Netlist.input nl "a" in
+  let stages = Array.make 70 a in
+  let prev = ref a in
+  for i = 0 to 69 do
+    let d = Netlist.dff nl ~init:false !prev in
+    stages.(i) <- d;
+    prev := d
+  done;
+  Array.iteri (fun i s -> Netlist.output nl (Printf.sprintf "s%d" i) s) stages;
+  Netlist.finalise nl;
+  let cands = Array.map (fun s -> (s, true)) stages in
+  let shape = function
+    | Bmc.Reachable w -> Printf.sprintf "reachable@%d" w.Bmc.w_cycle
+    | Bmc.Unreachable b -> Printf.sprintf "unreachable@%d" b
+    | Bmc.Unreachable_unbounded c ->
+        Printf.sprintf "certified@%d:%s" c.Bmc.c_depth c.Bmc.c_method
+    | Bmc.Inconclusive k -> Printf.sprintf "inconclusive@%d" k
+  in
+  let seq = Induction.prove ~bound:8 nl cands in
+  let par = Induction.prove ~bound:8 ~jobs:2 nl cands in
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check string)
+        (Printf.sprintf "stage %d" i)
+        (shape o) (shape par.(i));
+      match par.(i) with
+      | Bmc.Reachable w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stage %d witness replays" i)
+            true (Bmc.replay nl w)
+      | _ -> ())
+    seq
+
+(* Agreement with plain BMC on random sequential netlists: the portfolio
+   must reach exactly what BMC reaches (same shortest depth, replaying
+   witness) and may only strengthen Unreachable to a certificate. *)
+let induction_agrees_with_bmc =
+  QCheck.Test.make ~name:"k-induction never contradicts BMC" ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun script ->
+      let nl = random_netlist script in
+      let root = Netlist.find_output nl "sink" in
+      let bmc = Bmc.check_net ~bound:6 nl ~net:root ~value:true in
+      let port = (Induction.prove ~bound:6 nl [| (root, true) |]).(0) in
+      match (bmc, port) with
+      | Bmc.Reachable w, Bmc.Reachable w' ->
+          if w.Bmc.w_cycle <> w'.Bmc.w_cycle then
+            QCheck.Test.fail_reportf "depths differ: bmc=%d portfolio=%d"
+              w.Bmc.w_cycle w'.Bmc.w_cycle
+          else if not (Bmc.replay nl w') then
+            QCheck.Test.fail_report "portfolio witness does not replay"
+          else true
+      | Bmc.Reachable _, _ ->
+          QCheck.Test.fail_report "portfolio missed a BMC-reachable target"
+      | _, Bmc.Reachable _ ->
+          QCheck.Test.fail_report "portfolio reached what BMC refuted"
+      | ( (Bmc.Unreachable _ | Bmc.Unreachable_unbounded _),
+          (Bmc.Unreachable _ | Bmc.Unreachable_unbounded _) ) ->
+          true
+      | _ -> QCheck.Test.fail_report "Inconclusive without a budget")
+
 let () =
   Alcotest.run "sat"
     [
@@ -366,5 +693,31 @@ let () =
             test_bmc_fig2b_trigger;
           Alcotest.test_case "replay rejects bogus witness" `Quick
             test_bmc_replay_rejects_bogus;
+        ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "unit chain" `Quick test_pp_unit_chain;
+          Alcotest.test_case "unsat" `Quick test_pp_unsat;
+          Alcotest.test_case "frozen unit survives" `Quick
+            test_pp_frozen_unit_survives;
+          Alcotest.test_case "pure literal" `Quick test_pp_pure_literal;
+          QCheck_alcotest.to_alcotest preprocess_preserves_sat;
+          QCheck_alcotest.to_alcotest preprocessed_cnf_matches_packed;
+        ] );
+      ( "induction",
+        [
+          Alcotest.test_case "combinational certificate" `Quick
+            test_induction_comb_certificate;
+          Alcotest.test_case "held register chain certifies" `Quick
+            test_induction_held_register_chain;
+          Alcotest.test_case "counter stays bounded" `Quick
+            test_induction_counter_stays_bounded;
+          Alcotest.test_case "budget inconclusive" `Quick
+            test_induction_budget_inconclusive;
+          Alcotest.test_case "fig2b portfolio, jobs 1 and 2" `Quick
+            test_induction_fig2b_portfolio;
+          Alcotest.test_case "chunked determinism, 70 candidates" `Quick
+            test_induction_chunked_determinism;
+          QCheck_alcotest.to_alcotest induction_agrees_with_bmc;
         ] );
     ]

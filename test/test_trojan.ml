@@ -101,6 +101,34 @@ let test_random_trojans () =
     Alcotest.(check bool) "rare" true (!hits <= 2)
   done
 
+(* A decoy is trigger silicon whose condition is structurally
+   unsatisfiable: equal patterns are rejected at construction, nothing
+   ever matches it, and it has no activating operands to hand out. *)
+let test_decoy () =
+  Alcotest.check_raises "equal patterns"
+    (Invalid_argument "Trojan.make: decoy patterns must differ") (fun () ->
+      ignore
+        (Trojan.make
+           (Trojan.Decoy
+              { a_pattern = 5; b_pattern = 5; mask = 0xFF; threshold = 2 })
+           (Trojan.Xor_offset 1)));
+  let t =
+    Trojan.make
+      (Trojan.Decoy
+         { a_pattern = 0xAD; b_pattern = 0x52; mask = 0xFF; threshold = 2 })
+      (Trojan.Xor_offset 0x10)
+  in
+  let prng = Prng.create ~seed:7 in
+  let st = Trojan.fresh_state t in
+  for _ = 1 to 1000 do
+    let a = Prng.int prng 65536 and b = Prng.int prng 65536 in
+    Alcotest.(check bool) "never matches" false (Trojan.matches t ~a ~b);
+    Alcotest.(check int) "never corrupts" 9 (Trojan.apply t st ~a ~b ~clean:9)
+  done;
+  Alcotest.check_raises "no matching operands"
+    (Invalid_argument "Trojan.matching_operands: a decoy trigger never matches")
+    (fun () -> ignore (Trojan.matching_operands t))
+
 let test_describe () =
   let s = Trojan.describe (comb ()) in
   Alcotest.(check bool) "mentions trigger" true (String.length s > 10)
@@ -200,6 +228,7 @@ let () =
           Alcotest.test_case "latched persists" `Quick test_latched_persists;
           Alcotest.test_case "validation" `Quick test_make_validation;
           Alcotest.test_case "matching operands" `Quick test_matching_operands;
+          Alcotest.test_case "decoy never fires" `Quick test_decoy;
           Alcotest.test_case "random rare" `Quick test_random_trojans;
           Alcotest.test_case "describe" `Quick test_describe;
         ] );
