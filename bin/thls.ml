@@ -368,8 +368,42 @@ let simulate_cmd =
       & info [ "record-depth" ] ~docv:"CYCLES"
           ~doc:"Flight-recorder ring depth for --record.")
   in
+  let strip_words_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "strip-words" ] ~docv:"S"
+          ~doc:
+            "Lane-strip width for the --vectors co-simulation: each \
+             simulation pass carries $(docv) 63-vector lane words (1, 2, \
+             4 or 8).  Default: adaptive — 8 for batches wider than one \
+             lane word, 1 otherwise.  The result is bit-identical for \
+             every width.")
+  in
+  let incremental_flag =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Use event-driven incremental evaluation for the --vectors \
+             co-simulation: per-cycle settles only re-evaluate the fanout \
+             cones of changed nets.  Bit-identical to full evaluation.")
+  in
+  let mutants_flag =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "With --vectors: also run concurrent fault simulation — \
+             elaborate the design once with the canned Trojan zoo behind \
+             per-mutant arming gates and score the clean circuit plus \
+             every mutant against each vector in single lane-strip \
+             passes.  Exits non-zero if the clean lane diverges from the \
+             behavioural model, any mutant escapes undetected, or the \
+             decoy control fires.")
+  in
   let run name cat latency latency_recover area runs seed vectors jobs trace
-      record mutant width depth =
+      record mutant width depth strip_words incremental mutants =
     match (find_dfg name, catalog_of_string cat) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -397,7 +431,10 @@ let simulate_cmd =
                 let result = T.Campaign.run ~config ~jobs ~prng design in
                 Format.printf "%a@." T.Campaign.pp_result result;
                 if vectors > 0 then begin
-                  let cs = T.Campaign.cosim ~config ~jobs ~prng ~vectors design in
+                  let cs =
+                    T.Campaign.cosim ~config ~jobs ?strip_words ~incremental
+                      ~prng ~vectors design
+                  in
                   if T.Campaign.cosim_ok cs then
                     Format.printf
                       "cosim: %d vectors, netlist matches the behavioural \
@@ -409,6 +446,24 @@ let simulate_cmd =
                        model@."
                       cs.T.Campaign.cosim_mismatches cs.T.Campaign.cosim_vectors;
                     exit 1
+                  end;
+                  if mutants then begin
+                    let mr =
+                      T.Campaign.cosim_mutants ~config ~prng ~vectors design
+                    in
+                    Format.printf "fault simulation: %a@."
+                      T.Campaign.pp_mutant_report mr;
+                    if T.Campaign.mutant_report_ok mr then
+                      Format.printf
+                        "fault simulation: clean lane golden, no escapes, \
+                         decoy silent@."
+                    else begin
+                      prerr_endline
+                        "error: concurrent fault simulation failed (clean \
+                         lane diverged, a mutant escaped, or the decoy \
+                         fired)";
+                      exit 1
+                    end
                   end
                 end))
   in
@@ -417,7 +472,8 @@ let simulate_cmd =
     Term.(
       const run $ bench_arg $ catalog_flag $ latency_flag $ latency_rec_flag
       $ area_flag $ runs_flag $ seed_flag $ vectors_flag $ jobs_flag
-      $ trace_flag $ record_flag $ mutant_flag $ width_flag $ depth_flag)
+      $ trace_flag $ record_flag $ mutant_flag $ width_flag $ depth_flag
+      $ strip_words_flag $ incremental_flag $ mutants_flag)
 
 let postmortem_cmd =
   let doc = "Render a postmortem bundle written by simulate --record." in

@@ -217,17 +217,20 @@ let signal_probabilities ?(iters = default_iters) nl =
   p
 
 (* Monte-Carlo cross-check of the analytic model above: simulate random
-   vectors on the bit-parallel engine and count how often each net is 1.
-   One generator per vector is split off up front (sequentially), each
-   lane-word chunk copies its generators before drawing, and shard
+   vectors on the multi-word strip engine and count how often each net
+   is 1.  One generator per vector is split off up front (sequentially),
+   each strip chunk copies its generators before drawing, and shard
    counts are plain sums — so the estimate is bit-identical for any
-   [jobs] and any lane packing. *)
+   [jobs] and any lane/strip packing. *)
+let empirical_words = 4
+
 let empirical ?(cycles = 8) ?(jobs = 1) ~seed ~vectors nl =
   if vectors < 1 then invalid_arg "Prob.empirical: vectors < 1";
   if cycles < 1 then invalid_arg "Prob.empirical: cycles < 1";
   Netlist.finalise nl;
-  let tape = Packed.tape nl in
   let names = Netlist.input_names nl in
+  let input_tbl = Netlist.input_index nl in
+  let ids = List.map (fun nm -> Hashtbl.find input_tbl nm) names in
   let nets = Netlist.nets_in_order nl in
   let n = Netlist.n_nets nl in
   let prng = Prng.create ~seed in
@@ -235,46 +238,65 @@ let empirical ?(cycles = 8) ?(jobs = 1) ~seed ~vectors nl =
   for j = 0 to vectors - 1 do
     gens.(j) <- Prng.split prng
   done;
+  let cap = empirical_words * Packed.lanes in
   let count_range lo hi =
     let counts = Array.make n 0 in
-    let sim = Packed.of_tape tape in
+    let st = Packed.strip ~words:empirical_words nl in
     let j = ref lo in
     while !j < hi do
-      let cnt = min Packed.lanes (hi - !j) in
-      let mask = Packed.lane_mask cnt in
-      Packed.reset sim;
+      let cnt = min cap (hi - !j) in
+      let wu = (cnt + Packed.lanes - 1) / Packed.lanes in
+      Packed.strip_reset st;
       let gs = Array.init cnt (fun k -> Prng.copy gens.(!j + k)) in
       for _ = 1 to cycles do
+        (* inputs change every cycle, so each edge needs both settles:
+           one for the comb cone under the new inputs, one after the
+           latch — same count as the legacy clock, but each pass now
+           carries [empirical_words] lane words of vectors *)
         List.iter
-          (fun nm ->
-            let w = ref 0 in
-            for k = 0 to cnt - 1 do
-              if Prng.bool gs.(k) then w := !w lor (1 lsl k)
-            done;
-            Packed.set_input sim nm !w)
-          names;
-        Packed.clock sim;
+          (fun id ->
+            for w = 0 to wu - 1 do
+              let base = w * Packed.lanes in
+              let c = min Packed.lanes (cnt - base) in
+              let word = ref 0 in
+              for k = 0 to c - 1 do
+                if Prng.bool gs.(base + k) then word := !word lor (1 lsl k)
+              done;
+              Packed.strip_poke st id w !word
+            done)
+          ids;
+        Packed.strip_settle st;
+        Packed.strip_latch st;
+        Packed.strip_settle st;
         Array.iter
           (fun net ->
             let i = Netlist.net_index net in
-            counts.(i) <-
-              counts.(i) + Packed.popcount (Packed.peek sim net land mask))
+            let acc = ref 0 in
+            for w = 0 to wu - 1 do
+              let base = w * Packed.lanes in
+              let mask = Packed.lane_mask (min Packed.lanes (cnt - base)) in
+              acc :=
+                !acc
+                + Packed.popcount (Packed.strip_peek st net w land mask)
+            done;
+            counts.(i) <- counts.(i) + !acc)
           nets
       done;
       j := !j + cnt
     done;
     counts
   in
-  let words = (vectors + Packed.lanes - 1) / Packed.lanes in
+  let groups = (vectors + cap - 1) / cap in
   let counts =
-    if jobs <= 1 || words <= 1 then count_range 0 vectors
+    if jobs <= 1 || groups <= 1 then count_range 0 vectors
     else begin
-      let shards = min words (jobs * 2) in
-      let per = (words + shards - 1) / shards in
+      ignore (Packed.strip ~words:empirical_words nl);
+      let shards = min groups (jobs * 2) in
+      let per = (groups + shards - 1) / shards in
       let ranges =
         List.init shards (fun s ->
-            let lo = s * per * Packed.lanes in
-            (lo, min vectors (lo + (per * Packed.lanes))))
+            let lo = s * per * cap in
+            (lo, min vectors (lo + (per * cap))))
         |> List.filter (fun (lo, hi) -> lo < hi)
       in
       let partials =

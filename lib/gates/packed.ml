@@ -66,10 +66,22 @@ let compile_hits = Metrics.counter "thr_sim_compile_cache_hits_total"
 
 let vectors_total = Metrics.counter "thr_sim_vectors_total"
 
+(* Half-decade-ish buckets (1 / 2.5 / 5 per decade) so post-strip rates
+   land in real buckets instead of piling into one coarse decade: the
+   strip engine moved single-domain rates past the old top buckets. *)
 let vps_hist =
   Metrics.histogram
-    ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+    ~buckets:
+      [|
+        1e3; 2.5e3; 5e3; 1e4; 2.5e4; 5e4; 1e5; 2.5e5; 5e5; 1e6; 2.5e6; 5e6;
+        1e7; 2.5e7; 5e7; 1e8; 2.5e8; 5e8; 1e9; 2.5e9; 5e9; 1e10;
+      |]
     "thr_sim_vectors_per_second"
+
+(* Resident bytes of compiled tapes (scalar and strip), counted at
+   compile time: recompiles after strip-width changes show up here and
+   in [thr_sim_compiles_total] instead of being silent cache churn. *)
+let tape_bytes = Metrics.counter "thr_sim_tape_bytes_total"
 
 let compile nl =
   Netlist.finalise nl;
@@ -123,6 +135,8 @@ let compile nl =
         order;
       let n_dffs = Netlist.n_dffs nl in
       let input_tbl = Netlist.input_index nl in
+      Metrics.add tape_bytes
+        (8 * ((5 * !n_instr) + (2 * !n_consts) + (2 * n_dffs)));
       {
         t_nl = nl;
         t_code = code;
@@ -317,21 +331,64 @@ let dff_state t = Array.copy t.dffs
 
 (* ----------------------------- batches ----------------------------- *)
 
-type batch = { b_gens : Prng.t array; b_cycles : int }
+type batch = {
+  b_seed : int;           (* counter-hash key for the full-activity stream *)
+  b_gens : Prng.t array;  (* per-vector generators for the hold stream *)
+  b_n : int;
+  b_cycles : int;
+  b_activity : float;
+}
 
-let batch ~prng ?(cycles = 1) n =
+let batch ~prng ?(cycles = 1) ?(activity = 1.0) n =
   if n < 0 then invalid_arg "Packed.batch: negative size";
   if cycles < 1 then invalid_arg "Packed.batch: cycles < 1";
+  if not (activity > 0.0 && activity <= 1.0) then
+    invalid_arg "Packed.batch: activity must be in (0, 1]";
+  let seed = Int64.to_int (Prng.next_int64 prng) in
   (* split in vector order so the derivation is independent of packing *)
   let gens = ref [] in
   for _ = 1 to n do
     gens := Prng.split prng :: !gens
   done;
-  { b_gens = Array.of_list (List.rev !gens); b_cycles = cycles }
+  {
+    b_seed = seed;
+    b_gens = Array.of_list (List.rev !gens);
+    b_n = n;
+    b_cycles = cycles;
+    b_activity = activity;
+  }
 
-let batch_size b = Array.length b.b_gens
+let batch_size b = b.b_n
 
 let batch_cycles b = b.b_cycles
+
+let batch_activity b = b.b_activity
+
+(* Full-activity stimulus is counter-based: one hashed lane word per
+   (global lane-word index, cycle, input ordinal), so driving [lanes]
+   vectors costs ONE hash instead of [lanes] generator draws — with 512
+   inputs the per-lane draws, not the settle passes, used to dominate
+   the run.  Vector [j] owns bit [j mod lanes] of word [j / lanes]; the
+   word index is global (never shard- or strip-relative), so every
+   engine and any sharding derives the identical stream. *)
+(* distinct odd multipliers decorrelate the three counter axes before
+   the finalisers; all arithmetic is native 63-bit int, so a stimulus
+   word costs a dozen register ops and no allocation *)
+let[@inline] stim_word b w c k =
+  Prng.mix63
+    (b.b_seed
+    lxor Prng.mix63
+           ((w * 0x24BAED4963EE407) + (c * 0xFB21C651E98DF25)
+           + (k * 0x16E8FEB86659FD93)))
+
+(* One stimulus bit for one vector of the hold stream (activity < 1.0):
+   a float draw decides between a fresh bool and holding [prev] (inputs
+   power on at 0, so the first cycle's "previous" value is false).
+   Every engine — legacy lanes, strips, incremental, and the scalar
+   reference — derives low-activity stimulus this way, per vector, so
+   it too is engine-independent by construction. *)
+let[@inline] stimulus_bit g activity prev =
+  if Prng.float g 1.0 < activity then Prng.bool g else prev
 
 type outputs = {
   out_names : string array;
@@ -350,19 +407,29 @@ let run_into t b bits lo hi =
   let tp = t.tp in
   let n_in = Array.length tp.t_input_nets in
   let n_out = Array.length tp.t_out_nets in
+  let act = b.b_activity in
   let j = ref lo in
   while !j < hi do
     let count = min lanes (hi - !j) in
+    let word = !j / lanes in
     reset t;
-    let gens = Array.init count (fun k -> Prng.copy b.b_gens.(!j + k)) in
-    for _ = 1 to b.b_cycles do
+    let gens =
+      if act >= 1.0 then [||]
+      else Array.init count (fun k -> Prng.copy b.b_gens.(!j + k))
+    in
+    for c = 1 to b.b_cycles do
       for ii = 0 to n_in - 1 do
         let _, net = tp.t_input_nets.(ii) in
-        let w = ref 0 in
-        for k = 0 to count - 1 do
-          if Prng.bool gens.(k) then w := !w lor (1 lsl k)
-        done;
-        t.values.(net) <- !w
+        if act >= 1.0 then t.values.(net) <- stim_word b word c ii
+        else begin
+          let prev = t.values.(net) in
+          let w = ref 0 in
+          for k = 0 to count - 1 do
+            if stimulus_bit gens.(k) act ((prev lsr k) land 1 = 1) then
+              w := !w lor (1 lsl k)
+          done;
+          t.values.(net) <- !w
+        end
       done;
       clock t
     done;
@@ -384,7 +451,7 @@ let observe_throughput n t0 =
 let out_names_of tp = Array.map fst tp.t_out_nets
 
 let run t b =
-  let n = Array.length b.b_gens in
+  let n = b.b_n in
   Trace.with_span "sim.run"
     ~args:
       [
@@ -400,7 +467,7 @@ let run t b =
 
 let run_sharded ?(jobs = 1) nl b =
   let tp = tape nl in
-  let n = Array.length b.b_gens in
+  let n = b.b_n in
   if jobs <= 1 || n <= lanes then run (of_tape tp) b
   else
     Trace.with_span "sim.run"
@@ -438,16 +505,1113 @@ let run_reference nl b =
   let sim = Sim.create nl in
   let names = Array.of_list (Netlist.input_names nl) in
   let outs = Array.of_list (Netlist.outputs nl) in
-  let n = Array.length b.b_gens in
+  let n = b.b_n in
   let bits = Array.init n (fun _ -> Array.make (Array.length outs) false) in
+  let act = b.b_activity in
   for j = 0 to n - 1 do
     Sim.reset sim;
+    let word = j / lanes and lane = j mod lanes in
     let g = Prng.copy b.b_gens.(j) in
-    for _ = 1 to b.b_cycles do
-      Array.iter (fun nm -> Sim.set_input sim nm (Prng.bool g)) names;
+    for c = 1 to b.b_cycles do
+      if act >= 1.0 then
+        Array.iteri
+          (fun k nm ->
+            Sim.set_input sim nm ((stim_word b word c k lsr lane) land 1 = 1))
+          names
+      else
+        Array.iter
+          (fun nm ->
+            Sim.set_input sim nm (stimulus_bit g act (Sim.input_value sim nm)))
+          names;
       Sim.clock sim
     done;
     let row = bits.(j) in
     Array.iteri (fun oi (_, net) -> row.(oi) <- Sim.peek sim net) outs
   done;
+  { out_names = Array.map fst outs; out_bits = bits }
+
+(* --------------------------- strip tapes ---------------------------- *)
+
+(* A strip tape re-compiles the scalar tape for a fixed strip width [S]:
+   every net holds [S] consecutive lane words (S * lanes vectors), and
+   the instruction stream is stably sorted by (level, opcode) into
+   homogeneous segments.  Levels make the reorder sound — operands of a
+   level-l instruction are strictly below l, so any intra-level order
+   evaluates identically — and segments let the settle kernel dispatch
+   on the opcode once per run of instructions instead of once per
+   instruction, which is where the legacy loop burns its time on big
+   netlists.  Operand/destination indices are pre-scaled by [S]. *)
+
+let strip_widths = [ 1; 2; 4; 8 ]
+
+type stape = {
+  s_tp : tape;
+  s_words : int;
+  s_op : int array;    (* opcode per sorted instruction *)
+  s_a : int array;     (* operand offsets, pre-scaled by s_words;
+                          op_dff: DFF table index * s_words *)
+  s_b : int array;
+  s_c : int array;
+  s_d : int array;     (* destination offset, pre-scaled *)
+  s_d0 : int array;    (* destination net index, unscaled (reader CSR key) *)
+  s_level : int array; (* level per sorted instruction *)
+  s_seg_op : int array;
+  s_seg_lo : int array;
+  s_seg_hi : int array; (* exclusive *)
+  s_n_levels : int;
+  s_level_count : int array; (* instructions per level (queue capacity) *)
+  s_r_off : int array; (* CSR: readers of net n are
+                          s_r_dat.[s_r_off.(n), s_r_off.(n+1)) *)
+  s_r_dat : int array; (* sorted-instruction indices *)
+  s_dff_src : int array;   (* data-net offset per DFF, pre-scaled *)
+  s_dff_init : int array;  (* power-on lane word per DFF *)
+  s_dff_instr : int array; (* DFF k -> its op_dff sorted index, or -1 *)
+  s_const_net : int array; (* pre-scaled *)
+  s_const_val : int array;
+}
+
+let compile_strip tp s =
+  Trace.with_span "sim.compile_strip"
+    ~args:
+      [ ("netlist", Netlist.name tp.t_nl); ("words", string_of_int s) ]
+    (fun () ->
+      Metrics.incr compiles;
+      let n = Array.length tp.t_code in
+      let n_nets = Netlist.n_nets tp.t_nl in
+      let n_dffs = Array.length tp.t_dff_src in
+      (* per-net then per-instruction levels: inputs, constants and DFF
+         outputs are level 0, combinational nets 1 + max over operands *)
+      let net_level = Array.make n_nets 0 in
+      let ilevel = Array.make (max n 1) 0 in
+      for i = 0 to n - 1 do
+        let lvl =
+          match tp.t_code.(i) with
+          | 7 -> 0
+          | 0 -> 1 + net_level.(tp.t_a.(i))
+          | 6 ->
+              1
+              + max net_level.(tp.t_a.(i))
+                  (max net_level.(tp.t_b.(i)) net_level.(tp.t_c.(i)))
+          | _ -> 1 + max net_level.(tp.t_a.(i)) net_level.(tp.t_b.(i))
+        in
+        ilevel.(i) <- lvl;
+        net_level.(tp.t_dst.(i)) <- lvl
+      done;
+      let n_levels =
+        let m = ref 1 in
+        for i = 0 to n - 1 do
+          if ilevel.(i) + 1 > !m then m := ilevel.(i) + 1
+        done;
+        !m
+      in
+      (* stable (level, opcode) sort via encoded integer keys *)
+      let keys =
+        Array.init n (fun i ->
+            (((ilevel.(i) lsl 3) lor tp.t_code.(i)) * n) + i)
+      in
+      Array.sort compare keys;
+      let perm = Array.map (fun k -> k mod n) keys in
+      let s_op = Array.make n 0 in
+      let s_a = Array.make n 0 in
+      let s_b = Array.make n 0 in
+      let s_c = Array.make n 0 in
+      let s_d = Array.make n 0 in
+      let s_d0 = Array.make n 0 in
+      let s_level = Array.make n 0 in
+      let s_dff_instr = Array.make n_dffs (-1) in
+      let level_count = Array.make n_levels 0 in
+      for p = 0 to n - 1 do
+        let i = perm.(p) in
+        let op = tp.t_code.(i) in
+        s_op.(p) <- op;
+        s_a.(p) <- tp.t_a.(i) * s;
+        s_b.(p) <- tp.t_b.(i) * s;
+        s_c.(p) <- tp.t_c.(i) * s;
+        s_d.(p) <- tp.t_dst.(i) * s;
+        s_d0.(p) <- tp.t_dst.(i);
+        s_level.(p) <- ilevel.(i);
+        level_count.(ilevel.(i)) <- level_count.(ilevel.(i)) + 1;
+        if op = op_dff then s_dff_instr.(tp.t_a.(i)) <- p
+      done;
+      (* segment boundaries: maximal runs of equal (level, opcode) *)
+      let segs = ref [] and n_segs = ref 0 in
+      let p = ref 0 in
+      while !p < n do
+        let lo = !p in
+        let op = s_op.(lo) and lvl = s_level.(lo) in
+        while !p < n && s_op.(!p) = op && s_level.(!p) = lvl do
+          incr p
+        done;
+        segs := (op, lo, !p) :: !segs;
+        incr n_segs
+      done;
+      let segs = Array.of_list (List.rev !segs) in
+      let seg_op = Array.map (fun (o, _, _) -> o) segs in
+      let seg_lo = Array.map (fun (_, l, _) -> l) segs in
+      let seg_hi = Array.map (fun (_, _, h) -> h) segs in
+      (* reader CSR for the event-driven mode: net -> sorted instructions
+         that read it (op_dff reads the DFF array, not a net) *)
+      let deg = Array.make (n_nets + 1) 0 in
+      let each_operand i f =
+        match tp.t_code.(i) with
+        | 7 -> ()
+        | 0 -> f tp.t_a.(i)
+        | 6 ->
+            f tp.t_a.(i);
+            f tp.t_b.(i);
+            f tp.t_c.(i)
+        | _ ->
+            f tp.t_a.(i);
+            f tp.t_b.(i)
+      in
+      for p = 0 to n - 1 do
+        each_operand perm.(p) (fun net -> deg.(net + 1) <- deg.(net + 1) + 1)
+      done;
+      for i = 1 to n_nets do
+        deg.(i) <- deg.(i) + deg.(i - 1)
+      done;
+      let r_off = Array.copy deg in
+      let r_dat = Array.make r_off.(n_nets) 0 in
+      let cursor = Array.make n_nets 0 in
+      for p = 0 to n - 1 do
+        each_operand perm.(p) (fun net ->
+            r_dat.(r_off.(net) + cursor.(net)) <- p;
+            cursor.(net) <- cursor.(net) + 1)
+      done;
+      Metrics.add tape_bytes
+        (8
+        * ((7 * n) + Array.length r_dat + n_nets + 1 + (3 * !n_segs)
+          + n_levels
+          + (3 * n_dffs)
+          + (2 * Array.length tp.t_const_net)));
+      {
+        s_tp = tp;
+        s_words = s;
+        s_op;
+        s_a;
+        s_b;
+        s_c;
+        s_d;
+        s_d0;
+        s_level;
+        s_seg_op = seg_op;
+        s_seg_lo = seg_lo;
+        s_seg_hi = seg_hi;
+        s_n_levels = n_levels;
+        s_level_count = level_count;
+        s_r_off = r_off;
+        s_r_dat = r_dat;
+        s_dff_src = Array.map (fun i -> i * s) tp.t_dff_src;
+        s_dff_init = Array.copy tp.t_dff_init;
+        s_dff_instr;
+        s_const_net = Array.map (fun i -> i * s) tp.t_const_net;
+        s_const_val = Array.copy tp.t_const_val;
+      })
+
+(* Strip tapes are cached under (netlist uid, strip width) — a distinct
+   key space from the scalar cache, so alternating strip widths recompile
+   visibly (thr_sim_compiles_total / thr_sim_tape_bytes_total) instead of
+   evicting each other silently. *)
+let scache : (int * int, stape) Hashtbl.t = Hashtbl.create 16
+
+let strip_tape nl s =
+  if not (List.mem s strip_widths) then
+    invalid_arg
+      (Printf.sprintf "Packed.strip: words must be one of {1, 2, 4, 8} (got %d)"
+         s);
+  let tp = tape nl in
+  let key = (Netlist.uid nl, s) in
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt scache key) with
+  | Some sp ->
+      Metrics.incr compile_hits;
+      sp
+  | None ->
+      let sp = compile_strip tp s in
+      Mutex.protect cache_mutex (fun () ->
+          match Hashtbl.find_opt scache key with
+          | Some existing -> existing
+          | None ->
+              if Hashtbl.length scache >= cache_cap then Hashtbl.reset scache;
+              Hashtbl.add scache key sp;
+              sp)
+
+(* --------------------------- strip state --------------------------- *)
+
+type strip = {
+  sp : stape;
+  sv : int array; (* s_words lane words per net *)
+  sd : int array; (* s_words lane words per DFF *)
+  s_ins : (string, int) Hashtbl.t;
+  s_inc : bool; (* event-driven mode *)
+  mutable s_live : bool; (* a full settle has run since reset *)
+  (* event-driven bookkeeping: a scheduled flag per sorted instruction
+     and one bucket per level (capacity = instructions at that level;
+     the flag makes enqueues idempotent, so it never overflows) *)
+  q_flag : Bytes.t;
+  q_buf : int array array;
+  q_len : int array;
+}
+
+let strip ?(words = 8) ?(incremental = false) nl =
+  let sp = strip_tape nl words in
+  let n = Array.length sp.s_op in
+  let st =
+    {
+      sp;
+      sv = Array.make (Netlist.n_nets nl * words) 0;
+      sd = Array.make (Array.length sp.s_dff_src * words) 0;
+      s_ins = Netlist.input_index nl;
+      s_inc = incremental;
+      s_live = false;
+      q_flag = Bytes.make (if incremental then max n 1 else 1) '\000';
+      q_buf =
+        (if incremental then
+           Array.map (fun c -> Array.make (max c 1) 0) sp.s_level_count
+         else Array.make (max sp.s_n_levels 1) [||]);
+      q_len = Array.make sp.s_n_levels 0;
+    }
+  in
+  let s = words in
+  Array.iteri
+    (fun i off -> Array.fill st.sv off s sp.s_const_val.(i))
+    sp.s_const_net;
+  for k = 0 to Array.length sp.s_dff_src - 1 do
+    Array.fill st.sd (k * s) s sp.s_dff_init.(k)
+  done;
+  st
+
+let strip_words st = st.sp.s_words
+
+let strip_netlist st = st.sp.s_tp.t_nl
+
+let strip_reset st =
+  let sp = st.sp in
+  let s = sp.s_words in
+  Array.fill st.sv 0 (Array.length st.sv) 0;
+  Array.iteri
+    (fun i off -> Array.fill st.sv off s sp.s_const_val.(i))
+    sp.s_const_net;
+  for k = 0 to Array.length sp.s_dff_src - 1 do
+    Array.fill st.sd (k * s) s sp.s_dff_init.(k)
+  done;
+  st.s_live <- false;
+  if st.s_inc then begin
+    Bytes.fill st.q_flag 0 (Bytes.length st.q_flag) '\000';
+    Array.fill st.q_len 0 (Array.length st.q_len) 0
+  end
+
+let[@inline] sched st p =
+  if Bytes.unsafe_get st.q_flag p = '\000' then begin
+    Bytes.unsafe_set st.q_flag p '\001';
+    let l = Array.unsafe_get st.sp.s_level p in
+    let q = Array.unsafe_get st.q_buf l in
+    Array.unsafe_set q (Array.unsafe_get st.q_len l) p;
+    Array.unsafe_set st.q_len l (Array.unsafe_get st.q_len l + 1)
+  end
+
+let[@inline] sched_readers st net =
+  let sp = st.sp in
+  let lo = Array.unsafe_get sp.s_r_off net
+  and hi = Array.unsafe_get sp.s_r_off (net + 1) in
+  for x = lo to hi - 1 do
+    sched st (Array.unsafe_get sp.s_r_dat x)
+  done
+
+let strip_poke st net w v =
+  let off = (net * st.sp.s_words) + w in
+  if st.s_inc && st.s_live then begin
+    if st.sv.(off) <> v then begin
+      st.sv.(off) <- v;
+      sched_readers st net
+    end
+  end
+  else st.sv.(off) <- v
+
+let strip_input_net st nm =
+  match Hashtbl.find_opt st.s_ins nm with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Packed.strip_set_input: unknown input %S" nm)
+
+let strip_set_input st nm w v = strip_poke st (strip_input_net st nm) w v
+
+let strip_peek_index st i w = st.sv.((i * st.sp.s_words) + w)
+
+let strip_peek st net w = strip_peek_index st (Netlist.net_index net) w
+
+(* ------------------------- strip settle kernels ------------------------- *)
+
+(* One unrolled kernel per strip width: the opcode dispatch happens once
+   per segment, the instruction loop body is straight-line code over the
+   S words of each operand.  Indices come pre-scaled from the strip
+   tape; accesses are unsafe like the legacy hot loop. *)
+
+let settle_full_1 sp v sd =
+  let sa = sp.s_a and sb = sp.s_b and sc = sp.s_c and sdst = sp.s_d in
+  let seg_op = sp.s_seg_op and seg_lo = sp.s_seg_lo and seg_hi = sp.s_seg_hi in
+  for g = 0 to Array.length seg_op - 1 do
+    let lo = Array.unsafe_get seg_lo g and hi = Array.unsafe_get seg_hi g in
+    match Array.unsafe_get seg_op g with
+    | 0 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (lnot (Array.unsafe_get v (Array.unsafe_get sa i)))
+        done
+    | 1 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (Array.unsafe_get v (Array.unsafe_get sa i)
+            land Array.unsafe_get v (Array.unsafe_get sb i))
+        done
+    | 2 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (Array.unsafe_get v (Array.unsafe_get sa i)
+            lor Array.unsafe_get v (Array.unsafe_get sb i))
+        done
+    | 3 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (Array.unsafe_get v (Array.unsafe_get sa i)
+            lxor Array.unsafe_get v (Array.unsafe_get sb i))
+        done
+    | 4 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (lnot
+               (Array.unsafe_get v (Array.unsafe_get sa i)
+               land Array.unsafe_get v (Array.unsafe_get sb i)))
+        done
+    | 5 ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (lnot
+               (Array.unsafe_get v (Array.unsafe_get sa i)
+               lor Array.unsafe_get v (Array.unsafe_get sb i)))
+        done
+    | 6 ->
+        for i = lo to hi - 1 do
+          let s0 = Array.unsafe_get v (Array.unsafe_get sa i) in
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (Array.unsafe_get v (Array.unsafe_get sc i)
+             land s0
+            lor (Array.unsafe_get v (Array.unsafe_get sb i) land lnot s0))
+        done
+    | _ ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set v
+            (Array.unsafe_get sdst i)
+            (Array.unsafe_get sd (Array.unsafe_get sa i))
+        done
+  done
+
+let settle_full_2 sp v sd =
+  let sa = sp.s_a and sb = sp.s_b and sc = sp.s_c and sdst = sp.s_d in
+  let seg_op = sp.s_seg_op and seg_lo = sp.s_seg_lo and seg_hi = sp.s_seg_hi in
+  for g = 0 to Array.length seg_op - 1 do
+    let lo = Array.unsafe_get seg_lo g and hi = Array.unsafe_get seg_hi g in
+    match Array.unsafe_get seg_op g with
+    | 0 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (lnot (Array.unsafe_get v a));
+          Array.unsafe_set v (d + 1) (lnot (Array.unsafe_get v (a + 1)))
+        done
+    | 1 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a land Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1))
+        done
+    | 2 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get v a lor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1))
+        done
+    | 3 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a lxor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lxor Array.unsafe_get v (b + 1))
+        done
+    | 4 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a land Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1)))
+        done
+    | 5 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a lor Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1)))
+        done
+    | 6 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and c = Array.unsafe_get sc i
+          and d = Array.unsafe_get sdst i in
+          let s0 = Array.unsafe_get v a in
+          Array.unsafe_set v d
+            (Array.unsafe_get v c
+             land s0
+            lor (Array.unsafe_get v b land lnot s0));
+          let s1 = Array.unsafe_get v (a + 1) in
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (c + 1)
+             land s1
+            lor (Array.unsafe_get v (b + 1) land lnot s1))
+        done
+    | _ ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get sd a);
+          Array.unsafe_set v (d + 1) (Array.unsafe_get sd (a + 1))
+        done
+  done
+
+let settle_full_4 sp v sd =
+  let sa = sp.s_a and sb = sp.s_b and sc = sp.s_c and sdst = sp.s_d in
+  let seg_op = sp.s_seg_op and seg_lo = sp.s_seg_lo and seg_hi = sp.s_seg_hi in
+  for g = 0 to Array.length seg_op - 1 do
+    let lo = Array.unsafe_get seg_lo g and hi = Array.unsafe_get seg_hi g in
+    match Array.unsafe_get seg_op g with
+    | 0 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (lnot (Array.unsafe_get v a));
+          Array.unsafe_set v (d + 1) (lnot (Array.unsafe_get v (a + 1)));
+          Array.unsafe_set v (d + 2) (lnot (Array.unsafe_get v (a + 2)));
+          Array.unsafe_set v (d + 3) (lnot (Array.unsafe_get v (a + 3)))
+        done
+    | 1 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a land Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) land Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) land Array.unsafe_get v (b + 3))
+        done
+    | 2 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get v a lor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) lor Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) lor Array.unsafe_get v (b + 3))
+        done
+    | 3 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a lxor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lxor Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) lxor Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) lxor Array.unsafe_get v (b + 3))
+        done
+    | 4 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a land Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1)));
+          Array.unsafe_set v (d + 2)
+            (lnot (Array.unsafe_get v (a + 2) land Array.unsafe_get v (b + 2)));
+          Array.unsafe_set v (d + 3)
+            (lnot (Array.unsafe_get v (a + 3) land Array.unsafe_get v (b + 3)))
+        done
+    | 5 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a lor Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1)));
+          Array.unsafe_set v (d + 2)
+            (lnot (Array.unsafe_get v (a + 2) lor Array.unsafe_get v (b + 2)));
+          Array.unsafe_set v (d + 3)
+            (lnot (Array.unsafe_get v (a + 3) lor Array.unsafe_get v (b + 3)))
+        done
+    | 6 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and c = Array.unsafe_get sc i
+          and d = Array.unsafe_get sdst i in
+          let s0 = Array.unsafe_get v a in
+          Array.unsafe_set v d
+            (Array.unsafe_get v c
+             land s0
+            lor (Array.unsafe_get v b land lnot s0));
+          let s1 = Array.unsafe_get v (a + 1) in
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (c + 1)
+             land s1
+            lor (Array.unsafe_get v (b + 1) land lnot s1));
+          let s2 = Array.unsafe_get v (a + 2) in
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (c + 2)
+             land s2
+            lor (Array.unsafe_get v (b + 2) land lnot s2));
+          let s3 = Array.unsafe_get v (a + 3) in
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (c + 3)
+             land s3
+            lor (Array.unsafe_get v (b + 3) land lnot s3))
+        done
+    | _ ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get sd a);
+          Array.unsafe_set v (d + 1) (Array.unsafe_get sd (a + 1));
+          Array.unsafe_set v (d + 2) (Array.unsafe_get sd (a + 2));
+          Array.unsafe_set v (d + 3) (Array.unsafe_get sd (a + 3))
+        done
+  done
+
+let settle_full_8 sp v sd =
+  let sa = sp.s_a and sb = sp.s_b and sc = sp.s_c and sdst = sp.s_d in
+  let seg_op = sp.s_seg_op and seg_lo = sp.s_seg_lo and seg_hi = sp.s_seg_hi in
+  for g = 0 to Array.length seg_op - 1 do
+    let lo = Array.unsafe_get seg_lo g and hi = Array.unsafe_get seg_hi g in
+    match Array.unsafe_get seg_op g with
+    | 0 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (lnot (Array.unsafe_get v a));
+          Array.unsafe_set v (d + 1) (lnot (Array.unsafe_get v (a + 1)));
+          Array.unsafe_set v (d + 2) (lnot (Array.unsafe_get v (a + 2)));
+          Array.unsafe_set v (d + 3) (lnot (Array.unsafe_get v (a + 3)));
+          Array.unsafe_set v (d + 4) (lnot (Array.unsafe_get v (a + 4)));
+          Array.unsafe_set v (d + 5) (lnot (Array.unsafe_get v (a + 5)));
+          Array.unsafe_set v (d + 6) (lnot (Array.unsafe_get v (a + 6)));
+          Array.unsafe_set v (d + 7) (lnot (Array.unsafe_get v (a + 7)))
+        done
+    | 1 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a land Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) land Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) land Array.unsafe_get v (b + 3));
+          Array.unsafe_set v (d + 4)
+            (Array.unsafe_get v (a + 4) land Array.unsafe_get v (b + 4));
+          Array.unsafe_set v (d + 5)
+            (Array.unsafe_get v (a + 5) land Array.unsafe_get v (b + 5));
+          Array.unsafe_set v (d + 6)
+            (Array.unsafe_get v (a + 6) land Array.unsafe_get v (b + 6));
+          Array.unsafe_set v (d + 7)
+            (Array.unsafe_get v (a + 7) land Array.unsafe_get v (b + 7))
+        done
+    | 2 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get v a lor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) lor Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) lor Array.unsafe_get v (b + 3));
+          Array.unsafe_set v (d + 4)
+            (Array.unsafe_get v (a + 4) lor Array.unsafe_get v (b + 4));
+          Array.unsafe_set v (d + 5)
+            (Array.unsafe_get v (a + 5) lor Array.unsafe_get v (b + 5));
+          Array.unsafe_set v (d + 6)
+            (Array.unsafe_get v (a + 6) lor Array.unsafe_get v (b + 6));
+          Array.unsafe_set v (d + 7)
+            (Array.unsafe_get v (a + 7) lor Array.unsafe_get v (b + 7))
+        done
+    | 3 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (Array.unsafe_get v a lxor Array.unsafe_get v b);
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (a + 1) lxor Array.unsafe_get v (b + 1));
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (a + 2) lxor Array.unsafe_get v (b + 2));
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (a + 3) lxor Array.unsafe_get v (b + 3));
+          Array.unsafe_set v (d + 4)
+            (Array.unsafe_get v (a + 4) lxor Array.unsafe_get v (b + 4));
+          Array.unsafe_set v (d + 5)
+            (Array.unsafe_get v (a + 5) lxor Array.unsafe_get v (b + 5));
+          Array.unsafe_set v (d + 6)
+            (Array.unsafe_get v (a + 6) lxor Array.unsafe_get v (b + 6));
+          Array.unsafe_set v (d + 7)
+            (Array.unsafe_get v (a + 7) lxor Array.unsafe_get v (b + 7))
+        done
+    | 4 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a land Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) land Array.unsafe_get v (b + 1)));
+          Array.unsafe_set v (d + 2)
+            (lnot (Array.unsafe_get v (a + 2) land Array.unsafe_get v (b + 2)));
+          Array.unsafe_set v (d + 3)
+            (lnot (Array.unsafe_get v (a + 3) land Array.unsafe_get v (b + 3)));
+          Array.unsafe_set v (d + 4)
+            (lnot (Array.unsafe_get v (a + 4) land Array.unsafe_get v (b + 4)));
+          Array.unsafe_set v (d + 5)
+            (lnot (Array.unsafe_get v (a + 5) land Array.unsafe_get v (b + 5)));
+          Array.unsafe_set v (d + 6)
+            (lnot (Array.unsafe_get v (a + 6) land Array.unsafe_get v (b + 6)));
+          Array.unsafe_set v (d + 7)
+            (lnot (Array.unsafe_get v (a + 7) land Array.unsafe_get v (b + 7)))
+        done
+    | 5 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d
+            (lnot (Array.unsafe_get v a lor Array.unsafe_get v b));
+          Array.unsafe_set v (d + 1)
+            (lnot (Array.unsafe_get v (a + 1) lor Array.unsafe_get v (b + 1)));
+          Array.unsafe_set v (d + 2)
+            (lnot (Array.unsafe_get v (a + 2) lor Array.unsafe_get v (b + 2)));
+          Array.unsafe_set v (d + 3)
+            (lnot (Array.unsafe_get v (a + 3) lor Array.unsafe_get v (b + 3)));
+          Array.unsafe_set v (d + 4)
+            (lnot (Array.unsafe_get v (a + 4) lor Array.unsafe_get v (b + 4)));
+          Array.unsafe_set v (d + 5)
+            (lnot (Array.unsafe_get v (a + 5) lor Array.unsafe_get v (b + 5)));
+          Array.unsafe_set v (d + 6)
+            (lnot (Array.unsafe_get v (a + 6) lor Array.unsafe_get v (b + 6)));
+          Array.unsafe_set v (d + 7)
+            (lnot (Array.unsafe_get v (a + 7) lor Array.unsafe_get v (b + 7)))
+        done
+    | 6 ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i
+          and b = Array.unsafe_get sb i
+          and c = Array.unsafe_get sc i
+          and d = Array.unsafe_get sdst i in
+          let s0 = Array.unsafe_get v a in
+          Array.unsafe_set v d
+            (Array.unsafe_get v c
+             land s0
+            lor (Array.unsafe_get v b land lnot s0));
+          let s1 = Array.unsafe_get v (a + 1) in
+          Array.unsafe_set v (d + 1)
+            (Array.unsafe_get v (c + 1)
+             land s1
+            lor (Array.unsafe_get v (b + 1) land lnot s1));
+          let s2 = Array.unsafe_get v (a + 2) in
+          Array.unsafe_set v (d + 2)
+            (Array.unsafe_get v (c + 2)
+             land s2
+            lor (Array.unsafe_get v (b + 2) land lnot s2));
+          let s3 = Array.unsafe_get v (a + 3) in
+          Array.unsafe_set v (d + 3)
+            (Array.unsafe_get v (c + 3)
+             land s3
+            lor (Array.unsafe_get v (b + 3) land lnot s3));
+          let s4 = Array.unsafe_get v (a + 4) in
+          Array.unsafe_set v (d + 4)
+            (Array.unsafe_get v (c + 4)
+             land s4
+            lor (Array.unsafe_get v (b + 4) land lnot s4));
+          let s5 = Array.unsafe_get v (a + 5) in
+          Array.unsafe_set v (d + 5)
+            (Array.unsafe_get v (c + 5)
+             land s5
+            lor (Array.unsafe_get v (b + 5) land lnot s5));
+          let s6 = Array.unsafe_get v (a + 6) in
+          Array.unsafe_set v (d + 6)
+            (Array.unsafe_get v (c + 6)
+             land s6
+            lor (Array.unsafe_get v (b + 6) land lnot s6));
+          let s7 = Array.unsafe_get v (a + 7) in
+          Array.unsafe_set v (d + 7)
+            (Array.unsafe_get v (c + 7)
+             land s7
+            lor (Array.unsafe_get v (b + 7) land lnot s7))
+        done
+    | _ ->
+        for i = lo to hi - 1 do
+          let a = Array.unsafe_get sa i and d = Array.unsafe_get sdst i in
+          Array.unsafe_set v d (Array.unsafe_get sd a);
+          Array.unsafe_set v (d + 1) (Array.unsafe_get sd (a + 1));
+          Array.unsafe_set v (d + 2) (Array.unsafe_get sd (a + 2));
+          Array.unsafe_set v (d + 3) (Array.unsafe_get sd (a + 3));
+          Array.unsafe_set v (d + 4) (Array.unsafe_get sd (a + 4));
+          Array.unsafe_set v (d + 5) (Array.unsafe_get sd (a + 5));
+          Array.unsafe_set v (d + 6) (Array.unsafe_get sd (a + 6));
+          Array.unsafe_set v (d + 7) (Array.unsafe_get sd (a + 7))
+        done
+  done
+
+let settle_full st =
+  let sp = st.sp in
+  match sp.s_words with
+  | 1 -> settle_full_1 sp st.sv st.sd
+  | 2 -> settle_full_2 sp st.sv st.sd
+  | 4 -> settle_full_4 sp st.sv st.sd
+  | _ -> settle_full_8 sp st.sv st.sd
+
+(* Recompute one instruction (all S words), store-on-change; returns
+   whether any word changed.  Only the event-driven path pays this
+   per-instruction dispatch — it runs on the (few) scheduled
+   instructions, not the whole tape. *)
+let eval_changed st p =
+  let sp = st.sp in
+  let v = st.sv and sd = st.sd in
+  let s = sp.s_words in
+  let a = Array.unsafe_get sp.s_a p and d = Array.unsafe_get sp.s_d p in
+  let changed = ref false in
+  (match Array.unsafe_get sp.s_op p with
+  | 0 ->
+      for w = 0 to s - 1 do
+        let x = lnot (Array.unsafe_get v (a + w)) in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 1 ->
+      let b = Array.unsafe_get sp.s_b p in
+      for w = 0 to s - 1 do
+        let x = Array.unsafe_get v (a + w) land Array.unsafe_get v (b + w) in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 2 ->
+      let b = Array.unsafe_get sp.s_b p in
+      for w = 0 to s - 1 do
+        let x = Array.unsafe_get v (a + w) lor Array.unsafe_get v (b + w) in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 3 ->
+      let b = Array.unsafe_get sp.s_b p in
+      for w = 0 to s - 1 do
+        let x = Array.unsafe_get v (a + w) lxor Array.unsafe_get v (b + w) in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 4 ->
+      let b = Array.unsafe_get sp.s_b p in
+      for w = 0 to s - 1 do
+        let x =
+          lnot (Array.unsafe_get v (a + w) land Array.unsafe_get v (b + w))
+        in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 5 ->
+      let b = Array.unsafe_get sp.s_b p in
+      for w = 0 to s - 1 do
+        let x =
+          lnot (Array.unsafe_get v (a + w) lor Array.unsafe_get v (b + w))
+        in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | 6 ->
+      let b = Array.unsafe_get sp.s_b p and c = Array.unsafe_get sp.s_c p in
+      for w = 0 to s - 1 do
+        let sel = Array.unsafe_get v (a + w) in
+        let x =
+          Array.unsafe_get v (c + w)
+          land sel
+          lor (Array.unsafe_get v (b + w) land lnot sel)
+        in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done
+  | _ ->
+      for w = 0 to s - 1 do
+        let x = Array.unsafe_get sd (a + w) in
+        if Array.unsafe_get v (d + w) <> x then begin
+          Array.unsafe_set v (d + w) x;
+          changed := true
+        end
+      done);
+  !changed
+
+(* Drain the per-level buckets in level order.  Evaluating a level-l
+   instruction only ever schedules strictly-higher-level readers (op_dff
+   reads the DFF array, not a net, so it is only scheduled by pokes and
+   latches), so each bucket is complete when we reach it. *)
+let settle_inc st =
+  let sp = st.sp in
+  for l = 0 to sp.s_n_levels - 1 do
+    let q = Array.unsafe_get st.q_buf l in
+    let cnt = Array.unsafe_get st.q_len l in
+    for x = 0 to cnt - 1 do
+      let p = Array.unsafe_get q x in
+      Bytes.unsafe_set st.q_flag p '\000';
+      if eval_changed st p then
+        sched_readers st (Array.unsafe_get sp.s_d0 p)
+    done;
+    Array.unsafe_set st.q_len l 0
+  done
+
+let strip_settle st =
+  if st.s_inc && st.s_live then settle_inc st
+  else begin
+    settle_full st;
+    st.s_live <- true
+  end
+
+let strip_latch st =
+  let sp = st.sp in
+  let s = sp.s_words in
+  let v = st.sv and sd = st.sd and src = sp.s_dff_src in
+  if st.s_inc && st.s_live then
+    for k = 0 to Array.length src - 1 do
+      let sk = Array.unsafe_get src k in
+      let base = k * s in
+      let changed = ref false in
+      for w = 0 to s - 1 do
+        let nv = Array.unsafe_get v (sk + w) in
+        if Array.unsafe_get sd (base + w) <> nv then begin
+          Array.unsafe_set sd (base + w) nv;
+          changed := true
+        end
+      done;
+      if !changed then begin
+        let p = Array.unsafe_get sp.s_dff_instr k in
+        if p >= 0 then sched st p
+      end
+    done
+  else
+    for k = 0 to Array.length src - 1 do
+      let sk = Array.unsafe_get src k in
+      let base = k * s in
+      for w = 0 to s - 1 do
+        Array.unsafe_set sd (base + w) (Array.unsafe_get v (sk + w))
+      done
+    done
+
+(* ------------------------- strip batch runs ------------------------- *)
+
+(* The strip runner also fuses the clock: the legacy [clock] settles
+   twice per cycle (the trailing settle exposes the post-edge state),
+   but when inputs are redriven every cycle and outputs are read only at
+   the end, the pre-latch settle of cycle [c+1] recomputes exactly what
+   cycle [c]'s trailing settle produced.  So each cycle is poke + settle
+   + latch, with one final settle before readout — bit-identical, at
+   nearly half the passes. *)
+let run_strips_into st b bits lo hi =
+  let sp = st.sp in
+  let s = sp.s_words in
+  let tp = sp.s_tp in
+  let n_in = Array.length tp.t_input_nets in
+  let n_out = Array.length tp.t_out_nets in
+  let cap = s * lanes in
+  let act = b.b_activity in
+  let j = ref lo in
+  while !j < hi do
+    let count = min cap (hi - !j) in
+    let full_words = (count + lanes - 1) / lanes in
+    let word0 = !j / lanes in
+    strip_reset st;
+    let gens =
+      if act >= 1.0 then [||]
+      else Array.init count (fun k -> Prng.copy b.b_gens.(!j + k))
+    in
+    for c = 1 to b.b_cycles do
+      for ii = 0 to n_in - 1 do
+        let _, net = tp.t_input_nets.(ii) in
+        for w = 0 to full_words - 1 do
+          if act >= 1.0 then strip_poke st net w (stim_word b (word0 + w) c ii)
+          else begin
+            let base = w * lanes in
+            let cnt = min lanes (count - base) in
+            let prev = st.sv.((net * s) + w) in
+            let word = ref 0 in
+            for k = 0 to cnt - 1 do
+              if stimulus_bit gens.(base + k) act ((prev lsr k) land 1 = 1)
+              then word := !word lor (1 lsl k)
+            done;
+            strip_poke st net w !word
+          end
+        done
+      done;
+      strip_settle st;
+      strip_latch st
+    done;
+    strip_settle st;
+    for w = 0 to full_words - 1 do
+      let base = w * lanes in
+      let cnt = min lanes (count - base) in
+      for k = 0 to cnt - 1 do
+        let row = bits.(!j + base + k) in
+        for oi = 0 to n_out - 1 do
+          let _, net = tp.t_out_nets.(oi) in
+          row.(oi) <- (st.sv.((net * s) + w) lsr k) land 1 = 1
+        done
+      done
+    done;
+    j := !j + count
+  done
+
+let run_strips ?(jobs = 1) ?(words = 8) ?(incremental = false) nl b =
+  let n = b.b_n in
+  let cap = words * lanes in
+  Trace.with_span "sim.run"
+    ~args:
+      [
+        ("netlist", Netlist.name nl);
+        ("vectors", string_of_int n);
+        ("strip_words", string_of_int words);
+      ]
+    (fun () ->
+      let sp = strip_tape nl words in
+      let n_out = Array.length sp.s_tp.t_out_nets in
+      let bits = Array.init n (fun _ -> Array.make n_out false) in
+      let t0 = Trace.now_us () in
+      if jobs <= 1 || n <= cap then
+        run_strips_into (strip ~words ~incremental nl) b bits 0 n
+      else begin
+        let groups = (n + cap - 1) / cap in
+        let shards = min groups (jobs * 2) in
+        let per = (groups + shards - 1) / shards in
+        let ranges =
+          List.init shards (fun sh ->
+              let lo = sh * per * cap in
+              (lo, min n (lo + (per * cap))))
+          |> List.filter (fun (lo, hi) -> lo < hi)
+        in
+        Dpool.run ~jobs (fun pool ->
+            ignore
+              (Dpool.map pool
+                 (fun (lo, hi) ->
+                   run_strips_into (strip ~words ~incremental nl) b bits lo hi)
+                 ranges))
+      end;
+      observe_throughput n t0;
+      { out_names = out_names_of sp.s_tp; out_bits = bits })
+
+(* ------------------------ mutant-lane packing ------------------------ *)
+
+(* Concurrent fault simulation at the netlist level: every lane carries
+   the SAME stimulus stream (one shared draw per non-forced input per
+   cycle, replicated across lanes) while the [forced] inputs — mutant
+   enable gates, in the Rtl use — carry a distinct per-lane word.  One
+   tape pass therefore evaluates up to [lanes] trojan on/off variants of
+   one vector. *)
+let run_mutants ?(cycles = 1) ~prng ~forced nl =
+  if cycles < 1 then invalid_arg "Packed.run_mutants: cycles < 1";
+  let t = create nl in
+  let tp = t.tp in
+  let g = Prng.copy prng in
+  reset t;
+  for _ = 1 to cycles do
+    Array.iter
+      (fun (nm, net) ->
+        match List.assoc_opt nm forced with
+        | Some w -> t.values.(net) <- w
+        | None -> t.values.(net) <- (if Prng.bool g then all_lanes else 0))
+      tp.t_input_nets;
+    clock t
+  done;
+  let n_out = Array.length tp.t_out_nets in
+  let bits =
+    Array.init lanes (fun k ->
+        Array.init n_out (fun oi ->
+            let _, net = tp.t_out_nets.(oi) in
+            (t.values.(net) lsr k) land 1 = 1))
+  in
+  { out_names = out_names_of tp; out_bits = bits }
+
+let run_mutants_reference ?(cycles = 1) ~prng ~forced nl =
+  if cycles < 1 then invalid_arg "Packed.run_mutants_reference: cycles < 1";
+  Netlist.finalise nl;
+  let sim = Sim.create nl in
+  let names = Array.of_list (Netlist.input_names nl) in
+  let outs = Array.of_list (Netlist.outputs nl) in
+  let bits =
+    Array.init lanes (fun k ->
+        Sim.reset sim;
+        let g = Prng.copy prng in
+        for _ = 1 to cycles do
+          Array.iter
+            (fun nm ->
+              match List.assoc_opt nm forced with
+              | Some w -> Sim.set_input sim nm ((w lsr k) land 1 = 1)
+              | None -> Sim.set_input sim nm (Prng.bool g))
+            names;
+          Sim.clock sim
+        done;
+        Array.map (fun (_, net) -> Sim.peek sim net) outs)
+  in
   { out_names = Array.map fst outs; out_bits = bits }

@@ -17,15 +17,19 @@
     batch out over a {!Thr_util.Dpool} costs one state allocation per
     domain.
 
-    {b Determinism contract.}  A {!batch} derives one generator per
-    vector up front ({!Thr_util.Prng.split} in vector order), and every
-    run copies those generators before drawing, so the stimulus of
-    vector [j] — [cycles] clock edges, each driving every input (in
-    declaration order) with one {!Thr_util.Prng.bool} — depends only on
-    the batch, never on how vectors are packed into lanes or sharded
-    across domains.  [run], [run_sharded] (any [jobs]) and the scalar
-    oracle [run_reference] therefore return bit-identical outputs for
-    the same batch.
+    {b Determinism contract.}  A {!batch} fixes its stimulus up front,
+    independently of any engine.  At full activity the stream is
+    counter-based: the lane word driving input [k] at cycle [c] of
+    global lane-word [w] is a stateless hash of [(w, c, k)] under the
+    batch seed ({!Thr_util.Prng.mix63}), and vector [j] owns bit
+    [j mod lanes] of word [j / lanes] — so driving {!lanes} vectors
+    costs one hash, and the derivation never depends on how vectors are
+    packed into lanes, strips or shards.  Below full activity the batch
+    derives one generator per vector ({!Thr_util.Prng.split} in vector
+    order) and each input redraws or holds per vector and cycle (see
+    {!batch}).  [run], [run_sharded] (any [jobs]), [run_strips] (any
+    width, event-driven or not) and the scalar oracle [run_reference]
+    therefore return bit-identical outputs for the same batch.
 
     Scalar {!Sim} remains the reference semantics; the equivalence is
     enforced by a qcheck property over random netlists. *)
@@ -165,15 +169,29 @@ type batch
     caller's generator, plus a cycle count.  Reusable: every run copies
     the generators. *)
 
-val batch : prng:Thr_util.Prng.t -> ?cycles:int -> int -> batch
-(** [batch ~prng ~cycles n] derives [n] per-vector generators from
-    [prng] (advancing it [n] splits).  [cycles] (default 1) clock edges
-    are applied per vector, each driving every input with a fresh bool.
-    @raise Invalid_argument if [n < 0] or [cycles < 1]. *)
+val batch : prng:Thr_util.Prng.t -> ?cycles:int -> ?activity:float -> int -> batch
+(** [batch ~prng ~cycles n] fixes the stimulus for [n] vectors: a
+    counter-hash seed plus [n] per-vector generators, drawn from [prng]
+    (one {!Thr_util.Prng.next_int64} then [n] splits).  [cycles]
+    (default 1) clock edges are applied per vector, each driving every
+    input with a fresh bit.
+
+    [activity] (default [1.0]) models low-toggle stimulus: below 1.0,
+    each input each cycle first draws a float and only redraws a fresh
+    bool with probability [activity], otherwise holding its previous
+    value (inputs power on at 0) — per vector, from that vector's
+    generator.  At the default the stream comes from the allocation-free
+    counter hash instead (see the determinism contract).  The derivation
+    is part of the batch, so all engines ([run], [run_strips] in every
+    mode, [run_reference]) stay bit-identical for any activity.
+    @raise Invalid_argument if [n < 0], [cycles < 1] or
+    [activity] outside (0, 1]. *)
 
 val batch_size : batch -> int
 
 val batch_cycles : batch -> int
+
+val batch_activity : batch -> float
 
 type outputs = {
   out_names : string array;          (** primary outputs, declaration order *)
@@ -198,3 +216,99 @@ val run_reference : Netlist.t -> batch -> outputs
     tests and the baseline for the [bench -- sim] speedup. *)
 
 val equal_outputs : outputs -> outputs -> bool
+
+(** {1 Multi-word lane strips}
+
+    The strip engine re-compiles the tape for a fixed strip width
+    [S ∈ {1, 2, 4, 8}]: every net carries [S] consecutive lane words
+    ([S * lanes] vectors per pass), and the instruction stream is stably
+    sorted by (level, opcode) into homogeneous segments so the settle
+    kernel dispatches on the opcode {e once per segment} and evaluates
+    [S] unrolled words per instruction — amortising the per-instruction
+    jump-table dispatch that dominates the legacy loop on large
+    netlists.  Strip tapes are cached under [(uid, S)], separately from
+    the scalar tape cache; compiles bump [thr_sim_compiles_total] and
+    [thr_sim_tape_bytes_total].
+
+    The event-driven mode ([~incremental:true]) adds a per-level dirty
+    queue: pokes that change an input word and clock edges that change a
+    latched DFF word schedule their reader instructions, and [settle]
+    drains the queues in level order recomputing only what was
+    scheduled (the first settle after a reset is always a full pass).
+    Results are bit-identical to full evaluation — enforced by qcheck —
+    with cost proportional to switching activity. *)
+
+type strip
+(** Mutable strip-simulator state (the analogue of {!t}). *)
+
+val strip : ?words:int -> ?incremental:bool -> Netlist.t -> strip
+(** [strip ~words ~incremental nl] builds strip state over the cached
+    [(uid, words)] strip tape.  [words] defaults to 8; [incremental]
+    (default false) enables event-driven settling.
+    @raise Invalid_argument if [words] is not one of {1, 2, 4, 8}. *)
+
+val strip_words : strip -> int
+
+val strip_netlist : strip -> Netlist.t
+
+val strip_reset : strip -> unit
+(** Power-on in every lane of every word; the next settle is a full pass. *)
+
+val strip_set_input : strip -> string -> int -> int -> unit
+(** [strip_set_input st nm w v] drives lane word [w] (in [0, words)) of
+    input [nm] with [v].  In incremental mode a change schedules the
+    input's reader cone.  @raise Invalid_argument on an unknown name. *)
+
+val strip_poke : strip -> int -> int -> int -> unit
+(** [strip_poke st net w v]: {!strip_set_input} by raw net index, for
+    callers that pre-resolve names.  Must only be used on input nets —
+    poking a driven net is overwritten by the next settle. *)
+
+val strip_settle : strip -> unit
+(** Full segmented pass, or (incremental mode, after the first pass) a
+    drain of the scheduled cones. *)
+
+val strip_latch : strip -> unit
+(** Latch every DFF.  Unlike legacy {!clock} there is no trailing
+    settle: runners settle once per cycle and once more before reading
+    (bit-identical, nearly half the passes).  In incremental mode a
+    changed DFF word schedules its op_dff instruction. *)
+
+val strip_peek : strip -> Netlist.net -> int -> int
+(** Lane word [w] of a net after the last settle. *)
+
+val strip_peek_index : strip -> int -> int -> int
+(** Same by raw net index. *)
+
+val run_strips :
+  ?jobs:int -> ?words:int -> ?incremental:bool -> Netlist.t -> batch -> outputs
+(** The strip engine's batch runner: [words * lanes] vectors per tape
+    pass, fused clock, optional event-driven settling, sharded over
+    [jobs] domains when given.  Bit-identical to [run] /
+    [run_reference] for any [words], [incremental] and [jobs]. *)
+
+(** {1 Concurrent fault simulation} *)
+
+val run_mutants :
+  ?cycles:int ->
+  prng:Thr_util.Prng.t ->
+  forced:(string * int) list ->
+  Netlist.t ->
+  outputs
+(** Pack {e mutants} across lanes instead of vectors: every lane sees
+    the same stimulus — one shared draw per non-[forced] input per cycle
+    (declaration order, from a copy of [prng]), replicated across all
+    lanes — while each [forced] input (a mutant enable gate) drives its
+    given lane word every cycle.  One tape pass per cycle therefore
+    evaluates up to {!lanes} trojan on/off variants of one input stream.
+    [out_bits] has {!lanes} rows, one per lane. *)
+
+val run_mutants_reference :
+  ?cycles:int ->
+  prng:Thr_util.Prng.t ->
+  forced:(string * int) list ->
+  Netlist.t ->
+  outputs
+(** Scalar oracle for {!run_mutants}: lane [k] re-runs the same shared
+    stream through {!Sim} with each forced input at bit [k] of its
+    word. *)

@@ -19,6 +19,12 @@ val set_input : t -> string -> bool -> unit
 
 val set_inputs : t -> (string * bool) list -> unit
 
+val input_value : t -> string -> bool
+(** Current value of a primary input (as last set, 0 after [reset]) —
+    lets hold-style stimulus generators re-derive "previous" without
+    tracking it outside the simulator.
+    @raise Invalid_argument on an unknown input name. *)
+
 val settle : t -> unit
 (** Propagate current input values through the combinational logic without
     clocking. *)

@@ -261,13 +261,13 @@ type cosim_result = {
 
 let cosim_ok r = r.cosim_mismatches = 0
 
-let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ~prng ~vectors
-    design =
+let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ?strip_words
+    ?(incremental = false) ~prng ~vectors design =
   let dfg = design.Design.spec.Spec.dfg in
   let rtl = Rtl.elaborate ~width design in
   (* environments drawn from the shared generator, like campaign trials *)
   let envs = List.init vectors (fun _ -> random_env config prng dfg) in
-  let results = Rtl.run_batch ~jobs rtl envs in
+  let results = Rtl.run_batch ~jobs ?strip_words ~incremental rtl envs in
   let m = 1 lsl width in
   let mismatches = ref 0 and first_bad = ref None in
   let detections = ref 0 and first_detect = ref None in
@@ -300,6 +300,119 @@ let cosim ?(config = default_config) ?(jobs = 1) ?(width = 16) ~prng ~vectors
     cosim_detections = !detections;
     cosim_first_detect = !first_detect;
     cosim_first_bad = !first_bad;
+  }
+
+(* ------------------- concurrent fault co-simulation ------------------- *)
+
+type mutant_stat = {
+  ms_gate : string;
+  ms_label : string;
+  ms_detections : int;
+  ms_divergent : int;
+  ms_escapes : int;
+}
+
+type mutant_report = {
+  mr_vectors : int;
+  mr_clean_ok : bool;
+  mr_mutants : mutant_stat list;
+}
+
+let mutant_report_ok r =
+  r.mr_clean_ok
+  && List.for_all
+       (fun m ->
+         m.ms_escapes = 0
+         && ((not (String.length m.ms_label >= 5 && String.sub m.ms_label 0 5 = "decoy"))
+             || (m.ms_divergent = 0 && m.ms_detections = 0)))
+       r.mr_mutants
+
+let pp_mutant_report ppf r =
+  Format.fprintf ppf "vectors=%d clean=%s" r.mr_vectors
+    (if r.mr_clean_ok then "ok" else "BAD");
+  List.iter
+    (fun m ->
+      Format.fprintf ppf " %s(%s)=det:%d/div:%d/esc:%d" m.ms_gate m.ms_label
+        m.ms_detections m.ms_divergent m.ms_escapes)
+    r.mr_mutants
+
+let cosim_mutants ?(config = default_config) ?(width = 16) ~prng ~vectors
+    design =
+  if vectors < 1 then invalid_arg "Campaign.cosim_mutants: vectors must be >= 1";
+  let spec = design.Design.spec in
+  let dfg = spec.Spec.dfg in
+  let envs = List.init vectors (fun _ -> random_env config prng dfg) in
+  (* arm the zoo with the operand pair the first output's NC copy really
+     computes under the first vector, so the live variants do fire *)
+  let env0 = List.hd envs in
+  let golden0 = Eval.run dfg env0 in
+  let op = List.hd (Dfg.outputs dfg) in
+  let nc_idx = Copy.index spec { Copy.op; phase = Copy.NC } in
+  let a, b = Eval.operand_values dfg env0 golden0 op in
+  let zoo =
+    Trojan.zoo ~a_pattern:(a land config.mask) ~b_pattern:(b land config.mask)
+      ~mask:config.mask
+  in
+  let gated_injections =
+    List.map
+      (fun (nm, trojan) ->
+        ( "mut_" ^ nm,
+          {
+            Engine.inj_vendor = Binding.vendor design.Design.binding nc_idx;
+            inj_type = Spec.iptype_of_op spec op;
+            trojan;
+          } ))
+      zoo
+  in
+  let rtl = Rtl.elaborate ~width ~gated_injections design in
+  let results = Rtl.run_mutant_batch rtl envs in
+  let m = (1 lsl width) - 1 in
+  let clean_ok = ref true in
+  let stats =
+    Array.of_list
+      (List.map
+         (fun (nm, trojan) ->
+           {
+             ms_gate = "mut_" ^ nm;
+             ms_label = Trojan.short_label trojan;
+             ms_detections = 0;
+             ms_divergent = 0;
+             ms_escapes = 0;
+           })
+         zoo)
+  in
+  List.iter2
+    (fun env mr ->
+      let clean = mr.Rtl.m_clean in
+      let golden = Eval.outputs dfg env in
+      if
+        clean.Rtl.r_mismatch
+        || not
+             (List.for_all2
+                (fun (o, g) (o', v) -> o = o' && (g - v) land m = 0)
+                golden clean.Rtl.r_final)
+      then clean_ok := false;
+      List.iteri
+        (fun i (_, r) ->
+          let s = stats.(i) in
+          let detected = r.Rtl.r_first_detect <> None in
+          (* divergence is judged against the clean lane of the same
+             run, not golden: recovery may legitimately restore outputs *)
+          let divergent = r.Rtl.r_final <> clean.Rtl.r_final in
+          stats.(i) <-
+            {
+              s with
+              ms_detections = (s.ms_detections + if detected then 1 else 0);
+              ms_divergent = (s.ms_divergent + if divergent then 1 else 0);
+              ms_escapes =
+                (s.ms_escapes + if divergent && not detected then 1 else 0);
+            })
+        mr.Rtl.m_mutants)
+    envs results;
+  {
+    mr_vectors = vectors;
+    mr_clean_ok = !clean_ok;
+    mr_mutants = Array.to_list stats;
   }
 
 let run ?(config = default_config) ?(jobs = 1) ~prng design =

@@ -94,6 +94,8 @@ val cosim :
   ?config:config ->
   ?jobs:int ->
   ?width:int ->
+  ?strip_words:int ->
+  ?incremental:bool ->
   prng:Thr_util.Prng.t ->
   vectors:int ->
   Thr_hls.Design.t ->
@@ -101,10 +103,56 @@ val cosim :
 (** Elaborate the (clean) design to gates ({!Rtl.elaborate}, [width]
     default 16) and co-simulate [vectors] random environments — drawn
     from [prng] with [config]'s input range, like campaign trials — on
-    the bit-parallel {!Thr_gates.Packed} engine via {!Rtl.run_batch},
-    against {!Thr_dfg.Eval} reference outputs (compared modulo
-    [2^width]).  A clean design must report zero mismatches and never
-    raise the comparator flag; [jobs] shards the batch across domains
-    without changing the result.  This backs [thls simulate --vectors].
+    the multi-word strip engine via {!Rtl.run_batch}, against
+    {!Thr_dfg.Eval} reference outputs (compared modulo [2^width]).  A
+    clean design must report zero mismatches and never raise the
+    comparator flag; [jobs] shards the batch across domains, and
+    [strip_words] / [incremental] select the strip width and
+    event-driven settling, none of which changes the result.  This backs
+    [thls simulate --vectors] (and its [--strip-words] /
+    [--incremental] flags).
 
     @raise Invalid_argument if the design is invalid. *)
+
+(** {1 Concurrent fault co-simulation} *)
+
+type mutant_stat = {
+  ms_gate : string;  (** arming-gate input name, [mut_<zoo name>] *)
+  ms_label : string;  (** {!Thr_trojan.Trojan.short_label} *)
+  ms_detections : int;  (** vectors whose run ended comparator-high *)
+  ms_divergent : int;
+      (** vectors where the mutant's final outputs differ from the clean
+          lane's (recovery may legitimately re-converge them) *)
+  ms_escapes : int;  (** divergent yet undetected vectors *)
+}
+
+type mutant_report = {
+  mr_vectors : int;
+  mr_clean_ok : bool;
+      (** the clean lane (all gates low) matched the behavioural golden
+          outputs and never raised the comparator, on every vector *)
+  mr_mutants : mutant_stat list;
+}
+
+val mutant_report_ok : mutant_report -> bool
+(** Clean lane golden on every vector, no mutant escaped undetected, and
+    the decoy control neither diverged nor fired the comparator. *)
+
+val pp_mutant_report : Format.formatter -> mutant_report -> unit
+
+val cosim_mutants :
+  ?config:config ->
+  ?width:int ->
+  prng:Thr_util.Prng.t ->
+  vectors:int ->
+  Thr_hls.Design.t ->
+  mutant_report
+(** Concurrent fault simulation of the {!Thr_trojan.Trojan.zoo}: the
+    design is elaborated once with one {e gated} injection per zoo
+    variant (armed with the operand pair the first output's NC copy
+    computes under the first vector, so the live variants really fire),
+    and {!Rtl.run_mutant_batch} scores the clean circuit plus every
+    mutant against each vector in single strip passes — lane 0 clean,
+    lane [g + 1] running mutant [g].
+
+    @raise Invalid_argument if the design is invalid or [vectors] is 0. *)

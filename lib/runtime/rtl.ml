@@ -32,6 +32,7 @@ type t = {
   final_outputs : (int * Bus.t) list;
   vendor_regions : (int * int * int) list;
   total_cycles : int;
+  mutant_gates : string list;
 }
 
 type seeded_bug = Comparator_skip
@@ -149,7 +150,8 @@ let elab_check_enabled () =
   | Some ("0" | "false" | "no" | "off") -> false
   | _ -> true
 
-let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
+let elaborate ?(width = 16) ?(injections = []) ?(gated_injections = [])
+    ?seeded_bug design =
   if width < 6 then invalid_arg "Rtl.elaborate: width must be at least 6";
   (match Design.validate design with
   | [] -> ()
@@ -157,6 +159,14 @@ let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
       invalid_arg
         (Printf.sprintf "Rtl.elaborate: invalid design (%s)" (List.hd problems)));
   List.iter (check_injection width) injections;
+  List.iter (fun (_, inj) -> check_injection width inj) gated_injections;
+  (* concurrent fault simulation packs the clean circuit in lane 0 and
+     one armed mutant per further lane, so the gate count is bounded by
+     the lane width *)
+  if List.length gated_injections > Packed.lanes - 1 then
+    invalid_arg
+      (Printf.sprintf "Rtl.elaborate: at most %d gated injections"
+         (Packed.lanes - 1));
   let spec = design.Design.spec in
   let dfg = spec.Spec.dfg in
   let n_copies = Copy.count spec in
@@ -164,6 +174,12 @@ let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
   let nl = Netlist.create ~name:("rtl_" ^ Dfg.name dfg) in
   let input_bus =
     List.map (fun nm -> (nm, Bus.inputs nl nm width)) (Dfg.inputs dfg)
+  in
+  (* one fresh single-bit primary input per gated injection: the mutant's
+     arming signal, ANDed into its trigger so concurrent fault simulation
+     can pack armed and clean variants of one circuit across lanes *)
+  let gate_nets =
+    List.map (fun (nm, inj) -> (Netlist.input nl nm, inj)) gated_injections
   in
   (* control: a free-running step counter; step s is active during the
      cycle in which the counter reads s-1 *)
@@ -272,6 +288,28 @@ let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
                   in
                   payload_wrap nl inj.Engine.trojan ~trigger clean
             in
+            let out =
+              match
+                List.filter
+                  (fun (_, inj) ->
+                    Vendor.id inj.Engine.inj_vendor = vid
+                    && Iptype.to_index inj.Engine.inj_type = ti)
+                  gate_nets
+              with
+              | [] -> out
+              | here ->
+                  let active = Netlist.or_list nl (List.map sel idxs) in
+                  List.fold_left
+                    (fun acc (en, inj) ->
+                      let trigger =
+                        trigger_net nl width inj.Engine.trojan ~active ~a_bus
+                          ~b_bus
+                      in
+                      payload_wrap nl inj.Engine.trojan
+                        ~trigger:(Netlist.and_ nl trigger en)
+                        acc)
+                    out here
+            in
             (* latch the result into the active copy's register *)
             List.iter
               (fun idx ->
@@ -339,6 +377,7 @@ let elaborate ?(width = 16) ?(injections = []) ?seeded_bug design =
       final_outputs;
       vendor_regions = !regions;
       total_cycles = total;
+      mutant_gates = List.map fst gated_injections;
     }
   in
   (match seeded_bug with
@@ -536,23 +575,55 @@ let first_detect_of mhist k =
     Some !c
   end
 
+(* Same over the strip runner's flattened cycle-major history: entry
+   [(c - 1) * s + w] holds lane word [w] of stride [s] after edge [c]. *)
+let first_detect_strided mh s w k =
+  let cycles = Array.length mh / s in
+  if cycles = 0 || (mh.(((cycles - 1) * s) + w) lsr k) land 1 = 0 then None
+  else begin
+    let c = ref cycles in
+    while !c > 1 && (mh.(((!c - 2) * s) + w) lsr k) land 1 = 1 do
+      decr c
+    done;
+    Some !c
+  end
+
 let sign_extend width v =
   if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
 
-(* Simulate environments [lo, hi) of [envs] lane-packed on one packed
+(* Pre-resolved net indices of every primary input bit, so the hot
+   chunk loop pokes by index instead of formatting "<nm>.<i>" names. *)
+let input_bit_ids t =
+  let tbl = Netlist.input_index t.netlist in
+  let dfg = t.design.Design.spec.Spec.dfg in
+  List.map
+    (fun nm ->
+      ( nm,
+        Array.init t.width (fun i ->
+            Hashtbl.find tbl (Printf.sprintf "%s.%d" nm i)) ))
+    (Dfg.inputs dfg)
+
+(* Simulate environments [lo, hi) of [envs] lane-packed on one strip
    simulator, writing each result into its slot of [results].  Inputs
    are held constant while the design clocks through both phases, so one
-   word per input bit carries up to [Packed.lanes] environments. *)
-let run_chunks t sim envs results lo hi =
-  let dfg = t.design.Design.spec.Spec.dfg in
-  let input_names = Dfg.inputs dfg in
+   lane word per input bit carries up to [Packed.lanes] environments and
+   one strip pass carries [strip_words * Packed.lanes] of them.  The
+   clock is fused (one settle up front, then latch + settle per edge),
+   which is bit-identical to the legacy settle/latch/settle clock under
+   constant inputs. *)
+let run_chunks t st input_ids envs results lo hi =
   let vmask = (1 lsl t.width) - 1 in
+  let s = Packed.strip_words st in
+  let cap = s * Packed.lanes in
+  let mi = Netlist.net_index t.mismatch in
+  let mh = Array.make (t.total_cycles * s) 0 in
   let j = ref lo in
   while !j < hi do
-    let count = min Packed.lanes (hi - !j) in
-    Packed.reset sim;
+    let count = min cap (hi - !j) in
+    let words_used = (count + Packed.lanes - 1) / Packed.lanes in
+    Packed.strip_reset st;
     List.iter
-      (fun nm ->
+      (fun (nm, ids) ->
         let vals =
           Array.init count (fun k ->
               match List.assoc_opt nm envs.(!j + k) with
@@ -561,26 +632,36 @@ let run_chunks t sim envs results lo hi =
                   invalid_arg (Printf.sprintf "Rtl.run: missing input %S" nm))
         in
         for i = 0 to t.width - 1 do
-          let w = ref 0 in
-          for k = 0 to count - 1 do
-            if (vals.(k) lsr i) land 1 = 1 then w := !w lor (1 lsl k)
-          done;
-          Packed.set_input sim (Printf.sprintf "%s.%d" nm i) !w
+          let id = ids.(i) in
+          for w = 0 to words_used - 1 do
+            let base = w * Packed.lanes in
+            let cnt = min Packed.lanes (count - base) in
+            let word = ref 0 in
+            for k = 0 to cnt - 1 do
+              if (vals.(base + k) lsr i) land 1 = 1 then
+                word := !word lor (1 lsl k)
+            done;
+            Packed.strip_poke st id w !word
+          done
         done)
-      input_names;
-    let mhist = Array.make t.total_cycles 0 in
+      input_ids;
+    Packed.strip_settle st;
     for c = 1 to t.total_cycles do
-      Packed.clock sim;
-      mhist.(c - 1) <- Packed.peek sim t.mismatch
+      Packed.strip_latch st;
+      Packed.strip_settle st;
+      for w = 0 to words_used - 1 do
+        mh.(((c - 1) * s) + w) <- Packed.strip_peek_index st mi w
+      done
     done;
     for k = 0 to count - 1 do
-      let lane net = Packed.peek_lane sim net k in
+      let w = k / Packed.lanes and lk = k mod Packed.lanes in
+      let lane net = (Packed.strip_peek st net w lsr lk) land 1 = 1 in
       let read (o, bus) = (o, sign_extend t.width (Bus.to_int lane bus)) in
       results.(!j + k) <-
         Some
           {
             r_mismatch = lane t.mismatch;
-            r_first_detect = first_detect_of mhist k;
+            r_first_detect = first_detect_strided mh s w lk;
             r_nc = List.map read t.nc_outputs;
             r_rc = List.map read t.rc_outputs;
             r_rv = List.map read t.rv_outputs;
@@ -592,35 +673,142 @@ let run_chunks t sim envs results lo hi =
     j := !j + count
   done
 
-let run_batch ?(jobs = 1) t envs =
-  let tape = Packed.tape t.netlist in
+let run_batch ?(jobs = 1) ?strip_words ?(incremental = false) t envs =
   let envs = Array.of_list envs in
   let n = Array.length envs in
+  (* single environments (thls simulate's common case) stay on the
+     narrow strip; batches wide enough to fill more than one lane word
+     default to the full 8-word strip *)
+  let words =
+    match strip_words with
+    | Some w -> w
+    | None -> if n > Packed.lanes then 8 else 1
+  in
+  let input_ids = input_bit_ids t in
   let results = Array.make n None in
-  let words = (n + Packed.lanes - 1) / Packed.lanes in
-  if jobs <= 1 || words <= 1 then
-    run_chunks t (Packed.of_tape tape) envs results 0 n
+  let cap = words * Packed.lanes in
+  let groups = (n + cap - 1) / cap in
+  if jobs <= 1 || groups <= 1 then
+    run_chunks t
+      (Packed.strip ~words ~incremental t.netlist)
+      input_ids envs results 0 n
   else begin
-    (* contiguous lane-word-aligned shards; each domain writes a disjoint
-       slice of [results] through its own simulator state *)
-    let shards = min words (jobs * 2) in
-    let per = (words + shards - 1) / shards in
+    (* warm the shared strip-tape cache once, then hand each domain its
+       own simulator state over contiguous strip-aligned shards; each
+       writes a disjoint slice of [results] *)
+    ignore (Packed.strip ~words ~incremental t.netlist);
+    let shards = min groups (jobs * 2) in
+    let per = (groups + shards - 1) / shards in
     let ranges =
       List.init shards (fun s ->
-          let lo = s * per * Packed.lanes in
-          (lo, min n (lo + (per * Packed.lanes))))
+          let lo = s * per * cap in
+          (lo, min n (lo + (per * cap))))
       |> List.filter (fun (lo, hi) -> lo < hi)
     in
     Dpool.run ~jobs (fun pool ->
         ignore
           (Dpool.map pool
-             (fun (lo, hi) -> run_chunks t (Packed.of_tape tape) envs results lo hi)
+             (fun (lo, hi) ->
+               run_chunks t
+                 (Packed.strip ~words ~incremental t.netlist)
+                 input_ids envs results lo hi)
              ranges))
   end;
   Array.to_list results
   |> List.map (function Some r -> r | None -> assert false)
 
 let run t env = match run_batch t [ env ] with [ r ] -> r | _ -> assert false
+
+type mutant_result = {
+  m_clean : result;
+  m_mutants : (string * result) list;
+}
+
+(* Concurrent fault simulation: every environment occupies one strip
+   word, with its input bits replicated across all lanes; lane 0 leaves
+   every arming gate low (the golden circuit) and lane [g + 1] raises
+   only gate [g], so a single strip pass scores the clean design plus
+   every mutant against the same stimulus. *)
+let run_mutant_batch t envs =
+  let gates = t.mutant_gates in
+  if gates = [] then
+    invalid_arg "Rtl.run_mutant_batch: design has no gated injections";
+  let vmask = (1 lsl t.width) - 1 in
+  let envs = Array.of_list envs in
+  let n = Array.length envs in
+  let all = Packed.lane_mask Packed.lanes in
+  let input_ids = input_bit_ids t in
+  let tbl = Netlist.input_index t.netlist in
+  let gate_ids = List.mapi (fun g nm -> (g, Hashtbl.find tbl nm)) gates in
+  let results = Array.make n None in
+  let mi = Netlist.net_index t.mismatch in
+  let s =
+    if n >= 8 then 8 else if n >= 4 then 4 else if n >= 2 then 2 else 1
+  in
+  let st = Packed.strip ~words:s t.netlist in
+  let mh = Array.make (t.total_cycles * s) 0 in
+  let j = ref 0 in
+  while !j < n do
+    let count = min s (n - !j) in
+    Packed.strip_reset st;
+    List.iter
+      (fun (nm, ids) ->
+        let vals =
+          Array.init count (fun w ->
+              match List.assoc_opt nm envs.(!j + w) with
+              | Some v -> v land vmask
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Rtl.run_mutant_batch: missing input %S"
+                       nm))
+        in
+        for i = 0 to t.width - 1 do
+          for w = 0 to count - 1 do
+            Packed.strip_poke st ids.(i) w
+              (if (vals.(w) lsr i) land 1 = 1 then all else 0)
+          done
+        done)
+      input_ids;
+    List.iter
+      (fun (g, id) ->
+        for w = 0 to count - 1 do
+          Packed.strip_poke st id w (1 lsl (g + 1))
+        done)
+      gate_ids;
+    Packed.strip_settle st;
+    for c = 1 to t.total_cycles do
+      Packed.strip_latch st;
+      Packed.strip_settle st;
+      for w = 0 to count - 1 do
+        mh.(((c - 1) * s) + w) <- Packed.strip_peek_index st mi w
+      done
+    done;
+    for w = 0 to count - 1 do
+      let read_lane k =
+        let lane net = (Packed.strip_peek st net w lsr k) land 1 = 1 in
+        let read (o, bus) = (o, sign_extend t.width (Bus.to_int lane bus)) in
+        {
+          r_mismatch = lane t.mismatch;
+          r_first_detect = first_detect_strided mh s w k;
+          r_nc = List.map read t.nc_outputs;
+          r_rc = List.map read t.rc_outputs;
+          r_rv = List.map read t.rv_outputs;
+          r_final =
+            List.map read
+              (match t.final_outputs with [] -> t.nc_outputs | l -> l);
+        }
+      in
+      results.(!j + w) <-
+        Some
+          {
+            m_clean = read_lane 0;
+            m_mutants = List.mapi (fun g nm -> (nm, read_lane (g + 1))) gates;
+          }
+    done;
+    j := !j + count
+  done;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
 
 (* ------------------------- recorded (flight) runs ------------------------- *)
 

@@ -34,6 +34,10 @@ type t = {
       (** gate->vendor provenance as [(lo, hi, vendor id)] net-index
           ranges: nets built while elaborating one core's datapath cone *)
   total_cycles : int;  (** cycles to clock before reading outputs *)
+  mutant_gates : string list;
+      (** primary-input names of the per-mutant arming gates, in the
+          order the [gated_injections] were given to {!elaborate};
+          empty for ordinary elaborations *)
 }
 
 type seeded_bug = Comparator_skip
@@ -44,19 +48,29 @@ type seeded_bug = Comparator_skip
 val elaborate :
   ?width:int ->
   ?injections:Engine.injection list ->
+  ?gated_injections:(string * Engine.injection) list ->
   ?seeded_bug:seeded_bug ->
   Thr_hls.Design.t ->
   t
 (** [elaborate design] builds the netlist.  [width] (default 16, minimum 6)
     is the datapath word size; DFG values are computed modulo [2^width].
 
+    Each [gated_injections] entry [(name, inj)] inserts [inj] like an
+    ordinary injection but ANDs its trigger with a fresh single-bit
+    primary input [name] (the mutant's {e arming gate}): driving the
+    gate high makes the circuit behave exactly as the plain injection,
+    holding it low leaves the circuit behaviourally clean.  This is what
+    lets {!run_mutant_batch} score the golden design and one armed
+    mutant per simulation lane in a single pass.
+
     Unless [seeded_bug] is given (or [THLS_ELAB_CHECK=0] is set in the
     environment), the elaborated netlist is re-verified with the
     {!Thr_check.Taint} pass: every primary output must be dominated by
     the mismatch comparator.
 
-    @raise Invalid_argument if the design is invalid, or an injection's
-    trigger patterns/mask or payload mask do not fit in [width] bits.
+    @raise Invalid_argument if the design is invalid, an injection's
+    trigger patterns/mask or payload mask do not fit in [width] bits, or
+    more than [Thr_gates.Packed.lanes - 1] gated injections are given.
     @raise Failure if the post-elaboration taint check finds an
     unguarded output (an elaborator bug, not a user error). *)
 
@@ -126,18 +140,50 @@ type result = {
 val run : t -> Thr_dfg.Eval.env -> result
 (** Drive the primary inputs (values taken modulo [2^width]), clock through
     both phases and read the registers.  Equivalent to a one-element
-    {!run_batch}: the netlist's compiled {!Thr_gates.Packed} tape is
-    cached, so repeated calls never re-walk the netlist. *)
+    {!run_batch}: the netlist's compiled strip tape is cached, so
+    repeated calls never re-walk the netlist. *)
 
-val run_batch : ?jobs:int -> t -> Thr_dfg.Eval.env list -> result list
-(** [run] over many environments at once on the bit-parallel
-    {!Thr_gates.Packed} engine — {!Thr_gates.Packed.lanes} environments
-    per simulation pass, and with [jobs > 1] lane-word-aligned slices of
-    the batch fanned out across a {!Thr_util.Dpool}.  Results are in
-    input order and identical to mapping {!run} (every environment is an
-    independent power-on run of the netlist), for any [jobs].
+val run_batch :
+  ?jobs:int ->
+  ?strip_words:int ->
+  ?incremental:bool ->
+  t ->
+  Thr_dfg.Eval.env list ->
+  result list
+(** [run] over many environments at once on the multi-word strip engine
+    ({!Thr_gates.Packed.strip}) — [strip_words * Thr_gates.Packed.lanes]
+    environments per fused-clock simulation pass, and with [jobs > 1]
+    strip-aligned slices of the batch fanned out across a
+    {!Thr_util.Dpool}.  [strip_words] defaults adaptively: 1 word when
+    the batch fits a single lane word, 8 otherwise.  [incremental]
+    (default false) switches the per-cycle settles to event-driven
+    evaluation.  Results are in input order and identical to mapping
+    {!run} (every environment is an independent power-on run of the
+    netlist), for any [jobs], [strip_words] and [incremental].
 
-    @raise Invalid_argument if an environment misses a primary input. *)
+    @raise Invalid_argument if an environment misses a primary input or
+    [strip_words] is not one of {1, 2, 4, 8}. *)
+
+(** {1 Concurrent fault simulation} *)
+
+type mutant_result = {
+  m_clean : result;  (** lane 0: every arming gate held low *)
+  m_mutants : (string * result) list;
+      (** per gate, in [mutant_gates] order: the run with only that
+          mutant armed *)
+}
+
+val run_mutant_batch : t -> Thr_dfg.Eval.env list -> mutant_result list
+(** For an elaboration with [gated_injections]: run every environment
+    once with the clean circuit in lane 0 and mutant [g] armed in lane
+    [g + 1], packing up to [strip_words] environments per strip pass —
+    the whole trojan zoo is scored against each stimulus in a single
+    simulation of one netlist.  [m_clean] is bit-identical to {!run} of
+    the un-gated elaboration and each [m_mutants] entry to {!run} of the
+    corresponding plain-injection elaboration.
+
+    @raise Invalid_argument if the design has no gated injections or an
+    environment misses a primary input. *)
 
 (** {1 Recorded (flight-data) runs}
 

@@ -99,6 +99,44 @@ let random ~prng ~sequential ~rare_bits =
   let payload = Xor_offset (1 + Thr_util.Prng.int prng 0xFFFF) in
   make trigger payload
 
+(* Canned variant set for concurrent fault simulation: one trojan per
+   behavioural corner, all aimed at the same (matched) operand pair so
+   the live ones actually fire during a co-simulation run.  The decoy is
+   the negative control — its condition is unsatisfiable, so its mutant
+   lane must stay behaviourally clean. *)
+let zoo ~a_pattern ~b_pattern ~mask =
+  [
+    ("comb", make (Combinational { a_pattern; b_pattern; mask }) (Xor_offset 0xFF));
+    ( "seq",
+      make
+        (Sequential { a_pattern; b_pattern; mask; threshold = 1 })
+        (Xor_offset 0xFF) );
+    ( "latched",
+      make (Combinational { a_pattern; b_pattern; mask }) (Latched 0xFF) );
+    ( "decoy",
+      make
+        (Decoy
+           {
+             a_pattern;
+             b_pattern = a_pattern lxor mask;
+             mask;
+             threshold = 2;
+           })
+        (Xor_offset 0xFF) );
+  ]
+
+let short_label t =
+  let trig =
+    match t.trigger with
+    | Combinational _ -> "comb"
+    | Sequential { threshold; _ } -> Printf.sprintf "seq%d" threshold
+    | Decoy { threshold; _ } -> Printf.sprintf "decoy%d" threshold
+  in
+  let pay =
+    match t.payload with Xor_offset _ -> "xor" | Latched _ -> "latched"
+  in
+  trig ^ "/" ^ pay
+
 let describe t =
   let trig =
     match t.trigger with

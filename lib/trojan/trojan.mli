@@ -87,5 +87,21 @@ val random : prng:Thr_util.Prng.t -> sequential:bool -> rare_bits:int -> t
     non-zero low-16-bit mask.  [sequential] selects a counter trigger with
     a small random threshold (2–4). *)
 
+val zoo : a_pattern:int -> b_pattern:int -> mask:int -> (string * t) list
+(** A canned named variant set for concurrent fault simulation — one
+    trojan per behavioural corner, all observing the same operand
+    patterns: ["comb"] (combinational / XOR), ["seq"] (threshold-1
+    counter / XOR), ["latched"] (combinational / latched payload) and
+    ["decoy"] (unsatisfiable trigger — the negative control whose mutant
+    lane must stay behaviourally clean).  [mask] must be non-zero (the
+    decoy derives its second pattern as [a_pattern lxor mask]).
+    @raise Invalid_argument via {!make} on a zero mask or patterns
+    outside it. *)
+
+val short_label : t -> string
+(** Compact class tag, e.g. ["comb/xor"], ["seq3/xor"],
+    ["decoy2/latched"] — the trigger kind (with threshold) and payload
+    kind of {!describe} without the patterns. *)
+
 val describe : t -> string
 (** One-line human-readable summary. *)

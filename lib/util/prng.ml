@@ -18,6 +18,16 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+(* Stateless finaliser over the native 63-bit int, for counter-based
+   streams in hot loops: xorshift-multiply rounds in immediate (unboxed)
+   arithmetic, so hashing is allocation-free.  Multipliers are odd
+   62-bit constants (from xorshift64* / splitmix variants) so literals
+   stay in range; arithmetic wraps modulo 2^63. *)
+let mix63 z =
+  let z = (z lxor (z lsr 31)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) * 0x369DEA0F31A53F85 in
+  z lxor (z lsr 32)
+
 let split t = { state = next_int64 t }
 
 let int t bound =

@@ -22,6 +22,14 @@ val split : t -> t
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val mix63 : int -> int
+(** Stateless xorshift-multiply finaliser over the native 63-bit int —
+    a high-quality hash for counter-based streams.  Hash a structured
+    counter instead of advancing mutable state, so any consumer can
+    recompute any position of the stream independently; unlike the
+    [Int64]-based generator ops it never allocates, which is what hot
+    simulation loops need. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive.
 

@@ -346,7 +346,7 @@ let random_netlist script =
       let pick k = !nets.(k mod Array.length !nets) in
       let x = pick i and y = pick j in
       push
-        (match kind mod 8 with
+        (match kind mod 9 with
         | 0 -> Netlist.and_ nl x y
         | 1 -> Netlist.or_ nl x y
         | 2 -> Netlist.xor_ nl x y
@@ -354,7 +354,8 @@ let random_netlist script =
         | 4 -> Netlist.nor_ nl x y
         | 5 -> Netlist.not_ nl x
         | 6 -> Netlist.mux nl ~sel:x ~t0:y ~t1:(pick (i + j))
-        | _ -> Netlist.dff nl ~init:(i mod 2 = 0) x))
+        | 7 -> Netlist.dff nl ~init:(i mod 2 = 0) x
+        | _ -> Netlist.and_ nl x (Netlist.const nl (j mod 2 = 0))))
     script;
   let fo = Netlist.fanout nl in
   let dangling =
@@ -555,6 +556,157 @@ let packed_equals_scalar =
         QCheck.Test.fail_report "sharded run disagrees with scalar oracle"
       else true)
 
+(* ------------------------- strip engine --------------------------- *)
+
+(* The strip-width ladder: every S, single-domain, against the scalar
+   oracle — covering sequential carryover (multi-cycle, mixed DFF inits)
+   and partially-filled final strips (n_vectors rarely a multiple of
+   S * lanes). *)
+let strips_equal_scalar =
+  QCheck.Test.make ~name:"strip engine matches scalar Sim (S in {1,2,4,8})"
+    ~count:30
+    QCheck.(
+      triple
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        (int_range 1 600)
+        (int_range 1 5))
+    (fun (script, n_vectors, cycles) ->
+      let nl = random_netlist script in
+      let prng = Prng.create ~seed:(n_vectors + (cycles * 1009)) in
+      let batch = Packed.batch ~prng ~cycles n_vectors in
+      let scalar = Packed.run_reference nl batch in
+      List.for_all
+        (fun words ->
+          let strips = Packed.run_strips ~words nl batch in
+          Packed.equal_outputs strips scalar
+          ||
+          (ignore
+             (QCheck.Test.fail_report
+                (Printf.sprintf "strip run (S=%d) disagrees with scalar oracle"
+                   words));
+           false))
+        [ 1; 2; 4; 8 ])
+
+(* Event-driven mode, full-activity and low-activity stimulus, plus
+   sharded strip runs: all bit-identical to the oracle. *)
+let incremental_equals_scalar =
+  QCheck.Test.make
+    ~name:"event-driven strips match scalar Sim (full + low activity, sharded)"
+    ~count:30
+    QCheck.(
+      quad
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        (int_range 1 400)
+        (int_range 1 6)
+        (int_range 0 2))
+    (fun (script, n_vectors, cycles, wsel) ->
+      let words = List.nth [ 2; 4; 8 ] wsel in
+      let nl = random_netlist script in
+      let prng = Prng.create ~seed:(n_vectors + (cycles * 31)) in
+      let full = Packed.batch ~prng ~cycles n_vectors in
+      let lazy_ = Packed.batch ~prng ~cycles ~activity:0.3 n_vectors in
+      let ok_full =
+        Packed.equal_outputs
+          (Packed.run_strips ~words ~incremental:true nl full)
+          (Packed.run_reference nl full)
+      in
+      let oracle_lazy = Packed.run_reference nl lazy_ in
+      let ok_lazy =
+        Packed.equal_outputs
+          (Packed.run_strips ~words ~incremental:true nl lazy_)
+          oracle_lazy
+        && Packed.equal_outputs
+             (Packed.run (Packed.create nl) lazy_)
+             oracle_lazy
+      in
+      let ok_sharded =
+        Packed.equal_outputs
+          (Packed.run_strips ~jobs:3 ~words ~incremental:true nl full)
+          (Packed.run_reference nl full)
+      in
+      if not ok_full then
+        QCheck.Test.fail_report "incremental strips disagree (activity 1.0)"
+      else if not ok_lazy then
+        QCheck.Test.fail_report "low-activity run disagrees with oracle"
+      else if not ok_sharded then
+        QCheck.Test.fail_report "sharded incremental strips disagree"
+      else true)
+
+(* Concurrent fault simulation: per-lane forced words over a shared
+   stimulus stream agree with running each lane through scalar Sim. *)
+let mutants_equal_reference =
+  QCheck.Test.make ~name:"mutant-lane packing matches per-lane scalar runs"
+    ~count:40
+    QCheck.(
+      quad
+        (list_of_size
+           Gen.(int_range 1 40)
+           (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        (int_range 1 6)
+        (pair int int)
+        (int_range 0 3))
+    (fun (script, cycles, (wa, wb), which) ->
+      let nl = random_netlist script in
+      let forced =
+        match which with
+        | 0 -> []
+        | 1 -> [ ("a", wa) ]
+        | 2 -> [ ("b", wb) ]
+        | _ -> [ ("a", wa); ("b", wb) ]
+      in
+      let prng = Prng.create ~seed:(cycles + (which * 17)) in
+      let packed = Packed.run_mutants ~cycles ~prng ~forced nl in
+      let scalar = Packed.run_mutants_reference ~cycles ~prng ~forced nl in
+      Packed.equal_outputs packed scalar
+      || QCheck.Test.fail_report
+           "mutant-lane run disagrees with per-lane scalar runs")
+
+(* Strip tapes are cached under (uid, words), separately from the scalar
+   tape: a new width compiles (tape bytes grow), re-requesting a width
+   hits the cache. *)
+let test_strip_tape_cache_keys () =
+  let nl = Netlist.create ~name:"scache" in
+  let a = Netlist.input nl "a" and b = Netlist.input nl "b" in
+  let q = Netlist.dff nl ~init:false (Netlist.xor_ nl a b) in
+  Netlist.output nl "o" (Netlist.and_ nl q (Netlist.or_ nl a b));
+  Netlist.finalise nl;
+  let module M = Thr_obs.Metrics in
+  let compiles = M.counter "thr_sim_compiles_total" in
+  let hits = M.counter "thr_sim_compile_cache_hits_total" in
+  let bytes = M.counter "thr_sim_tape_bytes_total" in
+  let c0 = M.counter_value compiles and b0 = M.counter_value bytes in
+  ignore (Packed.strip ~words:4 nl);
+  let c1 = M.counter_value compiles and b1 = M.counter_value bytes in
+  Alcotest.(check bool) "first strip width compiles scalar + strip tapes" true
+    (c1 - c0 >= 2);
+  Alcotest.(check bool) "tape bytes accounted" true (b1 > b0);
+  ignore (Packed.strip ~words:8 nl);
+  let c2 = M.counter_value compiles and b2 = M.counter_value bytes in
+  Alcotest.(check bool) "second width recompiles under its own key" true
+    (c2 > c1 && b2 > b1);
+  let h0 = M.counter_value hits in
+  ignore (Packed.strip ~words:4 nl);
+  ignore (Packed.strip ~words:8 nl);
+  let c3 = M.counter_value compiles in
+  Alcotest.(check int) "re-requested widths hit the cache" c2 c3;
+  Alcotest.(check bool) "cache hits counted" true (M.counter_value hits > h0)
+
+let test_strip_errors () =
+  let nl = Netlist.create ~name:"serr" in
+  let a = Netlist.input nl "a" in
+  Netlist.output nl "o" (Netlist.not_ nl a);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Packed.strip: words must be one of {1, 2, 4, 8} (got 3)")
+    (fun () -> ignore (Packed.strip ~words:3 nl));
+  let prng = Prng.create ~seed:1 in
+  Alcotest.check_raises "bad activity"
+    (Invalid_argument "Packed.batch: activity must be in (0, 1]") (fun () ->
+      ignore (Packed.batch ~prng ~activity:0.0 5))
+
 let test_verilog_module_name_override () =
   let nl = Netlist.create ~name:"x" in
   let a = Netlist.input nl "a" in
@@ -612,6 +764,15 @@ let () =
           Alcotest.test_case "tape cached" `Quick test_packed_tape_cached;
           Alcotest.test_case "errors" `Quick test_packed_errors;
           QCheck_alcotest.to_alcotest packed_equals_scalar;
+        ] );
+      ( "strips",
+        [
+          Alcotest.test_case "tape cache keys + bytes" `Quick
+            test_strip_tape_cache_keys;
+          Alcotest.test_case "errors" `Quick test_strip_errors;
+          QCheck_alcotest.to_alcotest strips_equal_scalar;
+          QCheck_alcotest.to_alcotest incremental_equals_scalar;
+          QCheck_alcotest.to_alcotest mutants_equal_reference;
         ] );
       ( "verilog",
         [

@@ -374,6 +374,128 @@ let test_cosim_counts_detections () =
   Alcotest.(check (option int)) "no first-detect cycle" None
     cs.Campaign.cosim_first_detect
 
+(* --------------------- concurrent fault simulation ------------------ *)
+
+(* every run_batch mode (strip widths, incremental settling, sharding)
+   must return the same results as the narrow strip and as per-env runs *)
+let test_run_batch_modes_agree () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let rtl = Rtl.elaborate ~width:16 design in
+  let prng = Prng.create ~seed:23 in
+  let envs =
+    List.init 150 (fun _ -> small_env prng design.Design.spec.Spec.dfg)
+  in
+  let base = Rtl.run_batch ~strip_words:1 rtl envs in
+  List.iter
+    (fun (lbl, rs) ->
+      Alcotest.(check bool) (lbl ^ " bit-identical") true (rs = base))
+    [
+      ("adaptive default", Rtl.run_batch rtl envs);
+      ("w=4", Rtl.run_batch ~strip_words:4 rtl envs);
+      ( "w=8 incremental",
+        Rtl.run_batch ~strip_words:8 ~incremental:true rtl envs );
+      ("sharded w=2", Rtl.run_batch ~jobs:3 ~strip_words:2 rtl envs);
+      ("per-env run", List.map (fun e -> Rtl.run rtl e) envs)
+    ]
+
+(* lane-packed mutants must be bit-identical to elaborating each plain
+   injection separately, and the clean lane to the un-gated netlist *)
+let test_mutants_match_plain_injections () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let dfg = design.Design.spec.Spec.dfg in
+  let env = [ ("a", 3); ("b", 5); ("c", 7); ("d", 2); ("e", 4); ("f", 6) ] in
+  let golden = Eval.run dfg env in
+  let a, b = Eval.operand_values dfg env golden 4 in
+  let nc = Copy.index design.Design.spec { Copy.op = 4; phase = Copy.NC } in
+  let inj trojan =
+    {
+      Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+      inj_type = Spec.iptype_of_op design.Design.spec 4;
+      trojan;
+    }
+  in
+  let zoo =
+    Trojan.zoo ~a_pattern:(a land 0xFFFF) ~b_pattern:(b land 0xFFFF)
+      ~mask:0xFFFF
+  in
+  let gated = List.map (fun (nm, tr) -> ("mut_" ^ nm, inj tr)) zoo in
+  let rtl = Rtl.elaborate ~width:16 ~gated_injections:gated design in
+  Alcotest.(check (list string))
+    "mutant_gates in order"
+    (List.map fst gated) rtl.Rtl.mutant_gates;
+  let prng = Prng.create ~seed:3 in
+  let envs = env :: List.init 9 (fun _ -> small_env prng dfg) in
+  let mrs = Rtl.run_mutant_batch rtl envs in
+  let clean_rtl = Rtl.elaborate ~width:16 design in
+  let plain =
+    List.map
+      (fun (nm, i) -> (nm, Rtl.elaborate ~width:16 ~injections:[ i ] design))
+      gated
+  in
+  List.iter2
+    (fun e mr ->
+      Alcotest.(check bool)
+        "clean lane == un-gated run" true
+        (mr.Rtl.m_clean = Rtl.run clean_rtl e);
+      List.iter
+        (fun (nm, r) ->
+          Alcotest.(check bool)
+            (nm ^ " lane == plain injection run")
+            true
+            (r = Rtl.run (List.assoc nm plain) e))
+        mr.Rtl.m_mutants)
+    envs mrs;
+  (* the armed combinational mutant must actually fire on its env *)
+  let first = List.hd mrs in
+  Alcotest.(check bool) "armed comb mutant detected" true
+    (List.assoc "mut_comb" first.Rtl.m_mutants).Rtl.r_mismatch;
+  Alcotest.(check bool) "decoy lane stays clean" false
+    (List.assoc "mut_decoy" first.Rtl.m_mutants).Rtl.r_mismatch
+
+let test_mutant_validation () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let nc = Copy.index design.Design.spec { Copy.op = 4; phase = Copy.NC } in
+  let inj =
+    {
+      Engine.inj_vendor = Binding.vendor design.Design.binding nc;
+      inj_type = Spec.iptype_of_op design.Design.spec 4;
+      trojan =
+        Trojan.make
+          (Trojan.Combinational { a_pattern = 1; b_pattern = 2; mask = 0xF })
+          (Trojan.Xor_offset 1);
+    }
+  in
+  let too_many =
+    List.init Packed.lanes (fun i -> (Printf.sprintf "g%d" i, inj))
+  in
+  Alcotest.check_raises "gate count bounded by lanes"
+    (Invalid_argument
+       (Printf.sprintf "Rtl.elaborate: at most %d gated injections"
+          (Packed.lanes - 1)))
+    (fun () -> ignore (Rtl.elaborate ~gated_injections:too_many design));
+  let rtl = Rtl.elaborate ~width:16 design in
+  Alcotest.check_raises "no gates, no mutant batch"
+    (Invalid_argument "Rtl.run_mutant_batch: design has no gated injections")
+    (fun () -> ignore (Rtl.run_mutant_batch rtl []))
+
+let test_cosim_mutants () =
+  let design = design_for "motivational" Thr_iplib.Catalog.table1 4 3 40_000 in
+  let prng = Prng.create ~seed:7 in
+  let mr = Campaign.cosim_mutants ~prng ~vectors:12 design in
+  Alcotest.(check bool) "clean lane golden throughout" true
+    mr.Campaign.mr_clean_ok;
+  Alcotest.(check bool) "report ok (no escapes, decoy silent)" true
+    (Campaign.mutant_report_ok mr);
+  let find nm =
+    List.find (fun m -> m.Campaign.ms_gate = nm) mr.Campaign.mr_mutants
+  in
+  Alcotest.(check bool) "armed comb mutant detected at least once" true
+    ((find "mut_comb").Campaign.ms_detections >= 1);
+  Alcotest.(check int) "decoy control never fires" 0
+    (find "mut_decoy").Campaign.ms_detections;
+  Alcotest.(check int) "decoy control never diverges" 0
+    (find "mut_decoy").Campaign.ms_divergent
+
 (* Property: on random small DFGs, the structural netlist and the
    behavioural engine agree on detection and recovery for adversarial
    combinational injections. *)
@@ -440,5 +562,14 @@ let () =
             test_recorded_clean_run;
           Alcotest.test_case "cosim counts detections" `Quick
             test_cosim_counts_detections;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "run_batch modes agree" `Quick
+            test_run_batch_modes_agree;
+          Alcotest.test_case "lanes match plain injections" `Quick
+            test_mutants_match_plain_injections;
+          Alcotest.test_case "validation" `Quick test_mutant_validation;
+          Alcotest.test_case "cosim_mutants zoo" `Quick test_cosim_mutants;
         ] );
     ]
